@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Atomic Bechamel Benchmark Float Instance List Measure Ovirt Printf Staged String Test Thread Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Atomic Bench_util Char Hvsim List Option Ovirt Ovnet Ovrpc Printf Protocol Result Rpc_client String Sys Thread Vlog Vmm Xdr

@@ -1,0 +1,704 @@
+(* Benchmark harness: regenerates every table and figure of the
+   reconstructed evaluation (see DESIGN.md §4 and EXPERIMENTS.md).
+
+   Usage:
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe -- table2 fig4 ...   # a subset
+
+   Absolute numbers are simulator numbers; the claims under test are the
+   *shapes* stated in DESIGN.md (who wins, scaling, crossovers). *)
+
+open Bench_util
+module Connect = Ovirt.Connect
+module Domain = Ovirt.Domain
+module Driver = Ovirt.Driver
+module Capabilities = Ovirt.Capabilities
+module Admin = Ovirt.Admin_client
+module Daemon = Ovirt.Daemon
+module Daemon_config = Ovirt.Daemon_config
+module Agent = Ovirt.Guest_agent_client
+module Vm_config = Vmm.Vm_config
+module Guest_image = Vmm.Guest_image
+module Tlslike = Ovnet.Tlslike
+module Transport = Ovnet.Transport
+module Rp = Protocol.Remote_protocol
+module Rpc_packet = Ovrpc.Rpc_packet
+module Tp = Ovrpc.Typed_params
+
+let () = Ovirt.initialize ()
+
+let quiet_config =
+  {
+    Daemon_config.default with
+    Daemon_config.log_outputs = [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Null } ];
+  }
+
+let mib n = n * 1024
+
+type driver_kit = {
+  k_label : string;
+  k_uri : unit -> string;
+  k_virt : string;
+  k_os : Vm_config.os_kind;
+}
+
+let kits =
+  [
+    {
+      k_label = "test";
+      k_uri = (fun () -> "test://" ^ fresh "bt" ^ "/");
+      k_virt = "test";
+      k_os = Vm_config.Hvm;
+    };
+    {
+      k_label = "qemu";
+      k_uri = (fun () -> "qemu://" ^ fresh "bq" ^ "/system");
+      k_virt = "kvm";
+      k_os = Vm_config.Hvm;
+    };
+    {
+      k_label = "xen";
+      k_uri = (fun () -> "xen://" ^ fresh "bx" ^ "/");
+      k_virt = "xen";
+      k_os = Vm_config.Paravirt;
+    };
+    {
+      k_label = "lxc";
+      k_uri = (fun () -> "lxc://" ^ fresh "bl" ^ "/");
+      k_virt = "lxc";
+      k_os = Vm_config.Container_exe;
+    };
+    {
+      k_label = "esx";
+      k_uri = (fun () -> "esx://root@" ^ fresh "be" ^ "/?password=esx");
+      k_virt = "vmware";
+      k_os = Vm_config.Hvm;
+    };
+  ]
+
+let define_domain kit conn ?(memory_kib = mib 8) name =
+  let cfg = Vm_config.make ~os:kit.k_os ~memory_kib name in
+  ok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:kit.k_virt cfg))
+
+(* ------------------------------------------------------------------ *)
+(* E1 / Table 1: hypervisor feature matrix                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1 (E1): driver feature matrix";
+  let features = Capabilities.all_features in
+  let headers = "feature" :: List.map (fun k -> k.k_label) kits in
+  let caps =
+    List.map (fun kit -> ok (Connect.capabilities (ok (Connect.open_uri (kit.k_uri ()))))) kits
+  in
+  let rows =
+    List.map
+      (fun feature ->
+        Capabilities.feature_name feature
+        :: List.map
+             (fun cap -> if Capabilities.supports cap feature then "yes" else "-")
+             caps)
+      features
+  in
+  table headers rows;
+  subsection
+    (Printf.sprintf "stateful drivers: %s | stateless: %s"
+       (String.concat ", "
+          (List.filter_map
+             (fun (kit, cap) ->
+               if cap.Capabilities.stateful then Some kit.k_label else None)
+             (List.combine kits caps)))
+       (String.concat ", "
+          (List.filter_map
+             (fun (kit, cap) ->
+               if cap.Capabilities.stateful then None else Some kit.k_label)
+             (List.combine kits caps))))
+
+(* ------------------------------------------------------------------ *)
+(* E2 / Table 2: management-operation latency per driver (direct)      *)
+(* ------------------------------------------------------------------ *)
+
+let op_cells label conn kit =
+  (* define+undefine cycle *)
+  let define_cycle =
+    measure_ns (label ^ "/define") (fun () ->
+        let dom = define_domain kit conn (fresh "cyc") in
+        ok (Domain.undefine dom))
+  in
+  (* start+destroy cycle on a fixed definition *)
+  let dom = define_domain kit conn (fresh "fix") in
+  let start_cycle =
+    measure_ns (label ^ "/start") (fun () ->
+        ok (Domain.create dom);
+        ok (Domain.destroy dom))
+  in
+  (* reads on a running domain *)
+  let running = define_domain kit conn (fresh "run") in
+  ok (Domain.create running);
+  let get_info = measure_ns (label ^ "/info") (fun () -> ignore (ok (Domain.get_info running))) in
+  let dump_xml = measure_ns (label ^ "/xml") (fun () -> ignore (ok (Domain.xml_desc running))) in
+  let list = measure_ns (label ^ "/list") (fun () -> ignore (ok (Connect.list_domains conn))) in
+  ok (Domain.destroy running);
+  [ pp_ns define_cycle; pp_ns start_cycle; pp_ns get_info; pp_ns dump_xml; pp_ns list ]
+
+let table2 () =
+  section "Table 2 (E2): operation latency per driver (driver-native path)";
+  let rows =
+    List.map
+      (fun kit ->
+        let conn = ok (Connect.open_uri (kit.k_uri ())) in
+        kit.k_label :: op_cells kit.k_label conn kit)
+      kits
+  in
+  table
+    [ "driver"; "define+undef"; "start+destroy"; "get-info"; "dump-xml"; "list" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3 / Table 3: local vs remote (daemon) operation latency            *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table 3 (E3): direct vs daemon-tunnelled latency (test driver)";
+  let daemon_name = fresh "bd" in
+  let daemon = Daemon.start ~name:daemon_name ~config:quiet_config () in
+  let kit = List.hd kits in
+  let variants =
+    [
+      ("direct", fun () -> "test://" ^ fresh "d" ^ "/");
+      ( "remote/unix",
+        fun () -> Printf.sprintf "test+unix://%s/?daemon=%s" (fresh "ru") daemon_name );
+      ( "remote/tcp",
+        fun () -> Printf.sprintf "test+tcp://%s/?daemon=%s" (fresh "rt") daemon_name );
+      ( "remote/tls",
+        fun () -> Printf.sprintf "test+tls://%s/?daemon=%s" (fresh "rs") daemon_name );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, uri) ->
+        let conn = ok (Connect.open_uri (uri ())) in
+        label :: op_cells label conn kit)
+      variants
+  in
+  table
+    [ "path"; "define+undef"; "start+destroy"; "get-info"; "dump-xml"; "list" ]
+    rows;
+  Daemon.stop daemon
+
+(* ------------------------------------------------------------------ *)
+(* E4 / Figure 1: transport overhead vs payload size                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "Figure 1 (E4): echo RPC round-trip vs payload size";
+  let daemon_name = fresh "bd" in
+  let daemon = Daemon.start ~name:daemon_name ~config:quiet_config () in
+  let sizes = [ 64; 1024; 16 * 1024; 64 * 1024; 256 * 1024 ] in
+  let transports =
+    [ ("unix", Transport.Unix_sock); ("tcp", Transport.Tcp); ("tls", Transport.Tls) ]
+  in
+  let clients =
+    List.map
+      (fun (label, kind) ->
+        ( label,
+          match
+            Rpc_client.connect ~address:(daemon_name ^ "-sock") ~kind
+              ~program:Rp.program ~version:Rp.version ()
+          with
+          | Ok c -> c
+          | Error e -> failwith (Ovirt.Verror.to_string e) ))
+      transports
+  in
+  let rows =
+    List.map
+      (fun size ->
+        let payload = String.make size 'x' in
+        string_of_int size
+        :: List.map
+             (fun (label, client) ->
+               pp_ns
+                 (measure_ns ~quota:0.4
+                    (Printf.sprintf "echo/%s/%d" label size)
+                    (fun () ->
+                      match
+                        Rpc_client.call client
+                          ~procedure:(Rp.proc_to_int Rp.Proc_echo) ~body:payload ()
+                      with
+                      | Ok _ -> ()
+                      | Error e -> failwith (Ovirt.Verror.to_string e))))
+             clients)
+      sizes
+  in
+  table ("payload B" :: List.map fst transports) rows;
+  List.iter (fun (_, c) -> Rpc_client.close c) clients;
+  Daemon.stop daemon
+
+(* ------------------------------------------------------------------ *)
+(* E5 / Figure 2: throughput vs concurrent clients                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A node with one big domain so every call does real serialization
+   work on a daemon worker. *)
+let prepare_busy_node daemon_name =
+  let node = fresh "load" in
+  (* 300 us of simulated hypervisor latency per call: the worker blocks,
+     as it would on a real monitor socket, so pool sizing matters. *)
+  let conn =
+    ok
+      (Connect.open_uri
+         (Printf.sprintf "test+unix://%s/?daemon=%s&latency_us=300" node daemon_name))
+  in
+  let disks =
+    List.init 16 (fun i ->
+        Vm_config.
+          {
+            source_path = Printf.sprintf "/imgs/d%d.img" i;
+            target_dev = Printf.sprintf "vd%c" (Char.chr (Char.code 'a' + i));
+            disk_format = "qcow2";
+            readonly = false;
+          })
+  in
+  let cfg = Vm_config.make ~memory_kib:(mib 8) ~disks (fresh "big") in
+  let dom = ok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:"test" cfg)) in
+  Connect.close conn;
+  (node, Domain.name dom)
+
+let throughput_at daemon_name node dom_name n_clients =
+  let conns =
+    List.init n_clients (fun _ ->
+        ok
+          (Connect.open_uri
+             (Printf.sprintf "test+unix://%s/?daemon=%s&latency_us=300" node
+                daemon_name)))
+  in
+  let conns_arr = Array.of_list conns in
+  let doms =
+    Array.map (fun conn -> ok (Domain.lookup_by_name conn dom_name)) conns_arr
+  in
+  let ops =
+    measure_throughput ~n_threads:n_clients ~duration_s:0.3 (fun i ->
+        ignore (ok (Domain.xml_desc doms.(i))))
+  in
+  List.iter Connect.close conns;
+  ops
+
+let fig2 () =
+  section "Figure 2 (E5): throughput vs concurrent clients (8-worker pool)";
+  let daemon_name = fresh "bd" in
+  (* prio_workers = 0: reads are high-priority-eligible, and this
+     experiment studies the ordinary pool. *)
+  let config =
+    { quiet_config with Daemon_config.min_workers = 8; max_workers = 8; prio_workers = 0 }
+  in
+  let daemon = Daemon.start ~name:daemon_name ~config () in
+  let node, dom_name = prepare_busy_node daemon_name in
+  let rows =
+    List.map
+      (fun n ->
+        let ops = throughput_at daemon_name node dom_name n in
+        [ string_of_int n; pp_ops ops ^ " ops/s" ])
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  table [ "clients"; "dump-xml throughput" ] rows;
+  Daemon.stop daemon
+
+(* ------------------------------------------------------------------ *)
+(* E6 / Figure 3: throughput vs workerpool size (runtime admin resize) *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section "Figure 3 (E6): throughput vs maxWorkers at 16 clients (admin resize)";
+  let daemon_name = fresh "bd" in
+  let config =
+    { quiet_config with Daemon_config.min_workers = 1; max_workers = 1; prio_workers = 0 }
+  in
+  let daemon = Daemon.start ~name:daemon_name ~config () in
+  let node, dom_name = prepare_busy_node daemon_name in
+  let admin = ok (Admin.connect ~daemon:daemon_name ()) in
+  let srv = ok (Admin.lookup_server admin "libvirtd") in
+  let rows =
+    List.map
+      (fun workers ->
+        ok
+          (Admin.set_threadpool srv
+             ~min_workers:(min workers 4)
+             ~max_workers:workers ());
+        let ops = throughput_at daemon_name node dom_name 16 in
+        [ string_of_int workers; pp_ops ops ^ " ops/s" ])
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  table [ "maxWorkers"; "dump-xml throughput (16 clients)" ] rows;
+  Admin.close admin;
+  Daemon.stop daemon
+
+(* ------------------------------------------------------------------ *)
+(* E7 / Table 4: non-intrusive vs intrusive management                 *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  section "Table 4 (E7): non-intrusive (hypervisor API) vs intrusive (in-guest agent)";
+  let kit = List.hd kits in
+  let conn = ok (Connect.open_uri (kit.k_uri ())) in
+  let name = fresh "cmp" in
+  let dom = define_domain kit conn ~memory_kib:(mib 64) name in
+  ok (Domain.create dom);
+  (* deployment *)
+  let (), install_s = time_once (fun () -> ok (Agent.install conn name)) in
+  (* query latency *)
+  let hv_info = measure_ns "hv/get-info" (fun () -> ignore (ok (Domain.get_info dom))) in
+  let ag_info =
+    measure_ns "agent/guest-info" (fun () -> ignore (ok (Agent.guest_info conn name)))
+  in
+  (* availability while paused *)
+  ok (Domain.suspend dom);
+  let hv_paused = Result.is_ok (Domain.get_info dom) in
+  let ag_paused = Result.is_ok (Agent.guest_info conn name) in
+  ok (Domain.resume dom);
+  (* interference: pages dirtied by 100 status queries *)
+  let src_ops = ok (Connect.ops conn) in
+  let ms = ok ((Option.get src_ops.Driver.migrate_begin) name) in
+  let img = ms.Driver.mig_image in
+  ms.Driver.mig_abort ();
+  let drain () = List.iter (fun i -> ignore (Guest_image.transfer_page img i)) (Guest_image.dirty_pages img) in
+  drain ();
+  for _ = 1 to 100 do
+    ignore (ok (Domain.get_info dom))
+  done;
+  let hv_dirty = Guest_image.dirty_count img in
+  drain ();
+  for _ = 1 to 100 do
+    ignore (ok (Agent.guest_info conn name))
+  done;
+  let ag_dirty = Guest_image.dirty_count img in
+  table
+    [ "criterion"; "non-intrusive"; "intrusive (agent)" ]
+    [
+      [ "per-guest deployment"; "none";
+        Printf.sprintf "%s install" (pp_ns (install_s *. 1e9)) ];
+      [ "status query latency"; pp_ns hv_info; pp_ns ag_info ];
+      [ "works on paused guest"; (if hv_paused then "yes" else "no");
+        (if ag_paused then "yes" else "no") ];
+      [ "guest pages dirtied / 100 queries"; string_of_int hv_dirty;
+        string_of_int ag_dirty ];
+      [ "in-guest command execution"; "not possible"; "guest-exec (exit 0)" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 / Figure 4: live migration time vs memory size and dirty rate    *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "Figure 4 (E8): migration vs memory size (page scale 1 B : 1 KiB)";
+  let rows = ref [] in
+  List.iter
+    (fun kit ->
+      List.iter
+        (fun memory_mib ->
+          List.iter
+            (fun (load_label, rate) ->
+              let src = ok (Connect.open_uri (kit.k_uri ())) in
+              let dst = ok (Connect.open_uri (kit.k_uri ())) in
+              let name = fresh "mig" in
+              let dom = define_domain kit src ~memory_kib:(mib memory_mib) name in
+              ok (Domain.create dom);
+              (* reach the live image so the hook can dirty it *)
+              let src_ops = ok (Connect.ops src) in
+              let ms = ok ((Option.get src_ops.Driver.migrate_begin) name) in
+              let img = ms.Driver.mig_image in
+              ms.Driver.mig_abort ();
+              (* A busy guest keeps dirtying for the whole migration, so
+                 precopy hits the round cap and pays a downtime tail. *)
+              let dirty_hook round =
+                if rate > 0.0 then
+                  Guest_image.dirty_randomly img ~rate ~seed:(round * 31)
+              in
+              let (_, stats), seconds =
+                time_once (fun () -> ok (Domain.migrate dom ~dest:dst ~dirty_hook ()))
+              in
+              rows :=
+                [
+                  kit.k_label;
+                  Printf.sprintf "%d MiB" memory_mib;
+                  load_label;
+                  Printf.sprintf "%.2f ms" (seconds *. 1000.);
+                  string_of_int stats.Domain.pages_transferred;
+                  string_of_int stats.Domain.rounds;
+                  string_of_int stats.Domain.downtime_pages;
+                ]
+                :: !rows)
+            [ ("idle", 0.0); ("busy", 0.05) ])
+        [ 64; 128; 256; 512 ])
+    [ List.nth kits 1; List.nth kits 2 ];
+  table
+    [ "driver"; "memory"; "guest"; "total time"; "pages"; "rounds"; "downtime pages" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E9 / Figure 5: enumeration cost vs number of domains                *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "Figure 5 (E9): enumeration and lookup vs defined domains (test driver)";
+  let rows =
+    List.map
+      (fun count ->
+        let conn = ok (Connect.open_uri ("test://" ^ fresh "enum" ^ "/")) in
+        let kit = List.hd kits in
+        for _ = 1 to count do
+          ignore (define_domain kit conn (fresh "e"))
+        done;
+        let middle = fresh "probe" in
+        ignore (define_domain kit conn middle);
+        let list_defined =
+          measure_ns
+            (Printf.sprintf "list/%d" count)
+            (fun () -> ignore (ok (Connect.list_defined_domains conn)))
+        in
+        let lookup =
+          measure_ns
+            (Printf.sprintf "lookup/%d" count)
+            (fun () -> ignore (ok (Domain.lookup_by_name conn middle)))
+        in
+        [ string_of_int (count + 2); pp_ns list_defined; pp_ns lookup ])
+      [ 10; 100; 500; 1000; 2000 ]
+  in
+  table [ "domains"; "list-defined"; "lookup-by-name" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* E10 / Table 5: logging-subsystem overhead                           *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  section "Table 5 (E10): daemon op latency under logging configurations";
+  let daemon_name = fresh "bd" in
+  let daemon = Daemon.start ~name:daemon_name ~config:quiet_config () in
+  let logger = Daemon.logger daemon in
+  let admin = ok (Admin.connect ~daemon:daemon_name ()) in
+  let conn =
+    ok
+      (Connect.open_uri
+         (Printf.sprintf "test+unix://%s/?daemon=%s" (fresh "log") daemon_name))
+  in
+  let dom = ok (Domain.lookup_by_name conn "test") in
+  let configs =
+    [
+      ("level=error (production)", Vlog.Error, "", "1:null");
+      ("level=debug, no filters", Vlog.Debug, "", "1:null");
+      ("level=debug + filter rpc", Vlog.Debug, "4:daemon.rpc", "1:null");
+      ("level=debug -> file", Vlog.Debug, "", "1:file:/var/log/bench.log");
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, level, filters, outputs) ->
+        ok (Admin.set_logging_level admin level);
+        ok (Admin.set_logging_filters admin filters);
+        ok (Admin.set_logging_outputs admin outputs);
+        Vlog.reset_counters logger;
+        let latency =
+          measure_ns ("log/" ^ label) (fun () -> ignore (ok (Domain.get_info dom)))
+        in
+        [
+          label;
+          pp_ns latency;
+          string_of_int (Vlog.emitted_count logger);
+          string_of_int (Vlog.dropped_count logger);
+        ])
+      configs
+  in
+  table [ "configuration"; "get-info latency"; "emitted"; "dropped" ] rows;
+  Admin.close admin;
+  Daemon.stop daemon
+
+(* ------------------------------------------------------------------ *)
+(* E11 / Figure 6: administration-interface latency under load          *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Figure 6 (E11): admin operation latency, idle vs loaded daemon";
+  let daemon_name = fresh "bd" in
+  let config = { quiet_config with Daemon_config.min_workers = 4; max_workers = 4 } in
+  let daemon = Daemon.start ~name:daemon_name ~config () in
+  let node, dom_name = prepare_busy_node daemon_name in
+  let admin = ok (Admin.connect ~daemon:daemon_name ()) in
+  let srv = ok (Admin.lookup_server admin "libvirtd") in
+  let measure_admin label =
+    [
+      ( "srv-threadpool-info",
+        measure_ns (label ^ "/tpinfo") (fun () -> ignore (ok (Admin.threadpool_info srv)))
+      );
+      ( "srv-clients-list",
+        measure_ns (label ^ "/clients") (fun () -> ignore (ok (Admin.list_clients srv)))
+      );
+      ( "srv-threadpool-set",
+        measure_ns (label ^ "/tpset") (fun () ->
+            ok (Admin.set_threadpool srv ~max_workers:4 ())) );
+      ( "dmn-log-info",
+        measure_ns (label ^ "/loginfo") (fun () ->
+            ignore (ok (Admin.get_logging_level admin))) );
+    ]
+  in
+  let idle = measure_admin "idle" in
+  (* load: 8 clients hammering the management server *)
+  let stop = Atomic.make false in
+  let conns =
+    List.init 8 (fun _ ->
+        ok
+          (Connect.open_uri
+             (Printf.sprintf "test+unix://%s/?daemon=%s" node daemon_name)))
+  in
+  let loaders =
+    List.map
+      (fun conn ->
+        let dom = ok (Domain.lookup_by_name conn dom_name) in
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Domain.xml_desc dom)
+            done)
+          ())
+      conns
+  in
+  let loaded = measure_admin "loaded" in
+  Atomic.set stop true;
+  List.iter Thread.join loaders;
+  List.iter Connect.close conns;
+  let rows =
+    List.map2
+      (fun (op, idle_ns) (_, loaded_ns) -> [ op; pp_ns idle_ns; pp_ns loaded_ns ])
+      idle loaded
+  in
+  table [ "admin operation"; "idle daemon"; "daemon under load" ] rows;
+  Admin.close admin;
+  Daemon.stop daemon
+
+(* ------------------------------------------------------------------ *)
+(* E12 / Table 6: codec costs                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table6 () =
+  section "Table 6 (E12): serialization-substrate costs";
+  let small_cfg = Vm_config.make (fresh "xs") in
+  let big_cfg =
+    Vm_config.make
+      ~disks:
+        (List.init 16 (fun i ->
+             Vm_config.
+               {
+                 source_path = Printf.sprintf "/i/d%d.img" i;
+                 target_dev = Printf.sprintf "vd%c" (Char.chr (Char.code 'a' + i));
+                 disk_format = "qcow2";
+                 readonly = false;
+               }))
+      (fresh "xl")
+  in
+  let small_xml = Vmm.Domxml.to_xml ~virt_type:"kvm" small_cfg in
+  let big_xml = Vmm.Domxml.to_xml ~virt_type:"kvm" big_cfg in
+  let packet_body = String.make 1024 'p' in
+  let header =
+    Rpc_packet.call_header ~program:Rp.program ~version:1 ~procedure:3 ~serial:9
+  in
+  let packet = Rpc_packet.encode header packet_body in
+  let params =
+    [
+      Tp.uint "minWorkers" 5; Tp.uint "maxWorkers" 20; Tp.uint "prioWorkers" 5;
+      Tp.string "sock_addr" "192.168.1.1:1234"; Tp.bool "readonly" false;
+    ]
+  in
+  let params_wire = Xdr.encode Tp.encode params in
+  let tls_client, tls_server = Tlslike.handshake_pair () in
+  let payload_1k = String.make 1024 'q' in
+  let payload_64k = String.make (64 * 1024) 'q' in
+  let host = Hvsim.Hostinfo.create () in
+  let qcfg = Vm_config.make (fresh "qmp") in
+  let proc =
+    match
+      Hvsim.Qemu_proc.spawn host
+        ~argv:[ "qemu"; "-name"; qcfg.Vm_config.name; "-S" ]
+        qcfg
+    with
+    | Ok p -> p
+    | Error msg -> failwith msg
+  in
+  (match Hvsim.Qemu_proc.qmp proc ~cmd:"qmp_capabilities" () with
+   | Ok _ -> ()
+   | Error msg -> failwith msg);
+  let store = Hvsim.Xenstore.create () in
+  Hvsim.Xenstore.write store "/local/domain/1/name" "bench";
+  let rows =
+    [
+      [ Printf.sprintf "domain XML format (%dB)" (String.length small_xml);
+        pp_ns (measure_ns "xmlfmt-s" (fun () -> ignore (Vmm.Domxml.to_xml ~virt_type:"kvm" small_cfg))) ];
+      [ Printf.sprintf "domain XML parse (%dB)" (String.length small_xml);
+        pp_ns (measure_ns "xmlparse-s" (fun () -> ignore (Vmm.Domxml.of_xml small_xml))) ];
+      [ Printf.sprintf "domain XML parse (%dB, 16 disks)" (String.length big_xml);
+        pp_ns (measure_ns "xmlparse-l" (fun () -> ignore (Vmm.Domxml.of_xml big_xml))) ];
+      [ "RPC packet encode (1 KiB)";
+        pp_ns (measure_ns "pktenc" (fun () -> ignore (Rpc_packet.encode header packet_body))) ];
+      [ "RPC packet decode (1 KiB)";
+        pp_ns (measure_ns "pktdec" (fun () -> ignore (Rpc_packet.decode packet))) ];
+      [ "typed params encode (5 fields)";
+        pp_ns (measure_ns "tpenc" (fun () -> ignore (Xdr.encode Tp.encode params))) ];
+      [ "typed params decode (5 fields)";
+        pp_ns (measure_ns "tpdec" (fun () -> ignore (Xdr.decode Tp.decode params_wire))) ];
+      [ "TLS-like seal+open (1 KiB)";
+        pp_ns
+          (measure_ns "tls1k" (fun () ->
+               ignore (Tlslike.open_ tls_server (Tlslike.seal tls_client payload_1k)))) ];
+      [ "TLS-like seal+open (64 KiB)";
+        pp_ns
+          (measure_ns "tls64k" (fun () ->
+               ignore (Tlslike.open_ tls_server (Tlslike.seal tls_client payload_64k)))) ];
+      [ "TLS-like rekey (ablation)";
+        pp_ns
+          (measure_ns "rekey" (fun () ->
+               Tlslike.rekey tls_client tls_server;
+               ignore (Tlslike.open_ tls_server (Tlslike.seal tls_client "x")))) ];
+      [ "QMP query-status round trip";
+        pp_ns
+          (measure_ns "qmp" (fun () ->
+               match Hvsim.Qemu_proc.qmp proc ~cmd:"query-status" () with
+               | Ok _ -> ()
+               | Error msg -> failwith msg)) ];
+      [ "xenstore write+read";
+        pp_ns
+          (measure_ns "xenstore" (fun () ->
+               Hvsim.Xenstore.write store "/local/domain/1/state" "running";
+               ignore (Hvsim.Xenstore.read store "/local/domain/1/state"))) ];
+    ]
+  in
+  table [ "codec"; "latency" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("table4", table4);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("table5", table5);
+    ("fig6", fig6);
+    ("table6", table6);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  print_endline "ovirt benchmark harness (reconstructed DATE'10 evaluation)";
+  print_endline "shapes under test are documented in DESIGN.md S4 / EXPERIMENTS.md";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None -> Printf.eprintf "unknown experiment %S (skipped)\n" name)
+    selected

@@ -1,0 +1,248 @@
+(* ovirsh: the virsh-like management shell.
+   Usage:  ovirsh [-c URI] [command [args...]]
+   With no command, enters an interactive shell.  A daemon named "ovirtd"
+   is started in-process when a +transport URI asks for one (the whole
+   network is simulated in-process; see DESIGN.md). *)
+
+let ( let* ) = Result.bind
+let verr r = Result.map_error Ovirt.Verror.to_string r
+
+type shell = { mutable conn : Ovirt.Connect.t option }
+
+let require_conn shell =
+  match shell.conn with
+  | Some conn when not (Ovirt.Connect.is_closed conn) -> Ok conn
+  | Some _ | None -> Error "no active connection (use: connect <uri>)"
+
+let state_name = Vmm.Vm_state.state_name
+
+let lookup shell name =
+  let* conn = require_conn shell in
+  verr (Ovirt.Domain.lookup_by_name conn name)
+
+let one_positional args what =
+  match args.Ovcli.positional with
+  | [ v ] -> Ok v
+  | _ -> Error (Printf.sprintf "expected exactly one argument: %s" what)
+
+let commands shell =
+  let connect_cmd =
+    Ovcli.
+      {
+        name = "connect";
+        group = "Connection";
+        args_help = "<uri>";
+        summary = "connect to a hypervisor URI";
+        handler =
+          (fun args ->
+            let* uri = one_positional args "<uri>" in
+            let* conn = verr (Ovirt.Connect.open_uri uri) in
+            (match shell.conn with Some old -> Ovirt.Connect.close old | None -> ());
+            shell.conn <- Some conn;
+            Ok (Printf.sprintf "connected to %s (driver %s)" uri
+                  (Ovirt.Connect.driver_name conn)));
+      }
+  in
+  let simple name group args_help summary handler =
+    Ovcli.{ name; group; args_help; summary; handler }
+  in
+  let dom_op name summary op =
+    simple name "Domain management" "<domain>" summary (fun args ->
+        let* name = one_positional args "<domain>" in
+        let* dom = lookup shell name in
+        let* () = verr (op dom) in
+        Ok (Printf.sprintf "domain %s: %s" name summary))
+  in
+  [
+    connect_cmd;
+    simple "uri" "Connection" "" "print the current connection URI" (fun _ ->
+        let* conn = require_conn shell in
+        Ok (Ovirt.Uri.to_string (Ovirt.Connect.uri conn)));
+    simple "hostname" "Connection" "" "print the node's hostname" (fun _ ->
+        let* conn = require_conn shell in
+        verr (Ovirt.Connect.hostname conn));
+    simple "capabilities" "Connection" "" "print driver capabilities XML" (fun _ ->
+        let* conn = require_conn shell in
+        let* caps = verr (Ovirt.Connect.capabilities conn) in
+        Ok (Ovirt.Capabilities.to_xml caps));
+    simple "list" "Domain management" "[--all]" "list domains" (fun args ->
+        let* conn = require_conn shell in
+        let* active = verr (Ovirt.Connect.list_domains conn) in
+        let buf = Buffer.create 128 in
+        Buffer.add_string buf (Printf.sprintf " %-5s %-20s %s\n" "Id" "Name" "State");
+        Buffer.add_string buf "---------------------------------------\n";
+        List.iter
+          (fun r ->
+            let id =
+              match r.Ovirt.Driver.dom_id with
+              | Some id -> string_of_int id
+              | None -> "-"
+            in
+            Buffer.add_string buf
+              (Printf.sprintf " %-5s %-20s running\n" id r.Ovirt.Driver.dom_name))
+          active;
+        if Ovcli.has_switch args "all" then begin
+          let* defined = verr (Ovirt.Connect.list_defined_domains conn) in
+          List.iter
+            (fun name ->
+              Buffer.add_string buf (Printf.sprintf " %-5s %-20s shut off\n" "-" name))
+            defined;
+          Ok (Buffer.contents buf)
+        end
+        else Ok (Buffer.contents buf));
+    simple "define" "Domain management" "<xml-file>" "define a domain from XML"
+      (fun args ->
+        let* path = one_positional args "<xml-file>" in
+        let* conn = require_conn shell in
+        let* xml =
+          try
+            let ic = open_in path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            Ok s
+          with Sys_error msg -> Error msg
+        in
+        let* dom = verr (Ovirt.Domain.define_xml conn xml) in
+        Ok (Printf.sprintf "domain %s defined" (Ovirt.Domain.name dom)));
+    dom_op "start" "started" Ovirt.Domain.create;
+    dom_op "suspend" "suspended" Ovirt.Domain.suspend;
+    dom_op "resume" "resumed" Ovirt.Domain.resume;
+    dom_op "shutdown" "shut down" Ovirt.Domain.shutdown;
+    dom_op "destroy" "destroyed" Ovirt.Domain.destroy;
+    dom_op "undefine" "undefined" Ovirt.Domain.undefine;
+    dom_op "save" "saved (managed save)" Ovirt.Domain.save;
+    dom_op "restore" "restored from managed save" Ovirt.Domain.restore;
+    simple "dominfo" "Domain management" "<domain>" "print domain information"
+      (fun args ->
+        let* name = one_positional args "<domain>" in
+        let* dom = lookup shell name in
+        let* info = verr (Ovirt.Domain.get_info dom) in
+        Ok
+          (String.concat "\n"
+             [
+               Printf.sprintf "%-15s %s" "Name:" name;
+               Printf.sprintf "%-15s %s" "UUID:"
+                 (Vmm.Uuid.to_string (Ovirt.Domain.uuid dom));
+               Printf.sprintf "%-15s %s" "State:"
+                 (state_name info.Ovirt.Driver.di_state);
+               Printf.sprintf "%-15s %d KiB" "Max memory:"
+                 info.Ovirt.Driver.di_max_mem_kib;
+               Printf.sprintf "%-15s %d KiB" "Used memory:"
+                 info.Ovirt.Driver.di_memory_kib;
+               Printf.sprintf "%-15s %d" "CPU(s):" info.Ovirt.Driver.di_vcpus;
+             ]));
+    simple "dumpxml" "Domain management" "<domain>" "print the domain's XML"
+      (fun args ->
+        let* name = one_positional args "<domain>" in
+        let* dom = lookup shell name in
+        verr (Ovirt.Domain.xml_desc dom));
+    simple "setmem" "Domain management" "<domain> <kib>"
+      "set the domain's memory balloon" (fun args ->
+        match args.Ovcli.positional with
+        | [ name; kib_str ] ->
+          (match int_of_string_opt kib_str with
+           | None -> Error "memory must be an integer (KiB)"
+           | Some kib ->
+             let* dom = lookup shell name in
+             let* () = verr (Ovirt.Domain.set_memory dom kib) in
+             Ok (Printf.sprintf "domain %s: balloon set to %d KiB" name kib))
+        | _ -> Error "expected: setmem <domain> <kib>");
+    simple "migrate" "Domain management" "<domain> <dest-uri>"
+      "live-migrate a domain" (fun args ->
+        match args.Ovcli.positional with
+        | [ name; dest_uri ] ->
+          let* dom = lookup shell name in
+          let* dest = verr (Ovirt.Connect.open_uri dest_uri) in
+          let* _dest_dom, stats = verr (Ovirt.Domain.migrate dom ~dest ()) in
+          Ok
+            (Printf.sprintf
+               "domain %s migrated: %d precopy rounds, %d pages (%d B), %d pages \
+                during downtime"
+               name stats.Ovirt.Domain.rounds stats.Ovirt.Domain.pages_transferred
+               stats.Ovirt.Domain.bytes_transferred
+               stats.Ovirt.Domain.downtime_pages)
+        | _ -> Error "expected: migrate <domain> <dest-uri>");
+    simple "net-list" "Network management" "" "list virtual networks" (fun _ ->
+        let* conn = require_conn shell in
+        let* nets = verr (Ovirt.Network.list conn) in
+        let buf = Buffer.create 128 in
+        Buffer.add_string buf
+          (Printf.sprintf " %-16s %-10s %-10s %s\n" "Name" "State" "Autostart"
+             "Bridge");
+        List.iter
+          (fun n ->
+            Buffer.add_string buf
+              (Printf.sprintf " %-16s %-10s %-10s %s\n" n.Ovirt.Net_backend.net_name
+                 (if n.Ovirt.Net_backend.active then "active" else "inactive")
+                 (if n.Ovirt.Net_backend.autostart then "yes" else "no")
+                 n.Ovirt.Net_backend.bridge))
+          nets;
+        Ok (Buffer.contents buf));
+    simple "pool-list" "Storage management" "" "list storage pools" (fun _ ->
+        let* conn = require_conn shell in
+        let* pools = verr (Ovirt.Storage.list_pools conn) in
+        let buf = Buffer.create 128 in
+        Buffer.add_string buf
+          (Printf.sprintf " %-16s %-10s %-14s %s\n" "Name" "State" "Capacity"
+             "Allocation");
+        List.iter
+          (fun p ->
+            Buffer.add_string buf
+              (Printf.sprintf " %-16s %-10s %-14d %d\n"
+                 p.Ovirt.Storage_backend.pool_name
+                 (if p.Ovirt.Storage_backend.pool_active then "active" else "inactive")
+                 p.Ovirt.Storage_backend.capacity_b
+                 p.Ovirt.Storage_backend.allocation_b))
+          pools;
+        Ok (Buffer.contents buf));
+    simple "vol-list" "Storage management" "<pool>" "list volumes in a pool"
+      (fun args ->
+        let* pool_name = one_positional args "<pool>" in
+        let* conn = require_conn shell in
+        let* pool = verr (Ovirt.Storage.lookup_pool conn pool_name) in
+        let* vols = verr (Ovirt.Storage.list_volumes pool) in
+        let buf = Buffer.create 128 in
+        Buffer.add_string buf (Printf.sprintf " %-16s %-12s %s\n" "Name" "Capacity" "Path");
+        List.iter
+          (fun v ->
+            Buffer.add_string buf
+              (Printf.sprintf " %-16s %-12d %s\n" v.Ovirt.Storage_backend.vol_name
+                 v.Ovirt.Storage_backend.vol_capacity_b
+                 v.Ovirt.Storage_backend.vol_key))
+          vols;
+        Ok (Buffer.contents buf));
+  ]
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let uri, rest =
+    match argv with
+    | _ :: "-c" :: uri :: rest -> (Some uri, rest)
+    | _ :: rest -> (None, rest)
+    | [] -> (None, [])
+  in
+  let shell = { conn = None } in
+  (match uri with
+   | None -> ()
+   | Some uri ->
+     (match Ovirt.Connect.open_uri uri with
+      | Ok conn -> shell.conn <- Some conn
+      | Error err ->
+        Printf.eprintf "error: failed to connect to %s: %s\n" uri
+          (Ovirt.Verror.to_string err);
+        exit 1));
+  let commands = commands shell in
+  match rest with
+  | [] ->
+    print_endline "Welcome to ovirsh, the virtualization interactive shell.";
+    print_endline "Type 'help' for a command list, 'quit' to leave.\n";
+    Ovcli.repl ~commands ~program:"ovirsh" ~prompt:"ovirsh # " stdin stdout
+  | tokens ->
+    (match Ovcli.run_one ~commands ~program:"ovirsh" tokens with
+     | Ok text ->
+       print_endline text;
+       exit 0
+     | Error msg ->
+       Printf.eprintf "error: %s\n" msg;
+       exit 1)

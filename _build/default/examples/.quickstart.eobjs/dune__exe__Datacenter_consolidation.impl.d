@@ -1,0 +1,1 @@
+examples/datacenter_consolidation.ml: Hashtbl List Option Ovirt Printf String Vmm

@@ -1,0 +1,1 @@
+examples/host_maintenance.ml: List Option Ovirt Printf String Vmm

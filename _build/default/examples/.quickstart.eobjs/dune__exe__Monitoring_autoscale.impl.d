@@ -1,0 +1,1 @@
+examples/monitoring_autoscale.ml: List Ovirt Printf Thread

@@ -1,0 +1,1 @@
+examples/troubleshooting_logging.ml: List Ovirt Printf String Vlog

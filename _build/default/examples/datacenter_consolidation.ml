@@ -1,0 +1,154 @@
+(* Datacenter consolidation: the cost-reduction scenario from the paper's
+   motivation — fewer powered hosts through live migration, managed
+   uniformly across a heterogeneous fleet.
+
+   Three QEMU nodes run a scattered workload; the example packs every
+   domain onto the fewest nodes that fit (first-fit decreasing by memory)
+   using live migration, then shows which hosts could be powered off.
+   Run with:  dune exec examples/datacenter_consolidation.exe *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Ovirt.Verror.to_string e)
+
+let node_names = [ "rack1-n1"; "rack1-n2"; "rack1-n3" ]
+
+let mib n = n * 1024
+
+(* (domain name, memory KiB, initial node index) *)
+let workload =
+  [
+    ("web-frontend", mib 512, 0);
+    ("web-backend", mib 768, 1);
+    ("db-primary", mib 2048, 2);
+    ("db-replica", mib 2048, 0);
+    ("cache", mib 256, 1);
+    ("batch-worker-1", mib 384, 2);
+    ("batch-worker-2", mib 384, 0);
+    ("monitoring", mib 128, 1);
+  ]
+
+let connect_node name = ok (Ovirt.Connect.open_uri ("qemu://" ^ name ^ "/system"))
+
+let running_domains conn = ok (Ovirt.Connect.list_domains conn)
+
+let domain_memory conn r =
+  let dom = ok (Ovirt.Domain.lookup_by_name conn r.Ovirt.Driver.dom_name) in
+  let info = ok (Ovirt.Domain.get_info dom) in
+  (dom, info.Ovirt.Driver.di_max_mem_kib)
+
+let print_fleet conns =
+  List.iter
+    (fun (name, conn) ->
+      let doms = running_domains conn in
+      let names = List.map (fun r -> r.Ovirt.Driver.dom_name) doms in
+      Printf.printf "  %-10s %d domains  [%s]\n" name (List.length doms)
+        (String.concat ", " names))
+    conns
+
+let () =
+  let conns = List.map (fun name -> (name, connect_node name)) node_names in
+
+  (* Deploy the scattered workload. *)
+  List.iter
+    (fun (dom_name, memory_kib, node_idx) ->
+      let _, conn = List.nth conns node_idx in
+      let cfg = Vmm.Vm_config.make ~memory_kib ~vcpus:2 dom_name in
+      let dom =
+        ok (Ovirt.Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:"kvm" cfg))
+      in
+      ok (Ovirt.Domain.create dom))
+    workload;
+  print_endline "before consolidation:";
+  print_fleet conns;
+
+  (* First-fit decreasing: sort all domains by memory, then pack them
+     onto the earliest node with room.  The capacity model is the node's
+     free memory as the hypervisor reports it via capabilities. *)
+  let all_domains =
+    List.concat_map
+      (fun (node, conn) ->
+        List.map (fun r -> (node, conn, domain_memory conn r)) (running_domains conn))
+      conns
+  in
+  let sorted =
+    List.sort
+      (fun (_, _, (_, m1)) (_, _, (_, m2)) -> compare m2 m1)
+      all_domains
+  in
+  let budget = Hashtbl.create 4 in
+  List.iter
+    (fun (node, conn, _) ->
+      if not (Hashtbl.mem budget node) then begin
+        let caps = ok (Ovirt.Connect.capabilities conn) in
+        (* Leave 1 GiB headroom for the host itself. *)
+        Hashtbl.replace budget node
+          (caps.Ovirt.Capabilities.host.Ovirt.Capabilities.host_memory_kib - mib 1024)
+      end)
+    all_domains;
+  let placed = Hashtbl.create 8 in
+  List.iter
+    (fun (origin, _, (_, memory)) ->
+      ignore origin;
+      let target =
+        List.find_opt
+          (fun (node, _) -> Hashtbl.find budget node >= memory)
+          conns
+      in
+      match target with
+      | Some (node, _) ->
+        Hashtbl.replace budget node (Hashtbl.find budget node - memory);
+        Hashtbl.replace placed node (1 + Option.value (Hashtbl.find_opt placed node) ~default:0)
+      | None -> failwith "workload does not fit the fleet")
+    sorted;
+
+  (* Execute: migrate every domain not already on its target.  Targets
+     are recomputed the same way (deterministic), walking the sorted
+     list again. *)
+  let budget2 = Hashtbl.copy budget in
+  ignore budget2;
+  Hashtbl.reset budget;
+  List.iter
+    (fun (node, conn) ->
+      ignore conn;
+      let caps = ok (Ovirt.Connect.capabilities (List.assoc node conns)) in
+      Hashtbl.replace budget node
+        (caps.Ovirt.Capabilities.host.Ovirt.Capabilities.host_memory_kib - mib 1024))
+    conns;
+  let migrations = ref 0 in
+  List.iter
+    (fun (origin, origin_conn, (dom, memory)) ->
+      let target_node, target_conn =
+        match
+          List.find_opt (fun (node, _) -> Hashtbl.find budget node >= memory) conns
+        with
+        | Some t -> t
+        | None -> failwith "workload does not fit the fleet"
+      in
+      Hashtbl.replace budget target_node (Hashtbl.find budget target_node - memory);
+      if target_node <> origin then begin
+        incr migrations;
+        let name = Ovirt.Domain.name dom in
+        let _dest_dom, stats =
+          ok
+            (Ovirt.Domain.migrate dom ~dest:target_conn
+               ~dirty_hook:(fun _round ->
+                 (* The guest keeps working while it moves. *)
+                 ())
+               ())
+        in
+        ignore origin_conn;
+        Printf.printf "  migrated %-16s %s -> %s (%d pages, %d rounds)\n" name origin
+          target_node stats.Ovirt.Domain.pages_transferred stats.Ovirt.Domain.rounds
+      end)
+    sorted;
+
+  Printf.printf "after consolidation (%d migrations):\n" !migrations;
+  print_fleet conns;
+  List.iter
+    (fun (name, conn) ->
+      if running_domains conn = [] then
+        Printf.printf "  %s is now empty and can be powered off\n" name)
+    conns;
+  List.iter (fun (_, conn) -> Ovirt.Connect.close conn) conns;
+  print_endline "consolidation done."

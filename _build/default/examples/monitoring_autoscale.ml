@@ -1,0 +1,90 @@
+(* Monitoring and autoscaling the daemon itself — the exact scenario that
+   motivated the administration interface: a management application wants
+   to watch how close the daemon is to its client-connection limit and
+   raise limits/workers *before* new clients start being refused, instead
+   of editing the config file and restarting.
+
+   Run with:  dune exec examples/monitoring_autoscale.exe *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Ovirt.Verror.to_string e)
+
+(* A deliberately small daemon so the limits are easy to hit. *)
+let config =
+  {
+    Ovirt.Daemon_config.default with
+    Ovirt.Daemon_config.max_clients = 8;
+    max_anonymous_clients = 8;
+    min_workers = 2;
+    max_workers = 4;
+  }
+
+let watch srv =
+  let cl = ok (Ovirt.Admin_client.client_limits srv) in
+  let tp = ok (Ovirt.Admin_client.threadpool_info srv) in
+  Printf.printf
+    "  clients %d/%d (unauth %d/%d)   workers %d (free %d, queue %d)\n"
+    cl.Ovirt.Admin_client.nclients_current cl.Ovirt.Admin_client.nclients_max
+    cl.Ovirt.Admin_client.nclients_unauth_current
+    cl.Ovirt.Admin_client.nclients_unauth_max tp.Ovirt.Admin_client.tp_n_workers
+    tp.Ovirt.Admin_client.tp_free_workers tp.Ovirt.Admin_client.tp_job_queue_depth;
+  (cl, tp)
+
+let () =
+  let daemon = Ovirt.Daemon.start ~name:"autoscaled" ~config () in
+  let admin = ok (Ovirt.Admin_client.connect ~daemon:"autoscaled" ()) in
+  let srv = ok (Ovirt.Admin_client.lookup_server admin "libvirtd") in
+
+  print_endline "initial state:";
+  let _ = watch srv in
+
+  (* Load arrives: six management clients connect and start working. *)
+  let clients =
+    List.init 6 (fun i ->
+        let conn =
+          ok (Ovirt.Connect.open_uri "test+unix:///default?daemon=autoscaled")
+        in
+        Printf.printf "client %d connected\n" (i + 1);
+        conn)
+  in
+  print_endline "under load:";
+  let limits, _ = watch srv in
+
+  (* The autoscaling policy: stay at most 75% full, or raise the cap. *)
+  if
+    limits.Ovirt.Admin_client.nclients_current * 4
+    >= limits.Ovirt.Admin_client.nclients_max * 3
+  then begin
+    let new_max = limits.Ovirt.Admin_client.nclients_max * 2 in
+    ok (Ovirt.Admin_client.set_client_limits srv ~max_clients:new_max ~max_unauth:new_max ());
+    ok (Ovirt.Admin_client.set_threadpool srv ~max_workers:16 ());
+    Printf.printf "autoscaled: max_clients -> %d, max_workers -> 16\n" new_max
+  end;
+  print_endline "after autoscaling:";
+  let _ = watch srv in
+
+  (* More clients now fit comfortably. *)
+  let more =
+    List.init 4 (fun _ ->
+        ok (Ovirt.Connect.open_uri "test+unix:///default?daemon=autoscaled"))
+  in
+  print_endline "with the extra clients:";
+  let _ = watch srv in
+
+  (* An operator can also single out a client and disconnect it. *)
+  let listed = ok (Ovirt.Admin_client.list_clients srv) in
+  (match listed with
+   | victim :: _ ->
+     ok (Ovirt.Admin_client.client_disconnect srv victim.Ovirt.Admin_client.cl_id);
+     Printf.printf "disconnected client %Ld by administrative action\n"
+       victim.Ovirt.Admin_client.cl_id
+   | [] -> ());
+  Thread.delay 0.05;
+  print_endline "after the disconnect:";
+  let _ = watch srv in
+
+  List.iter Ovirt.Connect.close (clients @ more);
+  Ovirt.Admin_client.close admin;
+  Ovirt.Daemon.stop daemon;
+  print_endline "autoscale demo done."

@@ -1,0 +1,84 @@
+(* Quickstart: the public API in one sitting.
+
+   Opens a connection, defines a domain from XML, runs it through its
+   lifecycle while watching events, and looks at networks and storage.
+   Run with:  dune exec examples/quickstart.exe *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Ovirt.Verror.to_string e)
+
+let () =
+  (* 1. Connect.  The URI selects the driver; "test" is the in-memory
+     mock hypervisor, ideal for experimenting with the API. *)
+  let conn = ok (Ovirt.Connect.open_uri "test:///default") in
+  Printf.printf "connected via driver %S to host %S\n"
+    (Ovirt.Connect.driver_name conn)
+    (ok (Ovirt.Connect.hostname conn));
+
+  (* 2. Watch lifecycle events while we work. *)
+  let _sub =
+    ok
+      (Ovirt.Connect.subscribe_events conn (fun ev ->
+           Printf.printf "  [event] domain %s: %s\n" ev.Ovirt.Events.domain_name
+             (Ovirt.Events.lifecycle_name ev.Ovirt.Events.lifecycle)))
+  in
+
+  (* 3. Define a domain from its XML description. *)
+  let xml =
+    String.concat "\n"
+      [
+        "<domain type=\"test\">";
+        "  <name>quickstart-vm</name>";
+        "  <memory unit=\"KiB\">65536</memory>";
+        "  <vcpu>2</vcpu>";
+        "  <os><type arch=\"x86_64\">hvm</type></os>";
+        "  <devices>";
+        "    <disk type=\"file\" device=\"disk\">";
+        "      <driver name=\"qemu\" type=\"qcow2\"/>";
+        "      <source file=\"/var/lib/ovirt/images/quickstart.img\"/>";
+        "      <target dev=\"vda\"/>";
+        "    </disk>";
+        "    <interface type=\"network\">";
+        "      <source network=\"default\"/>";
+        "      <model type=\"virtio\"/>";
+        "    </interface>";
+        "  </devices>";
+        "</domain>";
+      ]
+  in
+  let dom = ok (Ovirt.Domain.define_xml conn xml) in
+  Printf.printf "defined %s (uuid %s)\n" (Ovirt.Domain.name dom)
+    (Vmm.Uuid.to_string (Ovirt.Domain.uuid dom));
+
+  (* 4. Lifecycle: start, inspect, suspend/resume, shut down. *)
+  ok (Ovirt.Domain.create dom);
+  let info = ok (Ovirt.Domain.get_info dom) in
+  Printf.printf "running with %d vCPUs, %d KiB\n" info.Ovirt.Driver.di_vcpus
+    info.Ovirt.Driver.di_memory_kib;
+  ok (Ovirt.Domain.suspend dom);
+  ok (Ovirt.Domain.resume dom);
+  ok (Ovirt.Domain.shutdown dom);
+  Printf.printf "state after shutdown: %s\n"
+    (Vmm.Vm_state.state_name (ok (Ovirt.Domain.get_state dom)));
+
+  (* 5. Networks and storage are managed through the same connection. *)
+  let nets = ok (Ovirt.Network.list conn) in
+  List.iter
+    (fun n ->
+      Printf.printf "network %-10s bridge=%s range=%s\n" n.Ovirt.Net_backend.net_name
+        n.Ovirt.Net_backend.bridge n.Ovirt.Net_backend.ip_range)
+    nets;
+  let pool = ok (Ovirt.Storage.lookup_pool conn "default") in
+  let vol =
+    ok
+      (Ovirt.Storage.create_volume pool ~name:"quickstart.img"
+         ~capacity_b:(1 * 1024 * 1024 * 1024) ~format:"qcow2")
+  in
+  Printf.printf "created volume %s at %s\n" vol.Ovirt.Storage_backend.vol_name
+    vol.Ovirt.Storage_backend.vol_key;
+
+  (* 6. Clean up. *)
+  ok (Ovirt.Domain.undefine dom);
+  Ovirt.Connect.close conn;
+  print_endline "quickstart done."

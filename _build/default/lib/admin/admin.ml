@@ -1,0 +1,226 @@
+module Verror = Ovirt_core.Verror
+module Ap = Protocol.Admin_protocol
+module Tp = Ovrpc.Typed_params
+module Transport = Ovnet.Transport
+
+type conn = { rpc : Rpc_client.t }
+type server = { conn : conn; srv_name : string }
+
+let ( let* ) = Result.bind
+
+let connect ?(daemon = "ovirtd") ?identity () =
+  let* rpc =
+    Rpc_client.connect
+      ~address:(daemon ^ "-admin-sock")
+      ~kind:Transport.Unix_sock ~program:Ap.program ~version:Ap.version ?identity ()
+  in
+  let conn = { rpc } in
+  (* Probe: a root-refused connection is closed server-side; surface that
+     now rather than on the first real call. *)
+  match
+    Rpc_client.call rpc ~procedure:(Ap.proc_to_int Ap.Proc_list_servers) ~body:""
+      ~timeout_s:5.0 ()
+  with
+  | Ok _ -> Ok conn
+  | Error err ->
+    Rpc_client.close rpc;
+    if err.Verror.code = Verror.Rpc_failure then
+      Verror.error Verror.Auth_failed
+        "admin socket refused the connection (root only): %s" err.Verror.message
+    else Error err
+
+let close conn = Rpc_client.close conn.rpc
+
+let call conn proc body =
+  Rpc_client.call conn.rpc ~procedure:(Ap.proc_to_int proc) ~body ()
+
+let decode decoder reply =
+  match decoder reply with
+  | v -> Ok v
+  | exception Xdr.Error msg -> Verror.error Verror.Rpc_failure "bad reply: %s" msg
+  | exception Tp.Invalid msg -> Verror.error Verror.Rpc_failure "bad reply: %s" msg
+
+let call_dec conn proc body decoder =
+  let* reply = call conn proc body in
+  decode decoder reply
+
+let call_unit conn proc body =
+  let* reply = call conn proc body in
+  decode Protocol.Remote_protocol.dec_unit_body reply
+
+let daemon_uptime_s conn = call_dec conn Ap.Proc_daemon_uptime "" Ap.dec_hyper_body
+
+(* ------------------------------------------------------------------ *)
+(* Servers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let list_servers conn =
+  call_dec conn Ap.Proc_list_servers "" Protocol.Remote_protocol.dec_string_list
+
+let lookup_server conn name =
+  let* () = call_unit conn Ap.Proc_lookup_server (Ap.enc_server_name name) in
+  Ok { conn; srv_name = name }
+
+let server_name srv = srv.srv_name
+
+(* ------------------------------------------------------------------ *)
+(* Workerpool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type threadpool_info = {
+  tp_min_workers : int;
+  tp_max_workers : int;
+  tp_n_workers : int;
+  tp_free_workers : int;
+  tp_prio_workers : int;
+  tp_job_queue_depth : int;
+}
+
+let required params field =
+  match Tp.find_uint params field with
+  | Some v -> Ok v
+  | None -> Verror.error Verror.Rpc_failure "reply lacks field %S" field
+
+let threadpool_info srv =
+  let* params =
+    call_dec srv.conn Ap.Proc_get_threadpool
+      (Ap.enc_server_name srv.srv_name)
+      Ap.dec_params
+  in
+  let* tp_min_workers = required params Ap.threadpool_workers_min in
+  let* tp_max_workers = required params Ap.threadpool_workers_max in
+  let* tp_n_workers = required params Ap.threadpool_workers_current in
+  let* tp_free_workers = required params Ap.threadpool_workers_free in
+  let* tp_prio_workers = required params Ap.threadpool_workers_priority in
+  let* tp_job_queue_depth = required params Ap.threadpool_job_queue_depth in
+  Ok
+    {
+      tp_min_workers;
+      tp_max_workers;
+      tp_n_workers;
+      tp_free_workers;
+      tp_prio_workers;
+      tp_job_queue_depth;
+    }
+
+let set_threadpool_params srv params =
+  call_unit srv.conn Ap.Proc_set_threadpool
+    (Ap.enc_server_params ~server:srv.srv_name params)
+
+let set_threadpool srv ?min_workers ?max_workers ?prio_workers () =
+  let params =
+    List.filter_map Fun.id
+      [
+        Option.map (Tp.uint Ap.threadpool_workers_min) min_workers;
+        Option.map (Tp.uint Ap.threadpool_workers_max) max_workers;
+        Option.map (Tp.uint Ap.threadpool_workers_priority) prio_workers;
+      ]
+  in
+  set_threadpool_params srv params
+
+(* ------------------------------------------------------------------ *)
+(* Client management                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type client_info = {
+  cl_id : int64;
+  cl_transport : Transport.kind;
+  cl_connected_since : int64;
+}
+
+type client_limits = {
+  nclients_max : int;
+  nclients_current : int;
+  nclients_unauth_max : int;
+  nclients_unauth_current : int;
+}
+
+let list_clients srv =
+  let* entries =
+    call_dec srv.conn Ap.Proc_list_clients
+      (Ap.enc_server_name srv.srv_name)
+      Ap.dec_client_list
+  in
+  let kind_of = function
+    | 0 -> Ok Transport.Unix_sock
+    | 1 -> Ok Transport.Tcp
+    | 2 -> Ok Transport.Tls
+    | n -> Verror.error Verror.Rpc_failure "unknown transport code %d" n
+  in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+      let* cl_transport = kind_of e.Ap.client_transport in
+      build
+        ({
+           cl_id = e.Ap.client_id;
+           cl_transport;
+           cl_connected_since = e.Ap.connected_since;
+         }
+        :: acc)
+        rest
+  in
+  build [] entries
+
+let client_limits srv =
+  let* params =
+    call_dec srv.conn Ap.Proc_get_client_limits
+      (Ap.enc_server_name srv.srv_name)
+      Ap.dec_params
+  in
+  let* nclients_max = required params Ap.server_clients_max in
+  let* nclients_current = required params Ap.server_clients_current in
+  let* nclients_unauth_max = required params Ap.server_clients_unauth_max in
+  let* nclients_unauth_current = required params Ap.server_clients_unauth_current in
+  Ok { nclients_max; nclients_current; nclients_unauth_max; nclients_unauth_current }
+
+let set_client_limits_params srv params =
+  call_unit srv.conn Ap.Proc_set_client_limits
+    (Ap.enc_server_params ~server:srv.srv_name params)
+
+let set_client_limits srv ?max_clients ?max_unauth () =
+  let params =
+    List.filter_map Fun.id
+      [
+        Option.map (Tp.uint Ap.server_clients_max) max_clients;
+        Option.map (Tp.uint Ap.server_clients_unauth_max) max_unauth;
+      ]
+  in
+  set_client_limits_params srv params
+
+let client_identity srv id =
+  call_dec srv.conn Ap.Proc_get_client_info
+    (Ap.enc_client_ref ~server:srv.srv_name ~id)
+    Ap.dec_params
+
+let client_disconnect srv id =
+  call_unit srv.conn Ap.Proc_client_close
+    (Ap.enc_client_ref ~server:srv.srv_name ~id)
+
+(* ------------------------------------------------------------------ *)
+(* Logging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let get_logging_level conn =
+  let* n = call_dec conn Ap.Proc_get_log_level "" Ap.dec_uint_body in
+  Result.map_error (Verror.make Verror.Rpc_failure) (Vlog.priority_of_int n)
+
+let set_logging_level_raw conn n =
+  call_unit conn Ap.Proc_set_log_level (Ap.enc_uint_body n)
+
+let set_logging_level conn level =
+  set_logging_level_raw conn (Vlog.priority_to_int level)
+
+let get_logging_filters conn =
+  call_dec conn Ap.Proc_get_log_filters "" Protocol.Remote_protocol.dec_string_body
+
+let set_logging_filters conn filters =
+  call_unit conn Ap.Proc_set_log_filters
+    (Protocol.Remote_protocol.enc_string_body filters)
+
+let get_logging_outputs conn =
+  call_dec conn Ap.Proc_get_log_outputs "" Protocol.Remote_protocol.dec_string_body
+
+let set_logging_outputs conn outputs =
+  call_unit conn Ap.Proc_set_log_outputs
+    (Protocol.Remote_protocol.enc_string_body outputs)

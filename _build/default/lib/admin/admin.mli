@@ -1,0 +1,94 @@
+(** Administration client API (the [virAdm*] surface).
+
+    Connects to a daemon's admin socket — root-only and local-only — and
+    provides its runtime management: server enumeration, workerpool
+    tuning, client limits/identity/disconnect, and logging control.  This
+    is the interface whose absence motivated the runtime-management work:
+    every setter here edits live state that the persistent configuration
+    file can only seed at startup. *)
+
+type conn
+type server
+(** A named server on the daemon (["libvirtd"] or ["admin"]). *)
+
+val connect :
+  ?daemon:string -> ?identity:Ovnet.Transport.unix_identity -> unit ->
+  (conn, Ovirt_core.Verror.t) result
+(** [daemon] defaults to ["ovirtd"].  Non-root identities are refused by
+    the daemon (the socket is root-only). *)
+
+val close : conn -> unit
+val daemon_uptime_s : conn -> (int64, Ovirt_core.Verror.t) result
+
+(** {1 Servers} *)
+
+val list_servers : conn -> (string list, Ovirt_core.Verror.t) result
+val lookup_server : conn -> string -> (server, Ovirt_core.Verror.t) result
+val server_name : server -> string
+
+(** {1 Workerpool} *)
+
+type threadpool_info = {
+  tp_min_workers : int;
+  tp_max_workers : int;
+  tp_n_workers : int;
+  tp_free_workers : int;
+  tp_prio_workers : int;
+  tp_job_queue_depth : int;
+}
+
+val threadpool_info : server -> (threadpool_info, Ovirt_core.Verror.t) result
+
+val set_threadpool :
+  server -> ?min_workers:int -> ?max_workers:int -> ?prio_workers:int -> unit ->
+  (unit, Ovirt_core.Verror.t) result
+
+val set_threadpool_params :
+  server -> Ovrpc.Typed_params.t -> (unit, Ovirt_core.Verror.t) result
+(** Raw typed-parameter variant (lets tests exercise read-only/unknown
+    field rejection). *)
+
+(** {1 Client management} *)
+
+type client_info = {
+  cl_id : int64;
+  cl_transport : Ovnet.Transport.kind;
+  cl_connected_since : int64;
+}
+
+type client_limits = {
+  nclients_max : int;
+  nclients_current : int;
+  nclients_unauth_max : int;
+  nclients_unauth_current : int;
+}
+
+val list_clients : server -> (client_info list, Ovirt_core.Verror.t) result
+val client_limits : server -> (client_limits, Ovirt_core.Verror.t) result
+
+val set_client_limits :
+  server -> ?max_clients:int -> ?max_unauth:int -> unit ->
+  (unit, Ovirt_core.Verror.t) result
+
+val set_client_limits_params :
+  server -> Ovrpc.Typed_params.t -> (unit, Ovirt_core.Verror.t) result
+
+val client_identity :
+  server -> int64 -> (Ovrpc.Typed_params.t, Ovirt_core.Verror.t) result
+(** Transport-dependent identity fields; see
+    {!Protocol.Admin_protocol.client_info_readonly} and friends. *)
+
+val client_disconnect : server -> int64 -> (unit, Ovirt_core.Verror.t) result
+
+(** {1 Logging} *)
+
+val get_logging_level : conn -> (Vlog.priority, Ovirt_core.Verror.t) result
+val set_logging_level : conn -> Vlog.priority -> (unit, Ovirt_core.Verror.t) result
+
+val set_logging_level_raw : conn -> int -> (unit, Ovirt_core.Verror.t) result
+(** Send an arbitrary numeric level (tests exercise range rejection). *)
+
+val get_logging_filters : conn -> (string, Ovirt_core.Verror.t) result
+val set_logging_filters : conn -> string -> (unit, Ovirt_core.Verror.t) result
+val get_logging_outputs : conn -> (string, Ovirt_core.Verror.t) result
+val set_logging_outputs : conn -> string -> (unit, Ovirt_core.Verror.t) result

@@ -1,0 +1,81 @@
+open Ovirt_core
+module J = Mini_json
+
+type guest_info = {
+  gi_memory_kib : int;
+  gi_state : string;
+  gi_commands_served : int;
+}
+
+let ( let* ) = Result.bind
+
+let supported conn =
+  match Connect.ops conn with
+  | Ok ops -> ops.Driver.guest_agent_exec <> None
+  | Error _ -> false
+
+let install conn name =
+  let* ops = Connect.ops conn in
+  match ops.Driver.guest_agent_install with
+  | Some f -> f name
+  | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"guest agent"
+
+(* One agent exchange: build the JSON envelope, send over the channel,
+   classify the reply.  The agent's error classes map onto library error
+   codes so callers see the same taxonomy as the non-intrusive path. *)
+let agent_call conn name ~cmd ?(args = []) () =
+  let* ops = Connect.ops conn in
+  let* exec =
+    match ops.Driver.guest_agent_exec with
+    | Some f -> Ok f
+    | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"guest agent"
+  in
+  let request =
+    J.Obj
+      (("execute", J.String cmd)
+      :: (if args = [] then [] else [ ("arguments", J.Obj args) ]))
+  in
+  let* reply_line = exec name (J.to_string request) in
+  match J.of_string reply_line with
+  | exception J.Parse_error msg ->
+    Verror.error Verror.Rpc_failure "unparseable agent reply: %s" msg
+  | reply ->
+    (match J.member_opt "return" reply with
+     | Some v -> Ok v
+     | None ->
+       (match J.member_opt "error" reply with
+        | Some err ->
+          let desc = J.get_string (J.member "desc" err) in
+          let code =
+            match J.get_string (J.member "class" err) with
+            | "GuestUnavailable" | "AgentNotInstalled" -> Verror.Operation_invalid
+            | _ -> Verror.Operation_failed
+          in
+          Error (Verror.make code desc)
+        | None ->
+          Verror.error Verror.Rpc_failure "agent reply has neither return nor error"))
+
+let ping conn name =
+  let* _ = agent_call conn name ~cmd:"guest-ping" () in
+  Ok ()
+
+let guest_info conn name =
+  let* ret = agent_call conn name ~cmd:"guest-info" () in
+  match
+    ( J.member_opt "memory-kib" ret,
+      J.member_opt "state" ret,
+      J.member_opt "agent-commands-served" ret )
+  with
+  | Some (J.Int mem), Some (J.String state), Some (J.Int served) ->
+    Ok { gi_memory_kib = mem; gi_state = state; gi_commands_served = served }
+  | _ -> Verror.error Verror.Rpc_failure "malformed guest-info reply"
+
+let exec conn name ~cmd =
+  let* ret = agent_call conn name ~cmd:"guest-exec" ~args:[ ("cmd", J.String cmd) ] () in
+  match J.member_opt "exitcode" ret with
+  | Some (J.Int code) -> Ok code
+  | _ -> Verror.error Verror.Rpc_failure "malformed guest-exec reply"
+
+let shutdown conn name =
+  let* _ = agent_call conn name ~cmd:"guest-shutdown" () in
+  Ok ()

@@ -1,0 +1,36 @@
+(** Intrusive management client: drive guests through in-guest agents.
+
+    The comparison baseline for experiment E7.  Where the non-intrusive
+    path asks the {e hypervisor} about a domain, this path asks software
+    {e inside} the guest — which first has to be installed, only answers
+    while the guest runs, and perturbs the guest while answering.
+
+    Only drivers whose hypervisor exposes a guest channel support it
+    (QEMU and the test driver here); on others every call reports
+    [Operation_unsupported], mirroring "no VMware-tools / qemu-ga
+    available". *)
+
+type guest_info = {
+  gi_memory_kib : int;
+  gi_state : string;
+  gi_commands_served : int;
+}
+
+val supported : Ovirt_core.Connect.t -> bool
+
+val install : Ovirt_core.Connect.t -> string -> (unit, Ovirt_core.Verror.t) result
+(** One-time per-guest deployment; the cost non-intrusive management
+    never pays. *)
+
+val ping : Ovirt_core.Connect.t -> string -> (unit, Ovirt_core.Verror.t) result
+
+val guest_info : Ovirt_core.Connect.t -> string -> (guest_info, Ovirt_core.Verror.t) result
+(** The agent's answer to "how is this domain?" — compare with
+    [Domain.get_info], the hypervisor's answer. *)
+
+val exec : Ovirt_core.Connect.t -> string -> cmd:string -> (int, Ovirt_core.Verror.t) result
+(** Run a command in the guest; returns the exit code. *)
+
+val shutdown : Ovirt_core.Connect.t -> string -> (unit, Ovirt_core.Verror.t) result
+(** Agent-mediated clean shutdown. *)
+

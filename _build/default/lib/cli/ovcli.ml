@@ -1,0 +1,122 @@
+type parsed_args = {
+  positional : string list;
+  flags : (string * string) list;
+  switches : string list;
+}
+
+let is_flag token = String.length token > 2 && String.sub token 0 2 = "--"
+
+let parse_args tokens =
+  let rec go acc = function
+    | [] ->
+      Ok
+        {
+          positional = List.rev acc.positional;
+          flags = List.rev acc.flags;
+          switches = List.rev acc.switches;
+        }
+    | token :: rest when is_flag token ->
+      let key = String.sub token 2 (String.length token - 2) in
+      (match rest with
+       | value :: rest' when not (is_flag value) ->
+         go { acc with flags = (key, value) :: acc.flags } rest'
+       | _ -> go { acc with switches = key :: acc.switches } rest)
+    | "--" :: _ -> Error "bare '--' is not a valid flag"
+    | token :: rest -> go { acc with positional = token :: acc.positional } rest
+  in
+  go { positional = []; flags = []; switches = [] } tokens
+
+let flag args key = List.assoc_opt key args.flags
+
+let int_flag args key =
+  match flag args key with
+  | None -> Ok None
+  | Some v ->
+    (match int_of_string_opt v with
+     | Some n -> Ok (Some n)
+     | None -> Error (Printf.sprintf "--%s expects an integer, got %S" key v))
+
+let has_switch args key = List.mem key args.switches
+
+type command = {
+  name : string;
+  group : string;
+  args_help : string;
+  summary : string;
+  handler : parsed_args -> (string, string) result;
+}
+
+let help_text ~program commands =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%s: grouped commands\n" program);
+  let groups =
+    List.fold_left
+      (fun acc cmd -> if List.mem cmd.group acc then acc else acc @ [ cmd.group ])
+      [] commands
+  in
+  List.iter
+    (fun group ->
+      Buffer.add_string buf (Printf.sprintf "\n%s:\n" group);
+      List.iter
+        (fun cmd ->
+          if cmd.group = group then
+            Buffer.add_string buf
+              (Printf.sprintf "  %-24s %s\n"
+                 (String.trim (cmd.name ^ " " ^ cmd.args_help))
+                 cmd.summary))
+        commands)
+    groups;
+  Buffer.contents buf
+
+let run_one ~commands ~program tokens =
+  match tokens with
+  | [] -> Error "no command given (try 'help')"
+  | "help" :: _ -> Ok (help_text ~program commands)
+  | name :: rest ->
+    (match List.find_opt (fun cmd -> cmd.name = name) commands with
+     | None -> Error (Printf.sprintf "unknown command %S (try 'help')" name)
+     | Some cmd ->
+       (match parse_args rest with
+        | Error msg -> Error msg
+        | Ok args -> cmd.handler args))
+
+let split_words line =
+  let buf = Buffer.create 16 in
+  let words = ref [] in
+  let in_quotes = ref false in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> in_quotes := not !in_quotes
+      | ' ' | '\t' when not !in_quotes -> flush ()
+      | c -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !words
+
+let repl ~commands ~program ~prompt input output =
+  let rec loop () =
+    Printf.fprintf output "%s" prompt;
+    flush output;
+    match input_line input with
+    | exception End_of_file -> ()
+    | line ->
+      (match split_words line with
+       | [] -> loop ()
+       | [ ("quit" | "exit") ] -> ()
+       | tokens ->
+         (match run_one ~commands ~program tokens with
+          | Ok text ->
+            Printf.fprintf output "%s\n" text;
+            loop ()
+          | Error msg ->
+            Printf.fprintf output "error: %s\n" msg;
+            loop ()))
+  in
+  loop ()

@@ -1,0 +1,1 @@
+lib/core/capabilities.ml: List Mini_xml Result Vmm

@@ -1,0 +1,1 @@
+lib/core/connect.ml: Driver Events List Result Verror Vuri

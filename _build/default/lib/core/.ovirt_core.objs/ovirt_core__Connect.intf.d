@@ -1,0 +1,1 @@
+lib/core/connect.mli: Capabilities Driver Events Verror Vuri

@@ -1,0 +1,1 @@
+lib/core/domain.ml: Connect Driver Events Fun List Result String Verror Vmm

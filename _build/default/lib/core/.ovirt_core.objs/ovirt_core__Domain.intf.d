@@ -1,0 +1,1 @@
+lib/core/domain.mli: Connect Driver Verror Vmm

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Capabilities Events Fun List Mutex Net_backend Option Storage_backend Verror Vmm Vuri

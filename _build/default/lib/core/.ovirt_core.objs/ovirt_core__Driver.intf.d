@@ -1,0 +1,1 @@
+lib/core/driver.mli: Capabilities Events Net_backend Storage_backend Verror Vmm Vuri

@@ -1,0 +1,1 @@
+lib/core/events.ml: Fun List Mutex Printf Queue

@@ -1,0 +1,1 @@
+lib/core/net_backend.ml: Fun Hashtbl List Mutex Result String Verror Vmm

@@ -1,0 +1,1 @@
+lib/core/net_backend.mli: Verror Vmm

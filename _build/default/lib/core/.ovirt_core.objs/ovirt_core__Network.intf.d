@@ -1,0 +1,1 @@
+lib/core/network.mli: Connect Net_backend Verror

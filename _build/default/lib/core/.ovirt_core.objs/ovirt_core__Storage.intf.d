@@ -1,0 +1,1 @@
+lib/core/storage.mli: Connect Storage_backend Verror

@@ -1,0 +1,1 @@
+lib/core/storage_backend.mli: Verror Vmm

@@ -1,0 +1,1 @@
+lib/core/verror.ml: Format List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/verror.mli: Format

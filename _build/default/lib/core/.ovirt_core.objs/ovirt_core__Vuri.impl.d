@@ -1,0 +1,1 @@
+lib/core/vuri.ml: Buffer Format List Option Printf Result String Verror

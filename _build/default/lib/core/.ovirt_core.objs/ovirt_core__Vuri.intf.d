@@ -1,0 +1,1 @@
+lib/core/vuri.mli: Verror

@@ -1,0 +1,146 @@
+module X = Mini_xml
+
+type feature =
+  | Feat_define
+  | Feat_start
+  | Feat_suspend
+  | Feat_resume
+  | Feat_shutdown
+  | Feat_destroy
+  | Feat_migrate_live
+  | Feat_managed_save
+  | Feat_set_memory
+  | Feat_freeze
+  | Feat_console
+  | Feat_remote_native
+  | Feat_networks
+  | Feat_storage_pools
+
+let all_features =
+  [
+    Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
+    Feat_destroy; Feat_migrate_live; Feat_managed_save; Feat_set_memory;
+    Feat_freeze;
+    Feat_console; Feat_remote_native; Feat_networks; Feat_storage_pools;
+  ]
+
+let feature_name = function
+  | Feat_define -> "define"
+  | Feat_start -> "start"
+  | Feat_suspend -> "suspend"
+  | Feat_resume -> "resume"
+  | Feat_shutdown -> "shutdown"
+  | Feat_destroy -> "destroy"
+  | Feat_migrate_live -> "migrate-live"
+  | Feat_managed_save -> "managed-save"
+  | Feat_set_memory -> "set-memory"
+  | Feat_freeze -> "freeze"
+  | Feat_console -> "console"
+  | Feat_remote_native -> "remote-native"
+  | Feat_networks -> "networks"
+  | Feat_storage_pools -> "storage-pools"
+
+let feature_of_name name =
+  List.find_opt (fun f -> feature_name f = name) all_features
+
+type host_summary = {
+  host_name : string;
+  host_memory_kib : int;
+  host_cpus : int;
+  host_mhz : int;
+  host_arch : string;
+}
+
+type t = {
+  driver_name : string;
+  virt_kind : string;
+  stateful : bool;
+  guest_os_kinds : Vmm.Vm_config.os_kind list;
+  features : feature list;
+  host : host_summary;
+}
+
+let supports caps feature = List.mem feature caps.features
+
+let to_xml caps =
+  let host = caps.host in
+  X.to_string
+    (X.elt "capabilities"
+       [
+         X.node
+           (X.elt "host"
+              [
+                X.leaf "name" host.host_name;
+                X.leaf "arch" host.host_arch;
+                X.leaf "memory" ~attrs:[ ("unit", "KiB") ]
+                  (string_of_int host.host_memory_kib);
+                X.leaf "cpus" (string_of_int host.host_cpus);
+                X.leaf "mhz" (string_of_int host.host_mhz);
+              ]);
+         X.node
+           (X.elt "driver"
+              ~attrs:
+                [
+                  ("name", caps.driver_name);
+                  ("kind", caps.virt_kind);
+                  ("stateful", if caps.stateful then "yes" else "no");
+                ]
+              [
+                X.node
+                  (X.elt "guests"
+                     (List.map
+                        (fun os -> X.leaf "os" (Vmm.Vm_config.os_kind_name os))
+                        caps.guest_os_kinds));
+                X.node
+                  (X.elt "features"
+                     (List.map
+                        (fun f -> X.node (X.elt (feature_name f) []))
+                        caps.features));
+              ]);
+       ])
+
+let ( let* ) = Result.bind
+
+let of_xml s =
+  match X.of_string s with
+  | exception X.Parse_error msg -> Error ("capabilities XML: " ^ msg)
+  | root ->
+    (try
+       let host_elt = X.child_exn root "host" in
+       let host =
+         {
+           host_name = X.text_content (X.child_exn host_elt "name");
+           host_arch = X.text_content (X.child_exn host_elt "arch");
+           host_memory_kib = X.int_content_exn (X.child_exn host_elt "memory");
+           host_cpus = X.int_content_exn (X.child_exn host_elt "cpus");
+           host_mhz = X.int_content_exn (X.child_exn host_elt "mhz");
+         }
+       in
+       let drv = X.child_exn root "driver" in
+       let* guest_os_kinds =
+         X.children_named (X.child_exn drv "guests") "os"
+         |> List.map (fun e -> Vmm.Vm_config.os_kind_of_name (X.text_content e))
+         |> List.fold_left
+              (fun acc r ->
+                let* acc = acc in
+                let* os = r in
+                Ok (os :: acc))
+              (Ok [])
+         |> Result.map List.rev
+       in
+       let features =
+         (X.child_exn drv "features").X.children
+         |> List.filter_map (function
+              | X.Element e -> feature_of_name e.X.tag
+              | X.Text _ -> None)
+       in
+       Ok
+         {
+           driver_name = X.attr_exn drv "name";
+           virt_kind = X.attr_exn drv "kind";
+           stateful = X.attr_exn drv "stateful" = "yes";
+           guest_os_kinds;
+           features;
+           host;
+         }
+     with X.Parse_error msg -> Error ("capabilities XML: " ^ msg))

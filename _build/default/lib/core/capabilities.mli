@@ -1,0 +1,47 @@
+(** Driver/host capabilities — what the feature-matrix experiment (E1)
+    tabulates, and what management applications probe before relying on
+    an operation. *)
+
+type feature =
+  | Feat_define  (** persistent definitions survive domain shutdown *)
+  | Feat_start
+  | Feat_suspend
+  | Feat_resume
+  | Feat_shutdown  (** guest-cooperative shutdown *)
+  | Feat_destroy
+  | Feat_migrate_live
+  | Feat_managed_save  (** checkpoint to disk and resume later *)
+  | Feat_set_memory  (** runtime memory balloon / cgroup resize *)
+  | Feat_freeze  (** container freeze/thaw *)
+  | Feat_console
+  | Feat_remote_native  (** hypervisor ships its own remote endpoint *)
+  | Feat_networks
+  | Feat_storage_pools
+
+val feature_name : feature -> string
+val all_features : feature list
+
+type host_summary = {
+  host_name : string;
+  host_memory_kib : int;
+  host_cpus : int;
+  host_mhz : int;
+  host_arch : string;
+}
+
+type t = {
+  driver_name : string;  (** "qemu", "xen", "esx", "lxc", "test" *)
+  virt_kind : string;  (** "full-virt", "paravirt", "container", "mock" *)
+  stateful : bool;  (** true = daemon-side driver keeping domain state *)
+  guest_os_kinds : Vmm.Vm_config.os_kind list;
+  features : feature list;
+  host : host_summary;
+}
+
+val supports : t -> feature -> bool
+
+val to_xml : t -> string
+(** [<capabilities>] document, libvirt-style. *)
+
+val of_xml : string -> (t, string) result
+(** Inverse of {!to_xml} (used by the remote driver). *)

@@ -1,0 +1,55 @@
+type t = {
+  uri : Vuri.t;
+  conn_ops : Driver.ops;
+  mutable closed : bool;
+}
+
+let ( let* ) = Result.bind
+
+let open_uri uri_string =
+  let* uri = Vuri.parse uri_string in
+  let* conn_ops = Driver.open_uri uri in
+  Ok { uri; conn_ops; closed = false }
+
+let close conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    conn.conn_ops.Driver.close ()
+  end
+
+let is_closed conn = conn.closed
+let uri conn = conn.uri
+let driver_name conn = conn.conn_ops.Driver.drv_name
+
+let ops conn =
+  if conn.closed then
+    Verror.error Verror.Invalid_conn "connection to %S is closed"
+      (Vuri.to_string conn.uri)
+  else Ok conn.conn_ops
+
+let capabilities conn =
+  let* ops = ops conn in
+  Ok (ops.Driver.get_capabilities ())
+
+let hostname conn =
+  let* ops = ops conn in
+  Ok (ops.Driver.get_hostname ())
+
+let list_domains conn =
+  let* ops = ops conn in
+  ops.Driver.list_domains ()
+
+let num_of_domains conn = Result.map List.length (list_domains conn)
+
+let list_defined_domains conn =
+  let* ops = ops conn in
+  ops.Driver.list_defined ()
+
+let subscribe_events conn f =
+  let* ops = ops conn in
+  Ok (Events.subscribe ops.Driver.events f)
+
+let unsubscribe_events conn sub =
+  match ops conn with
+  | Ok ops -> Events.unsubscribe ops.Driver.events sub
+  | Error _ -> ()

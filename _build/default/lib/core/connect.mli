@@ -1,0 +1,35 @@
+(** Connections: the public API entry point.
+
+    [open_uri "qemu:///system"] selects a driver through the registry and
+    yields a connection handle; every other public object ([Domain.t],
+    [Network.t], ...) hangs off one.  Closed connections answer
+    [Invalid_conn] to everything, matching libvirt's behaviour for
+    operations on a closed [virConnectPtr]. *)
+
+type t
+
+val open_uri : string -> (t, Verror.t) result
+val close : t -> unit
+(** Idempotent. *)
+
+val is_closed : t -> bool
+val uri : t -> Vuri.t
+val driver_name : t -> string
+
+val capabilities : t -> (Capabilities.t, Verror.t) result
+val hostname : t -> (string, Verror.t) result
+
+val num_of_domains : t -> (int, Verror.t) result
+(** Active domains. *)
+
+val list_domains : t -> (Driver.domain_ref list, Verror.t) result
+val list_defined_domains : t -> (string list, Verror.t) result
+
+val subscribe_events : t -> (Events.event -> unit) -> (Events.subscription, Verror.t) result
+val unsubscribe_events : t -> Events.subscription -> unit
+
+(**/**)
+
+val ops : t -> (Driver.ops, Verror.t) result
+(** Internal: checked access for sibling modules ([Domain], [Network],
+    [Storage]) and the daemon dispatcher. *)

@@ -1,0 +1,157 @@
+module Guest_image = Vmm.Guest_image
+
+type t = { conn : Connect.t; dom_name : string; dom_uuid : Vmm.Uuid.t }
+
+let ( let* ) = Result.bind
+
+let name dom = dom.dom_name
+let uuid dom = dom.dom_uuid
+let connection dom = dom.conn
+
+let of_ref conn (r : Driver.domain_ref) =
+  { conn; dom_name = r.Driver.dom_name; dom_uuid = r.Driver.dom_uuid }
+
+let lookup_by_name conn name =
+  let* ops = Connect.ops conn in
+  Result.map (of_ref conn) (ops.Driver.lookup_by_name name)
+
+let lookup_by_uuid conn uuid =
+  let* ops = Connect.ops conn in
+  Result.map (of_ref conn) (ops.Driver.lookup_by_uuid uuid)
+
+let define_xml conn xml =
+  let* ops = Connect.ops conn in
+  Result.map (of_ref conn) (ops.Driver.define_xml xml)
+
+(* All simple lifecycle calls share the resolve-then-dispatch shape. *)
+let on_ops dom f =
+  let* ops = Connect.ops dom.conn in
+  f ops
+
+let undefine dom = on_ops dom (fun ops -> ops.Driver.undefine dom.dom_name)
+let create dom = on_ops dom (fun ops -> ops.Driver.dom_create dom.dom_name)
+let suspend dom = on_ops dom (fun ops -> ops.Driver.dom_suspend dom.dom_name)
+let resume dom = on_ops dom (fun ops -> ops.Driver.dom_resume dom.dom_name)
+let shutdown dom = on_ops dom (fun ops -> ops.Driver.dom_shutdown dom.dom_name)
+let destroy dom = on_ops dom (fun ops -> ops.Driver.dom_destroy dom.dom_name)
+let get_info dom = on_ops dom (fun ops -> ops.Driver.dom_get_info dom.dom_name)
+
+let get_state dom =
+  Result.map (fun info -> info.Driver.di_state) (get_info dom)
+
+let xml_desc dom = on_ops dom (fun ops -> ops.Driver.dom_get_xml dom.dom_name)
+
+let set_memory dom kib =
+  on_ops dom (fun ops -> ops.Driver.dom_set_memory dom.dom_name kib)
+
+let is_active dom =
+  Result.map (fun s -> Vmm.Vm_state.is_active s) (get_state dom)
+
+let optional_op dom select op_name =
+  on_ops dom (fun ops ->
+      match select ops with
+      | Some f -> f dom.dom_name
+      | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:op_name)
+
+let save dom = optional_op dom (fun ops -> ops.Driver.dom_save) "managed save"
+let restore dom = optional_op dom (fun ops -> ops.Driver.dom_restore) "managed restore"
+
+let has_managed_save dom =
+  optional_op dom (fun ops -> ops.Driver.dom_has_managed_save) "managed save"
+
+(* ------------------------------------------------------------------ *)
+(* Live migration: generic precopy over driver-provided images         *)
+(* ------------------------------------------------------------------ *)
+
+type migrate_stats = {
+  rounds : int;
+  pages_transferred : int;
+  bytes_transferred : int;
+  downtime_pages : int;
+}
+
+let transfer_pages ~src ~dst pages stats_pages stats_bytes =
+  List.iter
+    (fun i ->
+      let data = Guest_image.transfer_page src i in
+      Guest_image.install_page dst i data;
+      incr stats_pages;
+      stats_bytes := !stats_bytes + String.length data)
+    pages
+
+let migrate dom ~dest ?(max_rounds = 8) ?(stopcopy_threshold_pages = 64)
+    ?(dirty_hook = fun _ -> ()) () =
+  let* src_ops = Connect.ops dom.conn in
+  let* dst_ops = Connect.ops dest in
+  let* begin_ =
+    match src_ops.Driver.migrate_begin with
+    | Some f -> Ok f
+    | None -> Driver.unsupported ~drv:src_ops.Driver.drv_name ~op:"migrate (source)"
+  in
+  let* prepare =
+    match dst_ops.Driver.migrate_prepare with
+    | Some f -> Ok f
+    | None ->
+      Driver.unsupported ~drv:dst_ops.Driver.drv_name ~op:"migrate (destination)"
+  in
+  let* ms = begin_ dom.dom_name in
+  match prepare ms.Driver.mig_config_xml with
+  | Error e ->
+    ms.Driver.mig_abort ();
+    Error e
+  | Ok md ->
+    let src_img = ms.Driver.mig_image and dst_img = md.Driver.mig_dest_image in
+    let pages = ref 0 and bytes = ref 0 in
+    let fail e =
+      md.Driver.mig_cancel ();
+      ms.Driver.mig_abort ();
+      Error e
+    in
+    if Guest_image.page_count src_img <> Guest_image.page_count dst_img then
+      fail
+        (Verror.make Verror.Operation_failed
+           "source and destination images differ in size")
+    else begin
+      (* Round 0: everything. *)
+      transfer_pages ~src:src_img ~dst:dst_img
+        (List.init (Guest_image.page_count src_img) Fun.id)
+        pages bytes;
+      (* Iterative precopy on whatever the guest dirtied meanwhile. *)
+      let rec precopy round =
+        dirty_hook round;
+        let dirty = Guest_image.dirty_pages src_img in
+        if List.length dirty <= stopcopy_threshold_pages || round >= max_rounds
+        then Ok round
+        else begin
+          transfer_pages ~src:src_img ~dst:dst_img dirty pages bytes;
+          precopy (round + 1)
+        end
+      in
+      let* rounds = precopy 1 in
+      (* Stop-and-copy: pause the source, move the remainder. *)
+      match ms.Driver.mig_enter_stopcopy () with
+      | Error e -> fail e
+      | Ok () ->
+        let remainder = Guest_image.dirty_pages src_img in
+        let downtime_pages = List.length remainder in
+        transfer_pages ~src:src_img ~dst:dst_img remainder pages bytes;
+        (match md.Driver.mig_finish () with
+         | Error e -> fail e
+         | Ok () ->
+           (match ms.Driver.mig_confirm () with
+            | Error e ->
+              (* Destination is live; report but do not cancel it. *)
+              Error e
+            | Ok () ->
+              let* dest_dom = lookup_by_name dest dom.dom_name in
+              Events.emit src_ops.Driver.events ~domain_name:dom.dom_name
+                Events.Ev_migrated;
+              Ok
+                ( dest_dom,
+                  {
+                    rounds;
+                    pages_transferred = !pages;
+                    bytes_transferred = !bytes;
+                    downtime_pages;
+                  } )))
+    end

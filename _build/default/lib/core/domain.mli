@@ -1,0 +1,79 @@
+(** Domain handles and lifecycle operations.
+
+    A handle pairs a connection with the domain's identity; operations
+    resolve through the connection's driver at call time, so a handle
+    stays valid across state changes (and reports [No_domain] once the
+    domain is gone). *)
+
+type t
+
+val name : t -> string
+val uuid : t -> Vmm.Uuid.t
+val connection : t -> Connect.t
+
+val lookup_by_name : Connect.t -> string -> (t, Verror.t) result
+val lookup_by_uuid : Connect.t -> Vmm.Uuid.t -> (t, Verror.t) result
+
+val define_xml : Connect.t -> string -> (t, Verror.t) result
+(** Define (or on stateless hypervisors, register) a persistent domain
+    from its XML description. *)
+
+val undefine : t -> (unit, Verror.t) result
+
+val create : t -> (unit, Verror.t) result
+(** Start the domain. *)
+
+val suspend : t -> (unit, Verror.t) result
+val resume : t -> (unit, Verror.t) result
+
+val shutdown : t -> (unit, Verror.t) result
+(** Guest-cooperative shutdown. *)
+
+val destroy : t -> (unit, Verror.t) result
+(** Hard power-off. *)
+
+val get_info : t -> (Driver.domain_info, Verror.t) result
+val get_state : t -> (Vmm.Vm_state.state, Verror.t) result
+val xml_desc : t -> (string, Verror.t) result
+val set_memory : t -> int -> (unit, Verror.t) result
+(** Balloon target in KiB. *)
+
+val is_active : t -> (bool, Verror.t) result
+
+(** {1 Managed save}
+
+    [save] checkpoints a running domain's memory into the driver's state
+    directory and stops it; [restore] brings it back exactly where it
+    was, consuming the checkpoint.  [has_managed_save] reports whether a
+    checkpoint exists.  Drivers without a live memory image answer
+    [Operation_unsupported]. *)
+
+val save : t -> (unit, Verror.t) result
+val restore : t -> (unit, Verror.t) result
+val has_managed_save : t -> (bool, Verror.t) result
+
+(** {1 Live migration}
+
+    Precopy algorithm over driver-provided memory images: a full first
+    round, then dirty-page rounds until the remainder is small (or
+    [max_rounds] hit), then stop-and-copy.  [dirty_hook round] runs
+    between rounds so callers (benchmarks, tests) can model guest load
+    dirtying pages mid-migration. *)
+
+type migrate_stats = {
+  rounds : int;  (** precopy rounds actually executed *)
+  pages_transferred : int;
+  bytes_transferred : int;
+  downtime_pages : int;  (** pages copied during stop-and-copy *)
+}
+
+val migrate :
+  t ->
+  dest:Connect.t ->
+  ?max_rounds:int ->
+  ?stopcopy_threshold_pages:int ->
+  ?dirty_hook:(int -> unit) ->
+  unit ->
+  (t * migrate_stats, Verror.t) result
+(** Returns the destination handle.  On failure the source is resumed and
+    the half-built destination is destroyed. *)

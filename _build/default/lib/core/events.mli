@@ -1,0 +1,36 @@
+(** Domain lifecycle events.
+
+    Drivers publish lifecycle changes to a per-connection bus; management
+    applications subscribe with callbacks (the "notify a third-party
+    application when something happens" extension the thesis lists as
+    future work — implemented here).  Callbacks run synchronously on the
+    publishing thread; subscribers must not block. *)
+
+type lifecycle =
+  | Ev_defined
+  | Ev_undefined
+  | Ev_started
+  | Ev_suspended
+  | Ev_resumed
+  | Ev_shutdown
+  | Ev_stopped
+  | Ev_crashed
+  | Ev_migrated
+
+val lifecycle_name : lifecycle -> string
+val lifecycle_of_int : int -> (lifecycle, string) result
+val lifecycle_to_int : lifecycle -> int
+
+type event = { domain_name : string; lifecycle : lifecycle }
+
+type bus
+type subscription
+
+val create_bus : unit -> bus
+val emit : bus -> domain_name:string -> lifecycle -> unit
+val subscribe : bus -> (event -> unit) -> subscription
+val unsubscribe : bus -> subscription -> unit
+val subscriber_count : bus -> int
+val history : bus -> event list
+(** All events emitted so far, oldest first (bounded at 4096; older
+    entries are discarded).  Lets late tools inspect recent activity. *)

@@ -1,0 +1,37 @@
+type t = { conn : Connect.t; net_name : string }
+
+let ( let* ) = Result.bind
+
+let name net = net.net_name
+
+let backend conn =
+  let* ops = Connect.ops conn in
+  match ops.Driver.net with
+  | Some backend -> Ok backend
+  | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"networks"
+
+let lookup conn name =
+  let* b = backend conn in
+  let* _info = b.Driver.net_lookup name in
+  Ok { conn; net_name = name }
+
+let define conn ~name ~bridge ~ip_range =
+  let* b = backend conn in
+  let* _info = b.Driver.net_define ~name ~bridge ~ip_range in
+  Ok { conn; net_name = name }
+
+let list conn =
+  let* b = backend conn in
+  b.Driver.net_list ()
+
+let on_backend net f =
+  let* b = backend net.conn in
+  f b
+
+let info net = on_backend net (fun b -> b.Driver.net_lookup net.net_name)
+let start net = on_backend net (fun b -> b.Driver.net_start net.net_name)
+let stop net = on_backend net (fun b -> b.Driver.net_stop net.net_name)
+let undefine net = on_backend net (fun b -> b.Driver.net_undefine net.net_name)
+
+let set_autostart net v =
+  on_backend net (fun b -> b.Driver.net_set_autostart net.net_name v)

@@ -1,0 +1,17 @@
+(** Virtual network management (public API over the per-driver
+    {!Net_backend}).  Drivers without network support answer
+    [Operation_unsupported]. *)
+
+type t
+
+val name : t -> string
+
+val lookup : Connect.t -> string -> (t, Verror.t) result
+val define : Connect.t -> name:string -> bridge:string -> ip_range:string -> (t, Verror.t) result
+val list : Connect.t -> (Net_backend.info list, Verror.t) result
+
+val info : t -> (Net_backend.info, Verror.t) result
+val start : t -> (unit, Verror.t) result
+val stop : t -> (unit, Verror.t) result
+val undefine : t -> (unit, Verror.t) result
+val set_autostart : t -> bool -> (unit, Verror.t) result

@@ -1,0 +1,46 @@
+type pool = { conn : Connect.t; p_name : string }
+
+let ( let* ) = Result.bind
+
+let pool_name p = p.p_name
+
+let backend conn =
+  let* ops = Connect.ops conn in
+  match ops.Driver.storage with
+  | Some backend -> Ok backend
+  | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"storage pools"
+
+let lookup_pool conn name =
+  let* b = backend conn in
+  let* _info = b.Driver.pool_lookup name in
+  Ok { conn; p_name = name }
+
+let define_pool conn ~name ~target_path ~capacity_b =
+  let* b = backend conn in
+  let* _info = b.Driver.pool_define ~name ~target_path ~capacity_b in
+  Ok { conn; p_name = name }
+
+let list_pools conn =
+  let* b = backend conn in
+  b.Driver.pool_list ()
+
+let on_backend p f =
+  let* b = backend p.conn in
+  f b
+
+let pool_info p = on_backend p (fun b -> b.Driver.pool_lookup p.p_name)
+let start_pool p = on_backend p (fun b -> b.Driver.pool_start p.p_name)
+let stop_pool p = on_backend p (fun b -> b.Driver.pool_stop p.p_name)
+let undefine_pool p = on_backend p (fun b -> b.Driver.pool_undefine p.p_name)
+
+let create_volume p ~name ~capacity_b ~format =
+  on_backend p (fun b -> b.Driver.vol_create ~pool:p.p_name ~name ~capacity_b ~format)
+
+let delete_volume p ~name =
+  on_backend p (fun b -> b.Driver.vol_delete ~pool:p.p_name ~name)
+
+let list_volumes p = on_backend p (fun b -> b.Driver.vol_list ~pool:p.p_name)
+
+let volume_by_path conn path =
+  let* b = backend conn in
+  b.Driver.vol_by_path path

@@ -1,0 +1,24 @@
+(** Storage pool/volume management (public API over the per-driver
+    {!Storage_backend}).  Drivers without storage support answer
+    [Operation_unsupported]. *)
+
+type pool
+
+val pool_name : pool -> string
+
+val lookup_pool : Connect.t -> string -> (pool, Verror.t) result
+val define_pool :
+  Connect.t -> name:string -> target_path:string -> capacity_b:int -> (pool, Verror.t) result
+val list_pools : Connect.t -> (Storage_backend.pool_info list, Verror.t) result
+
+val pool_info : pool -> (Storage_backend.pool_info, Verror.t) result
+val start_pool : pool -> (unit, Verror.t) result
+val stop_pool : pool -> (unit, Verror.t) result
+val undefine_pool : pool -> (unit, Verror.t) result
+
+val create_volume :
+  pool -> name:string -> capacity_b:int -> format:string ->
+  (Storage_backend.vol_info, Verror.t) result
+val delete_volume : pool -> name:string -> (unit, Verror.t) result
+val list_volumes : pool -> (Storage_backend.vol_info list, Verror.t) result
+val volume_by_path : Connect.t -> string -> (Storage_backend.vol_info, Verror.t) result

@@ -1,0 +1,48 @@
+(** Library error model.
+
+    Every public operation reports failures as a [t]: a stable numeric
+    code (so errors survive the RPC boundary unchanged) plus a message.
+    Codes follow libvirt's [VIR_ERR_*] granularity for the operations this
+    toolkit implements. *)
+
+type code =
+  | Internal_error
+  | No_connect  (** no driver accepted the URI *)
+  | Invalid_conn  (** connection object already closed *)
+  | Invalid_arg
+  | Operation_invalid  (** wrong domain state for the request *)
+  | Operation_failed
+  | Operation_unsupported  (** driver does not implement the call *)
+  | No_domain  (** domain lookup failed *)
+  | Dup_name
+  | No_network
+  | No_storage_pool
+  | No_storage_vol
+  | Auth_failed
+  | Rpc_failure  (** transport / protocol level failure *)
+  | No_client  (** admin: client id not found *)
+  | No_server  (** admin: server name not found *)
+  | Resource_exhausted  (** host capacity, client limits *)
+
+type t = { code : code; message : string }
+
+exception Virt_error of t
+
+val code_to_int : code -> int
+val code_of_int : int -> code
+(** Unknown ints map to [Internal_error] (forward compatibility on the
+    wire, like libvirt's remote driver). *)
+
+val code_name : code -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val make : code -> string -> t
+val error : code -> ('a, Format.formatter, unit, ('b, t) result) format4 -> 'a
+(** [error code fmt ...] builds [Error { code; message }]. *)
+
+val raise_err : code -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise [Virt_error] directly (used at API boundaries that raise). *)
+
+val of_message : code -> string -> ('a, t) result
+(** [Error (make code msg)] — adapts [(_, string) result] substrates. *)

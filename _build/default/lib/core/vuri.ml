@@ -1,0 +1,117 @@
+type t = {
+  scheme : string;
+  transport : string option;
+  user : string option;
+  host : string option;
+  port : int option;
+  path : string;
+  params : (string * string) list;
+}
+
+let make ?transport ?user ?host ?port ?(path = "/") ?(params = []) scheme =
+  { scheme; transport; user; host; port; path; params }
+
+let invalid fmt = Format.kasprintf (fun m -> Error (Verror.make Verror.Invalid_arg m)) fmt
+
+let ( let* ) = Result.bind
+
+let valid_scheme s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> true | _ -> false)
+       s
+
+(* Split [s] at the first occurrence of [c]; None if absent. *)
+let split_first c s =
+  match String.index_opt s c with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_params query =
+  let items = String.split_on_char '&' query |> List.filter (fun s -> s <> "") in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+      (match split_first '=' item with
+       | Some (k, v) when k <> "" -> build ((k, v) :: acc) rest
+       | Some _ | None -> invalid "malformed query parameter %S" item)
+  in
+  build [] items
+
+let parse_authority authority =
+  let* user, hostport =
+    match split_first '@' authority with
+    | Some (user, rest) ->
+      if user = "" then invalid "empty user in URI authority"
+      else Ok (Some user, rest)
+    | None -> Ok (None, authority)
+  in
+  let* host, port =
+    match split_first ':' hostport with
+    | Some (host, port_str) ->
+      (match int_of_string_opt port_str with
+       | Some port when port > 0 && port < 65536 -> Ok (host, Some port)
+       | Some _ | None -> invalid "invalid port %S" port_str)
+    | None -> Ok (hostport, None)
+  in
+  Ok (user, (if host = "" then None else Some host), port)
+
+let parse s =
+  match split_first ':' s with
+  | None -> invalid "URI %S has no scheme" s
+  | Some (scheme_part, rest) ->
+    let scheme, transport =
+      match split_first '+' scheme_part with
+      | Some (scheme, transport) -> (scheme, Some transport)
+      | None -> (scheme_part, None)
+    in
+    if not (valid_scheme scheme) then invalid "invalid scheme %S" scheme_part
+    else if
+      (match transport with Some t -> not (valid_scheme t) | None -> false)
+    then invalid "invalid transport suffix in %S" scheme_part
+    else if String.length rest < 2 || String.sub rest 0 2 <> "//" then
+      invalid "URI %S lacks '//' after scheme" s
+    else begin
+      let rest = String.sub rest 2 (String.length rest - 2) in
+      let before_query, query =
+        match split_first '?' rest with
+        | Some (b, q) -> (b, Some q)
+        | None -> (rest, None)
+      in
+      let authority, path =
+        match String.index_opt before_query '/' with
+        | None -> (before_query, "/")
+        | Some i ->
+          ( String.sub before_query 0 i,
+            String.sub before_query i (String.length before_query - i) )
+      in
+      let* user, host, port = parse_authority authority in
+      let* params =
+        match query with None -> Ok [] | Some q -> parse_params q
+      in
+      Ok { scheme; transport; user; host; port; path; params }
+    end
+
+let to_string u =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf u.scheme;
+  Option.iter (fun t -> Buffer.add_char buf '+'; Buffer.add_string buf t) u.transport;
+  Buffer.add_string buf "://";
+  Option.iter (fun user -> Buffer.add_string buf user; Buffer.add_char buf '@') u.user;
+  Option.iter (Buffer.add_string buf) u.host;
+  Option.iter (fun p -> Buffer.add_string buf (Printf.sprintf ":%d" p)) u.port;
+  Buffer.add_string buf u.path;
+  if u.params <> [] then begin
+    Buffer.add_char buf '?';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf '&';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf v)
+      u.params
+  end;
+  Buffer.contents buf
+
+let param u key = List.assoc_opt key u.params

@@ -1,0 +1,40 @@
+(** Connection URIs.
+
+    [driver[+transport]://[user@][host][:port]/path[?k=v&...]] — the
+    grammar that selects both the hypervisor driver (scheme) and, when a
+    transport suffix or remote host is present, the tunnel through the
+    management daemon.  Examples:
+
+    - [test:///default] — in-process mock driver
+    - [qemu:///system] — QEMU via the local daemon
+    - [qemu+tls://node07/system] — QEMU on a remote node over TLS
+    - [esx://root@esx01/?no_verify=1] — stateless ESX driver *)
+
+type t = {
+  scheme : string;
+  transport : string option;  (** the [+transport] suffix, if any *)
+  user : string option;
+  host : string option;
+  port : int option;
+  path : string;  (** always begins with '/'; "/" if empty *)
+  params : (string * string) list;  (** query parameters, in order *)
+}
+
+val parse : string -> (t, Verror.t) result
+(** Errors use code [Invalid_arg]. *)
+
+val to_string : t -> string
+(** Canonical form; [parse (to_string u)] = [Ok u] for parsed [u]. *)
+
+val param : t -> string -> string option
+
+val make :
+  ?transport:string ->
+  ?user:string ->
+  ?host:string ->
+  ?port:int ->
+  ?path:string ->
+  ?params:(string * string) list ->
+  string ->
+  t
+(** [make scheme] with default path ["/"]. *)

@@ -1,0 +1,1 @@
+lib/daemon/admin_service.ml: Client_obj Dispatch Int64 List Ovirt_core Ovrpc Protocol Result Server_obj Threadpool Unix Vlog

@@ -1,0 +1,1 @@
+lib/daemon/admin_service.mli: Dispatch Server_obj Vlog

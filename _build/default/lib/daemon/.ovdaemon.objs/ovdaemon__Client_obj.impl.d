@@ -1,0 +1,1 @@
+lib/daemon/client_obj.ml: Fun Int64 Mutex Ovnet Ovrpc Protocol Unix

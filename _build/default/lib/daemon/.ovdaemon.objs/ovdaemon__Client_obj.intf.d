@@ -1,0 +1,1 @@
+lib/daemon/client_obj.mli: Ovnet Ovrpc

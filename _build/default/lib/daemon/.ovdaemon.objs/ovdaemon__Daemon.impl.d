@@ -1,0 +1,1 @@
+lib/daemon/daemon.ml: Admin_service Daemon_config Dispatch List Ovnet Remote_service Server_obj Threadpool Unix Vlog

@@ -1,0 +1,1 @@
+lib/daemon/daemon.mli: Daemon_config Server_obj Vlog

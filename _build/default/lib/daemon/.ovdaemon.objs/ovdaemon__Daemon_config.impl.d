@@ -1,0 +1,1 @@
+lib/daemon/daemon_config.ml: Printf Result String Vlog

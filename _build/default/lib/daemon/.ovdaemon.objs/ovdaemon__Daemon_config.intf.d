@@ -1,0 +1,1 @@
+lib/daemon/daemon_config.mli: Vlog

@@ -1,0 +1,1 @@
+lib/daemon/dispatch.ml: Client_obj Fun List Ovirt_core Ovnet Ovrpc Printexc Protocol Result Server_obj String Threadpool Vlog Xdr

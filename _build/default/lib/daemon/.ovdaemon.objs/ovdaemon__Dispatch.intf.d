@@ -1,0 +1,1 @@
+lib/daemon/dispatch.mli: Client_obj Ovirt_core Ovnet Ovrpc Server_obj

@@ -1,0 +1,1 @@
+lib/daemon/remote_service.ml: Capabilities Client_obj Dispatch Driver Events Fun Hashtbl Mutex Ovirt_core Ovrpc Protocol Result Verror Vlog Vmm Vuri

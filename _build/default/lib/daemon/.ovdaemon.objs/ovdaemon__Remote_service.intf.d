@@ -1,0 +1,1 @@
+lib/daemon/remote_service.mli: Dispatch Vlog

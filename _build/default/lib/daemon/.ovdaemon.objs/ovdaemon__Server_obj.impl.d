@@ -1,0 +1,1 @@
+lib/daemon/server_obj.ml: Client_obj Fun Hashtbl Int64 List Mutex Option Ovirt_core Ovnet Threadpool Vlog

@@ -1,0 +1,1 @@
+lib/daemon/server_obj.mli: Client_obj Ovirt_core Ovnet Threadpool Vlog

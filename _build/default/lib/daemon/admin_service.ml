@@ -1,0 +1,195 @@
+module Verror = Ovirt_core.Verror
+module Ap = Protocol.Admin_protocol
+module Tp = Ovrpc.Typed_params
+module Rpc_packet = Ovrpc.Rpc_packet
+
+type daemon_view = {
+  view_servers : unit -> (string * Server_obj.t) list;
+  view_logger : Vlog.t;
+  view_started_at : float;
+}
+
+let ( let* ) = Result.bind
+
+let find_server view name =
+  match List.assoc_opt name (view.view_servers ()) with
+  | Some srv -> Ok srv
+  | None -> Verror.error Verror.No_server "no server named %S" name
+
+(* Reject unknown and read-only fields on setters: silently ignoring a
+   typo'd tunable is how misconfigurations survive. *)
+let check_fields ~writable ~readonly params =
+  let rec go = function
+    | [] -> Ok ()
+    | (field, _) :: rest ->
+      if List.mem field writable then go rest
+      else if List.mem field readonly then
+        Verror.error Verror.Invalid_arg "field %S is read-only" field
+      else Verror.error Verror.Invalid_arg "unknown field %S" field
+  in
+  go params
+
+let threadpool_params srv =
+  let stats = Threadpool.stats (Server_obj.pool srv) in
+  [
+    Tp.uint Ap.threadpool_workers_min stats.Threadpool.min_workers;
+    Tp.uint Ap.threadpool_workers_max stats.Threadpool.max_workers;
+    Tp.uint Ap.threadpool_workers_current stats.Threadpool.n_workers;
+    Tp.uint Ap.threadpool_workers_free stats.Threadpool.free_workers;
+    Tp.uint Ap.threadpool_workers_priority stats.Threadpool.prio_workers;
+    Tp.uint Ap.threadpool_job_queue_depth stats.Threadpool.job_queue_depth;
+  ]
+
+let set_threadpool srv params =
+  let* () =
+    check_fields
+      ~writable:
+        [
+          Ap.threadpool_workers_min; Ap.threadpool_workers_max;
+          Ap.threadpool_workers_priority;
+        ]
+      ~readonly:
+        [
+          Ap.threadpool_workers_free; Ap.threadpool_workers_current;
+          Ap.threadpool_job_queue_depth;
+        ]
+      params
+  in
+  let min_workers = Tp.find_uint params Ap.threadpool_workers_min in
+  let max_workers = Tp.find_uint params Ap.threadpool_workers_max in
+  let prio_workers = Tp.find_uint params Ap.threadpool_workers_priority in
+  if min_workers = None && max_workers = None && prio_workers = None then
+    Verror.error Verror.Invalid_arg "no tunable fields supplied"
+  else
+    match
+      Threadpool.set_limits (Server_obj.pool srv) ?min_workers ?max_workers
+        ?prio_workers ()
+    with
+    | () -> Ok ()
+    | exception Threadpool.Invalid_limits msg ->
+      Error (Verror.make Verror.Invalid_arg msg)
+
+let client_limit_params srv =
+  let limits = Server_obj.limits srv in
+  let total, unauth = Server_obj.client_counts srv in
+  [
+    Tp.uint Ap.server_clients_max limits.Server_obj.max_clients;
+    Tp.uint Ap.server_clients_current total;
+    Tp.uint Ap.server_clients_unauth_max limits.Server_obj.max_anonymous;
+    Tp.uint Ap.server_clients_unauth_current unauth;
+  ]
+
+let set_client_limits srv params =
+  let* () =
+    check_fields
+      ~writable:[ Ap.server_clients_max; Ap.server_clients_unauth_max ]
+      ~readonly:[ Ap.server_clients_current; Ap.server_clients_unauth_current ]
+      params
+  in
+  let max_clients = Tp.find_uint params Ap.server_clients_max in
+  let max_anonymous = Tp.find_uint params Ap.server_clients_unauth_max in
+  if max_clients = None && max_anonymous = None then
+    Verror.error Verror.Invalid_arg "no tunable fields supplied"
+  else Server_obj.set_limits srv ?max_clients ?max_anonymous ()
+
+let handle view _srv _client header body =
+  let* proc =
+    Result.map_error
+      (Verror.make Verror.Rpc_failure)
+      (Ap.proc_of_int header.Rpc_packet.procedure)
+  in
+  let logger = view.view_logger in
+  match proc with
+  | Ap.Proc_list_servers ->
+    Ok (Protocol.Remote_protocol.enc_string_list (List.map fst (view.view_servers ())))
+  | Ap.Proc_lookup_server ->
+    let* _srv = find_server view (Ap.dec_server_name body) in
+    Ok Protocol.Remote_protocol.enc_unit_body
+  | Ap.Proc_get_threadpool ->
+    let* srv = find_server view (Ap.dec_server_name body) in
+    Ok (Ap.enc_params (threadpool_params srv))
+  | Ap.Proc_set_threadpool ->
+    let server, params = Ap.dec_server_params body in
+    let* srv = find_server view server in
+    let* () = set_threadpool srv params in
+    Vlog.logf logger ~module_:"daemon.admin" Vlog.Info
+      "threadpool limits of server %s changed" server;
+    Ok Protocol.Remote_protocol.enc_unit_body
+  | Ap.Proc_get_client_limits ->
+    let* srv = find_server view (Ap.dec_server_name body) in
+    Ok (Ap.enc_params (client_limit_params srv))
+  | Ap.Proc_set_client_limits ->
+    let server, params = Ap.dec_server_params body in
+    let* srv = find_server view server in
+    let* () = set_client_limits srv params in
+    Ok Protocol.Remote_protocol.enc_unit_body
+  | Ap.Proc_list_clients ->
+    let* srv = find_server view (Ap.dec_server_name body) in
+    let entries =
+      Server_obj.list_clients srv
+      |> List.map (fun client ->
+             Ap.
+               {
+                 client_id = Client_obj.id client;
+                 client_transport = Client_obj.transport_int client;
+                 connected_since =
+                   Int64.of_float (Client_obj.connected_since client);
+               })
+    in
+    Ok (Ap.enc_client_list entries)
+  | Ap.Proc_get_client_info ->
+    let server, id = Ap.dec_client_ref body in
+    let* srv = find_server view server in
+    let* client = Server_obj.find_client srv id in
+    Ok (Ap.enc_params (Client_obj.identity_params client))
+  | Ap.Proc_client_close ->
+    let server, id = Ap.dec_client_ref body in
+    let* srv = find_server view server in
+    let* client = Server_obj.find_client srv id in
+    Client_obj.close client;
+    Vlog.logf logger ~module_:"daemon.admin" Vlog.Info
+      "client %Ld of server %s disconnected by administrator" id server;
+    Ok Protocol.Remote_protocol.enc_unit_body
+  | Ap.Proc_get_log_level ->
+    Ok (Ap.enc_uint_body (Vlog.priority_to_int (Vlog.get_level logger)))
+  | Ap.Proc_set_log_level ->
+    let* level =
+      Result.map_error (Verror.make Verror.Invalid_arg)
+        (Vlog.priority_of_int (Ap.dec_uint_body body))
+    in
+    Vlog.set_level logger level;
+    Ok Protocol.Remote_protocol.enc_unit_body
+  | Ap.Proc_get_log_filters ->
+    Ok (Protocol.Remote_protocol.enc_string_body (Vlog.format_filters (Vlog.get_filters logger)))
+  | Ap.Proc_set_log_filters ->
+    let* filters =
+      Result.map_error (Verror.make Verror.Invalid_arg)
+        (Vlog.parse_filters (Protocol.Remote_protocol.dec_string_body body))
+    in
+    Vlog.define_filters logger filters;
+    Ok Protocol.Remote_protocol.enc_unit_body
+  | Ap.Proc_get_log_outputs ->
+    Ok (Protocol.Remote_protocol.enc_string_body (Vlog.format_outputs (Vlog.get_outputs logger)))
+  | Ap.Proc_set_log_outputs ->
+    let* outputs =
+      Result.map_error (Verror.make Verror.Invalid_arg)
+        (Vlog.parse_outputs (Protocol.Remote_protocol.dec_string_body body))
+    in
+    Vlog.define_outputs logger outputs;
+    Ok Protocol.Remote_protocol.enc_unit_body
+  | Ap.Proc_daemon_uptime ->
+    Ok (Ap.enc_hyper_body (Int64.of_float (Unix.gettimeofday () -. view.view_started_at)))
+
+let program view =
+  Dispatch.
+    {
+      prog_number = Ap.program;
+      prog_version = Ap.version;
+      high_priority =
+        (fun proc ->
+          match Ap.proc_of_int proc with
+          | Ok p -> Ap.is_high_priority p
+          | Error _ -> false);
+      handle = (fun srv client header body -> handle view srv client header body);
+      on_disconnect = (fun _client -> ());
+    }

@@ -1,0 +1,15 @@
+(** The administration program's daemon-side implementation.
+
+    Operates on a {!daemon_view} handed over by the daemon assembly
+    (avoiding a dependency cycle): the live server objects, the logging
+    subsystem, and the start timestamp.  Setters validate read-only and
+    unknown typed-parameter fields and reject them, as the admin API
+    documents. *)
+
+type daemon_view = {
+  view_servers : unit -> (string * Server_obj.t) list;
+  view_logger : Vlog.t;
+  view_started_at : float;
+}
+
+val program : daemon_view -> Dispatch.program

@@ -1,0 +1,42 @@
+(** Server-side client representation.
+
+    One per accepted connection: identity gathered at accept time
+    (transport, peer credentials/address), a connection timestamp, an
+    authentication flag, and a serialized send path (multiple workers may
+    answer one client concurrently; TLS records must not interleave). *)
+
+type t
+
+val create : id:int64 -> conn:Ovnet.Transport.t -> t
+
+val id : t -> int64
+val conn : t -> Ovnet.Transport.t
+val connected_since : t -> float
+(** Seconds since epoch. *)
+
+val transport_kind : t -> Ovnet.Transport.kind
+val transport_int : t -> int
+(** Wire encoding: 0 unix, 1 tcp, 2 tls. *)
+
+val peer : t -> Ovnet.Transport.peer
+
+val is_authenticated : t -> bool
+val mark_authenticated : t -> unit
+
+val touch : t -> unit
+(** Record activity (called by the dispatcher per processed call). *)
+
+val last_activity : t -> float
+(** Seconds since epoch of the last processed call (accept time until
+    then) — the datum a monitoring policy uses to pick idle victims. *)
+
+val is_closed : t -> bool
+val close : t -> unit
+
+val send_packet : t -> string -> unit
+(** Mutex-serialized; silently drops if the client is gone (the reader
+    loop will reap it). *)
+
+val identity_params : t -> Ovrpc.Typed_params.t
+(** The client-info typed-parameter set: transport-dependent fields
+    (UNIX credentials or socket address / x509 DN) plus [readonly]. *)

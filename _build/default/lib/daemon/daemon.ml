@@ -1,0 +1,96 @@
+type t = {
+  name : string;
+  logger : Vlog.t;
+  servers : (string * Server_obj.t) list;
+  listeners : Ovnet.Netsim.listener list;
+  started_at : float;
+  mutable stopped : bool;
+}
+
+let mgmt_address_of name = name ^ "-sock"
+let admin_address_of name = name ^ "-admin-sock"
+
+let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
+  let logger =
+    Vlog.create ~level:config.Daemon_config.log_level
+      ~filters:config.Daemon_config.log_filters
+      ~outputs:config.Daemon_config.log_outputs ()
+  in
+  let mgmt_server =
+    Server_obj.create ~name:"libvirtd" ~logger
+      ~min_workers:config.Daemon_config.min_workers
+      ~max_workers:config.Daemon_config.max_workers
+      ~prio_workers:config.Daemon_config.prio_workers
+      ~limits:
+        {
+          Server_obj.max_clients = config.Daemon_config.max_clients;
+          max_anonymous = config.Daemon_config.max_anonymous_clients;
+        }
+  in
+  let admin_server =
+    Server_obj.create ~name:"admin" ~logger
+      ~min_workers:config.Daemon_config.admin_min_workers
+      ~max_workers:config.Daemon_config.admin_max_workers ~prio_workers:1
+      ~limits:
+        {
+          Server_obj.max_clients = config.Daemon_config.admin_max_clients;
+          max_anonymous = config.Daemon_config.admin_max_clients;
+        }
+  in
+  let servers = [ ("libvirtd", mgmt_server); ("admin", admin_server) ] in
+  let started_at = Unix.gettimeofday () in
+  let remote_program = Remote_service.program ~logger in
+  let admin_program =
+    Admin_service.program
+      {
+        Admin_service.view_servers = (fun () -> servers);
+        view_logger = logger;
+        view_started_at = started_at;
+      }
+  in
+  let mgmt_listener =
+    Ovnet.Netsim.listen (mgmt_address_of name) (fun conn ->
+        Dispatch.attach_client mgmt_server [ remote_program ] conn)
+  in
+  let admin_listener =
+    Ovnet.Netsim.listen (admin_address_of name) (fun conn ->
+        (* Admin is root-only: refuse non-root unix peers and any remote
+           transport, mirroring the admin socket's 0700 permissions. *)
+        match Ovnet.Transport.peer conn with
+        | Ovnet.Transport.Local id when id.Ovnet.Transport.uid = 0 ->
+          Dispatch.attach_client admin_server [ admin_program ] conn
+        | Ovnet.Transport.Local _ | Ovnet.Transport.Remote _ ->
+          Vlog.logf logger ~module_:"daemon.admin" Vlog.Warn
+            "refusing non-root connection to admin socket";
+          Ovnet.Transport.close conn)
+  in
+  Vlog.logf logger ~module_:"daemon" Vlog.Info "daemon %s started" name;
+  {
+    name;
+    logger;
+    servers;
+    listeners = [ mgmt_listener; admin_listener ];
+    started_at;
+    stopped = false;
+  }
+
+let stop daemon =
+  if not daemon.stopped then begin
+    daemon.stopped <- true;
+    List.iter Ovnet.Netsim.close_listener daemon.listeners;
+    List.iter
+      (fun (_, srv) ->
+        Server_obj.close_all_clients srv;
+        Threadpool.shutdown (Server_obj.pool srv))
+      daemon.servers;
+    Vlog.logf daemon.logger ~module_:"daemon" Vlog.Info "daemon %s stopped"
+      daemon.name
+  end
+
+let name daemon = daemon.name
+let mgmt_address daemon = mgmt_address_of daemon.name
+let admin_address daemon = admin_address_of daemon.name
+let logger daemon = daemon.logger
+let servers daemon = daemon.servers
+let find_server daemon name = List.assoc_opt name daemon.servers
+let uptime_s daemon = Unix.gettimeofday () -. daemon.started_at

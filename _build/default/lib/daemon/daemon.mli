@@ -1,0 +1,34 @@
+(** Daemon assembly: ovirtd.
+
+    Hosts two servers, exactly as libvirtd does once the administration
+    interface exists:
+
+    - ["libvirtd"]: the hypervisor management server, reachable over
+      unix/tcp/tls at the address {!mgmt_address};
+    - ["admin"]: the administration server, unix-socket only (root-only
+      in spirit) at {!admin_address}.
+
+    Initial settings come from a {!Daemon_config.t}; everything the admin
+    interface covers can then be changed at runtime. *)
+
+type t
+
+val start : ?name:string -> ?config:Daemon_config.t -> unit -> t
+(** [name] defaults to ["ovirtd"]; it prefixes the simulated socket
+    addresses, so tests can run isolated daemons.
+    @raise Ovnet.Netsim.Address_in_use if a daemon of that name runs. *)
+
+val stop : t -> unit
+(** Close listeners and clients, stop workerpools.  Idempotent. *)
+
+val name : t -> string
+val mgmt_address : t -> string
+(** ["<name>-sock"] — connect here with any transport kind. *)
+
+val admin_address : t -> string
+(** ["<name>-admin-sock"]. *)
+
+val logger : t -> Vlog.t
+val servers : t -> (string * Server_obj.t) list
+val find_server : t -> string -> Server_obj.t option
+val uptime_s : t -> float

@@ -1,0 +1,140 @@
+type t = {
+  min_workers : int;
+  max_workers : int;
+  prio_workers : int;
+  max_clients : int;
+  max_anonymous_clients : int;
+  admin_min_workers : int;
+  admin_max_workers : int;
+  admin_max_clients : int;
+  log_level : Vlog.priority;
+  log_filters : Vlog.filter list;
+  log_outputs : Vlog.output list;
+}
+
+let default =
+  {
+    min_workers = 5;
+    max_workers = 20;
+    prio_workers = 5;
+    max_clients = 120;
+    max_anonymous_clients = 20;
+    admin_min_workers = 1;
+    admin_max_workers = 5;
+    admin_max_clients = 5;
+    log_level = Vlog.Error;
+    log_filters = [];
+    log_outputs = [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Stderr } ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type raw_value = V_int of int | V_string of string
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then Ok None
+  else
+    match String.index_opt line '=' with
+    | None -> Error (Printf.sprintf "line %d: expected 'key = value'" lineno)
+    | Some i ->
+      let key = String.trim (String.sub line 0 i) in
+      let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      if key = "" then Error (Printf.sprintf "line %d: empty key" lineno)
+      else if String.length value >= 2 && value.[0] = '"' then
+        if value.[String.length value - 1] = '"' then
+          Ok (Some (key, V_string (String.sub value 1 (String.length value - 2))))
+        else Error (Printf.sprintf "line %d: unterminated string" lineno)
+      else
+        (match int_of_string_opt value with
+         | Some n -> Ok (Some (key, V_int n))
+         | None -> Error (Printf.sprintf "line %d: bad value %S" lineno value))
+
+let ( let* ) = Result.bind
+
+let want_int key = function
+  | V_int n when n >= 0 -> Ok n
+  | V_int _ -> Error (Printf.sprintf "%s: must be non-negative" key)
+  | V_string _ -> Error (Printf.sprintf "%s: expected an integer" key)
+
+let want_string key = function
+  | V_string s -> Ok s
+  | V_int _ -> Error (Printf.sprintf "%s: expected a quoted string" key)
+
+let apply cfg key value =
+  match key with
+  | "min_workers" ->
+    let* n = want_int key value in
+    Ok { cfg with min_workers = n }
+  | "max_workers" ->
+    let* n = want_int key value in
+    Ok { cfg with max_workers = n }
+  | "prio_workers" ->
+    let* n = want_int key value in
+    Ok { cfg with prio_workers = n }
+  | "max_clients" ->
+    let* n = want_int key value in
+    Ok { cfg with max_clients = n }
+  | "max_anonymous_clients" ->
+    let* n = want_int key value in
+    Ok { cfg with max_anonymous_clients = n }
+  | "admin_min_workers" ->
+    let* n = want_int key value in
+    Ok { cfg with admin_min_workers = n }
+  | "admin_max_workers" ->
+    let* n = want_int key value in
+    Ok { cfg with admin_max_workers = n }
+  | "admin_max_clients" ->
+    let* n = want_int key value in
+    Ok { cfg with admin_max_clients = n }
+  | "log_level" ->
+    let* n = want_int key value in
+    let* level = Vlog.priority_of_int n in
+    Ok { cfg with log_level = level }
+  | "log_filters" ->
+    let* s = want_string key value in
+    let* filters = Vlog.parse_filters s in
+    Ok { cfg with log_filters = filters }
+  | "log_outputs" ->
+    let* s = want_string key value in
+    let* outputs = Vlog.parse_outputs s in
+    Ok { cfg with log_outputs = outputs }
+  | key -> Error (Printf.sprintf "unknown configuration key %S" key)
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go cfg lineno = function
+    | [] -> Ok cfg
+    | line :: rest ->
+      let* parsed = parse_line lineno line in
+      (match parsed with
+       | None -> go cfg (lineno + 1) rest
+       | Some (key, value) ->
+         let* cfg = apply cfg key value in
+         go cfg (lineno + 1) rest)
+  in
+  go default 1 lines
+
+let to_file cfg =
+  String.concat "\n"
+    [
+      Printf.sprintf "min_workers = %d" cfg.min_workers;
+      Printf.sprintf "max_workers = %d" cfg.max_workers;
+      Printf.sprintf "prio_workers = %d" cfg.prio_workers;
+      Printf.sprintf "max_clients = %d" cfg.max_clients;
+      Printf.sprintf "max_anonymous_clients = %d" cfg.max_anonymous_clients;
+      Printf.sprintf "admin_min_workers = %d" cfg.admin_min_workers;
+      Printf.sprintf "admin_max_workers = %d" cfg.admin_max_workers;
+      Printf.sprintf "admin_max_clients = %d" cfg.admin_max_clients;
+      Printf.sprintf "log_level = %d" (Vlog.priority_to_int cfg.log_level);
+      Printf.sprintf "log_filters = \"%s\"" (Vlog.format_filters cfg.log_filters);
+      Printf.sprintf "log_outputs = \"%s\"" (Vlog.format_outputs cfg.log_outputs);
+      "";
+    ]

@@ -1,0 +1,32 @@
+(** Daemon configuration: the persistent settings normally read from
+    [ovirtd.conf] at startup.  Everything here has a runtime counterpart
+    on the administration interface; this module is only the {e initial}
+    state (the distinction the admin interface exists to fix).
+
+    File syntax is the libvirtd.conf subset: [key = value] lines, [#]
+    comments, integers or double-quoted strings. *)
+
+type t = {
+  min_workers : int;
+  max_workers : int;
+  prio_workers : int;
+  max_clients : int;
+  max_anonymous_clients : int;  (** pending-auth connection cap *)
+  admin_min_workers : int;
+  admin_max_workers : int;
+  admin_max_clients : int;
+  log_level : Vlog.priority;
+  log_filters : Vlog.filter list;
+  log_outputs : Vlog.output list;
+}
+
+val default : t
+(** libvirtd's shipped defaults: 5/20 workers, 5 priority, 120 clients,
+    20 anonymous, error level, journald-less stderr output. *)
+
+val parse : string -> (t, string) result
+(** Parse file contents over {!default}; unknown keys are errors (typos in
+    a daemon config should not pass silently). *)
+
+val to_file : t -> string
+(** Render back in file syntax. *)

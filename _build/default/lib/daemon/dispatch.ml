@@ -1,0 +1,107 @@
+module Transport = Ovnet.Transport
+module Rpc_packet = Ovrpc.Rpc_packet
+module Verror = Ovirt_core.Verror
+
+type program = {
+  prog_number : int;
+  prog_version : int;
+  high_priority : int -> bool;
+  handle :
+    Server_obj.t ->
+    Client_obj.t ->
+    Rpc_packet.header ->
+    string ->
+    (string, Verror.t) result;
+  on_disconnect : Client_obj.t -> unit;
+}
+
+let send_reply client header result =
+  let packet =
+    match result with
+    | Ok body -> Rpc_packet.encode (Rpc_packet.reply_ok header) body
+    | Error err ->
+      Rpc_packet.encode
+        (Rpc_packet.reply_error header)
+        (Protocol.Remote_protocol.enc_error err)
+  in
+  Client_obj.send_packet client packet
+
+let run_call srv prog client header body =
+  Client_obj.touch client;
+  let logger = Server_obj.logger srv in
+  Vlog.logf logger ~module_:"daemon.rpc" Vlog.Debug
+    "client %Ld: dispatching program=0x%x procedure=%d serial=%d (%d body bytes)"
+    (Client_obj.id client) header.Rpc_packet.program header.Rpc_packet.procedure
+    header.Rpc_packet.serial (String.length body);
+  let result =
+    try prog.handle srv client header body with
+    | Verror.Virt_error err -> Error err
+    | Xdr.Error msg -> Verror.error Verror.Rpc_failure "malformed call body: %s" msg
+    | Ovrpc.Typed_params.Invalid msg ->
+      Verror.error Verror.Rpc_failure "bad typed parameters: %s" msg
+    | exn ->
+      Verror.error Verror.Internal_error "unhandled exception: %s"
+        (Printexc.to_string exn)
+  in
+  (match result with
+   | Ok _ -> ()
+   | Error err ->
+     Vlog.logf logger ~module_:"daemon.rpc" Vlog.Error
+       "client %Ld: procedure %d failed: %s" (Client_obj.id client)
+       header.Rpc_packet.procedure (Verror.to_string err));
+  send_reply client header result;
+  (* Successfully processing any call authenticates the client (stand-in
+     for the SASL/polkit handshake real services run). *)
+  if Result.is_ok result then Client_obj.mark_authenticated client
+
+let reader_loop srv programs client =
+  let logger = Server_obj.logger srv in
+  let conn = Client_obj.conn client in
+  let rec loop () =
+    match Transport.recv conn with
+    | exception (Transport.Closed | Transport.Corrupt _) -> ()
+    | wire ->
+      (match Rpc_packet.decode wire with
+       | exception Rpc_packet.Bad_packet msg ->
+         Vlog.logf logger ~module_:"daemon.rpc" Vlog.Error
+           "client %Ld: dropping connection after bad packet: %s"
+           (Client_obj.id client) msg;
+         Client_obj.close client
+       | header, body ->
+         (match
+            List.find_opt (fun p -> p.prog_number = header.Rpc_packet.program) programs
+          with
+          | None ->
+            send_reply client header
+              (Verror.error Verror.Rpc_failure "unknown program 0x%x"
+                 header.Rpc_packet.program);
+            loop ()
+          | Some prog ->
+            if header.Rpc_packet.version <> prog.prog_version then begin
+              send_reply client header
+                (Verror.error Verror.Rpc_failure
+                   "program 0x%x: unsupported version %d" prog.prog_number
+                   header.Rpc_packet.version);
+              loop ()
+            end
+            else begin
+              let priority = prog.high_priority header.Rpc_packet.procedure in
+              Threadpool.push (Server_obj.pool srv) ~priority (fun () ->
+                  run_call srv prog client header body);
+              loop ()
+            end))
+  in
+  loop ()
+
+let attach_client srv programs conn =
+  match Server_obj.accept_client srv conn with
+  | Error _ -> () (* connection already closed by the limit check *)
+  | Ok client ->
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun p -> p.on_disconnect client) programs;
+        Server_obj.remove_client srv (Client_obj.id client);
+        Vlog.logf (Server_obj.logger srv) ~module_:"daemon.server" Vlog.Info
+          "server %s: client %Ld disconnected" (Server_obj.name srv)
+          (Client_obj.id client))
+      (fun () -> reader_loop srv programs client)

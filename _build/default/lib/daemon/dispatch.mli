@@ -1,0 +1,27 @@
+(** RPC dispatcher: the daemon's message-processing pipeline.
+
+    Per connection: a reader thread receives framed packets, decodes the
+    header, routes by program number and queues a job on the server's
+    workerpool — high-priority procedures are eligible for priority
+    workers.  The worker decodes the body, executes, and sends the reply
+    (worker-side serialization through {!Client_obj.send_packet}).
+    Malformed packets close the connection; handler exceptions become
+    [Internal_error] replies. *)
+
+type program = {
+  prog_number : int;
+  prog_version : int;
+  high_priority : int -> bool;  (** by wire procedure number *)
+  handle :
+    Server_obj.t ->
+    Client_obj.t ->
+    Ovrpc.Rpc_packet.header ->
+    string ->
+    (string, Ovirt_core.Verror.t) result;
+  on_disconnect : Client_obj.t -> unit;
+}
+
+val attach_client : Server_obj.t -> program list -> Ovnet.Transport.t -> unit
+(** Accept-loop body (use as the {!Ovnet.Netsim.listen} handler): register
+    the connection with the server (limits enforced) and run the reader
+    loop until the peer goes away.  Returns when the connection dies. *)

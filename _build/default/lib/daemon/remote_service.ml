@@ -1,0 +1,279 @@
+open Ovirt_core
+module Rp = Protocol.Remote_protocol
+module Rpc_packet = Ovrpc.Rpc_packet
+
+type conn_state = {
+  ops : Driver.ops;
+  mutable event_sub : Events.subscription option;
+}
+
+(* Per-client open connections, keyed by client id.  One table per daemon
+   process is enough: client ids are unique per server and the remote
+   program is attached to exactly one server. *)
+type state = {
+  mutex : Mutex.t;
+  conns : (int64, conn_state) Hashtbl.t;
+  logger : Vlog.t;
+}
+
+let with_lock st f =
+  Mutex.lock st.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) f
+
+let ( let* ) = Result.bind
+
+let get_conn st client =
+  with_lock st (fun () ->
+      match Hashtbl.find_opt st.conns (Client_obj.id client) with
+      | Some cs -> Ok cs
+      | None ->
+        Verror.error Verror.No_connect "client has no open hypervisor connection")
+
+(* The daemon opens the URI locally: strip the transport suffix so the
+   registry resolves a direct (stateful) driver. *)
+let do_open st client body =
+  let uri_string = Rp.dec_string_body body in
+  let* uri = Vuri.parse uri_string in
+  let direct_uri = { uri with Vuri.transport = None } in
+  with_lock st (fun () ->
+      if Hashtbl.mem st.conns (Client_obj.id client) then
+        Verror.error Verror.Operation_invalid "connection already open"
+      else
+        let* ops = Driver.open_uri direct_uri in
+        Hashtbl.replace st.conns (Client_obj.id client) { ops; event_sub = None };
+        Vlog.logf st.logger ~module_:"daemon.remote" Vlog.Info
+          "client %Ld opened %s via driver %s" (Client_obj.id client) uri_string
+          ops.Driver.drv_name;
+        Ok Rp.enc_unit_body)
+
+let teardown_conn st id =
+  with_lock st (fun () ->
+      match Hashtbl.find_opt st.conns id with
+      | None -> ()
+      | Some cs ->
+        (match cs.event_sub with
+         | Some sub -> Events.unsubscribe cs.ops.Driver.events sub
+         | None -> ());
+        cs.ops.Driver.close ();
+        Hashtbl.remove st.conns id)
+
+let do_close st client =
+  teardown_conn st (Client_obj.id client);
+  Ok Rp.enc_unit_body
+
+let net_backend (cs : conn_state) =
+  match cs.ops.Driver.net with
+  | Some b -> Ok b
+  | None -> Driver.unsupported ~drv:cs.ops.Driver.drv_name ~op:"networks"
+
+let storage_backend (cs : conn_state) =
+  match cs.ops.Driver.storage with
+  | Some b -> Ok b
+  | None -> Driver.unsupported ~drv:cs.ops.Driver.drv_name ~op:"storage pools"
+
+let do_event_register st client =
+  let* cs = get_conn st client in
+  with_lock st (fun () ->
+      match cs.event_sub with
+      | Some _ -> Ok Rp.enc_unit_body
+      | None ->
+        let sub =
+          Events.subscribe cs.ops.Driver.events (fun event ->
+              let header =
+                Rpc_packet.event_header ~program:Rp.program ~version:Rp.version
+                  ~procedure:(Rp.proc_to_int Rp.Proc_event_lifecycle)
+              in
+              Client_obj.send_packet client
+                (Rpc_packet.encode header (Rp.enc_lifecycle_event event)))
+        in
+        cs.event_sub <- Some sub;
+        Ok Rp.enc_unit_body)
+
+let do_event_deregister st client =
+  let* cs = get_conn st client in
+  with_lock st (fun () ->
+      (match cs.event_sub with
+       | Some sub -> Events.unsubscribe cs.ops.Driver.events sub
+       | None -> ());
+      cs.event_sub <- None;
+      Ok Rp.enc_unit_body)
+
+let handle st _srv client header body =
+  let* proc =
+    Result.map_error
+      (Verror.make Verror.Rpc_failure)
+      (Rp.proc_of_int header.Rpc_packet.procedure)
+  in
+  match proc with
+  | Rp.Proc_open -> do_open st client body
+  | Rp.Proc_close -> do_close st client
+  | Rp.Proc_ping ->
+    let () = Rp.dec_unit_body body in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_echo -> Ok body
+  | Rp.Proc_event_register -> do_event_register st client
+  | Rp.Proc_event_deregister -> do_event_deregister st client
+  | Rp.Proc_event_lifecycle ->
+    Verror.error Verror.Rpc_failure "lifecycle is a server-to-client event"
+  | proc ->
+    let* cs = get_conn st client in
+    let ops = cs.ops in
+    (match proc with
+     | Rp.Proc_open | Rp.Proc_close | Rp.Proc_ping | Rp.Proc_echo
+     | Rp.Proc_event_register | Rp.Proc_event_deregister | Rp.Proc_event_lifecycle ->
+       assert false
+     | Rp.Proc_get_capabilities ->
+       Ok (Rp.enc_string_body (Capabilities.to_xml (ops.Driver.get_capabilities ())))
+     | Rp.Proc_get_hostname -> Ok (Rp.enc_string_body (ops.Driver.get_hostname ()))
+     | Rp.Proc_list_domains ->
+       let* refs = ops.Driver.list_domains () in
+       Ok (Rp.enc_domain_ref_list refs)
+     | Rp.Proc_list_defined ->
+       let* names = ops.Driver.list_defined () in
+       Ok (Rp.enc_string_list names)
+     | Rp.Proc_lookup_by_name ->
+       let* r = ops.Driver.lookup_by_name (Rp.dec_string_body body) in
+       Ok (Rp.enc_domain_ref r)
+     | Rp.Proc_lookup_by_uuid ->
+       let* uuid =
+         Result.map_error (Verror.make Verror.Invalid_arg)
+           (Vmm.Uuid.of_string (Rp.dec_string_body body))
+       in
+       let* r = ops.Driver.lookup_by_uuid uuid in
+       Ok (Rp.enc_domain_ref r)
+     | Rp.Proc_define_xml ->
+       let* r = ops.Driver.define_xml (Rp.dec_string_body body) in
+       Ok (Rp.enc_domain_ref r)
+     | Rp.Proc_undefine ->
+       let* () = ops.Driver.undefine (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_dom_create ->
+       let* () = ops.Driver.dom_create (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_dom_suspend ->
+       let* () = ops.Driver.dom_suspend (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_dom_resume ->
+       let* () = ops.Driver.dom_resume (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_dom_shutdown ->
+       let* () = ops.Driver.dom_shutdown (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_dom_destroy ->
+       let* () = ops.Driver.dom_destroy (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_dom_get_info ->
+       let* info = ops.Driver.dom_get_info (Rp.dec_string_body body) in
+       Ok (Rp.enc_domain_info info)
+     | Rp.Proc_dom_get_xml ->
+       let* xml = ops.Driver.dom_get_xml (Rp.dec_string_body body) in
+       Ok (Rp.enc_string_body xml)
+     | Rp.Proc_dom_set_memory ->
+       let name, kib = Rp.dec_name_and_kib body in
+       let* () = ops.Driver.dom_set_memory name kib in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_dom_save ->
+       let name = Rp.dec_string_body body in
+       (match ops.Driver.dom_save with
+        | Some f ->
+          let* () = f name in
+          Ok Rp.enc_unit_body
+        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed save")
+     | Rp.Proc_dom_restore ->
+       let name = Rp.dec_string_body body in
+       (match ops.Driver.dom_restore with
+        | Some f ->
+          let* () = f name in
+          Ok Rp.enc_unit_body
+        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed restore")
+     | Rp.Proc_dom_has_managed_save ->
+       let name = Rp.dec_string_body body in
+       (match ops.Driver.dom_has_managed_save with
+        | Some f ->
+          let* has = f name in
+          Ok (Rp.enc_bool_body has)
+        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed save")
+     | Rp.Proc_net_list ->
+       let* b = net_backend cs in
+       let* infos = b.Driver.net_list () in
+       Ok (Rp.enc_net_info_list infos)
+     | Rp.Proc_net_define ->
+       let name, bridge, ip_range = Rp.dec_net_define body in
+       let* b = net_backend cs in
+       let* info = b.Driver.net_define ~name ~bridge ~ip_range in
+       Ok (Rp.enc_net_info info)
+     | Rp.Proc_net_start ->
+       let* b = net_backend cs in
+       let* () = b.Driver.net_start (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_net_stop ->
+       let* b = net_backend cs in
+       let* () = b.Driver.net_stop (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_net_undefine ->
+       let* b = net_backend cs in
+       let* () = b.Driver.net_undefine (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_net_set_autostart ->
+       let name, autostart = Rp.dec_name_and_bool body in
+       let* b = net_backend cs in
+       let* () = b.Driver.net_set_autostart name autostart in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_net_lookup ->
+       let* b = net_backend cs in
+       let* info = b.Driver.net_lookup (Rp.dec_string_body body) in
+       Ok (Rp.enc_net_info info)
+     | Rp.Proc_pool_list ->
+       let* b = storage_backend cs in
+       let* infos = b.Driver.pool_list () in
+       Ok (Rp.enc_pool_info_list infos)
+     | Rp.Proc_pool_define ->
+       let name, target_path, capacity_b = Rp.dec_pool_define body in
+       let* b = storage_backend cs in
+       let* info = b.Driver.pool_define ~name ~target_path ~capacity_b in
+       Ok (Rp.enc_pool_info info)
+     | Rp.Proc_pool_start ->
+       let* b = storage_backend cs in
+       let* () = b.Driver.pool_start (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_pool_stop ->
+       let* b = storage_backend cs in
+       let* () = b.Driver.pool_stop (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_pool_undefine ->
+       let* b = storage_backend cs in
+       let* () = b.Driver.pool_undefine (Rp.dec_string_body body) in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_pool_lookup ->
+       let* b = storage_backend cs in
+       let* info = b.Driver.pool_lookup (Rp.dec_string_body body) in
+       Ok (Rp.enc_pool_info info)
+     | Rp.Proc_vol_create ->
+       let pool, name, capacity_b, format = Rp.dec_vol_create body in
+       let* b = storage_backend cs in
+       let* info = b.Driver.vol_create ~pool ~name ~capacity_b ~format in
+       Ok (Rp.enc_vol_info info)
+     | Rp.Proc_vol_delete ->
+       let pool, name = Rp.dec_vol_ref body in
+       let* b = storage_backend cs in
+       let* () = b.Driver.vol_delete ~pool ~name in
+       Ok Rp.enc_unit_body
+     | Rp.Proc_vol_list ->
+       let* b = storage_backend cs in
+       let* infos = b.Driver.vol_list ~pool:(Rp.dec_string_body body) in
+       Ok (Rp.enc_vol_info_list infos))
+
+let program ~logger =
+  let st = { mutex = Mutex.create (); conns = Hashtbl.create 32; logger } in
+  Dispatch.
+    {
+      prog_number = Rp.program;
+      prog_version = Rp.version;
+      high_priority =
+        (fun proc ->
+          match Rp.proc_of_int proc with
+          | Ok p -> Rp.is_high_priority p
+          | Error _ -> false);
+      handle = (fun srv client header body -> handle st srv client header body);
+      on_disconnect = (fun client -> teardown_conn st (Client_obj.id client));
+    }

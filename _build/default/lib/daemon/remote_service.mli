@@ -1,0 +1,10 @@
+(** The remote program's daemon-side implementation.
+
+    Each client may hold one open hypervisor connection (established by
+    [Proc_open] with a URI whose transport suffix the daemon strips before
+    handing it to the in-process driver registry — the "daemon invokes the
+    very same library call with a stateful driver" step).  Lifecycle
+    events of that connection can be streamed back as [Event] packets
+    after [Proc_event_register]. *)
+
+val program : logger:Vlog.t -> Dispatch.program

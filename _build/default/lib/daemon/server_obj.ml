@@ -1,0 +1,130 @@
+module Verror = Ovirt_core.Verror
+
+type client_limits = { max_clients : int; max_anonymous : int }
+
+type t = {
+  name : string;
+  logger : Vlog.t;
+  pool : Threadpool.t;
+  mutex : Mutex.t;
+  clients : (int64, Client_obj.t) Hashtbl.t;
+  mutable limits : client_limits;
+  mutable next_client_id : int64;
+}
+
+let create ~name ~logger ~min_workers ~max_workers ~prio_workers ~limits =
+  {
+    name;
+    logger;
+    pool =
+      Threadpool.create ~name:(name ^ "-pool") ~min_workers ~max_workers
+        ~prio_workers ();
+    mutex = Mutex.create ();
+    clients = Hashtbl.create 32;
+    limits;
+    next_client_id = 1L;
+  }
+
+let with_lock srv f =
+  Mutex.lock srv.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.mutex) f
+
+let name srv = srv.name
+let pool srv = srv.pool
+let logger srv = srv.logger
+
+let counts_unlocked srv =
+  Hashtbl.fold
+    (fun _ client (total, unauth) ->
+      if Client_obj.is_closed client then (total, unauth)
+      else (total + 1, if Client_obj.is_authenticated client then unauth else unauth + 1))
+    srv.clients (0, 0)
+
+(* Drop table entries whose transport died without a clean remove. *)
+let reap_unlocked srv =
+  let dead =
+    Hashtbl.fold
+      (fun id client acc -> if Client_obj.is_closed client then id :: acc else acc)
+      srv.clients []
+  in
+  List.iter (Hashtbl.remove srv.clients) dead
+
+let accept_client srv conn =
+  with_lock srv (fun () ->
+      reap_unlocked srv;
+      let total, unauth = counts_unlocked srv in
+      if total >= srv.limits.max_clients then begin
+        Ovnet.Transport.close conn;
+        Vlog.logf srv.logger ~module_:"daemon.server" Vlog.Warn
+          "server %s: refusing client, limit of %d connections reached" srv.name
+          srv.limits.max_clients;
+        Verror.error Verror.Resource_exhausted
+          "server %s: maximum of %d clients reached" srv.name srv.limits.max_clients
+      end
+      else if unauth >= srv.limits.max_anonymous then begin
+        Ovnet.Transport.close conn;
+        Verror.error Verror.Resource_exhausted
+          "server %s: maximum of %d unauthenticated clients reached" srv.name
+          srv.limits.max_anonymous
+      end
+      else begin
+        let id = srv.next_client_id in
+        srv.next_client_id <- Int64.add id 1L;
+        let client = Client_obj.create ~id ~conn in
+        Hashtbl.replace srv.clients id client;
+        Vlog.logf srv.logger ~module_:"daemon.server" Vlog.Info
+          "server %s: accepted client %Ld (%s)" srv.name id
+          (Ovnet.Transport.kind_name (Ovnet.Transport.kind conn));
+        Ok client
+      end)
+
+let remove_client srv id =
+  with_lock srv (fun () ->
+      (match Hashtbl.find_opt srv.clients id with
+       | Some client -> Client_obj.close client
+       | None -> ());
+      Hashtbl.remove srv.clients id)
+
+let find_client srv id =
+  with_lock srv (fun () ->
+      match Hashtbl.find_opt srv.clients id with
+      | Some client when not (Client_obj.is_closed client) -> Ok client
+      | Some _ | None ->
+        Verror.error Verror.No_client "server %s: no client with id %Ld" srv.name id)
+
+let list_clients srv =
+  with_lock srv (fun () ->
+      reap_unlocked srv;
+      Hashtbl.fold (fun _ client acc -> client :: acc) srv.clients []
+      |> List.sort (fun a b -> Int64.compare (Client_obj.id a) (Client_obj.id b)))
+
+let client_counts srv =
+  with_lock srv (fun () ->
+      reap_unlocked srv;
+      counts_unlocked srv)
+
+let limits srv = with_lock srv (fun () -> srv.limits)
+
+let set_limits srv ?max_clients ?max_anonymous () =
+  with_lock srv (fun () ->
+      let max_clients = Option.value max_clients ~default:srv.limits.max_clients in
+      let max_anonymous =
+        Option.value max_anonymous ~default:srv.limits.max_anonymous
+      in
+      if max_clients < 1 then
+        Verror.error Verror.Invalid_arg "max_clients must be >= 1"
+      else if max_anonymous < 1 then
+        Verror.error Verror.Invalid_arg "max_anonymous_clients must be >= 1"
+      else if max_anonymous > max_clients then
+        Verror.error Verror.Invalid_arg
+          "max_anonymous_clients (%d) must not exceed max_clients (%d)" max_anonymous
+          max_clients
+      else begin
+        srv.limits <- { max_clients; max_anonymous };
+        Ok ()
+      end)
+
+let close_all_clients srv =
+  with_lock srv (fun () ->
+      Hashtbl.iter (fun _ client -> Client_obj.close client) srv.clients;
+      Hashtbl.reset srv.clients)

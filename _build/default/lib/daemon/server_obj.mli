@@ -1,0 +1,43 @@
+(** Server object: one named server inside the daemon.
+
+    Owns a workerpool, a client table with limits, and the services bound
+    to transports.  The daemon hosts two: ["libvirtd"] (the hypervisor
+    program) and ["admin"] (the administration program) — the structure
+    the administration interface introspects. *)
+
+type t
+
+type client_limits = {
+  max_clients : int;
+  max_anonymous : int;  (** connected but not yet authenticated *)
+}
+
+val create :
+  name:string ->
+  logger:Vlog.t ->
+  min_workers:int ->
+  max_workers:int ->
+  prio_workers:int ->
+  limits:client_limits ->
+  t
+
+val name : t -> string
+val pool : t -> Threadpool.t
+val logger : t -> Vlog.t
+
+val accept_client : t -> Ovnet.Transport.t -> (Client_obj.t, Ovirt_core.Verror.t) result
+(** Registers a fresh client, enforcing both limits ([Resource_exhausted]
+    on refusal, after which the connection is closed). *)
+
+val remove_client : t -> int64 -> unit
+val find_client : t -> int64 -> (Client_obj.t, Ovirt_core.Verror.t) result
+val list_clients : t -> Client_obj.t list
+(** Ascending id. *)
+
+val client_counts : t -> int * int
+(** (total connected, of which unauthenticated). *)
+
+val limits : t -> client_limits
+val set_limits : t -> ?max_clients:int -> ?max_anonymous:int -> unit -> (unit, Ovirt_core.Verror.t) result
+
+val close_all_clients : t -> unit

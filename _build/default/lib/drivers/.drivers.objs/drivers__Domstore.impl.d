@@ -1,0 +1,1 @@
+lib/drivers/domstore.ml: Fun Hashtbl List Mutex Ovirt_core Vmm

@@ -1,0 +1,1 @@
+lib/drivers/domstore.mli: Ovirt_core Vmm

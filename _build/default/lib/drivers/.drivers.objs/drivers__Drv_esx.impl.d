@@ -1,0 +1,1 @@
+lib/drivers/drv_esx.ml: Capabilities Driver Drvutil Fun Hashtbl Hvsim List Mini_xml Mutex Option Ovirt_core Result String Verror Vmm Vuri

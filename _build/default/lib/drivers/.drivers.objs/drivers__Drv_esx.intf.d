@@ -1,0 +1,1 @@
+lib/drivers/drv_esx.mli: Hvsim

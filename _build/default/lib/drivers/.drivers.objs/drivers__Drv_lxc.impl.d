@@ -1,0 +1,1 @@
+lib/drivers/drv_lxc.ml: Capabilities Domstore Driver Drvutil Events Fun Hashtbl Hvsim Int64 List Mutex Net_backend Ovirt_core Result Storage_backend Verror Vmm Vuri

@@ -1,0 +1,1 @@
+lib/drivers/drv_qemu.ml: Capabilities Domstore Driver Drvutil Events Fun Hashtbl Hvsim Int64 List Mutex Net_backend Option Ovirt_core Printf Result Storage_backend Verror Vmm Vuri

@@ -1,0 +1,1 @@
+lib/drivers/drv_qemu.mli: Vmm

@@ -1,0 +1,1 @@
+lib/drivers/drv_test.ml: Capabilities Domstore Driver Events Fun Hashtbl Hvsim Int64 List Mutex Net_backend Ovirt_core Result Storage_backend String Thread Verror Vmm Vuri

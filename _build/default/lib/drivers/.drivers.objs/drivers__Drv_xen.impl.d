@@ -1,0 +1,1 @@
+lib/drivers/drv_xen.ml: Capabilities Domstore Driver Drvutil Events Fun Hashtbl Hvsim List Mutex Net_backend Ovirt_core Printf Result Storage_backend Verror Vmm Vuri

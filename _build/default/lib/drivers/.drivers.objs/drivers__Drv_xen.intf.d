@@ -1,0 +1,1 @@
+lib/drivers/drv_xen.mli:

@@ -1,0 +1,1 @@
+lib/drivers/drvutil.ml: Capabilities Hvsim List Ovirt_core Result Verror Vmm

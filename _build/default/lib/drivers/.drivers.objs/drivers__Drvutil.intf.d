@@ -1,0 +1,1 @@
+lib/drivers/drvutil.mli: Hvsim Ovirt_core Vmm

@@ -1,0 +1,57 @@
+module Vm_config = Vmm.Vm_config
+module Verror = Ovirt_core.Verror
+
+type t = { mutex : Mutex.t; configs : (string, Vm_config.t) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); configs = Hashtbl.create 16 }
+
+let with_lock store f =
+  Mutex.lock store.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock store.mutex) f
+
+let define store config =
+  with_lock store (fun () ->
+      let name = config.Vm_config.name in
+      let uuid_clash =
+        Hashtbl.fold
+          (fun other_name cfg acc ->
+            acc
+            || (other_name <> name
+               && Vmm.Uuid.equal cfg.Vm_config.uuid config.Vm_config.uuid))
+          store.configs false
+      in
+      if uuid_clash then
+        Verror.error Verror.Dup_name "UUID of %S already used by another domain" name
+      else
+        match Hashtbl.find_opt store.configs name with
+        | Some existing
+          when not (Vmm.Uuid.equal existing.Vm_config.uuid config.Vm_config.uuid) ->
+          Verror.error Verror.Dup_name
+            "domain %S already defined with a different UUID" name
+        | Some _ | None ->
+          Hashtbl.replace store.configs name config;
+          Ok ())
+
+let undefine store name =
+  with_lock store (fun () ->
+      if Hashtbl.mem store.configs name then begin
+        Hashtbl.remove store.configs name;
+        Ok ()
+      end
+      else Verror.error Verror.No_domain "no persistent domain named %S" name)
+
+let get store name = with_lock store (fun () -> Hashtbl.find_opt store.configs name)
+
+let by_uuid store uuid =
+  with_lock store (fun () ->
+      Hashtbl.fold
+        (fun _ cfg acc ->
+          if Vmm.Uuid.equal cfg.Vm_config.uuid uuid then Some cfg else acc)
+        store.configs None)
+
+let names store =
+  with_lock store (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) store.configs []
+      |> List.sort compare)
+
+let mem store name = with_lock store (fun () -> Hashtbl.mem store.configs name)

@@ -1,0 +1,22 @@
+(** Persistent-definition store shared by the stateful drivers.
+
+    Stateful hypervisors (QEMU, Xen) forget domains the moment they stop;
+    keeping the configuration so the domain can be started again is the
+    driver's job.  This store holds those definitions, keyed by name, with
+    the uniqueness rules libvirt enforces (unique name {e and} UUID). *)
+
+type t
+
+val create : unit -> t
+
+val define : t -> Vmm.Vm_config.t -> (unit, Ovirt_core.Verror.t) result
+(** Redefinition with the same name and UUID updates in place; a name or
+    UUID collision with a different identity is [Dup_name]. *)
+
+val undefine : t -> string -> (unit, Ovirt_core.Verror.t) result
+val get : t -> string -> Vmm.Vm_config.t option
+val by_uuid : t -> Vmm.Uuid.t -> Vmm.Vm_config.t option
+val names : t -> string list
+(** Sorted. *)
+
+val mem : t -> string -> bool

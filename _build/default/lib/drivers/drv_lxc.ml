@@ -1,0 +1,213 @@
+module Vm_config = Vmm.Vm_config
+module Vm_state = Vmm.Vm_state
+module Lxc_host = Hvsim.Lxc_host
+open Ovirt_core
+
+type node = {
+  node_name : string;
+  lxc : Lxc_host.t;
+  mutex : Mutex.t;
+  (* Container configs (for XML/uuid); live state lives in the host sim. *)
+  store : Domstore.t;
+  net : Net_backend.t;
+  storage : Storage_backend.t;
+  events : Events.bus;
+}
+
+let nodes : (string, node) Hashtbl.t = Hashtbl.create 4
+let nodes_mutex = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let ( let* ) = Result.bind
+
+let get_node name =
+  with_lock nodes_mutex (fun () ->
+      match Hashtbl.find_opt nodes name with
+      | Some node -> node
+      | None ->
+        let node =
+          {
+            node_name = name;
+            lxc = Lxc_host.create (Hvsim.Hostinfo.create ~hostname:name ());
+            mutex = Mutex.create ();
+            store = Domstore.create ();
+            net = Net_backend.create ();
+            storage = Storage_backend.create ();
+            events = Events.create_bus ();
+          }
+        in
+        Hashtbl.add nodes name node;
+        node)
+
+let reset_nodes () = with_lock nodes_mutex (fun () -> Hashtbl.reset nodes)
+
+let require_config node name =
+  match Domstore.get node.store name with
+  | Some cfg -> Ok cfg
+  | None -> Verror.error Verror.No_domain "no container named %S" name
+
+let container_info node name =
+  Result.map_error (Verror.make Verror.No_domain) (Lxc_host.info node.lxc name)
+
+let state_of = function
+  | Lxc_host.Stopped -> Vm_state.Shutoff
+  | Lxc_host.Running -> Vm_state.Running
+  | Lxc_host.Frozen -> Vm_state.Paused
+
+let domain_ref_of node name =
+  let* cfg = require_config node name in
+  let* info = container_info node name in
+  Ok
+    Driver.
+      {
+        dom_name = name;
+        dom_uuid = cfg.Vm_config.uuid;
+        dom_id = info.Lxc_host.init_pid;
+      }
+
+let define_xml node xml =
+  let* cfg = Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Container_exe ] xml in
+  let* () = Domstore.define node.store cfg in
+  let* () =
+    Result.map_error (Verror.make Verror.Operation_failed) (Lxc_host.define node.lxc cfg)
+  in
+  Events.emit node.events ~domain_name:cfg.Vm_config.name Events.Ev_defined;
+  domain_ref_of node cfg.Vm_config.name
+
+let host_op code node name call event =
+  with_lock node.mutex (fun () ->
+      let* _cfg = require_config node name in
+      let* () = Result.map_error (Verror.make code) (call node.lxc name) in
+      Events.emit node.events ~domain_name:name event;
+      Ok ())
+
+let undefine node name =
+  with_lock node.mutex (fun () ->
+      let* _cfg = require_config node name in
+      let* () =
+        Result.map_error (Verror.make Verror.Operation_invalid)
+          (Lxc_host.undefine node.lxc name)
+      in
+      let* () = Domstore.undefine node.store name in
+      Events.emit node.events ~domain_name:name Events.Ev_undefined;
+      Ok ())
+
+let dom_create node name =
+  host_op Verror.Operation_invalid node name Lxc_host.start Events.Ev_started
+
+let dom_suspend node name =
+  host_op Verror.Operation_invalid node name Lxc_host.freeze Events.Ev_suspended
+
+let dom_resume node name =
+  host_op Verror.Operation_invalid node name Lxc_host.thaw Events.Ev_resumed
+
+(* Containers have no ACPI: both shutdown and destroy signal init. *)
+let dom_shutdown node name =
+  host_op Verror.Operation_invalid node name Lxc_host.stop Events.Ev_shutdown
+
+let dom_destroy node name =
+  host_op Verror.Operation_invalid node name Lxc_host.stop Events.Ev_stopped
+
+let dom_get_info node name =
+  with_lock node.mutex (fun () ->
+      let* cfg = require_config node name in
+      let* info = container_info node name in
+      Ok
+        Driver.
+          {
+            di_state = state_of info.Lxc_host.info_state;
+            di_max_mem_kib = cfg.Vm_config.memory_kib;
+            di_memory_kib = info.Lxc_host.memory_limit_kib;
+            di_vcpus = cfg.Vm_config.vcpus;
+            di_cpu_time_ns =
+              (match info.Lxc_host.init_pid with
+               | Some pid -> Int64.of_int (pid * 100_000)
+               | None -> 0L);
+          })
+
+let dom_get_xml node name =
+  let* cfg = require_config node name in
+  Ok (Vmm.Domxml.to_xml ~virt_type:"lxc" cfg)
+
+(* Live resize through the cgroup: containers may grow past the definition
+   (cgroups allow it), unlike a balloon. *)
+let dom_set_memory node name kib =
+  with_lock node.mutex (fun () ->
+      let* _cfg = require_config node name in
+      Result.map_error (Verror.make Verror.Invalid_arg)
+        (Lxc_host.set_memory_limit node.lxc name kib))
+
+let list_domains node =
+  with_lock node.mutex (fun () ->
+      Lxc_host.list node.lxc
+      |> List.filter_map (fun name ->
+             match Lxc_host.info node.lxc name with
+             | Ok info when info.Lxc_host.info_state <> Lxc_host.Stopped ->
+               (match domain_ref_of node name with Ok r -> Some r | Error _ -> None)
+             | Ok _ | Error _ -> None)
+      |> Result.ok)
+
+let list_defined node =
+  with_lock node.mutex (fun () ->
+      Lxc_host.list node.lxc
+      |> List.filter (fun name ->
+             match Lxc_host.info node.lxc name with
+             | Ok info -> info.Lxc_host.info_state = Lxc_host.Stopped
+             | Error _ -> false)
+      |> Result.ok)
+
+let lookup_by_name node name = with_lock node.mutex (fun () -> domain_ref_of node name)
+
+let lookup_by_uuid node uuid =
+  with_lock node.mutex (fun () ->
+      match Domstore.by_uuid node.store uuid with
+      | Some cfg -> domain_ref_of node cfg.Vm_config.name
+      | None ->
+        Verror.error Verror.No_domain "no container with UUID %s"
+          (Vmm.Uuid.to_string uuid))
+
+let capabilities node =
+  Capabilities.
+    {
+      driver_name = "lxc";
+      virt_kind = "container";
+      stateful = true;
+      guest_os_kinds = [ Vm_config.Container_exe ];
+      features =
+        [
+          Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
+          Feat_destroy; Feat_set_memory; Feat_freeze; Feat_console;
+          Feat_networks; Feat_storage_pools;
+        ];
+      host = Drvutil.host_summary ~node_name:node.node_name (Lxc_host.host node.lxc);
+    }
+
+let open_node node =
+  Driver.make_ops ~drv_name:"lxc"
+    ~get_capabilities:(fun () -> capabilities node)
+    ~get_hostname:(fun () -> node.node_name)
+    ~list_domains:(fun () -> list_domains node)
+    ~list_defined:(fun () -> list_defined node)
+    ~lookup_by_name:(lookup_by_name node) ~lookup_by_uuid:(lookup_by_uuid node)
+    ~define_xml:(define_xml node) ~undefine:(undefine node)
+    ~dom_create:(dom_create node) ~dom_suspend:(dom_suspend node)
+    ~dom_resume:(dom_resume node) ~dom_shutdown:(dom_shutdown node)
+    ~dom_destroy:(dom_destroy node) ~dom_get_info:(dom_get_info node)
+    ~dom_get_xml:(dom_get_xml node) ~dom_set_memory:(dom_set_memory node)
+    ~net:(Driver.net_ops_of_backend node.net)
+    ~storage:(Driver.storage_ops_of_backend node.storage)
+    ~events:node.events ()
+
+let node_of_uri uri =
+  match uri.Vuri.host with Some host -> host | None -> "localhost"
+
+let register () =
+  Driver.register
+    {
+      Driver.reg_name = "lxc";
+      probe = (fun uri -> uri.Vuri.scheme = "lxc" && uri.Vuri.transport = None);
+      open_conn = (fun uri -> Ok (open_node (get_node (node_of_uri uri))));
+    }

@@ -1,0 +1,13 @@
+(** LXC (container) driver.
+
+    No hypervisor: operations manipulate kernel facilities on
+    {!Hvsim.Lxc_host} — cgroups for resource control (including live
+    memory resize), the freezer cgroup for suspend/resume, namespace sets
+    at start.  Shutdown and destroy both signal the init process, so both
+    map to a container stop.  Migration is unsupported (containers share
+    the host kernel).
+
+    URIs: [lxc:///] / [lxc://<node>/] without [+transport]. *)
+
+val register : unit -> unit
+val reset_nodes : unit -> unit

@@ -1,0 +1,464 @@
+module Vm_config = Vmm.Vm_config
+module Vm_state = Vmm.Vm_state
+module Qemu_proc = Hvsim.Qemu_proc
+open Ovirt_core
+
+type node = {
+  node_name : string;
+  host : Hvsim.Hostinfo.t;
+  store : Domstore.t;
+  mutex : Mutex.t;
+  procs : (string, Qemu_proc.t) Hashtbl.t;
+  balloon : (string, int) Hashtbl.t; (* current balloon targets, KiB *)
+  agents : (string, Hvsim.Guest_agent.endpoint) Hashtbl.t;
+  (* managed-save images: name -> serialized guest memory *)
+  saved : (string, string) Hashtbl.t;
+  net : Net_backend.t;
+  storage : Storage_backend.t;
+  events : Events.bus;
+}
+
+let nodes : (string, node) Hashtbl.t = Hashtbl.create 4
+let nodes_mutex = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let ( let* ) = Result.bind
+
+let get_node name =
+  with_lock nodes_mutex (fun () ->
+      match Hashtbl.find_opt nodes name with
+      | Some node -> node
+      | None ->
+        let node =
+          {
+            node_name = name;
+            host = Hvsim.Hostinfo.create ~hostname:name ();
+            store = Domstore.create ();
+            mutex = Mutex.create ();
+            procs = Hashtbl.create 16;
+            balloon = Hashtbl.create 16;
+            agents = Hashtbl.create 16;
+            saved = Hashtbl.create 4;
+            net = Net_backend.create ();
+            storage = Storage_backend.create ();
+            events = Events.create_bus ();
+          }
+        in
+        Hashtbl.add nodes name node;
+        node)
+
+let reset_nodes () = with_lock nodes_mutex (fun () -> Hashtbl.reset nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Command-line formatting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let proc_argv (cfg : Vm_config.t) =
+  let base =
+    [
+      "qemu-system-" ^ cfg.arch;
+      "-name"; cfg.name;
+      "-uuid"; Vmm.Uuid.to_string cfg.uuid;
+      "-m"; string_of_int (cfg.memory_kib / 1024);
+      "-smp"; string_of_int cfg.vcpus;
+      "-S";
+      "-qmp"; "unix:/var/run/ovirt/qemu/" ^ cfg.name ^ ".monitor";
+    ]
+  in
+  let disks =
+    List.concat_map
+      (fun (d : Vm_config.disk) ->
+        [
+          "-drive";
+          Printf.sprintf "file=%s,format=%s,if=virtio%s" d.source_path d.disk_format
+            (if d.readonly then ",readonly=on" else "");
+        ])
+      cfg.disks
+  in
+  let nics =
+    List.concat_map
+      (fun (n : Vm_config.nic) ->
+        [
+          "-netdev"; Printf.sprintf "bridge,id=%s" n.network;
+          "-device"; Printf.sprintf "%s,netdev=%s,mac=%s" n.nic_model n.network n.mac;
+        ])
+      cfg.nics
+  in
+  base @ disks @ nics
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let require_config node name =
+  match Domstore.get node.store name with
+  | Some cfg -> Ok cfg
+  | None -> Verror.error Verror.No_domain "no domain named %S" name
+
+let live_proc node name =
+  match Hashtbl.find_opt node.procs name with
+  | Some proc when Qemu_proc.is_alive proc -> Some proc
+  | Some _ | None -> None
+
+let require_proc node name =
+  match live_proc node name with
+  | Some proc -> Ok proc
+  | None ->
+    if Domstore.mem node.store name then
+      Verror.error Verror.Operation_invalid "domain %S is not running" name
+    else Verror.error Verror.No_domain "no domain named %S" name
+
+let domain_ref_of node name =
+  let* cfg = require_config node name in
+  let dom_id = Option.map Qemu_proc.pid (live_proc node name) in
+  Ok Driver.{ dom_name = name; dom_uuid = cfg.Vm_config.uuid; dom_id }
+
+let define_xml node xml =
+  let* cfg = Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Hvm ] xml in
+  let* () = Domstore.define node.store cfg in
+  Events.emit node.events ~domain_name:cfg.Vm_config.name Events.Ev_defined;
+  with_lock node.mutex (fun () -> domain_ref_of node cfg.Vm_config.name)
+
+let undefine node name =
+  with_lock node.mutex (fun () ->
+      match live_proc node name with
+      | Some _ ->
+        Verror.error Verror.Operation_invalid "cannot undefine running domain %S" name
+      | None ->
+        let* () = Domstore.undefine node.store name in
+        Hashtbl.remove node.procs name;
+        Hashtbl.remove node.saved name;
+        Events.emit node.events ~domain_name:name Events.Ev_undefined;
+        Ok ())
+
+let qmp proc ~cmd = Qemu_proc.qmp proc ~cmd ()
+
+let connect_nics node (cfg : Vm_config.t) =
+  let rec attach attached = function
+    | [] -> Ok attached
+    | (n : Vm_config.nic) :: rest ->
+      (match Net_backend.connect_iface node.net n.network with
+       | Ok () -> attach (n :: attached) rest
+       | Error e ->
+         List.iter
+           (fun (a : Vm_config.nic) -> Net_backend.disconnect_iface node.net a.network)
+           attached;
+         Error e)
+  in
+  attach [] cfg.nics |> Result.map (fun (_ : Vm_config.nic list) -> ())
+
+let disconnect_nics node (cfg : Vm_config.t) =
+  List.iter
+    (fun (n : Vm_config.nic) -> Net_backend.disconnect_iface node.net n.network)
+    cfg.nics
+
+(* Spawn, negotiate QMP and leave the domain paused.  Shared by start and
+   by the migration-destination prepare step. *)
+let spawn_paused node cfg =
+  if live_proc node cfg.Vm_config.name <> None then
+    Verror.error Verror.Operation_invalid "domain %S is already running"
+      cfg.Vm_config.name
+  else
+    let* () = connect_nics node cfg in
+    match Qemu_proc.spawn node.host ~argv:(proc_argv cfg) cfg with
+    | Error msg ->
+      disconnect_nics node cfg;
+      Error (Verror.make Verror.Resource_exhausted msg)
+    | Ok proc ->
+      (match qmp proc ~cmd:"qmp_capabilities" with
+       | Error msg ->
+         disconnect_nics node cfg;
+         Error (Verror.make Verror.Operation_failed msg)
+       | Ok _ ->
+         Hashtbl.replace node.procs cfg.Vm_config.name proc;
+         Hashtbl.replace node.balloon cfg.Vm_config.name cfg.Vm_config.memory_kib;
+         (* The guest ships an (uninstalled) agent channel, like a
+            virtio-serial port waiting for qemu-guest-agent. *)
+         Hashtbl.replace node.agents cfg.Vm_config.name
+           (Hvsim.Guest_agent.create ~image:(Qemu_proc.image proc)
+              ~state:(fun () -> Qemu_proc.state proc)
+              ~request_shutdown:(fun () ->
+                ignore (qmp proc ~cmd:"system_powerdown")));
+         Ok proc)
+
+(* A process that exited needs its node-side bookkeeping cleared. *)
+let reap node name =
+  match require_config node name with
+  | Error _ -> ()
+  | Ok cfg ->
+    Hashtbl.remove node.procs name;
+    Hashtbl.remove node.balloon name;
+    Hashtbl.remove node.agents name;
+    disconnect_nics node cfg
+
+let dom_create node name =
+  with_lock node.mutex (fun () ->
+      let* cfg = require_config node name in
+      let* proc = spawn_paused node cfg in
+      match qmp proc ~cmd:"cont" with
+      | Error msg ->
+        ignore (qmp proc ~cmd:"quit");
+        reap node name;
+        Error (Verror.make Verror.Operation_failed msg)
+      | Ok _ ->
+        Events.emit node.events ~domain_name:name Events.Ev_started;
+        Ok ())
+
+let monitor_op node name cmd event =
+  with_lock node.mutex (fun () ->
+      let* proc = require_proc node name in
+      match qmp proc ~cmd with
+      | Error msg -> Error (Verror.make Verror.Operation_invalid msg)
+      | Ok _ ->
+        if not (Qemu_proc.is_alive proc) then reap node name;
+        Events.emit node.events ~domain_name:name event;
+        Ok ())
+
+let dom_suspend node name = monitor_op node name "stop" Events.Ev_suspended
+let dom_resume node name = monitor_op node name "cont" Events.Ev_resumed
+let dom_shutdown node name = monitor_op node name "system_powerdown" Events.Ev_shutdown
+let dom_destroy node name = monitor_op node name "quit" Events.Ev_stopped
+
+let dom_get_info node name =
+  with_lock node.mutex (fun () ->
+      let* cfg = require_config node name in
+      let current_memory =
+        Option.value
+          (Hashtbl.find_opt node.balloon name)
+          ~default:cfg.Vm_config.memory_kib
+      in
+      match live_proc node name with
+      | Some proc ->
+        Ok
+          Driver.
+            {
+              di_state = Qemu_proc.state proc;
+              di_max_mem_kib = cfg.Vm_config.memory_kib;
+              di_memory_kib = current_memory;
+              di_vcpus = cfg.Vm_config.vcpus;
+              di_cpu_time_ns = Int64.of_int (Qemu_proc.pid proc * 1_000_000);
+            }
+      | None ->
+        Ok
+          Driver.
+            {
+              di_state = Vm_state.Shutoff;
+              di_max_mem_kib = cfg.Vm_config.memory_kib;
+              di_memory_kib = cfg.Vm_config.memory_kib;
+              di_vcpus = cfg.Vm_config.vcpus;
+              di_cpu_time_ns = 0L;
+            })
+
+let dom_get_xml node name =
+  let* cfg = require_config node name in
+  Ok (Vmm.Domxml.to_xml ~virt_type:"kvm" cfg)
+
+let dom_set_memory node name kib =
+  with_lock node.mutex (fun () ->
+      let* cfg = require_config node name in
+      if kib <= 0 then Verror.error Verror.Invalid_arg "memory must be positive"
+      else if kib > cfg.Vm_config.memory_kib then
+        Verror.error Verror.Invalid_arg "balloon target %d exceeds maximum %d" kib
+          cfg.Vm_config.memory_kib
+      else begin
+        let* _proc = require_proc node name in
+        Hashtbl.replace node.balloon name kib;
+        Ok ()
+      end)
+
+let list_domains node =
+  with_lock node.mutex (fun () ->
+      Hashtbl.fold
+        (fun name proc acc ->
+          if Qemu_proc.is_alive proc then
+            match domain_ref_of node name with Ok r -> r :: acc | Error _ -> acc
+          else acc)
+        node.procs []
+      |> List.sort (fun a b -> compare a.Driver.dom_name b.Driver.dom_name)
+      |> Result.ok)
+
+let list_defined node =
+  with_lock node.mutex (fun () ->
+      Domstore.names node.store
+      |> List.filter (fun name -> live_proc node name = None)
+      |> Result.ok)
+
+let lookup_by_name node name = with_lock node.mutex (fun () -> domain_ref_of node name)
+
+let lookup_by_uuid node uuid =
+  with_lock node.mutex (fun () ->
+      match Domstore.by_uuid node.store uuid with
+      | Some cfg -> domain_ref_of node cfg.Vm_config.name
+      | None ->
+        Verror.error Verror.No_domain "no domain with UUID %s" (Vmm.Uuid.to_string uuid))
+
+(* ------------------------------------------------------------------ *)
+(* Managed save                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dom_save node name =
+  with_lock node.mutex (fun () ->
+      let* proc = require_proc node name in
+      match Qemu_proc.state proc with
+      | Vmm.Vm_state.Running | Vmm.Vm_state.Paused ->
+        Hashtbl.replace node.saved name
+          (Vmm.Guest_image.snapshot (Qemu_proc.image proc));
+        ignore (qmp proc ~cmd:"quit");
+        reap node name;
+        Events.emit node.events ~domain_name:name Events.Ev_stopped;
+        Ok ()
+      | other ->
+        Verror.error Verror.Operation_invalid "cannot save domain in state %s"
+          (Vm_state.state_name other))
+
+let dom_restore node name =
+  with_lock node.mutex (fun () ->
+      let* cfg = require_config node name in
+      match Hashtbl.find_opt node.saved name with
+      | None ->
+        Verror.error Verror.Operation_invalid "domain %S has no managed-save image"
+          name
+      | Some bytes ->
+        let* proc = spawn_paused node cfg in
+        Vmm.Guest_image.restore_from (Qemu_proc.image proc) bytes;
+        (match qmp proc ~cmd:"cont" with
+         | Error msg ->
+           ignore (qmp proc ~cmd:"quit");
+           reap node name;
+           Error (Verror.make Verror.Operation_failed msg)
+         | Ok _ ->
+           Hashtbl.remove node.saved name;
+           Events.emit node.events ~domain_name:name Events.Ev_started;
+           Ok ()))
+
+let dom_has_managed_save node name =
+  with_lock node.mutex (fun () ->
+      let* _cfg = require_config node name in
+      Ok (Hashtbl.mem node.saved name))
+
+(* ------------------------------------------------------------------ *)
+(* Guest agent (intrusive baseline)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let agent_endpoint node name =
+  with_lock node.mutex (fun () ->
+      let* _cfg = require_config node name in
+      match Hashtbl.find_opt node.agents name with
+      | Some ep when live_proc node name <> None -> Ok ep
+      | Some _ | None ->
+        Verror.error Verror.Operation_invalid
+          "guest agent unreachable: domain %S is not running" name)
+
+(* Exec runs outside the node lock: a guest-shutdown command re-enters
+   the monitor path. *)
+let guest_agent_install node name =
+  let* ep = agent_endpoint node name in
+  Result.map_error (Verror.make Verror.Operation_invalid)
+    (Hvsim.Guest_agent.install ep)
+
+let guest_agent_exec node name line =
+  let* ep = agent_endpoint node name in
+  Ok (Hvsim.Guest_agent.exec ep line)
+
+(* ------------------------------------------------------------------ *)
+(* Migration                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let migrate_begin node name =
+  with_lock node.mutex (fun () ->
+      let* proc = require_proc node name in
+      if Qemu_proc.state proc <> Vm_state.Running then
+        Verror.error Verror.Operation_invalid "domain %S is not running" name
+      else
+        let* cfg = require_config node name in
+        Ok
+          Driver.
+            {
+              mig_config_xml = Vmm.Domxml.to_xml ~virt_type:"kvm" cfg;
+              mig_image = Qemu_proc.image proc;
+              mig_enter_stopcopy = (fun () -> dom_suspend node name);
+              mig_confirm =
+                (fun () ->
+                  with_lock node.mutex (fun () ->
+                      ignore (qmp proc ~cmd:"quit");
+                      reap node name;
+                      Events.emit node.events ~domain_name:name Events.Ev_stopped;
+                      Ok ()));
+              mig_abort = (fun () -> ignore (dom_resume node name));
+            })
+
+let migrate_prepare node config_xml =
+  let* cfg = Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Hvm ] config_xml in
+  let name = cfg.Vm_config.name in
+  let* () = Domstore.define node.store cfg in
+  with_lock node.mutex (fun () ->
+      let* proc = spawn_paused node cfg in
+      Ok
+        Driver.
+          {
+            mig_dest_image = Qemu_proc.image proc;
+            mig_finish =
+              (fun () ->
+                let* () = dom_resume node name in
+                Events.emit node.events ~domain_name:name Events.Ev_started;
+                Ok ());
+            mig_cancel = (fun () -> ignore (dom_destroy node name));
+          })
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let capabilities node =
+  Capabilities.
+    {
+      driver_name = "qemu";
+      virt_kind = "full-virt";
+      stateful = true;
+      guest_os_kinds = [ Vm_config.Hvm ];
+      features =
+        [
+          Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
+          Feat_destroy; Feat_migrate_live; Feat_managed_save; Feat_set_memory;
+          Feat_console; Feat_networks; Feat_storage_pools;
+        ];
+      host = Drvutil.host_summary ~node_name:node.node_name node.host;
+    }
+
+let open_node node =
+  Driver.make_ops ~drv_name:"qemu"
+    ~get_capabilities:(fun () -> capabilities node)
+    ~get_hostname:(fun () -> node.node_name)
+    ~list_domains:(fun () -> list_domains node)
+    ~list_defined:(fun () -> list_defined node)
+    ~lookup_by_name:(lookup_by_name node) ~lookup_by_uuid:(lookup_by_uuid node)
+    ~define_xml:(define_xml node) ~undefine:(undefine node)
+    ~dom_create:(dom_create node) ~dom_suspend:(dom_suspend node)
+    ~dom_resume:(dom_resume node) ~dom_shutdown:(dom_shutdown node)
+    ~dom_destroy:(dom_destroy node) ~dom_get_info:(dom_get_info node)
+    ~dom_get_xml:(dom_get_xml node) ~dom_set_memory:(dom_set_memory node)
+    ~dom_save:(dom_save node) ~dom_restore:(dom_restore node)
+    ~dom_has_managed_save:(dom_has_managed_save node)
+    ~migrate_begin:(migrate_begin node) ~migrate_prepare:(migrate_prepare node)
+    ~guest_agent_install:(guest_agent_install node)
+    ~guest_agent_exec:(guest_agent_exec node)
+    ~net:(Driver.net_ops_of_backend node.net)
+    ~storage:(Driver.storage_ops_of_backend node.storage)
+    ~events:node.events ()
+
+let node_of_uri uri =
+  match uri.Vuri.host with Some host -> host | None -> "localhost"
+
+let register () =
+  Driver.register
+    {
+      Driver.reg_name = "qemu";
+      probe =
+        (fun uri ->
+          (uri.Vuri.scheme = "qemu" || uri.Vuri.scheme = "kvm")
+          && uri.Vuri.transport = None);
+      open_conn = (fun uri -> Ok (open_node (get_node (node_of_uri uri))));
+    }

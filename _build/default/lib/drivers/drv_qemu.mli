@@ -1,0 +1,18 @@
+(** QEMU/KVM driver (stateful).
+
+    The control path mirrors libvirt's QEMU driver: the driver keeps all
+    persistent definitions itself ({!Domstore}), starting a domain means
+    formatting a QEMU command line and spawning a {!Hvsim.Qemu_proc} with
+    [-S], and every lifecycle operation afterwards is a QMP monitor
+    exchange.  Live migration is supported through the generic precopy
+    loop.
+
+    URIs: [qemu:///system] (node "localhost") or [qemu://<node>/system]
+    for a named node — no [+transport] suffix, which routes to the remote
+    driver instead. *)
+
+val register : unit -> unit
+val reset_nodes : unit -> unit
+
+val proc_argv : Vmm.Vm_config.t -> string list
+(** The command line the driver formats (exposed for tests). *)

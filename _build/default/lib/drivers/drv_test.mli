@@ -1,0 +1,14 @@
+(** Mock ("test") driver.
+
+    Libvirt's test driver reproduced: a complete in-memory hypervisor with
+    no substrate, used by applications to exercise the API and by this
+    repository as the reference implementation of driver semantics.
+    [test:///default] opens a node pre-populated with one running domain
+    named ["test"]; [test://<node>/...] opens (creating on first use) an
+    independent named node. *)
+
+val register : unit -> unit
+(** Add the driver to the global registry (idempotent). *)
+
+val reset_nodes : unit -> unit
+(** Drop all test nodes (test isolation). *)

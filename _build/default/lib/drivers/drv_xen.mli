@@ -1,0 +1,12 @@
+(** Xen driver (stateful toolstack).
+
+    Operations go through {!Hvsim.Xen_hv} hypercalls, with control data
+    mirrored in xenstore by the hypervisor simulator.  The hypervisor only
+    tracks active domains, so this driver pairs it with a {!Domstore} of
+    persistent definitions — the split that makes the Xen driver stateful.
+    Domain-0 shows up in active listings but refuses lifecycle changes.
+
+    URIs: [xen:///] / [xen://<node>/] without [+transport]. *)
+
+val register : unit -> unit
+val reset_nodes : unit -> unit

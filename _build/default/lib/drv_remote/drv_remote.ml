@@ -1,0 +1,231 @@
+open Ovirt_core
+module Rp = Protocol.Remote_protocol
+module Transport = Ovnet.Transport
+
+let ( let* ) = Result.bind
+
+let default_daemon = "ovirtd"
+
+let kind_of_transport = function
+  | "unix" | "ssh" | "libssh2" -> Ok Transport.Unix_sock
+  | "tcp" -> Ok Transport.Tcp
+  | "tls" -> Ok Transport.Tls
+  | t -> Verror.error Verror.Invalid_arg "unsupported transport %S" t
+
+(* The URI handed to the daemon: transport stripped, local parameters
+   (daemon selection) removed. *)
+let daemon_side_uri uri =
+  {
+    uri with
+    Vuri.transport = None;
+    params = List.filter (fun (k, _) -> k <> "daemon") uri.Vuri.params;
+  }
+
+type remote_conn = { rpc : Rpc_client.t; events : Events.bus }
+
+let call conn proc body =
+  Rpc_client.call conn.rpc ~procedure:(Rp.proc_to_int proc) ~body ()
+
+let call_unit conn proc body =
+  let* reply = call conn proc body in
+  match Rp.dec_unit_body reply with
+  | () -> Ok ()
+  | exception Xdr.Error msg -> Verror.error Verror.Rpc_failure "bad reply: %s" msg
+
+let decode decoder reply =
+  match decoder reply with
+  | v -> Ok v
+  | exception Xdr.Error msg -> Verror.error Verror.Rpc_failure "bad reply: %s" msg
+
+let call_dec conn proc body decoder =
+  let* reply = call conn proc body in
+  decode decoder reply
+
+(* ------------------------------------------------------------------ *)
+(* Connection establishment                                            *)
+(* ------------------------------------------------------------------ *)
+
+let open_conn uri =
+  let* transport =
+    match uri.Vuri.transport with
+    | Some t -> Ok t
+    | None -> Verror.error Verror.Internal_error "remote driver probed without transport"
+  in
+  let* kind = kind_of_transport transport in
+  let daemon = Option.value (Vuri.param uri "daemon") ~default:default_daemon in
+  let events = Events.create_bus () in
+  let on_event ~procedure body =
+    if procedure = Rp.proc_to_int Rp.Proc_event_lifecycle then
+      match Rp.dec_lifecycle_event body with
+      | ev -> Events.emit events ~domain_name:ev.Events.domain_name ev.Events.lifecycle
+      | exception Xdr.Error _ -> ()
+  in
+  let* rpc =
+    Rpc_client.connect ~address:(daemon ^ "-sock") ~kind ~program:Rp.program
+      ~version:Rp.version ~on_event ()
+  in
+  let conn = { rpc; events } in
+  let forwarded = Vuri.to_string (daemon_side_uri uri) in
+  let* () = call_unit conn Rp.Proc_open (Rp.enc_string_body forwarded) in
+  let* () = call_unit conn Rp.Proc_event_register Rp.enc_unit_body in
+  Ok conn
+
+let close_conn conn =
+  (* Best effort: the daemon also cleans up on disconnect. *)
+  ignore (call conn Rp.Proc_close Rp.enc_unit_body);
+  Rpc_client.close conn.rpc
+
+(* ------------------------------------------------------------------ *)
+(* Driver operations over the wire                                     *)
+(* ------------------------------------------------------------------ *)
+
+let get_capabilities conn () =
+  match call_dec conn Rp.Proc_get_capabilities Rp.enc_unit_body Rp.dec_string_body with
+  | Ok xml ->
+    (match Capabilities.of_xml xml with
+     | Ok caps -> caps
+     | Error msg ->
+       Verror.raise_err Verror.Rpc_failure "bad capabilities from daemon: %s" msg)
+  | Error err -> raise (Verror.Virt_error err)
+
+let get_hostname conn () =
+  match call_dec conn Rp.Proc_get_hostname Rp.enc_unit_body Rp.dec_string_body with
+  | Ok hostname -> hostname
+  | Error err -> raise (Verror.Virt_error err)
+
+let remote_net_ops conn =
+  Driver.
+    {
+      net_define =
+        (fun ~name ~bridge ~ip_range ->
+          call_dec conn Rp.Proc_net_define
+            (Rp.enc_net_define ~name ~bridge ~ip_range)
+            Rp.dec_net_info);
+      net_undefine =
+        (fun name -> call_unit conn Rp.Proc_net_undefine (Rp.enc_string_body name));
+      net_start =
+        (fun name -> call_unit conn Rp.Proc_net_start (Rp.enc_string_body name));
+      net_stop =
+        (fun name -> call_unit conn Rp.Proc_net_stop (Rp.enc_string_body name));
+      net_set_autostart =
+        (fun name v ->
+          call_unit conn Rp.Proc_net_set_autostart (Rp.enc_name_and_bool name v));
+      net_lookup =
+        (fun name ->
+          call_dec conn Rp.Proc_net_lookup (Rp.enc_string_body name) Rp.dec_net_info);
+      net_list =
+        (fun () ->
+          call_dec conn Rp.Proc_net_list Rp.enc_unit_body Rp.dec_net_info_list);
+    }
+
+let remote_storage_ops conn =
+  Driver.
+    {
+      pool_define =
+        (fun ~name ~target_path ~capacity_b ->
+          call_dec conn Rp.Proc_pool_define
+            (Rp.enc_pool_define ~name ~target_path ~capacity_b)
+            Rp.dec_pool_info);
+      pool_undefine =
+        (fun name -> call_unit conn Rp.Proc_pool_undefine (Rp.enc_string_body name));
+      pool_start =
+        (fun name -> call_unit conn Rp.Proc_pool_start (Rp.enc_string_body name));
+      pool_stop =
+        (fun name -> call_unit conn Rp.Proc_pool_stop (Rp.enc_string_body name));
+      pool_lookup =
+        (fun name ->
+          call_dec conn Rp.Proc_pool_lookup (Rp.enc_string_body name) Rp.dec_pool_info);
+      pool_list =
+        (fun () ->
+          call_dec conn Rp.Proc_pool_list Rp.enc_unit_body Rp.dec_pool_info_list);
+      vol_create =
+        (fun ~pool ~name ~capacity_b ~format ->
+          call_dec conn Rp.Proc_vol_create
+            (Rp.enc_vol_create ~pool ~name ~capacity_b ~format)
+            Rp.dec_vol_info);
+      vol_delete =
+        (fun ~pool ~name ->
+          call_unit conn Rp.Proc_vol_delete (Rp.enc_vol_ref ~pool ~name));
+      vol_list =
+        (fun ~pool ->
+          call_dec conn Rp.Proc_vol_list (Rp.enc_string_body pool)
+            Rp.dec_vol_info_list);
+      vol_by_path =
+        (fun path ->
+          (* Resolution is pool-local on the daemon; emulate with listing. *)
+          let* pools =
+            call_dec conn Rp.Proc_pool_list Rp.enc_unit_body Rp.dec_pool_info_list
+          in
+          let rec search = function
+            | [] ->
+              Verror.error Verror.No_storage_vol "no volume backs path %S" path
+            | pool :: rest ->
+              let* vols =
+                call_dec conn Rp.Proc_vol_list
+                  (Rp.enc_string_body pool.Storage_backend.pool_name)
+                  Rp.dec_vol_info_list
+              in
+              (match
+                 List.find_opt
+                   (fun v -> v.Storage_backend.vol_key = path)
+                   vols
+               with
+               | Some v -> Ok v
+               | None -> search rest)
+          in
+          search pools);
+    }
+
+let make_ops uri conn =
+  let name_call proc name = call_unit conn proc (Rp.enc_string_body name) in
+  Driver.make_ops ~drv_name:"remote"
+    ~get_capabilities:(get_capabilities conn)
+    ~get_hostname:(get_hostname conn)
+    ~close:(fun () -> close_conn conn)
+    ~list_domains:(fun () ->
+      call_dec conn Rp.Proc_list_domains Rp.enc_unit_body Rp.dec_domain_ref_list)
+    ~list_defined:(fun () ->
+      call_dec conn Rp.Proc_list_defined Rp.enc_unit_body Rp.dec_string_list)
+    ~lookup_by_name:(fun name ->
+      call_dec conn Rp.Proc_lookup_by_name (Rp.enc_string_body name) Rp.dec_domain_ref)
+    ~lookup_by_uuid:(fun uuid ->
+      call_dec conn Rp.Proc_lookup_by_uuid
+        (Rp.enc_string_body (Vmm.Uuid.to_string uuid))
+        Rp.dec_domain_ref)
+    ~define_xml:(fun xml ->
+      call_dec conn Rp.Proc_define_xml (Rp.enc_string_body xml) Rp.dec_domain_ref)
+    ~undefine:(name_call Rp.Proc_undefine)
+    ~dom_create:(name_call Rp.Proc_dom_create)
+    ~dom_suspend:(name_call Rp.Proc_dom_suspend)
+    ~dom_resume:(name_call Rp.Proc_dom_resume)
+    ~dom_shutdown:(name_call Rp.Proc_dom_shutdown)
+    ~dom_destroy:(name_call Rp.Proc_dom_destroy)
+    ~dom_get_info:(fun name ->
+      call_dec conn Rp.Proc_dom_get_info (Rp.enc_string_body name) Rp.dec_domain_info)
+    ~dom_get_xml:(fun name ->
+      call_dec conn Rp.Proc_dom_get_xml (Rp.enc_string_body name) Rp.dec_string_body)
+    ~dom_set_memory:(fun name kib ->
+      call_unit conn Rp.Proc_dom_set_memory (Rp.enc_name_and_kib name kib))
+    ~dom_save:(name_call Rp.Proc_dom_save)
+    ~dom_restore:(name_call Rp.Proc_dom_restore)
+    ~dom_has_managed_save:(fun name ->
+      call_dec conn Rp.Proc_dom_has_managed_save (Rp.enc_string_body name)
+        Rp.dec_bool_body)
+    ~net:(remote_net_ops conn) ~storage:(remote_storage_ops conn)
+    ~events:conn.events ()
+  |> fun ops -> { ops with Driver.drv_name = "remote(" ^ uri.Vuri.scheme ^ ")" }
+
+let probe uri =
+  uri.Vuri.transport <> None
+  && uri.Vuri.scheme <> "esx" (* ESX manages its own remote protocol *)
+
+let register () =
+  Driver.register
+    {
+      Driver.reg_name = "remote";
+      probe;
+      open_conn =
+        (fun uri ->
+          let* conn = open_conn uri in
+          Ok (make_ops uri conn));
+    }

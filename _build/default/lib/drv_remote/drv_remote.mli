@@ -1,0 +1,19 @@
+(** Remote driver: the hypervisor-agnostic tunnel through the daemon.
+
+    Selected when a connection URI carries a [+transport] suffix
+    ([qemu+tls://node/system], [xen+unix:///]) — exactly libvirt's rule
+    that the remote driver accepts what no client-side driver claimed.
+    Supported transports: [unix] (default for local daemons), [tcp],
+    [tls], and [ssh] (modelled as a tunnel terminating at the daemon's
+    unix socket).
+
+    The daemon to contact is named by the [?daemon=<name>] URI parameter
+    (default ["ovirtd"]); the URI forwarded to the daemon keeps its
+    scheme, host and path, so the daemon opens the matching direct driver
+    in-process.
+
+    Lifecycle events stream back as RPC event packets and feed the
+    connection's local event bus transparently. *)
+
+val register : unit -> unit
+(** Register last: its probe accepts any transport-suffixed URI. *)

@@ -1,0 +1,1 @@
+lib/hvsim/esx_host.ml: Format Fun Hashtbl Hostinfo Mini_xml Mutex Printf Vmm

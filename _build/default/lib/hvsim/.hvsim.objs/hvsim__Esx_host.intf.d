@@ -1,0 +1,1 @@
+lib/hvsim/esx_host.mli: Hostinfo

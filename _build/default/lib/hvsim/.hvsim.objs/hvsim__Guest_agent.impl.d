@@ -1,0 +1,1 @@
+lib/hvsim/guest_agent.ml: Mini_json Printf String Vmm

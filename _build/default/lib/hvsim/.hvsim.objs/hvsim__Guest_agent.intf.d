@@ -1,0 +1,1 @@
+lib/hvsim/guest_agent.mli: Vmm

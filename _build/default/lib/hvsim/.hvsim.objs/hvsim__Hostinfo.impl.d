@@ -1,0 +1,1 @@
+lib/hvsim/hostinfo.ml: Fun Mutex Printf

@@ -1,0 +1,1 @@
+lib/hvsim/lxc_host.ml: Fun Hashtbl Hostinfo List Mutex Option Printf Result String Vmm

@@ -1,0 +1,1 @@
+lib/hvsim/lxc_host.mli: Hostinfo Vmm

@@ -1,0 +1,1 @@
+lib/hvsim/qemu_proc.ml: Atomic Fun Hostinfo List Mini_json Mutex Printf Vmm

@@ -1,0 +1,1 @@
+lib/hvsim/qemu_proc.mli: Hostinfo Mini_json Vmm

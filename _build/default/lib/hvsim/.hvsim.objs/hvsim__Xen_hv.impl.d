@@ -1,0 +1,1 @@
+lib/hvsim/xen_hv.ml: Fun Hashtbl Hostinfo Int64 List Mutex Printf Result Vmm Xenstore

@@ -1,0 +1,1 @@
+lib/hvsim/xen_hv.mli: Hostinfo Vmm Xenstore

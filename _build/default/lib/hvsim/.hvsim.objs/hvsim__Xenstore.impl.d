@@ -1,0 +1,1 @@
+lib/hvsim/xenstore.ml: Fun Hashtbl List Mutex Printf String

@@ -1,0 +1,1 @@
+lib/hvsim/xenstore.mli:

@@ -1,0 +1,201 @@
+module X = Mini_xml
+module Vm_config = Vmm.Vm_config
+module Vm_state = Vmm.Vm_state
+module Guest_image = Vmm.Guest_image
+
+type vm = {
+  config : Vm_config.t;
+  mutable vm_state : Vm_state.state;
+  mutable vm_image : Guest_image.t option; (* Some while active *)
+}
+
+type t = {
+  hostinfo : Hostinfo.t;
+  username : string;
+  password : string;
+  mutex : Mutex.t;
+  vms : (string, vm) Hashtbl.t; (* keyed by name; ESX keeps registrations *)
+  sessions : (string, unit) Hashtbl.t;
+  mutable next_session : int;
+}
+
+let create ?(username = "root") ?(password = "esx") hostinfo =
+  {
+    hostinfo;
+    username;
+    password;
+    mutex = Mutex.create ();
+    vms = Hashtbl.create 16;
+    sessions = Hashtbl.create 4;
+    next_session = 1;
+  }
+
+let host esx = esx.hostinfo
+
+let with_lock esx f =
+  Mutex.lock esx.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock esx.mutex) f
+
+let registered_count esx = with_lock esx (fun () -> Hashtbl.length esx.vms)
+let session_count esx = with_lock esx (fun () -> Hashtbl.length esx.sessions)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Fault of string
+
+let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+
+let state_name = Vm_state.state_name
+
+let vm_summary name vm =
+  X.elt "vm"
+    ~attrs:
+      [
+        ("name", name);
+        ("uuid", Vmm.Uuid.to_string vm.config.Vm_config.uuid);
+        ("state", state_name vm.vm_state);
+        ("memoryKiB", string_of_int vm.config.Vm_config.memory_kib);
+        ("vcpus", string_of_int vm.config.Vm_config.vcpus);
+      ]
+    []
+
+let require_session esx req =
+  match X.attr req "session" with
+  | None -> fault "missing session token"
+  | Some token ->
+    if not (Hashtbl.mem esx.sessions token) then fault "invalid session token"
+
+let require_name req =
+  match X.attr req "name" with
+  | Some name -> name
+  | None -> fault "missing vm name"
+
+let find_vm esx name =
+  match Hashtbl.find_opt esx.vms name with
+  | Some vm -> vm
+  | None -> fault "no VM named %S" name
+
+let power_transition esx name event =
+  let vm = find_vm esx name in
+  match Vm_state.transition vm.vm_state event with
+  | Error msg -> fault "%s" msg
+  | Ok next ->
+    (* Resource accounting happens on the activity edges. *)
+    (match vm.vm_state, next with
+     | Vm_state.Shutoff, _ ->
+       (match
+          Hostinfo.reserve esx.hostinfo ~memory_kib:vm.config.Vm_config.memory_kib
+            ~vcpus:vm.config.Vm_config.vcpus
+        with
+        | Ok () ->
+          vm.vm_image <-
+            Some (Guest_image.create ~memory_kib:vm.config.Vm_config.memory_kib)
+        | Error msg -> fault "%s" msg)
+     | _, Vm_state.Shutoff ->
+       Hostinfo.release esx.hostinfo ~memory_kib:vm.config.Vm_config.memory_kib
+         ~vcpus:vm.config.Vm_config.vcpus;
+       vm.vm_image <- None
+     | _, _ -> ());
+    vm.vm_state <- next
+
+let handle esx req =
+  let op = match X.attr req "op" with Some op -> op | None -> fault "missing op" in
+  match op with
+  | "Login" ->
+    let username = X.text_content (X.child_exn req "username") in
+    let password = X.text_content (X.child_exn req "password") in
+    if username <> esx.username || password <> esx.password then
+      fault "authentication failed for %S" username
+    else begin
+      let token = Printf.sprintf "sess-%d" esx.next_session in
+      esx.next_session <- esx.next_session + 1;
+      Hashtbl.replace esx.sessions token ();
+      [ X.node (X.elt "session" ~attrs:[ ("token", token) ] []) ]
+    end
+  | "Logout" ->
+    (match X.attr req "session" with
+     | Some token -> Hashtbl.remove esx.sessions token
+     | None -> fault "missing session token");
+    []
+  | "HostInfo" ->
+    require_session esx req;
+    let info = Hostinfo.node_info esx.hostinfo in
+    [
+      X.node
+        (X.elt "host"
+           ~attrs:
+             [
+               ("name", Hostinfo.hostname esx.hostinfo);
+               ("memoryKiB", string_of_int info.Hostinfo.memory_kib);
+               ("cpus", string_of_int info.Hostinfo.cpus);
+             ]
+           []);
+    ]
+  | "ListVMs" ->
+    require_session esx req;
+    Hashtbl.fold (fun name vm acc -> X.node (vm_summary name vm) :: acc) esx.vms []
+  | "GetVM" ->
+    require_session esx req;
+    let name = require_name req in
+    let vm = find_vm esx name in
+    [
+      X.node (vm_summary name vm);
+      X.node (Vmm.Domxml.to_element ~virt_type:"vmware" vm.config);
+    ]
+  | "RegisterVM" ->
+    require_session esx req;
+    (match X.child req "domain" with
+     | None -> fault "RegisterVM requires a <domain> body"
+     | Some dom_elt ->
+       (match Vmm.Domxml.of_element dom_elt with
+        | Error msg -> fault "bad domain description: %s" msg
+        | Ok (config, _virt_type) ->
+          if Hashtbl.mem esx.vms config.Vm_config.name then
+            fault "VM %S already registered" config.Vm_config.name
+          else begin
+            Hashtbl.replace esx.vms config.Vm_config.name
+              { config; vm_state = Vm_state.Shutoff; vm_image = None };
+            [ X.node (vm_summary config.Vm_config.name (find_vm esx config.Vm_config.name)) ]
+          end))
+  | "UnregisterVM" ->
+    require_session esx req;
+    let name = require_name req in
+    let vm = find_vm esx name in
+    if Vm_state.is_active vm.vm_state then
+      fault "cannot unregister active VM %S" name
+    else begin
+      Hashtbl.remove esx.vms name;
+      []
+    end
+  | "PowerOnVM" ->
+    require_session esx req;
+    power_transition esx (require_name req) Vm_state.Ev_start;
+    []
+  | "PowerOffVM" ->
+    require_session esx req;
+    power_transition esx (require_name req) Vm_state.Ev_destroy;
+    []
+  | "SuspendVM" ->
+    require_session esx req;
+    power_transition esx (require_name req) Vm_state.Ev_suspend;
+    []
+  | "ResumeVM" ->
+    require_session esx req;
+    power_transition esx (require_name req) Vm_state.Ev_resume;
+    []
+  | op -> fault "unknown operation %S" op
+
+let endpoint_request esx request_xml =
+  let response =
+    with_lock esx (fun () ->
+        match X.of_string request_xml with
+        | exception X.Parse_error msg -> X.elt "fault" [ X.text ("XML: " ^ msg) ]
+        | req ->
+          (match handle esx req with
+           | body -> X.elt "response" body
+           | exception Fault msg -> X.elt "fault" [ X.text msg ]
+           | exception X.Parse_error msg -> X.elt "fault" [ X.text msg ]))
+  in
+  X.to_string response

@@ -1,0 +1,33 @@
+(** ESX-like proprietary hypervisor host.
+
+    Models the class of hypervisors that ship their {e own} remote
+    management endpoint and keep VM configurations themselves — which is
+    why libvirt's ESX driver is {e stateless} and client-side only.  The
+    endpoint speaks a SOAP-flavoured XML request/response protocol with
+    session authentication; every exchange is real XML text, parsed on
+    both sides.
+
+    Request shape: [<request op="..." session="..." name="...">...body...</request>].
+    Responses are [<response>...</response>] or [<fault>message</fault>].
+
+    Supported ops: [Login] (body: [<username>], [<password>]), [Logout],
+    [ListVMs], [GetVM], [RegisterVM] (body: a [<domain>] document),
+    [UnregisterVM], [PowerOnVM], [PowerOffVM], [SuspendVM], [ResumeVM],
+    [HostInfo]. *)
+
+type t
+
+val create : ?username:string -> ?password:string -> Hostinfo.t -> t
+(** Default credentials: root / "esx". *)
+
+val endpoint_request : t -> string -> string
+(** The remote endpoint: XML request in, XML response out.  Never raises;
+    protocol errors come back as [<fault>]. *)
+
+val host : t -> Hostinfo.t
+
+val registered_count : t -> int
+(** Number of registered VMs (for tests/benchmarks). *)
+
+val session_count : t -> int
+(** Currently open sessions. *)

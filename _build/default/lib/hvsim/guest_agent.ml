@@ -1,0 +1,94 @@
+module J = Mini_json
+module Guest_image = Vmm.Guest_image
+module Vm_state = Vmm.Vm_state
+
+type endpoint = {
+  image : Guest_image.t;
+  state : unit -> Vm_state.state;
+  request_shutdown : unit -> unit;
+  mutable installed : bool;
+  mutable served : int;
+  mutable next_page : int; (* round-robin page cursor for command work *)
+}
+
+let install_footprint_pages = 64
+let pages_dirtied_per_command = 4
+
+let create ~image ~state ~request_shutdown =
+  { image; state; request_shutdown; installed = false; served = 0; next_page = 0 }
+
+let installed ep = ep.installed
+
+let dirty_pages ep n =
+  let count = Guest_image.page_count ep.image in
+  for _ = 1 to n do
+    Guest_image.write_page ep.image (ep.next_page mod count);
+    ep.next_page <- ep.next_page + 7 (* stride avoids re-dirtying one page *)
+  done
+
+let install ep =
+  match ep.state () with
+  | Vm_state.Running | Vm_state.Blocked ->
+    if ep.installed then Error "agent is already installed"
+    else begin
+      dirty_pages ep install_footprint_pages;
+      ep.installed <- true;
+      Ok ()
+    end
+  | state ->
+    Error
+      (Printf.sprintf "cannot install agent: guest is %s" (Vm_state.state_name state))
+
+let reply_ok v = J.to_string (J.Obj [ ("return", v) ])
+
+let reply_error cls desc =
+  J.to_string
+    (J.Obj [ ("error", J.Obj [ ("class", J.String cls); ("desc", J.String desc) ]) ])
+
+let handle ep cmd request =
+  match cmd with
+  | "guest-ping" -> reply_ok (J.Obj [])
+  | "guest-info" ->
+    reply_ok
+      (J.Obj
+         [
+           ("memory-kib", J.Int (Guest_image.memory_kib ep.image));
+           ("state", J.String (Vm_state.state_name (ep.state ())));
+           ("agent-commands-served", J.Int ep.served);
+         ])
+  | "guest-exec" ->
+    (match J.member_opt "arguments" request with
+     | Some args ->
+       (match J.member_opt "cmd" args with
+        | Some (J.String cmd_line) ->
+          (* The command "runs" in the guest: extra dirtying scaled by
+             command size, on top of the per-command footprint. *)
+          dirty_pages ep (1 + (String.length cmd_line / 32));
+          reply_ok (J.Obj [ ("exitcode", J.Int 0); ("cmd", J.String cmd_line) ])
+        | Some _ | None -> reply_error "GenericError" "guest-exec requires cmd")
+     | None -> reply_error "GenericError" "guest-exec requires arguments")
+  | "guest-shutdown" ->
+    ep.request_shutdown ();
+    reply_ok (J.Obj [])
+  | other -> reply_error "CommandNotFound" (Printf.sprintf "command %S not found" other)
+
+let exec ep line =
+  match ep.state () with
+  | Vm_state.Shutoff | Vm_state.Paused | Vm_state.Crashed | Vm_state.Shutdown ->
+    reply_error "GuestUnavailable"
+      (Printf.sprintf "guest is %s" (Vm_state.state_name (ep.state ())))
+  | Vm_state.Running | Vm_state.Blocked ->
+    if not ep.installed then
+      reply_error "AgentNotInstalled" "no management agent in this guest"
+    else (
+      match J.of_string line with
+      | exception J.Parse_error msg -> reply_error "JSONParsing" msg
+      | request ->
+        (match J.member_opt "execute" request with
+         | Some (J.String cmd) ->
+           ep.served <- ep.served + 1;
+           dirty_pages ep pages_dirtied_per_command;
+           handle ep cmd request
+         | Some _ | None -> reply_error "GenericError" "missing execute key"))
+
+let commands_served ep = ep.served

@@ -1,0 +1,140 @@
+exception Noent of string
+
+type node = {
+  mutable value : string option;
+  children : (string, node) Hashtbl.t;
+}
+
+type watch = { watch_path : string list; callback : string -> unit; id : int }
+
+type t = {
+  root : node;
+  mutex : Mutex.t;
+  mutable watches : watch list;
+  mutable next_watch_id : int;
+}
+
+let make_node () = { value = None; children = Hashtbl.create 4 }
+
+let create () =
+  { root = make_node (); mutex = Mutex.create (); watches = []; next_watch_id = 0 }
+
+let with_lock store f =
+  Mutex.lock store.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock store.mutex) f
+
+let split_path path =
+  if path = "/" then []
+  else if String.length path = 0 || path.[0] <> '/' then
+    invalid_arg (Printf.sprintf "Xenstore: path %S must be absolute" path)
+  else begin
+    let components = String.split_on_char '/' (String.sub path 1 (String.length path - 1)) in
+    if List.exists (fun c -> c = "") components then
+      invalid_arg (Printf.sprintf "Xenstore: path %S has empty components" path);
+    components
+  end
+
+let rec find node = function
+  | [] -> Some node
+  | comp :: rest ->
+    (match Hashtbl.find_opt node.children comp with
+     | Some child -> find child rest
+     | None -> None)
+
+let rec find_or_create node = function
+  | [] -> node
+  | comp :: rest ->
+    let child =
+      match Hashtbl.find_opt node.children comp with
+      | Some c -> c
+      | None ->
+        let c = make_node () in
+        Hashtbl.add node.children comp c;
+        c
+    in
+    find_or_create child rest
+
+(* [prefix] is a watch path; a change at [path] fires the watch when the
+   watch path is a prefix (component-wise) of the changed path. *)
+let rec is_prefix prefix path =
+  match prefix, path with
+  | [], _ -> true
+  | p :: ps, q :: qs -> p = q && is_prefix ps qs
+  | _ :: _, [] -> false
+
+(* Collect the callbacks under the lock, run them outside it so a watch
+   handler may itself touch the store. *)
+let fire_watches store changed_components changed_path =
+  let to_fire =
+    with_lock store (fun () ->
+        List.filter (fun w -> is_prefix w.watch_path changed_components) store.watches)
+  in
+  List.iter (fun w -> w.callback changed_path) to_fire
+
+let write store path value =
+  let components = split_path path in
+  with_lock store (fun () ->
+      let node = find_or_create store.root components in
+      node.value <- Some value);
+  fire_watches store components path
+
+let read_opt store path =
+  let components = split_path path in
+  with_lock store (fun () ->
+      match find store.root components with
+      | Some node -> node.value
+      | None -> None)
+
+let read store path =
+  match read_opt store path with Some v -> v | None -> raise (Noent path)
+
+let directory store path =
+  let components = split_path path in
+  with_lock store (fun () ->
+      match find store.root components with
+      | None -> raise (Noent path)
+      | Some node ->
+        Hashtbl.fold (fun name _ acc -> name :: acc) node.children []
+        |> List.sort compare)
+
+let exists store path =
+  let components = split_path path in
+  with_lock store (fun () -> find store.root components <> None)
+
+let rm store path =
+  let components = split_path path in
+  let removed =
+    with_lock store (fun () ->
+        match List.rev components with
+        | [] ->
+          (* rm / clears everything *)
+          Hashtbl.reset store.root.children;
+          store.root.value <- None;
+          true
+        | last :: rev_parent ->
+          let parent_path = List.rev rev_parent in
+          (match find store.root parent_path with
+           | Some parent when Hashtbl.mem parent.children last ->
+             Hashtbl.remove parent.children last;
+             true
+           | Some _ | None -> false))
+  in
+  if removed then fire_watches store components path
+
+let watch store path callback =
+  let watch_path = split_path path in
+  with_lock store (fun () ->
+      let w = { watch_path; callback; id = store.next_watch_id } in
+      store.next_watch_id <- store.next_watch_id + 1;
+      store.watches <- w :: store.watches;
+      w)
+
+let unwatch store w =
+  with_lock store (fun () ->
+      store.watches <- List.filter (fun w' -> w'.id <> w.id) store.watches)
+
+let node_count store =
+  let rec count node =
+    Hashtbl.fold (fun _ child acc -> acc + count child) node.children 1
+  in
+  with_lock store (fun () -> count store.root - 1)

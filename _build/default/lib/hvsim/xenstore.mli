@@ -1,0 +1,44 @@
+(** Xenstore: the hierarchical key/value store the Xen toolstack uses as
+    its control plane.
+
+    Paths are slash-separated ["/local/domain/3/name"]; writing creates
+    intermediate directories implicitly; watches fire a callback for every
+    change at or below their path (including the firing path), exactly the
+    semantics the real store provides. *)
+
+type t
+
+exception Noent of string
+(** Path does not exist. *)
+
+val create : unit -> t
+
+val write : t -> string -> string -> unit
+(** [write store path value]; creates intermediate nodes.
+    @raise Invalid_argument on a malformed path (must start with '/',
+    no empty components). *)
+
+val read : t -> string -> string
+(** @raise Noent if missing or a directory-only node. *)
+
+val read_opt : t -> string -> string option
+
+val directory : t -> string -> string list
+(** Child component names, sorted.  @raise Noent if missing. *)
+
+val rm : t -> string -> unit
+(** Remove a subtree.  Removing a missing path is a no-op (real xenstore
+    returns ENOENT; tolerating it simplifies teardown paths). *)
+
+val exists : t -> string -> bool
+
+type watch
+
+val watch : t -> string -> (string -> unit) -> watch
+(** [watch store path f]: [f changed_path] runs synchronously on every
+    write/rm at or below [path]. *)
+
+val unwatch : t -> watch -> unit
+
+val node_count : t -> int
+(** Total nodes in the store (metric used by the enumeration bench). *)

@@ -1,0 +1,58 @@
+(** Minimal XML codec.
+
+    Domain, network and storage-pool descriptions use XML, as in libvirt.
+    This codec supports the subset those documents need: elements with
+    attributes, text content, comments (skipped), XML declarations
+    (skipped), self-closing tags and the five predefined entities.
+    It does not support DTDs, processing instructions or namespaces. *)
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+exception Parse_error of string
+(** Raised on malformed input, with the byte offset in the message. *)
+
+val of_string : string -> element
+(** Parse a document to its root element. *)
+
+val to_string : ?indent:bool -> element -> string
+(** Serialize.  With [~indent:true] (default) children are placed on
+    indented lines, whitespace-only text nodes are regenerated; with
+    [~indent:false] the output is canonical-compact. *)
+
+(** {1 Construction helpers} *)
+
+val elt : ?attrs:(string * string) list -> string -> node list -> element
+val text : string -> node
+val leaf : ?attrs:(string * string) list -> string -> string -> node
+(** [leaf tag content] is [<tag>content</tag>] as a child node. *)
+
+val node : element -> node
+
+(** {1 Query helpers}
+
+    These follow libvirt's style of digging into a parsed document; the
+    [_exn] versions raise {!Parse_error} with the path that was missing,
+    so schema errors surface as readable messages. *)
+
+val child : element -> string -> element option
+(** First child element with the given tag. *)
+
+val child_exn : element -> string -> element
+val children_named : element -> string -> element list
+val attr : element -> string -> string option
+val attr_exn : element -> string -> string
+val text_content : element -> string
+(** Concatenated text of the element's direct text children, trimmed. *)
+
+val int_attr_exn : element -> string -> int
+val int_content_exn : element -> int
+(** Text content parsed as an integer.
+    @raise Parse_error if not an integer. *)

@@ -1,0 +1,1 @@
+lib/protocol/admin_protocol.ml: List Ovrpc Printf Xdr

@@ -1,0 +1,1 @@
+lib/protocol/admin_protocol.mli: Ovrpc

@@ -1,0 +1,1 @@
+lib/protocol/remote_protocol.ml: Driver Events Int64 List Net_backend Ovirt_core Printf Storage_backend Verror Vmm Xdr

@@ -1,0 +1,1 @@
+lib/protocol/remote_protocol.mli: Ovirt_core

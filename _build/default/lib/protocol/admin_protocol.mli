@@ -1,0 +1,88 @@
+(** The administration program: runtime management of the daemon itself.
+
+    Mirrors the libvirt-admin interface: per-server threadpool tuning,
+    client limits, client listing/identity/disconnect, and daemon-global
+    logging level/filters/outputs.  Typed-parameter field names are the
+    exact strings the admin API documents. *)
+
+val program : int
+val version : int
+
+type procedure =
+  | Proc_list_servers  (** ret: server-name array *)
+  | Proc_lookup_server  (** args: name; ret: none (existence check) *)
+  | Proc_get_threadpool  (** args: server; ret: typed params *)
+  | Proc_set_threadpool  (** args: server + typed params *)
+  | Proc_get_client_limits
+  | Proc_set_client_limits
+  | Proc_list_clients  (** args: server; ret: client entries *)
+  | Proc_get_client_info  (** args: server + id; ret: typed params *)
+  | Proc_client_close  (** args: server + id *)
+  | Proc_get_log_level  (** ret: uint *)
+  | Proc_set_log_level  (** args: uint *)
+  | Proc_get_log_filters  (** ret: string *)
+  | Proc_set_log_filters
+  | Proc_get_log_outputs
+  | Proc_set_log_outputs
+  | Proc_daemon_uptime  (** ret: hyper seconds (monitoring aid) *)
+
+val proc_to_int : procedure -> int
+val proc_of_int : int -> (procedure, string) result
+
+val is_high_priority : procedure -> bool
+(** Every admin procedure is high-priority: the whole point is that
+    administration works when ordinary workers are wedged. *)
+
+(** {1 Typed-parameter field names} *)
+
+val threadpool_workers_min : string
+val threadpool_workers_max : string
+val threadpool_workers_priority : string
+val threadpool_workers_free : string
+val threadpool_workers_current : string
+val threadpool_job_queue_depth : string
+
+val server_clients_max : string
+val server_clients_current : string
+val server_clients_unauth_max : string
+val server_clients_unauth_current : string
+
+val client_info_readonly : string
+val client_info_sock_addr : string
+val client_info_x509_dname : string
+val client_info_unix_user_id : string
+val client_info_unix_user_name : string
+val client_info_unix_group_id : string
+val client_info_unix_group_name : string
+val client_info_unix_process_id : string
+
+(** {1 Client list entries} *)
+
+type client_entry = {
+  client_id : int64;
+  client_transport : int;  (** 0 unix, 1 tcp, 2 tls *)
+  connected_since : int64;  (** seconds since epoch *)
+}
+
+(** {1 Body codecs} *)
+
+val enc_server_name : string -> string
+val dec_server_name : string -> string
+
+val enc_server_params : server:string -> Ovrpc.Typed_params.t -> string
+val dec_server_params : string -> string * Ovrpc.Typed_params.t
+
+val enc_params : Ovrpc.Typed_params.t -> string
+val dec_params : string -> Ovrpc.Typed_params.t
+
+val enc_client_ref : server:string -> id:int64 -> string
+val dec_client_ref : string -> string * int64
+
+val enc_client_list : client_entry list -> string
+val dec_client_list : string -> client_entry list
+
+val enc_uint_body : int -> string
+val dec_uint_body : string -> int
+
+val enc_hyper_body : int64 -> string
+val dec_hyper_body : string -> int64

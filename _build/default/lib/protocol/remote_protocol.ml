@@ -1,0 +1,384 @@
+open Ovirt_core
+
+let program = 0x20008086
+let version = 1
+
+type procedure =
+  | Proc_open
+  | Proc_close
+  | Proc_get_capabilities
+  | Proc_get_hostname
+  | Proc_list_domains
+  | Proc_list_defined
+  | Proc_lookup_by_name
+  | Proc_lookup_by_uuid
+  | Proc_define_xml
+  | Proc_undefine
+  | Proc_dom_create
+  | Proc_dom_suspend
+  | Proc_dom_resume
+  | Proc_dom_shutdown
+  | Proc_dom_destroy
+  | Proc_dom_get_info
+  | Proc_dom_get_xml
+  | Proc_dom_set_memory
+  | Proc_net_list
+  | Proc_net_define
+  | Proc_net_start
+  | Proc_net_stop
+  | Proc_net_undefine
+  | Proc_net_set_autostart
+  | Proc_net_lookup
+  | Proc_pool_list
+  | Proc_pool_define
+  | Proc_pool_start
+  | Proc_pool_stop
+  | Proc_pool_undefine
+  | Proc_pool_lookup
+  | Proc_vol_create
+  | Proc_vol_delete
+  | Proc_vol_list
+  | Proc_event_register
+  | Proc_event_deregister
+  | Proc_event_lifecycle
+  | Proc_echo
+  | Proc_ping
+  | Proc_dom_save
+  | Proc_dom_restore
+  | Proc_dom_has_managed_save
+
+(* Append-only: the list position IS the wire number (1-based). *)
+let all_procedures =
+  [
+    Proc_open; Proc_close; Proc_get_capabilities; Proc_get_hostname;
+    Proc_list_domains; Proc_list_defined; Proc_lookup_by_name;
+    Proc_lookup_by_uuid; Proc_define_xml; Proc_undefine; Proc_dom_create;
+    Proc_dom_suspend; Proc_dom_resume; Proc_dom_shutdown; Proc_dom_destroy;
+    Proc_dom_get_info; Proc_dom_get_xml; Proc_dom_set_memory; Proc_net_list;
+    Proc_net_define; Proc_net_start; Proc_net_stop; Proc_net_undefine;
+    Proc_net_set_autostart; Proc_net_lookup; Proc_pool_list; Proc_pool_define;
+    Proc_pool_start; Proc_pool_stop; Proc_pool_undefine; Proc_pool_lookup;
+    Proc_vol_create; Proc_vol_delete; Proc_vol_list; Proc_event_register;
+    Proc_event_deregister; Proc_event_lifecycle; Proc_echo; Proc_ping;
+    (* v1.1 additions: numbers are append-only *)
+    Proc_dom_save; Proc_dom_restore; Proc_dom_has_managed_save;
+  ]
+
+let proc_to_int proc =
+  let rec index i = function
+    | [] -> assert false
+    | p :: rest -> if p = proc then i else index (i + 1) rest
+  in
+  index 1 all_procedures
+
+let proc_of_int n =
+  if n >= 1 && n <= List.length all_procedures then Ok (List.nth all_procedures (n - 1))
+  else Error (Printf.sprintf "unknown remote procedure %d" n)
+
+let is_high_priority = function
+  | Proc_open | Proc_close | Proc_get_capabilities | Proc_get_hostname
+  | Proc_list_domains | Proc_list_defined | Proc_lookup_by_name
+  | Proc_lookup_by_uuid | Proc_dom_get_info | Proc_dom_get_xml | Proc_echo
+  | Proc_ping | Proc_event_register | Proc_event_deregister
+  | Proc_dom_has_managed_save ->
+    true
+  | Proc_define_xml | Proc_undefine | Proc_dom_create | Proc_dom_suspend
+  | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy | Proc_dom_set_memory
+  | Proc_net_list | Proc_net_define | Proc_net_start | Proc_net_stop
+  | Proc_net_undefine | Proc_net_set_autostart | Proc_net_lookup | Proc_pool_list
+  | Proc_pool_define | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine
+  | Proc_pool_lookup | Proc_vol_create | Proc_vol_delete | Proc_vol_list
+  | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore ->
+    false
+
+(* ------------------------------------------------------------------ *)
+(* Body codecs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let enc_error (err : Verror.t) =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_int e (Verror.code_to_int err.Verror.code);
+      Xdr.enc_string e err.Verror.message)
+    ()
+
+let dec_error body =
+  Xdr.decode
+    (fun d ->
+      let code = Verror.code_of_int (Xdr.dec_int d) in
+      let message = Xdr.dec_string d in
+      Verror.make code message)
+    body
+
+let enc_string_body s = Xdr.encode Xdr.enc_string s
+let dec_string_body body = Xdr.decode Xdr.dec_string body
+let enc_unit_body = ""
+
+let dec_unit_body body =
+  if body <> "" then raise (Xdr.Error "expected empty body")
+
+let enc_bool_body b = Xdr.encode Xdr.enc_bool b
+let dec_bool_body body = Xdr.decode Xdr.dec_bool body
+
+let enc_string_list l = Xdr.encode (fun e -> Xdr.enc_array e Xdr.enc_string) l
+let dec_string_list body = Xdr.decode (fun d -> Xdr.dec_array d Xdr.dec_string) body
+
+let enc_uuid e uuid = Xdr.enc_fixed_opaque e 36 (Vmm.Uuid.to_string uuid)
+
+let dec_uuid d =
+  match Vmm.Uuid.of_string (Xdr.dec_fixed_opaque d 36) with
+  | Ok uuid -> uuid
+  | Error msg -> raise (Xdr.Error msg)
+
+let enc_domain_ref_into e (r : Driver.domain_ref) =
+  Xdr.enc_string e r.Driver.dom_name;
+  enc_uuid e r.Driver.dom_uuid;
+  Xdr.enc_option e Xdr.enc_int r.Driver.dom_id
+
+let dec_domain_ref_from d =
+  let dom_name = Xdr.dec_string d in
+  let dom_uuid = dec_uuid d in
+  let dom_id = Xdr.dec_option d Xdr.dec_int in
+  Driver.{ dom_name; dom_uuid; dom_id }
+
+let enc_domain_ref r = Xdr.encode enc_domain_ref_into r
+let dec_domain_ref body = Xdr.decode dec_domain_ref_from body
+
+let enc_domain_ref_list l =
+  Xdr.encode (fun e -> Xdr.enc_array e enc_domain_ref_into) l
+
+let dec_domain_ref_list body =
+  Xdr.decode (fun d -> Xdr.dec_array d dec_domain_ref_from) body
+
+let enc_domain_info (i : Driver.domain_info) =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_int e
+        (match i.Driver.di_state with
+         | Vmm.Vm_state.Running -> 0
+         | Vmm.Vm_state.Blocked -> 1
+         | Vmm.Vm_state.Paused -> 2
+         | Vmm.Vm_state.Shutdown -> 3
+         | Vmm.Vm_state.Shutoff -> 4
+         | Vmm.Vm_state.Crashed -> 5);
+      Xdr.enc_uint e i.Driver.di_max_mem_kib;
+      Xdr.enc_uint e i.Driver.di_memory_kib;
+      Xdr.enc_uint e i.Driver.di_vcpus;
+      Xdr.enc_hyper e i.Driver.di_cpu_time_ns)
+    ()
+
+let dec_domain_info body =
+  Xdr.decode
+    (fun d ->
+      let di_state =
+        match Xdr.dec_int d with
+        | 0 -> Vmm.Vm_state.Running
+        | 1 -> Vmm.Vm_state.Blocked
+        | 2 -> Vmm.Vm_state.Paused
+        | 3 -> Vmm.Vm_state.Shutdown
+        | 4 -> Vmm.Vm_state.Shutoff
+        | 5 -> Vmm.Vm_state.Crashed
+        | n -> raise (Xdr.Error (Printf.sprintf "unknown domain state %d" n))
+      in
+      let di_max_mem_kib = Xdr.dec_uint d in
+      let di_memory_kib = Xdr.dec_uint d in
+      let di_vcpus = Xdr.dec_uint d in
+      let di_cpu_time_ns = Xdr.dec_hyper d in
+      Driver.{ di_state; di_max_mem_kib; di_memory_kib; di_vcpus; di_cpu_time_ns })
+    body
+
+let enc_name_and_kib name kib =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e name;
+      Xdr.enc_uint e kib)
+    ()
+
+let dec_name_and_kib body =
+  Xdr.decode
+    (fun d ->
+      let name = Xdr.dec_string d in
+      let kib = Xdr.dec_uint d in
+      (name, kib))
+    body
+
+let enc_net_define ~name ~bridge ~ip_range =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e name;
+      Xdr.enc_string e bridge;
+      Xdr.enc_string e ip_range)
+    ()
+
+let dec_net_define body =
+  Xdr.decode
+    (fun d ->
+      let name = Xdr.dec_string d in
+      let bridge = Xdr.dec_string d in
+      let ip_range = Xdr.dec_string d in
+      (name, bridge, ip_range))
+    body
+
+let enc_net_info_into e (i : Net_backend.info) =
+  Xdr.enc_string e i.Net_backend.net_name;
+  enc_uuid e i.Net_backend.net_uuid;
+  Xdr.enc_string e i.Net_backend.bridge;
+  Xdr.enc_string e i.Net_backend.ip_range;
+  Xdr.enc_bool e i.Net_backend.active;
+  Xdr.enc_bool e i.Net_backend.autostart;
+  Xdr.enc_uint e i.Net_backend.connected_ifaces
+
+let dec_net_info_from d =
+  let net_name = Xdr.dec_string d in
+  let net_uuid = dec_uuid d in
+  let bridge = Xdr.dec_string d in
+  let ip_range = Xdr.dec_string d in
+  let active = Xdr.dec_bool d in
+  let autostart = Xdr.dec_bool d in
+  let connected_ifaces = Xdr.dec_uint d in
+  Net_backend.
+    { net_name; net_uuid; bridge; ip_range; active; autostart; connected_ifaces }
+
+let enc_net_info i = Xdr.encode enc_net_info_into i
+let dec_net_info body = Xdr.decode dec_net_info_from body
+let enc_net_info_list l = Xdr.encode (fun e -> Xdr.enc_array e enc_net_info_into) l
+
+let dec_net_info_list body =
+  Xdr.decode (fun d -> Xdr.dec_array d dec_net_info_from) body
+
+let enc_name_and_bool name b =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e name;
+      Xdr.enc_bool e b)
+    ()
+
+let dec_name_and_bool body =
+  Xdr.decode
+    (fun d ->
+      let name = Xdr.dec_string d in
+      let b = Xdr.dec_bool d in
+      (name, b))
+    body
+
+let enc_pool_define ~name ~target_path ~capacity_b =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e name;
+      Xdr.enc_string e target_path;
+      Xdr.enc_hyper e (Int64.of_int capacity_b))
+    ()
+
+let dec_pool_define body =
+  Xdr.decode
+    (fun d ->
+      let name = Xdr.dec_string d in
+      let target_path = Xdr.dec_string d in
+      let capacity_b = Int64.to_int (Xdr.dec_hyper d) in
+      (name, target_path, capacity_b))
+    body
+
+let enc_pool_info_into e (i : Storage_backend.pool_info) =
+  Xdr.enc_string e i.Storage_backend.pool_name;
+  enc_uuid e i.Storage_backend.pool_uuid;
+  Xdr.enc_string e i.Storage_backend.target_path;
+  Xdr.enc_hyper e (Int64.of_int i.Storage_backend.capacity_b);
+  Xdr.enc_hyper e (Int64.of_int i.Storage_backend.allocation_b);
+  Xdr.enc_bool e i.Storage_backend.pool_active;
+  Xdr.enc_uint e i.Storage_backend.volume_count
+
+let dec_pool_info_from d =
+  let pool_name = Xdr.dec_string d in
+  let pool_uuid = dec_uuid d in
+  let target_path = Xdr.dec_string d in
+  let capacity_b = Int64.to_int (Xdr.dec_hyper d) in
+  let allocation_b = Int64.to_int (Xdr.dec_hyper d) in
+  let pool_active = Xdr.dec_bool d in
+  let volume_count = Xdr.dec_uint d in
+  Storage_backend.
+    {
+      pool_name;
+      pool_uuid;
+      target_path;
+      capacity_b;
+      allocation_b;
+      pool_active;
+      volume_count;
+    }
+
+let enc_pool_info i = Xdr.encode enc_pool_info_into i
+let dec_pool_info body = Xdr.decode dec_pool_info_from body
+let enc_pool_info_list l = Xdr.encode (fun e -> Xdr.enc_array e enc_pool_info_into) l
+
+let dec_pool_info_list body =
+  Xdr.decode (fun d -> Xdr.dec_array d dec_pool_info_from) body
+
+let enc_vol_create ~pool ~name ~capacity_b ~format =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e pool;
+      Xdr.enc_string e name;
+      Xdr.enc_hyper e (Int64.of_int capacity_b);
+      Xdr.enc_string e format)
+    ()
+
+let dec_vol_create body =
+  Xdr.decode
+    (fun d ->
+      let pool = Xdr.dec_string d in
+      let name = Xdr.dec_string d in
+      let capacity_b = Int64.to_int (Xdr.dec_hyper d) in
+      let format = Xdr.dec_string d in
+      (pool, name, capacity_b, format))
+    body
+
+let enc_vol_ref ~pool ~name =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e pool;
+      Xdr.enc_string e name)
+    ()
+
+let dec_vol_ref body =
+  Xdr.decode
+    (fun d ->
+      let pool = Xdr.dec_string d in
+      let name = Xdr.dec_string d in
+      (pool, name))
+    body
+
+let enc_vol_info_into e (i : Storage_backend.vol_info) =
+  Xdr.enc_string e i.Storage_backend.vol_name;
+  Xdr.enc_string e i.Storage_backend.vol_key;
+  Xdr.enc_hyper e (Int64.of_int i.Storage_backend.vol_capacity_b);
+  Xdr.enc_string e i.Storage_backend.vol_format
+
+let dec_vol_info_from d =
+  let vol_name = Xdr.dec_string d in
+  let vol_key = Xdr.dec_string d in
+  let vol_capacity_b = Int64.to_int (Xdr.dec_hyper d) in
+  let vol_format = Xdr.dec_string d in
+  Storage_backend.{ vol_name; vol_key; vol_capacity_b; vol_format }
+
+let enc_vol_info i = Xdr.encode enc_vol_info_into i
+let dec_vol_info body = Xdr.decode dec_vol_info_from body
+let enc_vol_info_list l = Xdr.encode (fun e -> Xdr.enc_array e enc_vol_info_into) l
+
+let dec_vol_info_list body =
+  Xdr.decode (fun d -> Xdr.dec_array d dec_vol_info_from) body
+
+let enc_lifecycle_event (ev : Events.event) =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e ev.Events.domain_name;
+      Xdr.enc_int e (Events.lifecycle_to_int ev.Events.lifecycle))
+    ()
+
+let dec_lifecycle_event body =
+  Xdr.decode
+    (fun d ->
+      let domain_name = Xdr.dec_string d in
+      match Events.lifecycle_of_int (Xdr.dec_int d) with
+      | Ok lifecycle -> Events.{ domain_name; lifecycle }
+      | Error msg -> raise (Xdr.Error msg))
+    body

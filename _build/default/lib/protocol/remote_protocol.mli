@@ -1,0 +1,122 @@
+(** The remote program: procedure numbers and body codecs shared by the
+    remote driver (client) and the daemon (server).
+
+    Wire stability rules as in libvirt: procedure numbers are append-only;
+    bodies are XDR; every reply with [Status_error] carries a serialized
+    {!Ovirt_core.Verror.t}. *)
+
+val program : int
+val version : int
+
+type procedure =
+  | Proc_open  (** args: URI string; ret: none *)
+  | Proc_close
+  | Proc_get_capabilities  (** ret: capabilities XML *)
+  | Proc_get_hostname
+  | Proc_list_domains  (** ret: domain_ref array *)
+  | Proc_list_defined  (** ret: string array *)
+  | Proc_lookup_by_name
+  | Proc_lookup_by_uuid
+  | Proc_define_xml
+  | Proc_undefine
+  | Proc_dom_create
+  | Proc_dom_suspend
+  | Proc_dom_resume
+  | Proc_dom_shutdown
+  | Proc_dom_destroy
+  | Proc_dom_get_info
+  | Proc_dom_get_xml
+  | Proc_dom_set_memory
+  | Proc_net_list
+  | Proc_net_define
+  | Proc_net_start
+  | Proc_net_stop
+  | Proc_net_undefine
+  | Proc_net_set_autostart
+  | Proc_net_lookup
+  | Proc_pool_list
+  | Proc_pool_define
+  | Proc_pool_start
+  | Proc_pool_stop
+  | Proc_pool_undefine
+  | Proc_pool_lookup
+  | Proc_vol_create
+  | Proc_vol_delete
+  | Proc_vol_list
+  | Proc_event_register
+  | Proc_event_deregister
+  | Proc_event_lifecycle  (** server → client event *)
+  | Proc_echo  (** benchmark aid: body echoed back verbatim *)
+  | Proc_ping
+  | Proc_dom_save  (** appended in protocol v1.1: managed save *)
+  | Proc_dom_restore
+  | Proc_dom_has_managed_save
+
+val enc_bool_body : bool -> string
+val dec_bool_body : string -> bool
+
+val proc_to_int : procedure -> int
+val proc_of_int : int -> (procedure, string) result
+
+val is_high_priority : procedure -> bool
+(** High-priority procedures are guaranteed to finish without talking to a
+    hypervisor, so priority workers may run them. *)
+
+(** {1 Body codecs} *)
+
+val enc_error : Ovirt_core.Verror.t -> string
+val dec_error : string -> Ovirt_core.Verror.t
+(** @raise Xdr.Error on corruption. *)
+
+val enc_string_body : string -> string
+val dec_string_body : string -> string
+val enc_unit_body : string
+val dec_unit_body : string -> unit
+
+val enc_string_list : string list -> string
+val dec_string_list : string -> string list
+
+val enc_domain_ref : Ovirt_core.Driver.domain_ref -> string
+val dec_domain_ref : string -> Ovirt_core.Driver.domain_ref
+val enc_domain_ref_list : Ovirt_core.Driver.domain_ref list -> string
+val dec_domain_ref_list : string -> Ovirt_core.Driver.domain_ref list
+
+val enc_domain_info : Ovirt_core.Driver.domain_info -> string
+val dec_domain_info : string -> Ovirt_core.Driver.domain_info
+
+val enc_name_and_kib : string -> int -> string
+val dec_name_and_kib : string -> string * int
+
+val enc_net_define : name:string -> bridge:string -> ip_range:string -> string
+val dec_net_define : string -> string * string * string
+
+val enc_net_info : Ovirt_core.Net_backend.info -> string
+val dec_net_info : string -> Ovirt_core.Net_backend.info
+val enc_net_info_list : Ovirt_core.Net_backend.info list -> string
+val dec_net_info_list : string -> Ovirt_core.Net_backend.info list
+
+val enc_name_and_bool : string -> bool -> string
+val dec_name_and_bool : string -> string * bool
+
+val enc_pool_define : name:string -> target_path:string -> capacity_b:int -> string
+val dec_pool_define : string -> string * string * int
+
+val enc_pool_info : Ovirt_core.Storage_backend.pool_info -> string
+val dec_pool_info : string -> Ovirt_core.Storage_backend.pool_info
+val enc_pool_info_list : Ovirt_core.Storage_backend.pool_info list -> string
+val dec_pool_info_list : string -> Ovirt_core.Storage_backend.pool_info list
+
+val enc_vol_create :
+  pool:string -> name:string -> capacity_b:int -> format:string -> string
+val dec_vol_create : string -> string * string * int * string
+
+val enc_vol_ref : pool:string -> name:string -> string
+val dec_vol_ref : string -> string * string
+
+val enc_vol_info : Ovirt_core.Storage_backend.vol_info -> string
+val dec_vol_info : string -> Ovirt_core.Storage_backend.vol_info
+val enc_vol_info_list : Ovirt_core.Storage_backend.vol_info list -> string
+val dec_vol_info_list : string -> Ovirt_core.Storage_backend.vol_info list
+
+val enc_lifecycle_event : Ovirt_core.Events.event -> string
+val dec_lifecycle_event : string -> Ovirt_core.Events.event

@@ -1,0 +1,1 @@
+lib/rpc/rpc_packet.ml: Format String Xdr

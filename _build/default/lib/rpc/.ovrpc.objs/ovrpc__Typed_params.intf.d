@@ -1,0 +1,1 @@
+lib/rpc/typed_params.mli: Xdr

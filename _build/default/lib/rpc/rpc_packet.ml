@@ -1,0 +1,77 @@
+type msg_type = Call | Reply | Event
+type status = Status_ok | Status_error
+
+type header = {
+  program : int;
+  version : int;
+  procedure : int;
+  msg_type : msg_type;
+  serial : int;
+  status : status;
+}
+
+exception Bad_packet of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad_packet s)) fmt
+
+let max_packet_size = 4 * 1024 * 1024
+
+let msg_type_to_int = function Call -> 0 | Reply -> 1 | Event -> 2
+
+let msg_type_of_int = function
+  | 0 -> Call
+  | 1 -> Reply
+  | 2 -> Event
+  | n -> fail "unknown message type %d" n
+
+let status_to_int = function Status_ok -> 0 | Status_error -> 1
+
+let status_of_int = function
+  | 0 -> Status_ok
+  | 1 -> Status_error
+  | n -> fail "unknown status %d" n
+
+let encode header body =
+  let e = Xdr.encoder () in
+  Xdr.enc_uint e header.program;
+  Xdr.enc_uint e header.version;
+  Xdr.enc_int e header.procedure;
+  Xdr.enc_int e (msg_type_to_int header.msg_type);
+  Xdr.enc_uint e header.serial;
+  Xdr.enc_int e (status_to_int header.status);
+  let header_wire = Xdr.to_string e in
+  let total = String.length header_wire + String.length body in
+  if total > max_packet_size then fail "packet of %d bytes exceeds maximum" total;
+  let len = Xdr.encoder () in
+  Xdr.enc_uint len total;
+  Xdr.to_string len ^ header_wire ^ body
+
+let decode wire =
+  if String.length wire < 4 then fail "packet shorter than its length prefix";
+  let d = Xdr.decoder wire in
+  let total =
+    try Xdr.dec_uint d with Xdr.Error msg -> fail "bad length prefix: %s" msg
+  in
+  if total > max_packet_size then fail "packet of %d bytes exceeds maximum" total;
+  if String.length wire - 4 <> total then
+    fail "length prefix says %d bytes, packet carries %d" total
+      (String.length wire - 4);
+  try
+    let program = Xdr.dec_uint d in
+    let version = Xdr.dec_uint d in
+    let procedure = Xdr.dec_int d in
+    let msg_type = msg_type_of_int (Xdr.dec_int d) in
+    let serial = Xdr.dec_uint d in
+    let status = status_of_int (Xdr.dec_int d) in
+    let body = String.sub wire (Xdr.pos d) (String.length wire - Xdr.pos d) in
+    ({ program; version; procedure; msg_type; serial; status }, body)
+  with Xdr.Error msg -> fail "bad header: %s" msg
+
+let call_header ~program ~version ~procedure ~serial =
+  { program; version; procedure; msg_type = Call; serial; status = Status_ok }
+
+let reply_ok header = { header with msg_type = Reply; status = Status_ok }
+let reply_error header = { header with msg_type = Reply; status = Status_error }
+
+let event_header ~program ~version ~procedure =
+  { program; version; procedure; msg_type = Event; serial = 0; status = Status_ok }

@@ -1,0 +1,43 @@
+(** RPC packet framing, libvirt-style.
+
+    Every message on a connection is one packet: a 4-byte big-endian
+    length (covering header + body), an XDR header
+    [(program:u32, version:u32, procedure:i32, type:i32, serial:u32,
+    status:i32)], then the XDR-encoded body.  Replies echo the call's
+    serial; [status = Error] means the body is a serialized error. *)
+
+type msg_type = Call | Reply | Event
+
+type status = Status_ok | Status_error
+
+type header = {
+  program : int;
+  version : int;
+  procedure : int;
+  msg_type : msg_type;
+  serial : int;
+  status : status;
+}
+
+exception Bad_packet of string
+
+val max_packet_size : int
+(** Upper bound on accepted packet length (4 MiB, like libvirt's
+    [VIR_NET_MESSAGE_MAX]); oversized packets raise {!Bad_packet}. *)
+
+val encode : header -> string -> string
+(** [encode header body] produces the full framed packet. *)
+
+val decode : string -> header * string
+(** Inverse of {!encode}.  @raise Bad_packet on any malformation:
+    truncation, length mismatch, unknown type/status, oversize. *)
+
+val call_header : program:int -> version:int -> procedure:int -> serial:int -> header
+
+val reply_ok : header -> header
+(** Reply header echoing a call's identity. *)
+
+val reply_error : header -> header
+
+val event_header : program:int -> version:int -> procedure:int -> header
+(** Events carry serial 0: they answer no call. *)

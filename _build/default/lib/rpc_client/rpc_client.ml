@@ -1,0 +1,179 @@
+module Transport = Ovnet.Transport
+module Netsim = Ovnet.Netsim
+module Rpc_packet = Ovrpc.Rpc_packet
+module Verror = Ovirt_core.Verror
+
+type slot = {
+  slot_mutex : Mutex.t;
+  slot_cond : Condition.t;
+  mutable outcome : (string, Verror.t) result option;
+}
+
+type t = {
+  conn : Transport.t;
+  program : int;
+  version : int;
+  on_event : procedure:int -> string -> unit;
+  mutex : Mutex.t;
+  pending : (int, slot) Hashtbl.t;
+  mutable next_serial : int;
+  mutable closed : bool;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let deliver slot outcome =
+  with_lock slot.slot_mutex (fun () ->
+      slot.outcome <- Some outcome;
+      Condition.broadcast slot.slot_cond)
+
+let fail_all_pending client err =
+  let slots =
+    with_lock client.mutex (fun () ->
+        let slots = Hashtbl.fold (fun _ slot acc -> slot :: acc) client.pending [] in
+        Hashtbl.reset client.pending;
+        client.closed <- true;
+        slots)
+  in
+  List.iter (fun slot -> deliver slot (Error err)) slots
+
+let receiver_loop client =
+  let rec loop () =
+    match Transport.recv client.conn with
+    | exception (Transport.Closed | Transport.Corrupt _) ->
+      fail_all_pending client (Verror.make Verror.Rpc_failure "connection closed")
+    | wire ->
+      (match Rpc_packet.decode wire with
+       | exception Rpc_packet.Bad_packet msg ->
+         Transport.close client.conn;
+         fail_all_pending client
+           (Verror.make Verror.Rpc_failure ("bad packet from server: " ^ msg))
+       | header, body ->
+         (match header.Rpc_packet.msg_type with
+          | Rpc_packet.Event ->
+            (try client.on_event ~procedure:header.Rpc_packet.procedure body
+             with _ -> ());
+            loop ()
+          | Rpc_packet.Reply ->
+            let slot =
+              with_lock client.mutex (fun () ->
+                  let slot = Hashtbl.find_opt client.pending header.Rpc_packet.serial in
+                  Hashtbl.remove client.pending header.Rpc_packet.serial;
+                  slot)
+            in
+            (match slot with
+             | None -> () (* reply to a timed-out call: drop *)
+             | Some slot ->
+               let outcome =
+                 match header.Rpc_packet.status with
+                 | Rpc_packet.Status_ok -> Ok body
+                 | Rpc_packet.Status_error ->
+                   (match Protocol.Remote_protocol.dec_error body with
+                    | err -> Error err
+                    | exception Xdr.Error msg ->
+                      Error
+                        (Verror.make Verror.Rpc_failure
+                           ("undecodable error reply: " ^ msg)))
+               in
+               deliver slot outcome);
+            loop ()
+          | Rpc_packet.Call ->
+            (* Servers do not call clients; ignore and carry on. *)
+            loop ()))
+  in
+  loop ()
+
+let connect ~address ~kind ~program ~version ?identity
+    ?(on_event = fun ~procedure:_ _ -> ()) () =
+  match Netsim.connect ?identity address kind with
+  | exception Netsim.Connection_refused addr ->
+    Verror.error Verror.Rpc_failure "connection refused at %S" addr
+  | conn ->
+    let client =
+      {
+        conn;
+        program;
+        version;
+        on_event;
+        mutex = Mutex.create ();
+        pending = Hashtbl.create 8;
+        next_serial = 1;
+        closed = false;
+      }
+    in
+    ignore (Thread.create (fun () -> receiver_loop client) ());
+    Ok client
+
+let call client ~procedure ?(body = "") ?timeout_s () =
+  let slot_or_err =
+    with_lock client.mutex (fun () ->
+        if client.closed then
+          Verror.error Verror.Rpc_failure "connection is closed"
+        else begin
+          let serial = client.next_serial in
+          client.next_serial <- serial + 1;
+          let slot =
+            { slot_mutex = Mutex.create (); slot_cond = Condition.create (); outcome = None }
+          in
+          Hashtbl.replace client.pending serial slot;
+          Ok (serial, slot)
+        end)
+  in
+  match slot_or_err with
+  | Error e -> Error e
+  | Ok (serial, slot) ->
+    let header =
+      Rpc_packet.call_header ~program:client.program ~version:client.version
+        ~procedure ~serial
+    in
+    (match Transport.send client.conn (Rpc_packet.encode header body) with
+     | exception Transport.Closed ->
+       with_lock client.mutex (fun () -> Hashtbl.remove client.pending serial);
+       Verror.error Verror.Rpc_failure "connection is closed"
+     | () ->
+       (* The stdlib has no timed condition wait.  The receiver thread
+          always delivers — a reply, or a failure when the connection
+          dies — so the fast path is a plain wait.  When a timeout is
+          requested, a watchdog thread delivers the timeout error if the
+          slot is still pending at the deadline. *)
+       (match timeout_s with
+        | None -> ()
+        | Some t ->
+          ignore
+            (Thread.create
+               (fun () ->
+                 Thread.delay t;
+                 let still_pending =
+                   with_lock client.mutex (fun () ->
+                       if Hashtbl.mem client.pending serial then begin
+                         Hashtbl.remove client.pending serial;
+                         true
+                       end
+                       else false)
+                 in
+                 if still_pending then
+                   deliver slot
+                     (Error
+                        (Verror.make Verror.Rpc_failure
+                           (Printf.sprintf "call %d timed out after %.1fs" procedure
+                              t))))
+               ()));
+       with_lock slot.slot_mutex (fun () ->
+           let rec wait () =
+             match slot.outcome with
+             | Some outcome -> outcome
+             | None ->
+               Condition.wait slot.slot_cond slot.slot_mutex;
+               wait ()
+           in
+           wait ()))
+
+let close client =
+  Transport.close client.conn;
+  fail_all_pending client (Verror.make Verror.Rpc_failure "connection closed locally")
+
+let is_closed client = client.closed
+let bytes_tx client = Transport.bytes_tx client.conn
+let bytes_rx client = Transport.bytes_rx client.conn

@@ -1,0 +1,37 @@
+(** Client-side RPC engine shared by the remote driver and the admin
+    library.
+
+    One receiver thread demultiplexes the connection: replies are matched
+    to blocked callers by serial, event packets are handed to the
+    [on_event] callback.  Multiple threads may issue {!call}s
+    concurrently; sends are serialized by the transport layer. *)
+
+type t
+
+val connect :
+  address:string ->
+  kind:Ovnet.Transport.kind ->
+  program:int ->
+  version:int ->
+  ?identity:Ovnet.Transport.unix_identity ->
+  ?on_event:(procedure:int -> string -> unit) ->
+  unit ->
+  (t, Ovirt_core.Verror.t) result
+(** Establish the transport and start the receiver.
+    [Connection_refused] surfaces as a [Rpc_failure] error. *)
+
+val call :
+  t -> procedure:int -> ?body:string -> ?timeout_s:float -> unit ->
+  (string, Ovirt_core.Verror.t) result
+(** Send one call and block for its reply (no timeout unless given;
+    the receiver fails all pending calls when the connection dies).
+    [Status_error] replies come back as their decoded error; a dead
+    connection or timeout is [Rpc_failure]. *)
+
+val close : t -> unit
+(** Idempotent; fails all in-flight calls. *)
+
+val is_closed : t -> bool
+
+val bytes_tx : t -> int
+val bytes_rx : t -> int

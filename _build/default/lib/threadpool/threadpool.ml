@@ -1,0 +1,219 @@
+type job = { run : unit -> unit; priority : bool }
+
+type stats = {
+  min_workers : int;
+  max_workers : int;
+  n_workers : int;
+  free_workers : int;
+  prio_workers : int;
+  job_queue_depth : int;
+  jobs_completed : int;
+}
+
+type t = {
+  name : string;
+  mutex : Mutex.t;
+  cond : Condition.t; (* workers wait here for jobs / limit changes *)
+  idle_cond : Condition.t; (* drain/shutdown wait here *)
+  normal_queue : job Queue.t;
+  prio_queue : job Queue.t;
+  mutable min_workers : int;
+  mutable max_workers : int;
+  mutable prio_target : int;
+  mutable n_workers : int; (* live ordinary workers *)
+  mutable free_workers : int; (* ordinary workers blocked on [cond] *)
+  mutable n_prio : int; (* live priority workers *)
+  mutable free_prio : int;
+  mutable quit : bool;
+  mutable jobs_completed : int;
+  mutable jobs_failed : int;
+}
+
+exception Invalid_limits of string
+
+let check_limits ~min_workers ~max_workers ~prio_workers =
+  if min_workers < 0 then raise (Invalid_limits "min_workers must be >= 0");
+  if prio_workers < 0 then raise (Invalid_limits "prio_workers must be >= 0");
+  if max_workers < 1 then raise (Invalid_limits "max_workers must be >= 1");
+  if max_workers < min_workers then
+    raise (Invalid_limits "max_workers must be >= min_workers")
+
+let with_lock pool f =
+  Mutex.lock pool.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool.mutex) f
+
+(* Execute one job outside the pool lock; the caller holds the lock on
+   entry and regains it before returning. *)
+let run_job pool job =
+  Mutex.unlock pool.mutex;
+  let failed = try job.run (); false with _ -> true in
+  Mutex.lock pool.mutex;
+  pool.jobs_completed <- pool.jobs_completed + 1;
+  if failed then pool.jobs_failed <- pool.jobs_failed + 1
+
+(* The quit-helper check from the thesis: performed after waking up and
+   after finishing a job, never via a queued "poison" task. *)
+let ordinary_should_quit pool = pool.quit || pool.n_workers > pool.max_workers
+let priority_should_quit pool = pool.quit || pool.n_prio > pool.prio_target
+
+let rec ordinary_loop pool =
+  if ordinary_should_quit pool then begin
+    pool.n_workers <- pool.n_workers - 1;
+    Condition.broadcast pool.idle_cond
+  end
+  else if not (Queue.is_empty pool.prio_queue) then begin
+    run_job pool (Queue.pop pool.prio_queue);
+    ordinary_loop pool
+  end
+  else if not (Queue.is_empty pool.normal_queue) then begin
+    run_job pool (Queue.pop pool.normal_queue);
+    ordinary_loop pool
+  end
+  else begin
+    pool.free_workers <- pool.free_workers + 1;
+    Condition.broadcast pool.idle_cond;
+    Condition.wait pool.cond pool.mutex;
+    pool.free_workers <- pool.free_workers - 1;
+    ordinary_loop pool
+  end
+
+let rec priority_loop pool =
+  if priority_should_quit pool then begin
+    pool.n_prio <- pool.n_prio - 1;
+    Condition.broadcast pool.idle_cond
+  end
+  else if not (Queue.is_empty pool.prio_queue) then begin
+    run_job pool (Queue.pop pool.prio_queue);
+    priority_loop pool
+  end
+  else begin
+    pool.free_prio <- pool.free_prio + 1;
+    Condition.broadcast pool.idle_cond;
+    Condition.wait pool.cond pool.mutex;
+    pool.free_prio <- pool.free_prio - 1;
+    priority_loop pool
+  end
+
+(* Spawn helpers: called with the pool lock held.  The worker increments
+   were already done by the caller so the accounting is correct even
+   before the thread is scheduled. *)
+let spawn_ordinary pool =
+  pool.n_workers <- pool.n_workers + 1;
+  ignore
+    (Thread.create
+       (fun () ->
+         Mutex.lock pool.mutex;
+         ordinary_loop pool;
+         Mutex.unlock pool.mutex)
+       ())
+
+let spawn_priority pool =
+  pool.n_prio <- pool.n_prio + 1;
+  ignore
+    (Thread.create
+       (fun () ->
+         Mutex.lock pool.mutex;
+         priority_loop pool;
+         Mutex.unlock pool.mutex)
+       ())
+
+let create ?(name = "pool") ~min_workers ~max_workers ~prio_workers () =
+  check_limits ~min_workers ~max_workers ~prio_workers;
+  let pool =
+    {
+      name;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      idle_cond = Condition.create ();
+      normal_queue = Queue.create ();
+      prio_queue = Queue.create ();
+      min_workers;
+      max_workers;
+      prio_target = prio_workers;
+      n_workers = 0;
+      free_workers = 0;
+      n_prio = 0;
+      free_prio = 0;
+      quit = false;
+      jobs_completed = 0;
+      jobs_failed = 0;
+    }
+  in
+  with_lock pool (fun () ->
+      for _ = 1 to min_workers do
+        spawn_ordinary pool
+      done;
+      for _ = 1 to prio_workers do
+        spawn_priority pool
+      done);
+  pool
+
+let push pool ?(priority = false) run =
+  with_lock pool (fun () ->
+      if pool.quit then
+        raise (Invalid_limits (pool.name ^ ": pool has been shut down"));
+      Queue.push { run; priority }
+        (if priority then pool.prio_queue else pool.normal_queue);
+      (* Grow on demand: a job just arrived with nobody free to take it. *)
+      let nobody_free =
+        if priority then pool.free_workers = 0 && pool.free_prio = 0
+        else pool.free_workers = 0
+      in
+      if nobody_free && pool.n_workers < pool.max_workers then
+        spawn_ordinary pool;
+      Condition.broadcast pool.cond)
+
+let set_limits pool ?min_workers ?max_workers ?prio_workers () =
+  with_lock pool (fun () ->
+      let min_workers = Option.value min_workers ~default:pool.min_workers in
+      let max_workers = Option.value max_workers ~default:pool.max_workers in
+      let prio_workers = Option.value prio_workers ~default:pool.prio_target in
+      check_limits ~min_workers ~max_workers ~prio_workers;
+      pool.min_workers <- min_workers;
+      pool.max_workers <- max_workers;
+      pool.prio_target <- prio_workers;
+      while pool.n_workers < pool.min_workers do
+        spawn_ordinary pool
+      done;
+      while pool.n_prio < pool.prio_target do
+        spawn_priority pool
+      done;
+      (* Surplus workers (n > max) retire themselves on wakeup. *)
+      Condition.broadcast pool.cond)
+
+let stats pool =
+  with_lock pool (fun () ->
+      {
+        min_workers = pool.min_workers;
+        max_workers = pool.max_workers;
+        n_workers = pool.n_workers;
+        free_workers = pool.free_workers;
+        prio_workers = pool.n_prio;
+        job_queue_depth =
+          Queue.length pool.normal_queue + Queue.length pool.prio_queue;
+        jobs_completed = pool.jobs_completed;
+      })
+
+let failed_jobs pool = with_lock pool (fun () -> pool.jobs_failed)
+
+let drain pool =
+  with_lock pool (fun () ->
+      while
+        (not (Queue.is_empty pool.normal_queue))
+        || (not (Queue.is_empty pool.prio_queue))
+        || pool.free_workers < pool.n_workers
+        || pool.free_prio < pool.n_prio
+      do
+        Condition.wait pool.idle_cond pool.mutex
+      done)
+
+let shutdown pool =
+  with_lock pool (fun () ->
+      pool.quit <- true;
+      Queue.clear pool.normal_queue;
+      Queue.clear pool.prio_queue;
+      Condition.broadcast pool.cond;
+      while pool.n_workers > 0 || pool.n_prio > 0 do
+        Condition.broadcast pool.cond;
+        Condition.wait pool.idle_cond pool.mutex
+      done)

@@ -1,0 +1,63 @@
+(** Workerpool: the daemon's concurrent task-execution engine.
+
+    Reproduces libvirt's threadpool semantics:
+
+    - {e ordinary workers} execute any job; their count floats between
+      [min_workers] and [max_workers], growing on demand (a job arrives and
+      no worker is free) and shrinking cooperatively when [max_workers] is
+      lowered — each worker re-checks the limit when it wakes up and when
+      it finishes a job, and exits if the pool is over target.  This is the
+      deadlock-free design: no "termination job" is ever queued, so no lock
+      ordering problem with the pool lock arises;
+    - {e priority workers} are a constant-size set that only executes jobs
+      flagged high-priority, guaranteeing that critical control operations
+      make progress even when every ordinary worker is stuck on a hanging
+      hypervisor call.
+
+    All limits are runtime-adjustable ({!set_limits}), which is what the
+    administration interface exposes. *)
+
+type t
+
+type stats = {
+  min_workers : int;
+  max_workers : int;
+  n_workers : int;  (** current ordinary workers, busy + free *)
+  free_workers : int;  (** ordinary workers waiting for a job *)
+  prio_workers : int;  (** current priority workers *)
+  job_queue_depth : int;  (** jobs waiting (both classes) *)
+  jobs_completed : int;  (** total jobs finished since creation *)
+}
+
+exception Invalid_limits of string
+(** Raised by {!create} and {!set_limits} on inconsistent limits
+    (e.g. [max_workers < min_workers], negative counts). *)
+
+val create :
+  ?name:string -> min_workers:int -> max_workers:int -> prio_workers:int -> unit -> t
+(** Start a pool with [min_workers] ordinary workers and [prio_workers]
+    priority workers already running. *)
+
+val push : t -> ?priority:bool -> (unit -> unit) -> unit
+(** Enqueue a job.  [~priority:true] jobs are eligible for priority
+    workers (and are preferred by ordinary workers).  Exceptions escaping
+    the job are swallowed and counted ({!failed_jobs}).
+    @raise Invalid_limits if the pool has been shut down. *)
+
+val set_limits : t -> ?min_workers:int -> ?max_workers:int -> ?prio_workers:int -> unit -> unit
+(** Adjust limits at runtime.  Raising [min_workers] spawns immediately;
+    lowering [max_workers] retires surplus workers cooperatively; changing
+    [prio_workers] grows or shrinks the priority set. *)
+
+val stats : t -> stats
+
+val failed_jobs : t -> int
+(** Jobs whose function raised. *)
+
+val drain : t -> unit
+(** Block until the queue is empty and every live worker is idle.
+    Intended for tests and benchmarks. *)
+
+val shutdown : t -> unit
+(** Ask all workers to exit and wait for them.  Pending jobs are
+    discarded.  Subsequent {!push} raises {!Invalid_limits}. *)

@@ -1,0 +1,1 @@
+lib/transport/chan.ml: Condition Fun Mutex Queue Thread Unix

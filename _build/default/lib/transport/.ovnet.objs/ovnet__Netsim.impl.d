@@ -1,0 +1,1 @@
+lib/transport/netsim.ml: Atomic Chan Fun Hashtbl List Mutex Option Printf Thread Transport

@@ -1,0 +1,1 @@
+lib/transport/tlslike.ml: Atomic Bytes Char Format Int64 String Unix

@@ -1,0 +1,1 @@
+lib/transport/transport.ml: Chan Char Printf String Tlslike

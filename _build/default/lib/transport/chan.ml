@@ -1,0 +1,87 @@
+exception Closed
+
+type t = {
+  mutex : Mutex.t;
+  readable : Condition.t;
+  writable : Condition.t;
+  queue : string Queue.t;
+  capacity : int; (* max_int = unbounded *)
+  mutable closed : bool;
+}
+
+let create ?(capacity = max_int) () =
+  if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    readable = Condition.create ();
+    writable = Condition.create ();
+    queue = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let with_lock c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let send c msg =
+  with_lock c (fun () ->
+      while (not c.closed) && Queue.length c.queue >= c.capacity do
+        Condition.wait c.writable c.mutex
+      done;
+      if c.closed then raise Closed;
+      Queue.push msg c.queue;
+      Condition.signal c.readable)
+
+let recv c =
+  with_lock c (fun () ->
+      while Queue.is_empty c.queue && not c.closed do
+        Condition.wait c.readable c.mutex
+      done;
+      if Queue.is_empty c.queue then raise Closed;
+      let msg = Queue.pop c.queue in
+      Condition.signal c.writable;
+      msg)
+
+let recv_opt c ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  with_lock c (fun () ->
+      let rec wait_for_data () =
+        if not (Queue.is_empty c.queue) then begin
+          let msg = Queue.pop c.queue in
+          Condition.signal c.writable;
+          Some msg
+        end
+        else if c.closed then raise Closed
+        else if Unix.gettimeofday () >= deadline then None
+        else begin
+          (* Condition variables have no timed wait in the stdlib; poll at a
+             granularity fine enough for the protocol timeouts in use. *)
+          Mutex.unlock c.mutex;
+          Thread.delay 0.001;
+          Mutex.lock c.mutex;
+          wait_for_data ()
+        end
+      in
+      wait_for_data ())
+
+let close c =
+  with_lock c (fun () ->
+      if not c.closed then begin
+        c.closed <- true;
+        Condition.broadcast c.readable;
+        Condition.broadcast c.writable
+      end)
+
+let is_closed c = with_lock c (fun () -> c.closed)
+let pending c = with_lock c (fun () -> Queue.length c.queue)
+
+type endpoint = { incoming : t; outgoing : t }
+
+let pipe () =
+  let a = create () and b = create () in
+  ({ incoming = a; outgoing = b }, { incoming = b; outgoing = a })
+
+let close_endpoint ep =
+  close ep.incoming;
+  close ep.outgoing

@@ -1,0 +1,40 @@
+(** Thread-safe in-memory message channels.
+
+    The whole network is simulated in-process: a {!t} is one direction of a
+    duplex link, carrying whole messages (the RPC layer above frames its
+    packets, so message orientation loses nothing).  Channels substitute
+    for kernel sockets — see DESIGN.md, substitution table. *)
+
+type t
+
+exception Closed
+(** Raised by {!send} on a closed channel, and by {!recv} once a closed
+    channel has been fully drained. *)
+
+val create : ?capacity:int -> unit -> t
+(** Unbounded by default; with [~capacity] senders block when full
+    (back-pressure, like a socket buffer). *)
+
+val send : t -> string -> unit
+val recv : t -> string
+(** Blocks until a message arrives or the channel is closed and empty. *)
+
+val recv_opt : t -> timeout_s:float -> string option
+(** [None] on timeout.  @raise Closed as {!recv} does. *)
+
+val close : t -> unit
+(** Idempotent.  Wakes all blocked senders and receivers. *)
+
+val is_closed : t -> bool
+
+val pending : t -> int
+(** Messages queued but not yet received. *)
+
+(** {1 Duplex endpoints} *)
+
+type endpoint = { incoming : t; outgoing : t }
+
+val pipe : unit -> endpoint * endpoint
+(** A connected pair: what one side sends, the other receives. *)
+
+val close_endpoint : endpoint -> unit

@@ -1,0 +1,76 @@
+exception Connection_refused of string
+exception Address_in_use of string
+
+type listener = {
+  addr : string;
+  handler : Transport.t -> unit;
+  mutable open_ : bool;
+}
+
+let registry : (string, listener) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let listen addr handler =
+  with_registry (fun () ->
+      (match Hashtbl.find_opt registry addr with
+       | Some l when l.open_ -> raise (Address_in_use addr)
+       | Some _ | None -> ());
+      let l = { addr; handler; open_ = true } in
+      Hashtbl.replace registry addr l;
+      l)
+
+let close_listener l =
+  with_registry (fun () ->
+      l.open_ <- false;
+      match Hashtbl.find_opt registry l.addr with
+      | Some current when current == l -> Hashtbl.remove registry l.addr
+      | Some _ | None -> ())
+
+let default_identity =
+  Transport.{ uid = 0; gid = 0; pid = 1; username = "root"; groupname = "root" }
+
+let addr_counter = Atomic.make 1
+
+let fresh_sock_addr () =
+  let n = Atomic.fetch_and_add addr_counter 1 in
+  Printf.sprintf "192.168.%d.%d:%d" ((n lsr 8) land 0xff) (n land 0xff)
+    (10000 + (n mod 50000))
+
+let connect ?identity ?sock_addr addr kind =
+  let l =
+    with_registry (fun () ->
+        match Hashtbl.find_opt registry addr with
+        | Some l when l.open_ -> l
+        | Some _ | None -> raise (Connection_refused addr))
+  in
+  let client_ep, server_ep = Chan.pipe () in
+  (* The server half of the handshake runs in the per-connection thread,
+     like an accept loop handing the socket to a worker. *)
+  ignore
+    (Thread.create
+       (fun () ->
+         match Transport.accept kind server_ep with
+         | conn -> (try l.handler conn with _ -> Transport.close conn)
+         | exception _ -> Chan.close_endpoint server_ep)
+       ());
+  let peer_sends =
+    match kind with
+    | Transport.Unix_sock ->
+      Transport.Local (Option.value identity ~default:default_identity)
+    | Transport.Tcp | Transport.Tls ->
+      let sock_addr =
+        match sock_addr with Some a -> a | None -> fresh_sock_addr ()
+      in
+      Transport.Remote { sock_addr; x509_dname = None }
+  in
+  Transport.initiate kind ~peer_sends client_ep
+
+let bound_addresses () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun addr _ acc -> addr :: acc) registry [] |> List.sort compare)
+
+let reset () = with_registry (fun () -> Hashtbl.reset registry)

@@ -1,0 +1,36 @@
+(** Simulated network: a process-wide registry of named listeners.
+
+    Daemon services bind addresses (e.g. ["ovirtd-admin-sock"]); clients
+    connect by name, choosing a transport {!Transport.kind}.  Each accepted
+    connection invokes the listener's handler in a fresh thread, exactly as
+    an accept loop would. *)
+
+type listener
+
+exception Connection_refused of string
+(** No listener bound at that address, or the listener was closed. *)
+
+exception Address_in_use of string
+
+val listen : string -> (Transport.t -> unit) -> listener
+(** Bind [addr]; [handler] runs in its own thread per accepted connection.
+    @raise Address_in_use if already bound. *)
+
+val close_listener : listener -> unit
+(** Unbind; established connections are unaffected. *)
+
+val connect :
+  ?identity:Transport.unix_identity ->
+  ?sock_addr:string ->
+  string ->
+  Transport.kind ->
+  Transport.t
+(** Connect to a bound address.  For [Unix_sock] the presented peer is
+    [identity] (default: root's); for [Tcp]/[Tls] it is [sock_addr]
+    (default: a fresh synthetic address).
+    @raise Connection_refused if nothing listens there. *)
+
+val bound_addresses : unit -> string list
+
+val reset : unit -> unit
+(** Drop all listeners (test isolation). *)

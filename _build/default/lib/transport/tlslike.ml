@@ -1,0 +1,138 @@
+exception Auth_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Auth_failure s)) fmt
+
+(* FNV-1a 64-bit, used both as the MAC core and the key-derivation hash.
+   Toy-grade on purpose; see the interface comment. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a_update h byte =
+  Int64.mul (Int64.logxor h (Int64.of_int byte)) fnv_prime
+
+let fnv1a_string h s =
+  let acc = ref h in
+  String.iter (fun c -> acc := fnv1a_update !acc (Char.code c)) s;
+  !acc
+
+type session = {
+  mutable key : int64;
+  mutable seq : int64; (* next record sequence number *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Handshake                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hello = { client_nonce : int64 }
+
+let nonce_counter = Atomic.make 0x5eed_0001
+
+let fresh_nonce () =
+  (* Mix a process-wide counter with the clock; uniqueness is all that
+     matters here, not unpredictability. *)
+  let c = Atomic.fetch_and_add nonce_counter 1 in
+  let t = Int64.bits_of_float (Unix.gettimeofday ()) in
+  fnv1a_string (fnv1a_update t c) "nonce"
+
+let int64_to_wire v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xff))
+
+let int64_of_wire s off =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !acc
+
+let magic = "OTLS"
+
+let client_hello () =
+  let n = fresh_nonce () in
+  ({ client_nonce = n }, magic ^ int64_to_wire n)
+
+let derive_key client_nonce server_nonce =
+  fnv1a_string (fnv1a_update (Int64.logxor client_nonce server_nonce) 0x42) "master"
+
+let parse_hello what wire =
+  if String.length wire <> String.length magic + 8 then
+    fail "%s: bad length %d" what (String.length wire);
+  if String.sub wire 0 4 <> magic then fail "%s: bad magic" what;
+  int64_of_wire wire 4
+
+let server_accept client_wire =
+  let client_nonce = parse_hello "client hello" client_wire in
+  let server_nonce = fresh_nonce () in
+  let key = derive_key client_nonce server_nonce in
+  ({ key; seq = 0L }, magic ^ int64_to_wire server_nonce)
+
+let client_finish hello server_wire =
+  let server_nonce = parse_hello "server reply" server_wire in
+  { key = derive_key hello.client_nonce server_nonce; seq = 0L }
+
+let handshake_pair () =
+  let hello, hello_wire = client_hello () in
+  let server, reply_wire = server_accept hello_wire in
+  let client = client_finish hello reply_wire in
+  (client, server)
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Keystream: a 64-bit xorshift generator seeded from (key, seq); each
+   step yields 8 keystream bytes.  One multiplication + shifts per 8
+   bytes plus the MAC pass gives the per-byte cost profile we need. *)
+let keystream_init key seq =
+  let s = Int64.logxor key (Int64.mul seq 0x9e3779b97f4a7c15L) in
+  if s = 0L then 0x1234_5678L else s
+
+let keystream_next s =
+  let s = Int64.logxor s (Int64.shift_left s 13) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+  Int64.logxor s (Int64.shift_left s 17)
+
+let transform ~key ~seq payload =
+  let n = String.length payload in
+  let out = Bytes.create n in
+  let state = ref (keystream_init key seq) in
+  for i = 0 to n - 1 do
+    if i land 7 = 0 then state := keystream_next !state;
+    let ks_byte =
+      Int64.to_int (Int64.shift_right_logical !state (8 * (i land 7))) land 0xff
+    in
+    Bytes.set out i (Char.chr (Char.code payload.[i] lxor ks_byte))
+  done;
+  Bytes.unsafe_to_string out
+
+let mac ~key ~seq data =
+  let h = fnv1a_update (Int64.logxor fnv_offset key) (Int64.to_int seq land 0xff) in
+  int64_to_wire (fnv1a_string h data)
+
+let seal session payload =
+  let seq = session.seq in
+  session.seq <- Int64.add seq 1L;
+  let cipher = transform ~key:session.key ~seq payload in
+  let tag = mac ~key:session.key ~seq cipher in
+  int64_to_wire seq ^ tag ^ cipher
+
+let open_ session record =
+  if String.length record < 16 then fail "record too short (%d bytes)" (String.length record);
+  let seq = int64_of_wire record 0 in
+  if seq <> session.seq then
+    fail "out-of-order record: expected seq %Ld, got %Ld" session.seq seq;
+  let tag = String.sub record 8 8 in
+  let cipher = String.sub record 16 (String.length record - 16) in
+  if mac ~key:session.key ~seq cipher <> tag then fail "MAC mismatch on seq %Ld" seq;
+  session.seq <- Int64.add seq 1L;
+  transform ~key:session.key ~seq cipher
+
+let rekey a b =
+  let next = fnv1a_string a.key "rekey" in
+  if fnv1a_string b.key "rekey" <> next then
+    fail "rekey: sessions do not share key material";
+  a.key <- next;
+  b.key <- next;
+  a.seq <- 0L;
+  b.seq <- 0L

@@ -1,0 +1,52 @@
+(** Toy TLS-like record layer.
+
+    Stand-in for the real TLS transport (see DESIGN.md): a nonce-mixing
+    handshake derives a session key; every record is transformed with a
+    keyed stream cipher and authenticated with a keyed 64-bit MAC.  The
+    point is {e not} cryptographic strength — it is that encryption and
+    authentication incur genuine per-byte CPU work and per-connection
+    handshake work, so the transport-overhead experiments (E3/E4) measure
+    a real cost of the same shape as TLS's. *)
+
+type session
+
+exception Auth_failure of string
+(** Record MAC mismatch (tampering / key mismatch) or bad handshake. *)
+
+(** {1 Handshake}
+
+    Classic three-value flow: the client sends a hello carrying its nonce,
+    the server answers with its own, both derive the same session key. *)
+
+type hello
+
+val client_hello : unit -> hello * string
+(** Fresh client nonce and its wire form. *)
+
+val server_accept : string -> session * string
+(** [server_accept client_hello_wire] derives the server session and the
+    wire reply.  @raise Auth_failure on a malformed hello. *)
+
+val client_finish : hello -> string -> session
+(** [client_finish hello server_reply_wire] derives the client session.
+    @raise Auth_failure on a malformed reply. *)
+
+val handshake_pair : unit -> session * session
+(** Both ends at once (for in-process tests): client session, server
+    session. *)
+
+(** {1 Records} *)
+
+val seal : session -> string -> string
+(** Encrypt-and-MAC one record.  Sessions are stateful: records must be
+    opened in the order they were sealed (sequence numbers are part of the
+    keystream, as in TLS). *)
+
+val open_ : session -> string -> string
+(** Decrypt and verify.  @raise Auth_failure on MAC mismatch, truncation,
+    or out-of-order delivery. *)
+
+val rekey : session -> session -> unit
+(** [rekey a b] rotates both directions' key material in lockstep; the
+    sessions must be the two ends of one connection.  Used by the
+    admin-interface ablation experiment. *)

@@ -1,0 +1,70 @@
+(** Transport connections: framing and per-transport costs over {!Chan}.
+
+    Three transport classes, mirroring libvirt's main remote transports:
+
+    - [Unix_sock] — local socket: messages cross the channel untouched and
+      the peer carries UNIX credentials (SO_PEERCRED equivalent);
+    - [Tcp] — remote, unencrypted: every message is integrity-checksummed
+      (one real pass over the bytes, standing in for kernel checksum work)
+      and the peer carries a network address;
+    - [Tls] — remote, encrypted: a {!Tlslike} handshake at accept time and
+      seal/open on every message (keyed stream transform + MAC).
+
+    The cost ordering unix < tcp < tls is therefore physically incurred,
+    which is what experiments E3/E4 measure. *)
+
+type kind = Unix_sock | Tcp | Tls
+
+val kind_name : kind -> string
+(** ["unix"], ["tcp"], ["tls"]. *)
+
+val kind_of_name : string -> (kind, string) result
+
+(** Peer identity, as the server side sees it. *)
+
+type unix_identity = {
+  uid : int;
+  gid : int;
+  pid : int;
+  username : string;
+  groupname : string;
+}
+
+type peer =
+  | Local of unix_identity  (** unix-socket peer credentials *)
+  | Remote of { sock_addr : string; x509_dname : string option }
+      (** network peer; [x509_dname] present on TLS connections *)
+
+type t
+
+exception Closed
+(** The underlying channel was closed. *)
+
+exception Corrupt of string
+(** Checksum or TLS authentication failure on a received message. *)
+
+val kind : t -> kind
+val peer : t -> peer
+val send : t -> string -> unit
+val recv : t -> string
+val recv_opt : t -> timeout_s:float -> string option
+val close : t -> unit
+val is_closed : t -> bool
+
+val bytes_tx : t -> int
+(** Total payload bytes sent on this end. *)
+
+val bytes_rx : t -> int
+
+val rekey : t -> t -> unit
+(** Rotate TLS key material on both ends of one TLS connection (ablation
+    hook).  No-op on other kinds. *)
+
+(** {1 Establishment} — used by {!Netsim}; exposed for direct tests. *)
+
+val initiate : kind -> peer_sends:peer -> Chan.endpoint -> t
+(** Client side: performs the client half of any handshake, transmitting
+    [peer_sends] (the identity this client presents) to the server. *)
+
+val accept : kind -> Chan.endpoint -> t
+(** Server side: blocks for the client's handshake/identity. *)

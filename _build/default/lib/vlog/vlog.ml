@@ -1,0 +1,283 @@
+type priority = Debug | Info | Warn | Error
+
+let priority_to_int = function Debug -> 1 | Info -> 2 | Warn -> 3 | Error -> 4
+
+let priority_of_int = function
+  | 1 -> Ok Debug
+  | 2 -> Ok Info
+  | 3 -> Ok Warn
+  | 4 -> Ok Error
+  | n -> Stdlib.Error (Printf.sprintf "invalid logging level %d (expected 1-4)" n)
+
+let priority_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warning"
+  | Error -> "error"
+
+type sink =
+  | Stderr
+  | File of string
+  | Syslog of string
+  | Journald
+  | Null
+
+type output = { min_priority : priority; sink : sink }
+type filter = { match_string : string; max_verbosity : priority }
+
+(* The whole configuration lives in one immutable record swapped under
+   [define_mutex]; loggers read it with a single dereference, which gives
+   the read-copy-update atomicity the daemon's runtime redefinition needs. *)
+type settings = {
+  level : priority;
+  filters : filter list;
+  outputs : output list;
+}
+
+type t = {
+  mutable settings : settings;
+  define_mutex : Mutex.t;
+  emit_mutex : Mutex.t; (* serializes the write-to-outputs section *)
+  files : (string, Buffer.t) Hashtbl.t;
+  mutable syslog : string list; (* newest first *)
+  mutable journal : string list;
+  mutable emitted : int;
+  mutable dropped : int;
+}
+
+let create ?(level = Error) ?(filters = []) ?(outputs = [ { min_priority = Debug; sink = Stderr } ])
+    () =
+  {
+    settings = { level; filters; outputs };
+    define_mutex = Mutex.create ();
+    emit_mutex = Mutex.create ();
+    files = Hashtbl.create 4;
+    syslog = [];
+    journal = [];
+    emitted = 0;
+    dropped = 0;
+  }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------------------------------------------ *)
+(* Filter decision                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let matches ~module_ filter =
+  (* libvirt filters are substring matches against the source name. *)
+  let f = filter.match_string in
+  let fl = String.length f and ml = String.length module_ in
+  let rec search i =
+    if i + fl > ml then false
+    else if String.sub module_ i fl = f then true
+    else search (i + 1)
+  in
+  fl > 0 && fl <= ml && search 0
+
+(* Effective threshold for a module: the most specific (longest) matching
+   filter overrides the global level. *)
+let effective_level settings ~module_ =
+  let best =
+    List.fold_left
+      (fun acc f ->
+        if matches ~module_ f then
+          match acc with
+          | Some prev when String.length prev.match_string >= String.length f.match_string
+            ->
+            acc
+          | _ -> Some f
+        else acc)
+      None settings.filters
+  in
+  match best with Some f -> f.max_verbosity | None -> settings.level
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let timestamp () =
+  let t = Unix.gettimeofday () in
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d.%03d+0000" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+    (int_of_float (Float.rem t 1.0 *. 1000.))
+
+let format_message ~module_ priority msg =
+  Printf.sprintf "%s: %s : %s : %s" (timestamp ()) (priority_name priority)
+    module_ msg
+
+let deliver t output line =
+  match output.sink with
+  | Null -> ()
+  | Stderr ->
+    prerr_string (line ^ "\n")
+  | File path ->
+    let buf =
+      match Hashtbl.find_opt t.files path with
+      | Some b -> b
+      | None ->
+        let b = Buffer.create 256 in
+        Hashtbl.add t.files path b;
+        b
+    in
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  | Syslog ident -> t.syslog <- (ident ^ ": " ^ line) :: t.syslog
+  | Journald -> t.journal <- line :: t.journal
+
+let log t ~module_ priority msg =
+  let settings = t.settings in
+  let threshold = effective_level settings ~module_ in
+  if priority_to_int priority < priority_to_int threshold then
+    t.dropped <- t.dropped + 1
+  else begin
+    let admitted =
+      List.filter
+        (fun o -> priority_to_int priority >= priority_to_int o.min_priority)
+        settings.outputs
+    in
+    match admitted with
+    | [] -> t.dropped <- t.dropped + 1
+    | outputs ->
+      let line = format_message ~module_ priority msg in
+      with_lock t.emit_mutex (fun () ->
+          List.iter (fun o -> deliver t o line) outputs;
+          t.emitted <- t.emitted + 1)
+  end
+
+let logf t ~module_ priority fmt =
+  Format.kasprintf (fun s -> log t ~module_ priority s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Runtime (re)configuration                                           *)
+(* ------------------------------------------------------------------ *)
+
+let get_level t = t.settings.level
+
+let set_level t level =
+  with_lock t.define_mutex (fun () -> t.settings <- { t.settings with level })
+
+let get_filters t = t.settings.filters
+
+let define_filters t filters =
+  with_lock t.define_mutex (fun () -> t.settings <- { t.settings with filters })
+
+let get_outputs t = t.settings.outputs
+
+let define_outputs t outputs =
+  with_lock t.define_mutex (fun () ->
+      (* Deferred syslog "reopen": the new set only takes effect once it is
+         fully built, so an error cannot leave a half-updated mix. *)
+      t.settings <- { t.settings with outputs })
+
+(* ------------------------------------------------------------------ *)
+(* Textual syntax                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let split_items s =
+  String.split_on_char ' ' s |> List.filter (fun item -> item <> "")
+
+let parse_level_prefix item =
+  match String.index_opt item ':' with
+  | None -> Stdlib.Error (Printf.sprintf "%S: missing ':' separator" item)
+  | Some i ->
+    let level_str = String.sub item 0 i in
+    let rest = String.sub item (i + 1) (String.length item - i - 1) in
+    (match int_of_string_opt level_str with
+     | None -> Stdlib.Error (Printf.sprintf "%S: level is not numeric" item)
+     | Some n ->
+       (match priority_of_int n with
+        | Ok p -> Ok (p, rest)
+        | Stdlib.Error e -> Stdlib.Error (Printf.sprintf "%S: %s" item e)))
+
+let parse_filters s =
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+      (match parse_level_prefix item with
+       | Stdlib.Error e -> Stdlib.Error e
+       | Ok (_, "") -> Stdlib.Error (Printf.sprintf "%S: empty match string" item)
+       | Ok (max_verbosity, match_string) ->
+         build ({ match_string; max_verbosity } :: acc) rest)
+  in
+  build [] (split_items s)
+
+let format_filters filters =
+  filters
+  |> List.map (fun f ->
+         Printf.sprintf "%d:%s" (priority_to_int f.max_verbosity) f.match_string)
+  |> String.concat " "
+
+let parse_one_output item =
+  match parse_level_prefix item with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Ok (min_priority, rest) ->
+    let kind, extra =
+      match String.index_opt rest ':' with
+      | None -> (rest, None)
+      | Some i ->
+        ( String.sub rest 0 i,
+          Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    in
+    (match kind, extra with
+     | "stderr", None -> Ok { min_priority; sink = Stderr }
+     | "journald", None -> Ok { min_priority; sink = Journald }
+     | "null", None -> Ok { min_priority; sink = Null }
+     | ("stderr" | "journald" | "null"), Some _ ->
+       Stdlib.Error (Printf.sprintf "%S: output takes no additional data" item)
+     | "file", Some path when path <> "" && path.[0] = '/' ->
+       Ok { min_priority; sink = File path }
+     | "file", Some path ->
+       Stdlib.Error (Printf.sprintf "%S: %S is not an absolute path" item path)
+     | "file", None -> Stdlib.Error (Printf.sprintf "%S: file output requires a path" item)
+     | "syslog", Some ident when ident <> "" ->
+       Ok { min_priority; sink = Syslog ident }
+     | "syslog", _ ->
+       Stdlib.Error (Printf.sprintf "%S: syslog output requires an identifier" item)
+     | other, _ -> Stdlib.Error (Printf.sprintf "%S: unknown output kind %S" item other))
+
+let parse_outputs s =
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+      (match parse_one_output item with
+       | Stdlib.Error e -> Stdlib.Error e
+       | Ok o -> build (o :: acc) rest)
+  in
+  build [] (split_items s)
+
+let format_outputs outputs =
+  outputs
+  |> List.map (fun o ->
+         let lvl = priority_to_int o.min_priority in
+         match o.sink with
+         | Stderr -> Printf.sprintf "%d:stderr" lvl
+         | Journald -> Printf.sprintf "%d:journald" lvl
+         | Null -> Printf.sprintf "%d:null" lvl
+         | File path -> Printf.sprintf "%d:file:%s" lvl path
+         | Syslog ident -> Printf.sprintf "%d:syslog:%s" lvl ident)
+  |> String.concat " "
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and counters                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let file_contents t path =
+  with_lock t.emit_mutex (fun () ->
+      match Hashtbl.find_opt t.files path with
+      | Some b -> Buffer.contents b
+      | None -> "")
+
+let syslog_contents t = with_lock t.emit_mutex (fun () -> List.rev t.syslog)
+let journal_contents t = with_lock t.emit_mutex (fun () -> List.rev t.journal)
+let emitted_count t = t.emitted
+let dropped_count t = t.dropped
+
+let reset_counters t =
+  with_lock t.emit_mutex (fun () ->
+      t.emitted <- 0;
+      t.dropped <- 0)

@@ -1,0 +1,100 @@
+(** Daemon logging subsystem: levels, per-module filters, outputs.
+
+    Faithful to libvirt's logger: four priorities forming an inclusive
+    hierarchy ([Debug] logs everything, [Error] only errors), per-module
+    {e filters} that override the global level for sources whose name
+    matches, and a set of {e outputs} each with its own minimum priority.
+
+    Filters and outputs use libvirt's textual syntax so they can be carried
+    over the administration interface:
+
+    - filter: ["level:match"], e.g. ["3:util.object 4:rpc"]
+    - output: ["level:stderr"], ["level:file:/path"], ["level:syslog:ident"],
+      ["level:journald"]
+
+    Redefinition is read-copy-update: a new settings value is fully built
+    (parsing included) before being swapped in, so concurrent loggers see
+    either the old or the new configuration, never a torn mix — the
+    atomicity property the daemon needs for runtime reconfiguration. *)
+
+(** {1 Priorities} *)
+
+type priority = Debug | Info | Warn | Error
+
+val priority_to_int : priority -> int
+(** Numeric representation: 1=debug … 4=error (wire format). *)
+
+val priority_of_int : int -> (priority, string) result
+val priority_name : priority -> string
+
+(** {1 Outputs} *)
+
+type sink =
+  | Stderr
+  | File of string  (** append to the named in-memory file sink *)
+  | Syslog of string  (** simulated syslog with message identifier *)
+  | Journald  (** simulated journal *)
+  | Null  (** drop (used by benchmarks to isolate filter cost) *)
+
+type output = { min_priority : priority; sink : sink }
+type filter = { match_string : string; max_verbosity : priority }
+
+(** {1 Logger} *)
+
+type t
+(** A logger instance.  The daemon owns one; tests create their own. *)
+
+val create :
+  ?level:priority -> ?filters:filter list -> ?outputs:output list -> unit -> t
+(** Default: level [Error], no filters, single [Stderr] output. *)
+
+val log : t -> module_:string -> priority -> string -> unit
+(** Emit one message.  The decision path is: filters matching [module_]
+    first (most specific wins: longest match), else global level; then the
+    message is formatted once and forwarded to every output whose
+    [min_priority] admits it. *)
+
+val logf :
+  t -> module_:string -> priority -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** {1 Runtime (re)configuration} *)
+
+val get_level : t -> priority
+val set_level : t -> priority -> unit
+
+val get_filters : t -> filter list
+val define_filters : t -> filter list -> unit
+(** Replace the whole filter set atomically. *)
+
+val get_outputs : t -> output list
+val define_outputs : t -> output list -> unit
+(** Replace the whole output set atomically.  Syslog reopen semantics:
+    the simulated syslog connection is re-established only after the new
+    set is validated, mirroring the deferred-reopen fix. *)
+
+(** {1 Textual syntax} *)
+
+val parse_filters : string -> (filter list, string) result
+(** Space-separated ["level:match"] items.  The empty string is the empty
+    filter set. *)
+
+val format_filters : filter list -> string
+
+val parse_outputs : string -> (output list, string) result
+val format_outputs : output list -> string
+
+(** {1 Sinks and counters (test/bench support)} *)
+
+val file_contents : t -> string -> string
+(** Contents of the named in-memory file sink ("" if never written). *)
+
+val syslog_contents : t -> string list
+val journal_contents : t -> string list
+
+val emitted_count : t -> int
+(** Messages that reached at least one output. *)
+
+val dropped_count : t -> int
+(** Messages rejected by level/filter before formatting. *)
+
+val reset_counters : t -> unit

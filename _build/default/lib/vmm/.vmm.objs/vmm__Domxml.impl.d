@@ -1,0 +1,1 @@
+lib/vmm/domxml.ml: List Mini_xml Option Printf Result Uuid Vm_config

@@ -1,0 +1,1 @@
+lib/vmm/domxml.mli: Mini_xml Vm_config

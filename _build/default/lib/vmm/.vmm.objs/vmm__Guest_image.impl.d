@@ -1,0 +1,1 @@
+lib/vmm/guest_image.ml: Bytes Char Float Int64 Printf String

@@ -1,0 +1,1 @@
+lib/vmm/guest_image.mli:

@@ -1,0 +1,1 @@
+lib/vmm/uuid.ml: Atomic Bytes Char Format Int64 Printf String Unix

@@ -1,0 +1,1 @@
+lib/vmm/uuid.mli: Format

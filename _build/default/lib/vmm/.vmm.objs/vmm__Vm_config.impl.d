@@ -1,0 +1,1 @@
+lib/vmm/vm_config.ml: Atomic Format List Printf String Uuid

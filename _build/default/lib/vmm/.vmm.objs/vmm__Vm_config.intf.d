@@ -1,0 +1,1 @@
+lib/vmm/vm_config.mli: Format Uuid

@@ -1,0 +1,1 @@
+lib/vmm/vm_state.ml: Printf

@@ -1,0 +1,152 @@
+module X = Mini_xml
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let disk_to_element (d : Vm_config.disk) =
+  let children =
+    [
+      X.node (X.elt "driver" ~attrs:[ ("name", "qemu"); ("type", d.disk_format) ] []);
+      X.node (X.elt "source" ~attrs:[ ("file", d.source_path) ] []);
+      X.node (X.elt "target" ~attrs:[ ("dev", d.target_dev) ] []);
+    ]
+  in
+  let children = if d.readonly then children @ [ X.node (X.elt "readonly" []) ] else children in
+  X.elt "disk" ~attrs:[ ("type", "file"); ("device", "disk") ] children
+
+let nic_to_element (n : Vm_config.nic) =
+  X.elt "interface" ~attrs:[ ("type", "network") ]
+    [
+      X.node (X.elt "source" ~attrs:[ ("network", n.network) ] []);
+      X.node (X.elt "mac" ~attrs:[ ("address", n.mac) ] []);
+      X.node (X.elt "model" ~attrs:[ ("type", n.nic_model) ] []);
+    ]
+
+let to_element ~virt_type (cfg : Vm_config.t) =
+  X.elt "domain" ~attrs:[ ("type", virt_type) ]
+    [
+      X.leaf "name" cfg.name;
+      X.leaf "uuid" (Uuid.to_string cfg.uuid);
+      X.leaf "memory" ~attrs:[ ("unit", "KiB") ] (string_of_int cfg.memory_kib);
+      X.leaf "vcpu" (string_of_int cfg.vcpus);
+      X.node
+        (X.elt "os"
+           [
+             X.leaf "type"
+               ~attrs:[ ("arch", cfg.arch) ]
+               (Vm_config.os_kind_name cfg.os);
+           ]);
+      X.node (X.elt "features" (List.map (fun f -> X.node (X.elt f [])) cfg.features));
+      X.node
+        (X.elt "devices"
+           (List.map (fun d -> X.node (disk_to_element d)) cfg.disks
+           @ List.map (fun n -> X.node (nic_to_element n)) cfg.nics));
+    ]
+
+let to_xml ~virt_type cfg = X.to_string (to_element ~virt_type cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let disk_of_element e =
+  try
+    let source = X.child_exn e "source" in
+    let target = X.child_exn e "target" in
+    let disk_format =
+      match X.child e "driver" with
+      | Some drv -> Option.value (X.attr drv "type") ~default:"raw"
+      | None -> "raw"
+    in
+    Ok
+      Vm_config.
+        {
+          source_path = X.attr_exn source "file";
+          target_dev = X.attr_exn target "dev";
+          disk_format;
+          readonly = X.child e "readonly" <> None;
+        }
+  with X.Parse_error msg -> Error ("bad <disk>: " ^ msg)
+
+let nic_of_element e =
+  try
+    let source = X.child_exn e "source" in
+    let nic_model =
+      match X.child e "model" with
+      | Some m -> Option.value (X.attr m "type") ~default:"virtio"
+      | None -> "virtio"
+    in
+    let mac =
+      match X.child e "mac" with
+      | Some m -> X.attr_exn m "address"
+      | None -> Vm_config.fresh_mac ()
+    in
+    Ok Vm_config.{ network = X.attr_exn source "network"; mac; nic_model }
+  with X.Parse_error msg -> Error ("bad <interface>: " ^ msg)
+
+let rec collect_results = function
+  | [] -> Ok []
+  | Error e :: _ -> Error e
+  | Ok x :: rest ->
+    let* xs = collect_results rest in
+    Ok (x :: xs)
+
+let of_element root =
+  if root.X.tag <> "domain" then
+    Error (Printf.sprintf "root element is <%s>, expected <domain>" root.X.tag)
+  else
+    try
+      let virt_type = X.attr_exn root "type" in
+      let name = X.text_content (X.child_exn root "name") in
+      let* uuid =
+        match X.child root "uuid" with
+        | Some u -> Uuid.of_string (X.text_content u)
+        | None -> Ok (Uuid.generate ())
+      in
+      let mem_elt = X.child_exn root "memory" in
+      let raw_memory = X.int_content_exn mem_elt in
+      let memory_kib =
+        match X.attr mem_elt "unit" with
+        | None | Some "KiB" -> raw_memory
+        | Some "MiB" -> raw_memory * 1024
+        | Some "GiB" -> raw_memory * 1024 * 1024
+        | Some u -> raise (X.Parse_error (Printf.sprintf "unknown memory unit %S" u))
+      in
+      let vcpus = X.int_content_exn (X.child_exn root "vcpu") in
+      let os_elt = X.child_exn (X.child_exn root "os") "type" in
+      let* os = Vm_config.os_kind_of_name (X.text_content os_elt) in
+      let arch = Option.value (X.attr os_elt "arch") ~default:"x86_64" in
+      let features =
+        match X.child root "features" with
+        | None -> []
+        | Some f ->
+          List.filter_map
+            (function X.Element e -> Some e.X.tag | X.Text _ -> None)
+            f.X.children
+      in
+      let devices = X.child root "devices" in
+      let* disks =
+        match devices with
+        | None -> Ok []
+        | Some d -> collect_results (List.map disk_of_element (X.children_named d "disk"))
+      in
+      let* nics =
+        match devices with
+        | None -> Ok []
+        | Some d ->
+          collect_results (List.map nic_of_element (X.children_named d "interface"))
+      in
+      let cfg =
+        Vm_config.{ name; uuid; memory_kib; vcpus; os; arch; disks; nics; features }
+      in
+      let* () = Vm_config.validate cfg in
+      Ok (cfg, virt_type)
+    with X.Parse_error msg -> Error msg
+
+let of_xml s =
+  match X.of_string s with
+  | root -> of_element root
+  | exception X.Parse_error msg -> Error ("XML parse error: " ^ msg)

@@ -1,0 +1,41 @@
+(** Domain XML: the textual interface users define domains with.
+
+    The schema is a faithful subset of libvirt's:
+
+    {v
+    <domain type="kvm">
+      <name>vm1</name>
+      <uuid>aaaa...-....</uuid>
+      <memory unit="KiB">65536</memory>
+      <vcpu>2</vcpu>
+      <os><type arch="x86_64">hvm</type></os>
+      <features><acpi/></features>
+      <devices>
+        <disk type="file" device="disk">
+          <driver name="qemu" type="qcow2"/>
+          <source file="/var/lib/ovirt/images/vm1.img"/>
+          <target dev="vda"/>
+        </disk>
+        <interface type="network">
+          <source network="default"/>
+          <mac address="52:54:00:00:00:01"/>
+          <model type="virtio"/>
+        </interface>
+      </devices>
+    </domain>
+    v} *)
+
+val to_xml : virt_type:string -> Vm_config.t -> string
+(** Serialize; [virt_type] fills the [<domain type=...>] attribute
+    ("kvm", "xen", "lxc", "vmware", "test"). *)
+
+val of_xml : string -> (Vm_config.t * string, string) result
+(** Parse; returns the config and the [type] attribute.  All structural
+    and semantic errors (missing elements, bad integers, failed
+    {!Vm_config.validate}) are reported as [Error]. *)
+
+val of_element : Mini_xml.element -> (Vm_config.t * string, string) result
+(** Same, from an already-parsed element (used by the ESX simulator whose
+    SOAP body embeds the domain description). *)
+
+val to_element : virt_type:string -> Vm_config.t -> Mini_xml.element

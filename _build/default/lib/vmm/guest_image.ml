@@ -1,0 +1,111 @@
+type t = {
+  memory_kib : int;
+  pages : Bytes.t; (* page i occupies bytes [i*bpp, (i+1)*bpp) *)
+  dirty : Bytes.t; (* one byte per page: 0 clean, 1 dirty *)
+  mutable generation : int;
+}
+
+(* 1 image byte = 1 KiB of guest memory; a 4 KiB guest page = 4 bytes. *)
+let bytes_per_page = 4
+
+let create ~memory_kib =
+  if memory_kib <= 0 then invalid_arg "Guest_image.create: memory must be positive";
+  let n_pages = (memory_kib + bytes_per_page - 1) / bytes_per_page in
+  {
+    memory_kib;
+    pages = Bytes.make (n_pages * bytes_per_page) '\000';
+    dirty = Bytes.make n_pages '\000';
+    generation = 0;
+  }
+
+let memory_kib img = img.memory_kib
+let page_count img = Bytes.length img.dirty
+
+let check_index img i =
+  if i < 0 || i >= page_count img then
+    invalid_arg (Printf.sprintf "Guest_image: page %d out of range [0,%d)" i (page_count img))
+
+let write_page img i =
+  check_index img i;
+  img.generation <- img.generation + 1;
+  let base = i * bytes_per_page in
+  for off = 0 to bytes_per_page - 1 do
+    Bytes.set img.pages (base + off)
+      (Char.chr ((i + off + img.generation) land 0xff))
+  done;
+  Bytes.set img.dirty i '\001'
+
+let dirty_pages img =
+  let acc = ref [] in
+  for i = page_count img - 1 downto 0 do
+    if Bytes.get img.dirty i = '\001' then acc := i :: !acc
+  done;
+  !acc
+
+let dirty_count img =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr n) img.dirty;
+  !n
+
+let dirty_randomly img ~rate ~seed =
+  let rate = Float.max 0.0 (Float.min 1.0 rate) in
+  let target = int_of_float (rate *. float_of_int (page_count img)) in
+  let state = ref (if seed = 0 then 0x2545F491 else seed) in
+  let next () =
+    (* xorshift32 *)
+    let s = !state in
+    let s = s lxor (s lsl 13) land 0xffffffff in
+    let s = s lxor (s lsr 17) in
+    let s = s lxor (s lsl 5) land 0xffffffff in
+    state := s;
+    s
+  in
+  let dirtied = ref 0 in
+  (* Bounded probing: distinct pages until the target count is reached. *)
+  let attempts = ref 0 in
+  let max_attempts = 20 * (target + 1) in
+  while !dirtied < target && !attempts < max_attempts do
+    incr attempts;
+    let i = next () mod page_count img in
+    if Bytes.get img.dirty i = '\000' then begin
+      write_page img i;
+      incr dirtied
+    end
+  done
+
+let read_page img i =
+  check_index img i;
+  Bytes.sub_string img.pages (i * bytes_per_page) bytes_per_page
+
+let transfer_page img i =
+  let data = read_page img i in
+  Bytes.set img.dirty i '\000';
+  data
+
+let install_page img i data =
+  check_index img i;
+  if String.length data <> bytes_per_page then
+    invalid_arg
+      (Printf.sprintf "Guest_image.install_page: %d bytes, expected %d"
+         (String.length data) bytes_per_page);
+  Bytes.blit_string data 0 img.pages (i * bytes_per_page) bytes_per_page;
+  Bytes.set img.dirty i '\000'
+
+let snapshot img = Bytes.to_string img.pages
+
+let restore_from img data =
+  if String.length data <> Bytes.length img.pages then
+    invalid_arg
+      (Printf.sprintf "Guest_image.restore_from: %d bytes, image holds %d"
+         (String.length data) (Bytes.length img.pages));
+  Bytes.blit_string data 0 img.pages 0 (String.length data);
+  Bytes.fill img.dirty 0 (Bytes.length img.dirty) '\000'
+
+let checksum img =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    img.pages;
+  !h
+
+let equal_contents a b = Bytes.equal a.pages b.pages

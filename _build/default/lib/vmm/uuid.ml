@@ -1,0 +1,54 @@
+type t = string (* exactly 16 raw bytes *)
+
+let counter = Atomic.make 1
+
+let generate () =
+  let n = Atomic.fetch_and_add counter 1 in
+  let t = Int64.bits_of_float (Unix.gettimeofday ()) in
+  let b = Bytes.create 16 in
+  (* Spread counter and clock bits through the bytes with a multiplicative
+     hash so consecutive UUIDs differ everywhere. *)
+  let h = ref (Int64.logxor t (Int64.of_int (n * 0x9e3779b9))) in
+  for i = 0 to 15 do
+    h := Int64.add (Int64.mul !h 6364136223846793005L) 1442695040888963407L;
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.shift_right_logical !h 56) land 0xff))
+  done;
+  (* Stamp the version-4 and variant bits so the text form is a valid v4. *)
+  Bytes.set b 6 (Char.chr (0x40 lor (Char.code (Bytes.get b 6) land 0x0f)));
+  Bytes.set b 8 (Char.chr (0x80 lor (Char.code (Bytes.get b 8) land 0x3f)));
+  Bytes.unsafe_to_string b
+
+let to_string u =
+  let hex i = Printf.sprintf "%02x" (Char.code u.[i]) in
+  String.concat ""
+    [ hex 0; hex 1; hex 2; hex 3; "-"; hex 4; hex 5; "-"; hex 6; hex 7; "-";
+      hex 8; hex 9; "-"; hex 10; hex 11; hex 12; hex 13; hex 14; hex 15 ]
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let of_string s =
+  let bad () = Error (Printf.sprintf "malformed UUID %S" s) in
+  if String.length s <> 36 then bad ()
+  else if s.[8] <> '-' || s.[13] <> '-' || s.[18] <> '-' || s.[23] <> '-' then bad ()
+  else begin
+    let b = Bytes.create 16 in
+    let src = ref 0 in
+    let ok = ref true in
+    for dst = 0 to 15 do
+      while !src < 36 && s.[!src] = '-' do incr src done;
+      (match hex_value s.[!src], hex_value s.[!src + 1] with
+       | Some hi, Some lo -> Bytes.set b dst (Char.chr ((hi lsl 4) lor lo))
+       | _ -> ok := false);
+      src := !src + 2
+    done;
+    if !ok then Ok (Bytes.unsafe_to_string b) else bad ()
+  end
+
+let equal = String.equal
+let compare = String.compare
+let pp fmt u = Format.pp_print_string fmt (to_string u)

@@ -1,0 +1,19 @@
+(** UUIDs in canonical 8-4-4-4-12 hex form, as used to identify domains,
+    networks and storage pools. *)
+
+type t
+
+val generate : unit -> t
+(** Fresh unique UUID (version-4 layout; uniqueness from a process-wide
+    counter mixed with the clock — no cryptographic randomness needed for
+    the simulation). *)
+
+val of_string : string -> (t, string) result
+(** Accepts canonical form, case-insensitive. *)
+
+val to_string : t -> string
+(** Canonical lowercase form. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

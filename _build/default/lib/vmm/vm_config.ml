@@ -1,0 +1,109 @@
+type disk = {
+  source_path : string;
+  target_dev : string;
+  disk_format : string;
+  readonly : bool;
+}
+
+type nic = { network : string; mac : string; nic_model : string }
+type os_kind = Hvm | Paravirt | Container_exe
+
+type t = {
+  name : string;
+  uuid : Uuid.t;
+  memory_kib : int;
+  vcpus : int;
+  os : os_kind;
+  arch : string;
+  disks : disk list;
+  nics : nic list;
+  features : string list;
+}
+
+let os_kind_name = function Hvm -> "hvm" | Paravirt -> "xen" | Container_exe -> "exe"
+
+let os_kind_of_name = function
+  | "hvm" -> Ok Hvm
+  | "xen" | "linux" -> Ok Paravirt
+  | "exe" -> Ok Container_exe
+  | s -> Error (Printf.sprintf "unknown OS type %S" s)
+
+let mac_counter = Atomic.make 1
+
+let fresh_mac () =
+  let n = Atomic.fetch_and_add mac_counter 1 in
+  Printf.sprintf "52:54:00:%02x:%02x:%02x" ((n lsr 16) land 0xff)
+    ((n lsr 8) land 0xff) (n land 0xff)
+
+let valid_mac mac =
+  let parts = String.split_on_char ':' mac in
+  List.length parts = 6
+  && List.for_all
+       (fun p ->
+         String.length p = 2
+         && String.for_all
+              (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+              p)
+       parts
+
+let validate cfg =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if cfg.name = "" then err "domain name must not be empty"
+  else if String.exists (fun c -> c = '/' || c = '\n') cfg.name then
+    err "domain name %S contains invalid characters" cfg.name
+  else if cfg.memory_kib <= 0 then err "memory must be positive"
+  else if cfg.vcpus <= 0 then err "vcpus must be positive"
+  else if cfg.vcpus > 4096 then err "vcpus %d exceeds supported maximum" cfg.vcpus
+  else
+    match List.find_opt (fun n -> not (valid_mac n.mac)) cfg.nics with
+    | Some n -> err "malformed MAC address %S" n.mac
+    | None ->
+      let targets = List.map (fun d -> d.target_dev) cfg.disks in
+      let rec has_dup = function
+        | [] -> None
+        | x :: rest -> if List.mem x rest then Some x else has_dup rest
+      in
+      (match has_dup targets with
+       | Some dev -> err "duplicate disk target %S" dev
+       | None -> Ok ())
+
+let make ?uuid ?(memory_kib = 64 * 1024) ?(vcpus = 1) ?(os = Hvm) ?(arch = "x86_64")
+    ?disks ?nics ?(features = [ "acpi" ]) name =
+  let uuid = match uuid with Some u -> u | None -> Uuid.generate () in
+  let disks =
+    match disks with
+    | Some d -> d
+    | None ->
+      [
+        {
+          source_path = Printf.sprintf "/var/lib/ovirt/images/%s.img" name;
+          target_dev = "vda";
+          disk_format = "qcow2";
+          readonly = false;
+        };
+      ]
+  in
+  let nics =
+    match nics with
+    | Some n -> n
+    | None -> [ { network = "default"; mac = fresh_mac (); nic_model = "virtio" } ]
+  in
+  let cfg = { name; uuid; memory_kib; vcpus; os; arch; disks; nics; features } in
+  match validate cfg with
+  | Ok () -> cfg
+  | Error msg -> invalid_arg ("Vm_config.make: " ^ msg)
+
+let equal a b =
+  a.name = b.name
+  && Uuid.equal a.uuid b.uuid
+  && a.memory_kib = b.memory_kib
+  && a.vcpus = b.vcpus
+  && a.os = b.os
+  && a.arch = b.arch
+  && a.disks = b.disks
+  && a.nics = b.nics
+  && a.features = b.features
+
+let pp fmt cfg =
+  Format.fprintf fmt "<domain %s uuid=%a mem=%dKiB vcpus=%d os=%s>" cfg.name Uuid.pp
+    cfg.uuid cfg.memory_kib cfg.vcpus (os_kind_name cfg.os)

@@ -1,0 +1,66 @@
+(** Domain (virtual machine) configuration.
+
+    The hypervisor-neutral description every driver consumes; the XML form
+    lives in [Core.Domxml].  Field names and units follow libvirt:
+    memory in KiB, one [<disk>]/[<interface>] element per device. *)
+
+type disk = {
+  source_path : string;  (** backing file / volume path *)
+  target_dev : string;  (** guest device name, e.g. "vda" *)
+  disk_format : string;  (** "raw", "qcow2", ... *)
+  readonly : bool;
+}
+
+type nic = {
+  network : string;  (** virtual network name *)
+  mac : string;  (** colon-separated MAC address *)
+  nic_model : string;  (** "virtio", "e1000", ... *)
+}
+
+(** Guest OS class — decides which drivers can run the domain. *)
+type os_kind =
+  | Hvm  (** fully virtualized guest (QEMU/KVM, ESX) *)
+  | Paravirt  (** paravirtualized kernel (Xen) *)
+  | Container_exe  (** an init process, not a kernel (LXC) *)
+
+type t = {
+  name : string;
+  uuid : Uuid.t;
+  memory_kib : int;
+  vcpus : int;
+  os : os_kind;
+  arch : string;
+  disks : disk list;
+  nics : nic list;
+  features : string list;  (** e.g. ["acpi"; "apic"] *)
+}
+
+val os_kind_name : os_kind -> string
+(** ["hvm"], ["xen"], ["exe"] — libvirt's [<os><type>] values. *)
+
+val os_kind_of_name : string -> (os_kind, string) result
+
+val validate : t -> (unit, string) result
+(** Structural checks: non-empty name without path separators, positive
+    memory and vcpus, well-formed MACs, unique disk targets. *)
+
+val make :
+  ?uuid:Uuid.t ->
+  ?memory_kib:int ->
+  ?vcpus:int ->
+  ?os:os_kind ->
+  ?arch:string ->
+  ?disks:disk list ->
+  ?nics:nic list ->
+  ?features:string list ->
+  string ->
+  t
+(** [make name] builds a valid small config (64 MiB, 1 vcpu, hvm, one
+    disk, one NIC on network ["default"] with a generated MAC).
+    @raise Invalid_argument if the result fails {!validate}. *)
+
+val fresh_mac : unit -> string
+(** Locally administered MAC, unique per process. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type state = Running | Blocked | Paused | Shutdown | Shutoff | Crashed
+
+type event =
+  | Ev_start
+  | Ev_suspend
+  | Ev_resume
+  | Ev_shutdown_request
+  | Ev_shutdown_complete
+  | Ev_destroy
+  | Ev_crash
+  | Ev_migrate_out
+
+let state_name = function
+  | Running -> "running"
+  | Blocked -> "blocked"
+  | Paused -> "paused"
+  | Shutdown -> "in shutdown"
+  | Shutoff -> "shut off"
+  | Crashed -> "crashed"
+
+let state_of_name = function
+  | "running" -> Ok Running
+  | "blocked" -> Ok Blocked
+  | "paused" -> Ok Paused
+  | "in shutdown" -> Ok Shutdown
+  | "shut off" -> Ok Shutoff
+  | "crashed" -> Ok Crashed
+  | s -> Error (Printf.sprintf "unknown domain state %S" s)
+
+let event_name = function
+  | Ev_start -> "start"
+  | Ev_suspend -> "suspend"
+  | Ev_resume -> "resume"
+  | Ev_shutdown_request -> "shutdown"
+  | Ev_shutdown_complete -> "shutdown-complete"
+  | Ev_destroy -> "destroy"
+  | Ev_crash -> "crash"
+  | Ev_migrate_out -> "migrate-out"
+
+let invalid state event =
+  Error
+    (Printf.sprintf "operation %s is invalid: domain is %s" (event_name event)
+       (state_name state))
+
+let transition state event =
+  match state, event with
+  | (Shutoff | Crashed), Ev_start -> Ok Running
+  | (Running | Blocked), Ev_suspend -> Ok Paused
+  | Paused, Ev_resume -> Ok Running
+  | (Running | Blocked), Ev_shutdown_request -> Ok Shutdown
+  | (Running | Blocked | Shutdown), Ev_shutdown_complete -> Ok Shutoff
+  | (Running | Blocked | Paused | Shutdown | Crashed), Ev_destroy -> Ok Shutoff
+  | (Running | Blocked | Paused | Shutdown), Ev_crash -> Ok Crashed
+  | (Running | Blocked | Paused), Ev_migrate_out -> Ok Shutoff
+  | (Running | Blocked | Paused | Shutdown), Ev_start -> invalid state event
+  | (Shutoff | Crashed | Paused | Shutdown), Ev_suspend -> invalid state event
+  | (Running | Blocked | Shutoff | Crashed | Shutdown), Ev_resume ->
+    invalid state event
+  | (Shutoff | Crashed | Paused | Shutdown), Ev_shutdown_request ->
+    invalid state event
+  | (Shutoff | Crashed | Paused), Ev_shutdown_complete -> invalid state event
+  | Shutoff, Ev_destroy -> invalid state event
+  | (Shutoff | Crashed), Ev_crash -> invalid state event
+  | (Shutoff | Crashed | Shutdown), Ev_migrate_out -> invalid state event
+
+let is_active = function
+  | Running | Blocked | Paused | Shutdown | Crashed -> true
+  | Shutoff -> false

@@ -1,0 +1,36 @@
+(** Domain lifecycle state machine.
+
+    States and transitions follow libvirt's domain model: a domain may
+    exist as configuration only ([Shutoff] + defined), run, be paused, be
+    in the middle of an orderly shutdown, or have crashed.  Every driver
+    funnels its lifecycle changes through {!transition}, so illegal
+    sequences (e.g. resuming a shutoff domain) are rejected uniformly. *)
+
+type state =
+  | Running
+  | Blocked  (** runnable, waiting on a resource (Xen reports this) *)
+  | Paused
+  | Shutdown  (** orderly shutdown in progress *)
+  | Shutoff
+  | Crashed
+
+type event =
+  | Ev_start
+  | Ev_suspend
+  | Ev_resume
+  | Ev_shutdown_request  (** guest-cooperative shutdown begins *)
+  | Ev_shutdown_complete
+  | Ev_destroy  (** hard power-off *)
+  | Ev_crash
+  | Ev_migrate_out  (** domain leaves this host (ends Shutoff) *)
+
+val state_name : state -> string
+val state_of_name : string -> (state, string) result
+val event_name : event -> string
+
+val transition : state -> event -> (state, string) result
+(** [Error] carries an "operation is invalid in state ..." message in
+    libvirt's style. *)
+
+val is_active : state -> bool
+(** Active = consuming host resources (everything but [Shutoff]). *)

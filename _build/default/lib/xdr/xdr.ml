@@ -1,0 +1,169 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Number of zero bytes needed to pad [n] bytes to a 4-byte boundary. *)
+let padding n = (4 - (n land 3)) land 3
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 256
+let to_string e = Buffer.contents e
+let length e = Buffer.length e
+
+let enc_raw_u32 e v =
+  Buffer.add_char e (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char e (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char e (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char e (Char.chr (v land 0xff))
+
+let enc_int e v =
+  if v < -0x8000_0000 || v > 0x7fff_ffff then
+    fail "enc_int: %d out of int32 range" v;
+  enc_raw_u32 e (v land 0xffff_ffff)
+
+let enc_uint e v =
+  if v < 0 || v > 0xffff_ffff then fail "enc_uint: %d out of uint32 range" v;
+  enc_raw_u32 e v
+
+let enc_hyper e v =
+  enc_raw_u32 e (Int64.to_int (Int64.shift_right_logical v 32) land 0xffff_ffff);
+  enc_raw_u32 e (Int64.to_int (Int64.logand v 0xffff_ffffL))
+
+let enc_uhyper = enc_hyper
+
+let enc_bool e b = enc_raw_u32 e (if b then 1 else 0)
+let enc_double e f = enc_hyper e (Int64.bits_of_float f)
+
+let enc_pad e n =
+  for _ = 1 to padding n do
+    Buffer.add_char e '\000'
+  done
+
+let enc_opaque e s =
+  let n = String.length s in
+  enc_uint e n;
+  Buffer.add_string e s;
+  enc_pad e n
+
+let enc_string = enc_opaque
+
+let enc_fixed_opaque e n s =
+  if String.length s <> n then
+    fail "enc_fixed_opaque: expected %d bytes, got %d" n (String.length s);
+  Buffer.add_string e s;
+  enc_pad e n
+
+let enc_array e enc_elt elts =
+  enc_uint e (List.length elts);
+  List.iter (enc_elt e) elts
+
+let enc_option e enc_elt = function
+  | None -> enc_bool e false
+  | Some v ->
+    enc_bool e true;
+    enc_elt e v
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type decoder = { data : string; mutable pos : int }
+
+let decoder data = { data; pos = 0 }
+let pos d = d.pos
+let remaining d = String.length d.data - d.pos
+
+let need d n =
+  if remaining d < n then
+    fail "decode: need %d bytes at offset %d, only %d remain" n d.pos
+      (remaining d)
+
+let dec_raw_u32 d =
+  need d 4;
+  let b i = Char.code d.data.[d.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  d.pos <- d.pos + 4;
+  v
+
+let dec_uint = dec_raw_u32
+
+let dec_int d =
+  let v = dec_raw_u32 d in
+  if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let dec_hyper d =
+  let hi = dec_raw_u32 d in
+  let lo = dec_raw_u32 d in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int hi) 32)
+    (Int64.of_int lo)
+
+let dec_uhyper = dec_hyper
+
+let dec_bool d =
+  match dec_raw_u32 d with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail "dec_bool: invalid boolean %d" v
+
+let dec_double d = Int64.float_of_bits (dec_hyper d)
+
+let dec_pad d n =
+  let p = padding n in
+  need d p;
+  for i = 0 to p - 1 do
+    if d.data.[d.pos + i] <> '\000' then
+      fail "decode: non-zero padding at offset %d" (d.pos + i)
+  done;
+  d.pos <- d.pos + p
+
+let dec_opaque d =
+  let n = dec_uint d in
+  need d n;
+  let s = String.sub d.data d.pos n in
+  d.pos <- d.pos + n;
+  dec_pad d n;
+  s
+
+let dec_string = dec_opaque
+
+let dec_fixed_opaque d n =
+  need d n;
+  let s = String.sub d.data d.pos n in
+  d.pos <- d.pos + n;
+  dec_pad d n;
+  s
+
+let dec_array d dec_elt =
+  let n = dec_uint d in
+  (* Sanity bound: each element needs at least one byte on the wire, so a
+     count exceeding the remaining bytes is certainly malformed and would
+     otherwise allocate an attacker-chosen amount of memory. *)
+  if n > remaining d then fail "dec_array: count %d exceeds payload" n;
+  List.init n (fun _ -> dec_elt d)
+
+let dec_option d dec_elt = if dec_bool d then Some (dec_elt d) else None
+
+let check_consumed d =
+  if remaining d <> 0 then
+    fail "decode: %d trailing bytes at offset %d" (remaining d) d.pos
+
+(* ------------------------------------------------------------------ *)
+(* Whole-value helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let encode enc v =
+  let e = encoder () in
+  enc e v;
+  to_string e
+
+let decode dec s =
+  let d = decoder s in
+  let v = dec d in
+  check_consumed d;
+  v

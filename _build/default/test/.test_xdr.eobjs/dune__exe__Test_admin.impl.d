@@ -1,0 +1,1 @@
+test/test_admin.ml: Alcotest Fun List Mutex Option Ovirt Ovnet Ovrpc Printf Protocol Result String Testutil Thread Threadpool Vlog

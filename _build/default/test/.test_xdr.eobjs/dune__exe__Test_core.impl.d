@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Ovirt Ovirt_core QCheck Testutil Vmm

@@ -1,0 +1,1 @@
+test/test_daemon.ml: Alcotest Atomic Fun List Option Ovirt Ovnet Ovrpc Printf Protocol Rpc_client String Testutil Thread Threadpool Unix Vlog Vmm

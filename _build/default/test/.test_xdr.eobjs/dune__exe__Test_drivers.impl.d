@@ -1,0 +1,1 @@
+test/test_drivers.ml: Alcotest Drivers Hvsim List Option Ovirt Printf Testutil Vmm

@@ -1,0 +1,1 @@
+test/test_hvsim.ml: Alcotest Hashtbl Hvsim List Mini_json Mini_xml Printf QCheck String Testutil Vmm

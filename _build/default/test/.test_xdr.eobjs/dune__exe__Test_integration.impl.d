@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Atomic Fun Hashtbl List Option Ovcli Ovirt Printf Result String Testutil Thread Vlog Vmm

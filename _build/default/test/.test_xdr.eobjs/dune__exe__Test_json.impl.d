@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest List Mini_json Option Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest List Option Ovirt Testutil Vmm

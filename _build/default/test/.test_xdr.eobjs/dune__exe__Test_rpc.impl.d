@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Bytes Char List Ovirt_core Ovrpc Printf Protocol QCheck String Testutil Vmm Xdr

@@ -1,0 +1,1 @@
+test/test_threadpool.ml: Alcotest Atomic List Mutex QCheck Testutil Thread Threadpool

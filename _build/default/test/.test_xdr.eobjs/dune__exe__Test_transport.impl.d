@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Atomic Bytes Char List Ovnet QCheck String Testutil Thread Unix

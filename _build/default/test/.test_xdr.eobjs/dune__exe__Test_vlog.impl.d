@@ -1,0 +1,1 @@
+test/test_vlog.ml: Alcotest List Printf QCheck String Testutil Thread Vlog

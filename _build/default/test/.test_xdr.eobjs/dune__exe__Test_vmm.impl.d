@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Char Hashtbl List Printf QCheck String Testutil Vmm

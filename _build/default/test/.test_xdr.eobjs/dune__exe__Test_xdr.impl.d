@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Bytes Char Int64 List Printf QCheck String Testutil Xdr

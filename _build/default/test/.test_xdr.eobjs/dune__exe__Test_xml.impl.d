@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest List Mini_xml Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Fun Ovirt Printf QCheck QCheck_alcotest Thread Unix Vmm

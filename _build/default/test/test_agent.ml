@@ -1,0 +1,153 @@
+(* Intrusive (in-guest agent) management baseline: deployment cost,
+   availability, interference — and the contrast with the non-intrusive
+   hypervisor path. *)
+
+open Testutil
+module Verror = Ovirt.Verror
+module Connect = Ovirt.Connect
+module Domain = Ovirt.Domain
+module Agent = Ovirt.Guest_agent_client
+module Vm_config = Vmm.Vm_config
+module Vm_state = Vmm.Vm_state
+
+let () = Ovirt.initialize ()
+
+let fresh_running_domain ?(memory_kib = 16 * 1024) () =
+  let conn = vok (Connect.open_uri ("test://" ^ fresh_name "ag" ^ "/")) in
+  let name = fresh_name "vm" in
+  let cfg = Vm_config.make ~memory_kib name in
+  let dom = vok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:"test" cfg)) in
+  vok (Domain.create dom);
+  (conn, name, dom)
+
+let test_supported_drivers () =
+  let test_conn = vok (Connect.open_uri ("test://" ^ fresh_name "s" ^ "/")) in
+  Alcotest.(check bool) "test supports agents" true (Agent.supported test_conn);
+  let qemu_conn = vok (Connect.open_uri ("qemu://" ^ fresh_name "s" ^ "/system")) in
+  Alcotest.(check bool) "qemu supports agents" true (Agent.supported qemu_conn);
+  let esx_conn =
+    vok (Connect.open_uri ("esx://root@" ^ fresh_name "s" ^ "/?password=esx"))
+  in
+  Alcotest.(check bool) "esx has no agent channel" false (Agent.supported esx_conn);
+  let xen_conn = vok (Connect.open_uri ("xen://" ^ fresh_name "s" ^ "/")) in
+  Alcotest.(check bool) "xen has no agent channel" false (Agent.supported xen_conn)
+
+let test_unsupported_driver_errors () =
+  let esx_conn =
+    vok (Connect.open_uri ("esx://root@" ^ fresh_name "s" ^ "/?password=esx"))
+  in
+  expect_verr Verror.Operation_unsupported (Agent.install esx_conn "anything");
+  expect_verr Verror.Operation_unsupported (Agent.ping esx_conn "anything")
+
+let test_install_then_operate () =
+  let conn, name, _dom = fresh_running_domain () in
+  (* Before install: the channel exists, the agent does not. *)
+  expect_verr Verror.Operation_invalid (Agent.ping conn name);
+  vok (Agent.install conn name);
+  vok (Agent.ping conn name);
+  let info = vok (Agent.guest_info conn name) in
+  Alcotest.(check int) "guest-reported memory" (16 * 1024) info.Agent.gi_memory_kib;
+  Alcotest.(check string) "guest-reported state" "running" info.Agent.gi_state;
+  let code = vok (Agent.exec conn name ~cmd:"uname -a") in
+  Alcotest.(check int) "exit code" 0 code;
+  (* double install refused *)
+  expect_verr Verror.Operation_invalid (Agent.install conn name)
+
+let test_unavailable_when_paused_or_off () =
+  let conn, name, dom = fresh_running_domain () in
+  vok (Agent.install conn name);
+  vok (Domain.suspend dom);
+  expect_verr Verror.Operation_invalid (Agent.ping conn name);
+  (* The non-intrusive path keeps working on the very same domain. *)
+  Alcotest.(check bool) "hypervisor still answers" true
+    (vok (Domain.get_state dom) = Vm_state.Paused);
+  vok (Domain.resume dom);
+  vok (Agent.ping conn name);
+  vok (Domain.destroy dom);
+  (* A stopped guest has no agent at all. *)
+  expect_verr Verror.Operation_invalid (Agent.ping conn name);
+  Alcotest.(check bool) "hypervisor still answers when off" true
+    (vok (Domain.get_state dom) = Vm_state.Shutoff)
+
+let test_agent_shutdown_goes_through_driver () =
+  let conn, name, dom = fresh_running_domain () in
+  vok (Agent.install conn name);
+  vok (Agent.shutdown conn name);
+  let off = eventually (fun () -> vok (Domain.get_state dom) = Vm_state.Shutoff) in
+  Alcotest.(check bool) "guest shut down via agent" true off
+
+let test_agent_lost_on_restart () =
+  (* Fresh boot, fresh memory: the agent install does not survive. *)
+  let conn, name, dom = fresh_running_domain () in
+  vok (Agent.install conn name);
+  vok (Domain.destroy dom);
+  vok (Domain.create dom);
+  expect_verr Verror.Operation_invalid (Agent.ping conn name);
+  vok (Agent.install conn name);
+  vok (Agent.ping conn name)
+
+let test_interference_visible_in_migration () =
+  (* Agent activity dirties guest pages; a migration right after shows a
+     larger remainder than for an idle guest. *)
+  let measure ~with_agent =
+    let conn, name, dom = fresh_running_domain ~memory_kib:(64 * 1024) () in
+    let dst = vok (Connect.open_uri ("test://" ^ fresh_name "agd" ^ "/")) in
+    if with_agent then begin
+      vok (Agent.install conn name);
+      for _ = 1 to 50 do
+        vok (Agent.ping conn name)
+      done
+    end;
+    let _, stats = vok (Domain.migrate dom ~dest:dst ()) in
+    stats.Ovirt.Domain.pages_transferred
+  in
+  let idle = measure ~with_agent:false in
+  let busy = measure ~with_agent:true in
+  Alcotest.(check bool) "agent-managed guest moved more pages" true (busy >= idle)
+
+let test_qemu_agent_parity () =
+  (* The same management surface works on the qemu driver. *)
+  let conn = vok (Connect.open_uri ("qemu://" ^ fresh_name "qa" ^ "/system")) in
+  let name = fresh_name "vm" in
+  let cfg = Vm_config.make ~memory_kib:(16 * 1024) name in
+  let dom = vok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:"kvm" cfg)) in
+  vok (Domain.create dom);
+  vok (Agent.install conn name);
+  let info = vok (Agent.guest_info conn name) in
+  Alcotest.(check int) "memory via agent" (16 * 1024) info.Agent.gi_memory_kib;
+  vok (Agent.shutdown conn name);
+  let off = eventually (fun () -> vok (Domain.get_state dom) = Vm_state.Shutoff) in
+  Alcotest.(check bool) "qemu guest shut down via agent" true off
+
+let test_both_paths_agree_on_memory () =
+  (* The agent's answer and the hypervisor's answer must be consistent —
+     the uniform-API claim, seen from both sides. *)
+  let conn, name, dom = fresh_running_domain ~memory_kib:(32 * 1024) () in
+  vok (Agent.install conn name);
+  let agent_info = vok (Agent.guest_info conn name) in
+  let hv_info = vok (Domain.get_info dom) in
+  Alcotest.(check int) "same memory" hv_info.Ovirt.Driver.di_max_mem_kib
+    agent_info.Agent.gi_memory_kib
+
+let () =
+  Alcotest.run "agent"
+    [
+      ( "support matrix",
+        [
+          quick "driver support" test_supported_drivers;
+          quick "unsupported driver errors" test_unsupported_driver_errors;
+        ] );
+      ( "lifecycle",
+        [
+          quick "install then operate" test_install_then_operate;
+          quick "unavailable when paused or off" test_unavailable_when_paused_or_off;
+          quick "agent-mediated shutdown" test_agent_shutdown_goes_through_driver;
+          quick "lost on restart" test_agent_lost_on_restart;
+        ] );
+      ( "intrusiveness",
+        [
+          quick "interference visible in migration" test_interference_visible_in_migration;
+          quick "qemu parity" test_qemu_agent_parity;
+          quick "both paths agree" test_both_paths_agree_on_memory;
+        ] );
+    ]

@@ -1,0 +1,417 @@
+(* Drivers through the public API: uniform lifecycle semantics across all
+   five backends, plus each driver's specific behaviours. *)
+
+open Testutil
+module Verror = Ovirt.Verror
+module Connect = Ovirt.Connect
+module Domain = Ovirt.Domain
+module Driver = Ovirt.Driver
+module Capabilities = Ovirt.Capabilities
+module Vm_config = Vmm.Vm_config
+module Vm_state = Vmm.Vm_state
+
+let () = Ovirt.initialize ()
+
+(* Per-driver harness: URI builder, virt_type, an OS kind the driver can
+   run, and whether guest-cooperative shutdown exists. *)
+type harness = {
+  label : string;
+  fresh_uri : unit -> string;
+  virt_type : string;
+  os : Vm_config.os_kind;
+  has_shutdown : bool;
+}
+
+let harnesses =
+  [
+    {
+      label = "test";
+      fresh_uri = (fun () -> "test://" ^ fresh_name "tnode" ^ "/");
+      virt_type = "test";
+      os = Vm_config.Hvm;
+      has_shutdown = true;
+    };
+    {
+      label = "qemu";
+      fresh_uri = (fun () -> "qemu://" ^ fresh_name "qnode" ^ "/system");
+      virt_type = "kvm";
+      os = Vm_config.Hvm;
+      has_shutdown = true;
+    };
+    {
+      label = "xen";
+      fresh_uri = (fun () -> "xen://" ^ fresh_name "xnode" ^ "/");
+      virt_type = "xen";
+      os = Vm_config.Paravirt;
+      has_shutdown = true;
+    };
+    {
+      label = "lxc";
+      fresh_uri = (fun () -> "lxc://" ^ fresh_name "lnode" ^ "/");
+      virt_type = "lxc";
+      os = Vm_config.Container_exe;
+      has_shutdown = true;
+    };
+    {
+      label = "esx";
+      fresh_uri = (fun () -> "esx://root@" ^ fresh_name "enode" ^ "/?password=esx");
+      virt_type = "vmware";
+      os = Vm_config.Hvm;
+      has_shutdown = false;
+    };
+  ]
+
+let connect h = vok (Connect.open_uri (h.fresh_uri ()))
+
+let define h conn name =
+  let cfg = Vm_config.make ~os:h.os ~memory_kib:(8 * 1024) name in
+  vok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:h.virt_type cfg))
+
+let state dom = vok (Domain.get_state dom)
+
+(* --- uniform semantics across every driver ------------------------------ *)
+
+let test_uniform_lifecycle h () =
+  let conn = connect h in
+  let name = fresh_name "vm" in
+  let dom = define h conn name in
+  Alcotest.(check bool) "defined inactive" true (state dom = Vm_state.Shutoff);
+  Alcotest.(check bool) "in defined list" true
+    (List.mem name (vok (Connect.list_defined_domains conn)));
+  vok (Domain.create dom);
+  Alcotest.(check bool) "running" true (state dom = Vm_state.Running);
+  Alcotest.(check bool) "in active list" true
+    (List.exists (fun r -> r.Driver.dom_name = name) (vok (Connect.list_domains conn)));
+  vok (Domain.suspend dom);
+  Alcotest.(check bool) "paused" true (state dom = Vm_state.Paused);
+  vok (Domain.resume dom);
+  vok (Domain.destroy dom);
+  Alcotest.(check bool) "shut off" true (state dom = Vm_state.Shutoff);
+  vok (Domain.undefine dom);
+  expect_verr Verror.No_domain (Domain.get_info dom)
+
+let test_uniform_error_semantics h () =
+  let conn = connect h in
+  let name = fresh_name "vm" in
+  expect_verr Verror.No_domain (Domain.lookup_by_name conn name);
+  let dom = define h conn name in
+  vok (Domain.create dom);
+  expect_verr Verror.Operation_invalid (Domain.create dom);
+  expect_verr Verror.Operation_invalid (Domain.resume dom);
+  expect_error (Domain.undefine dom);
+  vok (Domain.destroy dom);
+  expect_error (Domain.destroy dom);
+  expect_verr Verror.Operation_invalid (Domain.suspend dom)
+
+let test_uniform_duplicate_define h () =
+  let conn = connect h in
+  let name = fresh_name "vm" in
+  let _dom = define h conn name in
+  let other = Vm_config.make ~os:h.os name in
+  expect_error (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:h.virt_type other))
+
+let test_uniform_lookup h () =
+  let conn = connect h in
+  let name = fresh_name "vm" in
+  let dom = define h conn name in
+  let found = vok (Domain.lookup_by_name conn name) in
+  Alcotest.(check string) "by name" name (Domain.name found);
+  Alcotest.(check string) "by uuid" name
+    (Domain.name (vok (Domain.lookup_by_uuid conn (Domain.uuid dom))));
+  expect_verr Verror.No_domain (Domain.lookup_by_uuid conn (Vmm.Uuid.generate ()))
+
+let test_uniform_xml_roundtrip h () =
+  let conn = connect h in
+  let name = fresh_name "vm" in
+  let dom = define h conn name in
+  let xml = vok (Domain.xml_desc dom) in
+  let cfg, virt_type = sok (Vmm.Domxml.of_xml xml) in
+  Alcotest.(check string) "virt type" h.virt_type virt_type;
+  Alcotest.(check string) "name survives" name cfg.Vm_config.name
+
+let test_uniform_capabilities h () =
+  let conn = connect h in
+  let caps = vok (Connect.capabilities conn) in
+  Alcotest.(check bool) "runs its own OS kind" true
+    (List.mem h.os caps.Capabilities.guest_os_kinds);
+  Alcotest.(check bool) "define+start supported" true
+    (Capabilities.supports caps Capabilities.Feat_define
+    && Capabilities.supports caps Capabilities.Feat_start);
+  Alcotest.(check bool) "shutdown capability" h.has_shutdown
+    (Capabilities.supports caps Capabilities.Feat_shutdown)
+
+let test_uniform_shutdown h () =
+  let conn = connect h in
+  let dom = define h conn (fresh_name "vm") in
+  vok (Domain.create dom);
+  if h.has_shutdown then begin
+    vok (Domain.shutdown dom);
+    Alcotest.(check bool) "off after shutdown" true (state dom = Vm_state.Shutoff)
+  end
+  else begin
+    expect_verr Verror.Operation_unsupported (Domain.shutdown dom);
+    vok (Domain.destroy dom)
+  end
+
+let test_wrong_os_rejected h () =
+  if h.label <> "test" then begin
+    let conn = connect h in
+    let wrong_os =
+      match h.os with
+      | Vm_config.Container_exe -> Vm_config.Hvm
+      | Vm_config.Hvm | Vm_config.Paravirt -> Vm_config.Container_exe
+    in
+    let cfg = Vm_config.make ~os:wrong_os (fresh_name "wrong") in
+    expect_verr Verror.Invalid_arg
+      (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:h.virt_type cfg))
+  end
+
+let uniform_suite make_test = List.map (fun h -> quick h.label (make_test h)) harnesses
+
+(* --- driver-specific behaviours ----------------------------------------- *)
+
+let test_qemu_argv_format () =
+  let cfg = Vm_config.make ~memory_kib:(128 * 1024) ~vcpus:2 "argvm" in
+  let argv = Drivers.Drv_qemu.proc_argv cfg in
+  Alcotest.(check bool) "-S present" true (List.mem "-S" argv);
+  Alcotest.(check bool) "name present" true (List.mem "argvm" argv);
+  Alcotest.(check bool) "memory in MiB" true (List.mem "128" argv);
+  Alcotest.(check bool) "smp" true (List.mem "2" argv);
+  Alcotest.(check bool) "drive flag per disk" true (List.mem "-drive" argv)
+
+let test_qemu_domain_id_is_pid () =
+  let h = List.nth harnesses 1 in
+  let conn = connect h in
+  let dom = define h conn (fresh_name "vm") in
+  vok (Domain.create dom);
+  let refs = vok (Connect.list_domains conn) in
+  let entry = List.find (fun r -> r.Driver.dom_name = Domain.name dom) refs in
+  Alcotest.(check bool) "pid >= 1000" true
+    (match entry.Driver.dom_id with Some pid -> pid >= 1000 | None -> false)
+
+let test_qemu_balloon () =
+  let h = List.nth harnesses 1 in
+  let conn = connect h in
+  let dom = define h conn (fresh_name "vm") in
+  expect_error (Domain.set_memory dom 4096);
+  vok (Domain.create dom);
+  vok (Domain.set_memory dom 4096);
+  let info = vok (Domain.get_info dom) in
+  Alcotest.(check int) "current shrunk" 4096 info.Driver.di_memory_kib;
+  Alcotest.(check int) "max unchanged" (8 * 1024) info.Driver.di_max_mem_kib;
+  expect_verr Verror.Invalid_arg (Domain.set_memory dom (64 * 1024 * 1024));
+  expect_verr Verror.Invalid_arg (Domain.set_memory dom 0)
+
+let test_xen_dom0_visible () =
+  let conn = vok (Connect.open_uri ("xen://" ^ fresh_name "xn" ^ "/")) in
+  let active = vok (Connect.list_domains conn) in
+  Alcotest.(check bool) "Domain-0 listed" true
+    (List.exists (fun r -> r.Driver.dom_name = "Domain-0") active);
+  let dom0 = vok (Domain.lookup_by_name conn "Domain-0") in
+  expect_error (Domain.destroy dom0)
+
+let test_xen_hypervisor_forgets_inactive () =
+  let h = List.nth harnesses 2 in
+  let conn = connect h in
+  let dom = define h conn (fresh_name "vm") in
+  vok (Domain.create dom);
+  Alcotest.(check int) "dom0 + guest" 2 (List.length (vok (Connect.list_domains conn)));
+  vok (Domain.destroy dom);
+  Alcotest.(check int) "only dom0 active" 1
+    (List.length (vok (Connect.list_domains conn)));
+  Alcotest.(check bool) "still defined" true
+    (List.mem (Domain.name dom) (vok (Connect.list_defined_domains conn)));
+  vok (Domain.create dom);
+  Alcotest.(check bool) "restartable" true (state dom = Vm_state.Running)
+
+let test_lxc_memory_resize_unbounded () =
+  (* cgroup resize may exceed the configured memory (unlike a balloon). *)
+  let h = List.nth harnesses 3 in
+  let conn = connect h in
+  let dom = define h conn (fresh_name "ct") in
+  vok (Domain.set_memory dom (64 * 1024));
+  let info = vok (Domain.get_info dom) in
+  Alcotest.(check int) "cgroup limit" (64 * 1024) info.Driver.di_memory_kib
+
+let test_lxc_no_migration () =
+  let h = List.nth harnesses 3 in
+  let conn = connect h in
+  let dest = connect h in
+  let dom = define h conn (fresh_name "ct") in
+  vok (Domain.create dom);
+  expect_verr Verror.Operation_unsupported (Domain.migrate dom ~dest ())
+
+let test_esx_auth_failure () =
+  match Connect.open_uri ("esx://root@" ^ fresh_name "esx" ^ "/?password=wrong") with
+  | Error e -> Alcotest.(check bool) "auth_failed" true (e.Verror.code = Verror.Auth_failed)
+  | Ok _ -> Alcotest.fail "bad password connected"
+
+let test_esx_stateless_across_connections () =
+  let host = fresh_name "esx" in
+  let uri = Printf.sprintf "esx://root@%s/?password=esx" host in
+  let conn1 = vok (Connect.open_uri uri) in
+  let h = List.nth harnesses 4 in
+  let name = fresh_name "vm" in
+  let cfg = Vm_config.make ~os:h.os name in
+  let _ = vok (Domain.define_xml conn1 (Vmm.Domxml.to_xml ~virt_type:"vmware" cfg)) in
+  Connect.close conn1;
+  let conn2 = vok (Connect.open_uri uri) in
+  Alcotest.(check bool) "visible to new session" true
+    (List.mem name (vok (Connect.list_defined_domains conn2)));
+  let caps = vok (Connect.capabilities conn2) in
+  Alcotest.(check bool) "stateless" false caps.Capabilities.stateful
+
+let test_esx_close_logs_out () =
+  let host = fresh_name "esx" in
+  let uri = Printf.sprintf "esx://root@%s/?password=esx" host in
+  let conn = vok (Connect.open_uri uri) in
+  let esx = Drivers.Drv_esx.get_host host in
+  Alcotest.(check int) "session open" 1 (Hvsim.Esx_host.session_count esx);
+  Connect.close conn;
+  Alcotest.(check int) "session closed" 0 (Hvsim.Esx_host.session_count esx)
+
+let test_default_test_node_has_domain () =
+  let conn = vok (Connect.open_uri "test:///default") in
+  Alcotest.(check bool) "the canonical 'test' domain runs" true
+    (List.exists (fun r -> r.Driver.dom_name = "test") (vok (Connect.list_domains conn)))
+
+let test_capacity_exhaustion () =
+  let h = List.hd harnesses in
+  let conn = connect h in
+  let cfg = Vm_config.make ~os:h.os ~memory_kib:(100 * 1024 * 1024) (fresh_name "huge") in
+  let dom = vok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:h.virt_type cfg)) in
+  expect_verr Verror.Resource_exhausted (Domain.create dom)
+
+let test_events_emitted_by_drivers () =
+  let h = List.hd harnesses in
+  let conn = connect h in
+  let seen = ref [] in
+  let _ =
+    vok
+      (Connect.subscribe_events conn (fun ev ->
+           seen := ev.Ovirt.Events.lifecycle :: !seen))
+  in
+  let dom = define h conn (fresh_name "vm") in
+  vok (Domain.create dom);
+  vok (Domain.suspend dom);
+  vok (Domain.resume dom);
+  vok (Domain.destroy dom);
+  vok (Domain.undefine dom);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (Ovirt.Events.lifecycle_name e) true (List.mem e !seen))
+    Ovirt.Events.
+      [ Ev_defined; Ev_started; Ev_suspended; Ev_resumed; Ev_stopped; Ev_undefined ]
+
+(* --- managed save --------------------------------------------------- *)
+
+let save_capable = [ List.nth harnesses 0; List.nth harnesses 1 ]
+let save_incapable = [ List.nth harnesses 2; List.nth harnesses 3; List.nth harnesses 4 ]
+
+let test_managed_save_cycle h () =
+  let conn = connect h in
+  let name = fresh_name "sv" in
+  let dom = define h conn name in
+  (* not running: save refused; no image yet *)
+  expect_verr Verror.Operation_invalid (Domain.save dom);
+  Alcotest.(check bool) "no image initially" false (vok (Domain.has_managed_save dom));
+  vok (Domain.create dom);
+  vok (Domain.save dom);
+  Alcotest.(check bool) "stopped by save" true (state dom = Vm_state.Shutoff);
+  Alcotest.(check bool) "image exists" true (vok (Domain.has_managed_save dom));
+  (* restore brings it back and consumes the image *)
+  vok (Domain.restore dom);
+  Alcotest.(check bool) "running again" true (state dom = Vm_state.Running);
+  Alcotest.(check bool) "image consumed" false (vok (Domain.has_managed_save dom));
+  (* restore without an image refused *)
+  vok (Domain.destroy dom);
+  expect_verr Verror.Operation_invalid (Domain.restore dom)
+
+let test_managed_save_memory_fidelity h () =
+  let conn = connect h in
+  let name = fresh_name "svf" in
+  let dom = define h conn name in
+  vok (Domain.create dom);
+  (* dirty the guest, checkpoint, restore, compare *)
+  let ops = vok (Ovirt.Connect.ops conn) in
+  let ms = vok ((Option.get ops.Driver.migrate_begin) name) in
+  let img = ms.Driver.mig_image in
+  ms.Driver.mig_abort ();
+  Vmm.Guest_image.dirty_randomly img ~rate:0.4 ~seed:3;
+  let checksum = Vmm.Guest_image.checksum img in
+  vok (Domain.save dom);
+  vok (Domain.restore dom);
+  let ms2 = vok ((Option.get ops.Driver.migrate_begin) name) in
+  let img2 = ms2.Driver.mig_image in
+  ms2.Driver.mig_abort ();
+  Alcotest.(check bool) "memory restored bit-identically" true
+    (Vmm.Guest_image.checksum img2 = checksum)
+
+let test_managed_save_unsupported h () =
+  let conn = connect h in
+  let dom = define h conn (fresh_name "sv") in
+  vok (Domain.create dom);
+  expect_verr Verror.Operation_unsupported (Domain.save dom);
+  expect_verr Verror.Operation_unsupported (Domain.has_managed_save dom)
+
+let test_undefine_discards_save () =
+  let h = List.hd harnesses in
+  let conn = connect h in
+  let name = fresh_name "sv" in
+  let dom = define h conn name in
+  vok (Domain.create dom);
+  vok (Domain.save dom);
+  vok (Domain.undefine dom);
+  (* redefine: fresh identity, no stale image *)
+  let dom2 = define h conn name in
+  Alcotest.(check bool) "no stale image" false (vok (Domain.has_managed_save dom2))
+
+let () =
+  Alcotest.run "drivers"
+    [
+      ("uniform lifecycle", uniform_suite test_uniform_lifecycle);
+      ("uniform error semantics", uniform_suite test_uniform_error_semantics);
+      ("uniform duplicate define", uniform_suite test_uniform_duplicate_define);
+      ("uniform lookup", uniform_suite test_uniform_lookup);
+      ("uniform xml roundtrip", uniform_suite test_uniform_xml_roundtrip);
+      ("uniform capabilities", uniform_suite test_uniform_capabilities);
+      ("uniform shutdown", uniform_suite test_uniform_shutdown);
+      ("wrong OS rejected", uniform_suite test_wrong_os_rejected);
+      ( "qemu specifics",
+        [
+          quick "command-line format" test_qemu_argv_format;
+          quick "domain id is the pid" test_qemu_domain_id_is_pid;
+          quick "memory balloon" test_qemu_balloon;
+        ] );
+      ( "xen specifics",
+        [
+          quick "Domain-0 visible and protected" test_xen_dom0_visible;
+          quick "hypervisor forgets inactive domains" test_xen_hypervisor_forgets_inactive;
+        ] );
+      ( "lxc specifics",
+        [
+          quick "cgroup resize beyond definition" test_lxc_memory_resize_unbounded;
+          quick "no migration" test_lxc_no_migration;
+        ] );
+      ( "esx specifics",
+        [
+          quick "auth failure" test_esx_auth_failure;
+          quick "stateless across connections" test_esx_stateless_across_connections;
+          quick "close logs out" test_esx_close_logs_out;
+        ] );
+      ( "managed save",
+        List.map (fun h -> quick h.label (test_managed_save_cycle h)) save_capable
+        @ List.map
+            (fun h -> quick (h.label ^ " fidelity") (test_managed_save_memory_fidelity h))
+            save_capable
+        @ List.map
+            (fun h -> quick (h.label ^ " unsupported") (test_managed_save_unsupported h))
+            save_incapable
+        @ [ quick "undefine discards the image" test_undefine_discards_save ] );
+      ( "misc",
+        [
+          quick "test:///default canonical domain" test_default_test_node_has_domain;
+          quick "capacity exhaustion" test_capacity_exhaustion;
+          quick "lifecycle events emitted" test_events_emitted_by_drivers;
+        ] );
+    ]

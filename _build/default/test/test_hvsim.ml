@@ -1,0 +1,533 @@
+(* Hypervisor simulators: host capacity, xenstore, Xen hypercalls, QEMU
+   process + QMP monitor, ESX endpoint protocol, LXC host, guest agent. *)
+
+open Testutil
+module H = Hvsim.Hostinfo
+module Xs = Hvsim.Xenstore
+module Xen = Hvsim.Xen_hv
+module Qp = Hvsim.Qemu_proc
+module Esx = Hvsim.Esx_host
+module Lxc = Hvsim.Lxc_host
+module Ga = Hvsim.Guest_agent
+module J = Mini_json
+module X = Mini_xml
+module Vm_config = Vmm.Vm_config
+module Vm_state = Vmm.Vm_state
+
+(* --- Hostinfo ----------------------------------------------------------- *)
+
+let test_host_reserve_release () =
+  let host = H.create ~memory_kib:1000 ~cpus:2 () in
+  Alcotest.(check int) "all free" 1000 (H.free_memory_kib host);
+  sok (H.reserve host ~memory_kib:600 ~vcpus:1);
+  Alcotest.(check int) "reserved" 400 (H.free_memory_kib host);
+  (match H.reserve host ~memory_kib:600 ~vcpus:1 with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "overcommit accepted");
+  H.release host ~memory_kib:600 ~vcpus:1;
+  Alcotest.(check int) "released" 1000 (H.free_memory_kib host)
+
+let test_host_vcpu_oversubscription_cap () =
+  let host = H.create ~memory_kib:1_000_000 ~cpus:1 () in
+  (* 8x oversubscription allowed, not more. *)
+  sok (H.reserve host ~memory_kib:1 ~vcpus:8);
+  match H.reserve host ~memory_kib:1 ~vcpus:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "9th vcpu on 1-cpu host accepted"
+
+let test_host_over_release_rejected () =
+  let host = H.create () in
+  match H.release host ~memory_kib:1 ~vcpus:0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "over-release accepted"
+
+(* --- Xenstore ----------------------------------------------------------- *)
+
+let test_xenstore_basics () =
+  let store = Xs.create () in
+  Xs.write store "/local/domain/1/name" "vm1";
+  Alcotest.(check string) "read back" "vm1" (Xs.read store "/local/domain/1/name");
+  Alcotest.(check bool) "intermediate dirs" true (Xs.exists store "/local/domain");
+  Alcotest.(check (list string)) "directory" [ "1" ] (Xs.directory store "/local/domain");
+  Xs.write store "/local/domain/2/name" "vm2";
+  Alcotest.(check (list string)) "two children" [ "1"; "2" ]
+    (Xs.directory store "/local/domain")
+
+let test_xenstore_missing_paths () =
+  let store = Xs.create () in
+  (match Xs.read store "/nope" with
+   | exception Xs.Noent _ -> ()
+   | _ -> Alcotest.fail "read of missing path succeeded");
+  Alcotest.(check (option string)) "read_opt" None (Xs.read_opt store "/nope");
+  Xs.rm store "/nope" (* no-op, must not raise *)
+
+let test_xenstore_bad_paths () =
+  let store = Xs.create () in
+  List.iter
+    (fun path ->
+      match Xs.write store path "v" with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "accepted path %S" path)
+    [ "relative"; "//double"; "/trailing/"; "" ]
+
+let test_xenstore_rm_subtree () =
+  let store = Xs.create () in
+  Xs.write store "/a/b/c" "1";
+  Xs.write store "/a/b/d" "2";
+  Xs.write store "/a/e" "3";
+  Xs.rm store "/a/b";
+  Alcotest.(check bool) "subtree gone" false (Xs.exists store "/a/b/c");
+  Alcotest.(check string) "sibling survives" "3" (Xs.read store "/a/e")
+
+let test_xenstore_watches () =
+  let store = Xs.create () in
+  let fired = ref [] in
+  let w = Xs.watch store "/local/domain" (fun path -> fired := path :: !fired) in
+  Xs.write store "/local/domain/3/state" "running";
+  Xs.write store "/other/path" "x";
+  Alcotest.(check (list string)) "fired below watch point only"
+    [ "/local/domain/3/state" ] !fired;
+  Xs.rm store "/local/domain/3";
+  Alcotest.(check int) "rm fires too" 2 (List.length !fired);
+  Xs.unwatch store w;
+  Xs.write store "/local/domain/4/state" "running";
+  Alcotest.(check int) "unwatched" 2 (List.length !fired)
+
+let test_xenstore_node_count () =
+  let store = Xs.create () in
+  Xs.write store "/a/b" "1";
+  Xs.write store "/a/c" "2";
+  Alcotest.(check int) "a, a/b, a/c" 3 (Xs.node_count store)
+
+(* Model-based property: a random write/rm trace agrees with a reference
+   string-map model on every read. *)
+let prop_xenstore_vs_model =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 40)
+        (pair (int_bound 2)
+           (oneofl
+              [ "/a"; "/a/b"; "/a/b/c"; "/a/d"; "/x"; "/x/y"; "/x/y/z" ])))
+  in
+  qcheck_case ~count:100 "xenstore agrees with a map model" (QCheck.make gen)
+    (fun trace ->
+      let store = Xs.create () in
+      let model = Hashtbl.create 8 in
+      let prefixed prefix path =
+        let pl = String.length prefix and l = String.length path in
+        l >= pl && String.sub path 0 pl = prefix
+        && (l = pl || path.[pl] = '/')
+      in
+      List.iter
+        (fun (op, path) ->
+          match op with
+          | 0 | 1 ->
+            let v = Printf.sprintf "%d-%s" op path in
+            Xs.write store path v;
+            Hashtbl.replace model path v
+          | _ ->
+            Xs.rm store path;
+            Hashtbl.iter
+              (fun k _ -> if prefixed path k then Hashtbl.remove model k)
+              (Hashtbl.copy model))
+        trace;
+      Hashtbl.fold
+        (fun path v acc -> acc && Xs.read_opt store path = Some v)
+        model true
+      && List.for_all
+           (fun path ->
+             Hashtbl.mem model path
+             || match Xs.read_opt store path with
+                | None -> true
+                | Some _ -> false)
+           [ "/a"; "/a/b"; "/a/b/c"; "/a/d"; "/x"; "/x/y"; "/x/y/z" ])
+
+(* --- Xen_hv ------------------------------------------------------------- *)
+
+let boot_xen () = Xen.boot (H.create ~memory_kib:(4 * 1024 * 1024) ())
+
+let test_xen_boot_dom0 () =
+  let hv = boot_xen () in
+  Alcotest.(check (list int)) "dom0 present" [ 0 ] (Xen.list_domains hv);
+  let info = sok (Xen.domain_info hv 0) in
+  Alcotest.(check bool) "dom0 running" true (info.Xen.dom_state = Vm_state.Running);
+  Alcotest.(check string) "store entry" "Domain-0"
+    (Xs.read (Xen.store hv) "/local/domain/0/name")
+
+let test_xen_create_lifecycle () =
+  let hv = boot_xen () in
+  let cfg = Vm_config.make ~memory_kib:(16 * 1024) (fresh_name "xenvm") in
+  let id = sok (Xen.domctl_create hv cfg) in
+  Alcotest.(check bool) "created paused" true
+    ((sok (Xen.domain_info hv id)).Xen.dom_state = Vm_state.Paused);
+  sok (Xen.domctl_unpause hv id);
+  Alcotest.(check bool) "running" true
+    ((sok (Xen.domain_info hv id)).Xen.dom_state = Vm_state.Running);
+  Alcotest.(check (option int)) "lookup by name" (Some id)
+    (Xen.lookup_by_name hv cfg.Vm_config.name);
+  Alcotest.(check (option int)) "lookup by uuid" (Some id)
+    (Xen.lookup_by_uuid hv cfg.Vm_config.uuid);
+  sok (Xen.domctl_destroy hv id);
+  Alcotest.(check (list int)) "domain gone" [ 0 ] (Xen.list_domains hv);
+  Alcotest.(check bool) "store cleaned" false
+    (Xs.exists (Xen.store hv) (Printf.sprintf "/local/domain/%d" id))
+
+let test_xen_shutdown_releases_memory () =
+  let host = H.create ~memory_kib:(2 * 1024 * 1024) () in
+  let hv = Xen.boot host in
+  let before = H.free_memory_kib host in
+  let id = sok (Xen.domctl_create hv (Vm_config.make ~memory_kib:(512 * 1024) (fresh_name "x"))) in
+  sok (Xen.domctl_unpause hv id);
+  Alcotest.(check int) "memory taken" (before - 512 * 1024) (H.free_memory_kib host);
+  sok (Xen.domctl_shutdown hv id);
+  Alcotest.(check int) "memory returned" before (H.free_memory_kib host)
+
+let test_xen_dom0_protected () =
+  let hv = boot_xen () in
+  (match Xen.domctl_destroy hv 0 with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "destroyed Domain-0");
+  match Xen.domctl_pause hv 0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "paused Domain-0"
+
+let test_xen_duplicate_name_rejected () =
+  let hv = boot_xen () in
+  let cfg = Vm_config.make (fresh_name "dup") in
+  let _id = sok (Xen.domctl_create hv cfg) in
+  match Xen.domctl_create hv cfg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate domain name accepted"
+
+let test_xen_invalid_domid () =
+  let hv = boot_xen () in
+  match Xen.domctl_unpause hv 999 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unpaused nonexistent domain"
+
+(* --- Qemu_proc ---------------------------------------------------------- *)
+
+let spawn_proc ?(host = H.create ()) name =
+  let cfg = Vm_config.make ~memory_kib:(8 * 1024) name in
+  let argv = [ "qemu-system-x86_64"; "-name"; name; "-S" ] in
+  (cfg, sok (Qp.spawn host ~argv cfg))
+
+let qmp_ok proc cmd =
+  match Qp.qmp proc ~cmd () with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "qmp %s failed: %s" cmd msg
+
+let test_qemu_spawn_requirements () =
+  let host = H.create () in
+  let cfg = Vm_config.make (fresh_name "q") in
+  (match Qp.spawn host ~argv:[ "qemu"; "-name"; cfg.Vm_config.name ] cfg with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "spawn without -S accepted");
+  match Qp.spawn host ~argv:[ "qemu"; "-S" ] cfg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "spawn without -name accepted"
+
+let test_qemu_capabilities_negotiation () =
+  let _, proc = spawn_proc (fresh_name "q") in
+  (* Commands before qmp_capabilities are refused. *)
+  (match Qp.qmp proc ~cmd:"query-status" () with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "command before negotiation accepted");
+  ignore (qmp_ok proc "qmp_capabilities");
+  let status = qmp_ok proc "query-status" in
+  Alcotest.(check string) "starts paused" "paused"
+    (J.get_string (J.member "status" status))
+
+let test_qemu_lifecycle_via_monitor () =
+  let _, proc = spawn_proc (fresh_name "q") in
+  ignore (qmp_ok proc "qmp_capabilities");
+  ignore (qmp_ok proc "cont");
+  Alcotest.(check bool) "running" true (Qp.state proc = Vm_state.Running);
+  ignore (qmp_ok proc "stop");
+  Alcotest.(check bool) "paused" true (Qp.state proc = Vm_state.Paused);
+  ignore (qmp_ok proc "cont");
+  ignore (qmp_ok proc "system_powerdown");
+  Alcotest.(check bool) "process exited" false (Qp.is_alive proc);
+  match Qp.qmp proc ~cmd:"query-status" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "monitor answered after exit"
+
+let test_qemu_quit_releases_host () =
+  let host = H.create ~memory_kib:(1024 * 1024) () in
+  let before = H.free_memory_kib host in
+  let _, proc = spawn_proc ~host (fresh_name "q") in
+  ignore (qmp_ok proc "qmp_capabilities");
+  Alcotest.(check bool) "memory held" true (H.free_memory_kib host < before);
+  ignore (qmp_ok proc "quit");
+  Alcotest.(check int) "memory returned" before (H.free_memory_kib host)
+
+let test_qemu_monitor_protocol_errors () =
+  let _, proc = spawn_proc (fresh_name "q") in
+  let reply = Qp.monitor_command proc "this is not json" in
+  Alcotest.(check bool) "json error classified" true
+    (J.member_opt "error" (J.of_string reply) <> None);
+  let reply2 = Qp.monitor_command proc "{\"not-execute\": 1}" in
+  Alcotest.(check bool) "missing execute classified" true
+    (J.member_opt "error" (J.of_string reply2) <> None);
+  ignore (qmp_ok proc "qmp_capabilities");
+  match Qp.qmp proc ~cmd:"bogus-command" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown command accepted"
+
+let test_qemu_inject_crash () =
+  let _, proc = spawn_proc (fresh_name "q") in
+  ignore (qmp_ok proc "qmp_capabilities");
+  ignore (qmp_ok proc "cont");
+  ignore (qmp_ok proc "inject-crash");
+  Alcotest.(check bool) "crashed" true (Qp.state proc = Vm_state.Crashed);
+  let status = qmp_ok proc "query-status" in
+  Alcotest.(check string) "status reports panic" "guest-panicked"
+    (J.get_string (J.member "status" status))
+
+(* --- Esx_host ----------------------------------------------------------- *)
+
+let esx_request esx xml = Esx.endpoint_request esx xml
+
+let login esx =
+  let reply =
+    esx_request esx
+      "<request op=\"Login\"><username>root</username><password>esx</password></request>"
+  in
+  let root = X.of_string reply in
+  X.attr_exn (X.child_exn root "session") "token"
+
+let test_esx_login_logout () =
+  let esx = Esx.create (H.create ()) in
+  let token = login esx in
+  Alcotest.(check int) "one session" 1 (Esx.session_count esx);
+  ignore
+    (esx_request esx (Printf.sprintf "<request op=\"Logout\" session=\"%s\"/>" token));
+  Alcotest.(check int) "logged out" 0 (Esx.session_count esx)
+
+let test_esx_bad_credentials () =
+  let esx = Esx.create (H.create ()) in
+  let reply =
+    esx_request esx
+      "<request op=\"Login\"><username>root</username><password>wrong</password></request>"
+  in
+  Alcotest.(check string) "fault" "fault" (X.of_string reply).X.tag
+
+let test_esx_requires_session () =
+  let esx = Esx.create (H.create ()) in
+  let reply = esx_request esx "<request op=\"ListVMs\"/>" in
+  Alcotest.(check string) "fault without session" "fault" (X.of_string reply).X.tag;
+  let reply2 = esx_request esx "<request op=\"ListVMs\" session=\"sess-999\"/>" in
+  Alcotest.(check string) "fault with bogus token" "fault" (X.of_string reply2).X.tag
+
+let test_esx_vm_lifecycle () =
+  let esx = Esx.create (H.create ()) in
+  let token = login esx in
+  let cfg = Vm_config.make ~memory_kib:(32 * 1024) (fresh_name "esxvm") in
+  let register =
+    Printf.sprintf "<request op=\"RegisterVM\" session=\"%s\">%s</request>" token
+      (Vmm.Domxml.to_xml ~virt_type:"vmware" cfg)
+  in
+  let reply = X.of_string (esx_request esx register) in
+  Alcotest.(check string) "registered" "response" reply.X.tag;
+  Alcotest.(check int) "inventory" 1 (Esx.registered_count esx);
+  let op name =
+    X.of_string
+      (esx_request esx
+         (Printf.sprintf "<request op=\"%s\" session=\"%s\" name=\"%s\"/>" name token
+            cfg.Vm_config.name))
+  in
+  Alcotest.(check string) "power on" "response" (op "PowerOnVM").X.tag;
+  Alcotest.(check string) "suspend" "response" (op "SuspendVM").X.tag;
+  Alcotest.(check string) "resume" "response" (op "ResumeVM").X.tag;
+  (* Unregister while active must fault. *)
+  Alcotest.(check string) "unregister while on" "fault" (op "UnregisterVM").X.tag;
+  Alcotest.(check string) "power off" "response" (op "PowerOffVM").X.tag;
+  Alcotest.(check string) "unregister" "response" (op "UnregisterVM").X.tag;
+  Alcotest.(check int) "inventory empty" 0 (Esx.registered_count esx)
+
+let test_esx_invalid_state_faults () =
+  let esx = Esx.create (H.create ()) in
+  let token = login esx in
+  let cfg = Vm_config.make (fresh_name "esxvm") in
+  ignore
+    (esx_request esx
+       (Printf.sprintf "<request op=\"RegisterVM\" session=\"%s\">%s</request>" token
+          (Vmm.Domxml.to_xml ~virt_type:"vmware" cfg)));
+  let reply =
+    esx_request esx
+      (Printf.sprintf "<request op=\"ResumeVM\" session=\"%s\" name=\"%s\"/>" token
+         cfg.Vm_config.name)
+  in
+  Alcotest.(check string) "resume of off vm faults" "fault" (X.of_string reply).X.tag
+
+let test_esx_malformed_xml_faults () =
+  let esx = Esx.create (H.create ()) in
+  let reply = esx_request esx "<not even xml" in
+  Alcotest.(check string) "fault" "fault" (X.of_string reply).X.tag
+
+(* --- Lxc_host ----------------------------------------------------------- *)
+
+let container_cfg name =
+  Vm_config.make ~os:Vm_config.Container_exe ~memory_kib:(4 * 1024) name
+
+let test_lxc_lifecycle () =
+  let lxc = Lxc.create (H.create ()) in
+  let name = fresh_name "ct" in
+  sok (Lxc.define lxc (container_cfg name));
+  Alcotest.(check bool) "cgroup created" true (Lxc.cgroup_exists lxc ("/machine/" ^ name));
+  sok (Lxc.start lxc name);
+  let info = sok (Lxc.info lxc name) in
+  Alcotest.(check bool) "running" true (info.Lxc.info_state = Lxc.Running);
+  Alcotest.(check bool) "has init pid" true (info.Lxc.init_pid <> None);
+  Alcotest.(check int) "five namespaces" 5 (List.length info.Lxc.namespaces);
+  sok (Lxc.freeze lxc name);
+  Alcotest.(check (option string)) "freezer cgroup" (Some "FROZEN")
+    (Lxc.cgroup_get lxc ("/machine/" ^ name) "freezer.state");
+  sok (Lxc.thaw lxc name);
+  sok (Lxc.stop lxc name);
+  sok (Lxc.undefine lxc name);
+  Alcotest.(check bool) "cgroup removed" false (Lxc.cgroup_exists lxc ("/machine/" ^ name))
+
+let test_lxc_state_errors () =
+  let lxc = Lxc.create (H.create ()) in
+  let name = fresh_name "ct" in
+  sok (Lxc.define lxc (container_cfg name));
+  (match Lxc.freeze lxc name with Error _ -> () | Ok () -> Alcotest.fail "froze stopped");
+  (match Lxc.stop lxc name with Error _ -> () | Ok () -> Alcotest.fail "stopped stopped");
+  sok (Lxc.start lxc name);
+  (match Lxc.start lxc name with Error _ -> () | Ok () -> Alcotest.fail "double start");
+  (match Lxc.undefine lxc name with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "undefined active container");
+  sok (Lxc.stop lxc name)
+
+let test_lxc_vm_config_rejected () =
+  let lxc = Lxc.create (H.create ()) in
+  match Lxc.define lxc (Vm_config.make (fresh_name "notct")) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "hvm config accepted as container"
+
+let test_lxc_memory_resize () =
+  let lxc = Lxc.create (H.create ()) in
+  let name = fresh_name "ct" in
+  sok (Lxc.define lxc (container_cfg name));
+  sok (Lxc.set_memory_limit lxc name (64 * 1024));
+  let info = sok (Lxc.info lxc name) in
+  Alcotest.(check int) "cgroup limit applied" (64 * 1024) info.Lxc.memory_limit_kib
+
+(* --- Guest_agent -------------------------------------------------------- *)
+
+let agent_pair () =
+  let image = Vmm.Guest_image.create ~memory_kib:(4 * 1024) in
+  let state = ref Vm_state.Running in
+  let shutdowns = ref 0 in
+  let ep =
+    Ga.create ~image ~state:(fun () -> !state) ~request_shutdown:(fun () -> incr shutdowns)
+  in
+  (ep, image, state, shutdowns)
+
+let exec ep cmd = J.of_string (Ga.exec ep (J.to_string (J.Obj [ ("execute", J.String cmd) ])))
+
+let test_agent_requires_install () =
+  let ep, _, _, _ = agent_pair () in
+  Alcotest.(check bool) "error before install" true
+    (J.member_opt "error" (exec ep "guest-ping") <> None);
+  sok (Ga.install ep);
+  Alcotest.(check bool) "ping after install" true
+    (J.member_opt "return" (exec ep "guest-ping") <> None)
+
+let test_agent_install_dirties_guest () =
+  let ep, image, _, _ = agent_pair () in
+  sok (Ga.install ep);
+  Alcotest.(check int) "footprint written" Ga.install_footprint_pages
+    (Vmm.Guest_image.dirty_count image)
+
+let test_agent_unavailable_when_not_running () =
+  let ep, _, state, _ = agent_pair () in
+  sok (Ga.install ep);
+  state := Vm_state.Paused;
+  Alcotest.(check bool) "paused guest unreachable" true
+    (J.member_opt "error" (exec ep "guest-ping") <> None);
+  state := Vm_state.Shutoff;
+  match Ga.install ep with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "installed into a shut-off guest"
+
+let test_agent_shutdown_command () =
+  let ep, _, _, shutdowns = agent_pair () in
+  sok (Ga.install ep);
+  Alcotest.(check bool) "shutdown returns" true
+    (J.member_opt "return" (exec ep "guest-shutdown") <> None);
+  Alcotest.(check int) "host-side hook fired" 1 !shutdowns
+
+let test_agent_commands_perturb_guest () =
+  let ep, image, _, _ = agent_pair () in
+  sok (Ga.install ep);
+  let base = Vmm.Guest_image.dirty_count image in
+  ignore (exec ep "guest-ping");
+  Alcotest.(check bool) "pages dirtied by command" true
+    (Vmm.Guest_image.dirty_count image >= base);
+  Alcotest.(check int) "served counter" 1 (Ga.commands_served ep)
+
+let () =
+  Alcotest.run "hvsim"
+    [
+      ( "hostinfo",
+        [
+          quick "reserve and release" test_host_reserve_release;
+          quick "vcpu oversubscription cap" test_host_vcpu_oversubscription_cap;
+          quick "over-release rejected" test_host_over_release_rejected;
+        ] );
+      ( "xenstore",
+        [
+          quick "read/write/directory" test_xenstore_basics;
+          quick "missing paths" test_xenstore_missing_paths;
+          quick "bad paths rejected" test_xenstore_bad_paths;
+          quick "rm removes subtree" test_xenstore_rm_subtree;
+          quick "watches" test_xenstore_watches;
+          quick "node count" test_xenstore_node_count;
+          prop_xenstore_vs_model;
+        ] );
+      ( "xen_hv",
+        [
+          quick "boot creates Domain-0" test_xen_boot_dom0;
+          quick "create/unpause/destroy" test_xen_create_lifecycle;
+          quick "shutdown releases memory" test_xen_shutdown_releases_memory;
+          quick "Domain-0 protected" test_xen_dom0_protected;
+          quick "duplicate name rejected" test_xen_duplicate_name_rejected;
+          quick "invalid domid" test_xen_invalid_domid;
+        ] );
+      ( "qemu_proc",
+        [
+          quick "spawn requirements" test_qemu_spawn_requirements;
+          quick "capabilities negotiation" test_qemu_capabilities_negotiation;
+          quick "lifecycle via monitor" test_qemu_lifecycle_via_monitor;
+          quick "quit releases host resources" test_qemu_quit_releases_host;
+          quick "protocol errors" test_qemu_monitor_protocol_errors;
+          quick "crash injection" test_qemu_inject_crash;
+        ] );
+      ( "esx_host",
+        [
+          quick "login/logout" test_esx_login_logout;
+          quick "bad credentials" test_esx_bad_credentials;
+          quick "session required" test_esx_requires_session;
+          quick "vm lifecycle" test_esx_vm_lifecycle;
+          quick "invalid state faults" test_esx_invalid_state_faults;
+          quick "malformed xml faults" test_esx_malformed_xml_faults;
+        ] );
+      ( "lxc_host",
+        [
+          quick "lifecycle incl. freezer" test_lxc_lifecycle;
+          quick "state errors" test_lxc_state_errors;
+          quick "hvm config rejected" test_lxc_vm_config_rejected;
+          quick "cgroup memory resize" test_lxc_memory_resize;
+        ] );
+      ( "guest_agent",
+        [
+          quick "requires install" test_agent_requires_install;
+          quick "install dirties guest" test_agent_install_dirties_guest;
+          quick "unavailable when not running" test_agent_unavailable_when_not_running;
+          quick "shutdown command" test_agent_shutdown_command;
+          quick "commands perturb the guest" test_agent_commands_perturb_guest;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+(* Cross-cutting integration scenarios: the full client → RPC → daemon →
+   driver → hypervisor stack under realistic workflows and concurrency. *)
+
+open Testutil
+module Verror = Ovirt.Verror
+module Connect = Ovirt.Connect
+module Domain = Ovirt.Domain
+module Driver = Ovirt.Driver
+module Admin = Ovirt.Admin_client
+module Daemon = Ovirt.Daemon
+module Daemon_config = Ovirt.Daemon_config
+module Vm_config = Vmm.Vm_config
+module Vm_state = Vmm.Vm_state
+
+let () = Ovirt.initialize ()
+
+let quiet_config =
+  {
+    Daemon_config.default with
+    Daemon_config.log_outputs = [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Null } ];
+  }
+
+let with_daemon ?(config = quiet_config) f =
+  let name = fresh_name "intd" in
+  let daemon = Daemon.start ~name ~config () in
+  Fun.protect ~finally:(fun () -> Daemon.stop daemon) (fun () -> f name daemon)
+
+(* Scenario 1: heterogeneous fleet managed uniformly — one code path
+   drives test, qemu, xen, lxc and esx nodes through identical calls. *)
+let test_heterogeneous_fleet () =
+  let fleet =
+    [
+      ("test://" ^ fresh_name "f" ^ "/", "test", Vm_config.Hvm);
+      ("qemu://" ^ fresh_name "f" ^ "/system", "kvm", Vm_config.Hvm);
+      ("xen://" ^ fresh_name "f" ^ "/", "xen", Vm_config.Paravirt);
+      ("lxc://" ^ fresh_name "f" ^ "/", "lxc", Vm_config.Container_exe);
+      ("esx://root@" ^ fresh_name "f" ^ "/?password=esx", "vmware", Vm_config.Hvm);
+    ]
+  in
+  let manage (uri, virt_type, os) =
+    let conn = vok (Connect.open_uri uri) in
+    let name = fresh_name "fleetvm" in
+    let cfg = Vm_config.make ~os ~memory_kib:(8 * 1024) name in
+    let dom = vok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type cfg)) in
+    vok (Domain.create dom);
+    let info = vok (Domain.get_info dom) in
+    vok (Domain.destroy dom);
+    vok (Domain.undefine dom);
+    Connect.close conn;
+    info.Driver.di_vcpus
+  in
+  let vcpus = List.map manage fleet in
+  Alcotest.(check (list int)) "identical code path on all five" [ 1; 1; 1; 1; 1 ] vcpus
+
+(* Scenario 2: consolidation — start scattered, migrate everything onto
+   one node, verify placement and host accounting. *)
+let test_consolidation_flow () =
+  let node_a = "qemu://" ^ fresh_name "rack" ^ "/system" in
+  let node_b = "qemu://" ^ fresh_name "rack" ^ "/system" in
+  let conn_a = vok (Connect.open_uri node_a) in
+  let conn_b = vok (Connect.open_uri node_b) in
+  let start conn name =
+    let cfg = Vm_config.make ~memory_kib:(32 * 1024) name in
+    let dom = vok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:"kvm" cfg)) in
+    vok (Domain.create dom);
+    dom
+  in
+  let doms_b = List.init 3 (fun i -> start conn_b (fresh_name (Printf.sprintf "c%d" i))) in
+  let migrated =
+    List.map (fun dom -> fst (vok (Domain.migrate dom ~dest:conn_a ()))) doms_b
+  in
+  Alcotest.(check int) "node B empty" 0 (List.length (vok (Connect.list_domains conn_b)));
+  Alcotest.(check int) "node A full" 3 (List.length (vok (Connect.list_domains conn_a)));
+  List.iter
+    (fun dom ->
+      Alcotest.(check bool) "running after move" true
+        (vok (Domain.get_state dom) = Vm_state.Running))
+    migrated
+
+(* Scenario 3: many concurrent remote clients hammer the daemon. *)
+let test_concurrent_remote_clients () =
+  with_daemon (fun daemon _ ->
+      let errors = Atomic.make 0 in
+      let total_ops = Atomic.make 0 in
+      let workers =
+        List.init 8 (fun i ->
+            Thread.create
+              (fun () ->
+                match
+                  Connect.open_uri
+                    (Printf.sprintf "test+unix://worker%d/?daemon=%s" i daemon)
+                with
+                | Error _ -> Atomic.incr errors
+                | Ok conn ->
+                  for _ = 1 to 25 do
+                    (match Connect.list_domains conn with
+                     | Ok _ -> Atomic.incr total_ops
+                     | Error _ -> Atomic.incr errors);
+                    let name = fresh_name "cvm" in
+                    let cfg = Vm_config.make ~memory_kib:(4 * 1024) name in
+                    (match
+                       Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:"test" cfg)
+                     with
+                     | Ok dom ->
+                       (match Domain.create dom with
+                        | Ok () ->
+                          Atomic.incr total_ops;
+                          (match Domain.destroy dom with
+                           | Ok () -> Atomic.incr total_ops
+                           | Error _ -> Atomic.incr errors)
+                        | Error _ -> Atomic.incr errors);
+                       (match Domain.undefine dom with
+                        | Ok () -> ()
+                        | Error _ -> Atomic.incr errors)
+                     | Error _ -> Atomic.incr errors)
+                  done;
+                  Connect.close conn)
+              ())
+      in
+      List.iter Thread.join workers;
+      Alcotest.(check int) "no errors under concurrency" 0 (Atomic.get errors);
+      Alcotest.(check int) "every op accounted" (8 * 25 * 3) (Atomic.get total_ops))
+
+(* Scenario 4: the autoscale workflow — limits hit, admin raises them,
+   refused clients succeed afterwards. *)
+let test_autoscale_flow () =
+  let config =
+    { quiet_config with Daemon_config.max_clients = 3; max_anonymous_clients = 3 }
+  in
+  with_daemon ~config (fun daemon _ ->
+      let admin = vok (Admin.connect ~daemon ()) in
+      let srv = vok (Admin.lookup_server admin "libvirtd") in
+      let open_client () =
+        Connect.open_uri (Printf.sprintf "test+unix://%s/?daemon=%s" (fresh_name "n") daemon)
+      in
+      let c1 = vok (open_client ()) in
+      let c2 = vok (open_client ()) in
+      let c3 = vok (open_client ()) in
+      (match open_client () with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "limit not enforced");
+      let limits = vok (Admin.client_limits srv) in
+      Alcotest.(check int) "at the cap" limits.Admin.nclients_max
+        limits.Admin.nclients_current;
+      vok (Admin.set_client_limits srv ~max_clients:10 ~max_unauth:10 ());
+      let c4 = vok (open_client ()) in
+      Alcotest.(check bool) "fourth client fits after resize" true
+        (Result.is_ok (Connect.list_domains c4));
+      List.iter Connect.close [ c1; c2; c3; c4 ];
+      Admin.close admin)
+
+(* Scenario 5: troubleshooting workflow — raise logging at runtime,
+   reproduce, verify evidence, restore. *)
+let test_troubleshooting_flow () =
+  with_daemon (fun daemon d ->
+      let admin = vok (Admin.connect ~daemon ()) in
+      let logger = Daemon.logger d in
+      vok (Admin.set_logging_level admin Vlog.Debug);
+      vok (Admin.set_logging_filters admin "3:daemon.server");
+      vok (Admin.set_logging_outputs admin "1:file:/var/log/evidence.log");
+      let conn =
+        vok
+          (Connect.open_uri
+             (Printf.sprintf "test+unix://%s/?daemon=%s" (fresh_name "n") daemon))
+      in
+      let dom = vok (Domain.lookup_by_name conn "test") in
+      (match Domain.create dom with Error _ -> () | Ok () -> Alcotest.fail "create of running succeeded");
+      let evidence = Vlog.file_contents logger "/var/log/evidence.log" in
+      Alcotest.(check bool) "failure recorded at runtime-raised verbosity" true
+        (String.length evidence > 0);
+      (* restore defaults *)
+      vok (Admin.set_logging_level admin Vlog.Error);
+      vok (Admin.set_logging_filters admin "");
+      Connect.close conn;
+      Admin.close admin)
+
+(* Scenario 6: daemon serves both programs simultaneously under load. *)
+let test_mgmt_and_admin_interleaved () =
+  with_daemon (fun daemon _ ->
+      let admin = vok (Admin.connect ~daemon ()) in
+      let srv = vok (Admin.lookup_server admin "libvirtd") in
+      let conn =
+        vok
+          (Connect.open_uri
+             (Printf.sprintf "test+unix://%s/?daemon=%s" (fresh_name "n") daemon))
+      in
+      let stop = ref false in
+      let churn =
+        Thread.create
+          (fun () ->
+            while not !stop do
+              ignore (Connect.list_domains conn)
+            done)
+          ()
+      in
+      for i = 1 to 20 do
+        let tp = vok (Admin.threadpool_info srv) in
+        Alcotest.(check bool) "pool sane" true (tp.Admin.tp_n_workers >= 1);
+        vok (Admin.set_threadpool srv ~max_workers:(20 + (i mod 5)) ())
+      done;
+      stop := true;
+      Thread.join churn;
+      Connect.close conn;
+      Admin.close admin)
+
+(* Scenario 7: events from several clients' domains fan out correctly. *)
+let test_event_isolation_between_connections () =
+  with_daemon (fun daemon _ ->
+      let open_node node =
+        vok (Connect.open_uri (Printf.sprintf "test+unix://%s/?daemon=%s" node daemon))
+      in
+      let node_a = fresh_name "evA" and node_b = fresh_name "evB" in
+      let conn_a = open_node node_a in
+      let conn_b = open_node node_b in
+      let seen_a = ref 0 and seen_b = ref 0 in
+      let _ = vok (Connect.subscribe_events conn_a (fun _ -> incr seen_a)) in
+      let _ = vok (Connect.subscribe_events conn_b (fun _ -> incr seen_b)) in
+      let cfg = Vm_config.make ~memory_kib:(4 * 1024) (fresh_name "evvm") in
+      let dom = vok (Domain.define_xml conn_a (Vmm.Domxml.to_xml ~virt_type:"test" cfg)) in
+      vok (Domain.create dom);
+      ignore (eventually (fun () -> !seen_a >= 2));
+      Alcotest.(check bool) "a saw its events" true (!seen_a >= 2);
+      Alcotest.(check int) "b saw nothing (different node)" 0 !seen_b;
+      Connect.close conn_a;
+      Connect.close conn_b)
+
+(* Scenario 7b: host maintenance — save every running domain, verify the
+   host is quiescent, restore everything bit-identically. *)
+let test_host_maintenance_flow () =
+  let conn = vok (Connect.open_uri ("qemu://" ^ fresh_name "mnt" ^ "/system")) in
+  let doms =
+    List.init 3 (fun i ->
+        let cfg =
+          Vm_config.make ~memory_kib:((i + 1) * 32 * 1024) (fresh_name "svc")
+        in
+        let dom =
+          vok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:"kvm" cfg))
+        in
+        vok (Domain.create dom);
+        dom)
+  in
+  let checksum dom =
+    let ops = vok (Connect.ops conn) in
+    let ms = vok ((Option.get ops.Driver.migrate_begin) (Domain.name dom)) in
+    Vmm.Guest_image.dirty_randomly ms.Driver.mig_image ~rate:0.1
+      ~seed:(Hashtbl.hash (Domain.name dom));
+    let sum = Vmm.Guest_image.checksum ms.Driver.mig_image in
+    ms.Driver.mig_abort ();
+    sum
+  in
+  let sums = List.map checksum doms in
+  List.iter (fun dom -> vok (Domain.save dom)) doms;
+  Alcotest.(check int) "host quiescent" 0
+    (List.length (vok (Connect.list_domains conn)));
+  List.iter (fun dom -> vok (Domain.restore dom)) doms;
+  Alcotest.(check int) "all back" 3 (List.length (vok (Connect.list_domains conn)));
+  List.iter2
+    (fun dom before ->
+      let ops = vok (Connect.ops conn) in
+      let ms = vok ((Option.get ops.Driver.migrate_begin) (Domain.name dom)) in
+      let after = Vmm.Guest_image.checksum ms.Driver.mig_image in
+      ms.Driver.mig_abort ();
+      Alcotest.(check bool) "memory identical" true (before = after))
+    doms sums
+
+(* Scenario 8: CLI plumbing — the ovirsh command table executes against a
+   live connection, end to end. *)
+let test_cli_command_parsing () =
+  let args = sok (Ovcli.parse_args [ "srv"; "--max-workers"; "40"; "--force" ]) in
+  Alcotest.(check (list string)) "positional" [ "srv" ] args.Ovcli.positional;
+  Alcotest.(check (option string)) "flag" (Some "40") (Ovcli.flag args "max-workers");
+  Alcotest.(check bool) "switch" true (Ovcli.has_switch args "force");
+  Alcotest.(check bool) "int flag" true (Ovcli.int_flag args "max-workers" = Ok (Some 40));
+  (match Ovcli.int_flag (sok (Ovcli.parse_args [ "--n"; "x" ])) "n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "non-integer flag accepted");
+  Alcotest.(check (list string)) "quoted words" [ "a b"; "c" ]
+    (Ovcli.split_words "\"a b\" c")
+
+let test_cli_run_one () =
+  let ran = ref None in
+  let commands =
+    [
+      Ovcli.
+        {
+          name = "greet";
+          group = "G";
+          args_help = "<who>";
+          summary = "greet someone";
+          handler =
+            (fun args ->
+              ran := Some args.Ovcli.positional;
+              Ok "hello");
+        };
+    ]
+  in
+  (match Ovcli.run_one ~commands ~program:"t" [ "greet"; "world" ] with
+   | Ok "hello" -> ()
+   | Ok other -> Alcotest.failf "unexpected output %s" other
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check (option (list string))) "args passed" (Some [ "world" ]) !ran;
+  (match Ovcli.run_one ~commands ~program:"t" [ "nope" ] with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown command accepted");
+  match Ovcli.run_one ~commands ~program:"t" [ "help" ] with
+  | Ok text -> Alcotest.(check bool) "help mentions command" true
+                 (String.length text > 0)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "scenarios",
+        [
+          quick "heterogeneous fleet, one code path" test_heterogeneous_fleet;
+          quick "consolidation via migration" test_consolidation_flow;
+          quick "concurrent remote clients" test_concurrent_remote_clients;
+          quick "autoscale workflow" test_autoscale_flow;
+          quick "troubleshooting workflow" test_troubleshooting_flow;
+          quick "management + admin interleaved" test_mgmt_and_admin_interleaved;
+          quick "event isolation" test_event_isolation_between_connections;
+          quick "host maintenance via managed save" test_host_maintenance_flow;
+        ] );
+      ( "cli",
+        [
+          quick "argument parsing" test_cli_command_parsing;
+          quick "command dispatch" test_cli_run_one;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+(* Mini_json: parser/printer unit cases and roundtrip properties. *)
+
+open Testutil
+module J = Mini_json
+
+let test_literals () =
+  Alcotest.(check bool) "true" true (J.of_string "true" = J.Bool true);
+  Alcotest.(check bool) "false" true (J.of_string "false" = J.Bool false);
+  Alcotest.(check bool) "null" true (J.of_string "null" = J.Null);
+  Alcotest.(check bool) "int" true (J.of_string "42" = J.Int 42);
+  Alcotest.(check bool) "negative" true (J.of_string "-7" = J.Int (-7));
+  Alcotest.(check bool) "float" true (J.of_string "1.5" = J.Float 1.5);
+  Alcotest.(check bool) "exponent" true (J.of_string "2e3" = J.Float 2000.0)
+
+let test_strings () =
+  Alcotest.(check string) "plain" "hello" (J.get_string (J.of_string {|"hello"|}));
+  Alcotest.(check string) "escapes" "a\"b\\c\nd"
+    (J.get_string (J.of_string {|"a\"b\\c\nd"|}));
+  Alcotest.(check string) "unicode bmp" "\xc3\xa9"
+    (J.get_string (J.of_string {|"é"|}));
+  Alcotest.(check string) "solidus escape" "/" (J.get_string (J.of_string {|"\/"|}))
+
+let test_structures () =
+  let v = J.of_string {|{"a": [1, 2, {"b": null}], "c": "x"}|} in
+  Alcotest.(check int) "array head" 1 (J.get_int (List.hd (J.get_list (J.member "a" v))));
+  Alcotest.(check string) "member c" "x" (J.get_string (J.member "c" v));
+  Alcotest.(check bool) "nested null" true
+    (J.member "b" (List.nth (J.get_list (J.member "a" v)) 2) = J.Null)
+
+let test_whitespace_tolerance () =
+  let v = J.of_string "  {\n\t\"k\" :\r [ ] }  " in
+  Alcotest.(check bool) "empty list" true (J.member "k" v = J.List [])
+
+let malformed =
+  [
+    ""; "{"; "[1,"; "{\"a\"}"; "{\"a\":}"; "tru"; "1.2.3"; "\"unterminated";
+    "{\"a\":1,}"; "[1 2]"; "nan"; "+1"; "\"\\q\""; "{'single': 1}"; "01x";
+    "{\"a\":1} extra";
+  ]
+
+let test_malformed_rejected () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | exception J.Parse_error _ -> ()
+      | v -> Alcotest.failf "accepted %S as %s" s (J.to_string v))
+    malformed
+
+let test_control_chars_rejected () =
+  match J.of_string "\"a\nb\"" with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "raw newline inside string accepted"
+
+let test_accessor_errors () =
+  let v = J.of_string {|{"a": 1}|} in
+  Alcotest.check_raises "missing member" (J.Parse_error "missing key \"b\"")
+    (fun () -> ignore (J.member "b" v));
+  (match J.get_string (J.member "a" v) with
+   | exception J.Parse_error _ -> ()
+   | _ -> Alcotest.fail "get_string on int succeeded");
+  Alcotest.(check (option bool)) "member_opt absent" None
+    (Option.map (fun _ -> true) (J.member_opt "b" v))
+
+let test_print_escaping () =
+  Alcotest.(check string) "control chars escape" {|"\u0001\t"|}
+    (J.to_string (J.String "\001\t"));
+  Alcotest.(check string) "object order preserved" {|{"b":1,"a":2}|}
+    (J.to_string (J.Obj [ ("b", J.Int 1); ("a", J.Int 2) ]))
+
+(* Generator of printable-string JSON values. *)
+let gen_json =
+  let open QCheck.Gen in
+  let str = map J.(fun s -> String s) (small_string ~gen:printable) in
+  let base =
+    oneof
+      [ return J.Null; map (fun b -> J.Bool b) bool; map (fun i -> J.Int i) small_int; str ]
+  in
+  let rec value depth =
+    if depth = 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          (1, map (fun l -> J.List l) (list_size (int_bound 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                (* distinct keys: the printer/parser pair only roundtrips
+                   objects without duplicates *)
+                J.Obj (List.mapi (fun i (k, v) -> (Printf.sprintf "%d-%s" i k, v)) kvs))
+              (list_size (int_bound 4)
+                 (pair (small_string ~gen:printable) (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let prop_roundtrip =
+  qcheck_case "print/parse roundtrip" (QCheck.make gen_json)
+    (fun v -> J.of_string (J.to_string v) = v)
+
+let prop_double_print_stable =
+  qcheck_case "printing is deterministic" (QCheck.make gen_json)
+    (fun v -> J.to_string v = J.to_string (J.of_string (J.to_string v)))
+
+let () =
+  Alcotest.run "mini_json"
+    [
+      ( "parsing",
+        [
+          quick "literals" test_literals;
+          quick "strings and escapes" test_strings;
+          quick "nested structures" test_structures;
+          quick "whitespace tolerance" test_whitespace_tolerance;
+        ] );
+      ( "errors",
+        [
+          quick "malformed documents rejected" test_malformed_rejected;
+          quick "control characters rejected" test_control_chars_rejected;
+          quick "accessor errors" test_accessor_errors;
+        ] );
+      ( "printing",
+        [ quick "escaping and field order" test_print_escaping ] );
+      ("properties", [ prop_roundtrip; prop_double_print_stable ]);
+    ]

@@ -1,0 +1,251 @@
+(* Workerpool: limits, demand-driven growth, cooperative shrink, priority
+   workers, drain/shutdown, and failure accounting. *)
+
+open Testutil
+
+let make ?(min_workers = 2) ?(max_workers = 4) ?(prio_workers = 1) () =
+  Threadpool.create ~name:(fresh_name "pool") ~min_workers ~max_workers
+    ~prio_workers ()
+
+let test_initial_state () =
+  let pool = make () in
+  let s = Threadpool.stats pool in
+  Alcotest.(check int) "min" 2 s.Threadpool.min_workers;
+  Alcotest.(check int) "max" 4 s.Threadpool.max_workers;
+  Alcotest.(check int) "spawned at min" 2 s.Threadpool.n_workers;
+  Alcotest.(check int) "prio" 1 s.Threadpool.prio_workers;
+  Alcotest.(check int) "queue empty" 0 s.Threadpool.job_queue_depth;
+  Threadpool.shutdown pool
+
+let test_executes_jobs () =
+  let pool = make () in
+  let counter = Atomic.make 0 in
+  for _ = 1 to 100 do
+    Threadpool.push pool (fun () -> Atomic.incr counter)
+  done;
+  Threadpool.drain pool;
+  Alcotest.(check int) "all jobs ran" 100 (Atomic.get counter);
+  Alcotest.(check int) "completed counter" 100
+    (Threadpool.stats pool).Threadpool.jobs_completed;
+  Threadpool.shutdown pool
+
+let test_invalid_limits () =
+  let expect_invalid f =
+    match f () with
+    | exception Threadpool.Invalid_limits _ -> ()
+    | _ -> Alcotest.fail "invalid limits accepted"
+  in
+  expect_invalid (fun () ->
+      make ~min_workers:5 ~max_workers:2 ());
+  expect_invalid (fun () -> make ~max_workers:0 ());
+  expect_invalid (fun () -> make ~prio_workers:(-1) ());
+  let pool = make () in
+  expect_invalid (fun () ->
+      Threadpool.set_limits pool ~min_workers:10 ~max_workers:3 ();
+      pool);
+  Threadpool.shutdown pool
+
+let test_grows_on_demand () =
+  let pool = make ~min_workers:1 ~max_workers:8 () in
+  (* Block several workers so new pushes find nobody free. *)
+  let release = Mutex.create () in
+  Mutex.lock release;
+  let started = Atomic.make 0 in
+  for _ = 1 to 6 do
+    Threadpool.push pool (fun () ->
+        Atomic.incr started;
+        Mutex.lock release;
+        Mutex.unlock release)
+  done;
+  let grew =
+    eventually (fun () -> (Threadpool.stats pool).Threadpool.n_workers >= 6)
+  in
+  Alcotest.(check bool) "pool grew on demand" true grew;
+  Mutex.unlock release;
+  Threadpool.drain pool;
+  Threadpool.shutdown pool
+
+let test_never_exceeds_max () =
+  let pool = make ~min_workers:1 ~max_workers:3 () in
+  let release = Mutex.create () in
+  Mutex.lock release;
+  for _ = 1 to 20 do
+    Threadpool.push pool (fun () ->
+        Mutex.lock release;
+        Mutex.unlock release)
+  done;
+  Thread.delay 0.05;
+  let s = Threadpool.stats pool in
+  Alcotest.(check bool) "capped at max" true (s.Threadpool.n_workers <= 3);
+  Alcotest.(check bool) "rest queued" true (s.Threadpool.job_queue_depth >= 17 - 3);
+  Mutex.unlock release;
+  Threadpool.drain pool;
+  Threadpool.shutdown pool
+
+let test_shrinks_cooperatively () =
+  let pool = make ~min_workers:6 ~max_workers:8 () in
+  Alcotest.(check int) "starts at 6" 6 (Threadpool.stats pool).Threadpool.n_workers;
+  Threadpool.set_limits pool ~min_workers:1 ~max_workers:2 ();
+  let shrank =
+    eventually (fun () -> (Threadpool.stats pool).Threadpool.n_workers <= 2)
+  in
+  Alcotest.(check bool) "workers retired on wakeup" true shrank;
+  (* The pool still works afterwards. *)
+  let hit = Atomic.make false in
+  Threadpool.push pool (fun () -> Atomic.set hit true);
+  Threadpool.drain pool;
+  Alcotest.(check bool) "post-shrink job ran" true (Atomic.get hit);
+  Threadpool.shutdown pool
+
+let test_priority_worker_count_adjustable () =
+  let pool = make ~prio_workers:2 () in
+  Alcotest.(check int) "two prio" 2 (Threadpool.stats pool).Threadpool.prio_workers;
+  Threadpool.set_limits pool ~prio_workers:5 ();
+  let grew = eventually (fun () -> (Threadpool.stats pool).Threadpool.prio_workers = 5) in
+  Alcotest.(check bool) "prio grew" true grew;
+  Threadpool.set_limits pool ~prio_workers:1 ();
+  let shrank =
+    eventually (fun () -> (Threadpool.stats pool).Threadpool.prio_workers = 1)
+  in
+  Alcotest.(check bool) "prio shrank" true shrank;
+  Threadpool.shutdown pool
+
+let test_priority_jobs_progress_when_ordinary_wedged () =
+  (* The design guarantee: every ordinary worker stuck on a hung
+     "hypervisor call" must not prevent high-priority work. *)
+  let pool = make ~min_workers:2 ~max_workers:2 ~prio_workers:1 () in
+  let release = Mutex.create () in
+  Mutex.lock release;
+  for _ = 1 to 2 do
+    Threadpool.push pool (fun () ->
+        Mutex.lock release;
+        Mutex.unlock release)
+  done;
+  Thread.delay 0.02;
+  (* Ordinary workers are both wedged; queue a priority job. *)
+  let ran = Atomic.make false in
+  Threadpool.push pool ~priority:true (fun () -> Atomic.set ran true);
+  let progressed = eventually (fun () -> Atomic.get ran) in
+  Alcotest.(check bool) "priority job ran while pool wedged" true progressed;
+  Mutex.unlock release;
+  Threadpool.drain pool;
+  Threadpool.shutdown pool
+
+let test_priority_workers_ignore_ordinary_jobs () =
+  (* A pool with zero ordinary workers must leave normal jobs queued. *)
+  let pool =
+    Threadpool.create ~name:(fresh_name "pool") ~min_workers:0 ~max_workers:1
+      ~prio_workers:2 ()
+  in
+  (* Wedge the single ordinary slot the pool may spawn. *)
+  let release = Mutex.create () in
+  Mutex.lock release;
+  Threadpool.push pool (fun () ->
+      Mutex.lock release;
+      Mutex.unlock release);
+  Thread.delay 0.02;
+  let ran = Atomic.make false in
+  Threadpool.push pool (fun () -> Atomic.set ran true);
+  Thread.delay 0.05;
+  Alcotest.(check bool) "normal job not stolen by prio workers" false
+    (Atomic.get ran);
+  Mutex.unlock release;
+  Threadpool.drain pool;
+  Alcotest.(check bool) "ran after ordinary freed" true (Atomic.get ran);
+  Threadpool.shutdown pool
+
+let test_failed_jobs_counted () =
+  let pool = make () in
+  Threadpool.push pool (fun () -> failwith "boom");
+  Threadpool.push pool (fun () -> ());
+  Threadpool.drain pool;
+  Alcotest.(check int) "one failure" 1 (Threadpool.failed_jobs pool);
+  Alcotest.(check int) "both completed" 2
+    (Threadpool.stats pool).Threadpool.jobs_completed;
+  Threadpool.shutdown pool
+
+let test_push_after_shutdown_rejected () =
+  let pool = make () in
+  Threadpool.shutdown pool;
+  match Threadpool.push pool (fun () -> ()) with
+  | exception Threadpool.Invalid_limits _ -> ()
+  | () -> Alcotest.fail "push accepted after shutdown"
+
+let test_shutdown_is_idempotent () =
+  let pool = make () in
+  Threadpool.shutdown pool;
+  Threadpool.shutdown pool;
+  Alcotest.(check int) "no workers" 0 (Threadpool.stats pool).Threadpool.n_workers
+
+let test_concurrent_pushers () =
+  let pool = make ~min_workers:2 ~max_workers:6 () in
+  let counter = Atomic.make 0 in
+  let pushers =
+    List.init 8 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 200 do
+              Threadpool.push pool (fun () -> Atomic.incr counter)
+            done)
+          ())
+  in
+  List.iter Thread.join pushers;
+  Threadpool.drain pool;
+  Alcotest.(check int) "all 1600 ran" 1600 (Atomic.get counter);
+  Threadpool.shutdown pool
+
+let prop_stats_invariants =
+  qcheck_case ~count:30 "stats invariants across random configs"
+    QCheck.(triple (int_range 0 4) (int_range 1 6) (int_range 0 3))
+    (fun (min_w, extra, prio) ->
+      let max_w = min_w + extra in
+      let pool =
+        Threadpool.create ~name:(fresh_name "prop") ~min_workers:min_w
+          ~max_workers:max_w ~prio_workers:prio ()
+      in
+      for _ = 1 to 20 do
+        Threadpool.push pool (fun () -> ())
+      done;
+      Threadpool.drain pool;
+      let s = Threadpool.stats pool in
+      let invariant =
+        s.Threadpool.n_workers >= s.Threadpool.min_workers
+        && s.Threadpool.n_workers <= s.Threadpool.max_workers
+        && s.Threadpool.free_workers <= s.Threadpool.n_workers
+        && s.Threadpool.prio_workers = prio
+        && s.Threadpool.jobs_completed = 20
+      in
+      Threadpool.shutdown pool;
+      invariant)
+
+let () =
+  Alcotest.run "threadpool"
+    [
+      ( "lifecycle",
+        [
+          quick "initial state" test_initial_state;
+          quick "executes jobs" test_executes_jobs;
+          quick "invalid limits rejected" test_invalid_limits;
+          quick "push after shutdown rejected" test_push_after_shutdown_rejected;
+          quick "shutdown idempotent" test_shutdown_is_idempotent;
+        ] );
+      ( "dynamic sizing",
+        [
+          quick "grows on demand" test_grows_on_demand;
+          quick "never exceeds max" test_never_exceeds_max;
+          quick "shrinks cooperatively" test_shrinks_cooperatively;
+          quick "priority worker count adjustable" test_priority_worker_count_adjustable;
+        ] );
+      ( "priority workers",
+        [
+          quick "progress while ordinary wedged"
+            test_priority_jobs_progress_when_ordinary_wedged;
+          quick "never steal ordinary jobs" test_priority_workers_ignore_ordinary_jobs;
+        ] );
+      ( "robustness",
+        [
+          quick "failed jobs counted" test_failed_jobs_counted;
+          quick "concurrent pushers" test_concurrent_pushers;
+          prop_stats_invariants;
+        ] );
+    ]

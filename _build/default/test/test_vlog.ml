@@ -1,0 +1,283 @@
+(* Logging subsystem: level hierarchy, filter precedence, output routing,
+   textual syntax (the admin wire format), and atomic redefinition. *)
+
+open Testutil
+
+let file_out path = { Vlog.min_priority = Vlog.Debug; sink = Vlog.File path }
+let null_out level = { Vlog.min_priority = level; sink = Vlog.Null }
+
+let count_lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> l <> "") |> List.length
+
+let test_level_hierarchy () =
+  (* Inclusive hierarchy: each level admits itself and the more severe. *)
+  let expectations =
+    [ (Vlog.Debug, 4); (Vlog.Info, 3); (Vlog.Warn, 2); (Vlog.Error, 1) ]
+  in
+  List.iter
+    (fun (level, expected) ->
+      let t = Vlog.create ~level ~outputs:[ file_out "/log" ] () in
+      List.iter
+        (fun p -> Vlog.log t ~module_:"m" p "msg")
+        [ Vlog.Debug; Vlog.Info; Vlog.Warn; Vlog.Error ];
+      Alcotest.(check int)
+        (Printf.sprintf "level %s admits %d" (Vlog.priority_name level) expected)
+        expected
+        (count_lines (Vlog.file_contents t "/log")))
+    expectations
+
+let test_priority_ints () =
+  Alcotest.(check int) "debug=1" 1 (Vlog.priority_to_int Vlog.Debug);
+  Alcotest.(check int) "error=4" 4 (Vlog.priority_to_int Vlog.Error);
+  (match Vlog.priority_of_int 0 with Error _ -> () | Ok _ -> Alcotest.fail "0 valid");
+  (match Vlog.priority_of_int 5 with Error _ -> () | Ok _ -> Alcotest.fail "5 valid");
+  Alcotest.(check bool) "3=warn" true (Vlog.priority_of_int 3 = Ok Vlog.Warn)
+
+let test_filter_overrides_level () =
+  (* Global error, but util.object filtered down to debug: only that
+     module's debug messages pass. *)
+  let t =
+    Vlog.create ~level:Vlog.Error
+      ~filters:[ { Vlog.match_string = "util.object"; max_verbosity = Vlog.Debug } ]
+      ~outputs:[ file_out "/log" ] ()
+  in
+  Vlog.log t ~module_:"util.object" Vlog.Debug "wanted";
+  Vlog.log t ~module_:"rpc" Vlog.Debug "unwanted";
+  Vlog.log t ~module_:"rpc" Vlog.Error "also wanted";
+  Alcotest.(check int) "two lines" 2 (count_lines (Vlog.file_contents t "/log"))
+
+let test_filter_suppresses () =
+  (* Global debug, but the chatty module filtered up to error. *)
+  let t =
+    Vlog.create ~level:Vlog.Debug
+      ~filters:[ { Vlog.match_string = "rpc"; max_verbosity = Vlog.Error } ]
+      ~outputs:[ file_out "/log" ] ()
+  in
+  Vlog.log t ~module_:"rpc" Vlog.Info "dropped";
+  Vlog.log t ~module_:"other" Vlog.Info "kept";
+  Alcotest.(check int) "one line" 1 (count_lines (Vlog.file_contents t "/log"))
+
+let test_longest_filter_wins () =
+  let t =
+    Vlog.create ~level:Vlog.Error
+      ~filters:
+        [
+          { Vlog.match_string = "util"; max_verbosity = Vlog.Error };
+          { Vlog.match_string = "util.object"; max_verbosity = Vlog.Debug };
+        ]
+      ~outputs:[ file_out "/log" ] ()
+  in
+  Vlog.log t ~module_:"util.object" Vlog.Debug "most specific wins";
+  Alcotest.(check int) "passed" 1 (count_lines (Vlog.file_contents t "/log"))
+
+let test_filter_is_substring_match () =
+  let t =
+    Vlog.create ~level:Vlog.Error
+      ~filters:[ { Vlog.match_string = "object"; max_verbosity = Vlog.Debug } ]
+      ~outputs:[ file_out "/log" ] ()
+  in
+  Vlog.log t ~module_:"util.object" Vlog.Debug "matched in the middle";
+  Alcotest.(check int) "passed" 1 (count_lines (Vlog.file_contents t "/log"))
+
+let test_output_levels () =
+  (* Outputs each apply their own threshold. *)
+  let t =
+    Vlog.create ~level:Vlog.Debug
+      ~outputs:
+        [
+          { Vlog.min_priority = Vlog.Debug; sink = Vlog.File "/all" };
+          { Vlog.min_priority = Vlog.Warn; sink = Vlog.File "/warnings" };
+        ]
+      ()
+  in
+  Vlog.log t ~module_:"m" Vlog.Debug "d";
+  Vlog.log t ~module_:"m" Vlog.Warn "w";
+  Vlog.log t ~module_:"m" Vlog.Error "e";
+  Alcotest.(check int) "all sink" 3 (count_lines (Vlog.file_contents t "/all"));
+  Alcotest.(check int) "warn sink" 2 (count_lines (Vlog.file_contents t "/warnings"))
+
+let test_syslog_and_journald () =
+  let t =
+    Vlog.create ~level:Vlog.Debug
+      ~outputs:
+        [
+          { Vlog.min_priority = Vlog.Debug; sink = Vlog.Syslog "ovirtd" };
+          { Vlog.min_priority = Vlog.Debug; sink = Vlog.Journald };
+        ]
+      ()
+  in
+  Vlog.log t ~module_:"m" Vlog.Info "hello";
+  (match Vlog.syslog_contents t with
+   | [ line ] ->
+     Alcotest.(check bool) "ident prepended" true
+       (String.length line > 7 && String.sub line 0 7 = "ovirtd:")
+   | l -> Alcotest.failf "expected 1 syslog line, got %d" (List.length l));
+  Alcotest.(check int) "journald line" 1 (List.length (Vlog.journal_contents t))
+
+let test_counters () =
+  let t = Vlog.create ~level:Vlog.Warn ~outputs:[ null_out Vlog.Debug ] () in
+  Vlog.log t ~module_:"m" Vlog.Debug "dropped";
+  Vlog.log t ~module_:"m" Vlog.Error "emitted";
+  Alcotest.(check int) "emitted" 1 (Vlog.emitted_count t);
+  Alcotest.(check int) "dropped" 1 (Vlog.dropped_count t);
+  Vlog.reset_counters t;
+  Alcotest.(check int) "reset" 0 (Vlog.emitted_count t)
+
+let test_message_format () =
+  let t = Vlog.create ~level:Vlog.Debug ~outputs:[ file_out "/log" ] () in
+  Vlog.logf t ~module_:"qemu.monitor" Vlog.Warn "vm %s did %d things" "x" 3;
+  let line = Vlog.file_contents t "/log" in
+  let has_substring needle =
+    let n = String.length needle and h = String.length line in
+    let rec go i = i + n <= h && (String.sub line i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "level name present" true (has_substring "warning");
+  Alcotest.(check bool) "module present" true (has_substring "qemu.monitor");
+  Alcotest.(check bool) "message formatted" true (has_substring "vm x did 3 things")
+
+(* --- textual syntax --------------------------------------------------- *)
+
+let test_parse_filters_valid () =
+  let filters = sok (Vlog.parse_filters "3:util.object 4:rpc") in
+  Alcotest.(check int) "two filters" 2 (List.length filters);
+  let f = List.hd filters in
+  Alcotest.(check string) "match string" "util.object" f.Vlog.match_string;
+  Alcotest.(check bool) "level" true (f.Vlog.max_verbosity = Vlog.Warn);
+  Alcotest.(check (list string)) "empty set" []
+    (List.map (fun f -> f.Vlog.match_string) (sok (Vlog.parse_filters "")));
+  Alcotest.(check string) "roundtrip" "3:util.object 4:rpc"
+    (Vlog.format_filters filters)
+
+let test_parse_filters_invalid () =
+  List.iter
+    (fun s ->
+      match Vlog.parse_filters s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted filter %S" s)
+    [ "noseparator"; "x:mod"; "0:mod"; "5:mod"; "3:"; "3"; "3:a 9:b" ]
+
+let test_parse_outputs_valid () =
+  let outputs =
+    sok (Vlog.parse_outputs "1:file:/var/log/d.log 3:syslog:ovirtd 2:stderr 4:journald")
+  in
+  Alcotest.(check int) "four outputs" 4 (List.length outputs);
+  (match List.hd outputs with
+   | { Vlog.min_priority = Vlog.Debug; sink = Vlog.File "/var/log/d.log" } -> ()
+   | _ -> Alcotest.fail "file output mis-parsed");
+  Alcotest.(check string) "roundtrip"
+    "1:file:/var/log/d.log 3:syslog:ovirtd 2:stderr 4:journald"
+    (Vlog.format_outputs outputs)
+
+let test_parse_outputs_invalid () =
+  List.iter
+    (fun s ->
+      match Vlog.parse_outputs s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted output %S" s)
+    [
+      "1:bogus"; "1:file"; "1:file:relative/path"; "1:syslog"; "1:syslog:";
+      "0:stderr"; "9:stderr"; "1:stderr:extra"; "1:journald:extra"; "stderr";
+      "x:stderr";
+    ]
+
+(* --- runtime redefinition --------------------------------------------- *)
+
+let test_runtime_redefinition () =
+  let t = Vlog.create ~level:Vlog.Error ~outputs:[ file_out "/log" ] () in
+  Vlog.log t ~module_:"m" Vlog.Info "before";
+  Vlog.set_level t Vlog.Info;
+  Vlog.log t ~module_:"m" Vlog.Info "after";
+  Alcotest.(check int) "only post-change line" 1
+    (count_lines (Vlog.file_contents t "/log"));
+  Vlog.define_filters t
+    [ { Vlog.match_string = "m"; max_verbosity = Vlog.Error } ];
+  Vlog.log t ~module_:"m" Vlog.Info "filtered now";
+  Alcotest.(check int) "filter applies immediately" 1
+    (count_lines (Vlog.file_contents t "/log"))
+
+let test_concurrent_redefinition_consistency () =
+  (* Loggers racing with redefinition must see either the old or the new
+     settings — never a crash or a torn mix.  We check no exception and
+     that the final state is one of the two defined sets. *)
+  let t = Vlog.create ~level:Vlog.Debug ~outputs:[ null_out Vlog.Debug ] () in
+  let stop = ref false in
+  let loggers =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            while not !stop do
+              Vlog.logf t ~module_:"racer" Vlog.Info "thread %d" i
+            done)
+          ())
+  in
+  let set_a = [ { Vlog.match_string = "racer"; max_verbosity = Vlog.Error } ] in
+  let set_b = [ { Vlog.match_string = "other"; max_verbosity = Vlog.Debug } ] in
+  for _ = 1 to 500 do
+    Vlog.define_filters t set_a;
+    Vlog.define_filters t set_b
+  done;
+  stop := true;
+  List.iter Thread.join loggers;
+  let final = Vlog.get_filters t in
+  Alcotest.(check bool) "final state is a defined set" true
+    (final = set_a || final = set_b)
+
+let prop_filter_format_roundtrip =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        list_size (int_bound 5)
+          (pair (int_range 1 4) (small_string ~gen:(char_range 'a' 'z'))))
+  in
+  qcheck_case "filter format/parse roundtrip" gen (fun items ->
+      let filters =
+        List.filter_map
+          (fun (level, name) ->
+            if name = "" then None
+            else
+              match Vlog.priority_of_int level with
+              | Ok p -> Some { Vlog.match_string = name; max_verbosity = p }
+              | Error _ -> None)
+          items
+      in
+      match Vlog.parse_filters (Vlog.format_filters filters) with
+      | Ok parsed -> parsed = filters
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "vlog"
+    [
+      ( "levels",
+        [
+          quick "inclusive hierarchy" test_level_hierarchy;
+          quick "numeric representation" test_priority_ints;
+        ] );
+      ( "filters",
+        [
+          quick "filter raises verbosity for one module" test_filter_overrides_level;
+          quick "filter suppresses a chatty module" test_filter_suppresses;
+          quick "longest match wins" test_longest_filter_wins;
+          quick "substring semantics" test_filter_is_substring_match;
+        ] );
+      ( "outputs",
+        [
+          quick "per-output thresholds" test_output_levels;
+          quick "syslog ident and journald" test_syslog_and_journald;
+          quick "counters" test_counters;
+          quick "message format" test_message_format;
+        ] );
+      ( "syntax",
+        [
+          quick "parse filters (valid)" test_parse_filters_valid;
+          quick "parse filters (invalid)" test_parse_filters_invalid;
+          quick "parse outputs (valid)" test_parse_outputs_valid;
+          quick "parse outputs (invalid)" test_parse_outputs_invalid;
+          prop_filter_format_roundtrip;
+        ] );
+      ( "runtime",
+        [
+          quick "redefinition applies immediately" test_runtime_redefinition;
+          quick "concurrent redefinition is atomic" test_concurrent_redefinition_consistency;
+        ] );
+    ]

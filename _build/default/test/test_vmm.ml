@@ -1,0 +1,374 @@
+(* VM model: UUIDs, domain configs, lifecycle state machine, guest memory
+   images, and the domain XML schema. *)
+
+open Testutil
+module Uuid = Vmm.Uuid
+module Vm_config = Vmm.Vm_config
+module Vm_state = Vmm.Vm_state
+module Guest_image = Vmm.Guest_image
+
+(* --- Uuid --------------------------------------------------------------- *)
+
+let test_uuid_format () =
+  let u = Uuid.generate () in
+  let s = Uuid.to_string u in
+  Alcotest.(check int) "canonical length" 36 (String.length s);
+  Alcotest.(check char) "dash positions" '-' s.[8];
+  Alcotest.(check char) "version nibble" '4' s.[14]
+
+let test_uuid_uniqueness () =
+  let n = 1000 in
+  let tbl = Hashtbl.create n in
+  for _ = 1 to n do
+    Hashtbl.replace tbl (Uuid.to_string (Uuid.generate ())) ()
+  done;
+  Alcotest.(check int) "all distinct" n (Hashtbl.length tbl)
+
+let test_uuid_parse () =
+  let u = Uuid.generate () in
+  Alcotest.(check bool) "roundtrip" true (Uuid.of_string (Uuid.to_string u) = Ok u);
+  Alcotest.(check bool) "uppercase accepted" true
+    (Uuid.of_string (String.uppercase_ascii (Uuid.to_string u)) = Ok u);
+  List.iter
+    (fun s ->
+      match Uuid.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [
+      ""; "not-a-uuid"; "aaaaaaaa-bbbb-cccc-dddd-eeeeeeeeeee";
+      "aaaaaaaa-bbbb-cccc-dddd-eeeeeeeeeeeZ";
+      "aaaaaaaabbbbccccddddeeeeeeeeeeee----";
+    ]
+
+let prop_uuid_roundtrip =
+  qcheck_case ~count:100 "generate/parse roundtrip" QCheck.unit (fun () ->
+      let u = Uuid.generate () in
+      Uuid.of_string (Uuid.to_string u) = Ok u)
+
+(* --- Vm_config ---------------------------------------------------------- *)
+
+let test_config_defaults () =
+  let cfg = Vm_config.make "vm" in
+  Alcotest.(check int) "default memory" (64 * 1024) cfg.Vm_config.memory_kib;
+  Alcotest.(check int) "one disk" 1 (List.length cfg.Vm_config.disks);
+  Alcotest.(check int) "one nic" 1 (List.length cfg.Vm_config.nics);
+  Alcotest.(check bool) "valid" true (Vm_config.validate cfg = Ok ())
+
+let test_config_validation () =
+  let base = Vm_config.make "vm" in
+  let invalid cfg =
+    match Vm_config.validate cfg with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "invalid config accepted"
+  in
+  invalid { base with Vm_config.name = "" };
+  invalid { base with Vm_config.name = "has/slash" };
+  invalid { base with Vm_config.memory_kib = 0 };
+  invalid { base with Vm_config.memory_kib = -1 };
+  invalid { base with Vm_config.vcpus = 0 };
+  invalid { base with Vm_config.vcpus = 5000 };
+  invalid
+    {
+      base with
+      Vm_config.nics = [ { network = "default"; mac = "zz:bad"; nic_model = "virtio" } ];
+    };
+  let disk target =
+    Vm_config.
+      { source_path = "/d"; target_dev = target; disk_format = "raw"; readonly = false }
+  in
+  invalid { base with Vm_config.disks = [ disk "vda"; disk "vda" ] }
+
+let test_fresh_mac_unique_and_valid () =
+  let macs = List.init 50 (fun _ -> Vm_config.fresh_mac ()) in
+  Alcotest.(check int) "distinct" 50 (List.length (List.sort_uniq compare macs));
+  List.iter
+    (fun mac ->
+      Alcotest.(check int) "six groups" 6 (List.length (String.split_on_char ':' mac)))
+    macs
+
+let test_os_kind_names () =
+  Alcotest.(check bool) "hvm" true (Vm_config.os_kind_of_name "hvm" = Ok Vm_config.Hvm);
+  Alcotest.(check bool) "linux alias" true
+    (Vm_config.os_kind_of_name "linux" = Ok Vm_config.Paravirt);
+  match Vm_config.os_kind_of_name "dos" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus os accepted"
+
+(* --- Vm_state ----------------------------------------------------------- *)
+
+let all_states = Vm_state.[ Running; Blocked; Paused; Shutdown; Shutoff; Crashed ]
+
+let all_events =
+  Vm_state.
+    [
+      Ev_start; Ev_suspend; Ev_resume; Ev_shutdown_request; Ev_shutdown_complete;
+      Ev_destroy; Ev_crash; Ev_migrate_out;
+    ]
+
+let test_state_machine_totality () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun e ->
+          match Vm_state.transition s e with
+          | Ok _ -> ()
+          | Error msg ->
+            Alcotest.(check bool) "message non-empty" true (String.length msg > 0))
+        all_events)
+    all_states
+
+let test_core_lifecycle_paths () =
+  let step state event =
+    match Vm_state.transition state event with
+    | Ok next -> next
+    | Error msg -> Alcotest.failf "unexpected rejection: %s" msg
+  in
+  let s = Vm_state.Shutoff in
+  let s = step s Vm_state.Ev_start in
+  Alcotest.(check bool) "running" true (s = Vm_state.Running);
+  let s = step s Vm_state.Ev_suspend in
+  let s = step s Vm_state.Ev_resume in
+  let s = step s Vm_state.Ev_shutdown_request in
+  Alcotest.(check bool) "in shutdown" true (s = Vm_state.Shutdown);
+  let s = step s Vm_state.Ev_shutdown_complete in
+  Alcotest.(check bool) "shut off" true (s = Vm_state.Shutoff)
+
+let test_invalid_transitions () =
+  let invalid s e =
+    match Vm_state.transition s e with
+    | Error _ -> ()
+    | Ok s' ->
+      Alcotest.failf "%s + %s accepted -> %s" (Vm_state.state_name s)
+        (Vm_state.event_name e) (Vm_state.state_name s')
+  in
+  invalid Vm_state.Running Vm_state.Ev_start;
+  invalid Vm_state.Shutoff Vm_state.Ev_suspend;
+  invalid Vm_state.Shutoff Vm_state.Ev_resume;
+  invalid Vm_state.Running Vm_state.Ev_resume;
+  invalid Vm_state.Shutoff Vm_state.Ev_destroy;
+  invalid Vm_state.Paused Vm_state.Ev_shutdown_request;
+  invalid Vm_state.Crashed Vm_state.Ev_crash
+
+let test_crash_recovery () =
+  Alcotest.(check bool) "crash from running" true
+    (Vm_state.transition Vm_state.Running Vm_state.Ev_crash = Ok Vm_state.Crashed);
+  Alcotest.(check bool) "restart after crash" true
+    (Vm_state.transition Vm_state.Crashed Vm_state.Ev_start = Ok Vm_state.Running);
+  Alcotest.(check bool) "destroy after crash" true
+    (Vm_state.transition Vm_state.Crashed Vm_state.Ev_destroy = Ok Vm_state.Shutoff)
+
+let test_state_names_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Vm_state.state_name s ^ " roundtrips")
+        true
+        (Vm_state.state_of_name (Vm_state.state_name s) = Ok s))
+    all_states
+
+let prop_active_iff_not_shutoff =
+  qcheck_case ~count:50 "is_active matches Shutoff"
+    QCheck.(int_bound (List.length all_states - 1))
+    (fun i ->
+      let s = List.nth all_states i in
+      Vm_state.is_active s = (s <> Vm_state.Shutoff))
+
+(* --- Guest_image -------------------------------------------------------- *)
+
+let test_image_geometry () =
+  let img = Guest_image.create ~memory_kib:1024 in
+  Alcotest.(check int) "memory recorded" 1024 (Guest_image.memory_kib img);
+  Alcotest.(check int) "pages" (1024 / Guest_image.bytes_per_page)
+    (Guest_image.page_count img);
+  Alcotest.(check int) "starts clean" 0 (Guest_image.dirty_count img)
+
+let test_write_and_transfer () =
+  let img = Guest_image.create ~memory_kib:64 in
+  Guest_image.write_page img 3;
+  Guest_image.write_page img 7;
+  Alcotest.(check (list int)) "dirty list" [ 3; 7 ] (Guest_image.dirty_pages img);
+  let data = Guest_image.transfer_page img 3 in
+  Alcotest.(check int) "page size" Guest_image.bytes_per_page (String.length data);
+  Alcotest.(check (list int)) "3 cleaned" [ 7 ] (Guest_image.dirty_pages img)
+
+let test_install_page () =
+  let src = Guest_image.create ~memory_kib:64 in
+  let dst = Guest_image.create ~memory_kib:64 in
+  Guest_image.write_page src 5;
+  Guest_image.install_page dst 5 (Guest_image.read_page src 5);
+  Alcotest.(check string) "byte-identical page" (Guest_image.read_page src 5)
+    (Guest_image.read_page dst 5);
+  match Guest_image.install_page dst 5 "xx" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "short page accepted"
+
+let test_bounds_checked () =
+  let img = Guest_image.create ~memory_kib:64 in
+  (match Guest_image.write_page img (-1) with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "negative index accepted");
+  match Guest_image.write_page img (Guest_image.page_count img) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range index accepted"
+
+let test_dirty_randomly_deterministic () =
+  let a = Guest_image.create ~memory_kib:4096 in
+  let b = Guest_image.create ~memory_kib:4096 in
+  Guest_image.dirty_randomly a ~rate:0.25 ~seed:11;
+  Guest_image.dirty_randomly b ~rate:0.25 ~seed:11;
+  Alcotest.(check (list int)) "same seed, same pages" (Guest_image.dirty_pages a)
+    (Guest_image.dirty_pages b);
+  let expected = int_of_float (0.25 *. float_of_int (Guest_image.page_count a)) in
+  Alcotest.(check int) "target count reached" expected (Guest_image.dirty_count a)
+
+let test_checksum_tracks_content () =
+  let a = Guest_image.create ~memory_kib:64 in
+  let b = Guest_image.create ~memory_kib:64 in
+  Alcotest.(check bool) "fresh images equal" true (Guest_image.equal_contents a b);
+  Guest_image.write_page a 0;
+  Alcotest.(check bool) "differ after write" false (Guest_image.equal_contents a b);
+  Guest_image.install_page b 0 (Guest_image.read_page a 0);
+  Alcotest.(check bool) "checksums equal after copy" true
+    (Guest_image.checksum a = Guest_image.checksum b)
+
+(* --- Domxml ------------------------------------------------------------- *)
+
+let test_domxml_roundtrip () =
+  let cfg =
+    Vm_config.make ~memory_kib:(128 * 1024) ~vcpus:4 ~features:[ "acpi"; "apic" ]
+      "xmlvm"
+  in
+  let xml = Vmm.Domxml.to_xml ~virt_type:"kvm" cfg in
+  let cfg', virt_type = sok (Vmm.Domxml.of_xml xml) in
+  Alcotest.(check string) "virt type" "kvm" virt_type;
+  Alcotest.(check bool) "config preserved" true (Vm_config.equal cfg cfg')
+
+let test_domxml_memory_units () =
+  let xml unit_attr value =
+    Printf.sprintf
+      "<domain type=\"test\"><name>m</name><memory unit=\"%s\">%d</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>"
+      unit_attr value
+  in
+  let mem u v =
+    let cfg, _ = sok (Vmm.Domxml.of_xml (xml u v)) in
+    cfg.Vm_config.memory_kib
+  in
+  Alcotest.(check int) "KiB" 2048 (mem "KiB" 2048);
+  Alcotest.(check int) "MiB" (512 * 1024) (mem "MiB" 512);
+  Alcotest.(check int) "GiB" (1024 * 1024) (mem "GiB" 1)
+
+let test_domxml_defaults () =
+  let xml =
+    "<domain type=\"test\"><name>min</name><memory>1024</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>"
+  in
+  let cfg, _ = sok (Vmm.Domxml.of_xml xml) in
+  Alcotest.(check (list string)) "no disks" []
+    (List.map (fun (d : Vm_config.disk) -> d.Vm_config.target_dev) cfg.Vm_config.disks);
+  Alcotest.(check int) "memory" 1024 cfg.Vm_config.memory_kib
+
+let bad_domains =
+  [
+    ("wrong root", "<vm><name>x</name></vm>");
+    ( "no name",
+      "<domain type=\"t\"><memory>1</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>" );
+    ( "no memory",
+      "<domain type=\"t\"><name>x</name><vcpu>1</vcpu><os><type>hvm</type></os></domain>" );
+    ( "bad memory",
+      "<domain type=\"t\"><name>x</name><memory>lots</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>" );
+    ( "bad unit",
+      "<domain type=\"t\"><name>x</name><memory unit=\"TB\">1</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>" );
+    ( "zero vcpu",
+      "<domain type=\"t\"><name>x</name><memory>1024</memory><vcpu>0</vcpu><os><type>hvm</type></os></domain>" );
+    ( "bad os",
+      "<domain type=\"t\"><name>x</name><memory>1024</memory><vcpu>1</vcpu><os><type>beos</type></os></domain>" );
+    ( "bad uuid",
+      "<domain type=\"t\"><name>x</name><uuid>nope</uuid><memory>1024</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>" );
+    ( "no type attr",
+      "<domain><name>x</name><memory>1024</memory><vcpu>1</vcpu><os><type>hvm</type></os></domain>" );
+    ("not xml", "this is not xml");
+  ]
+
+let test_domxml_rejections () =
+  List.iter
+    (fun (label, xml) ->
+      match Vmm.Domxml.of_xml xml with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted: %s" label)
+    bad_domains
+
+let gen_config =
+  QCheck.Gen.(
+    let* mem_mib = int_range 1 512 in
+    let* vcpus = int_range 1 16 in
+    let* n_disks = int_bound 3 in
+    let* n_nics = int_bound 2 in
+    let disks =
+      List.init n_disks (fun i ->
+          Vm_config.
+            {
+              source_path = Printf.sprintf "/imgs/d%d.img" i;
+              target_dev = Printf.sprintf "vd%c" (Char.chr (Char.code 'a' + i));
+              disk_format = (if i mod 2 = 0 then "qcow2" else "raw");
+              readonly = i = 2;
+            })
+    in
+    let nics =
+      List.init n_nics (fun _ ->
+          Vm_config.
+            { network = "default"; mac = Vm_config.fresh_mac (); nic_model = "virtio" })
+    in
+    return
+      (Vm_config.make ~memory_kib:(mem_mib * 1024) ~vcpus ~disks ~nics
+         (fresh_name "gen")))
+
+let prop_domxml_roundtrip =
+  qcheck_case ~count:100 "domain XML roundtrip over random configs"
+    (QCheck.make gen_config) (fun cfg ->
+      match Vmm.Domxml.of_xml (Vmm.Domxml.to_xml ~virt_type:"kvm" cfg) with
+      | Ok (cfg', "kvm") -> Vm_config.equal cfg cfg'
+      | Ok _ | Error _ -> false)
+
+let () =
+  Alcotest.run "vmm"
+    [
+      ( "uuid",
+        [
+          quick "canonical format" test_uuid_format;
+          quick "uniqueness" test_uuid_uniqueness;
+          quick "parsing" test_uuid_parse;
+          prop_uuid_roundtrip;
+        ] );
+      ( "vm_config",
+        [
+          quick "defaults" test_config_defaults;
+          quick "validation" test_config_validation;
+          quick "fresh macs" test_fresh_mac_unique_and_valid;
+          quick "os kinds" test_os_kind_names;
+        ] );
+      ( "vm_state",
+        [
+          quick "totality" test_state_machine_totality;
+          quick "core lifecycle paths" test_core_lifecycle_paths;
+          quick "invalid transitions rejected" test_invalid_transitions;
+          quick "crash recovery" test_crash_recovery;
+          quick "state names roundtrip" test_state_names_roundtrip;
+          prop_active_iff_not_shutoff;
+        ] );
+      ( "guest_image",
+        [
+          quick "geometry" test_image_geometry;
+          quick "write and transfer" test_write_and_transfer;
+          quick "install page" test_install_page;
+          quick "bounds checked" test_bounds_checked;
+          quick "deterministic dirtying" test_dirty_randomly_deterministic;
+          quick "checksums track content" test_checksum_tracks_content;
+        ] );
+      ( "domxml",
+        [
+          quick "roundtrip" test_domxml_roundtrip;
+          quick "memory units" test_domxml_memory_units;
+          quick "defaults" test_domxml_defaults;
+          quick "rejections" test_domxml_rejections;
+          prop_domxml_roundtrip;
+        ] );
+    ]

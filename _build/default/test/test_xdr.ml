@@ -1,0 +1,167 @@
+(* XDR codec: unit cases for the wire format's fixed points, property
+   tests for roundtrips, and malformation rejection. *)
+
+open Testutil
+
+let hex s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+                      (List.init (String.length s) (String.get s)))
+
+let test_int_wire_format () =
+  Alcotest.(check string) "1 encodes big-endian" "00000001"
+    (hex (Xdr.encode Xdr.enc_int 1));
+  Alcotest.(check string) "-1 encodes as ffffffff" "ffffffff"
+    (hex (Xdr.encode Xdr.enc_int (-1)));
+  Alcotest.(check string) "min int32" "80000000"
+    (hex (Xdr.encode Xdr.enc_int (-0x8000_0000)))
+
+let test_int_range_check () =
+  Alcotest.check_raises "too large" (Xdr.Error "enc_int: 2147483648 out of int32 range")
+    (fun () -> ignore (Xdr.encode Xdr.enc_int 0x8000_0000));
+  Alcotest.check_raises "uint negative"
+    (Xdr.Error "enc_uint: -1 out of uint32 range") (fun () ->
+      ignore (Xdr.encode Xdr.enc_uint (-1)))
+
+let test_string_padding () =
+  (* length word + bytes + zero padding to 4 *)
+  Alcotest.(check string) "abc pads to one zero" "00000003616263 00"
+    (let s = hex (Xdr.encode Xdr.enc_string "abc") in
+     String.sub s 0 14 ^ " " ^ String.sub s 14 2);
+  Alcotest.(check int) "abcd needs no padding" 8
+    (String.length (Xdr.encode Xdr.enc_string "abcd"))
+
+let test_nonzero_padding_rejected () =
+  (* "abc" with a corrupted pad byte *)
+  let wire = Bytes.of_string (Xdr.encode Xdr.enc_string "abc") in
+  Bytes.set wire 7 'X';
+  match Xdr.decode Xdr.dec_string (Bytes.to_string wire) with
+  | exception Xdr.Error _ -> ()
+  | _ -> Alcotest.fail "corrupted padding accepted"
+
+let test_bool_strictness () =
+  Alcotest.(check bool) "true roundtrip" true
+    (Xdr.decode Xdr.dec_bool (Xdr.encode Xdr.enc_bool true));
+  match Xdr.decode Xdr.dec_bool (Xdr.encode Xdr.enc_uint 2) with
+  | exception Xdr.Error _ -> ()
+  | _ -> Alcotest.fail "bool 2 accepted"
+
+let test_truncation_rejected () =
+  let wire = Xdr.encode Xdr.enc_string "hello world" in
+  for cut = 0 to String.length wire - 1 do
+    match Xdr.decode Xdr.dec_string (String.sub wire 0 cut) with
+    | exception Xdr.Error _ -> ()
+    | _ -> Alcotest.failf "truncation at %d accepted" cut
+  done
+
+let test_trailing_garbage_rejected () =
+  let wire = Xdr.encode Xdr.enc_uint 7 ^ "\000" in
+  match Xdr.decode Xdr.dec_uint wire with
+  | exception Xdr.Error _ -> ()
+  | _ -> Alcotest.fail "trailing bytes accepted"
+
+let test_array_count_bound () =
+  (* A count far beyond the payload must be rejected up front. *)
+  let wire = Xdr.encode Xdr.enc_uint 1_000_000 in
+  match Xdr.decode (fun d -> Xdr.dec_array d Xdr.dec_uint) wire with
+  | exception Xdr.Error _ -> ()
+  | _ -> Alcotest.fail "oversized array count accepted"
+
+let test_fixed_opaque () =
+  let wire = Xdr.encode (fun e v -> Xdr.enc_fixed_opaque e 6 v) "abcdef" in
+  Alcotest.(check int) "6 bytes pad to 8" 8 (String.length wire);
+  Alcotest.(check string) "roundtrip" "abcdef"
+    (Xdr.decode (fun d -> Xdr.dec_fixed_opaque d 6) wire);
+  match Xdr.encode (fun e v -> Xdr.enc_fixed_opaque e 4 v) "abcdef" with
+  | exception Xdr.Error _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+let test_option () =
+  let enc e v = Xdr.enc_option e Xdr.enc_string v in
+  let dec d = Xdr.dec_option d Xdr.dec_string in
+  Alcotest.(check (option string)) "some" (Some "x") (Xdr.decode dec (Xdr.encode enc (Some "x")));
+  Alcotest.(check (option string)) "none" None (Xdr.decode dec (Xdr.encode enc None))
+
+let test_hyper_extremes () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) "hyper roundtrip" v
+        (Xdr.decode Xdr.dec_hyper (Xdr.encode Xdr.enc_hyper v)))
+    [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0xdeadbeefL ]
+
+let prop_int_roundtrip =
+  qcheck_case "int32 roundtrip" QCheck.(int_range (-0x8000_0000) 0x7fff_ffff)
+    (fun v -> Xdr.decode Xdr.dec_int (Xdr.encode Xdr.enc_int v) = v)
+
+let prop_uint_roundtrip =
+  qcheck_case "uint32 roundtrip" QCheck.(int_bound 0xffff_ffff)
+    (fun v -> Xdr.decode Xdr.dec_uint (Xdr.encode Xdr.enc_uint v) = v)
+
+let prop_hyper_roundtrip =
+  qcheck_case "hyper roundtrip" QCheck.int64
+    (fun v -> Xdr.decode Xdr.dec_hyper (Xdr.encode Xdr.enc_hyper v) = v)
+
+let prop_string_roundtrip =
+  qcheck_case "string roundtrip" QCheck.string
+    (fun s -> Xdr.decode Xdr.dec_string (Xdr.encode Xdr.enc_string s) = s)
+
+let prop_double_roundtrip =
+  qcheck_case "double roundtrip" QCheck.float
+    (fun f ->
+      let f' = Xdr.decode Xdr.dec_double (Xdr.encode Xdr.enc_double f) in
+      Int64.bits_of_float f = Int64.bits_of_float f')
+
+let prop_string_list_roundtrip =
+  qcheck_case "string array roundtrip" QCheck.(small_list string)
+    (fun l ->
+      Xdr.decode
+        (fun d -> Xdr.dec_array d Xdr.dec_string)
+        (Xdr.encode (fun e -> Xdr.enc_array e Xdr.enc_string) l)
+      = l)
+
+let prop_mixed_sequence =
+  qcheck_case "mixed tuple roundtrip" QCheck.(triple int64 string bool)
+    (fun (a, b, c) ->
+      let enc e () =
+        Xdr.enc_hyper e a;
+        Xdr.enc_string e b;
+        Xdr.enc_bool e c
+      in
+      let dec d =
+        let a' = Xdr.dec_hyper d in
+        let b' = Xdr.dec_string d in
+        let c' = Xdr.dec_bool d in
+        (a', b', c')
+      in
+      Xdr.decode dec (Xdr.encode enc ()) = (a, b, c))
+
+let () =
+  Alcotest.run "xdr"
+    [
+      ( "wire format",
+        [
+          quick "int big-endian encoding" test_int_wire_format;
+          quick "int range checks" test_int_range_check;
+          quick "string padding" test_string_padding;
+          quick "non-zero padding rejected" test_nonzero_padding_rejected;
+          quick "bool strictness" test_bool_strictness;
+          quick "fixed opaque" test_fixed_opaque;
+          quick "option encoding" test_option;
+          quick "hyper extremes" test_hyper_extremes;
+        ] );
+      ( "malformed input",
+        [
+          quick "every truncation rejected" test_truncation_rejected;
+          quick "trailing garbage rejected" test_trailing_garbage_rejected;
+          quick "hostile array count rejected" test_array_count_bound;
+        ] );
+      ( "properties",
+        [
+          prop_int_roundtrip;
+          prop_uint_roundtrip;
+          prop_hyper_roundtrip;
+          prop_string_roundtrip;
+          prop_double_roundtrip;
+          prop_string_list_roundtrip;
+          prop_mixed_sequence;
+        ] );
+    ]

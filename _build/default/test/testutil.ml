@@ -1,0 +1,56 @@
+(* Shared helpers for the test suites. *)
+
+let ok_or_fail to_string = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (to_string e)
+
+let vok r = ok_or_fail Ovirt.Verror.to_string r
+let sok r = ok_or_fail Fun.id r
+
+let expect_verr code = function
+  | Ok _ -> Alcotest.failf "expected %s error, got success" (Ovirt.Verror.code_name code)
+  | Error e ->
+    Alcotest.(check string)
+      "error code" (Ovirt.Verror.code_name code)
+      (Ovirt.Verror.code_name e.Ovirt.Verror.code)
+
+let expect_error = function
+  | Ok _ -> Alcotest.fail "expected an error, got success"
+  | Error _ -> ()
+
+(* Unique names: the driver node registries and the simulated network are
+   process-global, so every test works in its own namespace. *)
+let name_counter = ref 0
+
+let fresh_name prefix =
+  incr name_counter;
+  Printf.sprintf "%s-%d" prefix !name_counter
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let qcheck_case ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* A connection to a fresh, isolated test-driver node. *)
+let fresh_test_conn () =
+  vok (Ovirt.Connect.open_uri ("test://" ^ fresh_name "node" ^ "/"))
+
+let define_and_start conn ~virt_type ~name ?(memory_kib = 8 * 1024) () =
+  let cfg = Vmm.Vm_config.make ~memory_kib name in
+  let dom = vok (Ovirt.Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type cfg)) in
+  vok (Ovirt.Domain.create dom);
+  dom
+
+(* Wait until [cond ()] or the timeout elapses; threads in the daemon make
+   a few assertions timing-dependent. *)
+let eventually ?(timeout_s = 2.0) cond =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec loop () =
+    if cond () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.005;
+      loop ()
+    end
+  in
+  loop ()
