@@ -671,6 +671,121 @@ let table6 () =
   table [ "codec"; "latency" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* E9 / chaos: resilience under injected connection loss               *)
+(* ------------------------------------------------------------------ *)
+
+(* At-least-once executor (the client half of the retry contract: the
+   remote driver only transparently retries idempotent calls, so after a
+   reconnect a mutating op is verified against desired state and redone
+   here if it did not take). *)
+let rec at_least_once ~retries op verify =
+  match op () with
+  | Ok () -> true
+  | Error _ when verify () -> true
+  | Error _ when retries > 0 ->
+    Thread.delay 0.01;
+    at_least_once ~retries:(retries - 1) op verify
+  | Error _ -> false
+
+let chaos () =
+  section
+    "Chaos (E9): connection killed every 25 frames, 25x define/start/list/destroy";
+  subsection
+    "each accepted connection dies when its 25th frame arrives (seeded plan);";
+  subsection
+    "the resilient client runs keepalive=50ms and a reconnect budget of 8\n";
+  let cycles = 25 in
+  let run_variant ~label ~resilient =
+    let daemon_name = fresh "chaosd" in
+    let daemon = Daemon.start ~name:daemon_name ~config:quiet_config () in
+    ignore
+      (Ovnet.Netsim.set_listener_faults (daemon_name ^ "-sock")
+         (Some (Ovnet.Faults.plan ~seed:11 [ Ovnet.Faults.Drop_after 25 ])));
+    Drv_remote.reset_stats ();
+    let uri =
+      if resilient then
+        Printf.sprintf
+          "test+unix://%s/?daemon=%s&reconnect=8&reconnect_delay=0.005&reconnect_max_delay=0.05&keepalive=0.05"
+          (fresh "cw") daemon_name
+      else Printf.sprintf "test+unix://%s/?daemon=%s" (fresh "cw") daemon_name
+    in
+    let ops_ok = ref 0 in
+    let total = ref 0 in
+    let count b =
+      incr total;
+      if b then incr ops_ok
+    in
+    let (), elapsed =
+      time_once (fun () ->
+          match Connect.open_uri uri with
+          | Error _ -> total := !total + (cycles * 4)
+          | Ok conn ->
+            for i = 1 to cycles do
+              let name = Printf.sprintf "cvm%d" i in
+              let xml =
+                Vmm.Domxml.to_xml ~virt_type:"test"
+                  (Vm_config.make ~memory_kib:(8 * 1024) name)
+              in
+              count
+                (at_least_once ~retries:5
+                   (fun () -> Result.map ignore (Domain.define_xml conn xml))
+                   (fun () -> Result.is_ok (Domain.lookup_by_name conn name)));
+              match Domain.lookup_by_name conn name with
+              | Error _ ->
+                (* connection gone for good: the remaining ops fail *)
+                count false;
+                count false;
+                count false
+              | Ok dom ->
+                count
+                  (at_least_once ~retries:5
+                     (fun () -> Domain.create dom)
+                     (fun () -> Domain.is_active dom = Ok true));
+                count
+                  (at_least_once ~retries:5
+                     (fun () -> Result.map ignore (Connect.list_domains conn))
+                     (fun () -> false));
+                count
+                  (at_least_once ~retries:5
+                     (fun () -> Domain.destroy dom)
+                     (fun () -> Domain.is_active dom = Ok false))
+            done;
+            (try Connect.close conn with _ -> ()))
+    in
+    let stats = Drv_remote.stats () in
+    Daemon.stop daemon;
+    let latencies = List.sort compare stats.Drv_remote.st_recovery_latencies in
+    let pp_latency = function
+      | [] -> "-"
+      | l -> Printf.sprintf "%.1f ms" (1000.0 *. List.nth l (List.length l / 2))
+    in
+    let pp_max = function
+      | [] -> "-"
+      | l -> Printf.sprintf "%.1f ms" (1000.0 *. List.nth l (List.length l - 1))
+    in
+    [
+      label;
+      Printf.sprintf "%d/%d" !ops_ok !total;
+      Printf.sprintf "%.0f%%" (100.0 *. float_of_int !ops_ok /. float_of_int !total);
+      string_of_int stats.Drv_remote.st_reconnects;
+      string_of_int stats.Drv_remote.st_retried_calls;
+      string_of_int stats.Drv_remote.st_giveups;
+      pp_latency latencies;
+      pp_max latencies;
+      Printf.sprintf "%.0f ms" (1000.0 *. elapsed);
+    ]
+  in
+  table
+    [
+      "client"; "ops ok"; "success"; "reconnects"; "retried"; "giveups";
+      "recovery p50"; "recovery max"; "duration";
+    ]
+    [
+      run_variant ~label:"no resilience" ~resilient:false;
+      run_variant ~label:"keepalive+reconnect" ~resilient:true;
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -686,6 +801,7 @@ let experiments =
     ("table5", table5);
     ("fig6", fig6);
     ("table6", table6);
+    ("chaos", chaos);
   ]
 
 let () =

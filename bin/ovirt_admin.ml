@@ -180,6 +180,13 @@ let commands shell =
         let* srv = server shell server_name in
         let* () = verr (Ovirt.Admin_client.client_disconnect srv id) in
         Ok (Printf.sprintf "client %Ld disconnected from %s" id server_name));
+    simple "dmn-drain" "Management commands" ""
+      "gracefully shut the daemon down (finish in-flight work, then stop)"
+      (fun _ ->
+        let* conn = require_conn shell in
+        let* () = verr (Ovirt.Admin_client.drain conn) in
+        shell.conn <- None;
+        Ok "daemon draining: new connections refused, in-flight work finishing");
     simple "dmn-log-info" "Monitoring commands" "" "view daemon logging settings"
       (fun _ ->
         let* conn = require_conn shell in

@@ -49,6 +49,7 @@ let call_unit conn proc body =
   decode Protocol.Remote_protocol.dec_unit_body reply
 
 let daemon_uptime_s conn = call_dec conn Ap.Proc_daemon_uptime "" Ap.dec_hyper_body
+let drain conn = call_unit conn Ap.Proc_daemon_drain ""
 
 (* ------------------------------------------------------------------ *)
 (* Servers                                                             *)

@@ -20,6 +20,11 @@ val connect :
 val close : conn -> unit
 val daemon_uptime_s : conn -> (int64, Ovirt_core.Verror.t) result
 
+val drain : conn -> (unit, Ovirt_core.Verror.t) result
+(** Ask the daemon to shut down gracefully: stop accepting, finish
+    in-flight dispatches, then close.  Returns as soon as the daemon
+    acknowledges; the drain itself runs in the background. *)
+
 (** {1 Servers} *)
 
 val list_servers : conn -> (string list, Ovirt_core.Verror.t) result

@@ -7,6 +7,7 @@ type daemon_view = {
   view_servers : unit -> (string * Server_obj.t) list;
   view_logger : Vlog.t;
   view_started_at : float;
+  view_drain : unit -> unit;
 }
 
 let ( let* ) = Result.bind
@@ -179,6 +180,11 @@ let handle view _srv _client header body =
     Ok Protocol.Remote_protocol.enc_unit_body
   | Ap.Proc_daemon_uptime ->
     Ok (Ap.enc_hyper_body (Int64.of_float (Unix.gettimeofday () -. view.view_started_at)))
+  | Ap.Proc_daemon_drain ->
+    Vlog.logf logger ~module_:"daemon.admin" Vlog.Info
+      "daemon drain requested by administrator";
+    view.view_drain ();
+    Ok Protocol.Remote_protocol.enc_unit_body
 
 let program view =
   Dispatch.

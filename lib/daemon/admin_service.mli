@@ -10,6 +10,10 @@ type daemon_view = {
   view_servers : unit -> (string * Server_obj.t) list;
   view_logger : Vlog.t;
   view_started_at : float;
+  view_drain : unit -> unit;
+      (** Trigger a graceful daemon drain; must return promptly (the
+          daemon runs the drain in the background) so the reply reaches
+          the administrator before the connection closes. *)
 }
 
 val program : daemon_view -> Dispatch.program

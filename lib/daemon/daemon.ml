@@ -10,6 +10,34 @@ type t = {
 let mgmt_address_of name = name ^ "-sock"
 let admin_address_of name = name ^ "-admin-sock"
 
+let stop daemon =
+  if not daemon.stopped then begin
+    daemon.stopped <- true;
+    List.iter Ovnet.Netsim.close_listener daemon.listeners;
+    List.iter
+      (fun (_, srv) ->
+        Server_obj.close_all_clients srv;
+        Threadpool.shutdown (Server_obj.pool srv))
+      daemon.servers;
+    Vlog.logf daemon.logger ~module_:"daemon" Vlog.Info "daemon %s stopped"
+      daemon.name
+  end
+
+(* Graceful shutdown: stop accepting (listeners closed, servers marked
+   draining so the dispatcher refuses new calls), let every queued and
+   in-flight dispatch finish, then tear down. *)
+let drain_impl daemon =
+  if not daemon.stopped then begin
+    Vlog.logf daemon.logger ~module_:"daemon" Vlog.Info "daemon %s draining"
+      daemon.name;
+    List.iter Ovnet.Netsim.close_listener daemon.listeners;
+    List.iter (fun (_, srv) -> Server_obj.set_draining srv true) daemon.servers;
+    List.iter
+      (fun (_, srv) -> Threadpool.drain (Server_obj.pool srv))
+      daemon.servers;
+    stop daemon
+  end
+
 let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   let logger =
     Vlog.create ~level:config.Daemon_config.log_level
@@ -40,17 +68,31 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   let servers = [ ("libvirtd", mgmt_server); ("admin", admin_server) ] in
   let started_at = Unix.gettimeofday () in
   let remote_program = Remote_service.program ~logger in
+  (* The admin program needs to trigger a drain of the daemon that hosts
+     it; the daemon record does not exist yet, so route through a
+     forward reference filled in below. *)
+  let self = ref None in
   let admin_program =
     Admin_service.program
       {
         Admin_service.view_servers = (fun () -> servers);
         view_logger = logger;
         view_started_at = started_at;
+        view_drain =
+          (fun () ->
+            match !self with
+            | None -> ()
+            | Some daemon ->
+              (* In the background: Threadpool.drain would deadlock
+                 waiting for the very admin job that requested it. *)
+              ignore (Thread.create (fun () -> drain_impl daemon) ()));
       }
   in
   let mgmt_listener =
     Ovnet.Netsim.listen (mgmt_address_of name) (fun conn ->
-        Dispatch.attach_client mgmt_server [ remote_program ] conn)
+        Dispatch.attach_client mgmt_server
+          [ remote_program; Dispatch.keepalive_program ]
+          conn)
   in
   let admin_listener =
     Ovnet.Netsim.listen (admin_address_of name) (fun conn ->
@@ -58,35 +100,29 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
            transport, mirroring the admin socket's 0700 permissions. *)
         match Ovnet.Transport.peer conn with
         | Ovnet.Transport.Local id when id.Ovnet.Transport.uid = 0 ->
-          Dispatch.attach_client admin_server [ admin_program ] conn
+          Dispatch.attach_client admin_server
+            [ admin_program; Dispatch.keepalive_program ]
+            conn
         | Ovnet.Transport.Local _ | Ovnet.Transport.Remote _ ->
           Vlog.logf logger ~module_:"daemon.admin" Vlog.Warn
             "refusing non-root connection to admin socket";
           Ovnet.Transport.close conn)
   in
   Vlog.logf logger ~module_:"daemon" Vlog.Info "daemon %s started" name;
-  {
-    name;
-    logger;
-    servers;
-    listeners = [ mgmt_listener; admin_listener ];
-    started_at;
-    stopped = false;
-  }
+  let daemon =
+    {
+      name;
+      logger;
+      servers;
+      listeners = [ mgmt_listener; admin_listener ];
+      started_at;
+      stopped = false;
+    }
+  in
+  self := Some daemon;
+  daemon
 
-let stop daemon =
-  if not daemon.stopped then begin
-    daemon.stopped <- true;
-    List.iter Ovnet.Netsim.close_listener daemon.listeners;
-    List.iter
-      (fun (_, srv) ->
-        Server_obj.close_all_clients srv;
-        Threadpool.shutdown (Server_obj.pool srv))
-      daemon.servers;
-    Vlog.logf daemon.logger ~module_:"daemon" Vlog.Info "daemon %s stopped"
-      daemon.name
-  end
-
+let drain = drain_impl
 let name daemon = daemon.name
 let mgmt_address daemon = mgmt_address_of daemon.name
 let admin_address daemon = admin_address_of daemon.name

@@ -21,6 +21,13 @@ val start : ?name:string -> ?config:Daemon_config.t -> unit -> t
 val stop : t -> unit
 (** Close listeners and clients, stop workerpools.  Idempotent. *)
 
+val drain : t -> unit
+(** Graceful shutdown: close listeners, mark every server draining (new
+    calls refused with [Operation_invalid], keepalive pings still
+    answered), wait for queued and in-flight dispatches to finish, then
+    {!stop}.  Blocks until done; also reachable over the admin program
+    ([Proc_daemon_drain]), which runs it in the background. *)
+
 val name : t -> string
 val mgmt_address : t -> string
 (** ["<name>-sock"] — connect here with any transport kind. *)

@@ -1,6 +1,7 @@
 module Transport = Ovnet.Transport
 module Rpc_packet = Ovrpc.Rpc_packet
 module Verror = Ovirt_core.Verror
+module Ka = Protocol.Keepalive_protocol
 
 type program = {
   prog_number : int;
@@ -51,8 +52,28 @@ let run_call srv prog client header body =
        header.Rpc_packet.procedure (Verror.to_string err));
   send_reply client header result;
   (* Successfully processing any call authenticates the client (stand-in
-     for the SASL/polkit handshake real services run). *)
-  if Result.is_ok result then Client_obj.mark_authenticated client
+     for the SASL/polkit handshake real services run) — except keepalive
+     pings, which prove liveness, not identity. *)
+  if Result.is_ok result && prog.prog_number <> Ka.program then
+    Client_obj.mark_authenticated client
+
+(* The keepalive program: any server answers pings so clients can tell a
+   live-but-busy daemon from a dead one.  The PONG is the plain Status_ok
+   reply; its serial matches no pending call on the client, which is how
+   the client recognises it. *)
+let keepalive_program =
+  {
+    prog_number = Ka.program;
+    prog_version = Ka.version;
+    high_priority = (fun _ -> true);
+    handle =
+      (fun _srv _client header _body ->
+        if header.Rpc_packet.procedure = Ka.proc_ping then Ok ""
+        else
+          Verror.error Verror.Rpc_failure "unknown keepalive procedure %d"
+            header.Rpc_packet.procedure);
+    on_disconnect = (fun _client -> ());
+  }
 
 let reader_loop srv programs client =
   let logger = Server_obj.logger srv in
@@ -82,6 +103,15 @@ let reader_loop srv programs client =
                 (Verror.error Verror.Rpc_failure
                    "program 0x%x: unsupported version %d" prog.prog_number
                    header.Rpc_packet.version);
+              loop ()
+            end
+            else if Server_obj.is_draining srv && prog.prog_number <> Ka.program
+            then begin
+              (* Graceful degradation: in-flight dispatches finish, new
+                 work is refused, pings still answered. *)
+              send_reply client header
+                (Verror.error Verror.Operation_invalid "server %s is draining"
+                   (Server_obj.name srv));
               loop ()
             end
             else begin

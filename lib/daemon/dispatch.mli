@@ -21,6 +21,11 @@ type program = {
   on_disconnect : Client_obj.t -> unit;
 }
 
+val keepalive_program : program
+(** {!Protocol.Keepalive_protocol}: answers PING with the empty Status_ok
+    reply (the PONG).  Served even while the server drains, and never
+    counts as authentication. *)
+
 val attach_client : Server_obj.t -> program list -> Ovnet.Transport.t -> unit
 (** Accept-loop body (use as the {!Ovnet.Netsim.listen} handler): register
     the connection with the server (limits enforced) and run the reader

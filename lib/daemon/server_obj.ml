@@ -10,6 +10,7 @@ type t = {
   clients : (int64, Client_obj.t) Hashtbl.t;
   mutable limits : client_limits;
   mutable next_client_id : int64;
+  mutable draining : bool;
 }
 
 let create ~name ~logger ~min_workers ~max_workers ~prio_workers ~limits =
@@ -23,6 +24,7 @@ let create ~name ~logger ~min_workers ~max_workers ~prio_workers ~limits =
     clients = Hashtbl.create 32;
     limits;
     next_client_id = 1L;
+    draining = false;
   }
 
 let with_lock srv f =
@@ -49,11 +51,20 @@ let reap_unlocked srv =
   in
   List.iter (Hashtbl.remove srv.clients) dead
 
+let set_draining srv v = with_lock srv (fun () -> srv.draining <- v)
+let is_draining srv = with_lock srv (fun () -> srv.draining)
+
 let accept_client srv conn =
   with_lock srv (fun () ->
       reap_unlocked srv;
       let total, unauth = counts_unlocked srv in
-      if total >= srv.limits.max_clients then begin
+      if srv.draining then begin
+        Ovnet.Transport.close conn;
+        Vlog.logf srv.logger ~module_:"daemon.server" Vlog.Info
+          "server %s: refusing client, server is draining" srv.name;
+        Verror.error Verror.Operation_invalid "server %s is draining" srv.name
+      end
+      else if total >= srv.limits.max_clients then begin
         Ovnet.Transport.close conn;
         Vlog.logf srv.logger ~module_:"daemon.server" Vlog.Warn
           "server %s: refusing client, limit of %d connections reached" srv.name

@@ -27,7 +27,15 @@ val logger : t -> Vlog.t
 
 val accept_client : t -> Ovnet.Transport.t -> (Client_obj.t, Ovirt_core.Verror.t) result
 (** Registers a fresh client, enforcing both limits ([Resource_exhausted]
-    on refusal, after which the connection is closed). *)
+    on refusal, after which the connection is closed).  A draining server
+    refuses every new client ([Operation_invalid]). *)
+
+val set_draining : t -> bool -> unit
+(** Draining servers accept no new clients; connected clients get error
+    replies for new calls (keepalive pings excepted) while in-flight
+    dispatches finish. *)
+
+val is_draining : t -> bool
 
 val remove_client : t -> int64 -> unit
 val find_client : t -> int64 -> (Client_obj.t, Ovirt_core.Verror.t) result

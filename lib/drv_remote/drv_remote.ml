@@ -12,19 +12,206 @@ let kind_of_transport = function
   | "tls" -> Ok Transport.Tls
   | t -> Verror.error Verror.Invalid_arg "unsupported transport %S" t
 
+(* Local (client-side) URI parameters, stripped before forwarding. *)
+let local_params =
+  [
+    "daemon"; "keepalive"; "keepalive_count"; "reconnect"; "reconnect_delay";
+    "reconnect_max_delay"; "reconnect_seed";
+  ]
+
 (* The URI handed to the daemon: transport stripped, local parameters
-   (daemon selection) removed. *)
+   removed. *)
 let daemon_side_uri uri =
   {
     uri with
     Vuri.transport = None;
-    params = List.filter (fun (k, _) -> k <> "daemon") uri.Vuri.params;
+    params = List.filter (fun (k, _) -> not (List.mem k local_params)) uri.Vuri.params;
   }
 
-type remote_conn = { rpc : Rpc_client.t; events : Events.bus }
+(* ------------------------------------------------------------------ *)
+(* Resilience policy and statistics                                    *)
+(* ------------------------------------------------------------------ *)
 
+type resilience = {
+  res_budget : int;  (** reconnect attempts per outage before giving up *)
+  res_base_delay : float;
+  res_max_delay : float;
+  res_jitter : float;  (** fraction of the delay, +/- *)
+  res_seed : int;
+}
+
+type stats = {
+  st_reconnect_attempts : int;
+  st_reconnects : int;
+  st_retried_calls : int;
+  st_giveups : int;
+  st_recovery_latencies : float list;  (** seconds, most recent first *)
+}
+
+(* Process-global, like the simulated network itself: chaos experiments
+   reset before a run and read after. *)
+let stats_mutex = Mutex.create ()
+let g_attempts = ref 0
+let g_reconnects = ref 0
+let g_retried = ref 0
+let g_giveups = ref 0
+let g_latencies = ref []
+
+let with_stats f =
+  Mutex.lock stats_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock stats_mutex) f
+
+let reset_stats () =
+  with_stats (fun () ->
+      g_attempts := 0;
+      g_reconnects := 0;
+      g_retried := 0;
+      g_giveups := 0;
+      g_latencies := [])
+
+let stats () =
+  with_stats (fun () ->
+      {
+        st_reconnect_attempts = !g_attempts;
+        st_reconnects = !g_reconnects;
+        st_retried_calls = !g_retried;
+        st_giveups = !g_giveups;
+        st_recovery_latencies = !g_latencies;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Connection state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type remote_conn = {
+  rc_mutex : Mutex.t;
+  mutable rpc : Rpc_client.t;
+  mutable defunct : bool;  (** closed, or reconnect budget exhausted *)
+  events : Events.bus;
+  rc_address : string;
+  rc_kind : Transport.kind;
+  rc_forwarded : string;  (** URI replayed as Proc_open on reconnect *)
+  rc_keepalive : Rpc_client.keepalive option;
+  rc_resilience : resilience option;
+  rc_on_event : procedure:int -> string -> unit;
+  mutable rc_prng : int;
+}
+
+let with_conn conn f =
+  Mutex.lock conn.rc_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.rc_mutex) f
+
+let raw_call rpc proc body =
+  Rpc_client.call rpc ~procedure:(Rp.proc_to_int proc) ~body ()
+
+let raw_call_unit rpc proc body =
+  let* reply = raw_call rpc proc body in
+  match Rp.dec_unit_body reply with
+  | () -> Ok ()
+  | exception Xdr.Error msg -> Verror.error Verror.Rpc_failure "bad reply: %s" msg
+
+(* Transport + handshake: what both the initial open and every reconnect
+   perform — establish, Proc_open the forwarded URI, re-register for
+   events (the daemon side starts from a clean slate each time). *)
+let establish ~address ~kind ~keepalive ~on_event ~forwarded =
+  let* rpc =
+    Rpc_client.connect ~address ~kind ~program:Rp.program ~version:Rp.version
+      ?keepalive ~on_event ()
+  in
+  let handshake =
+    let* () = raw_call_unit rpc Rp.Proc_open (Rp.enc_string_body forwarded) in
+    raw_call_unit rpc Rp.Proc_event_register Rp.enc_unit_body
+  in
+  match handshake with
+  | Ok () -> Ok rpc
+  | Error e ->
+    Rpc_client.close rpc;
+    Error e
+
+let next_unit_float conn =
+  (* Same mixer family as Faults: deterministic jitter under a seed. *)
+  let x = conn.rc_prng + 0x9e3779b9 in
+  let x = (x lxor (x lsr 30)) * 0x4f6cdd1d in
+  let x = (x lxor (x lsr 27)) * 0x2545f491 in
+  let x = (x lxor (x lsr 31)) land max_int in
+  conn.rc_prng <- x;
+  float_of_int (x land 0xffffff) /. float_of_int 0x1000000
+
+let backoff_delay conn r attempt =
+  let d = min r.res_max_delay (r.res_base_delay *. (2. ** float_of_int (attempt - 1))) in
+  let j = (2. *. next_unit_float conn) -. 1. in
+  Float.max 0. (d *. (1. +. (r.res_jitter *. j)))
+
+(* Single-flight reconnect: callers that lost the race to a dead [rpc]
+   block on the mutex while the first one rebuilds the connection, then
+   observe the fresh client (or the defunct mark).  Exponential backoff
+   with jitter between attempts; the budget bounds the outage. *)
+let ensure_connected conn ~dead =
+  with_conn conn (fun () ->
+      if conn.defunct then
+        Verror.error Verror.Rpc_failure "remote connection is closed"
+      else if conn.rpc != dead then Ok () (* somebody already reconnected *)
+      else begin
+        let r = Option.get conn.rc_resilience in
+        let outage_start = Unix.gettimeofday () in
+        let rec attempt i =
+          if i > r.res_budget then begin
+            conn.defunct <- true;
+            with_stats (fun () -> incr g_giveups);
+            Verror.error Verror.Rpc_failure
+              "reconnect budget of %d attempts exhausted" r.res_budget
+          end
+          else begin
+            with_stats (fun () -> incr g_attempts);
+            Thread.delay (backoff_delay conn r i);
+            match
+              establish ~address:conn.rc_address ~kind:conn.rc_kind
+                ~keepalive:conn.rc_keepalive ~on_event:conn.rc_on_event
+                ~forwarded:conn.rc_forwarded
+            with
+            | Ok rpc ->
+              conn.rpc <- rpc;
+              with_stats (fun () ->
+                  incr g_reconnects;
+                  g_latencies := (Unix.gettimeofday () -. outage_start) :: !g_latencies);
+              Ok ()
+            | Error _ -> attempt (i + 1)
+          end
+        in
+        attempt 1
+      end)
+
+(* Resilient call: a connection-death failure triggers reconnection (any
+   call type pays for the rebuild), but only idempotent procedures are
+   re-issued; a mutating call surfaces the failure, leaving the restored
+   connection for its caller's own retry decision. *)
 let call conn proc body =
-  Rpc_client.call conn.rpc ~procedure:(Rp.proc_to_int proc) ~body ()
+  let rec go attempt =
+    let rpc = with_conn conn (fun () -> conn.rpc) in
+    match raw_call rpc proc body with
+    | Ok _ as ok -> ok
+    | Error e
+      when e.Verror.code = Verror.Rpc_failure
+           && conn.rc_resilience <> None
+           && Rpc_client.is_closed rpc -> begin
+        match ensure_connected conn ~dead:rpc with
+        | Error _ as err -> err
+        | Ok () ->
+          let budget = (Option.get conn.rc_resilience).res_budget in
+          if Rp.is_idempotent proc && attempt <= budget then begin
+            with_stats (fun () -> incr g_retried);
+            go (attempt + 1)
+          end
+          else if Rp.is_idempotent proc then Error e
+          else
+            Verror.error Verror.Rpc_failure
+              "connection dropped during non-idempotent call %d (reconnected, \
+               not retried): %s"
+              (Rp.proc_to_int proc) e.Verror.message
+      end
+    | Error _ as err -> err
+  in
+  go 1
 
 let call_unit conn proc body =
   let* reply = call conn proc body in
@@ -45,6 +232,38 @@ let call_dec conn proc body decoder =
 (* Connection establishment                                            *)
 (* ------------------------------------------------------------------ *)
 
+let float_param uri name =
+  Option.bind (Vuri.param uri name) float_of_string_opt
+
+let int_param uri name = Option.bind (Vuri.param uri name) int_of_string_opt
+
+let keepalive_of_uri uri =
+  match float_param uri "keepalive" with
+  | Some interval when interval > 0. ->
+    Some
+      {
+        Rpc_client.ka_interval = interval;
+        ka_count =
+          Option.value (int_param uri "keepalive_count")
+            ~default:Protocol.Keepalive_protocol.default_count;
+      }
+  | Some _ | None -> None
+
+let resilience_of_uri uri =
+  match int_param uri "reconnect" with
+  | Some budget when budget > 0 ->
+    let base = Option.value (float_param uri "reconnect_delay") ~default:0.05 in
+    Some
+      {
+        res_budget = budget;
+        res_base_delay = base;
+        res_max_delay =
+          Option.value (float_param uri "reconnect_max_delay") ~default:2.0;
+        res_jitter = 0.25;
+        res_seed = Option.value (int_param uri "reconnect_seed") ~default:1;
+      }
+  | Some _ | None -> None
+
 let open_conn uri =
   let* transport =
     match uri.Vuri.transport with
@@ -60,20 +279,36 @@ let open_conn uri =
       | ev -> Events.emit events ~domain_name:ev.Events.domain_name ev.Events.lifecycle
       | exception Xdr.Error _ -> ()
   in
-  let* rpc =
-    Rpc_client.connect ~address:(daemon ^ "-sock") ~kind ~program:Rp.program
-      ~version:Rp.version ~on_event ()
-  in
-  let conn = { rpc; events } in
+  let address = daemon ^ "-sock" in
+  let keepalive = keepalive_of_uri uri in
+  let resilience = resilience_of_uri uri in
   let forwarded = Vuri.to_string (daemon_side_uri uri) in
-  let* () = call_unit conn Rp.Proc_open (Rp.enc_string_body forwarded) in
-  let* () = call_unit conn Rp.Proc_event_register Rp.enc_unit_body in
-  Ok conn
+  let* rpc = establish ~address ~kind ~keepalive ~on_event ~forwarded in
+  Ok
+    {
+      rc_mutex = Mutex.create ();
+      rpc;
+      defunct = false;
+      events;
+      rc_address = address;
+      rc_kind = kind;
+      rc_forwarded = forwarded;
+      rc_keepalive = keepalive;
+      rc_resilience = resilience;
+      rc_on_event = on_event;
+      rc_prng =
+        (match resilience with Some r -> r.res_seed | None -> 1);
+    }
 
 let close_conn conn =
+  let rpc =
+    with_conn conn (fun () ->
+        conn.defunct <- true;
+        conn.rpc)
+  in
   (* Best effort: the daemon also cleans up on disconnect. *)
-  ignore (call conn Rp.Proc_close Rp.enc_unit_body);
-  Rpc_client.close conn.rpc
+  ignore (raw_call rpc Rp.Proc_close Rp.enc_unit_body);
+  Rpc_client.close rpc
 
 (* ------------------------------------------------------------------ *)
 (* Driver operations over the wire                                     *)

@@ -13,7 +13,42 @@
     in-process.
 
     Lifecycle events stream back as RPC event packets and feed the
-    connection's local event bus transparently. *)
+    connection's local event bus transparently.
+
+    {1 Resilience}
+
+    URI parameters (all stripped before the URI is forwarded):
+    - [keepalive=<seconds>] enables libvirt-style keepalive pings with
+      the given interval; [keepalive_count=<n>] overrides the default
+      miss count.
+    - [reconnect=<n>] enables auto-reconnect with a budget of [n]
+      attempts per outage.  On connection death the driver re-establishes
+      the transport (exponential backoff with deterministic jitter,
+      tunable via [reconnect_delay], [reconnect_max_delay] and
+      [reconnect_seed]), replays the open handshake, re-registers the
+      event callback, and transparently retries the interrupted call iff
+      it is idempotent ({!Protocol.Remote_protocol.is_idempotent});
+      mutating calls surface [Rpc_failure] for the caller to decide.
+      After the budget is exhausted the connection is defunct and every
+      call fails fast. *)
 
 val register : unit -> unit
 (** Register last: its probe accepts any transport-suffixed URI. *)
+
+(** {1 Resilience statistics}
+
+    Process-global counters, like the simulated network itself: chaos
+    experiments {!reset_stats} before a run and {!stats} after. *)
+
+type stats = {
+  st_reconnect_attempts : int;  (** establishment attempts during outages *)
+  st_reconnects : int;  (** outages successfully recovered *)
+  st_retried_calls : int;  (** idempotent calls transparently re-issued *)
+  st_giveups : int;  (** outages that exhausted the budget *)
+  st_recovery_latencies : float list;
+      (** seconds from outage detection to restored connection, most
+          recent first *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

@@ -18,6 +18,7 @@ type procedure =
   | Proc_get_log_outputs
   | Proc_set_log_outputs
   | Proc_daemon_uptime
+  | Proc_daemon_drain
 
 let all_procedures =
   [
@@ -27,6 +28,8 @@ let all_procedures =
     Proc_get_log_level; Proc_set_log_level; Proc_get_log_filters;
     Proc_set_log_filters; Proc_get_log_outputs; Proc_set_log_outputs;
     Proc_daemon_uptime;
+    (* v1.1 additions: numbers are append-only *)
+    Proc_daemon_drain;
   ]
 
 let proc_to_int proc =

@@ -25,6 +25,9 @@ type procedure =
   | Proc_get_log_outputs
   | Proc_set_log_outputs
   | Proc_daemon_uptime  (** ret: hyper seconds (monitoring aid) *)
+  | Proc_daemon_drain
+      (** graceful shutdown: stop accepting connections, finish in-flight
+          dispatches, then close.  Replies before the drain completes. *)
 
 val proc_to_int : procedure -> int
 val proc_of_int : int -> (procedure, string) result

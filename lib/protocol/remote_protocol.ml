@@ -91,6 +91,27 @@ let is_high_priority = function
   | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore ->
     false
 
+(* Idempotent = safe to re-issue after a connection death when the client
+   cannot know whether the daemon processed the lost call.  Strictly the
+   read-only procedures plus echo/ping; registration calls re-run as part
+   of the reconnect handshake instead.  Everything mutating stays out: a
+   lost Proc_dom_create may well have started the domain. *)
+let is_idempotent = function
+  | Proc_get_capabilities | Proc_get_hostname | Proc_list_domains
+  | Proc_list_defined | Proc_lookup_by_name | Proc_lookup_by_uuid
+  | Proc_dom_get_info | Proc_dom_get_xml | Proc_dom_has_managed_save
+  | Proc_net_list | Proc_net_lookup | Proc_pool_list | Proc_pool_lookup
+  | Proc_vol_list | Proc_echo | Proc_ping ->
+    true
+  | Proc_open | Proc_close | Proc_define_xml | Proc_undefine | Proc_dom_create
+  | Proc_dom_suspend | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy
+  | Proc_dom_set_memory | Proc_net_define | Proc_net_start | Proc_net_stop
+  | Proc_net_undefine | Proc_net_set_autostart | Proc_pool_define
+  | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine | Proc_vol_create
+  | Proc_vol_delete | Proc_event_register | Proc_event_deregister
+  | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore ->
+    false
+
 (* ------------------------------------------------------------------ *)
 (* Body codecs                                                         *)
 (* ------------------------------------------------------------------ *)

@@ -62,6 +62,12 @@ val is_high_priority : procedure -> bool
 (** High-priority procedures are guaranteed to finish without talking to a
     hypervisor, so priority workers may run them. *)
 
+val is_idempotent : procedure -> bool
+(** Safe to re-issue after a connection death (the read-only set): the
+    remote driver's auto-reconnect transparently retries exactly these.
+    Mutating procedures are never blindly retried — a lost call may have
+    been applied. *)
+
 (** {1 Body codecs} *)
 
 val enc_error : Ovirt_core.Verror.t -> string

@@ -2,12 +2,79 @@ module Transport = Ovnet.Transport
 module Netsim = Ovnet.Netsim
 module Rpc_packet = Ovrpc.Rpc_packet
 module Verror = Ovirt_core.Verror
+module Ka = Protocol.Keepalive_protocol
 
 type slot = {
   slot_mutex : Mutex.t;
   slot_cond : Condition.t;
   mutable outcome : (string, Verror.t) result option;
 }
+
+(* Deadline heap: array-backed binary min-heap ordered by expiry time.
+   One per client, owned by the shared timer thread; entries whose serial
+   is no longer pending are skipped on expiry (lazy deletion), so a reply
+   arriving before the deadline costs nothing extra. *)
+module Heap = struct
+  type entry = { at : float; serial : int; procedure : int; timeout : float }
+  type t = { mutable a : entry array; mutable n : int }
+
+  let dummy = { at = 0.; serial = 0; procedure = 0; timeout = 0. }
+  let create () = { a = Array.make 8 dummy; n = 0 }
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let a = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- e;
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      if h.a.(p).at > h.a.(!i).at then begin
+        let t = h.a.(p) in
+        h.a.(p) <- h.a.(!i);
+        h.a.(!i) <- t;
+        i := p;
+        true
+      end
+      else false
+    do
+      ()
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    h.a.(h.n) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.n && h.a.(l).at < h.a.(!smallest).at then smallest := l;
+      if r < h.n && h.a.(r).at < h.a.(!smallest).at then smallest := r;
+      if !smallest <> !i then begin
+        let t = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- t;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+type keepalive = { ka_interval : float; ka_count : int }
+
+let default_keepalive =
+  { ka_interval = Ka.default_interval_s; ka_count = Ka.default_count }
 
 type t = {
   conn : Transport.t;
@@ -16,8 +83,12 @@ type t = {
   on_event : procedure:int -> string -> unit;
   mutex : Mutex.t;
   pending : (int, slot) Hashtbl.t;
+  deadlines : Heap.t; (* guarded by [mutex] *)
+  keepalive : keepalive option;
   mutable next_serial : int;
   mutable closed : bool;
+  mutable last_rx : float; (* any packet counts as liveness *)
+  mutable last_ping : float;
 }
 
 let with_lock m f =
@@ -29,22 +100,38 @@ let deliver slot outcome =
       slot.outcome <- Some outcome;
       Condition.broadcast slot.slot_cond)
 
+(* Idempotent: the first closer (local close, receiver failure, keepalive
+   death) delivers the error to every pending call and marks the client
+   closed; later closers find nothing to do.  All under [client.mutex], so
+   the close path cannot race a concurrent [call] registering a slot. *)
 let fail_all_pending client err =
   let slots =
     with_lock client.mutex (fun () ->
-        let slots = Hashtbl.fold (fun _ slot acc -> slot :: acc) client.pending [] in
-        Hashtbl.reset client.pending;
-        client.closed <- true;
-        slots)
+        if client.closed then []
+        else begin
+          client.closed <- true;
+          let slots =
+            Hashtbl.fold (fun _ slot acc -> slot :: acc) client.pending []
+          in
+          Hashtbl.reset client.pending;
+          slots
+        end)
   in
   List.iter (fun slot -> deliver slot (Error err)) slots
 
 let receiver_loop client =
   let rec loop () =
     match Transport.recv client.conn with
-    | exception (Transport.Closed | Transport.Corrupt _) ->
+    | exception Transport.Closed ->
       fail_all_pending client (Verror.make Verror.Rpc_failure "connection closed")
+    | exception Transport.Corrupt msg ->
+      (* A corrupt frame poisons the stream: close the transport so the
+         peer reaps its side, then fail every caller. *)
+      Transport.close client.conn;
+      fail_all_pending client
+        (Verror.make Verror.Rpc_failure ("corrupt frame: " ^ msg))
     | wire ->
+      client.last_rx <- Unix.gettimeofday ();
       (match Rpc_packet.decode wire with
        | exception Rpc_packet.Bad_packet msg ->
          Transport.close client.conn;
@@ -64,7 +151,7 @@ let receiver_loop client =
                   slot)
             in
             (match slot with
-             | None -> () (* reply to a timed-out call: drop *)
+             | None -> () (* timed-out call or keepalive pong: drop *)
              | Some slot ->
                let outcome =
                  match header.Rpc_packet.status with
@@ -85,12 +172,84 @@ let receiver_loop client =
   in
   loop ()
 
-let connect ~address ~kind ~program ~version ?identity
+let send_ping client =
+  let serial =
+    with_lock client.mutex (fun () ->
+        let serial = client.next_serial in
+        client.next_serial <- serial + 1;
+        serial)
+  in
+  let header =
+    Rpc_packet.call_header ~program:Ka.program ~version:Ka.version
+      ~procedure:Ka.proc_ping ~serial
+  in
+  try Transport.send client.conn (Rpc_packet.encode header "") with
+  | Transport.Closed -> ()
+
+(* One timer thread per client replaces the per-call watchdog threads: it
+   owns the deadline heap (call timeouts) and the keepalive ticker.  The
+   stdlib has no timed condition wait, so it polls at the same granularity
+   Chan uses. *)
+let timer_tick = 0.005
+
+let timer_loop client =
+  let rec loop () =
+    if with_lock client.mutex (fun () -> client.closed) then ()
+    else begin
+      Thread.delay timer_tick;
+      let now = Unix.gettimeofday () in
+      let expired =
+        with_lock client.mutex (fun () ->
+            let rec collect acc =
+              match Heap.peek client.deadlines with
+              | Some e when e.Heap.at <= now ->
+                let e = Heap.pop client.deadlines in
+                (match Hashtbl.find_opt client.pending e.Heap.serial with
+                 | Some slot ->
+                   Hashtbl.remove client.pending e.Heap.serial;
+                   collect ((e, slot) :: acc)
+                 | None -> collect acc (* reply won the race: stale entry *))
+              | _ -> acc
+            in
+            collect [])
+      in
+      List.iter
+        (fun ((e : Heap.entry), slot) ->
+          deliver slot
+            (Error
+               (Verror.make Verror.Rpc_failure
+                  (Printf.sprintf "call %d timed out after %.1fs" e.Heap.procedure
+                     e.Heap.timeout))))
+        expired;
+      (match client.keepalive with
+       | None -> ()
+       | Some ka ->
+         let silent = now -. client.last_rx in
+         if silent > ka.ka_interval *. float_of_int ka.ka_count then begin
+           Transport.close client.conn;
+           fail_all_pending client
+             (Verror.make Verror.Rpc_failure
+                (Printf.sprintf "keepalive: peer silent for %.2fs (interval %.2fs x %d)"
+                   silent ka.ka_interval ka.ka_count))
+         end
+         else if
+           silent >= ka.ka_interval && now -. client.last_ping >= ka.ka_interval
+         then begin
+           client.last_ping <- now;
+           send_ping client
+         end);
+      loop ()
+    end
+  in
+  loop ()
+
+let connect ~address ~kind ~program ~version ?identity ?faults ?keepalive
     ?(on_event = fun ~procedure:_ _ -> ()) () =
-  match Netsim.connect ?identity address kind with
+  match Netsim.connect ?identity ?faults address kind with
   | exception Netsim.Connection_refused addr ->
     Verror.error Verror.Rpc_failure "connection refused at %S" addr
   | conn ->
+    let now = Unix.gettimeofday () in
     let client =
       {
         conn;
@@ -99,11 +258,16 @@ let connect ~address ~kind ~program ~version ?identity
         on_event;
         mutex = Mutex.create ();
         pending = Hashtbl.create 8;
+        deadlines = Heap.create ();
+        keepalive;
         next_serial = 1;
         closed = false;
+        last_rx = now;
+        last_ping = now;
       }
     in
     ignore (Thread.create (fun () -> receiver_loop client) ());
+    ignore (Thread.create (fun () -> timer_loop client) ());
     Ok client
 
 let call client ~procedure ?(body = "") ?timeout_s () =
@@ -118,6 +282,16 @@ let call client ~procedure ?(body = "") ?timeout_s () =
             { slot_mutex = Mutex.create (); slot_cond = Condition.create (); outcome = None }
           in
           Hashtbl.replace client.pending serial slot;
+          (match timeout_s with
+           | None -> ()
+           | Some t ->
+             Heap.push client.deadlines
+               {
+                 Heap.at = Unix.gettimeofday () +. t;
+                 serial;
+                 procedure;
+                 timeout = t;
+               });
           Ok (serial, slot)
         end)
   in
@@ -133,33 +307,10 @@ let call client ~procedure ?(body = "") ?timeout_s () =
        with_lock client.mutex (fun () -> Hashtbl.remove client.pending serial);
        Verror.error Verror.Rpc_failure "connection is closed"
      | () ->
-       (* The stdlib has no timed condition wait.  The receiver thread
-          always delivers — a reply, or a failure when the connection
-          dies — so the fast path is a plain wait.  When a timeout is
-          requested, a watchdog thread delivers the timeout error if the
-          slot is still pending at the deadline. *)
-       (match timeout_s with
-        | None -> ()
-        | Some t ->
-          ignore
-            (Thread.create
-               (fun () ->
-                 Thread.delay t;
-                 let still_pending =
-                   with_lock client.mutex (fun () ->
-                       if Hashtbl.mem client.pending serial then begin
-                         Hashtbl.remove client.pending serial;
-                         true
-                       end
-                       else false)
-                 in
-                 if still_pending then
-                   deliver slot
-                     (Error
-                        (Verror.make Verror.Rpc_failure
-                           (Printf.sprintf "call %d timed out after %.1fs" procedure
-                              t))))
-               ()));
+       (* The fast path is a plain wait: the receiver always delivers — a
+          reply, or a failure when the connection dies — and the shared
+          timer thread delivers the timeout error for calls registered in
+          the deadline heap. *)
        with_lock slot.slot_mutex (fun () ->
            let rec wait () =
              match slot.outcome with
@@ -174,6 +325,7 @@ let close client =
   Transport.close client.conn;
   fail_all_pending client (Verror.make Verror.Rpc_failure "connection closed locally")
 
-let is_closed client = client.closed
+let is_closed client = with_lock client.mutex (fun () -> client.closed)
+let pending_calls client = with_lock client.mutex (fun () -> Hashtbl.length client.pending)
 let bytes_tx client = Transport.bytes_tx client.conn
 let bytes_rx client = Transport.bytes_rx client.conn

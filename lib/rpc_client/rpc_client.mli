@@ -3,10 +3,22 @@
 
     One receiver thread demultiplexes the connection: replies are matched
     to blocked callers by serial, event packets are handed to the
-    [on_event] callback.  Multiple threads may issue {!call}s
+    [on_event] callback.  A second, shared timer thread owns a deadline
+    heap for call timeouts — no thread is spawned per timed call — and
+    doubles as the keepalive ticker.  Multiple threads may issue {!call}s
     concurrently; sends are serialized by the transport layer. *)
 
 type t
+
+type keepalive = { ka_interval : float; ka_count : int }
+(** libvirt-style keepalive: when the connection has been silent for
+    [ka_interval] seconds a PING is sent ({!Protocol.Keepalive_protocol});
+    after [ka_interval × ka_count] seconds with no traffic at all the peer
+    is declared dead, the transport closed and every pending call failed
+    with [Rpc_failure]. *)
+
+val default_keepalive : keepalive
+(** 5s × 5, the libvirt defaults. *)
 
 val connect :
   address:string ->
@@ -14,11 +26,16 @@ val connect :
   program:int ->
   version:int ->
   ?identity:Ovnet.Transport.unix_identity ->
+  ?faults:Ovnet.Faults.plan ->
+  ?keepalive:keepalive ->
   ?on_event:(procedure:int -> string -> unit) ->
   unit ->
   (t, Ovirt_core.Verror.t) result
-(** Establish the transport and start the receiver.
-    [Connection_refused] surfaces as a [Rpc_failure] error. *)
+(** Establish the transport and start the receiver and timer threads.
+    [Connection_refused] surfaces as a [Rpc_failure] error.  [faults]
+    attaches a client-side fault plan (tests/chaos only).  Without
+    [keepalive] a silent dead peer is only noticed when the transport
+    closes. *)
 
 val call :
   t -> procedure:int -> ?body:string -> ?timeout_s:float -> unit ->
@@ -26,12 +43,16 @@ val call :
 (** Send one call and block for its reply (no timeout unless given;
     the receiver fails all pending calls when the connection dies).
     [Status_error] replies come back as their decoded error; a dead
-    connection or timeout is [Rpc_failure]. *)
+    connection, keepalive death or timeout is [Rpc_failure]. *)
 
 val close : t -> unit
-(** Idempotent; fails all in-flight calls. *)
+(** Idempotent; fails all in-flight calls (exactly once, whoever closes
+    first — local close, receiver failure or keepalive — wins). *)
 
 val is_closed : t -> bool
+
+val pending_calls : t -> int
+(** In-flight calls awaiting a reply (observability/tests). *)
 
 val bytes_tx : t -> int
 val bytes_rx : t -> int

@@ -1,0 +1,155 @@
+type fault =
+  | Refuse_connect
+  | Drop_after of int
+  | Delay of float
+  | Corrupt_frame of int
+  | Blackhole
+
+type stats = {
+  connects_refused : int;
+  connections_killed : int;
+  frames_corrupted : int;
+  frames_delayed : int;
+  frames_blackholed : int;
+  frames_delivered : int;
+}
+
+type plan = {
+  seed : int;
+  plan_faults : fault list;
+  mutex : Mutex.t;
+  mutable next_conn : int;
+  mutable st_refused : int;
+  mutable st_killed : int;
+  mutable st_corrupted : int;
+  mutable st_delayed : int;
+  mutable st_blackholed : int;
+  mutable st_delivered : int;
+}
+
+let plan ?(seed = 1) faults =
+  {
+    seed;
+    plan_faults = faults;
+    mutex = Mutex.create ();
+    next_conn = 0;
+    st_refused = 0;
+    st_killed = 0;
+    st_corrupted = 0;
+    st_delayed = 0;
+    st_blackholed = 0;
+    st_delivered = 0;
+  }
+
+let with_lock p f =
+  Mutex.lock p.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.mutex) f
+
+let faults p = p.plan_faults
+
+let stats p =
+  with_lock p (fun () ->
+      {
+        connects_refused = p.st_refused;
+        connections_killed = p.st_killed;
+        frames_corrupted = p.st_corrupted;
+        frames_delayed = p.st_delayed;
+        frames_blackholed = p.st_blackholed;
+        frames_delivered = p.st_delivered;
+      })
+
+let refuses_connect p =
+  if List.mem Refuse_connect p.plan_faults then begin
+    with_lock p (fun () -> p.st_refused <- p.st_refused + 1);
+    true
+  end
+  else false
+
+(* SplitMix-style mixer; cheap, stateless, and good enough to pick bytes
+   to flip.  Determinism matters more than quality here. *)
+let mix x =
+  let x = x + 0x9e3779b9 in
+  let x = (x lxor (x lsr 30)) * 0x4f6cdd1d in
+  let x = (x lxor (x lsr 27)) * 0x2545f491 in
+  (x lxor (x lsr 31)) land max_int
+
+(* Per-connection fault state: own PRNG stream and frame counter, so two
+   directions or two connections never race over shared randomness. *)
+type conn_state = { mutable prng : int; mutable frames : int }
+
+let next_rand st =
+  st.prng <- mix st.prng;
+  st.prng
+
+let flip_one_bit st wire =
+  if String.length wire = 0 then wire
+  else begin
+    let pos = next_rand st mod String.length wire in
+    let bit = next_rand st land 7 in
+    let b = Bytes.of_string wire in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let pump p st ep proxy =
+  let kill () =
+    with_lock p (fun () -> p.st_killed <- p.st_killed + 1);
+    Chan.close_endpoint ep;
+    Chan.close proxy
+  in
+  let rec loop () =
+    match Chan.recv ep.Chan.incoming with
+    | exception Chan.Closed -> Chan.close proxy
+    | wire ->
+      st.frames <- st.frames + 1;
+      let n = st.frames in
+      if
+        List.exists
+          (function Drop_after k -> n >= k | _ -> false)
+          p.plan_faults
+      then kill ()
+      else begin
+        List.iter
+          (function
+            | Delay d ->
+              with_lock p (fun () -> p.st_delayed <- p.st_delayed + 1);
+              Thread.delay d
+            | _ -> ())
+          p.plan_faults;
+        if List.mem Blackhole p.plan_faults then begin
+          with_lock p (fun () -> p.st_blackholed <- p.st_blackholed + 1);
+          loop ()
+        end
+        else begin
+          let wire =
+            if
+              List.exists
+                (function Corrupt_frame k -> k = n | _ -> false)
+                p.plan_faults
+            then begin
+              with_lock p (fun () -> p.st_corrupted <- p.st_corrupted + 1);
+              flip_one_bit st wire
+            end
+            else wire
+          in
+          with_lock p (fun () -> p.st_delivered <- p.st_delivered + 1);
+          match Chan.send proxy wire with
+          | () -> loop ()
+          | exception Chan.Closed ->
+            (* The attached side closed its endpoint; mirror the close to
+               the peer, as a dead socket would. *)
+            Chan.close_endpoint ep
+        end
+      end
+  in
+  loop ()
+
+let wrap p ep =
+  let conn_ix = with_lock p (fun () ->
+      p.next_conn <- p.next_conn + 1;
+      p.next_conn)
+  in
+  let st = { prng = mix (p.seed + (conn_ix * 0x10001)); frames = 0 } in
+  let proxy = Chan.create () in
+  ignore (Thread.create (fun () -> pump p st ep proxy) ());
+  { Chan.incoming = proxy; outgoing = ep.Chan.outgoing }

@@ -5,6 +5,7 @@ type listener = {
   addr : string;
   handler : Transport.t -> unit;
   mutable open_ : bool;
+  mutable faults : Faults.plan option;
 }
 
 let registry : (string, listener) Hashtbl.t = Hashtbl.create 8
@@ -14,12 +15,20 @@ let with_registry f =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
-let listen addr handler =
+(* Chaos-test failures must be diagnosable: handler exceptions go here
+   rather than vanishing.  Warn-level stderr by default; the daemon (or a
+   test) may swap in its own logger. *)
+let logger =
+  ref (Vlog.create ~level:Vlog.Warn ())
+
+let set_logger l = logger := l
+
+let listen ?faults addr handler =
   with_registry (fun () ->
       (match Hashtbl.find_opt registry addr with
        | Some l when l.open_ -> raise (Address_in_use addr)
        | Some _ | None -> ());
-      let l = { addr; handler; open_ = true } in
+      let l = { addr; handler; open_ = true; faults } in
       Hashtbl.replace registry addr l;
       l)
 
@@ -29,6 +38,14 @@ let close_listener l =
       match Hashtbl.find_opt registry l.addr with
       | Some current when current == l -> Hashtbl.remove registry l.addr
       | Some _ | None -> ())
+
+let set_listener_faults addr faults =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry addr with
+      | Some l when l.open_ ->
+        l.faults <- faults;
+        true
+      | Some _ | None -> false)
 
 let default_identity =
   Transport.{ uid = 0; gid = 0; pid = 1; username = "root"; groupname = "root" }
@@ -40,21 +57,37 @@ let fresh_sock_addr () =
   Printf.sprintf "192.168.%d.%d:%d" ((n lsr 8) land 0xff) (n land 0xff)
     (10000 + (n mod 50000))
 
-let connect ?identity ?sock_addr addr kind =
-  let l =
+let connect ?identity ?sock_addr ?faults addr kind =
+  let l, listener_faults =
     with_registry (fun () ->
         match Hashtbl.find_opt registry addr with
-        | Some l when l.open_ -> l
+        | Some l when l.open_ -> (l, l.faults)
         | Some _ | None -> raise (Connection_refused addr))
   in
+  let refused plan =
+    match plan with Some p -> Faults.refuses_connect p | None -> false
+  in
+  if refused listener_faults || refused faults then raise (Connection_refused addr);
   let client_ep, server_ep = Chan.pipe () in
+  let server_ep =
+    match listener_faults with Some p -> Faults.wrap p server_ep | None -> server_ep
+  in
+  let client_ep =
+    match faults with Some p -> Faults.wrap p client_ep | None -> client_ep
+  in
   (* The server half of the handshake runs in the per-connection thread,
      like an accept loop handing the socket to a worker. *)
   ignore
     (Thread.create
        (fun () ->
          match Transport.accept kind server_ep with
-         | conn -> (try l.handler conn with _ -> Transport.close conn)
+         | conn ->
+           (try l.handler conn
+            with exn ->
+              Vlog.logf !logger ~module_:"netsim" Vlog.Warn
+                "listener %s: connection handler raised %s" addr
+                (Printexc.to_string exn);
+              Transport.close conn)
          | exception _ -> Chan.close_endpoint server_ep)
        ());
   let peer_sends =
