@@ -786,6 +786,72 @@ let chaos () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E14: driver read-op concurrency — coarse mutex vs rwlock            *)
+(* ------------------------------------------------------------------ *)
+
+(* N clients poll dom_get_info (a read-classified op whose simulated
+   200 us hypervisor exchange happens inside the lock section) against
+   one node while a background writer cycles a domain's lifecycle.  The
+   node lock is the only variable: ?coarse=1 demotes the rwlock to a
+   plain mutex, reproducing the pre-refactor coarse driver lock on the
+   identical code path. *)
+let rwlock () =
+  section "E14: read-op throughput vs clients, coarse driver mutex vs rwlock";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let duration_s = if smoke then 0.05 else 0.3 in
+  let client_counts = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  let run_variant ~coarse n_clients =
+    let node = fresh "rw" in
+    let uri =
+      Printf.sprintf "test://%s/?latency_us=200%s" node
+        (if coarse then "&coarse=1" else "")
+    in
+    let conns = List.init n_clients (fun _ -> ok (Connect.open_uri uri)) in
+    let doms =
+      Array.of_list
+        (List.map (fun c -> ok (Domain.lookup_by_name c "test")) conns)
+    in
+    (* Background lifecycle writer: keeps write sections flowing through
+       the same lock for the whole measurement. *)
+    let writer_conn = ok (Connect.open_uri uri) in
+    let wdom = define_domain (List.hd kits) writer_conn (fresh "wr") in
+    let stop = Atomic.make false in
+    let writer =
+      Thread.create
+        (fun () ->
+          while not (Atomic.get stop) do
+            ignore (Domain.create wdom);
+            ignore (Domain.destroy wdom);
+            Thread.delay 0.002
+          done)
+        ()
+    in
+    let ops =
+      measure_throughput ~n_threads:n_clients ~duration_s (fun i ->
+          ignore (ok (Domain.get_info doms.(i))))
+    in
+    Atomic.set stop true;
+    Thread.join writer;
+    List.iter Connect.close conns;
+    Connect.close writer_conn;
+    ops
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let coarse = run_variant ~coarse:true n in
+        let rw = run_variant ~coarse:false n in
+        [
+          string_of_int n;
+          pp_ops coarse ^ " ops/s";
+          pp_ops rw ^ " ops/s";
+          Printf.sprintf "%.1fx" (rw /. coarse);
+        ])
+      client_counts
+  in
+  table [ "clients"; "coarse mutex"; "rwlock"; "speedup" ] rows
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -802,6 +868,7 @@ let experiments =
     ("fig6", fig6);
     ("table6", table6);
     ("chaos", chaos);
+    ("rwlock", rwlock);
   ]
 
 let () =

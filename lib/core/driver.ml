@@ -177,12 +177,16 @@ let with_registry f =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
+(* Single-pass ordered upsert: re-registering replaces in place (probe
+   order is load-bearing — the remote driver registers last as the
+   catch-all), a new name appends. *)
 let register reg =
   with_registry (fun () ->
-      if List.exists (fun r -> r.reg_name = reg.reg_name) !registry then
-        registry :=
-          List.map (fun r -> if r.reg_name = reg.reg_name then reg else r) !registry
-      else registry := !registry @ [ reg ])
+      let rec upsert = function
+        | [] -> [ reg ]
+        | r :: rest -> if r.reg_name = reg.reg_name then reg :: rest else r :: upsert rest
+      in
+      registry := upsert !registry)
 
 let registered () = with_registry (fun () -> List.map (fun r -> r.reg_name) !registry)
 let clear_registry () = with_registry (fun () -> registry := [])

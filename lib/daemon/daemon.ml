@@ -4,13 +4,25 @@ type t = {
   servers : (string * Server_obj.t) list;
   listeners : Ovnet.Netsim.listener list;
   started_at : float;
+  (* Lifecycle flags are only touched under [lifecycle]: stop and drain
+     race from different threads (tests tear down while the admin drain
+     thread runs) and must not double-close listeners or shut a pool down
+     twice. *)
+  lifecycle : Mutex.t;
+  lifecycle_cv : Condition.t;
   mutable stopped : bool;
+  mutable draining : bool;
 }
 
 let mgmt_address_of name = name ^ "-sock"
 let admin_address_of name = name ^ "-admin-sock"
 
-let stop daemon =
+let with_lifecycle daemon f =
+  Mutex.lock daemon.lifecycle;
+  Fun.protect ~finally:(fun () -> Mutex.unlock daemon.lifecycle) f
+
+(* Assumes [lifecycle] is held. *)
+let stop_locked daemon =
   if not daemon.stopped then begin
     daemon.stopped <- true;
     List.iter Ovnet.Netsim.close_listener daemon.listeners;
@@ -23,11 +35,30 @@ let stop daemon =
       daemon.name
   end
 
+(* A stop issued while a drain is running waits for the drain to finish
+   (which itself ends in a stop), so stop keeps its synchronous meaning:
+   when it returns, the daemon is down. *)
+let stop daemon =
+  with_lifecycle daemon (fun () ->
+      while daemon.draining do
+        Condition.wait daemon.lifecycle_cv daemon.lifecycle
+      done;
+      stop_locked daemon)
+
 (* Graceful shutdown: stop accepting (listeners closed, servers marked
    draining so the dispatcher refuses new calls), let every queued and
-   in-flight dispatch finish, then tear down. *)
+   in-flight dispatch finish, then tear down.  Only one thread gets to
+   run the drain; the blocking waits happen outside the mutex. *)
 let drain_impl daemon =
-  if not daemon.stopped then begin
+  let claimed =
+    with_lifecycle daemon (fun () ->
+        if daemon.stopped || daemon.draining then false
+        else begin
+          daemon.draining <- true;
+          true
+        end)
+  in
+  if claimed then begin
     Vlog.logf daemon.logger ~module_:"daemon" Vlog.Info "daemon %s draining"
       daemon.name;
     List.iter Ovnet.Netsim.close_listener daemon.listeners;
@@ -35,7 +66,10 @@ let drain_impl daemon =
     List.iter
       (fun (_, srv) -> Threadpool.drain (Server_obj.pool srv))
       daemon.servers;
-    stop daemon
+    with_lifecycle daemon (fun () ->
+        stop_locked daemon;
+        daemon.draining <- false;
+        Condition.broadcast daemon.lifecycle_cv)
   end
 
 let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
@@ -116,7 +150,10 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
       servers;
       listeners = [ mgmt_listener; admin_listener ];
       started_at;
+      lifecycle = Mutex.create ();
+      lifecycle_cv = Condition.create ();
       stopped = false;
+      draining = false;
     }
   in
   self := Some daemon;

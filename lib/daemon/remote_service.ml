@@ -71,32 +71,43 @@ let storage_backend (cs : conn_state) =
   | Some b -> Ok b
   | None -> Driver.unsupported ~drv:cs.ops.Driver.drv_name ~op:"storage pools"
 
+(* Lookup and subscription must share one critical section: with the
+   lookup under a separate lock acquisition, a disconnect arriving in
+   between runs [teardown_conn] against a still-empty [event_sub], and
+   the subscription installed afterwards leaks on the bus forever
+   (delivering to a dead client). *)
 let do_event_register st client =
-  let* cs = get_conn st client in
   with_lock st (fun () ->
-      match cs.event_sub with
-      | Some _ -> Ok Rp.enc_unit_body
+      match Hashtbl.find_opt st.conns (Client_obj.id client) with
       | None ->
-        let sub =
-          Events.subscribe cs.ops.Driver.events (fun event ->
-              let header =
-                Rpc_packet.event_header ~program:Rp.program ~version:Rp.version
-                  ~procedure:(Rp.proc_to_int Rp.Proc_event_lifecycle)
-              in
-              Client_obj.send_packet client
-                (Rpc_packet.encode header (Rp.enc_lifecycle_event event)))
-        in
-        cs.event_sub <- Some sub;
-        Ok Rp.enc_unit_body)
+        Verror.error Verror.No_connect "client has no open hypervisor connection"
+      | Some cs -> (
+        match cs.event_sub with
+        | Some _ -> Ok Rp.enc_unit_body
+        | None ->
+          let sub =
+            Events.subscribe cs.ops.Driver.events (fun event ->
+                let header =
+                  Rpc_packet.event_header ~program:Rp.program ~version:Rp.version
+                    ~procedure:(Rp.proc_to_int Rp.Proc_event_lifecycle)
+                in
+                Client_obj.send_packet client
+                  (Rpc_packet.encode header (Rp.enc_lifecycle_event event)))
+          in
+          cs.event_sub <- Some sub;
+          Ok Rp.enc_unit_body))
 
 let do_event_deregister st client =
-  let* cs = get_conn st client in
   with_lock st (fun () ->
-      (match cs.event_sub with
-       | Some sub -> Events.unsubscribe cs.ops.Driver.events sub
-       | None -> ());
-      cs.event_sub <- None;
-      Ok Rp.enc_unit_body)
+      match Hashtbl.find_opt st.conns (Client_obj.id client) with
+      | None ->
+        Verror.error Verror.No_connect "client has no open hypervisor connection"
+      | Some cs ->
+        (match cs.event_sub with
+         | Some sub -> Events.unsubscribe cs.ops.Driver.events sub
+         | None -> ());
+        cs.event_sub <- None;
+        Ok Rp.enc_unit_body)
 
 let handle st _srv client header body =
   let* proc =

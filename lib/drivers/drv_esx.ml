@@ -4,26 +4,27 @@ module Vm_state = Vmm.Vm_state
 module Esx_host = Hvsim.Esx_host
 open Ovirt_core
 
-let hosts : (string, Esx_host.t) Hashtbl.t = Hashtbl.create 4
-let hosts_mutex = Mutex.create ()
+(* Substrate state: the simulated ESX server itself.  The driver is
+   stateless — VM registrations live server-side — so the node's
+   Domstore goes unused; the node still provides the shared rwlock that
+   orders concurrent sessions against one host. *)
+type payload = Esx_host.t
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+type node = payload Drvnode.node
 
-let get_host name =
-  with_lock hosts_mutex (fun () ->
-      match Hashtbl.find_opt hosts name with
-      | Some esx -> esx
-      | None ->
-        let esx = Esx_host.create (Hvsim.Hostinfo.create ~hostname:name ()) in
-        Hashtbl.add hosts name esx;
-        esx)
+let nodes : payload Drvnode.registry =
+  Drvnode.registry (fun ~node_name ->
+      Esx_host.create (Hvsim.Hostinfo.create ~hostname:node_name ()))
 
-let reset_hosts () = with_lock hosts_mutex (fun () -> Hashtbl.reset hosts)
+let get_node name : node = Drvnode.get_node nodes name
+let get_host name = (get_node name).Drvnode.payload
+let reset_hosts () = Drvnode.reset_nodes nodes
 
 (* A connection is a logged-in session against one host. *)
-type session = { esx : Esx_host.t; esx_name : string; token : string }
+type session = { node : node; token : string }
+
+let esx session = session.node.Drvnode.payload
+let esx_name session = session.node.Drvnode.node_name
 
 let ( let* ) = Result.bind
 
@@ -34,7 +35,7 @@ let call session ~op ?name ?(body = []) () =
     @ match name with Some n -> [ ("name", n) ] | None -> []
   in
   let request = X.to_string (X.elt "request" ~attrs body) in
-  let reply = Esx_host.endpoint_request session.esx request in
+  let reply = Esx_host.endpoint_request (esx session) request in
   match X.of_string reply with
   | exception X.Parse_error msg ->
     Verror.error Verror.Rpc_failure "unparseable ESX response: %s" msg
@@ -49,13 +50,13 @@ let call session ~op ?name ?(body = []) () =
     Error (Verror.make code msg)
   | root -> Verror.error Verror.Rpc_failure "unexpected ESX reply <%s>" root.X.tag
 
-let login esx esx_name ~username ~password =
+let login (node : node) ~username ~password =
   let request =
     X.to_string
       (X.elt "request" ~attrs:[ ("op", "Login") ]
          [ X.leaf "username" username; X.leaf "password" password ])
   in
-  let reply = Esx_host.endpoint_request esx request in
+  let reply = Esx_host.endpoint_request node.Drvnode.payload request in
   match X.of_string reply with
   | exception X.Parse_error msg ->
     Verror.error Verror.Rpc_failure "unparseable ESX response: %s" msg
@@ -64,7 +65,7 @@ let login esx esx_name ~username ~password =
   | root ->
     (try
        let token = X.attr_exn (X.child_exn root "session") "token" in
-       Ok { esx; esx_name; token }
+       Ok { node; token }
      with X.Parse_error msg ->
        Verror.error Verror.Rpc_failure "bad login reply: %s" msg)
 
@@ -91,60 +92,74 @@ let get_summary session name =
 
 (* ------------------------------------------------------------------ *)
 (* Driver operations                                                   *)
+(*                                                                     *)
+(* Sessions against one host share its node lock: query exchanges run  *)
+(* under the read section, state-changing ones under the write section.*)
 (* ------------------------------------------------------------------ *)
 
+let with_read session f = Drvnode.with_read session.node f
+let with_write session f = Drvnode.with_write session.node f
+
 let list_domains session =
-  let* resp = call session ~op:"ListVMs" () in
-  X.children_named resp "vm"
-  |> List.filter_map (fun vm ->
-         match vm_state_of_summary vm with
-         | Ok state when Vm_state.is_active state ->
-           (match vm_ref_of_summary vm with Ok r -> Some r | Error _ -> None)
-         | Ok _ | Error _ -> None)
-  |> List.sort (fun a b -> compare a.Driver.dom_name b.Driver.dom_name)
-  |> Result.ok
+  with_read session (fun () ->
+      let* resp = call session ~op:"ListVMs" () in
+      X.children_named resp "vm"
+      |> List.filter_map (fun vm ->
+             match vm_state_of_summary vm with
+             | Ok state when Vm_state.is_active state ->
+               (match vm_ref_of_summary vm with Ok r -> Some r | Error _ -> None)
+             | Ok _ | Error _ -> None)
+      |> List.sort (fun a b -> compare a.Driver.dom_name b.Driver.dom_name)
+      |> Result.ok)
 
 let list_defined session =
-  let* resp = call session ~op:"ListVMs" () in
-  X.children_named resp "vm"
-  |> List.filter_map (fun vm ->
-         match vm_state_of_summary vm with
-         | Ok Vm_state.Shutoff -> X.attr vm "name"
-         | Ok _ | Error _ -> None)
-  |> List.sort compare
-  |> Result.ok
+  with_read session (fun () ->
+      let* resp = call session ~op:"ListVMs" () in
+      X.children_named resp "vm"
+      |> List.filter_map (fun vm ->
+             match vm_state_of_summary vm with
+             | Ok Vm_state.Shutoff -> X.attr vm "name"
+             | Ok _ | Error _ -> None)
+      |> List.sort compare
+      |> Result.ok)
 
 let lookup_by_name session name =
-  let* vm = get_summary session name in
-  vm_ref_of_summary vm
+  with_read session (fun () ->
+      let* vm = get_summary session name in
+      vm_ref_of_summary vm)
 
 let lookup_by_uuid session uuid =
-  let* resp = call session ~op:"ListVMs" () in
-  let matching =
-    X.children_named resp "vm"
-    |> List.find_opt (fun vm ->
-           X.attr vm "uuid" = Some (Vmm.Uuid.to_string uuid))
-  in
-  match matching with
-  | Some vm -> vm_ref_of_summary vm
-  | None ->
-    Verror.error Verror.No_domain "no domain with UUID %s" (Vmm.Uuid.to_string uuid)
+  with_read session (fun () ->
+      let* resp = call session ~op:"ListVMs" () in
+      let matching =
+        X.children_named resp "vm"
+        |> List.find_opt (fun vm ->
+               X.attr vm "uuid" = Some (Vmm.Uuid.to_string uuid))
+      in
+      match matching with
+      | Some vm -> vm_ref_of_summary vm
+      | None ->
+        Verror.error Verror.No_domain "no domain with UUID %s"
+          (Vmm.Uuid.to_string uuid))
 
 let define_xml session xml =
   let* cfg = Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Hvm ] xml in
-  let body = [ X.node (Vmm.Domxml.to_element ~virt_type:"vmware" cfg) ] in
-  let* resp = call session ~op:"RegisterVM" ~body () in
-  match X.child resp "vm" with
-  | Some vm -> vm_ref_of_summary vm
-  | None -> Verror.error Verror.Rpc_failure "RegisterVM reply lacks <vm>"
+  with_write session (fun () ->
+      let body = [ X.node (Vmm.Domxml.to_element ~virt_type:"vmware" cfg) ] in
+      let* resp = call session ~op:"RegisterVM" ~body () in
+      match X.child resp "vm" with
+      | Some vm -> vm_ref_of_summary vm
+      | None -> Verror.error Verror.Rpc_failure "RegisterVM reply lacks <vm>")
 
 let undefine session name =
-  let* _ = call session ~op:"UnregisterVM" ~name () in
-  Ok ()
+  with_write session (fun () ->
+      let* _ = call session ~op:"UnregisterVM" ~name () in
+      Ok ())
 
 let power_op op session name =
-  let* _ = call session ~op ~name () in
-  Ok ()
+  with_write session (fun () ->
+      let* _ = call session ~op ~name () in
+      Ok ())
 
 let dom_create = power_op "PowerOnVM"
 let dom_suspend = power_op "SuspendVM"
@@ -159,53 +174,56 @@ let dom_shutdown session name =
   Driver.unsupported ~drv:"esx" ~op:"shutdown (requires in-guest tools)"
 
 let dom_get_info session name =
-  let* vm = get_summary session name in
-  let* state = vm_state_of_summary vm in
-  let memory = X.int_attr_exn vm "memoryKiB" in
-  Ok
-    Driver.
-      {
-        di_state = state;
-        di_max_mem_kib = memory;
-        di_memory_kib = memory;
-        di_vcpus = X.int_attr_exn vm "vcpus";
-        di_cpu_time_ns = 0L;
-      }
+  with_read session (fun () ->
+      let* vm = get_summary session name in
+      let* state = vm_state_of_summary vm in
+      let memory = X.int_attr_exn vm "memoryKiB" in
+      Ok
+        Driver.
+          {
+            di_state = state;
+            di_max_mem_kib = memory;
+            di_memory_kib = memory;
+            di_vcpus = X.int_attr_exn vm "vcpus";
+            di_cpu_time_ns = 0L;
+          })
 
 let dom_get_xml session name =
-  let* resp = call session ~op:"GetVM" ~name () in
-  match X.child resp "domain" with
-  | Some dom -> Ok (X.to_string dom)
-  | None -> Verror.error Verror.Rpc_failure "GetVM reply lacks <domain>"
+  with_read session (fun () ->
+      let* resp = call session ~op:"GetVM" ~name () in
+      match X.child resp "domain" with
+      | Some dom -> Ok (X.to_string dom)
+      | None -> Verror.error Verror.Rpc_failure "GetVM reply lacks <domain>")
 
 let capabilities session =
-  Capabilities.
-    {
-      driver_name = "esx";
-      virt_kind = "full-virt";
-      stateful = false;
-      guest_os_kinds = [ Vm_config.Hvm ];
-      features =
-        [
-          Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_destroy;
-          Feat_remote_native;
-        ];
-      host =
-        Drvutil.host_summary ~node_name:session.esx_name (Esx_host.host session.esx);
-    }
+  with_read session (fun () ->
+      Capabilities.
+        {
+          driver_name = "esx";
+          virt_kind = "full-virt";
+          stateful = false;
+          guest_os_kinds = [ Vm_config.Hvm ];
+          features =
+            [
+              Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_destroy;
+              Feat_remote_native;
+            ];
+          host =
+            Drvutil.host_summary ~node_name:(esx_name session)
+              (Esx_host.host (esx session));
+        })
 
 let close session = ignore (call session ~op:"Logout" ())
 
 let open_conn uri =
-  let esx_name = Option.value uri.Vuri.host ~default:"esx01" in
-  let esx = get_host esx_name in
+  let node = get_node (Option.value uri.Vuri.host ~default:"esx01") in
   let username = Option.value uri.Vuri.user ~default:"root" in
   let password = Option.value (Vuri.param uri "password") ~default:"esx" in
-  let* session = login esx esx_name ~username ~password in
+  let* session = login node ~username ~password in
   Ok
     (Driver.make_ops ~drv_name:"esx"
        ~get_capabilities:(fun () -> capabilities session)
-       ~get_hostname:(fun () -> session.esx_name)
+       ~get_hostname:(fun () -> esx_name session)
        ~close:(fun () -> close session)
        ~list_domains:(fun () -> list_domains session)
        ~list_defined:(fun () -> list_defined session)
@@ -218,9 +236,8 @@ let open_conn uri =
        ())
 
 let register () =
-  Driver.register
-    {
-      Driver.reg_name = "esx";
-      probe = (fun uri -> uri.Vuri.scheme = "esx");
-      open_conn;
-    }
+  (* Custom probe: the hypervisor carries its own remote endpoint, so
+     esx:// URIs never route to the remote driver, transport or not. *)
+  Drvnode.register ~name:"esx"
+    ~probe:(fun uri -> uri.Vuri.scheme = "esx")
+    ~open_conn ()

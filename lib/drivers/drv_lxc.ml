@@ -3,61 +3,31 @@ module Vm_state = Vmm.Vm_state
 module Lxc_host = Hvsim.Lxc_host
 open Ovirt_core
 
-type node = {
-  node_name : string;
-  lxc : Lxc_host.t;
-  mutex : Mutex.t;
-  (* Container configs (for XML/uuid); live state lives in the host sim. *)
-  store : Domstore.t;
-  net : Net_backend.t;
-  storage : Storage_backend.t;
-  events : Events.bus;
-}
-
-let nodes : (string, node) Hashtbl.t = Hashtbl.create 4
-let nodes_mutex = Mutex.create ()
-
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+(* Substrate state: the container host.  The node's Domstore keeps the
+   configs (for XML/uuid); live state lives in the host sim. *)
+type payload = { lxc : Lxc_host.t }
+type node = payload Drvnode.node
 
 let ( let* ) = Result.bind
 
-let get_node name =
-  with_lock nodes_mutex (fun () ->
-      match Hashtbl.find_opt nodes name with
-      | Some node -> node
-      | None ->
-        let node =
-          {
-            node_name = name;
-            lxc = Lxc_host.create (Hvsim.Hostinfo.create ~hostname:name ());
-            mutex = Mutex.create ();
-            store = Domstore.create ();
-            net = Net_backend.create ();
-            storage = Storage_backend.create ();
-            events = Events.create_bus ();
-          }
-        in
-        Hashtbl.add nodes name node;
-        node)
+let nodes : payload Drvnode.registry =
+  Drvnode.registry (fun ~node_name ->
+      { lxc = Lxc_host.create (Hvsim.Hostinfo.create ~hostname:node_name ()) })
 
-let reset_nodes () = with_lock nodes_mutex (fun () -> Hashtbl.reset nodes)
+let get_node name = Drvnode.get_node nodes name
+let reset_nodes () = Drvnode.reset_nodes nodes
+let lxc (node : node) = node.payload.lxc
+let require_config (node : node) name = Drvnode.require_config ~what:"container" node name
 
-let require_config node name =
-  match Domstore.get node.store name with
-  | Some cfg -> Ok cfg
-  | None -> Verror.error Verror.No_domain "no container named %S" name
-
-let container_info node name =
-  Result.map_error (Verror.make Verror.No_domain) (Lxc_host.info node.lxc name)
+let container_info (node : node) name =
+  Result.map_error (Verror.make Verror.No_domain) (Lxc_host.info (lxc node) name)
 
 let state_of = function
   | Lxc_host.Stopped -> Vm_state.Shutoff
   | Lxc_host.Running -> Vm_state.Running
   | Lxc_host.Frozen -> Vm_state.Paused
 
-let domain_ref_of node name =
+let domain_ref_of (node : node) name =
   let* cfg = require_config node name in
   let* info = container_info node name in
   Ok
@@ -68,31 +38,33 @@ let domain_ref_of node name =
         dom_id = info.Lxc_host.init_pid;
       }
 
-let define_xml node xml =
+let define_xml (node : node) xml =
   let* cfg = Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Container_exe ] xml in
-  let* () = Domstore.define node.store cfg in
-  let* () =
-    Result.map_error (Verror.make Verror.Operation_failed) (Lxc_host.define node.lxc cfg)
-  in
-  Events.emit node.events ~domain_name:cfg.Vm_config.name Events.Ev_defined;
-  domain_ref_of node cfg.Vm_config.name
+  Drvnode.with_write node (fun () ->
+      let* () = Domstore.define node.store cfg in
+      let* () =
+        Result.map_error (Verror.make Verror.Operation_failed)
+          (Lxc_host.define (lxc node) cfg)
+      in
+      Drvnode.emit node cfg.Vm_config.name Events.Ev_defined;
+      domain_ref_of node cfg.Vm_config.name)
 
-let host_op code node name call event =
-  with_lock node.mutex (fun () ->
+let host_op code (node : node) name call event =
+  Drvnode.with_write node (fun () ->
       let* _cfg = require_config node name in
-      let* () = Result.map_error (Verror.make code) (call node.lxc name) in
-      Events.emit node.events ~domain_name:name event;
+      let* () = Result.map_error (Verror.make code) (call (lxc node) name) in
+      Drvnode.emit node name event;
       Ok ())
 
-let undefine node name =
-  with_lock node.mutex (fun () ->
+let undefine (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* _cfg = require_config node name in
       let* () =
         Result.map_error (Verror.make Verror.Operation_invalid)
-          (Lxc_host.undefine node.lxc name)
+          (Lxc_host.undefine (lxc node) name)
       in
       let* () = Domstore.undefine node.store name in
-      Events.emit node.events ~domain_name:name Events.Ev_undefined;
+      Drvnode.emit node name Events.Ev_undefined;
       Ok ())
 
 let dom_create node name =
@@ -111,8 +83,8 @@ let dom_shutdown node name =
 let dom_destroy node name =
   host_op Verror.Operation_invalid node name Lxc_host.stop Events.Ev_stopped
 
-let dom_get_info node name =
-  with_lock node.mutex (fun () ->
+let dom_get_info (node : node) name =
+  Drvnode.with_read node (fun () ->
       let* cfg = require_config node name in
       let* info = container_info node name in
       Ok
@@ -128,64 +100,65 @@ let dom_get_info node name =
                | None -> 0L);
           })
 
-let dom_get_xml node name =
-  let* cfg = require_config node name in
-  Ok (Vmm.Domxml.to_xml ~virt_type:"lxc" cfg)
+let dom_get_xml (node : node) name =
+  Drvnode.with_read node (fun () ->
+      let* cfg = require_config node name in
+      Ok (Vmm.Domxml.to_xml ~virt_type:"lxc" cfg))
 
 (* Live resize through the cgroup: containers may grow past the definition
    (cgroups allow it), unlike a balloon. *)
-let dom_set_memory node name kib =
-  with_lock node.mutex (fun () ->
+let dom_set_memory (node : node) name kib =
+  Drvnode.with_write node (fun () ->
       let* _cfg = require_config node name in
       Result.map_error (Verror.make Verror.Invalid_arg)
-        (Lxc_host.set_memory_limit node.lxc name kib))
+        (Lxc_host.set_memory_limit (lxc node) name kib))
 
-let list_domains node =
-  with_lock node.mutex (fun () ->
-      Lxc_host.list node.lxc
+let list_domains (node : node) =
+  Drvnode.with_read node (fun () ->
+      Lxc_host.list (lxc node)
       |> List.filter_map (fun name ->
-             match Lxc_host.info node.lxc name with
+             match Lxc_host.info (lxc node) name with
              | Ok info when info.Lxc_host.info_state <> Lxc_host.Stopped ->
                (match domain_ref_of node name with Ok r -> Some r | Error _ -> None)
              | Ok _ | Error _ -> None)
       |> Result.ok)
 
-let list_defined node =
-  with_lock node.mutex (fun () ->
-      Lxc_host.list node.lxc
+(* Listing comes from the host sim, not the Domstore, so the generic
+   list_defined helper does not apply. *)
+let list_defined (node : node) =
+  Drvnode.with_read node (fun () ->
+      Lxc_host.list (lxc node)
       |> List.filter (fun name ->
-             match Lxc_host.info node.lxc name with
+             match Lxc_host.info (lxc node) name with
              | Ok info -> info.Lxc_host.info_state = Lxc_host.Stopped
              | Error _ -> false)
       |> Result.ok)
 
-let lookup_by_name node name = with_lock node.mutex (fun () -> domain_ref_of node name)
+let lookup_by_name (node : node) name =
+  Drvnode.lookup_by_name node (domain_ref_of node) name
 
-let lookup_by_uuid node uuid =
-  with_lock node.mutex (fun () ->
-      match Domstore.by_uuid node.store uuid with
-      | Some cfg -> domain_ref_of node cfg.Vm_config.name
-      | None ->
-        Verror.error Verror.No_domain "no container with UUID %s"
-          (Vmm.Uuid.to_string uuid))
+let lookup_by_uuid (node : node) uuid =
+  Drvnode.lookup_by_uuid ~what:"container" node (domain_ref_of node) uuid
 
-let capabilities node =
-  Capabilities.
-    {
-      driver_name = "lxc";
-      virt_kind = "container";
-      stateful = true;
-      guest_os_kinds = [ Vm_config.Container_exe ];
-      features =
-        [
-          Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
-          Feat_destroy; Feat_set_memory; Feat_freeze; Feat_console;
-          Feat_networks; Feat_storage_pools;
-        ];
-      host = Drvutil.host_summary ~node_name:node.node_name (Lxc_host.host node.lxc);
-    }
+let capabilities (node : node) =
+  Drvnode.with_read node (fun () ->
+      Capabilities.
+        {
+          driver_name = "lxc";
+          virt_kind = "container";
+          stateful = true;
+          guest_os_kinds = [ Vm_config.Container_exe ];
+          features =
+            [
+              Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
+              Feat_destroy; Feat_set_memory; Feat_freeze; Feat_console;
+              Feat_networks; Feat_storage_pools;
+            ];
+          host =
+            Drvutil.host_summary ~node_name:node.node_name (Lxc_host.host (lxc node));
+        })
 
-let open_node node =
+let open_node (node : node) =
   Driver.make_ops ~drv_name:"lxc"
     ~get_capabilities:(fun () -> capabilities node)
     ~get_hostname:(fun () -> node.node_name)
@@ -201,13 +174,7 @@ let open_node node =
     ~storage:(Driver.storage_ops_of_backend node.storage)
     ~events:node.events ()
 
-let node_of_uri uri =
-  match uri.Vuri.host with Some host -> host | None -> "localhost"
-
 let register () =
-  Driver.register
-    {
-      Driver.reg_name = "lxc";
-      probe = (fun uri -> uri.Vuri.scheme = "lxc" && uri.Vuri.transport = None);
-      open_conn = (fun uri -> Ok (open_node (get_node (node_of_uri uri))));
-    }
+  Drvnode.register ~name:"lxc"
+    ~open_conn:(fun uri -> Ok (open_node (get_node (Drvnode.node_of_uri uri))))
+    ()

@@ -3,54 +3,33 @@ module Vm_state = Vmm.Vm_state
 module Qemu_proc = Hvsim.Qemu_proc
 open Ovirt_core
 
-type node = {
-  node_name : string;
+(* Substrate state: processes, balloon targets, agent channels and
+   managed-save images live driver-side, like libvirt's qemu driver. *)
+type payload = {
   host : Hvsim.Hostinfo.t;
-  store : Domstore.t;
-  mutex : Mutex.t;
   procs : (string, Qemu_proc.t) Hashtbl.t;
   balloon : (string, int) Hashtbl.t; (* current balloon targets, KiB *)
   agents : (string, Hvsim.Guest_agent.endpoint) Hashtbl.t;
   (* managed-save images: name -> serialized guest memory *)
   saved : (string, string) Hashtbl.t;
-  net : Net_backend.t;
-  storage : Storage_backend.t;
-  events : Events.bus;
 }
 
-let nodes : (string, node) Hashtbl.t = Hashtbl.create 4
-let nodes_mutex = Mutex.create ()
-
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+type node = payload Drvnode.node
 
 let ( let* ) = Result.bind
 
-let get_node name =
-  with_lock nodes_mutex (fun () ->
-      match Hashtbl.find_opt nodes name with
-      | Some node -> node
-      | None ->
-        let node =
-          {
-            node_name = name;
-            host = Hvsim.Hostinfo.create ~hostname:name ();
-            store = Domstore.create ();
-            mutex = Mutex.create ();
-            procs = Hashtbl.create 16;
-            balloon = Hashtbl.create 16;
-            agents = Hashtbl.create 16;
-            saved = Hashtbl.create 4;
-            net = Net_backend.create ();
-            storage = Storage_backend.create ();
-            events = Events.create_bus ();
-          }
-        in
-        Hashtbl.add nodes name node;
-        node)
+let nodes : payload Drvnode.registry =
+  Drvnode.registry (fun ~node_name ->
+      {
+        host = Hvsim.Hostinfo.create ~hostname:node_name ();
+        procs = Hashtbl.create 16;
+        balloon = Hashtbl.create 16;
+        agents = Hashtbl.create 16;
+        saved = Hashtbl.create 4;
+      })
 
-let reset_nodes () = with_lock nodes_mutex (fun () -> Hashtbl.reset nodes)
+let get_node name = Drvnode.get_node nodes name
+let reset_nodes () = Drvnode.reset_nodes nodes
 
 (* ------------------------------------------------------------------ *)
 (* Command-line formatting                                             *)
@@ -93,17 +72,14 @@ let proc_argv (cfg : Vm_config.t) =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let require_config node name =
-  match Domstore.get node.store name with
-  | Some cfg -> Ok cfg
-  | None -> Verror.error Verror.No_domain "no domain named %S" name
+let require_config (node : node) name = Drvnode.require_config node name
 
-let live_proc node name =
-  match Hashtbl.find_opt node.procs name with
+let live_proc (node : node) name =
+  match Hashtbl.find_opt node.payload.procs name with
   | Some proc when Qemu_proc.is_alive proc -> Some proc
   | Some _ | None -> None
 
-let require_proc node name =
+let require_proc (node : node) name =
   match live_proc node name with
   | Some proc -> Ok proc
   | None ->
@@ -111,32 +87,32 @@ let require_proc node name =
       Verror.error Verror.Operation_invalid "domain %S is not running" name
     else Verror.error Verror.No_domain "no domain named %S" name
 
-let domain_ref_of node name =
-  let* cfg = require_config node name in
-  let dom_id = Option.map Qemu_proc.pid (live_proc node name) in
-  Ok Driver.{ dom_name = name; dom_uuid = cfg.Vm_config.uuid; dom_id }
+let domain_ref_of (node : node) name =
+  Drvnode.domain_ref_of node name ~dom_id:(fun name ->
+      Option.map Qemu_proc.pid (live_proc node name))
 
-let define_xml node xml =
+let define_xml (node : node) xml =
   let* cfg = Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Hvm ] xml in
-  let* () = Domstore.define node.store cfg in
-  Events.emit node.events ~domain_name:cfg.Vm_config.name Events.Ev_defined;
-  with_lock node.mutex (fun () -> domain_ref_of node cfg.Vm_config.name)
+  Drvnode.with_write node (fun () ->
+      let* () = Domstore.define node.store cfg in
+      Drvnode.emit node cfg.Vm_config.name Events.Ev_defined;
+      domain_ref_of node cfg.Vm_config.name)
 
-let undefine node name =
-  with_lock node.mutex (fun () ->
+let undefine (node : node) name =
+  Drvnode.with_write node (fun () ->
       match live_proc node name with
       | Some _ ->
         Verror.error Verror.Operation_invalid "cannot undefine running domain %S" name
       | None ->
         let* () = Domstore.undefine node.store name in
-        Hashtbl.remove node.procs name;
-        Hashtbl.remove node.saved name;
-        Events.emit node.events ~domain_name:name Events.Ev_undefined;
+        Hashtbl.remove node.payload.procs name;
+        Hashtbl.remove node.payload.saved name;
+        Drvnode.emit node name Events.Ev_undefined;
         Ok ())
 
 let qmp proc ~cmd = Qemu_proc.qmp proc ~cmd ()
 
-let connect_nics node (cfg : Vm_config.t) =
+let connect_nics (node : node) (cfg : Vm_config.t) =
   let rec attach attached = function
     | [] -> Ok attached
     | (n : Vm_config.nic) :: rest ->
@@ -150,20 +126,21 @@ let connect_nics node (cfg : Vm_config.t) =
   in
   attach [] cfg.nics |> Result.map (fun (_ : Vm_config.nic list) -> ())
 
-let disconnect_nics node (cfg : Vm_config.t) =
+let disconnect_nics (node : node) (cfg : Vm_config.t) =
   List.iter
     (fun (n : Vm_config.nic) -> Net_backend.disconnect_iface node.net n.network)
     cfg.nics
 
 (* Spawn, negotiate QMP and leave the domain paused.  Shared by start and
-   by the migration-destination prepare step. *)
-let spawn_paused node cfg =
+   by the migration-destination prepare step.  Caller holds the write
+   lock. *)
+let spawn_paused (node : node) cfg =
   if live_proc node cfg.Vm_config.name <> None then
     Verror.error Verror.Operation_invalid "domain %S is already running"
       cfg.Vm_config.name
   else
     let* () = connect_nics node cfg in
-    match Qemu_proc.spawn node.host ~argv:(proc_argv cfg) cfg with
+    match Qemu_proc.spawn node.payload.host ~argv:(proc_argv cfg) cfg with
     | Error msg ->
       disconnect_nics node cfg;
       Error (Verror.make Verror.Resource_exhausted msg)
@@ -173,29 +150,31 @@ let spawn_paused node cfg =
          disconnect_nics node cfg;
          Error (Verror.make Verror.Operation_failed msg)
        | Ok _ ->
-         Hashtbl.replace node.procs cfg.Vm_config.name proc;
-         Hashtbl.replace node.balloon cfg.Vm_config.name cfg.Vm_config.memory_kib;
+         Hashtbl.replace node.payload.procs cfg.Vm_config.name proc;
+         Hashtbl.replace node.payload.balloon cfg.Vm_config.name
+           cfg.Vm_config.memory_kib;
          (* The guest ships an (uninstalled) agent channel, like a
             virtio-serial port waiting for qemu-guest-agent. *)
-         Hashtbl.replace node.agents cfg.Vm_config.name
+         Hashtbl.replace node.payload.agents cfg.Vm_config.name
            (Hvsim.Guest_agent.create ~image:(Qemu_proc.image proc)
               ~state:(fun () -> Qemu_proc.state proc)
               ~request_shutdown:(fun () ->
                 ignore (qmp proc ~cmd:"system_powerdown")));
          Ok proc)
 
-(* A process that exited needs its node-side bookkeeping cleared. *)
-let reap node name =
+(* A process that exited needs its node-side bookkeeping cleared.  Caller
+   holds the write lock. *)
+let reap (node : node) name =
   match require_config node name with
   | Error _ -> ()
   | Ok cfg ->
-    Hashtbl.remove node.procs name;
-    Hashtbl.remove node.balloon name;
-    Hashtbl.remove node.agents name;
+    Hashtbl.remove node.payload.procs name;
+    Hashtbl.remove node.payload.balloon name;
+    Hashtbl.remove node.payload.agents name;
     disconnect_nics node cfg
 
-let dom_create node name =
-  with_lock node.mutex (fun () ->
+let dom_create (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
       let* proc = spawn_paused node cfg in
       match qmp proc ~cmd:"cont" with
@@ -204,17 +183,17 @@ let dom_create node name =
         reap node name;
         Error (Verror.make Verror.Operation_failed msg)
       | Ok _ ->
-        Events.emit node.events ~domain_name:name Events.Ev_started;
+        Drvnode.emit node name Events.Ev_started;
         Ok ())
 
-let monitor_op node name cmd event =
-  with_lock node.mutex (fun () ->
+let monitor_op (node : node) name cmd event =
+  Drvnode.with_write node (fun () ->
       let* proc = require_proc node name in
       match qmp proc ~cmd with
       | Error msg -> Error (Verror.make Verror.Operation_invalid msg)
       | Ok _ ->
         if not (Qemu_proc.is_alive proc) then reap node name;
-        Events.emit node.events ~domain_name:name event;
+        Drvnode.emit node name event;
         Ok ())
 
 let dom_suspend node name = monitor_op node name "stop" Events.Ev_suspended
@@ -222,12 +201,12 @@ let dom_resume node name = monitor_op node name "cont" Events.Ev_resumed
 let dom_shutdown node name = monitor_op node name "system_powerdown" Events.Ev_shutdown
 let dom_destroy node name = monitor_op node name "quit" Events.Ev_stopped
 
-let dom_get_info node name =
-  with_lock node.mutex (fun () ->
+let dom_get_info (node : node) name =
+  Drvnode.with_read node (fun () ->
       let* cfg = require_config node name in
       let current_memory =
         Option.value
-          (Hashtbl.find_opt node.balloon name)
+          (Hashtbl.find_opt node.payload.balloon name)
           ~default:cfg.Vm_config.memory_kib
       in
       match live_proc node name with
@@ -252,12 +231,13 @@ let dom_get_info node name =
               di_cpu_time_ns = 0L;
             })
 
-let dom_get_xml node name =
-  let* cfg = require_config node name in
-  Ok (Vmm.Domxml.to_xml ~virt_type:"kvm" cfg)
+let dom_get_xml (node : node) name =
+  Drvnode.with_read node (fun () ->
+      let* cfg = require_config node name in
+      Ok (Vmm.Domxml.to_xml ~virt_type:"kvm" cfg))
 
-let dom_set_memory node name kib =
-  with_lock node.mutex (fun () ->
+let dom_set_memory (node : node) name kib =
+  Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
       if kib <= 0 then Verror.error Verror.Invalid_arg "memory must be positive"
       else if kib > cfg.Vm_config.memory_kib then
@@ -265,59 +245,53 @@ let dom_set_memory node name kib =
           cfg.Vm_config.memory_kib
       else begin
         let* _proc = require_proc node name in
-        Hashtbl.replace node.balloon name kib;
+        Hashtbl.replace node.payload.balloon name kib;
         Ok ()
       end)
 
-let list_domains node =
-  with_lock node.mutex (fun () ->
+let list_domains (node : node) =
+  Drvnode.with_read node (fun () ->
       Hashtbl.fold
         (fun name proc acc ->
           if Qemu_proc.is_alive proc then
             match domain_ref_of node name with Ok r -> r :: acc | Error _ -> acc
           else acc)
-        node.procs []
+        node.payload.procs []
       |> List.sort (fun a b -> compare a.Driver.dom_name b.Driver.dom_name)
       |> Result.ok)
 
-let list_defined node =
-  with_lock node.mutex (fun () ->
-      Domstore.names node.store
-      |> List.filter (fun name -> live_proc node name = None)
-      |> Result.ok)
+let list_defined (node : node) =
+  Drvnode.list_defined node ~active:(fun name -> live_proc node name <> None)
 
-let lookup_by_name node name = with_lock node.mutex (fun () -> domain_ref_of node name)
+let lookup_by_name (node : node) name =
+  Drvnode.lookup_by_name node (domain_ref_of node) name
 
-let lookup_by_uuid node uuid =
-  with_lock node.mutex (fun () ->
-      match Domstore.by_uuid node.store uuid with
-      | Some cfg -> domain_ref_of node cfg.Vm_config.name
-      | None ->
-        Verror.error Verror.No_domain "no domain with UUID %s" (Vmm.Uuid.to_string uuid))
+let lookup_by_uuid (node : node) uuid =
+  Drvnode.lookup_by_uuid node (domain_ref_of node) uuid
 
 (* ------------------------------------------------------------------ *)
 (* Managed save                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let dom_save node name =
-  with_lock node.mutex (fun () ->
+let dom_save (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* proc = require_proc node name in
       match Qemu_proc.state proc with
       | Vmm.Vm_state.Running | Vmm.Vm_state.Paused ->
-        Hashtbl.replace node.saved name
+        Hashtbl.replace node.payload.saved name
           (Vmm.Guest_image.snapshot (Qemu_proc.image proc));
         ignore (qmp proc ~cmd:"quit");
         reap node name;
-        Events.emit node.events ~domain_name:name Events.Ev_stopped;
+        Drvnode.emit node name Events.Ev_stopped;
         Ok ()
       | other ->
         Verror.error Verror.Operation_invalid "cannot save domain in state %s"
           (Vm_state.state_name other))
 
-let dom_restore node name =
-  with_lock node.mutex (fun () ->
+let dom_restore (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
-      match Hashtbl.find_opt node.saved name with
+      match Hashtbl.find_opt node.payload.saved name with
       | None ->
         Verror.error Verror.Operation_invalid "domain %S has no managed-save image"
           name
@@ -330,23 +304,23 @@ let dom_restore node name =
            reap node name;
            Error (Verror.make Verror.Operation_failed msg)
          | Ok _ ->
-           Hashtbl.remove node.saved name;
-           Events.emit node.events ~domain_name:name Events.Ev_started;
+           Hashtbl.remove node.payload.saved name;
+           Drvnode.emit node name Events.Ev_started;
            Ok ()))
 
-let dom_has_managed_save node name =
-  with_lock node.mutex (fun () ->
+let dom_has_managed_save (node : node) name =
+  Drvnode.with_read node (fun () ->
       let* _cfg = require_config node name in
-      Ok (Hashtbl.mem node.saved name))
+      Ok (Hashtbl.mem node.payload.saved name))
 
 (* ------------------------------------------------------------------ *)
 (* Guest agent (intrusive baseline)                                    *)
 (* ------------------------------------------------------------------ *)
 
-let agent_endpoint node name =
-  with_lock node.mutex (fun () ->
+let agent_endpoint (node : node) name =
+  Drvnode.with_read node (fun () ->
       let* _cfg = require_config node name in
-      match Hashtbl.find_opt node.agents name with
+      match Hashtbl.find_opt node.payload.agents name with
       | Some ep when live_proc node name <> None -> Ok ep
       | Some _ | None ->
         Verror.error Verror.Operation_invalid
@@ -367,8 +341,8 @@ let guest_agent_exec node name line =
 (* Migration                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let migrate_begin node name =
-  with_lock node.mutex (fun () ->
+let migrate_begin (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* proc = require_proc node name in
       if Qemu_proc.state proc <> Vm_state.Running then
         Verror.error Verror.Operation_invalid "domain %S is not running" name
@@ -382,19 +356,19 @@ let migrate_begin node name =
               mig_enter_stopcopy = (fun () -> dom_suspend node name);
               mig_confirm =
                 (fun () ->
-                  with_lock node.mutex (fun () ->
+                  Drvnode.with_write node (fun () ->
                       ignore (qmp proc ~cmd:"quit");
                       reap node name;
-                      Events.emit node.events ~domain_name:name Events.Ev_stopped;
+                      Drvnode.emit node name Events.Ev_stopped;
                       Ok ()));
               mig_abort = (fun () -> ignore (dom_resume node name));
             })
 
-let migrate_prepare node config_xml =
+let migrate_prepare (node : node) config_xml =
   let* cfg = Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Hvm ] config_xml in
   let name = cfg.Vm_config.name in
-  let* () = Domstore.define node.store cfg in
-  with_lock node.mutex (fun () ->
+  Drvnode.with_write node (fun () ->
+      let* () = Domstore.define node.store cfg in
       let* proc = spawn_paused node cfg in
       Ok
         Driver.
@@ -403,7 +377,7 @@ let migrate_prepare node config_xml =
             mig_finish =
               (fun () ->
                 let* () = dom_resume node name in
-                Events.emit node.events ~domain_name:name Events.Ev_started;
+                Drvnode.emit node name Events.Ev_started;
                 Ok ());
             mig_cancel = (fun () -> ignore (dom_destroy node name));
           })
@@ -412,23 +386,24 @@ let migrate_prepare node config_xml =
 (* Registration                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let capabilities node =
-  Capabilities.
-    {
-      driver_name = "qemu";
-      virt_kind = "full-virt";
-      stateful = true;
-      guest_os_kinds = [ Vm_config.Hvm ];
-      features =
-        [
-          Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
-          Feat_destroy; Feat_migrate_live; Feat_managed_save; Feat_set_memory;
-          Feat_console; Feat_networks; Feat_storage_pools;
-        ];
-      host = Drvutil.host_summary ~node_name:node.node_name node.host;
-    }
+let capabilities (node : node) =
+  Drvnode.with_read node (fun () ->
+      Capabilities.
+        {
+          driver_name = "qemu";
+          virt_kind = "full-virt";
+          stateful = true;
+          guest_os_kinds = [ Vm_config.Hvm ];
+          features =
+            [
+              Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
+              Feat_destroy; Feat_migrate_live; Feat_managed_save; Feat_set_memory;
+              Feat_console; Feat_networks; Feat_storage_pools;
+            ];
+          host = Drvutil.host_summary ~node_name:node.node_name node.payload.host;
+        })
 
-let open_node node =
+let open_node (node : node) =
   Driver.make_ops ~drv_name:"qemu"
     ~get_capabilities:(fun () -> capabilities node)
     ~get_hostname:(fun () -> node.node_name)
@@ -449,16 +424,7 @@ let open_node node =
     ~storage:(Driver.storage_ops_of_backend node.storage)
     ~events:node.events ()
 
-let node_of_uri uri =
-  match uri.Vuri.host with Some host -> host | None -> "localhost"
-
 let register () =
-  Driver.register
-    {
-      Driver.reg_name = "qemu";
-      probe =
-        (fun uri ->
-          (uri.Vuri.scheme = "qemu" || uri.Vuri.scheme = "kvm")
-          && uri.Vuri.transport = None);
-      open_conn = (fun uri -> Ok (open_node (get_node (node_of_uri uri))));
-    }
+  Drvnode.register ~name:"qemu" ~schemes:[ "qemu"; "kvm" ]
+    ~open_conn:(fun uri -> Ok (open_node (get_node (Drvnode.node_of_uri uri))))
+    ()

@@ -10,30 +10,22 @@ type active = {
   mutable cpu_time_ns : int64;
 }
 
-type node = {
-  node_name : string;
+(* Substrate state: everything beyond what every driver node carries. *)
+type payload = {
   (* Simulated hypervisor response latency: a real backend blocks the
      calling worker while the hypervisor answers; benchmarks set this via
-     the ?latency_us= URI parameter to study workerpool sizing. *)
+     the ?latency_us= URI parameter to study workerpool sizing and the
+     driver lock (E5/E6/E14).  Incurred *inside* the lock section, like a
+     held monitor connection. *)
   mutable op_latency_s : float;
   host : Hvsim.Hostinfo.t;
-  store : Domstore.t;
-  mutex : Mutex.t;
   (* name -> (state, active resources); Shutoff domains are not here *)
   actives : (string, Vm_state.state ref * active) Hashtbl.t;
   (* managed-save images: name -> serialized guest memory *)
   saved : (string, string) Hashtbl.t;
-  net : Net_backend.t;
-  storage : Storage_backend.t;
-  events : Events.bus;
 }
 
-let nodes : (string, node) Hashtbl.t = Hashtbl.create 4
-let nodes_mutex = Mutex.create ()
-
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+type node = payload Drvnode.node
 
 let ( let* ) = Result.bind
 
@@ -43,7 +35,7 @@ let shutdown_hook : (node -> string -> unit) ref = ref (fun _ _ -> ())
 
 (* Allocate the running-domain resources: memory image plus the guest's
    agent channel. *)
-let add_active node name state (cfg : Vm_config.t) =
+let add_active (node : node) name state (cfg : Vm_config.t) =
   let image = Guest_image.create ~memory_kib:cfg.Vm_config.memory_kib in
   let active =
     {
@@ -55,134 +47,125 @@ let add_active node name state (cfg : Vm_config.t) =
       cpu_time_ns = 0L;
     }
   in
-  Hashtbl.replace node.actives name (state, active)
+  Hashtbl.replace node.payload.actives name (state, active)
 
-let fresh_node node_name =
-  let node =
-    {
-      node_name;
-      op_latency_s = 0.0;
-      host = Hvsim.Hostinfo.create ~hostname:node_name ();
-      store = Domstore.create ();
-      mutex = Mutex.create ();
-      actives = Hashtbl.create 16;
-      saved = Hashtbl.create 4;
-      net = Net_backend.create ();
-      storage = Storage_backend.create ();
-      events = Events.create_bus ();
-    }
-  in
-  (* The conventional pre-existing running domain of test:///default. *)
+(* The conventional pre-existing running domain of test:///default. *)
+let seed_default_domain (node : node) =
   let cfg = Vm_config.make ~memory_kib:(8 * 1024) "test" in
   (match Domstore.define node.store cfg with Ok () -> () | Error _ -> assert false);
-  (match Hvsim.Hostinfo.reserve node.host ~memory_kib:cfg.Vm_config.memory_kib ~vcpus:1 with
+  (match
+     Hvsim.Hostinfo.reserve node.payload.host
+       ~memory_kib:cfg.Vm_config.memory_kib ~vcpus:1
+   with
    | Ok () -> ()
    | Error _ -> assert false);
-  add_active node "test" (ref Vm_state.Running) cfg;
-  node
+  add_active node "test" (ref Vm_state.Running) cfg
 
-let get_node name =
-  with_lock nodes_mutex (fun () ->
-      match Hashtbl.find_opt nodes name with
-      | Some node -> node
-      | None ->
-        let node = fresh_node name in
-        Hashtbl.add nodes name node;
-        node)
+let nodes : payload Drvnode.registry =
+  Drvnode.registry ~init:seed_default_domain (fun ~node_name ->
+      {
+        op_latency_s = 0.0;
+        host = Hvsim.Hostinfo.create ~hostname:node_name ();
+        actives = Hashtbl.create 16;
+        saved = Hashtbl.create 4;
+      })
 
-let reset_nodes () = with_lock nodes_mutex (fun () -> Hashtbl.reset nodes)
+let get_node name = Drvnode.get_node nodes name
+let reset_nodes () = Drvnode.reset_nodes nodes
 
 (* ------------------------------------------------------------------ *)
 (* Operations                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let capabilities node =
-  let info = Hvsim.Hostinfo.node_info node.host in
-  Capabilities.
-    {
-      driver_name = "test";
-      virt_kind = "mock";
-      stateful = true;
-      guest_os_kinds = [ Vm_config.Hvm; Vm_config.Paravirt; Vm_config.Container_exe ];
-      features =
-        [
-          Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
-          Feat_destroy; Feat_migrate_live; Feat_managed_save; Feat_set_memory;
-          Feat_console; Feat_networks; Feat_storage_pools;
-        ];
-      host =
+let hypervisor_wait (node : node) =
+  if node.payload.op_latency_s > 0.0 then Thread.delay node.payload.op_latency_s
+
+let capabilities (node : node) =
+  Drvnode.with_read node (fun () ->
+      let info = Hvsim.Hostinfo.node_info node.payload.host in
+      Capabilities.
         {
-          host_name = node.node_name;
-          host_memory_kib = info.Hvsim.Hostinfo.memory_kib;
-          host_cpus = info.Hvsim.Hostinfo.cpus;
-          host_mhz = info.Hvsim.Hostinfo.mhz;
-          host_arch = info.Hvsim.Hostinfo.model;
-        };
-    }
+          driver_name = "test";
+          virt_kind = "mock";
+          stateful = true;
+          guest_os_kinds =
+            [ Vm_config.Hvm; Vm_config.Paravirt; Vm_config.Container_exe ];
+          features =
+            [
+              Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
+              Feat_destroy; Feat_migrate_live; Feat_managed_save; Feat_set_memory;
+              Feat_console; Feat_networks; Feat_storage_pools;
+            ];
+          host =
+            {
+              host_name = node.node_name;
+              host_memory_kib = info.Hvsim.Hostinfo.memory_kib;
+              host_cpus = info.Hvsim.Hostinfo.cpus;
+              host_mhz = info.Hvsim.Hostinfo.mhz;
+              host_arch = info.Hvsim.Hostinfo.model;
+            };
+        })
 
-let require_config node name =
-  match Domstore.get node.store name with
-  | Some cfg -> Ok cfg
-  | None -> Verror.error Verror.No_domain "no domain named %S" name
+let require_config (node : node) name = Drvnode.require_config node name
 
-let domain_ref_of node name =
-  let* cfg = require_config node name in
-  let dom_id =
-    if Hashtbl.mem node.actives name then Some (Hashtbl.hash name land 0xffff) else None
-  in
-  Ok Driver.{ dom_name = name; dom_uuid = cfg.Vm_config.uuid; dom_id }
+let domain_ref_of (node : node) name =
+  Drvnode.domain_ref_of node name ~dom_id:(fun name ->
+      if Hashtbl.mem node.payload.actives name then
+        Some (Hashtbl.hash name land 0xffff)
+      else None)
 
-let define_xml node xml =
+let define_xml (node : node) xml =
   let* cfg, _virt_type =
     Result.map_error (Verror.make Verror.Invalid_arg) (Vmm.Domxml.of_xml xml)
   in
-  let* () = Domstore.define node.store cfg in
-  Events.emit node.events ~domain_name:cfg.Vm_config.name Events.Ev_defined;
-  domain_ref_of node cfg.Vm_config.name
+  Drvnode.with_write node (fun () ->
+      let* () = Domstore.define node.store cfg in
+      Drvnode.emit node cfg.Vm_config.name Events.Ev_defined;
+      domain_ref_of node cfg.Vm_config.name)
 
-let undefine node name =
-  with_lock node.mutex (fun () ->
-      if Hashtbl.mem node.actives name then
+let undefine (node : node) name =
+  Drvnode.with_write node (fun () ->
+      if Hashtbl.mem node.payload.actives name then
         Verror.error Verror.Operation_invalid "cannot undefine active domain %S" name
       else
         let* () = Domstore.undefine node.store name in
-        Hashtbl.remove node.saved name;
-        Events.emit node.events ~domain_name:name Events.Ev_undefined;
+        Hashtbl.remove node.payload.saved name;
+        Drvnode.emit node name Events.Ev_undefined;
         Ok ())
 
-let dom_create node name =
-  with_lock node.mutex (fun () ->
+let dom_create (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
-      if Hashtbl.mem node.actives name then
+      if Hashtbl.mem node.payload.actives name then
         Verror.error Verror.Operation_invalid "domain %S is already running" name
       else
         let* () =
           Result.map_error
             (Verror.make Verror.Resource_exhausted)
-            (Hvsim.Hostinfo.reserve node.host ~memory_kib:cfg.Vm_config.memory_kib
-               ~vcpus:cfg.Vm_config.vcpus)
+            (Hvsim.Hostinfo.reserve node.payload.host
+               ~memory_kib:cfg.Vm_config.memory_kib ~vcpus:cfg.Vm_config.vcpus)
         in
         add_active node name (ref Vm_state.Running) cfg;
-        Events.emit node.events ~domain_name:name Events.Ev_started;
+        Drvnode.emit node name Events.Ev_started;
         Ok ())
 
-let require_active node name =
-  match Hashtbl.find_opt node.actives name with
+let require_active (node : node) name =
+  match Hashtbl.find_opt node.payload.actives name with
   | Some entry -> Ok entry
   | None ->
     if Domstore.mem node.store name then
       Verror.error Verror.Operation_invalid "domain %S is not running" name
     else Verror.error Verror.No_domain "no domain named %S" name
 
-let stop_active node name =
+let stop_active (node : node) name =
   let* cfg = require_config node name in
-  Hashtbl.remove node.actives name;
-  Hvsim.Hostinfo.release node.host ~memory_kib:cfg.Vm_config.memory_kib
+  Hashtbl.remove node.payload.actives name;
+  Hvsim.Hostinfo.release node.payload.host ~memory_kib:cfg.Vm_config.memory_kib
     ~vcpus:cfg.Vm_config.vcpus;
   Ok ()
 
-let transition_active node name event success_event =
-  with_lock node.mutex (fun () ->
+let transition_active (node : node) name event success_event =
+  Drvnode.with_write node (fun () ->
       let* state, active = require_active node name in
       let* next =
         Result.map_error (Verror.make Verror.Operation_invalid)
@@ -193,7 +176,7 @@ let transition_active node name event success_event =
       let* () =
         if Vm_state.is_active next then Ok () else stop_active node name
       in
-      Events.emit node.events ~domain_name:name success_event;
+      Drvnode.emit node name success_event;
       Ok ())
 
 let dom_suspend node name =
@@ -201,8 +184,8 @@ let dom_suspend node name =
 
 let dom_resume node name = transition_active node name Vm_state.Ev_resume Events.Ev_resumed
 
-let dom_shutdown node name =
-  with_lock node.mutex (fun () ->
+let dom_shutdown (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* state, _ = require_active node name in
       let* s1 =
         Result.map_error (Verror.make Verror.Operation_invalid)
@@ -214,7 +197,7 @@ let dom_shutdown node name =
       in
       state := s2;
       let* () = stop_active node name in
-      Events.emit node.events ~domain_name:name Events.Ev_shutdown;
+      Drvnode.emit node name Events.Ev_shutdown;
       Ok ())
 
 let dom_destroy node name =
@@ -224,26 +207,26 @@ let () = shutdown_hook := fun node name -> ignore (dom_shutdown node name)
 
 (* Managed save: checkpoint the live memory, stop the domain, keep the
    bytes driver-side; restore is the exact inverse. *)
-let dom_save node name =
-  with_lock node.mutex (fun () ->
+let dom_save (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* state, active = require_active node name in
       match !state with
       | Vm_state.Running | Vm_state.Paused ->
-        Hashtbl.replace node.saved name (Guest_image.snapshot active.image);
+        Hashtbl.replace node.payload.saved name (Guest_image.snapshot active.image);
         let* () = stop_active node name in
-        Events.emit node.events ~domain_name:name Events.Ev_stopped;
+        Drvnode.emit node name Events.Ev_stopped;
         Ok ()
       | other ->
         Verror.error Verror.Operation_invalid "cannot save domain in state %s"
           (Vm_state.state_name other))
 
-let dom_restore node name =
-  with_lock node.mutex (fun () ->
+let dom_restore (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
-      if Hashtbl.mem node.actives name then
+      if Hashtbl.mem node.payload.actives name then
         Verror.error Verror.Operation_invalid "domain %S is already running" name
       else
-        match Hashtbl.find_opt node.saved name with
+        match Hashtbl.find_opt node.payload.saved name with
         | None ->
           Verror.error Verror.Operation_invalid "domain %S has no managed-save image"
             name
@@ -251,26 +234,26 @@ let dom_restore node name =
           let* () =
             Result.map_error
               (Verror.make Verror.Resource_exhausted)
-              (Hvsim.Hostinfo.reserve node.host ~memory_kib:cfg.Vm_config.memory_kib
-                 ~vcpus:cfg.Vm_config.vcpus)
+              (Hvsim.Hostinfo.reserve node.payload.host
+                 ~memory_kib:cfg.Vm_config.memory_kib ~vcpus:cfg.Vm_config.vcpus)
           in
           add_active node name (ref Vm_state.Running) cfg;
-          (match Hashtbl.find_opt node.actives name with
+          (match Hashtbl.find_opt node.payload.actives name with
            | Some (_, active) -> Guest_image.restore_from active.image bytes
            | None -> assert false);
-          Hashtbl.remove node.saved name;
-          Events.emit node.events ~domain_name:name Events.Ev_started;
+          Hashtbl.remove node.payload.saved name;
+          Drvnode.emit node name Events.Ev_started;
           Ok ())
 
-let dom_has_managed_save node name =
-  with_lock node.mutex (fun () ->
+let dom_has_managed_save (node : node) name =
+  Drvnode.with_read node (fun () ->
       let* _cfg = require_config node name in
-      Ok (Hashtbl.mem node.saved name))
+      Ok (Hashtbl.mem node.payload.saved name))
 
 (* Guest agent (intrusive baseline): endpoint fetched under the lock,
    executed outside it so guest-shutdown can re-enter the driver. *)
-let agent_endpoint node name =
-  with_lock node.mutex (fun () ->
+let agent_endpoint (node : node) name =
+  Drvnode.with_read node (fun () ->
       let* _state, active = require_active node name in
       Ok active.agent)
 
@@ -283,14 +266,11 @@ let guest_agent_exec node name line =
   let* ep = agent_endpoint node name in
   Ok (Hvsim.Guest_agent.exec ep line)
 
-let hypervisor_wait node =
-  if node.op_latency_s > 0.0 then Thread.delay node.op_latency_s
-
-let dom_get_info node name =
-  hypervisor_wait node;
-  with_lock node.mutex (fun () ->
+let dom_get_info (node : node) name =
+  Drvnode.with_read node (fun () ->
+      hypervisor_wait node;
       let* cfg = require_config node name in
-      match Hashtbl.find_opt node.actives name with
+      match Hashtbl.find_opt node.payload.actives name with
       | Some (state, active) ->
         Ok
           Driver.
@@ -312,13 +292,14 @@ let dom_get_info node name =
               di_cpu_time_ns = 0L;
             })
 
-let dom_get_xml node name =
-  hypervisor_wait node;
-  let* cfg = require_config node name in
-  Ok (Vmm.Domxml.to_xml ~virt_type:"test" cfg)
+let dom_get_xml (node : node) name =
+  Drvnode.with_read node (fun () ->
+      hypervisor_wait node;
+      let* cfg = require_config node name in
+      Ok (Vmm.Domxml.to_xml ~virt_type:"test" cfg))
 
-let dom_set_memory node name kib =
-  with_lock node.mutex (fun () ->
+let dom_set_memory (node : node) name kib =
+  Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
       if kib <= 0 then Verror.error Verror.Invalid_arg "memory must be positive"
       else if kib > cfg.Vm_config.memory_kib then
@@ -326,34 +307,28 @@ let dom_set_memory node name kib =
           "balloon target %d exceeds maximum memory %d" kib cfg.Vm_config.memory_kib
       else Ok ())
 
-let list_domains node =
-  with_lock node.mutex (fun () ->
+let list_domains (node : node) =
+  Drvnode.with_read node (fun () ->
       Hashtbl.fold
         (fun name _ acc ->
           match domain_ref_of node name with Ok r -> r :: acc | Error _ -> acc)
-        node.actives []
+        node.payload.actives []
       |> List.sort (fun a b -> compare a.Driver.dom_name b.Driver.dom_name)
       |> Result.ok)
 
-let list_defined node =
-  with_lock node.mutex (fun () ->
-      Domstore.names node.store
-      |> List.filter (fun name -> not (Hashtbl.mem node.actives name))
-      |> Result.ok)
+let list_defined (node : node) =
+  Drvnode.list_defined node ~active:(Hashtbl.mem node.payload.actives)
 
-let lookup_by_name node name = with_lock node.mutex (fun () -> domain_ref_of node name)
+let lookup_by_name (node : node) name =
+  Drvnode.lookup_by_name node (domain_ref_of node) name
 
-let lookup_by_uuid node uuid =
-  with_lock node.mutex (fun () ->
-      match Domstore.by_uuid node.store uuid with
-      | Some cfg -> domain_ref_of node cfg.Vm_config.name
-      | None ->
-        Verror.error Verror.No_domain "no domain with UUID %s" (Uuid.to_string uuid))
+let lookup_by_uuid (node : node) uuid =
+  Drvnode.lookup_by_uuid node (domain_ref_of node) uuid
 
 (* Migration hooks: the generic precopy loop in [Domain.migrate] drives
    these.  The source keeps running until stop-copy. *)
-let migrate_begin node name =
-  with_lock node.mutex (fun () ->
+let migrate_begin (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* state, active = require_active node name in
       if !state <> Vm_state.Running then
         Verror.error Verror.Operation_invalid "domain %S is not running" name
@@ -367,35 +342,35 @@ let migrate_begin node name =
               mig_enter_stopcopy = (fun () -> dom_suspend node name);
               mig_confirm =
                 (fun () ->
-                  with_lock node.mutex (fun () ->
+                  Drvnode.with_write node (fun () ->
                       let* () = stop_active node name in
-                      Events.emit node.events ~domain_name:name Events.Ev_stopped;
+                      Drvnode.emit node name Events.Ev_stopped;
                       Ok ()));
               mig_abort = (fun () -> ignore (dom_resume node name));
             })
 
-let migrate_prepare node config_xml =
+let migrate_prepare (node : node) config_xml =
   let* cfg, _ =
     Result.map_error (Verror.make Verror.Invalid_arg) (Vmm.Domxml.of_xml config_xml)
   in
   let name = cfg.Vm_config.name in
-  let* () = Domstore.define node.store cfg in
   (* Start paused: create resources but hold in Paused until finish. *)
-  with_lock node.mutex (fun () ->
-      if Hashtbl.mem node.actives name then
+  Drvnode.with_write node (fun () ->
+      let* () = Domstore.define node.store cfg in
+      if Hashtbl.mem node.payload.actives name then
         Verror.error Verror.Operation_invalid
           "domain %S is already active on destination" name
       else
         let* () =
           Result.map_error
             (Verror.make Verror.Resource_exhausted)
-            (Hvsim.Hostinfo.reserve node.host ~memory_kib:cfg.Vm_config.memory_kib
-               ~vcpus:cfg.Vm_config.vcpus)
+            (Hvsim.Hostinfo.reserve node.payload.host
+               ~memory_kib:cfg.Vm_config.memory_kib ~vcpus:cfg.Vm_config.vcpus)
         in
         let state = ref Vm_state.Paused in
         add_active node name state cfg;
         let image =
-          match Hashtbl.find_opt node.actives name with
+          match Hashtbl.find_opt node.payload.actives name with
           | Some (_, active) -> active.image
           | None -> assert false
         in
@@ -406,7 +381,7 @@ let migrate_prepare node config_xml =
               mig_finish =
                 (fun () ->
                   let* () = dom_resume node name in
-                  Events.emit node.events ~domain_name:name Events.Ev_started;
+                  Drvnode.emit node name Events.Ev_started;
                   Ok ());
               mig_cancel = (fun () -> ignore (dom_destroy node name));
             })
@@ -415,7 +390,7 @@ let migrate_prepare node config_xml =
 (* Registration                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let open_node node =
+let open_node (node : node) =
   Driver.make_ops ~drv_name:"test"
     ~get_capabilities:(fun () -> capabilities node)
     ~get_hostname:(fun () -> node.node_name)
@@ -445,20 +420,20 @@ let node_of_uri uri =
     | path -> String.sub path 1 (String.length path - 1))
 
 let register () =
-  Driver.register
-    {
-      Driver.reg_name = "test";
-      probe =
-        (fun uri -> uri.Vuri.scheme = "test" && uri.Vuri.transport = None);
-      open_conn =
-        (fun uri ->
-          let node = get_node (node_of_uri uri) in
-          (match Vuri.param uri "latency_us" with
-           | Some us ->
-             (match int_of_string_opt us with
-              | Some us when us >= 0 ->
-                node.op_latency_s <- float_of_int us /. 1_000_000.0
-              | Some _ | None -> ())
-           | None -> ());
-          Ok (open_node node));
-    }
+  Drvnode.register ~name:"test"
+    ~open_conn:(fun uri ->
+      let node = get_node (node_of_uri uri) in
+      (match Vuri.param uri "latency_us" with
+       | Some us ->
+         (match int_of_string_opt us with
+          | Some us when us >= 0 ->
+            node.payload.op_latency_s <- float_of_int us /. 1_000_000.0
+          | Some _ | None -> ())
+       | None -> ());
+      (* ?coarse=1 demotes the node's rwlock to a plain mutex: the E14
+         baseline, selectable per node from the URI. *)
+      (match Vuri.param uri "coarse" with
+       | Some ("1" | "true") -> Ovsync.Rwlock.set_exclusive node.lock true
+       | Some _ | None -> ());
+      Ok (open_node node))
+    ()

@@ -3,51 +3,26 @@ module Vm_state = Vmm.Vm_state
 module Xen_hv = Hvsim.Xen_hv
 open Ovirt_core
 
-type node = {
-  node_name : string;
-  hv : Xen_hv.t;
-  store : Domstore.t;
-  mutex : Mutex.t;
-  net : Net_backend.t;
-  storage : Storage_backend.t;
-  events : Events.bus;
-}
-
-let nodes : (string, node) Hashtbl.t = Hashtbl.create 4
-let nodes_mutex = Mutex.create ()
-
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+(* Substrate state: the booted hypervisor handle is all the driver keeps
+   — domain state lives hypervisor-side, reached via domctl hypercalls. *)
+type payload = { hv : Xen_hv.t }
+type node = payload Drvnode.node
 
 let ( let* ) = Result.bind
 
-let get_node name =
-  with_lock nodes_mutex (fun () ->
-      match Hashtbl.find_opt nodes name with
-      | Some node -> node
-      | None ->
-        let node =
-          {
-            node_name = name;
-            hv = Xen_hv.boot (Hvsim.Hostinfo.create ~hostname:name ());
-            store = Domstore.create ();
-            mutex = Mutex.create ();
-            net = Net_backend.create ();
-            storage = Storage_backend.create ();
-            events = Events.create_bus ();
-          }
-        in
-        Hashtbl.add nodes name node;
-        node)
+let nodes : payload Drvnode.registry =
+  Drvnode.registry (fun ~node_name ->
+      { hv = Xen_hv.boot (Hvsim.Hostinfo.create ~hostname:node_name ()) })
 
-let reset_nodes () = with_lock nodes_mutex (fun () -> Hashtbl.reset nodes)
-
+let get_node name = Drvnode.get_node nodes name
+let reset_nodes () = Drvnode.reset_nodes nodes
+let hv (node : node) = node.payload.hv
 let op_invalid r = Result.map_error (Verror.make Verror.Operation_invalid) r
+let active_domid (node : node) name = Xen_hv.lookup_by_name (hv node) name
 
-let active_domid node name = Xen_hv.lookup_by_name node.hv name
-
-let require_config node name =
+(* Custom: Domain-0 exists hypervisor-side but never in the store, and
+   gets its own error. *)
+let require_config (node : node) name =
   match Domstore.get node.store name with
   | Some cfg -> Ok cfg
   | None ->
@@ -55,7 +30,7 @@ let require_config node name =
       Verror.error Verror.Operation_invalid "Domain-0 cannot be managed"
     else Verror.error Verror.No_domain "no domain named %S" name
 
-let require_domid node name =
+let require_domid (node : node) name =
   match active_domid node name with
   | Some id -> Ok id
   | None ->
@@ -63,46 +38,47 @@ let require_domid node name =
       Verror.error Verror.Operation_invalid "domain %S is not running" name
     else Verror.error Verror.No_domain "no domain named %S" name
 
-let domain_ref_of node name =
+let domain_ref_of (node : node) name =
   let* cfg = require_config node name in
   Ok
     Driver.
       { dom_name = name; dom_uuid = cfg.Vm_config.uuid; dom_id = active_domid node name }
 
-let define_xml node xml =
+let define_xml (node : node) xml =
   let* cfg = Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Paravirt; Vm_config.Hvm ] xml in
-  let* () = Domstore.define node.store cfg in
-  Events.emit node.events ~domain_name:cfg.Vm_config.name Events.Ev_defined;
-  domain_ref_of node cfg.Vm_config.name
+  Drvnode.with_write node (fun () ->
+      let* () = Domstore.define node.store cfg in
+      Drvnode.emit node cfg.Vm_config.name Events.Ev_defined;
+      domain_ref_of node cfg.Vm_config.name)
 
-let undefine node name =
-  with_lock node.mutex (fun () ->
+let undefine (node : node) name =
+  Drvnode.with_write node (fun () ->
       if active_domid node name <> None then
         Verror.error Verror.Operation_invalid "cannot undefine running domain %S" name
       else
         let* () = Domstore.undefine node.store name in
-        Events.emit node.events ~domain_name:name Events.Ev_undefined;
+        Drvnode.emit node name Events.Ev_undefined;
         Ok ())
 
-let dom_create node name =
-  with_lock node.mutex (fun () ->
+let dom_create (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
       if active_domid node name <> None then
         Verror.error Verror.Operation_invalid "domain %S is already running" name
       else
         let* id =
           Result.map_error (Verror.make Verror.Resource_exhausted)
-            (Xen_hv.domctl_create node.hv cfg)
+            (Xen_hv.domctl_create (hv node) cfg)
         in
-        let* () = op_invalid (Xen_hv.domctl_unpause node.hv id) in
-        Events.emit node.events ~domain_name:name Events.Ev_started;
+        let* () = op_invalid (Xen_hv.domctl_unpause (hv node) id) in
+        Drvnode.emit node name Events.Ev_started;
         Ok ())
 
-let hypercall_op node name call event =
-  with_lock node.mutex (fun () ->
+let hypercall_op (node : node) name call event =
+  Drvnode.with_write node (fun () ->
       let* id = require_domid node name in
-      let* () = op_invalid (call node.hv id) in
-      Events.emit node.events ~domain_name:name event;
+      let* () = op_invalid (call (hv node) id) in
+      Drvnode.emit node name event;
       Ok ())
 
 let dom_suspend node name =
@@ -117,12 +93,12 @@ let dom_shutdown node name =
 let dom_destroy node name =
   hypercall_op node name Xen_hv.domctl_destroy Events.Ev_stopped
 
-let dom_get_info node name =
-  with_lock node.mutex (fun () ->
+let dom_get_info (node : node) name =
+  Drvnode.with_read node (fun () ->
       let* cfg = require_config node name in
       match active_domid node name with
       | Some id ->
-        let* info = op_invalid (Xen_hv.domain_info node.hv id) in
+        let* info = op_invalid (Xen_hv.domain_info (hv node) id) in
         Ok
           Driver.
             {
@@ -143,12 +119,13 @@ let dom_get_info node name =
               di_cpu_time_ns = 0L;
             })
 
-let dom_get_xml node name =
-  let* cfg = require_config node name in
-  Ok (Vmm.Domxml.to_xml ~virt_type:"xen" cfg)
+let dom_get_xml (node : node) name =
+  Drvnode.with_read node (fun () ->
+      let* cfg = require_config node name in
+      Ok (Vmm.Domxml.to_xml ~virt_type:"xen" cfg))
 
-let dom_set_memory node name kib =
-  with_lock node.mutex (fun () ->
+let dom_set_memory (node : node) name kib =
+  Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
       if kib <= 0 || kib > cfg.Vm_config.memory_kib then
         Verror.error Verror.Invalid_arg "balloon target %d out of range (max %d)" kib
@@ -156,22 +133,22 @@ let dom_set_memory node name kib =
       else
         let* id = require_domid node name in
         (* Balloon by updating the xenstore memory target, as xend did. *)
-        Hvsim.Xenstore.write (Xen_hv.store node.hv)
+        Hvsim.Xenstore.write (Xen_hv.store (hv node))
           (Printf.sprintf "/local/domain/%d/memory/target" id)
           (string_of_int kib);
         Ok ())
 
 (* Active listing reflects the hypervisor's view, Domain-0 included. *)
-let list_domains node =
-  with_lock node.mutex (fun () ->
-      Xen_hv.list_domains node.hv
+let list_domains (node : node) =
+  Drvnode.with_read node (fun () ->
+      Xen_hv.list_domains (hv node)
       |> List.filter_map (fun id ->
-             match Xen_hv.domain_info node.hv id with
+             match Xen_hv.domain_info (hv node) id with
              | Error _ -> None
              | Ok info ->
                let name =
                  match
-                   Hvsim.Xenstore.read_opt (Xen_hv.store node.hv)
+                   Hvsim.Xenstore.read_opt (Xen_hv.store (hv node))
                      (Printf.sprintf "/local/domain/%d/name" id)
                  with
                  | Some name -> name
@@ -182,30 +159,29 @@ let list_domains node =
                    { dom_name = name; dom_uuid = info.Xen_hv.dom_uuid; dom_id = Some id })
       |> Result.ok)
 
-let list_defined node =
-  with_lock node.mutex (fun () ->
-      Domstore.names node.store
-      |> List.filter (fun name -> active_domid node name = None)
-      |> Result.ok)
+let list_defined (node : node) =
+  Drvnode.list_defined node ~active:(fun name -> active_domid node name <> None)
 
-let lookup_by_name node name =
-  with_lock node.mutex (fun () ->
+let lookup_by_name (node : node) name =
+  Drvnode.with_read node (fun () ->
       if name = "Domain-0" then
-        match Xen_hv.domain_info node.hv 0 with
+        match Xen_hv.domain_info (hv node) 0 with
         | Ok info ->
           Ok Driver.{ dom_name = name; dom_uuid = info.Xen_hv.dom_uuid; dom_id = Some 0 }
         | Error msg -> Error (Verror.make Verror.Internal_error msg)
       else domain_ref_of node name)
 
-let lookup_by_uuid node uuid =
-  with_lock node.mutex (fun () ->
+(* Custom: undefined-but-running domains (transient, Domain-0) resolve
+   through the hypervisor when the store misses. *)
+let lookup_by_uuid (node : node) uuid =
+  Drvnode.with_read node (fun () ->
       match Domstore.by_uuid node.store uuid with
       | Some cfg -> domain_ref_of node cfg.Vm_config.name
       | None -> (
-        match Xen_hv.lookup_by_uuid node.hv uuid with
+        match Xen_hv.lookup_by_uuid (hv node) uuid with
         | Some id -> (
           match
-            Hvsim.Xenstore.read_opt (Xen_hv.store node.hv)
+            Hvsim.Xenstore.read_opt (Xen_hv.store (hv node))
               (Printf.sprintf "/local/domain/%d/name" id)
           with
           | Some name ->
@@ -220,13 +196,13 @@ let lookup_by_uuid node uuid =
 (* Migration                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let migrate_begin node name =
-  with_lock node.mutex (fun () ->
+let migrate_begin (node : node) name =
+  Drvnode.with_write node (fun () ->
       let* id = require_domid node name in
       let* cfg = require_config node name in
       let* image =
         Result.map_error (Verror.make Verror.Operation_failed)
-          (Xen_hv.guest_image node.hv id)
+          (Xen_hv.guest_image (hv node) id)
       in
       Ok
         Driver.
@@ -236,32 +212,32 @@ let migrate_begin node name =
             mig_enter_stopcopy = (fun () -> dom_suspend node name);
             mig_confirm =
               (fun () ->
-                with_lock node.mutex (fun () ->
-                    let* () = op_invalid (Xen_hv.domctl_destroy node.hv id) in
-                    Events.emit node.events ~domain_name:name Events.Ev_stopped;
+                Drvnode.with_write node (fun () ->
+                    let* () = op_invalid (Xen_hv.domctl_destroy (hv node) id) in
+                    Drvnode.emit node name Events.Ev_stopped;
                     Ok ()));
             mig_abort = (fun () -> ignore (dom_resume node name));
           })
 
-let migrate_prepare node config_xml =
+let migrate_prepare (node : node) config_xml =
   let* cfg =
     Drvutil.parse_domain_xml ~expect_os:[ Vm_config.Paravirt; Vm_config.Hvm ]
       config_xml
   in
   let name = cfg.Vm_config.name in
-  let* () = Domstore.define node.store cfg in
-  with_lock node.mutex (fun () ->
+  Drvnode.with_write node (fun () ->
+      let* () = Domstore.define node.store cfg in
       if active_domid node name <> None then
         Verror.error Verror.Operation_invalid
           "domain %S is already active on destination" name
       else
         let* id =
           Result.map_error (Verror.make Verror.Resource_exhausted)
-            (Xen_hv.domctl_create node.hv cfg)
+            (Xen_hv.domctl_create (hv node) cfg)
         in
         let* image =
           Result.map_error (Verror.make Verror.Operation_failed)
-            (Xen_hv.guest_image node.hv id)
+            (Xen_hv.guest_image (hv node) id)
         in
         Ok
           Driver.
@@ -270,34 +246,38 @@ let migrate_prepare node config_xml =
               mig_finish =
                 (fun () ->
                   let* () = dom_resume node name in
-                  Events.emit node.events ~domain_name:name Events.Ev_started;
+                  Drvnode.emit node name Events.Ev_started;
                   Ok ());
               mig_cancel =
                 (fun () ->
-                  ignore (with_lock node.mutex (fun () -> Xen_hv.domctl_destroy node.hv id)));
+                  ignore
+                    (Drvnode.with_write node (fun () ->
+                         Xen_hv.domctl_destroy (hv node) id)));
             })
 
 (* ------------------------------------------------------------------ *)
 (* Registration                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let capabilities node =
-  Capabilities.
-    {
-      driver_name = "xen";
-      virt_kind = "paravirt";
-      stateful = true;
-      guest_os_kinds = [ Vm_config.Paravirt; Vm_config.Hvm ];
-      features =
-        [
-          Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
-          Feat_destroy; Feat_migrate_live; Feat_set_memory; Feat_console;
-          Feat_networks; Feat_storage_pools;
-        ];
-      host = Drvutil.host_summary ~node_name:node.node_name (Xen_hv.host node.hv);
-    }
+let capabilities (node : node) =
+  Drvnode.with_read node (fun () ->
+      Capabilities.
+        {
+          driver_name = "xen";
+          virt_kind = "paravirt";
+          stateful = true;
+          guest_os_kinds = [ Vm_config.Paravirt; Vm_config.Hvm ];
+          features =
+            [
+              Feat_define; Feat_start; Feat_suspend; Feat_resume; Feat_shutdown;
+              Feat_destroy; Feat_migrate_live; Feat_set_memory; Feat_console;
+              Feat_networks; Feat_storage_pools;
+            ];
+          host =
+            Drvutil.host_summary ~node_name:node.node_name (Xen_hv.host (hv node));
+        })
 
-let open_node node =
+let open_node (node : node) =
   Driver.make_ops ~drv_name:"xen"
     ~get_capabilities:(fun () -> capabilities node)
     ~get_hostname:(fun () -> node.node_name)
@@ -314,13 +294,7 @@ let open_node node =
     ~storage:(Driver.storage_ops_of_backend node.storage)
     ~events:node.events ()
 
-let node_of_uri uri =
-  match uri.Vuri.host with Some host -> host | None -> "localhost"
-
 let register () =
-  Driver.register
-    {
-      Driver.reg_name = "xen";
-      probe = (fun uri -> uri.Vuri.scheme = "xen" && uri.Vuri.transport = None);
-      open_conn = (fun uri -> Ok (open_node (get_node (node_of_uri uri))));
-    }
+  Drvnode.register ~name:"xen"
+    ~open_conn:(fun uri -> Ok (open_node (get_node (Drvnode.node_of_uri uri))))
+    ()

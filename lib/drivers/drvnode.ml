@@ -1,0 +1,100 @@
+open Ovirt_core
+module Rwlock = Ovsync.Rwlock
+
+type 'p node = {
+  node_name : string;
+  store : Domstore.t;
+  lock : Rwlock.t;
+  net : Net_backend.t;
+  storage : Storage_backend.t;
+  events : Events.bus;
+  payload : 'p;
+}
+
+type 'p registry = {
+  reg_mutex : Mutex.t;
+  reg_nodes : (string, 'p node) Hashtbl.t;
+  reg_make : node_name:string -> 'p;
+  reg_init : 'p node -> unit;
+}
+
+let registry ?(init = fun _ -> ()) make =
+  {
+    reg_mutex = Mutex.create ();
+    reg_nodes = Hashtbl.create 4;
+    reg_make = make;
+    reg_init = init;
+  }
+
+let with_registry reg f =
+  Mutex.lock reg.reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.reg_mutex) f
+
+let get_node reg name =
+  with_registry reg (fun () ->
+      match Hashtbl.find_opt reg.reg_nodes name with
+      | Some node -> node
+      | None ->
+        let node =
+          {
+            node_name = name;
+            store = Domstore.create ();
+            lock = Rwlock.create ();
+            net = Net_backend.create ();
+            storage = Storage_backend.create ();
+            events = Events.create_bus ();
+            payload = reg.reg_make ~node_name:name;
+          }
+        in
+        Hashtbl.add reg.reg_nodes name node;
+        reg.reg_init node;
+        node)
+
+let reset_nodes reg = with_registry reg (fun () -> Hashtbl.reset reg.reg_nodes)
+
+let with_read node f = Rwlock.with_read node.lock f
+let with_write node f = Rwlock.with_write node.lock f
+
+let emit node domain_name lifecycle =
+  Events.emit node.events ~domain_name lifecycle
+
+let ( let* ) = Result.bind
+
+let require_config ?(what = "domain") node name =
+  match Domstore.get node.store name with
+  | Some cfg -> Ok cfg
+  | None -> Verror.error Verror.No_domain "no %s named %S" what name
+
+let domain_ref_of ?what node ~dom_id name =
+  let* cfg = require_config ?what node name in
+  Ok
+    Driver.
+      { dom_name = name; dom_uuid = cfg.Vmm.Vm_config.uuid; dom_id = dom_id name }
+
+let lookup_by_name node ref_of name = with_read node (fun () -> ref_of name)
+
+let lookup_by_uuid ?(what = "domain") node ref_of uuid =
+  with_read node (fun () ->
+      match Domstore.by_uuid node.store uuid with
+      | Some cfg -> ref_of cfg.Vmm.Vm_config.name
+      | None ->
+        Verror.error Verror.No_domain "no %s with UUID %s" what
+          (Vmm.Uuid.to_string uuid))
+
+let list_defined node ~active =
+  with_read node (fun () ->
+      Domstore.names node.store
+      |> List.filter (fun name -> not (active name))
+      |> Result.ok)
+
+let node_of_uri ?(default = "localhost") uri =
+  match uri.Vuri.host with Some host -> host | None -> default
+
+let register ~name ?schemes ?probe ~open_conn () =
+  let schemes = Option.value schemes ~default:[ name ] in
+  let probe =
+    Option.value probe
+      ~default:(fun uri ->
+        List.mem uri.Vuri.scheme schemes && uri.Vuri.transport = None)
+  in
+  Driver.register { Driver.reg_name = name; probe; open_conn }

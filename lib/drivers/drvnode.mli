@@ -1,0 +1,121 @@
+(** Generic driver-node framework.
+
+    Every local hypervisor driver manages a set of named {e nodes} (one
+    simulated host each) and exposes the same plumbing around them: a
+    process-global registry created on first use, a per-node lock, a
+    {!Domstore} of persistent definitions, network/storage backends, an
+    event bus, and the name/UUID lookup and listing helpers over the
+    store.  The only thing that differs per driver is its substrate
+    state — the {e payload} ([Qemu_proc] table, [Xen_hv] handle, …).
+
+    This module factors all of that out, parameterized by the payload
+    type, so a driver is reduced to its payload, its operation bodies,
+    and a {!register} call.
+
+    {b Locking.}  Each node carries an {!Ovsync.Rwlock.t}.  Operations
+    classify themselves: read-only ones ([dom_get_info], [dom_get_xml],
+    listings, lookups, capabilities) run under {!with_read} and proceed
+    concurrently; mutating ones (lifecycle, define/undefine,
+    save/restore, migration steps) run under {!with_write} and are
+    exclusive.  The lock is not reentrant — code running inside a
+    section must not call back into another locked operation of the same
+    node (fetch what you need inside the section, call out after it, as
+    the guest-agent paths do). *)
+
+open Ovirt_core
+
+type 'p node = {
+  node_name : string;
+  store : Domstore.t;  (** persistent definitions *)
+  lock : Ovsync.Rwlock.t;  (** reader–writer section lock for driver ops *)
+  net : Net_backend.t;
+  storage : Storage_backend.t;
+  events : Events.bus;
+  payload : 'p;  (** driver-specific substrate state *)
+}
+
+(** {1 Node registry} *)
+
+type 'p registry
+
+val registry :
+  ?init:('p node -> unit) -> (node_name:string -> 'p) -> 'p registry
+(** [registry ?init make] builds an (initially empty) named-node table.
+    [make ~node_name] creates the payload for a new node; [init] then
+    runs exactly once on the assembled node, still under the registry
+    lock, for post-creation seeding (e.g. the test driver's canonical
+    ["test"] domain). *)
+
+val get_node : 'p registry -> string -> 'p node
+(** Find-or-create.  Thread-safe; creation is serialized. *)
+
+val reset_nodes : 'p registry -> unit
+(** Drop every node (test isolation). *)
+
+(** {1 Lock sections} *)
+
+val with_read : 'p node -> (unit -> 'a) -> 'a
+val with_write : 'p node -> (unit -> 'a) -> 'a
+
+(** {1 Events} *)
+
+val emit : 'p node -> string -> Events.lifecycle -> unit
+(** [emit node domain_name lifecycle] on the node's bus. *)
+
+(** {1 Domstore plumbing}
+
+    These helpers never take the node lock themselves (the store has its
+    own), so they are safe to call from inside either section kind;
+    [lookup_by_name]/[lookup_by_uuid]/[list_defined] are complete
+    read-classified operations and take the read lock. *)
+
+val require_config :
+  ?what:string -> 'p node -> string -> (Vmm.Vm_config.t, Verror.t) result
+(** The stored definition, or [No_domain "no <what> named ..."]; [what]
+    defaults to ["domain"]. *)
+
+val domain_ref_of :
+  ?what:string ->
+  'p node ->
+  dom_id:(string -> int option) ->
+  string ->
+  (Driver.domain_ref, Verror.t) result
+(** Build the public domain reference from the stored config, asking
+    [dom_id] for the hypervisor id iff the domain is active. *)
+
+val lookup_by_name :
+  'p node ->
+  (string -> (Driver.domain_ref, Verror.t) result) ->
+  string ->
+  (Driver.domain_ref, Verror.t) result
+(** [lookup_by_name node ref_of name]: [ref_of name] under the read
+    lock. *)
+
+val lookup_by_uuid :
+  ?what:string ->
+  'p node ->
+  (string -> (Driver.domain_ref, Verror.t) result) ->
+  Vmm.Uuid.t ->
+  (Driver.domain_ref, Verror.t) result
+(** Resolve the UUID in the store under the read lock, then [ref_of] the
+    matching name; [No_domain] otherwise. *)
+
+val list_defined :
+  'p node -> active:(string -> bool) -> (string list, Verror.t) result
+(** Stored names for which [active] is false, under the read lock. *)
+
+(** {1 Registration} *)
+
+val node_of_uri : ?default:string -> Vuri.t -> string
+(** The URI's host, or [default] (["localhost"]). *)
+
+val register :
+  name:string ->
+  ?schemes:string list ->
+  ?probe:(Vuri.t -> bool) ->
+  open_conn:(Vuri.t -> (Driver.ops, Verror.t) result) ->
+  unit ->
+  unit
+(** Build and install the {!Driver.registration}.  The default probe
+    accepts [schemes] (default [[name]]) with no [+transport] suffix —
+    transported URIs fall through to the remote driver. *)

@@ -1,0 +1,87 @@
+type t = {
+  mutex : Mutex.t;
+  readers_cv : Condition.t;  (* readers may enter *)
+  writers_cv : Condition.t;  (* one writer may enter *)
+  mutable active_readers : int;
+  mutable active_writer : bool;
+  mutable waiting_writers : int;
+  mutable exclusive_mode : bool;
+}
+
+let create ?(exclusive = false) () =
+  {
+    mutex = Mutex.create ();
+    readers_cv = Condition.create ();
+    writers_cv = Condition.create ();
+    active_readers = 0;
+    active_writer = false;
+    waiting_writers = 0;
+    exclusive_mode = exclusive;
+  }
+
+let with_mutex t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let set_exclusive t flag = with_mutex t (fun () -> t.exclusive_mode <- flag)
+let exclusive t = with_mutex t (fun () -> t.exclusive_mode)
+let active_readers t = with_mutex t (fun () -> t.active_readers)
+let waiting_writers t = with_mutex t (fun () -> t.waiting_writers)
+
+(* Callers hold t.mutex for the *_locked variants. *)
+
+let read_lock_locked t =
+  (* Writer preference: a waiting writer bars new readers. *)
+  while t.active_writer || t.waiting_writers > 0 do
+    Condition.wait t.readers_cv t.mutex
+  done;
+  t.active_readers <- t.active_readers + 1
+
+let read_unlock_locked t =
+  t.active_readers <- t.active_readers - 1;
+  if t.active_readers = 0 then Condition.signal t.writers_cv
+
+let write_lock_locked t =
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.active_writer || t.active_readers > 0 do
+    Condition.wait t.writers_cv t.mutex
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.active_writer <- true
+
+let write_unlock_locked t =
+  t.active_writer <- false;
+  (* Hand off to the next queued writer; only when none are waiting do
+     the readers get to flood back in. *)
+  if t.waiting_writers > 0 then Condition.signal t.writers_cv
+  else Condition.broadcast t.readers_cv
+
+let read_lock t = with_mutex t (fun () -> read_lock_locked t)
+let read_unlock t = with_mutex t (fun () -> read_unlock_locked t)
+let write_lock t = with_mutex t (fun () -> write_lock_locked t)
+let write_unlock t = with_mutex t (fun () -> write_unlock_locked t)
+
+let with_write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f
+
+let with_read t f =
+  (* Snapshot the mode under the mutex and acquire in the same critical
+     section, so a concurrent [set_exclusive] cannot split the decision
+     from the acquisition; remember which path we took for the release. *)
+  let as_writer =
+    with_mutex t (fun () ->
+        if t.exclusive_mode then begin
+          write_lock_locked t;
+          true
+        end
+        else begin
+          read_lock_locked t;
+          false
+        end)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      with_mutex t (fun () ->
+          if as_writer then write_unlock_locked t else read_unlock_locked t))
+    f

@@ -1,0 +1,62 @@
+(** Writer-preferring reader–writer lock.
+
+    The management workload is read-mostly: monitoring clients poll
+    [dom_get_info]/[list_domains] continuously while lifecycle changes are
+    rare.  A coarse mutex serializes the readers behind each other; this
+    lock lets any number of readers hold the lock together while writers
+    get exclusive access.
+
+    {b Preference.}  A reader that arrives while a writer is waiting
+    blocks until that writer (and any writers queued behind it) has run:
+    a continuous stream of readers therefore cannot starve a writer,
+    which matters precisely because the workload is read-mostly.
+
+    {b Non-reentrant.}  Acquiring the lock (in either mode) while the
+    calling thread already holds it deadlocks, like [Mutex.t].  Section
+    code must not re-enter the lock; run callbacks that may re-enter the
+    owning subsystem outside the section.
+
+    An {e exclusive} (coarse) compatibility mode demotes shared sections
+    to exclusive ones at acquisition time, giving benchmarks a
+    single-mutex baseline over the identical code path (experiment
+    E14). *)
+
+type t
+
+val create : ?exclusive:bool -> unit -> t
+(** A fresh, unheld lock.  [exclusive] defaults to [false]. *)
+
+val set_exclusive : t -> bool -> unit
+(** Toggle coarse mode.  Affects acquisitions that begin after the call;
+    sections already running are unaffected (each section releases in the
+    mode it acquired). *)
+
+val exclusive : t -> bool
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run a shared section: any number of [with_read] sections proceed
+    together; mutually exclusive with [with_write] sections.  Releases on
+    exception. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run an exclusive section.  Releases on exception. *)
+
+(** {2 Unpaired operations}
+
+    For code that cannot use the section helpers (tests, hand-rolled
+    acquisition orders).  [read_lock]/[read_unlock] always take the
+    shared path; exclusive mode is honored by {!with_read} only, which
+    snapshots the mode at entry so the release matches the
+    acquisition. *)
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val active_readers : t -> int
+(** Number of threads currently inside a shared section (diagnostics). *)
+
+val waiting_writers : t -> int
+(** Number of threads blocked waiting for exclusive access
+    (diagnostics). *)

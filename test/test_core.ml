@@ -311,6 +311,41 @@ let test_registry_no_connect () =
     Alcotest.(check bool) "no_connect" true (e.Verror.code = Verror.No_connect)
   | Ok _ -> Alcotest.fail "unknown scheme connected"
 
+let test_registry_reregister_keeps_position () =
+  (* Replacement is in place: a driver that re-registers (e.g. with a new
+     probe) must not migrate to the back of the list, where it could fall
+     behind a catch-all. *)
+  Ovirt.initialize ();
+  let fake name =
+    Driver.
+      {
+        reg_name = name;
+        probe = (fun _ -> false);
+        open_conn =
+          (fun _ -> Verror.error Verror.Internal_error "fake driver %s" name);
+      }
+  in
+  Driver.register (fake "zz-a");
+  Driver.register (fake "zz-b");
+  Driver.register (fake "zz-c");
+  let index name =
+    let rec go i = function
+      | [] -> Alcotest.fail (name ^ " not registered")
+      | n :: _ when n = name -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 (Driver.registered ())
+  in
+  let before = (index "zz-a", index "zz-b", index "zz-c") in
+  Driver.register (fake "zz-b");
+  let after = (index "zz-a", index "zz-b", index "zz-c") in
+  Alcotest.(check bool) "re-registration keeps position" true (before = after);
+  Alcotest.(check int) "no duplicate entry" 3
+    (List.length
+       (List.filter
+          (fun n -> List.mem n [ "zz-a"; "zz-b"; "zz-c" ])
+          (Driver.registered ())))
+
 let test_closed_connection_rejected () =
   let conn = fresh_test_conn () in
   Ovirt.Connect.close conn;
@@ -365,6 +400,7 @@ let () =
         [
           quick "selection order" test_registry_selection_order;
           quick "unknown scheme refused" test_registry_no_connect;
+          quick "re-registration keeps position" test_registry_reregister_keeps_position;
           quick "closed connection rejected" test_closed_connection_rejected;
         ] );
     ]

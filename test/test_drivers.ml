@@ -69,39 +69,207 @@ let define h conn name =
 
 let state dom = vok (Domain.get_state dom)
 
+(* --- conformance scenario table ----------------------------------------- *)
+
+(* One declarative step list per scenario, interpreted against every
+   driver through the public API.  Acting steps drive the scenario's
+   single domain; expectation steps assert on it; [Expect_err] wraps any
+   acting step with the error code all drivers must agree on. *)
+
+type step =
+  | Define
+  | Start
+  | Suspend
+  | Resume
+  | Shutdown  (* guest-cooperative; consults the harness's support flag *)
+  | Destroy
+  | Undefine
+  | Get_info
+  | Lookup_name  (* by the scenario domain's name; checks the ref *)
+  | Lookup_uuid
+  | Lookup_unknown_uuid
+  | Expect_state of Vm_state.state
+  | Expect_listed_active of bool
+  | Expect_listed_defined of bool
+  | Expect_err of Verror.code * step
+  | Expect_any_err of step
+
+let rec step_name = function
+  | Define -> "define"
+  | Start -> "start"
+  | Suspend -> "suspend"
+  | Resume -> "resume"
+  | Shutdown -> "shutdown"
+  | Destroy -> "destroy"
+  | Undefine -> "undefine"
+  | Get_info -> "get-info"
+  | Lookup_name -> "lookup-by-name"
+  | Lookup_uuid -> "lookup-by-uuid"
+  | Lookup_unknown_uuid -> "lookup-unknown-uuid"
+  | Expect_state s -> "expect-state " ^ Vm_state.state_name s
+  | Expect_listed_active b -> Printf.sprintf "expect-listed-active %b" b
+  | Expect_listed_defined b -> Printf.sprintf "expect-listed-defined %b" b
+  | Expect_err (code, s) ->
+    Printf.sprintf "expect %s from %s" (Verror.code_name code) (step_name s)
+  | Expect_any_err s -> "expect failure from " ^ step_name s
+
+let run_scenario h steps () =
+  let conn = connect h in
+  let name = fresh_name "vm" in
+  let dom = ref None in
+  let the_dom step =
+    match !dom with
+    | Some d -> d
+    | None -> Alcotest.fail (step_name step ^ " before define")
+  in
+  (* Run one acting step to its result; expectations check and return unit. *)
+  let rec exec step =
+    match step with
+    | Define ->
+      let cfg = Vm_config.make ~os:h.os ~memory_kib:(8 * 1024) name in
+      Result.map
+        (fun d -> dom := Some d)
+        (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:h.virt_type cfg))
+    | Start -> Domain.create (the_dom step)
+    | Suspend -> Domain.suspend (the_dom step)
+    | Resume -> Domain.resume (the_dom step)
+    | Destroy -> Domain.destroy (the_dom step)
+    | Undefine -> Domain.undefine (the_dom step)
+    | Get_info -> Result.map ignore (Domain.get_info (the_dom step))
+    | Shutdown ->
+      if h.has_shutdown then
+        Result.map
+          (fun () ->
+            Alcotest.(check bool) (h.label ^ ": off after shutdown") true
+              (state (the_dom step) = Vm_state.Shutoff))
+          (Domain.shutdown (the_dom step))
+      else begin
+        expect_verr Verror.Operation_unsupported (Domain.shutdown (the_dom step));
+        Domain.destroy (the_dom step)
+      end
+    | Lookup_name ->
+      Result.map
+        (fun found ->
+          Alcotest.(check string) (h.label ^ ": lookup by name") name
+            (Domain.name found))
+        (Domain.lookup_by_name conn name)
+    | Lookup_uuid ->
+      Result.map
+        (fun found ->
+          Alcotest.(check string) (h.label ^ ": lookup by uuid") name
+            (Domain.name found))
+        (Domain.lookup_by_uuid conn (Domain.uuid (the_dom step)))
+    | Lookup_unknown_uuid ->
+      Result.map ignore (Domain.lookup_by_uuid conn (Vmm.Uuid.generate ()))
+    | Expect_state expected ->
+      Alcotest.(check string)
+        (h.label ^ ": state")
+        (Vm_state.state_name expected)
+        (Vm_state.state_name (state (the_dom step)));
+      Ok ()
+    | Expect_listed_active expected ->
+      Alcotest.(check bool)
+        (h.label ^ ": in active list")
+        expected
+        (List.exists
+           (fun r -> r.Driver.dom_name = name)
+           (vok (Connect.list_domains conn)));
+      Ok ()
+    | Expect_listed_defined expected ->
+      Alcotest.(check bool)
+        (h.label ^ ": in defined list")
+        expected
+        (List.mem name (vok (Connect.list_defined_domains conn)));
+      Ok ()
+    | Expect_err (code, inner) ->
+      (match exec inner with
+       | Error e when e.Verror.code = code -> Ok ()
+       | Error e ->
+         Alcotest.fail
+           (Printf.sprintf "%s: %s failed with %s, wanted %s" h.label
+              (step_name inner)
+              (Verror.code_name e.Verror.code)
+              (Verror.code_name code))
+       | Ok () ->
+         Alcotest.fail
+           (Printf.sprintf "%s: %s succeeded, wanted %s" h.label (step_name inner)
+              (Verror.code_name code)))
+    | Expect_any_err inner ->
+      (match exec inner with
+       | Error _ -> Ok ()
+       | Ok () ->
+         Alcotest.fail
+           (Printf.sprintf "%s: %s succeeded, wanted any error" h.label
+              (step_name inner)))
+  in
+  List.iter
+    (fun step ->
+      match exec step with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.fail
+          (Printf.sprintf "%s: %s failed: %s" h.label (step_name step)
+             (Verror.to_string e)))
+    steps
+
+(* The shared semantics every backend must exhibit, whatever its
+   substrate: lifecycle transitions with listing membership, the agreed
+   error codes, and name/UUID resolution. *)
+let scenarios =
+  [
+    ( "lifecycle",
+      [
+        Define;
+        Expect_state Vm_state.Shutoff;
+        Expect_listed_defined true;
+        Expect_listed_active false;
+        Start;
+        Expect_state Vm_state.Running;
+        Expect_listed_active true;
+        Expect_listed_defined false;
+        Suspend;
+        Expect_state Vm_state.Paused;
+        Resume;
+        Expect_state Vm_state.Running;
+        Destroy;
+        Expect_state Vm_state.Shutoff;
+        Undefine;
+        Expect_err (Verror.No_domain, Get_info);
+      ] );
+    ( "error codes",
+      [
+        Expect_err (Verror.No_domain, Lookup_name);
+        Define;
+        Start;
+        Expect_err (Verror.Operation_invalid, Start);
+        Expect_err (Verror.Operation_invalid, Resume);
+        Expect_any_err Undefine;
+        Destroy;
+        Expect_any_err Destroy;
+        Expect_err (Verror.Operation_invalid, Suspend);
+      ] );
+    ( "lookup",
+      [
+        Define;
+        Lookup_name;
+        Lookup_uuid;
+        Expect_err (Verror.No_domain, Lookup_unknown_uuid);
+        Start;
+        Lookup_name;
+        Destroy;
+      ] );
+    ("guest shutdown", [ Define; Start; Shutdown ]);
+  ]
+
+let conformance_suite =
+  List.concat_map
+    (fun (sname, steps) ->
+      List.map
+        (fun h -> quick (sname ^ " / " ^ h.label) (run_scenario h steps))
+        harnesses)
+    scenarios
+
 (* --- uniform semantics across every driver ------------------------------ *)
-
-let test_uniform_lifecycle h () =
-  let conn = connect h in
-  let name = fresh_name "vm" in
-  let dom = define h conn name in
-  Alcotest.(check bool) "defined inactive" true (state dom = Vm_state.Shutoff);
-  Alcotest.(check bool) "in defined list" true
-    (List.mem name (vok (Connect.list_defined_domains conn)));
-  vok (Domain.create dom);
-  Alcotest.(check bool) "running" true (state dom = Vm_state.Running);
-  Alcotest.(check bool) "in active list" true
-    (List.exists (fun r -> r.Driver.dom_name = name) (vok (Connect.list_domains conn)));
-  vok (Domain.suspend dom);
-  Alcotest.(check bool) "paused" true (state dom = Vm_state.Paused);
-  vok (Domain.resume dom);
-  vok (Domain.destroy dom);
-  Alcotest.(check bool) "shut off" true (state dom = Vm_state.Shutoff);
-  vok (Domain.undefine dom);
-  expect_verr Verror.No_domain (Domain.get_info dom)
-
-let test_uniform_error_semantics h () =
-  let conn = connect h in
-  let name = fresh_name "vm" in
-  expect_verr Verror.No_domain (Domain.lookup_by_name conn name);
-  let dom = define h conn name in
-  vok (Domain.create dom);
-  expect_verr Verror.Operation_invalid (Domain.create dom);
-  expect_verr Verror.Operation_invalid (Domain.resume dom);
-  expect_error (Domain.undefine dom);
-  vok (Domain.destroy dom);
-  expect_error (Domain.destroy dom);
-  expect_verr Verror.Operation_invalid (Domain.suspend dom)
 
 let test_uniform_duplicate_define h () =
   let conn = connect h in
@@ -109,16 +277,6 @@ let test_uniform_duplicate_define h () =
   let _dom = define h conn name in
   let other = Vm_config.make ~os:h.os name in
   expect_error (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:h.virt_type other))
-
-let test_uniform_lookup h () =
-  let conn = connect h in
-  let name = fresh_name "vm" in
-  let dom = define h conn name in
-  let found = vok (Domain.lookup_by_name conn name) in
-  Alcotest.(check string) "by name" name (Domain.name found);
-  Alcotest.(check string) "by uuid" name
-    (Domain.name (vok (Domain.lookup_by_uuid conn (Domain.uuid dom))));
-  expect_verr Verror.No_domain (Domain.lookup_by_uuid conn (Vmm.Uuid.generate ()))
 
 let test_uniform_xml_roundtrip h () =
   let conn = connect h in
@@ -139,19 +297,6 @@ let test_uniform_capabilities h () =
     && Capabilities.supports caps Capabilities.Feat_start);
   Alcotest.(check bool) "shutdown capability" h.has_shutdown
     (Capabilities.supports caps Capabilities.Feat_shutdown)
-
-let test_uniform_shutdown h () =
-  let conn = connect h in
-  let dom = define h conn (fresh_name "vm") in
-  vok (Domain.create dom);
-  if h.has_shutdown then begin
-    vok (Domain.shutdown dom);
-    Alcotest.(check bool) "off after shutdown" true (state dom = Vm_state.Shutoff)
-  end
-  else begin
-    expect_verr Verror.Operation_unsupported (Domain.shutdown dom);
-    vok (Domain.destroy dom)
-  end
 
 let test_wrong_os_rejected h () =
   if h.label <> "test" then begin
@@ -369,13 +514,10 @@ let test_undefine_discards_save () =
 let () =
   Alcotest.run "drivers"
     [
-      ("uniform lifecycle", uniform_suite test_uniform_lifecycle);
-      ("uniform error semantics", uniform_suite test_uniform_error_semantics);
+      ("conformance", conformance_suite);
       ("uniform duplicate define", uniform_suite test_uniform_duplicate_define);
-      ("uniform lookup", uniform_suite test_uniform_lookup);
       ("uniform xml roundtrip", uniform_suite test_uniform_xml_roundtrip);
       ("uniform capabilities", uniform_suite test_uniform_capabilities);
-      ("uniform shutdown", uniform_suite test_uniform_shutdown);
       ("wrong OS rejected", uniform_suite test_wrong_os_rejected);
       ( "qemu specifics",
         [

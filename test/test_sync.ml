@@ -1,0 +1,248 @@
+(* Reader–writer lock: concurrency semantics the driver nodes rely on. *)
+
+open Testutil
+module Rwlock = Ovsync.Rwlock
+
+(* A tiny synchronized cell for cross-thread assertions. *)
+module Cell = struct
+  type 'a t = { mutex : Mutex.t; cv : Condition.t; mutable v : 'a }
+
+  let make v = { mutex = Mutex.create (); cv = Condition.create (); v }
+
+  let update c f =
+    Mutex.lock c.mutex;
+    c.v <- f c.v;
+    Condition.broadcast c.cv;
+    Mutex.unlock c.mutex
+
+  let get c =
+    Mutex.lock c.mutex;
+    let v = c.v in
+    Mutex.unlock c.mutex;
+    v
+
+  let wait_for c pred =
+    Mutex.lock c.mutex;
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    let rec loop () =
+      if pred c.v then true
+      else if Unix.gettimeofday () > deadline then false
+      else begin
+        (* Condition.wait has no timeout; poll with a short sleep. *)
+        Mutex.unlock c.mutex;
+        Thread.delay 0.002;
+        Mutex.lock c.mutex;
+        loop ()
+      end
+    in
+    let r = loop () in
+    Mutex.unlock c.mutex;
+    r
+end
+
+(* Two readers must be inside their sections at the same time: each waits
+   for the other before leaving. *)
+let test_readers_overlap () =
+  let lock = Rwlock.create () in
+  let inside = Cell.make 0 in
+  let both_seen = Cell.make false in
+  let reader () =
+    Rwlock.with_read lock (fun () ->
+        Cell.update inside (fun n -> n + 1);
+        if Cell.wait_for inside (fun n -> n >= 2) then
+          Cell.update both_seen (fun _ -> true);
+        Cell.update inside (fun n -> n - 1))
+  in
+  let t1 = Thread.create reader () in
+  let t2 = Thread.create reader () in
+  Thread.join t1;
+  Thread.join t2;
+  Alcotest.(check bool) "both readers inside simultaneously" true
+    (Cell.get both_seen)
+
+(* A writer takes the lock; readers and other writers must not enter
+   until it leaves. *)
+let test_writer_excludes () =
+  let lock = Rwlock.create () in
+  let writer_in = Cell.make false in
+  let writer_out = Cell.make false in
+  let intruders = Cell.make 0 in
+  let saw_writer_done = Cell.make [] in
+  let w =
+    Thread.create
+      (fun () ->
+        Rwlock.with_write lock (fun () ->
+            Cell.update writer_in (fun _ -> true);
+            Thread.delay 0.05;
+            Alcotest.(check int) "nobody entered while writing" 0
+              (Cell.get intruders);
+            Cell.update writer_out (fun _ -> true)))
+      ()
+  in
+  Alcotest.(check bool) "writer entered" true
+    (Cell.wait_for writer_in (fun b -> b));
+  let contender enter =
+    Thread.create
+      (fun () ->
+        enter lock (fun () ->
+            Cell.update intruders (fun n -> n + 1);
+            Cell.update saw_writer_done (fun l -> Cell.get writer_out :: l)))
+      ()
+  in
+  let r = contender Rwlock.with_read in
+  let w2 = contender Rwlock.with_write in
+  Thread.join w;
+  Thread.join r;
+  Thread.join w2;
+  Alcotest.(check bool) "contenders entered only after the writer left" true
+    (List.for_all (fun b -> b) (Cell.get saw_writer_done))
+
+(* Writer preference: with readers active and a writer queued, a new
+   reader must wait until the writer has been through. *)
+let test_writer_preference () =
+  let lock = Rwlock.create () in
+  let order = Cell.make [] in
+  let first_reader_in = Cell.make false in
+  let writer_waiting = Cell.make false in
+  let release_first = Cell.make false in
+  let r1 =
+    Thread.create
+      (fun () ->
+        Rwlock.with_read lock (fun () ->
+            Cell.update first_reader_in (fun _ -> true);
+            ignore (Cell.wait_for release_first (fun b -> b))))
+      ()
+  in
+  ignore (Cell.wait_for first_reader_in (fun b -> b));
+  let w =
+    Thread.create
+      (fun () ->
+        Cell.update writer_waiting (fun _ -> true);
+        Rwlock.with_write lock (fun () -> Cell.update order (fun l -> "w" :: l)))
+      ()
+  in
+  ignore (Cell.wait_for writer_waiting (fun b -> b));
+  (* Give the writer time to block on the held read lock. *)
+  ignore
+    (eventually ~timeout_s:0.5 (fun () -> Rwlock.waiting_writers lock = 1));
+  let r2 =
+    Thread.create
+      (fun () ->
+        Rwlock.with_read lock (fun () -> Cell.update order (fun l -> "r2" :: l)))
+      ()
+  in
+  Thread.delay 0.02;
+  Cell.update release_first (fun _ -> true);
+  Thread.join r1;
+  Thread.join w;
+  Thread.join r2;
+  match List.rev (Cell.get order) with
+  | [ "w"; "r2" ] -> ()
+  | other ->
+    Alcotest.failf "writer did not go first: [%s]" (String.concat "; " other)
+
+(* Exclusive (coarse) mode: with_read degrades to the writer path, so two
+   "readers" can never overlap — the E14 baseline. *)
+let test_exclusive_mode_serializes_readers () =
+  let lock = Rwlock.create ~exclusive:true () in
+  let inside = Cell.make 0 in
+  let max_inside = Cell.make 0 in
+  let reader () =
+    Rwlock.with_read lock (fun () ->
+        Cell.update inside (fun n -> n + 1);
+        Cell.update max_inside (fun m -> max m (Cell.get inside));
+        Thread.delay 0.01;
+        Cell.update inside (fun n -> n - 1))
+  in
+  let ts = List.init 4 (fun _ -> Thread.create reader ()) in
+  List.iter Thread.join ts;
+  Alcotest.(check int) "never more than one inside" 1 (Cell.get max_inside)
+
+(* Hammer the lock from mixed readers and writers; the invariant checked
+   is mutual exclusion between the writer and everyone else, and that all
+   threads terminate (no lost wakeups). *)
+let test_stress_invariants () =
+  let lock = Rwlock.create () in
+  let readers_in = Cell.make 0 in
+  let writer_in = Cell.make false in
+  let violations = Cell.make 0 in
+  let reader () =
+    for _ = 1 to 200 do
+      Rwlock.with_read lock (fun () ->
+          Cell.update readers_in (fun n -> n + 1);
+          if Cell.get writer_in then Cell.update violations (fun n -> n + 1);
+          Cell.update readers_in (fun n -> n - 1))
+    done
+  in
+  let writer () =
+    for _ = 1 to 50 do
+      Rwlock.with_write lock (fun () ->
+          Cell.update writer_in (fun _ -> true);
+          if Cell.get readers_in > 0 then Cell.update violations (fun n -> n + 1);
+          Cell.update writer_in (fun _ -> false))
+    done
+  in
+  let ts =
+    List.init 4 (fun _ -> Thread.create reader ())
+    @ List.init 2 (fun _ -> Thread.create writer ())
+  in
+  List.iter Thread.join ts;
+  Alcotest.(check int) "no exclusion violations" 0 (Cell.get violations);
+  Alcotest.(check int) "no readers left inside" 0 (Rwlock.active_readers lock);
+  Alcotest.(check int) "no writers left waiting" 0 (Rwlock.waiting_writers lock)
+
+(* Exceptions inside a section must release the lock. *)
+let test_exception_releases () =
+  let lock = Rwlock.create () in
+  (try Rwlock.with_read lock (fun () -> failwith "boom") with Failure _ -> ());
+  (try Rwlock.with_write lock (fun () -> failwith "boom") with Failure _ -> ());
+  (* If either leaked, this would deadlock; run it under a timeout flag. *)
+  let done_ = Cell.make false in
+  let t =
+    Thread.create
+      (fun () ->
+        Rwlock.with_write lock (fun () -> ());
+        Rwlock.with_read lock (fun () -> ());
+        Cell.update done_ (fun _ -> true))
+      ()
+  in
+  Alcotest.(check bool) "lock reusable after exceptions" true
+    (Cell.wait_for done_ (fun b -> b));
+  Thread.join t
+
+let test_set_exclusive_toggle () =
+  let lock = Rwlock.create () in
+  Alcotest.(check bool) "starts shared" false (Rwlock.exclusive lock);
+  Rwlock.set_exclusive lock true;
+  Alcotest.(check bool) "now exclusive" true (Rwlock.exclusive lock);
+  (* A section started in coarse mode releases correctly even if the mode
+     flips while it runs. *)
+  let release = Cell.make false in
+  let t =
+    Thread.create
+      (fun () ->
+        Rwlock.with_read lock (fun () ->
+            ignore (Cell.wait_for release (fun b -> b))))
+      ()
+  in
+  Thread.delay 0.01;
+  Rwlock.set_exclusive lock false;
+  Cell.update release (fun _ -> true);
+  Thread.join t;
+  Rwlock.with_write lock (fun () -> ());
+  Alcotest.(check int) "clean state" 0 (Rwlock.active_readers lock)
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "rwlock",
+        [
+          quick "readers overlap" test_readers_overlap;
+          quick "writer excludes" test_writer_excludes;
+          quick "writer preference" test_writer_preference;
+          quick "exclusive mode serializes" test_exclusive_mode_serializes_readers;
+          quick "stress invariants" test_stress_invariants;
+          quick "exception releases" test_exception_releases;
+          quick "set_exclusive toggle" test_set_exclusive_toggle;
+        ] );
+    ]
