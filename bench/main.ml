@@ -852,6 +852,163 @@ let rwlock () =
   table [ "clients"; "coarse mutex"; "rwlock"; "speedup" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* E15: daemon restart recovery — journal replay and re-adoption       *)
+(* ------------------------------------------------------------------ *)
+
+(* A manager crash (Ovirt.crash_managers) drops every driver node while
+   journals and simulated hypervisor state survive; the next connection
+   replays the journal and reconciles.  Measured: wall time of that
+   recovering open vs the number of defined/running domains, with the
+   re-adoption counts verified against what was set up before the crash.
+   Then a qemu re-adoption check (same pids after recovery — the guests
+   were never touched) and a crash-point sweep of the journal image. *)
+let recovery () =
+  section "E15: restart recovery time and re-adoption vs domain count";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let counts = if smoke then [ 5; 25 ] else [ 10; 100; 500; 1000 ] in
+  let events_count conn lifecycle =
+    let ops = ok (Connect.ops conn) in
+    Ovirt.Events.history ops.Driver.events
+    |> List.filter (fun ev -> ev.Ovirt.Events.lifecycle = lifecycle)
+    |> List.length
+  in
+  let run_scale n =
+    let node = fresh "rec" in
+    let uri = "test://" ^ node ^ "/" in
+    let conn = ok (Connect.open_uri uri) in
+    (* The vcpu oversubscription cap bounds simultaneously running
+       guests, so the running share stops growing at 40 (+8 autostart). *)
+    let running = min (n / 2) 40 in
+    let autostart = min (max (n / 10) 1) 8 in
+    for i = 1 to n do
+      let dom = define_domain (List.hd kits) conn (Printf.sprintf "rvm%04d" i) in
+      if i <= running then ok (Domain.create dom)
+      else if i <= running + autostart then ok (Domain.set_autostart dom true)
+    done;
+    Connect.close conn;
+    Ovirt.crash_managers ();
+    let conn2, elapsed = time_once (fun () -> ok (Connect.open_uri uri)) in
+    let journal_path = "/var/lib/ovirt/test/" ^ node ^ ".journal" in
+    let _, replay = Persist.Journal.open_ journal_path in
+    let adopted = events_count conn2 Ovirt.Events.Ev_adopted in
+    let active = List.length (ok (Connect.list_domains conn2)) in
+    let defined = List.length (ok (Connect.list_defined_domains conn2)) in
+    (* +1 everywhere for the test driver's seeded "test" domain. *)
+    let adoption_ok = adopted = running + 1 && active = running + autostart + 1 in
+    Connect.close conn2;
+    [
+      string_of_int n;
+      string_of_int running;
+      string_of_int (List.length replay.Persist.Journal.rp_records);
+      Printf.sprintf "%.1f ms" (1000.0 *. elapsed);
+      string_of_int adopted;
+      string_of_int (active - adopted);
+      (if adoption_ok && defined + active = n + 1 then "ok" else "MISMATCH");
+    ]
+  in
+  table
+    [
+      "domains"; "running"; "journal records"; "recovery open"; "adopted";
+      "autostarted"; "verified";
+    ]
+    (List.map run_scale counts);
+  subsection "qemu re-adoption: same emulator processes before and after";
+  let qnode = fresh "recq" in
+  let quri = "qemu://" ^ qnode ^ "/system" in
+  let qkit = List.nth kits 1 in
+  let qconn = ok (Connect.open_uri quri) in
+  let q_total = if smoke then 4 else 16 in
+  let q_running = q_total / 2 in
+  for i = 1 to q_total do
+    let dom = define_domain qkit qconn (Printf.sprintf "qrv%02d" i) in
+    if i <= q_running then ok (Domain.create dom)
+  done;
+  let pids conn =
+    List.map
+      (fun r -> (r.Driver.dom_name, r.Driver.dom_id))
+      (ok (Connect.list_domains conn))
+    |> List.sort compare
+  in
+  let before = pids qconn in
+  Connect.close qconn;
+  Ovirt.crash_managers ();
+  let qconn2, q_elapsed = time_once (fun () -> ok (Connect.open_uri quri)) in
+  let after = pids qconn2 in
+  Printf.printf
+    "  %d defined / %d running: recovery open %.1f ms, pids preserved: %s\n"
+    q_total q_running (1000.0 *. q_elapsed)
+    (if before = after && before <> [] then "yes" else "NO");
+  Connect.close qconn2;
+  subsection "crash-point sweep: every journal cut replays prefix-consistently";
+  let n_ops = if smoke then 8 else 24 in
+  let cfgs =
+    Array.init (n_ops / 4) (fun i -> Vm_config.make (Printf.sprintf "swp%d" i))
+  in
+  (* Each op changes state, so it appends exactly one record — the 1:1
+     map the boundary arithmetic below relies on (asserted after).  The
+     live set only grows, which keeps the record count below the
+     compaction threshold (4*|snapshot|+16) for any n_ops. *)
+  let ops_list =
+    List.concat
+      (List.init (n_ops / 4) (fun b ->
+           let cfg = cfgs.(b) in
+           let name = cfg.Vm_config.name in
+           [
+             (fun st -> ok (Drivers.Domstore.define st cfg));
+             (fun st -> Drivers.Domstore.note_started st name);
+             (fun st -> ok (Drivers.Domstore.set_autostart st name true));
+             (fun st -> Drivers.Domstore.note_stopped st name);
+           ]))
+  in
+  let apply_prefix k =
+    let st = Drivers.Domstore.create () in
+    ignore (Drivers.Domstore.attach st ~path:(fresh "swm"));
+    List.iteri (fun i op -> if i < k then op st) ops_list;
+    Drivers.Domstore.entries st
+    |> List.map (fun (name, cfg, a, r) ->
+           (name, Vmm.Uuid.to_string cfg.Vm_config.uuid, a, r))
+  in
+  let path = fresh "swj" in
+  let st = Drivers.Domstore.create () in
+  ignore (Drivers.Domstore.attach st ~path);
+  List.iter (fun op -> op st) ops_list;
+  let img = Option.get (Persist.Media.read path) in
+  let _, replay = Persist.Journal.open_ path in
+  let boundary = Array.make (List.length replay.Persist.Journal.rp_records + 1) 0 in
+  List.iteri
+    (fun i r ->
+      boundary.(i + 1) <-
+        boundary.(i) + String.length (Persist.Journal.encode_record r))
+    replay.Persist.Journal.rp_records;
+  assert (List.length replay.Persist.Journal.rp_records = List.length ops_list);
+  let cuts = ref 0 and violations = ref 0 in
+  Array.iteri
+    (fun k bound ->
+      let check cut expect_k =
+        incr cuts;
+        let p = fresh "swc" in
+        Persist.Media.write p (String.sub img 0 cut);
+        let cut_st = Drivers.Domstore.create () in
+        ignore (Drivers.Domstore.attach cut_st ~path:p);
+        let got =
+          Drivers.Domstore.entries cut_st
+          |> List.map (fun (name, cfg, a, r) ->
+                 (name, Vmm.Uuid.to_string cfg.Vm_config.uuid, a, r))
+        in
+        if got <> apply_prefix expect_k then incr violations
+      in
+      check bound k;
+      if k < List.length ops_list then begin
+        let len = boundary.(k + 1) - bound in
+        List.iter
+          (fun d -> if d >= 1 && d < len then check (bound + d) k)
+          [ 1; len / 2; len - 1 ]
+      end)
+    boundary;
+  Printf.printf "  %d cut points (%d records), prefix violations: %d\n" !cuts
+    (List.length ops_list) !violations
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -869,6 +1026,7 @@ let experiments =
     ("table6", table6);
     ("chaos", chaos);
     ("rwlock", rwlock);
+    ("recovery", recovery);
   ]
 
 let () =

@@ -113,6 +113,15 @@ let commands shell =
     dom_op "undefine" "undefined" Ovirt.Domain.undefine;
     dom_op "save" "saved (managed save)" Ovirt.Domain.save;
     dom_op "restore" "restored from managed save" Ovirt.Domain.restore;
+    simple "autostart" "Domain management" "<domain> [--disable]"
+      "start the domain on daemon restart" (fun args ->
+        let* name = one_positional args "<domain>" in
+        let* dom = lookup shell name in
+        let flag = not (Ovcli.has_switch args "disable") in
+        let* () = verr (Ovirt.Domain.set_autostart dom flag) in
+        Ok
+          (Printf.sprintf "domain %s: autostart %s" name
+             (if flag then "enabled" else "disabled")));
     simple "dominfo" "Domain management" "<domain>" "print domain information"
       (fun args ->
         let* name = one_positional args "<domain>" in
@@ -120,7 +129,7 @@ let commands shell =
         let* info = verr (Ovirt.Domain.get_info dom) in
         Ok
           (String.concat "\n"
-             [
+             ([
                Printf.sprintf "%-15s %s" "Name:" name;
                Printf.sprintf "%-15s %s" "UUID:"
                  (Vmm.Uuid.to_string (Ovirt.Domain.uuid dom));
@@ -131,7 +140,15 @@ let commands shell =
                Printf.sprintf "%-15s %d KiB" "Used memory:"
                  info.Ovirt.Driver.di_memory_kib;
                Printf.sprintf "%-15s %d" "CPU(s):" info.Ovirt.Driver.di_vcpus;
-             ]));
+             ]
+             @
+             match Ovirt.Domain.get_autostart dom with
+             | Ok flag ->
+               [
+                 Printf.sprintf "%-15s %s" "Autostart:"
+                   (if flag then "enable" else "disable");
+               ]
+             | Error _ -> [])));
     simple "dumpxml" "Domain management" "<domain>" "print the domain's XML"
       (fun args ->
         let* name = one_positional args "<domain>" in

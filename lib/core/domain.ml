@@ -59,6 +59,15 @@ let restore dom = optional_op dom (fun ops -> ops.Driver.dom_restore) "managed r
 let has_managed_save dom =
   optional_op dom (fun ops -> ops.Driver.dom_has_managed_save) "managed save"
 
+let set_autostart dom flag =
+  on_ops dom (fun ops ->
+      match ops.Driver.dom_set_autostart with
+      | Some f -> f dom.dom_name flag
+      | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"autostart")
+
+let get_autostart dom =
+  optional_op dom (fun ops -> ops.Driver.dom_get_autostart) "autostart"
+
 (* ------------------------------------------------------------------ *)
 (* Live migration: generic precopy over driver-provided images         *)
 (* ------------------------------------------------------------------ *)

@@ -52,6 +52,15 @@ val save : t -> (unit, Verror.t) result
 val restore : t -> (unit, Verror.t) result
 val has_managed_save : t -> (bool, Verror.t) result
 
+(** {1 Autostart}
+
+    An autostarted domain is started by its driver when the node is
+    recovered after a daemon restart, if it is not already running —
+    the persistent-domain analogue of [Network.set_autostart]. *)
+
+val set_autostart : t -> bool -> (unit, Verror.t) result
+val get_autostart : t -> (bool, Verror.t) result
+
 (** {1 Live migration}
 
     Precopy algorithm over driver-provided memory images: a full first

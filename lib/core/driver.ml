@@ -106,6 +106,8 @@ type ops = {
   dom_save : (string -> (unit, Verror.t) result) option;
   dom_restore : (string -> (unit, Verror.t) result) option;
   dom_has_managed_save : (string -> (bool, Verror.t) result) option;
+  dom_set_autostart : (string -> bool -> (unit, Verror.t) result) option;
+  dom_get_autostart : (string -> (bool, Verror.t) result) option;
   migrate_begin : (string -> (migrate_source, Verror.t) result) option;
   migrate_prepare : (string -> (migrate_dest, Verror.t) result) option;
   guest_agent_install : (string -> (unit, Verror.t) result) option;
@@ -122,7 +124,8 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     ?list_domains ?list_defined ?lookup_by_name ?lookup_by_uuid ?define_xml
     ?undefine ?dom_create ?dom_suspend ?dom_resume ?dom_shutdown ?dom_destroy
     ?dom_get_info ?dom_get_xml ?dom_set_memory ?dom_save ?dom_restore
-    ?dom_has_managed_save ?migrate_begin ?migrate_prepare ?guest_agent_install ?guest_agent_exec ?net
+    ?dom_has_managed_save ?dom_set_autostart ?dom_get_autostart ?migrate_begin
+    ?migrate_prepare ?guest_agent_install ?guest_agent_exec ?net
     ?storage ?events () =
   let missing op _ = unsupported ~drv:drv_name ~op in
   let missing0 op () = unsupported ~drv:drv_name ~op in
@@ -151,6 +154,8 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     dom_save;
     dom_restore;
     dom_has_managed_save;
+    dom_set_autostart;
+    dom_get_autostart;
     migrate_begin;
     migrate_prepare;
     guest_agent_install;

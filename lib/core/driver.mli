@@ -107,6 +107,10 @@ type ops = {
   dom_restore : (string -> (unit, Verror.t) result) option;
       (** resume a domain from its managed-save image (consumes it) *)
   dom_has_managed_save : (string -> (bool, Verror.t) result) option;
+  dom_set_autostart : (string -> bool -> (unit, Verror.t) result) option;
+      (** mark a domain to be started when the driver recovers a node
+          after a daemon restart (cf. [net_set_autostart]) *)
+  dom_get_autostart : (string -> (bool, Verror.t) result) option;
   migrate_begin : (string -> (migrate_source, Verror.t) result) option;
   migrate_prepare : (string -> (migrate_dest, Verror.t) result) option;
   guest_agent_install : (string -> (unit, Verror.t) result) option;
@@ -143,6 +147,8 @@ val make_ops :
   ?dom_save:(string -> (unit, Verror.t) result) ->
   ?dom_restore:(string -> (unit, Verror.t) result) ->
   ?dom_has_managed_save:(string -> (bool, Verror.t) result) ->
+  ?dom_set_autostart:(string -> bool -> (unit, Verror.t) result) ->
+  ?dom_get_autostart:(string -> (bool, Verror.t) result) ->
   ?migrate_begin:(string -> (migrate_source, Verror.t) result) ->
   ?migrate_prepare:(string -> (migrate_dest, Verror.t) result) ->
   ?guest_agent_install:(string -> (unit, Verror.t) result) ->

@@ -8,6 +8,8 @@ type lifecycle =
   | Ev_stopped
   | Ev_crashed
   | Ev_migrated
+  | Ev_adopted
+  | Ev_diverged
 
 let lifecycle_name = function
   | Ev_defined -> "defined"
@@ -19,11 +21,14 @@ let lifecycle_name = function
   | Ev_stopped -> "stopped"
   | Ev_crashed -> "crashed"
   | Ev_migrated -> "migrated"
+  | Ev_adopted -> "adopted"
+  | Ev_diverged -> "diverged"
 
+(* Wire codes are list positions: append-only. *)
 let all =
   [
     Ev_defined; Ev_undefined; Ev_started; Ev_suspended; Ev_resumed; Ev_shutdown;
-    Ev_stopped; Ev_crashed; Ev_migrated;
+    Ev_stopped; Ev_crashed; Ev_migrated; Ev_adopted; Ev_diverged;
   ]
 
 let lifecycle_to_int ev =

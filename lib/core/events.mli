@@ -16,6 +16,10 @@ type lifecycle =
   | Ev_stopped
   | Ev_crashed
   | Ev_migrated
+  | Ev_adopted  (** running domain re-adopted after a manager restart *)
+  | Ev_diverged
+      (** hypervisor state found to disagree with the journal on recovery
+          (guest died or appeared while the manager was down) *)
 
 val lifecycle_name : lifecycle -> string
 val lifecycle_of_int : int -> (lifecycle, string) result

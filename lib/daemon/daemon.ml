@@ -45,6 +45,15 @@ let stop daemon =
       done;
       stop_locked daemon)
 
+(* Simulated crash: tear down immediately, never waiting for a drain —
+   in-flight work is abandoned exactly as a SIGKILL would leave it.  The
+   in-memory driver state dies with the process; only what lives in
+   [Persist.Media] and the hypervisor sims survives for recovery. *)
+let kill daemon =
+  Vlog.logf daemon.logger ~module_:"daemon" Vlog.Warn "daemon %s killed"
+    daemon.name;
+  with_lifecycle daemon (fun () -> stop_locked daemon)
+
 (* Graceful shutdown: stop accepting (listeners closed, servers marked
    draining so the dispatcher refuses new calls), let every queued and
    in-flight dispatch finish, then tear down.  Only one thread gets to

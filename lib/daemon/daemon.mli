@@ -21,6 +21,12 @@ val start : ?name:string -> ?config:Daemon_config.t -> unit -> t
 val stop : t -> unit
 (** Close listeners and clients, stop workerpools.  Idempotent. *)
 
+val kill : t -> unit
+(** Simulated crash (SIGKILL): like {!stop} but never waits for a running
+    drain and abandons in-flight work.  Pair with the driver registries'
+    [reset_nodes] to model a full manager crash; a subsequent {!start}
+    plus reconnect exercises journal replay and reconciliation. *)
+
 val drain : t -> unit
 (** Graceful shutdown: close listeners, mark every server draining (new
     calls refused with [Operation_invalid], keepalive pings still

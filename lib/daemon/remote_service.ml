@@ -204,6 +204,20 @@ let handle st _srv client header body =
           let* has = f name in
           Ok (Rp.enc_bool_body has)
         | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed save")
+     | Rp.Proc_dom_set_autostart ->
+       let name, autostart = Rp.dec_name_and_bool body in
+       (match ops.Driver.dom_set_autostart with
+        | Some f ->
+          let* () = f name autostart in
+          Ok Rp.enc_unit_body
+        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"autostart")
+     | Rp.Proc_dom_get_autostart ->
+       let name = Rp.dec_string_body body in
+       (match ops.Driver.dom_get_autostart with
+        | Some f ->
+          let* flag = f name in
+          Ok (Rp.enc_bool_body flag)
+        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"autostart")
      | Rp.Proc_net_list ->
        let* b = net_backend cs in
        let* infos = b.Driver.net_list () in

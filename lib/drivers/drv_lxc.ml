@@ -9,13 +9,6 @@ type payload = { lxc : Lxc_host.t }
 type node = payload Drvnode.node
 
 let ( let* ) = Result.bind
-
-let nodes : payload Drvnode.registry =
-  Drvnode.registry (fun ~node_name ->
-      { lxc = Lxc_host.create (Hvsim.Hostinfo.create ~hostname:node_name ()) })
-
-let get_node name = Drvnode.get_node nodes name
-let reset_nodes () = Drvnode.reset_nodes nodes
 let lxc (node : node) = node.payload.lxc
 let require_config (node : node) name = Drvnode.require_config ~what:"container" node name
 
@@ -59,13 +52,20 @@ let host_op code (node : node) name call event =
 let undefine (node : node) name =
   Drvnode.with_write node (fun () ->
       let* _cfg = require_config node name in
-      let* () =
-        Result.map_error (Verror.make Verror.Operation_invalid)
-          (Lxc_host.undefine (lxc node) name)
-      in
-      let* () = Domstore.undefine node.store name in
-      Drvnode.emit node name Events.Ev_undefined;
-      Ok ())
+      let* info = container_info node name in
+      if info.Lxc_host.info_state <> Lxc_host.Stopped then
+        Verror.error Verror.Operation_invalid "container %S is active" name
+      else
+        (* WAL order: journal the undefine before touching the kernel; a
+           crash in between leaves a store-less kernel definition, which
+           recovery reports as a divergence. *)
+        let* () = Domstore.undefine node.store name in
+        let* () =
+          Result.map_error (Verror.make Verror.Operation_invalid)
+            (Lxc_host.undefine (lxc node) name)
+        in
+        Drvnode.emit node name Events.Ev_undefined;
+        Ok ())
 
 let dom_create node name =
   host_op Verror.Operation_invalid node name Lxc_host.start Events.Ev_started
@@ -82,6 +82,49 @@ let dom_shutdown node name =
 
 let dom_destroy node name =
   host_op Verror.Operation_invalid node name Lxc_host.stop Events.Ev_stopped
+
+(* Restart recovery.  Kernel state ({!Lxc_host.attach}) outlives the
+   manager: running containers are still there and the driver keeps no
+   per-container state, so adoption is pure reconciliation.  Two extra
+   passes cover the define/undefine crash windows: the journaled store
+   is authoritative for definitions, so defines it logged but the
+   kernel never saw are redone, while kernel definitions the store does
+   not know are reported as divergences, never removed. *)
+let running_names (node : node) =
+  Lxc_host.list (lxc node)
+  |> List.filter (fun name ->
+         match Lxc_host.info (lxc node) name with
+         | Ok info -> info.Lxc_host.info_state <> Lxc_host.Stopped
+         | Error _ -> false)
+
+let recover (node : node) attach_info =
+  List.iter
+    (fun (name, cfg, _autostart, _was_running) ->
+      match Lxc_host.info (lxc node) name with
+      | Ok _ -> ()
+      | Error _ -> ignore (Lxc_host.define (lxc node) cfg))
+    (Domstore.entries node.store);
+  List.iter
+    (fun name ->
+      if not (Domstore.mem node.store name) then
+        match Lxc_host.info (lxc node) name with
+        | Ok info when info.Lxc_host.info_state = Lxc_host.Stopped ->
+          (* Running store-less containers are reported by reconcile. *)
+          Events.emit node.events ~domain_name:name Events.Ev_diverged
+        | Ok _ | Error _ -> ())
+    (Lxc_host.list (lxc node));
+  ignore
+    (Drvnode.reconcile node ~attach_info
+       ~running:(fun () -> running_names node)
+       ~adopt:(fun _name _cfg -> ())
+       ~start:(dom_create node))
+
+let nodes : payload Drvnode.registry =
+  Drvnode.registry ~journal_dir:"/var/lib/ovirt/lxc" ~recover
+    (fun ~node_name -> { lxc = Lxc_host.attach node_name })
+
+let get_node name = Drvnode.get_node nodes name
+let reset_nodes () = Drvnode.reset_nodes nodes
 
 let dom_get_info (node : node) name =
   Drvnode.with_read node (fun () ->
@@ -170,6 +213,8 @@ let open_node (node : node) =
     ~dom_resume:(dom_resume node) ~dom_shutdown:(dom_shutdown node)
     ~dom_destroy:(dom_destroy node) ~dom_get_info:(dom_get_info node)
     ~dom_get_xml:(dom_get_xml node) ~dom_set_memory:(dom_set_memory node)
+    ~dom_set_autostart:(Drvnode.set_autostart node)
+    ~dom_get_autostart:(Drvnode.get_autostart node)
     ~net:(Driver.net_ops_of_backend node.net)
     ~storage:(Driver.storage_ops_of_backend node.storage)
     ~events:node.events ()

@@ -3,33 +3,25 @@ module Vm_state = Vmm.Vm_state
 module Qemu_proc = Hvsim.Qemu_proc
 open Ovirt_core
 
-(* Substrate state: processes, balloon targets, agent channels and
-   managed-save images live driver-side, like libvirt's qemu driver. *)
+(* Substrate state: the manager's view of its emulator processes —
+   process handles, balloon targets, agent channels — like libvirt's
+   qemu driver.  This bookkeeping dies with the manager; the processes
+   themselves live in the host's process table ({!Qemu_proc.running_on})
+   and are re-adopted on recovery.  Managed-save images live on the
+   durable medium. *)
 type payload = {
   host : Hvsim.Hostinfo.t;
   procs : (string, Qemu_proc.t) Hashtbl.t;
   balloon : (string, int) Hashtbl.t; (* current balloon targets, KiB *)
   agents : (string, Hvsim.Guest_agent.endpoint) Hashtbl.t;
-  (* managed-save images: name -> serialized guest memory *)
-  saved : (string, string) Hashtbl.t;
 }
 
 type node = payload Drvnode.node
 
 let ( let* ) = Result.bind
 
-let nodes : payload Drvnode.registry =
-  Drvnode.registry (fun ~node_name ->
-      {
-        host = Hvsim.Hostinfo.create ~hostname:node_name ();
-        procs = Hashtbl.create 16;
-        balloon = Hashtbl.create 16;
-        agents = Hashtbl.create 16;
-        saved = Hashtbl.create 4;
-      })
-
-let get_node name = Drvnode.get_node nodes name
-let reset_nodes () = Drvnode.reset_nodes nodes
+let save_path (node : node) name =
+  "/var/lib/ovirt/qemu/save/" ^ node.node_name ^ "/" ^ name ^ ".save"
 
 (* ------------------------------------------------------------------ *)
 (* Command-line formatting                                             *)
@@ -106,7 +98,7 @@ let undefine (node : node) name =
       | None ->
         let* () = Domstore.undefine node.store name in
         Hashtbl.remove node.payload.procs name;
-        Hashtbl.remove node.payload.saved name;
+        Persist.Media.remove (save_path node name);
         Drvnode.emit node name Events.Ev_undefined;
         Ok ())
 
@@ -278,7 +270,7 @@ let dom_save (node : node) name =
       let* proc = require_proc node name in
       match Qemu_proc.state proc with
       | Vmm.Vm_state.Running | Vmm.Vm_state.Paused ->
-        Hashtbl.replace node.payload.saved name
+        Persist.Media.write (save_path node name)
           (Vmm.Guest_image.snapshot (Qemu_proc.image proc));
         ignore (qmp proc ~cmd:"quit");
         reap node name;
@@ -291,7 +283,7 @@ let dom_save (node : node) name =
 let dom_restore (node : node) name =
   Drvnode.with_write node (fun () ->
       let* cfg = require_config node name in
-      match Hashtbl.find_opt node.payload.saved name with
+      match Persist.Media.read (save_path node name) with
       | None ->
         Verror.error Verror.Operation_invalid "domain %S has no managed-save image"
           name
@@ -304,14 +296,14 @@ let dom_restore (node : node) name =
            reap node name;
            Error (Verror.make Verror.Operation_failed msg)
          | Ok _ ->
-           Hashtbl.remove node.payload.saved name;
+           Persist.Media.remove (save_path node name);
            Drvnode.emit node name Events.Ev_started;
            Ok ()))
 
 let dom_has_managed_save (node : node) name =
   Drvnode.with_read node (fun () ->
       let* _cfg = require_config node name in
-      Ok (Hashtbl.mem node.payload.saved name))
+      Ok (Persist.Media.exists (save_path node name)))
 
 (* ------------------------------------------------------------------ *)
 (* Guest agent (intrusive baseline)                                    *)
@@ -383,6 +375,48 @@ let migrate_prepare (node : node) config_xml =
           })
 
 (* ------------------------------------------------------------------ *)
+(* Restart recovery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-adopt a live emulator process: rebuild the manager-side
+   bookkeeping — process handle, balloon default, agent channel, NIC
+   accounting — without issuing a single monitor command that could
+   disturb the guest.  (The balloon target and agent install state were
+   manager-side knowledge; they reset to their post-boot defaults, the
+   same information loss libvirt accepts when it reconnects.) *)
+let adopt_proc (node : node) name (cfg : Vm_config.t) proc =
+  Hashtbl.replace node.payload.procs name proc;
+  Hashtbl.replace node.payload.balloon name cfg.Vm_config.memory_kib;
+  Hashtbl.replace node.payload.agents name
+    (Hvsim.Guest_agent.create ~image:(Qemu_proc.image proc)
+       ~state:(fun () -> Qemu_proc.state proc)
+       ~request_shutdown:(fun () -> ignore (qmp proc ~cmd:"system_powerdown")));
+  ignore (connect_nics node cfg)
+
+let recover (node : node) attach_info =
+  let surviving = Qemu_proc.running_on node.node_name in
+  ignore
+    (Drvnode.reconcile node ~attach_info
+       ~running:(fun () -> List.map fst surviving)
+       ~adopt:(fun name cfg ->
+         match List.assoc_opt name surviving with
+         | Some proc -> adopt_proc node name cfg proc
+         | None -> ())
+       ~start:(dom_create node))
+
+let nodes : payload Drvnode.registry =
+  Drvnode.registry ~journal_dir:"/var/lib/ovirt/qemu" ~recover (fun ~node_name ->
+      {
+        host = Hvsim.Hostinfo.shared node_name;
+        procs = Hashtbl.create 16;
+        balloon = Hashtbl.create 16;
+        agents = Hashtbl.create 16;
+      })
+
+let get_node name = Drvnode.get_node nodes name
+let reset_nodes () = Drvnode.reset_nodes nodes
+
+(* ------------------------------------------------------------------ *)
 (* Registration                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -417,6 +451,8 @@ let open_node (node : node) =
     ~dom_get_xml:(dom_get_xml node) ~dom_set_memory:(dom_set_memory node)
     ~dom_save:(dom_save node) ~dom_restore:(dom_restore node)
     ~dom_has_managed_save:(dom_has_managed_save node)
+    ~dom_set_autostart:(Drvnode.set_autostart node)
+    ~dom_get_autostart:(Drvnode.get_autostart node)
     ~migrate_begin:(migrate_begin node) ~migrate_prepare:(migrate_prepare node)
     ~guest_agent_install:(guest_agent_install node)
     ~guest_agent_exec:(guest_agent_exec node)

@@ -21,21 +21,56 @@ type payload = {
   host : Hvsim.Hostinfo.t;
   (* name -> (state, active resources); Shutoff domains are not here *)
   actives : (string, Vm_state.state ref * active) Hashtbl.t;
-  (* managed-save images: name -> serialized guest memory *)
-  saved : (string, string) Hashtbl.t;
 }
 
 type node = payload Drvnode.node
 
 let ( let* ) = Result.bind
 
+(* Hypervisor-side state that survives a manager crash: the machine and
+   its running guests belong to the (mock) hypervisor, not to the
+   manager.  One substrate per node name, process-global; payloads alias
+   it, so a node rebuilt after `reset_nodes` finds its guests intact. *)
+type substrate = {
+  sub_host : Hvsim.Hostinfo.t;
+  sub_actives : (string, Vm_state.state ref * active) Hashtbl.t;
+}
+
+let substrates : (string, substrate) Hashtbl.t = Hashtbl.create 4
+let substrates_mutex = Mutex.create ()
+
+let substrate node_name =
+  Mutex.lock substrates_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock substrates_mutex)
+    (fun () ->
+      match Hashtbl.find_opt substrates node_name with
+      | Some s -> s
+      | None ->
+        let s =
+          {
+            sub_host = Hvsim.Hostinfo.shared node_name;
+            sub_actives = Hashtbl.create 16;
+          }
+        in
+        Hashtbl.add substrates node_name s;
+        s)
+
+(* Managed-save images live on the durable medium, like the state files
+   libvirt keeps under /var/lib/libvirt/qemu/save. *)
+let save_path (node : node) name =
+  "/var/lib/ovirt/test/save/" ^ node.node_name ^ "/" ^ name ^ ".save"
+
 (* A guest-shutdown agent command re-enters the driver's shutdown path;
-   the hook is bound after [dom_shutdown] is defined. *)
-let shutdown_hook : (node -> string -> unit) ref = ref (fun _ _ -> ())
+   the hook is bound after [dom_shutdown] is defined.  It routes by node
+   *name* so an agent created before a manager crash reaches the current
+   node, not the pre-crash one it was created under. *)
+let shutdown_hook : (string -> string -> unit) ref = ref (fun _ _ -> ())
 
 (* Allocate the running-domain resources: memory image plus the guest's
    agent channel. *)
 let add_active (node : node) name state (cfg : Vm_config.t) =
+  let node_name = node.node_name in
   let image = Guest_image.create ~memory_kib:cfg.Vm_config.memory_kib in
   let active =
     {
@@ -43,35 +78,31 @@ let add_active (node : node) name state (cfg : Vm_config.t) =
       agent =
         Hvsim.Guest_agent.create ~image
           ~state:(fun () -> !state)
-          ~request_shutdown:(fun () -> !shutdown_hook node name);
+          ~request_shutdown:(fun () -> !shutdown_hook node_name name);
       cpu_time_ns = 0L;
     }
   in
   Hashtbl.replace node.payload.actives name (state, active)
 
-(* The conventional pre-existing running domain of test:///default. *)
+(* The conventional pre-existing running domain of test:///default.
+   Idempotent: after a crash the journal replays ["test"] and the
+   substrate still runs it, so there is nothing to do. *)
 let seed_default_domain (node : node) =
-  let cfg = Vm_config.make ~memory_kib:(8 * 1024) "test" in
-  (match Domstore.define node.store cfg with Ok () -> () | Error _ -> assert false);
-  (match
-     Hvsim.Hostinfo.reserve node.payload.host
-       ~memory_kib:cfg.Vm_config.memory_kib ~vcpus:1
-   with
-   | Ok () -> ()
-   | Error _ -> assert false);
-  add_active node "test" (ref Vm_state.Running) cfg
-
-let nodes : payload Drvnode.registry =
-  Drvnode.registry ~init:seed_default_domain (fun ~node_name ->
-      {
-        op_latency_s = 0.0;
-        host = Hvsim.Hostinfo.create ~hostname:node_name ();
-        actives = Hashtbl.create 16;
-        saved = Hashtbl.create 4;
-      })
-
-let get_node name = Drvnode.get_node nodes name
-let reset_nodes () = Drvnode.reset_nodes nodes
+  if
+    (not (Domstore.mem node.store "test"))
+    && not (Hashtbl.mem node.payload.actives "test")
+  then begin
+    let cfg = Vm_config.make ~memory_kib:(8 * 1024) "test" in
+    (match Domstore.define node.store cfg with Ok () -> () | Error _ -> assert false);
+    (match
+       Hvsim.Hostinfo.reserve node.payload.host
+         ~memory_kib:cfg.Vm_config.memory_kib ~vcpus:1
+     with
+     | Ok () -> ()
+     | Error _ -> assert false);
+    add_active node "test" (ref Vm_state.Running) cfg;
+    Domstore.note_started node.store "test"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Operations                                                          *)
@@ -129,7 +160,7 @@ let undefine (node : node) name =
         Verror.error Verror.Operation_invalid "cannot undefine active domain %S" name
       else
         let* () = Domstore.undefine node.store name in
-        Hashtbl.remove node.payload.saved name;
+        Persist.Media.remove (save_path node name);
         Drvnode.emit node name Events.Ev_undefined;
         Ok ())
 
@@ -203,7 +234,30 @@ let dom_shutdown (node : node) name =
 let dom_destroy node name =
   transition_active node name Vm_state.Ev_destroy Events.Ev_stopped
 
-let () = shutdown_hook := fun node name -> ignore (dom_shutdown node name)
+(* Restart recovery: reconcile the replayed store against the guests
+   still running on the substrate.  The payload aliases the surviving
+   tables, so adoption needs no manager-side rebuilding. *)
+let recover (node : node) attach_info =
+  ignore
+    (Drvnode.reconcile node ~attach_info
+       ~running:(fun () ->
+         Hashtbl.fold (fun name _ acc -> name :: acc) node.payload.actives []
+         |> List.sort compare)
+       ~adopt:(fun _name _cfg -> ())
+       ~start:(dom_create node))
+
+let nodes : payload Drvnode.registry =
+  Drvnode.registry ~init:seed_default_domain ~journal_dir:"/var/lib/ovirt/test"
+    ~recover (fun ~node_name ->
+      let sub = substrate node_name in
+      { op_latency_s = 0.0; host = sub.sub_host; actives = sub.sub_actives })
+
+let get_node name = Drvnode.get_node nodes name
+let reset_nodes () = Drvnode.reset_nodes nodes
+
+let () =
+  shutdown_hook :=
+    fun node_name name -> ignore (dom_shutdown (get_node node_name) name)
 
 (* Managed save: checkpoint the live memory, stop the domain, keep the
    bytes driver-side; restore is the exact inverse. *)
@@ -212,7 +266,7 @@ let dom_save (node : node) name =
       let* state, active = require_active node name in
       match !state with
       | Vm_state.Running | Vm_state.Paused ->
-        Hashtbl.replace node.payload.saved name (Guest_image.snapshot active.image);
+        Persist.Media.write (save_path node name) (Guest_image.snapshot active.image);
         let* () = stop_active node name in
         Drvnode.emit node name Events.Ev_stopped;
         Ok ()
@@ -226,7 +280,7 @@ let dom_restore (node : node) name =
       if Hashtbl.mem node.payload.actives name then
         Verror.error Verror.Operation_invalid "domain %S is already running" name
       else
-        match Hashtbl.find_opt node.payload.saved name with
+        match Persist.Media.read (save_path node name) with
         | None ->
           Verror.error Verror.Operation_invalid "domain %S has no managed-save image"
             name
@@ -241,14 +295,14 @@ let dom_restore (node : node) name =
           (match Hashtbl.find_opt node.payload.actives name with
            | Some (_, active) -> Guest_image.restore_from active.image bytes
            | None -> assert false);
-          Hashtbl.remove node.payload.saved name;
+          Persist.Media.remove (save_path node name);
           Drvnode.emit node name Events.Ev_started;
           Ok ())
 
 let dom_has_managed_save (node : node) name =
   Drvnode.with_read node (fun () ->
       let* _cfg = require_config node name in
-      Ok (Hashtbl.mem node.payload.saved name))
+      Ok (Persist.Media.exists (save_path node name)))
 
 (* Guest agent (intrusive baseline): endpoint fetched under the lock,
    executed outside it so guest-shutdown can re-enter the driver. *)
@@ -404,6 +458,8 @@ let open_node (node : node) =
     ~dom_get_xml:(dom_get_xml node) ~dom_set_memory:(dom_set_memory node)
     ~dom_save:(dom_save node) ~dom_restore:(dom_restore node)
     ~dom_has_managed_save:(dom_has_managed_save node)
+    ~dom_set_autostart:(Drvnode.set_autostart node)
+    ~dom_get_autostart:(Drvnode.get_autostart node)
     ~migrate_begin:(migrate_begin node) ~migrate_prepare:(migrate_prepare node)
     ~guest_agent_install:(guest_agent_install node)
     ~guest_agent_exec:(guest_agent_exec node)

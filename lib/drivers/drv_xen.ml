@@ -9,13 +9,6 @@ type payload = { hv : Xen_hv.t }
 type node = payload Drvnode.node
 
 let ( let* ) = Result.bind
-
-let nodes : payload Drvnode.registry =
-  Drvnode.registry (fun ~node_name ->
-      { hv = Xen_hv.boot (Hvsim.Hostinfo.create ~hostname:node_name ()) })
-
-let get_node name = Drvnode.get_node nodes name
-let reset_nodes () = Drvnode.reset_nodes nodes
 let hv (node : node) = node.payload.hv
 let op_invalid r = Result.map_error (Verror.make Verror.Operation_invalid) r
 let active_domid (node : node) name = Xen_hv.lookup_by_name (hv node) name
@@ -92,6 +85,32 @@ let dom_shutdown node name =
 
 let dom_destroy node name =
   hypercall_op node name Xen_hv.domctl_destroy Events.Ev_stopped
+
+(* Restart recovery.  The hypervisor outlives the toolstack
+   ({!Xen_hv.attach}), so running domains are simply still there — the
+   driver keeps no per-domain state, and adoption is pure
+   reconciliation: diff the replayed store against the hypervisor's
+   domain table (Domain-0 excluded — it is never store-managed). *)
+let running_names (node : node) =
+  Xen_hv.list_domains (hv node)
+  |> List.filter (fun id -> id <> 0)
+  |> List.filter_map (fun id ->
+         Hvsim.Xenstore.read_opt (Xen_hv.store (hv node))
+           (Printf.sprintf "/local/domain/%d/name" id))
+
+let recover (node : node) attach_info =
+  ignore
+    (Drvnode.reconcile node ~attach_info
+       ~running:(fun () -> running_names node)
+       ~adopt:(fun _name _cfg -> ())
+       ~start:(dom_create node))
+
+let nodes : payload Drvnode.registry =
+  Drvnode.registry ~journal_dir:"/var/lib/ovirt/xen" ~recover
+    (fun ~node_name -> { hv = Xen_hv.attach node_name })
+
+let get_node name = Drvnode.get_node nodes name
+let reset_nodes () = Drvnode.reset_nodes nodes
 
 let dom_get_info (node : node) name =
   Drvnode.with_read node (fun () ->
@@ -289,6 +308,8 @@ let open_node (node : node) =
     ~dom_resume:(dom_resume node) ~dom_shutdown:(dom_shutdown node)
     ~dom_destroy:(dom_destroy node) ~dom_get_info:(dom_get_info node)
     ~dom_get_xml:(dom_get_xml node) ~dom_set_memory:(dom_set_memory node)
+    ~dom_set_autostart:(Drvnode.set_autostart node)
+    ~dom_get_autostart:(Drvnode.get_autostart node)
     ~migrate_begin:(migrate_begin node) ~migrate_prepare:(migrate_prepare node)
     ~net:(Driver.net_ops_of_backend node.net)
     ~storage:(Driver.storage_ops_of_backend node.storage)

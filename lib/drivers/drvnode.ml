@@ -1,6 +1,16 @@
 open Ovirt_core
 module Rwlock = Ovsync.Rwlock
 
+type recovery = {
+  rec_replayed : int;
+  rec_torn_bytes : int;
+  rec_adopted : string list;
+  rec_autostarted : string list;
+  rec_lost : string list;
+  rec_appeared : string list;
+  rec_unknown : string list;
+}
+
 type 'p node = {
   node_name : string;
   store : Domstore.t;
@@ -9,6 +19,7 @@ type 'p node = {
   storage : Storage_backend.t;
   events : Events.bus;
   payload : 'p;
+  mutable recovered : recovery option;
 }
 
 type 'p registry = {
@@ -16,14 +27,18 @@ type 'p registry = {
   reg_nodes : (string, 'p node) Hashtbl.t;
   reg_make : node_name:string -> 'p;
   reg_init : 'p node -> unit;
+  reg_journal_dir : string option;
+  reg_recover : ('p node -> Domstore.recovery -> unit) option;
 }
 
-let registry ?(init = fun _ -> ()) make =
+let registry ?(init = fun _ -> ()) ?journal_dir ?recover make =
   {
     reg_mutex = Mutex.create ();
     reg_nodes = Hashtbl.create 4;
     reg_make = make;
     reg_init = init;
+    reg_journal_dir = journal_dir;
+    reg_recover = recover;
   }
 
 let with_registry reg f =
@@ -35,19 +50,32 @@ let get_node reg name =
       match Hashtbl.find_opt reg.reg_nodes name with
       | Some node -> node
       | None ->
+        let store = Domstore.create () in
+        (* Journal replay happens before the payload is built and before
+           init: a restarted driver sees its pre-crash definitions, then
+           reconciles them against whatever hypervisor state survived. *)
+        let attach_info =
+          Option.map
+            (fun dir -> Domstore.attach store ~path:(dir ^ "/" ^ name ^ ".journal"))
+            reg.reg_journal_dir
+        in
         let node =
           {
             node_name = name;
-            store = Domstore.create ();
+            store;
             lock = Rwlock.create ();
             net = Net_backend.create ();
             storage = Storage_backend.create ();
             events = Events.create_bus ();
             payload = reg.reg_make ~node_name:name;
+            recovered = None;
           }
         in
         Hashtbl.add reg.reg_nodes name node;
         reg.reg_init node;
+        (match (attach_info, reg.reg_recover) with
+         | Some info, Some recover -> recover node info
+         | Some _, None | None, _ -> ());
         node)
 
 let reset_nodes reg = with_registry reg (fun () -> Hashtbl.reset reg.reg_nodes)
@@ -55,7 +83,18 @@ let reset_nodes reg = with_registry reg (fun () -> Hashtbl.reset reg.reg_nodes)
 let with_read node f = Rwlock.with_read node.lock f
 let with_write node f = Rwlock.with_write node.lock f
 
+(* Lifecycle events double as durable run-state notes: every driver
+   already emits at every lifecycle site, so routing emission through
+   here keeps the journal's view of "which domains are running" in sync
+   without touching each call site.  (Suspended/crashed guests still
+   have a live process — only clean stops clear the flag.) *)
 let emit node domain_name lifecycle =
+  (match lifecycle with
+   | Events.Ev_started | Events.Ev_resumed | Events.Ev_adopted ->
+     Domstore.note_started node.store domain_name
+   | Events.Ev_stopped | Events.Ev_shutdown ->
+     Domstore.note_stopped node.store domain_name
+   | _ -> ());
   Events.emit node.events ~domain_name lifecycle
 
 let ( let* ) = Result.bind
@@ -86,6 +125,72 @@ let list_defined node ~active =
       Domstore.names node.store
       |> List.filter (fun name -> not (active name))
       |> Result.ok)
+
+let set_autostart node name flag =
+  with_write node (fun () -> Domstore.set_autostart node.store name flag)
+
+let get_autostart node name =
+  with_read node (fun () -> Domstore.get_autostart node.store name)
+
+(* Reconciliation: diff the replayed journal against the hypervisor
+   state that survived the crash.  Running guests the journal expects
+   are re-adopted in place — [adopt] rebuilds manager bookkeeping only
+   and must issue no lifecycle commands.  Guests that died or appeared
+   while the manager was down are divergences: reported as events,
+   never silently repaired.  Inactive domains marked autostart are
+   started through the driver's ordinary [start] path. *)
+let reconcile node ~attach_info ~running ~adopt ~start =
+  let live = running () in
+  let live_tbl = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace live_tbl n ()) live;
+  let adopted = ref [] in
+  let lost = ref [] in
+  let appeared = ref [] in
+  let to_autostart = ref [] in
+  List.iter
+    (fun (name, cfg, autostart, was_running) ->
+      if Hashtbl.mem live_tbl name then begin
+        adopt name cfg;
+        if not was_running then begin
+          appeared := name :: !appeared;
+          emit node name Events.Ev_diverged
+        end;
+        emit node name Events.Ev_adopted;
+        adopted := name :: !adopted
+      end
+      else begin
+        if was_running then begin
+          lost := name :: !lost;
+          Domstore.note_stopped node.store name;
+          emit node name Events.Ev_diverged
+        end;
+        if autostart then to_autostart := name :: !to_autostart
+      end)
+    (Domstore.entries node.store);
+  let unknown =
+    List.filter (fun n -> not (Domstore.mem node.store n)) live
+  in
+  List.iter
+    (fun n -> Events.emit node.events ~domain_name:n Events.Ev_diverged)
+    unknown;
+  let autostarted =
+    List.filter
+      (fun name -> match start name with Ok () -> true | Error _ -> false)
+      (List.rev !to_autostart)
+  in
+  let report =
+    {
+      rec_replayed = attach_info.Domstore.rc_replayed;
+      rec_torn_bytes = attach_info.Domstore.rc_torn_bytes;
+      rec_adopted = List.rev !adopted;
+      rec_autostarted = autostarted;
+      rec_lost = List.rev !lost;
+      rec_appeared = List.rev !appeared;
+      rec_unknown = unknown;
+    }
+  in
+  node.recovered <- Some report;
+  report
 
 let node_of_uri ?(default = "localhost") uri =
   match uri.Vuri.host with Some host -> host | None -> default

@@ -24,6 +24,18 @@
 
 open Ovirt_core
 
+(** What a restarted node found when it came back: journal replay
+    figures plus the reconciliation verdict for every domain. *)
+type recovery = {
+  rec_replayed : int;  (** journal records replayed *)
+  rec_torn_bytes : int;  (** torn-tail bytes truncated *)
+  rec_adopted : string list;  (** running guests re-adopted untouched *)
+  rec_autostarted : string list;  (** inactive autostart domains started *)
+  rec_lost : string list;  (** expected running, found dead (diverged) *)
+  rec_appeared : string list;  (** found running unexpectedly (diverged) *)
+  rec_unknown : string list;  (** running but not defined (diverged) *)
+}
+
 type 'p node = {
   node_name : string;
   store : Domstore.t;  (** persistent definitions *)
@@ -32,6 +44,8 @@ type 'p node = {
   storage : Storage_backend.t;
   events : Events.bus;
   payload : 'p;  (** driver-specific substrate state *)
+  mutable recovered : recovery option;
+      (** set by {!reconcile} when the node was rebuilt from a journal *)
 }
 
 (** {1 Node registry} *)
@@ -39,18 +53,48 @@ type 'p node = {
 type 'p registry
 
 val registry :
-  ?init:('p node -> unit) -> (node_name:string -> 'p) -> 'p registry
-(** [registry ?init make] builds an (initially empty) named-node table.
-    [make ~node_name] creates the payload for a new node; [init] then
-    runs exactly once on the assembled node, still under the registry
-    lock, for post-creation seeding (e.g. the test driver's canonical
-    ["test"] domain). *)
+  ?init:('p node -> unit) ->
+  ?journal_dir:string ->
+  ?recover:('p node -> Domstore.recovery -> unit) ->
+  (node_name:string -> 'p) ->
+  'p registry
+(** [registry ?init ?journal_dir ?recover make] builds an (initially
+    empty) named-node table.  [make ~node_name] creates the payload for
+    a new node; [init] then runs exactly once on the assembled node,
+    still under the registry lock, for post-creation seeding (e.g. the
+    test driver's canonical ["test"] domain) — with a journal it must
+    be idempotent, because it also runs after replay.
+
+    With [journal_dir], each node's {!Domstore} is backed by the
+    journal at [<journal_dir>/<node>.journal] ({!Domstore.attach} runs
+    before [make] and [init]); [recover] then runs last on creation,
+    where drivers redo half-completed operations and call {!reconcile}
+    against surviving hypervisor state. *)
 
 val get_node : 'p registry -> string -> 'p node
 (** Find-or-create.  Thread-safe; creation is serialized. *)
 
 val reset_nodes : 'p registry -> unit
-(** Drop every node (test isolation). *)
+(** Drop every node.  Test isolation — and the crash model: the manager
+    forgets everything while journals ({!Persist.Media}) and shared
+    hypervisor substrates survive, so the next {!get_node} replays and
+    reconciles. *)
+
+val reconcile :
+  'p node ->
+  attach_info:Domstore.recovery ->
+  running:(unit -> string list) ->
+  adopt:(string -> Vmm.Vm_config.t -> unit) ->
+  start:(string -> (unit, Verror.t) result) ->
+  recovery
+(** Diff the replayed store against surviving hypervisor state.
+    [running ()] lists guest names alive on the substrate; [adopt]
+    rebuilds manager-side bookkeeping for one of them and must issue no
+    lifecycle command; [start] is the driver's ordinary start path,
+    used for inactive autostart domains.  Running guests the journal
+    expects are re-adopted ([Ev_adopted]); guests that died, appeared,
+    or are entirely unknown produce [Ev_diverged] events and are left
+    alone.  Stores the report in [node.recovered] and returns it. *)
 
 (** {1 Lock sections} *)
 
@@ -60,7 +104,10 @@ val with_write : 'p node -> (unit -> 'a) -> 'a
 (** {1 Events} *)
 
 val emit : 'p node -> string -> Events.lifecycle -> unit
-(** [emit node domain_name lifecycle] on the node's bus. *)
+(** [emit node domain_name lifecycle] on the node's bus.  Start/stop
+    lifecycle events also update the store's durable run-state notes
+    (the journal's record of which domains the manager believes are
+    running — what reconciliation diffs against after a crash). *)
 
 (** {1 Domstore plumbing}
 
@@ -103,6 +150,11 @@ val lookup_by_uuid :
 val list_defined :
   'p node -> active:(string -> bool) -> (string list, Verror.t) result
 (** Stored names for which [active] is false, under the read lock. *)
+
+val set_autostart : 'p node -> string -> bool -> (unit, Verror.t) result
+(** Persist the autostart flag (write lock + store). *)
+
+val get_autostart : 'p node -> string -> (bool, Verror.t) result
 
 (** {1 Registration} *)
 

@@ -48,36 +48,89 @@ type stats = {
   st_recovery_latencies : float list;  (** seconds, most recent first *)
 }
 
-(* Process-global, like the simulated network itself: chaos experiments
-   reset before a run and read after. *)
+(* Counters live per connection: concurrent connections (a chaos run
+   against several daemons, the recovery bench) must not smear each
+   other's numbers.  Every connection registers its record — keyed by
+   its event bus, the one connection-identifying value visible through
+   [Driver.ops] — so [stats] can still aggregate process-wide and
+   [conn_stats] can single one connection out. *)
+type counters = {
+  cn_bus : Events.bus;
+  mutable cn_attempts : int;
+  mutable cn_reconnects : int;
+  mutable cn_retried : int;
+  mutable cn_giveups : int;
+  mutable cn_latencies : float list;
+}
+
 let stats_mutex = Mutex.create ()
-let g_attempts = ref 0
-let g_reconnects = ref 0
-let g_retried = ref 0
-let g_giveups = ref 0
-let g_latencies = ref []
+let all_counters : counters list ref = ref []
 
 let with_stats f =
   Mutex.lock stats_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock stats_mutex) f
 
+(* Closed connections stay registered: the aggregate keeps its history,
+   exactly as the former process-global counters did. *)
+let fresh_counters bus =
+  with_stats (fun () ->
+      let c =
+        {
+          cn_bus = bus;
+          cn_attempts = 0;
+          cn_reconnects = 0;
+          cn_retried = 0;
+          cn_giveups = 0;
+          cn_latencies = [];
+        }
+      in
+      all_counters := c :: !all_counters;
+      c)
+
 let reset_stats () =
   with_stats (fun () ->
-      g_attempts := 0;
-      g_reconnects := 0;
-      g_retried := 0;
-      g_giveups := 0;
-      g_latencies := [])
+      List.iter
+        (fun c ->
+          c.cn_attempts <- 0;
+          c.cn_reconnects <- 0;
+          c.cn_retried <- 0;
+          c.cn_giveups <- 0;
+          c.cn_latencies <- [])
+        !all_counters)
+
+let snapshot c =
+  {
+    st_reconnect_attempts = c.cn_attempts;
+    st_reconnects = c.cn_reconnects;
+    st_retried_calls = c.cn_retried;
+    st_giveups = c.cn_giveups;
+    st_recovery_latencies = c.cn_latencies;
+  }
 
 let stats () =
   with_stats (fun () ->
-      {
-        st_reconnect_attempts = !g_attempts;
-        st_reconnects = !g_reconnects;
-        st_retried_calls = !g_retried;
-        st_giveups = !g_giveups;
-        st_recovery_latencies = !g_latencies;
-      })
+      List.fold_left
+        (fun acc c ->
+          {
+            st_reconnect_attempts = acc.st_reconnect_attempts + c.cn_attempts;
+            st_reconnects = acc.st_reconnects + c.cn_reconnects;
+            st_retried_calls = acc.st_retried_calls + c.cn_retried;
+            st_giveups = acc.st_giveups + c.cn_giveups;
+            st_recovery_latencies = c.cn_latencies @ acc.st_recovery_latencies;
+          })
+        {
+          st_reconnect_attempts = 0;
+          st_reconnects = 0;
+          st_retried_calls = 0;
+          st_giveups = 0;
+          st_recovery_latencies = [];
+        }
+        !all_counters)
+
+let conn_stats (ops : Driver.ops) =
+  with_stats (fun () ->
+      List.find_opt (fun c -> c.cn_bus == ops.Driver.events) !all_counters
+      |> Option.map snapshot)
 
 (* ------------------------------------------------------------------ *)
 (* Connection state                                                    *)
@@ -94,6 +147,7 @@ type remote_conn = {
   rc_keepalive : Rpc_client.keepalive option;
   rc_resilience : resilience option;
   rc_on_event : procedure:int -> string -> unit;
+  rc_stats : counters;
   mutable rc_prng : int;
 }
 
@@ -157,12 +211,14 @@ let ensure_connected conn ~dead =
         let rec attempt i =
           if i > r.res_budget then begin
             conn.defunct <- true;
-            with_stats (fun () -> incr g_giveups);
+            with_stats (fun () ->
+                conn.rc_stats.cn_giveups <- conn.rc_stats.cn_giveups + 1);
             Verror.error Verror.Rpc_failure
               "reconnect budget of %d attempts exhausted" r.res_budget
           end
           else begin
-            with_stats (fun () -> incr g_attempts);
+            with_stats (fun () ->
+                conn.rc_stats.cn_attempts <- conn.rc_stats.cn_attempts + 1);
             Thread.delay (backoff_delay conn r i);
             match
               establish ~address:conn.rc_address ~kind:conn.rc_kind
@@ -172,8 +228,10 @@ let ensure_connected conn ~dead =
             | Ok rpc ->
               conn.rpc <- rpc;
               with_stats (fun () ->
-                  incr g_reconnects;
-                  g_latencies := (Unix.gettimeofday () -. outage_start) :: !g_latencies);
+                  let c = conn.rc_stats in
+                  c.cn_reconnects <- c.cn_reconnects + 1;
+                  c.cn_latencies <-
+                    (Unix.gettimeofday () -. outage_start) :: c.cn_latencies);
               Ok ()
             | Error _ -> attempt (i + 1)
           end
@@ -199,7 +257,8 @@ let call conn proc body =
         | Ok () ->
           let budget = (Option.get conn.rc_resilience).res_budget in
           if Rp.is_idempotent proc && attempt <= budget then begin
-            with_stats (fun () -> incr g_retried);
+            with_stats (fun () ->
+                conn.rc_stats.cn_retried <- conn.rc_stats.cn_retried + 1);
             go (attempt + 1)
           end
           else if Rp.is_idempotent proc then Error e
@@ -296,6 +355,7 @@ let open_conn uri =
       rc_keepalive = keepalive;
       rc_resilience = resilience;
       rc_on_event = on_event;
+      rc_stats = fresh_counters events;
       rc_prng =
         (match resilience with Some r -> r.res_seed | None -> 1);
     }
@@ -445,6 +505,11 @@ let make_ops uri conn =
     ~dom_restore:(name_call Rp.Proc_dom_restore)
     ~dom_has_managed_save:(fun name ->
       call_dec conn Rp.Proc_dom_has_managed_save (Rp.enc_string_body name)
+        Rp.dec_bool_body)
+    ~dom_set_autostart:(fun name v ->
+      call_unit conn Rp.Proc_dom_set_autostart (Rp.enc_name_and_bool name v))
+    ~dom_get_autostart:(fun name ->
+      call_dec conn Rp.Proc_dom_get_autostart (Rp.enc_string_body name)
         Rp.dec_bool_body)
     ~net:(remote_net_ops conn) ~storage:(remote_storage_ops conn)
     ~events:conn.events ()

@@ -37,8 +37,11 @@ val register : unit -> unit
 
 (** {1 Resilience statistics}
 
-    Process-global counters, like the simulated network itself: chaos
-    experiments {!reset_stats} before a run and {!stats} after. *)
+    Counters are kept per connection so concurrent connections do not
+    smear each other's numbers; {!stats} aggregates across every
+    connection of the process (chaos experiments {!reset_stats} before a
+    run and {!stats} after), while {!conn_stats} reads one connection's
+    own counters. *)
 
 type stats = {
   st_reconnect_attempts : int;  (** establishment attempts during outages *)
@@ -51,4 +54,11 @@ type stats = {
 }
 
 val stats : unit -> stats
+(** Sum over all connections ever opened by this process. *)
+
 val reset_stats : unit -> unit
+(** Zero every connection's counters (live ones included). *)
+
+val conn_stats : Ovirt_core.Driver.ops -> stats option
+(** The counters of the connection behind [ops], identified by its event
+    bus; [None] if [ops] does not come from this driver. *)

@@ -42,6 +42,25 @@ let with_lock host f =
   Mutex.lock host.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock host.mutex) f
 
+(* Shared instances: one host per hostname, process-global.  Hardware
+   does not reboot when the management daemon dies, so reservations made
+   on a shared host survive a simulated manager crash — drivers that
+   support restart recovery attach here instead of creating. *)
+let shared_mutex = Mutex.create ()
+let shared_hosts : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let shared hostname =
+  Mutex.lock shared_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock shared_mutex)
+    (fun () ->
+      match Hashtbl.find_opt shared_hosts hostname with
+      | Some host -> host
+      | None ->
+        let host = create ~hostname () in
+        Hashtbl.add shared_hosts hostname host;
+        host)
+
 let hostname host = host.hostname
 let node_info host = host.info
 

@@ -20,6 +20,12 @@ type node_info = {
 val create : ?hostname:string -> ?memory_kib:int -> ?cpus:int -> unit -> t
 (** Defaults: 16 GiB, 8 CPUs, hostname "node01". *)
 
+val shared : string -> t
+(** The process-global host for a hostname (created with default
+    capacity on first use).  Shared hosts — and their reservations —
+    survive a simulated management-daemon crash, the way hardware
+    survives a daemon restart. *)
+
 val hostname : t -> string
 val node_info : t -> node_info
 

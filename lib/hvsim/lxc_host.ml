@@ -37,6 +37,23 @@ let create hostinfo =
 
 let host lxc = lxc.hostinfo
 
+(* Kernel state outlives the manager: one container host per hostname,
+   process-global, so running containers survive a manager crash. *)
+let attached_mutex = Mutex.create ()
+let attached : (string, t) Hashtbl.t = Hashtbl.create 4
+
+let attach hostname =
+  Mutex.lock attached_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock attached_mutex)
+    (fun () ->
+      match Hashtbl.find_opt attached hostname with
+      | Some lxc -> lxc
+      | None ->
+        let lxc = create (Hostinfo.shared hostname) in
+        Hashtbl.add attached hostname lxc;
+        lxc)
+
 let with_lock lxc f =
   Mutex.lock lxc.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock lxc.mutex) f

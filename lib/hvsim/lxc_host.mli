@@ -22,6 +22,12 @@ type container_info = {
 val create : Hostinfo.t -> t
 val host : t -> Hostinfo.t
 
+val attach : string -> t
+(** The process-global container host for a hostname (created on the
+    {!Hostinfo.shared} host on first use).  Kernel state — containers,
+    cgroups — survives a simulated manager crash; a restarted LXC
+    driver attaches instead of creating. *)
+
 (** {1 Cgroup tree} *)
 
 val cgroup_set : t -> string -> string -> string -> unit

@@ -21,6 +21,31 @@ let with_lock p f =
   Mutex.lock p.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock p.mutex) f
 
+(* Process table: hostname -> domain name -> process, process-global.
+   Emulator processes belong to the host, not to the manager, so they
+   survive a manager crash; a restarted QEMU driver re-discovers its
+   guests here ("ps" + the -name argv convention, in effect).  Dead
+   processes are filtered on listing rather than removed, which keeps
+   the table free of lock-ordering entanglements with [p.mutex]. *)
+let table_mutex = Mutex.create ()
+let table : (string, (string, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 8
+
+let table_register p =
+  Mutex.lock table_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock table_mutex)
+    (fun () ->
+      let hostname = Hostinfo.hostname p.host in
+      let procs =
+        match Hashtbl.find_opt table hostname with
+        | Some procs -> procs
+        | None ->
+          let procs = Hashtbl.create 16 in
+          Hashtbl.add table hostname procs;
+          procs
+      in
+      Hashtbl.replace procs p.config.Vm_config.name p)
+
 let spawn host ~argv config =
   if not (List.mem "-S" argv) then
     Error "refusing to spawn without -S (must start paused)"
@@ -33,7 +58,7 @@ let spawn host ~argv config =
     with
     | Error msg -> Error msg
     | Ok () ->
-      Ok
+      let p =
         {
           pid = Atomic.fetch_and_add pid_counter 1;
           argv;
@@ -45,6 +70,9 @@ let spawn host ~argv config =
           alive = true;
           capabilities_negotiated = false;
         }
+      in
+      table_register p;
+      Ok p
 
 let pid p = p.pid
 let argv p = p.argv
@@ -165,3 +193,17 @@ let qmp p ~cmd ?(args = []) () =
         | None -> Error "monitor reply has neither return nor error"))
 
 let wait_exit p = with_lock p (fun () -> ())
+
+let running_on hostname =
+  let candidates =
+    Mutex.lock table_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock table_mutex)
+      (fun () ->
+        match Hashtbl.find_opt table hostname with
+        | Some procs -> Hashtbl.fold (fun name p acc -> (name, p) :: acc) procs []
+        | None -> [])
+  in
+  (* Liveness checked outside the table lock (is_alive takes p.mutex). *)
+  List.filter (fun (_, p) -> is_alive p) candidates
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -41,3 +41,9 @@ val qmp : t -> cmd:string -> ?args:(string * Mini_json.t) list -> unit -> (Mini_
 val wait_exit : t -> unit
 (** No-op once dead; releases nothing extra (resources are released at
     exit time).  Exposed so drivers can express "reap the process". *)
+
+val running_on : string -> (string * t) list
+(** Live emulator processes on a host, [(domain name, process)] sorted
+    by name.  Processes belong to the host and survive a simulated
+    manager crash; a restarted driver re-discovers its guests here the
+    way libvirt scans for orphaned QEMU processes. *)

@@ -79,6 +79,24 @@ let boot hostinfo =
   publish hv dom0;
   hv
 
+(* The hypervisor outlives the toolstack: one instance per hostname,
+   process-global, so active domains survive a manager crash.  [attach]
+   is what a restarted Xen driver calls instead of booting. *)
+let attached_mutex = Mutex.create ()
+let attached : (string, t) Hashtbl.t = Hashtbl.create 4
+
+let attach hostname =
+  Mutex.lock attached_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock attached_mutex)
+    (fun () ->
+      match Hashtbl.find_opt attached hostname with
+      | Some hv -> hv
+      | None ->
+        let hv = boot (Hostinfo.shared hostname) in
+        Hashtbl.add attached hostname hv;
+        hv)
+
 let find hv id =
   match Hashtbl.find_opt hv.domains id with
   | Some dom -> Ok dom

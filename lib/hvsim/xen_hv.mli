@@ -22,6 +22,12 @@ type dominfo = {
 val boot : Hostinfo.t -> t
 (** Brings up the hypervisor with Domain0 occupying 512 MiB. *)
 
+val attach : string -> t
+(** The process-global hypervisor for a hostname (booted on the
+    {!Hostinfo.shared} host on first use).  Active domains survive a
+    simulated manager crash — a restarted toolstack attaches instead of
+    booting. *)
+
 val store : t -> Xenstore.t
 val host : t -> Hostinfo.t
 

@@ -44,12 +44,30 @@ module Network = Ovirt_core.Network
 module Storage = Ovirt_core.Storage
 module Guest_agent_client = Agent
 
+(* Drop every driver node (in-memory stores, event buses, locks) as a
+   process crash would.  Simulated hypervisor state — qemu process
+   tables, attached Xen/LXC instances, shared host capacity, persisted
+   journals — survives on purpose: it is what recovery reconciles
+   against. *)
+let crash_managers () =
+  Drivers.Drv_test.reset_nodes ();
+  Drivers.Drv_qemu.reset_nodes ();
+  Drivers.Drv_xen.reset_nodes ();
+  Drivers.Drv_lxc.reset_nodes ()
+
 module Daemon = struct
   include Ovdaemon.Daemon
 
   let start ?name ?config () =
     initialize ();
     Ovdaemon.Daemon.start ?name ?config ()
+
+  (* Manager crash: the daemon dies mid-flight and takes every driver
+     node down with it.  The next [start] + connection replays journals
+     and re-adopts running guests. *)
+  let crash daemon =
+    kill daemon;
+    crash_managers ()
 end
 
 module Daemon_config = Ovdaemon.Daemon_config

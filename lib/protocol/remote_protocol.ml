@@ -46,6 +46,8 @@ type procedure =
   | Proc_dom_save
   | Proc_dom_restore
   | Proc_dom_has_managed_save
+  | Proc_dom_set_autostart
+  | Proc_dom_get_autostart
 
 (* Append-only: the list position IS the wire number (1-based). *)
 let all_procedures =
@@ -62,6 +64,8 @@ let all_procedures =
     Proc_event_deregister; Proc_event_lifecycle; Proc_echo; Proc_ping;
     (* v1.1 additions: numbers are append-only *)
     Proc_dom_save; Proc_dom_restore; Proc_dom_has_managed_save;
+    (* v1.2 additions *)
+    Proc_dom_set_autostart; Proc_dom_get_autostart;
   ]
 
 let proc_to_int proc =
@@ -80,7 +84,7 @@ let is_high_priority = function
   | Proc_list_domains | Proc_list_defined | Proc_lookup_by_name
   | Proc_lookup_by_uuid | Proc_dom_get_info | Proc_dom_get_xml | Proc_echo
   | Proc_ping | Proc_event_register | Proc_event_deregister
-  | Proc_dom_has_managed_save ->
+  | Proc_dom_has_managed_save | Proc_dom_get_autostart ->
     true
   | Proc_define_xml | Proc_undefine | Proc_dom_create | Proc_dom_suspend
   | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy | Proc_dom_set_memory
@@ -88,7 +92,8 @@ let is_high_priority = function
   | Proc_net_undefine | Proc_net_set_autostart | Proc_net_lookup | Proc_pool_list
   | Proc_pool_define | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine
   | Proc_pool_lookup | Proc_vol_create | Proc_vol_delete | Proc_vol_list
-  | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore ->
+  | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
+  | Proc_dom_set_autostart ->
     false
 
 (* Idempotent = safe to re-issue after a connection death when the client
@@ -100,8 +105,8 @@ let is_idempotent = function
   | Proc_get_capabilities | Proc_get_hostname | Proc_list_domains
   | Proc_list_defined | Proc_lookup_by_name | Proc_lookup_by_uuid
   | Proc_dom_get_info | Proc_dom_get_xml | Proc_dom_has_managed_save
-  | Proc_net_list | Proc_net_lookup | Proc_pool_list | Proc_pool_lookup
-  | Proc_vol_list | Proc_echo | Proc_ping ->
+  | Proc_dom_get_autostart | Proc_net_list | Proc_net_lookup | Proc_pool_list
+  | Proc_pool_lookup | Proc_vol_list | Proc_echo | Proc_ping ->
     true
   | Proc_open | Proc_close | Proc_define_xml | Proc_undefine | Proc_dom_create
   | Proc_dom_suspend | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy
@@ -109,7 +114,8 @@ let is_idempotent = function
   | Proc_net_undefine | Proc_net_set_autostart | Proc_pool_define
   | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine | Proc_vol_create
   | Proc_vol_delete | Proc_event_register | Proc_event_deregister
-  | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore ->
+  | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
+  | Proc_dom_set_autostart ->
     false
 
 (* ------------------------------------------------------------------ *)

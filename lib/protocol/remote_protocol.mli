@@ -51,6 +51,8 @@ type procedure =
   | Proc_dom_save  (** appended in protocol v1.1: managed save *)
   | Proc_dom_restore
   | Proc_dom_has_managed_save
+  | Proc_dom_set_autostart  (** appended in protocol v1.2: autostart *)
+  | Proc_dom_get_autostart
 
 val enc_bool_body : bool -> string
 val dec_bool_body : string -> bool
