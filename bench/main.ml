@@ -1009,6 +1009,99 @@ let recovery () =
     (List.length ops_list) !violations
 
 (* ------------------------------------------------------------------ *)
+(* E16: bulk & batched RPC + cache vs the per-op N+1 pattern           *)
+(* ------------------------------------------------------------------ *)
+
+let bulk () =
+  section "E16: fleet inventory — bulk RPC + client cache vs per-op N+1";
+  subsection "inventory = enumerate all domains, then info + autostart + XML each;";
+  subsection "per-op drives a proto-minor-2 daemon with the cache off (pre-bulk wire),";
+  subsection "bulk drives the v1.3 wire cold, warm repeats the pass on the same conn\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let counts = if smoke then [ 5; 25 ] else [ 10; 100; 1000 ] in
+  let old_name = fresh "bulk12d" in
+  let new_name = fresh "bulk13d" in
+  let old_daemon =
+    Daemon.start ~name:old_name
+      ~config:{ quiet_config with Daemon_config.proto_minor = 2 }
+      ()
+  in
+  let new_daemon = Daemon.start ~name:new_name ~config:quiet_config () in
+  let calls_of conn =
+    match Drv_remote.conn_stats (ok (Connect.ops conn)) with
+    | Some s -> s.Drv_remote.st_calls
+    | None -> 0
+  in
+  let inventory conn =
+    let records = ok (Connect.list_all_domains conn) in
+    List.iter
+      (fun r ->
+        let dom =
+          ok (Domain.lookup_by_name conn r.Driver.rec_ref.Driver.dom_name)
+        in
+        ignore (ok (Domain.get_info dom));
+        ignore (ok (Domain.get_autostart dom));
+        ignore (ok (Domain.xml_desc dom)))
+      records;
+    List.length records
+  in
+  let pass conn =
+    let c0 = calls_of conn in
+    let _, elapsed = time_once (fun () -> inventory conn) in
+    (calls_of conn - c0, elapsed)
+  in
+  let run transport n =
+    let node = fresh "fleet" in
+    let direct = ok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+    for i = 1 to n do
+      ignore
+        (ok
+           (Domain.define_xml direct
+              (Vmm.Domxml.to_xml ~virt_type:"test"
+                 (Vm_config.make ~memory_kib:(mib 8) (Printf.sprintf "fvm%d" i)))))
+    done;
+    let per_op =
+      ok
+        (Connect.open_uri
+           (Printf.sprintf "test+%s://%s/?daemon=%s&cache=0" transport node
+              old_name))
+    in
+    let bulk_conn =
+      ok
+        (Connect.open_uri
+           (Printf.sprintf "test+%s://%s/?daemon=%s" transport node new_name))
+    in
+    let rt_old, t_old = pass per_op in
+    let rt_cold, t_cold = pass bulk_conn in
+    let rt_warm, t_warm = pass bulk_conn in
+    Connect.close per_op;
+    Connect.close bulk_conn;
+    Connect.close direct;
+    [
+      transport;
+      string_of_int n;
+      string_of_int rt_old;
+      string_of_int rt_cold;
+      string_of_int rt_warm;
+      Printf.sprintf "%.1fx" (float_of_int rt_old /. float_of_int (max 1 rt_cold));
+      Printf.sprintf "%.2f" (t_old *. 1000.);
+      Printf.sprintf "%.2f" (t_cold *. 1000.);
+      Printf.sprintf "%.2f" (t_warm *. 1000.);
+    ]
+  in
+  let rows =
+    List.concat_map (fun tr -> List.map (run tr) counts) [ "tcp"; "tls" ]
+  in
+  table
+    [
+      "transport"; "domains"; "per-op RT"; "bulk RT"; "warm RT"; "RT cut";
+      "per-op ms"; "bulk ms"; "warm ms";
+    ]
+    rows;
+  Daemon.stop old_daemon;
+  Daemon.stop new_daemon
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1027,6 +1120,7 @@ let experiments =
     ("chaos", chaos);
     ("rwlock", rwlock);
     ("recovery", recovery);
+    ("bulk", bulk);
   ]
 
 let () =

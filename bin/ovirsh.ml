@@ -67,29 +67,35 @@ let commands shell =
         Ok (Ovirt.Capabilities.to_xml caps));
     simple "list" "Domain management" "[--all]" "list domains" (fun args ->
         let* conn = require_conn shell in
-        let* active = verr (Ovirt.Connect.list_domains conn) in
+        (* One bulk listing gives refs, state and info in a single
+           exchange; remote connections turn this into Proc_dom_list_all
+           (or a pipelined emulation against older daemons). *)
+        let* records = verr (Ovirt.Connect.list_all_domains conn) in
+        let records =
+          if Ovcli.has_switch args "all" then records
+          else
+            List.filter
+              (fun r ->
+                r.Ovirt.Driver.rec_info.Ovirt.Driver.di_state
+                <> Vmm.Vm_state.Shutoff)
+              records
+        in
         let buf = Buffer.create 128 in
         Buffer.add_string buf (Printf.sprintf " %-5s %-20s %s\n" "Id" "Name" "State");
         Buffer.add_string buf "---------------------------------------\n";
         List.iter
           (fun r ->
             let id =
-              match r.Ovirt.Driver.dom_id with
+              match r.Ovirt.Driver.rec_ref.Ovirt.Driver.dom_id with
               | Some id -> string_of_int id
               | None -> "-"
             in
             Buffer.add_string buf
-              (Printf.sprintf " %-5s %-20s running\n" id r.Ovirt.Driver.dom_name))
-          active;
-        if Ovcli.has_switch args "all" then begin
-          let* defined = verr (Ovirt.Connect.list_defined_domains conn) in
-          List.iter
-            (fun name ->
-              Buffer.add_string buf (Printf.sprintf " %-5s %-20s shut off\n" "-" name))
-            defined;
-          Ok (Buffer.contents buf)
-        end
-        else Ok (Buffer.contents buf));
+              (Printf.sprintf " %-5s %-20s %s\n" id
+                 r.Ovirt.Driver.rec_ref.Ovirt.Driver.dom_name
+                 (state_name r.Ovirt.Driver.rec_info.Ovirt.Driver.di_state)))
+          records;
+        Ok (Buffer.contents buf));
     simple "define" "Domain management" "<xml-file>" "define a domain from XML"
       (fun args ->
         let* path = one_positional args "<xml-file>" in
@@ -122,33 +128,51 @@ let commands shell =
         Ok
           (Printf.sprintf "domain %s: autostart %s" name
              (if flag then "enabled" else "disabled")));
-    simple "dominfo" "Domain management" "<domain>" "print domain information"
-      (fun args ->
-        let* name = one_positional args "<domain>" in
-        let* dom = lookup shell name in
-        let* info = verr (Ovirt.Domain.get_info dom) in
-        Ok
-          (String.concat "\n"
-             ([
-               Printf.sprintf "%-15s %s" "Name:" name;
-               Printf.sprintf "%-15s %s" "UUID:"
-                 (Vmm.Uuid.to_string (Ovirt.Domain.uuid dom));
-               Printf.sprintf "%-15s %s" "State:"
-                 (state_name info.Ovirt.Driver.di_state);
-               Printf.sprintf "%-15s %d KiB" "Max memory:"
-                 info.Ovirt.Driver.di_max_mem_kib;
-               Printf.sprintf "%-15s %d KiB" "Used memory:"
-                 info.Ovirt.Driver.di_memory_kib;
-               Printf.sprintf "%-15s %d" "CPU(s):" info.Ovirt.Driver.di_vcpus;
-             ]
-             @
-             match Ovirt.Domain.get_autostart dom with
-             | Ok flag ->
-               [
-                 Printf.sprintf "%-15s %s" "Autostart:"
-                   (if flag then "enable" else "disable");
-               ]
-             | Error _ -> [])));
+    simple "dominfo" "Domain management" "<domain> | --all"
+      "print domain information" (fun args ->
+        let info_block name uuid info autostart =
+          String.concat "\n"
+            ([
+              Printf.sprintf "%-15s %s" "Name:" name;
+              Printf.sprintf "%-15s %s" "UUID:" (Vmm.Uuid.to_string uuid);
+              Printf.sprintf "%-15s %s" "State:"
+                (state_name info.Ovirt.Driver.di_state);
+              Printf.sprintf "%-15s %d KiB" "Max memory:"
+                info.Ovirt.Driver.di_max_mem_kib;
+              Printf.sprintf "%-15s %d KiB" "Used memory:"
+                info.Ovirt.Driver.di_memory_kib;
+              Printf.sprintf "%-15s %d" "CPU(s):" info.Ovirt.Driver.di_vcpus;
+            ]
+            @
+            match autostart with
+            | Some flag ->
+              [
+                Printf.sprintf "%-15s %s" "Autostart:"
+                  (if flag then "enable" else "disable");
+              ]
+            | None -> [])
+        in
+        if Ovcli.has_switch args "all" then begin
+          (* Every domain's info in one bulk exchange instead of a
+             lookup + info + autostart round trip per domain. *)
+          let* conn = require_conn shell in
+          let* records = verr (Ovirt.Connect.list_all_domains conn) in
+          Ok
+            (String.concat "\n\n"
+               (List.map
+                  (fun r ->
+                    info_block r.Ovirt.Driver.rec_ref.Ovirt.Driver.dom_name
+                      r.Ovirt.Driver.rec_ref.Ovirt.Driver.dom_uuid
+                      r.Ovirt.Driver.rec_info r.Ovirt.Driver.rec_autostart)
+                  records))
+        end
+        else
+          let* name = one_positional args "<domain>" in
+          let* dom = lookup shell name in
+          let* info = verr (Ovirt.Domain.get_info dom) in
+          Ok
+            (info_block name (Ovirt.Domain.uuid dom) info
+               (Result.to_option (Ovirt.Domain.get_autostart dom))));
     simple "dumpxml" "Domain management" "<domain>" "print the domain's XML"
       (fun args ->
         let* name = one_positional args "<domain>" in

@@ -45,6 +45,10 @@ let list_defined_domains conn =
   let* ops = ops conn in
   ops.Driver.list_defined ()
 
+let list_all_domains conn =
+  let* ops = ops conn in
+  Driver.list_all ops
+
 let subscribe_events conn f =
   let* ops = ops conn in
   Ok (Events.subscribe ops.Driver.events f)

@@ -25,6 +25,12 @@ val num_of_domains : t -> (int, Verror.t) result
 val list_domains : t -> (Driver.domain_ref list, Verror.t) result
 val list_defined_domains : t -> (string list, Verror.t) result
 
+val list_all_domains : t -> (Driver.domain_record list, Verror.t) result
+(** Every domain (active and defined) with ref + info + autostart in one
+    pass: one RPC on remote connections ([Proc_dom_list_all]), a native
+    single-lock snapshot where the driver has one, per-op emulation
+    otherwise. *)
+
 val subscribe_events : t -> (Events.event -> unit) -> (Events.subscription, Verror.t) result
 val unsubscribe_events : t -> Events.subscription -> unit
 

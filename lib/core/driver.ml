@@ -12,6 +12,14 @@ type domain_info = {
   di_cpu_time_ns : int64;
 }
 
+(* One row of a bulk listing: everything a fleet-inventory pass needs,
+   so remote clients can fetch the whole host in one round trip. *)
+type domain_record = {
+  rec_ref : domain_ref;
+  rec_info : domain_info;
+  rec_autostart : bool option;
+}
+
 type migrate_source = {
   mig_config_xml : string;
   mig_image : Vmm.Guest_image.t;
@@ -108,6 +116,7 @@ type ops = {
   dom_has_managed_save : (string -> (bool, Verror.t) result) option;
   dom_set_autostart : (string -> bool -> (unit, Verror.t) result) option;
   dom_get_autostart : (string -> (bool, Verror.t) result) option;
+  dom_list_all : (unit -> (domain_record list, Verror.t) result) option;
   migrate_begin : (string -> (migrate_source, Verror.t) result) option;
   migrate_prepare : (string -> (migrate_dest, Verror.t) result) option;
   guest_agent_install : (string -> (unit, Verror.t) result) option;
@@ -124,8 +133,8 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     ?list_domains ?list_defined ?lookup_by_name ?lookup_by_uuid ?define_xml
     ?undefine ?dom_create ?dom_suspend ?dom_resume ?dom_shutdown ?dom_destroy
     ?dom_get_info ?dom_get_xml ?dom_set_memory ?dom_save ?dom_restore
-    ?dom_has_managed_save ?dom_set_autostart ?dom_get_autostart ?migrate_begin
-    ?migrate_prepare ?guest_agent_install ?guest_agent_exec ?net
+    ?dom_has_managed_save ?dom_set_autostart ?dom_get_autostart ?dom_list_all
+    ?migrate_begin ?migrate_prepare ?guest_agent_install ?guest_agent_exec ?net
     ?storage ?events () =
   let missing op _ = unsupported ~drv:drv_name ~op in
   let missing0 op () = unsupported ~drv:drv_name ~op in
@@ -156,6 +165,7 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     dom_has_managed_save;
     dom_set_autostart;
     dom_get_autostart;
+    dom_list_all;
     migrate_begin;
     migrate_prepare;
     guest_agent_install;
@@ -164,6 +174,41 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     storage;
     events = (match events with Some bus -> bus | None -> Events.create_bus ());
   }
+
+(* ------------------------------------------------------------------ *)
+(* Bulk listing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+(* Per-op emulation of [dom_list_all] for drivers without a native
+   snapshot: list + per-domain lookup/info/autostart.  Not race-free
+   (a domain may vanish between the listing and its info call — such
+   rows are dropped rather than failing the whole listing), which is
+   exactly why the native single-lock path exists. *)
+let list_all_fallback ops =
+  let* active = ops.list_domains () in
+  let* defined = ops.list_defined () in
+  let defined_refs =
+    List.filter_map
+      (fun name -> Result.to_option (ops.lookup_by_name name))
+      defined
+  in
+  let record r =
+    match ops.dom_get_info r.dom_name with
+    | Error _ -> None
+    | Ok info ->
+      let autostart =
+        match ops.dom_get_autostart with
+        | Some f -> Result.to_option (f r.dom_name)
+        | None -> None
+      in
+      Some { rec_ref = r; rec_info = info; rec_autostart = autostart }
+  in
+  Ok (List.filter_map record (active @ defined_refs))
+
+let list_all ops =
+  match ops.dom_list_all with Some f -> f () | None -> list_all_fallback ops
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)

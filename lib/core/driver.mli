@@ -25,6 +25,15 @@ type domain_info = {
   di_cpu_time_ns : int64;
 }
 
+type domain_record = {
+  rec_ref : domain_ref;
+  rec_info : domain_info;
+  rec_autostart : bool option;  (** [None] when the driver lacks autostart *)
+}
+(** One row of a bulk listing ({!ops.dom_list_all}): ref + info +
+    autostart in a single snapshot, the unit of the wire protocol's
+    [Proc_dom_list_all]. *)
+
 (** Migration session handles (source and destination halves).  The
     generic precopy loop in [Domain.migrate] drives these; only drivers
     whose hypervisor exposes a live memory image provide them. *)
@@ -111,6 +120,10 @@ type ops = {
       (** mark a domain to be started when the driver recovers a node
           after a daemon restart (cf. [net_set_autostart]) *)
   dom_get_autostart : (string -> (bool, Verror.t) result) option;
+  dom_list_all : (unit -> (domain_record list, Verror.t) result) option;
+      (** bulk listing of all domains (active and defined), snapshotted
+          under one driver read lock when implemented natively; absent
+          drivers are served by {!list_all_fallback} *)
   migrate_begin : (string -> (migrate_source, Verror.t) result) option;
   migrate_prepare : (string -> (migrate_dest, Verror.t) result) option;
   guest_agent_install : (string -> (unit, Verror.t) result) option;
@@ -149,6 +162,7 @@ val make_ops :
   ?dom_has_managed_save:(string -> (bool, Verror.t) result) ->
   ?dom_set_autostart:(string -> bool -> (unit, Verror.t) result) ->
   ?dom_get_autostart:(string -> (bool, Verror.t) result) ->
+  ?dom_list_all:(unit -> (domain_record list, Verror.t) result) ->
   ?migrate_begin:(string -> (migrate_source, Verror.t) result) ->
   ?migrate_prepare:(string -> (migrate_dest, Verror.t) result) ->
   ?guest_agent_install:(string -> (unit, Verror.t) result) ->
@@ -159,6 +173,14 @@ val make_ops :
   unit ->
   ops
 (** Omitted operations answer {!unsupported}. *)
+
+val list_all_fallback : ops -> (domain_record list, Verror.t) result
+(** Emulate a bulk listing with per-op calls (list + lookup + info +
+    autostart).  Not race-free: rows that vanish mid-walk are dropped. *)
+
+val list_all : ops -> (domain_record list, Verror.t) result
+(** [dom_list_all] when the driver has one, {!list_all_fallback}
+    otherwise. *)
 
 (** {1 Registry} *)
 

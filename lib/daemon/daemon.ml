@@ -110,7 +110,9 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   in
   let servers = [ ("libvirtd", mgmt_server); ("admin", admin_server) ] in
   let started_at = Unix.gettimeofday () in
-  let remote_program = Remote_service.program ~logger in
+  let remote_program =
+    Remote_service.program ~minor:config.Daemon_config.proto_minor ~logger ()
+  in
   (* The admin program needs to trigger a drain of the daemon that hosts
      it; the daemon record does not exist yet, so route through a
      forward reference filled in below. *)

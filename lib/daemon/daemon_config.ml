@@ -10,6 +10,7 @@ type t = {
   log_level : Vlog.priority;
   log_filters : Vlog.filter list;
   log_outputs : Vlog.output list;
+  proto_minor : int;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     log_level = Vlog.Error;
     log_filters = [];
     log_outputs = [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Stderr } ];
+    proto_minor = Protocol.Remote_protocol.minor;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -106,6 +108,13 @@ let apply cfg key value =
     let* s = want_string key value in
     let* outputs = Vlog.parse_outputs s in
     Ok { cfg with log_outputs = outputs }
+  | "proto_minor" ->
+    let* n = want_int key value in
+    if n > Protocol.Remote_protocol.minor then
+      Error
+        (Printf.sprintf "proto_minor: this build speaks at most %d"
+           Protocol.Remote_protocol.minor)
+    else Ok { cfg with proto_minor = n }
   | key -> Error (Printf.sprintf "unknown configuration key %S" key)
 
 let parse contents =
@@ -136,5 +145,6 @@ let to_file cfg =
       Printf.sprintf "log_level = %d" (Vlog.priority_to_int cfg.log_level);
       Printf.sprintf "log_filters = \"%s\"" (Vlog.format_filters cfg.log_filters);
       Printf.sprintf "log_outputs = \"%s\"" (Vlog.format_outputs cfg.log_outputs);
+      Printf.sprintf "proto_minor = %d" cfg.proto_minor;
       "";
     ]

@@ -18,6 +18,10 @@ type t = {
   log_level : Vlog.priority;
   log_filters : Vlog.filter list;
   log_outputs : Vlog.output list;
+  proto_minor : int;
+      (** protocol minor served on the remote program (default: this
+          build's maximum); lowering it makes the daemon behave like an
+          older release for version-negotiation testing *)
 }
 
 val default : t

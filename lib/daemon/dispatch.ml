@@ -75,7 +75,7 @@ let keepalive_program =
     on_disconnect = (fun _client -> ());
   }
 
-let reader_loop srv programs client =
+let reader_loop srv prog_table client =
   let logger = Server_obj.logger srv in
   let conn = Client_obj.conn client in
   let rec loop () =
@@ -89,9 +89,7 @@ let reader_loop srv programs client =
            (Client_obj.id client) msg;
          Client_obj.close client
        | header, body ->
-         (match
-            List.find_opt (fun p -> p.prog_number = header.Rpc_packet.program) programs
-          with
+         (match Hashtbl.find_opt prog_table header.Rpc_packet.program with
           | None ->
             send_reply client header
               (Verror.error Verror.Rpc_failure "unknown program 0x%x"
@@ -124,6 +122,10 @@ let reader_loop srv programs client =
   loop ()
 
 let attach_client srv programs conn =
+  (* Program lookup runs once per packet: resolve the registered list
+     into a table up front instead of scanning it in the reader loop. *)
+  let prog_table = Hashtbl.create (2 * List.length programs) in
+  List.iter (fun p -> Hashtbl.replace prog_table p.prog_number p) programs;
   match Server_obj.accept_client srv conn with
   | Error _ -> () (* connection already closed by the limit check *)
   | Ok client ->
@@ -134,4 +136,4 @@ let attach_client srv programs conn =
         Vlog.logf (Server_obj.logger srv) ~module_:"daemon.server" Vlog.Info
           "server %s: client %Ld disconnected" (Server_obj.name srv)
           (Client_obj.id client))
-      (fun () -> reader_loop srv programs client)
+      (fun () -> reader_loop srv prog_table client)

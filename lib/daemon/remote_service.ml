@@ -109,12 +109,15 @@ let do_event_deregister st client =
         cs.event_sub <- None;
         Ok Rp.enc_unit_body)
 
-let handle st _srv client header body =
-  let* proc =
-    Result.map_error
-      (Verror.make Verror.Rpc_failure)
-      (Rp.proc_of_int header.Rpc_packet.procedure)
-  in
+(* [minor] is the protocol minor this daemon serves: procedures newer
+   than it are rejected with the very error an old build produces for an
+   unknown number, which is what clients key version negotiation on.
+   [in_batch] guards against nested batch containers. *)
+let rec handle_proc st ~minor ~in_batch client proc body =
+  if Rp.proc_min_minor proc > minor then
+    Verror.error Verror.Rpc_failure "unknown remote procedure %d"
+      (Rp.proc_to_int proc)
+  else
   match proc with
   | Rp.Proc_open -> do_open st client body
   | Rp.Proc_close -> do_close st client
@@ -122,6 +125,40 @@ let handle st _srv client header body =
     let () = Rp.dec_unit_body body in
     Ok Rp.enc_unit_body
   | Rp.Proc_echo -> Ok body
+  | Rp.Proc_proto_minor ->
+    let () = Rp.dec_unit_body body in
+    Ok (Rp.enc_int_body minor)
+  | Rp.Proc_call_batch ->
+    if in_batch then
+      Verror.error Verror.Rpc_failure "nested batch calls are not allowed"
+    else
+      (* Sub-calls execute sequentially on the worker already running the
+         batch (handing them back to the pool could deadlock a small
+         pool) with per-sub-call error isolation mirroring the
+         dispatcher's: one failing sub-call yields one error sub-reply
+         and its siblings proceed. *)
+      let replies =
+        List.map
+          (fun (proc_num, sub_body) ->
+            let result =
+              match Rp.proc_of_int proc_num with
+              | Error msg -> Error (Verror.make Verror.Rpc_failure msg)
+              | Ok sub_proc -> (
+                try handle_proc st ~minor ~in_batch:true client sub_proc sub_body
+                with
+                | Verror.Virt_error err -> Error err
+                | Xdr.Error msg ->
+                  Verror.error Verror.Rpc_failure "malformed call body: %s" msg
+                | exn ->
+                  Verror.error Verror.Internal_error "unhandled exception: %s"
+                    (Printexc.to_string exn))
+            in
+            match result with
+            | Ok reply -> (true, reply)
+            | Error err -> (false, Rp.enc_error err))
+          (Rp.dec_batch_call body)
+      in
+      Ok (Rp.enc_batch_reply replies)
   | Rp.Proc_event_register -> do_event_register st client
   | Rp.Proc_event_deregister -> do_event_deregister st client
   | Rp.Proc_event_lifecycle ->
@@ -131,7 +168,8 @@ let handle st _srv client header body =
     let ops = cs.ops in
     (match proc with
      | Rp.Proc_open | Rp.Proc_close | Rp.Proc_ping | Rp.Proc_echo
-     | Rp.Proc_event_register | Rp.Proc_event_deregister | Rp.Proc_event_lifecycle ->
+     | Rp.Proc_event_register | Rp.Proc_event_deregister | Rp.Proc_event_lifecycle
+     | Rp.Proc_proto_minor | Rp.Proc_call_batch ->
        assert false
      | Rp.Proc_get_capabilities ->
        Ok (Rp.enc_string_body (Capabilities.to_xml (ops.Driver.get_capabilities ())))
@@ -286,9 +324,24 @@ let handle st _srv client header body =
      | Rp.Proc_vol_list ->
        let* b = storage_backend cs in
        let* infos = b.Driver.vol_list ~pool:(Rp.dec_string_body body) in
-       Ok (Rp.enc_vol_info_list infos))
+       Ok (Rp.enc_vol_info_list infos)
+     | Rp.Proc_dom_list_all ->
+       let* records = Driver.list_all ops in
+       Ok (Rp.enc_domain_record_list records)
+     | Rp.Proc_vol_lookup ->
+       let* b = storage_backend cs in
+       let* info = b.Driver.vol_by_path (Rp.dec_string_body body) in
+       Ok (Rp.enc_vol_info info))
 
-let program ~logger =
+let handle st ~minor _srv client header body =
+  let* proc =
+    Result.map_error
+      (Verror.make Verror.Rpc_failure)
+      (Rp.proc_of_int header.Rpc_packet.procedure)
+  in
+  handle_proc st ~minor ~in_batch:false client proc body
+
+let program ?(minor = Rp.minor) ~logger () =
   let st = { mutex = Mutex.create (); conns = Hashtbl.create 32; logger } in
   Dispatch.
     {
@@ -299,6 +352,6 @@ let program ~logger =
           match Rp.proc_of_int proc with
           | Ok p -> Rp.is_high_priority p
           | Error _ -> false);
-      handle = (fun srv client header body -> handle st srv client header body);
+      handle = (fun srv client header body -> handle st ~minor srv client header body);
       on_disconnect = (fun client -> teardown_conn st (Client_obj.id client));
     }

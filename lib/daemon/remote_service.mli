@@ -7,4 +7,8 @@
     events of that connection can be streamed back as [Event] packets
     after [Proc_event_register]. *)
 
-val program : logger:Vlog.t -> Dispatch.program
+val program : ?minor:int -> logger:Vlog.t -> unit -> Dispatch.program
+(** [minor] caps the protocol minor this daemon serves (default: the
+    build's {!Protocol.Remote_protocol.minor}); procedures newer than it
+    are rejected as unknown, making the daemon indistinguishable from an
+    older build — the lever version-negotiation tests pull. *)

@@ -195,6 +195,37 @@ let dom_get_xml session name =
       | Some dom -> Ok (X.to_string dom)
       | None -> Verror.error Verror.Rpc_failure "GetVM reply lacks <domain>")
 
+(* Native bulk listing: the ListVMs summaries already carry everything a
+   domain_record needs, so the whole inventory costs one endpoint
+   exchange instead of a GetVM per domain (the N+1 the per-op fallback
+   would pay).  ESX has no autostart concept here: [rec_autostart=None]. *)
+let dom_list_all session =
+  with_read session (fun () ->
+      let* resp = call session ~op:"ListVMs" () in
+      X.children_named resp "vm"
+      |> List.filter_map (fun vm ->
+             match (vm_ref_of_summary vm, vm_state_of_summary vm) with
+             | Ok rec_ref, Ok state ->
+               let memory = X.int_attr_exn vm "memoryKiB" in
+               Some
+                 Driver.
+                   {
+                     rec_ref;
+                     rec_info =
+                       {
+                         di_state = state;
+                         di_max_mem_kib = memory;
+                         di_memory_kib = memory;
+                         di_vcpus = X.int_attr_exn vm "vcpus";
+                         di_cpu_time_ns = 0L;
+                       };
+                     rec_autostart = None;
+                   }
+             | (Error _ | Ok _), _ -> None)
+      |> List.sort (fun a b ->
+             compare a.Driver.rec_ref.Driver.dom_name b.Driver.rec_ref.Driver.dom_name)
+      |> Result.ok)
+
 let capabilities session =
   with_read session (fun () ->
       Capabilities.
@@ -233,6 +264,7 @@ let open_conn uri =
        ~dom_suspend:(dom_suspend session) ~dom_resume:(dom_resume session)
        ~dom_shutdown:(dom_shutdown session) ~dom_destroy:(dom_destroy session)
        ~dom_get_info:(dom_get_info session) ~dom_get_xml:(dom_get_xml session)
+       ~dom_list_all:(fun () -> dom_list_all session)
        ())
 
 let register () =

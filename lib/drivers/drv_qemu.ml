@@ -193,35 +193,45 @@ let dom_resume node name = monitor_op node name "cont" Events.Ev_resumed
 let dom_shutdown node name = monitor_op node name "system_powerdown" Events.Ev_shutdown
 let dom_destroy node name = monitor_op node name "quit" Events.Ev_stopped
 
+(* Runs with the node read lock already held (callers: dom_get_info,
+   dom_list_all) — must not re-enter a lock section. *)
+let info_locked (node : node) name (cfg : Vm_config.t) =
+  let current_memory =
+    Option.value
+      (Hashtbl.find_opt node.payload.balloon name)
+      ~default:cfg.Vm_config.memory_kib
+  in
+  match live_proc node name with
+  | Some proc ->
+    Ok
+      Driver.
+        {
+          di_state = Qemu_proc.state proc;
+          di_max_mem_kib = cfg.Vm_config.memory_kib;
+          di_memory_kib = current_memory;
+          di_vcpus = cfg.Vm_config.vcpus;
+          di_cpu_time_ns = Int64.of_int (Qemu_proc.pid proc * 1_000_000);
+        }
+  | None ->
+    Ok
+      Driver.
+        {
+          di_state = Vm_state.Shutoff;
+          di_max_mem_kib = cfg.Vm_config.memory_kib;
+          di_memory_kib = cfg.Vm_config.memory_kib;
+          di_vcpus = cfg.Vm_config.vcpus;
+          di_cpu_time_ns = 0L;
+        }
+
 let dom_get_info (node : node) name =
   Drvnode.with_read node (fun () ->
       let* cfg = require_config node name in
-      let current_memory =
-        Option.value
-          (Hashtbl.find_opt node.payload.balloon name)
-          ~default:cfg.Vm_config.memory_kib
-      in
-      match live_proc node name with
-      | Some proc ->
-        Ok
-          Driver.
-            {
-              di_state = Qemu_proc.state proc;
-              di_max_mem_kib = cfg.Vm_config.memory_kib;
-              di_memory_kib = current_memory;
-              di_vcpus = cfg.Vm_config.vcpus;
-              di_cpu_time_ns = Int64.of_int (Qemu_proc.pid proc * 1_000_000);
-            }
-      | None ->
-        Ok
-          Driver.
-            {
-              di_state = Vm_state.Shutoff;
-              di_max_mem_kib = cfg.Vm_config.memory_kib;
-              di_memory_kib = cfg.Vm_config.memory_kib;
-              di_vcpus = cfg.Vm_config.vcpus;
-              di_cpu_time_ns = 0L;
-            })
+      info_locked node name cfg)
+
+let dom_list_all (node : node) =
+  Drvnode.list_all node
+    ~dom_id:(fun name -> Option.map Qemu_proc.pid (live_proc node name))
+    ~info:(info_locked node) ()
 
 let dom_get_xml (node : node) name =
   Drvnode.with_read node (fun () ->
@@ -453,6 +463,7 @@ let open_node (node : node) =
     ~dom_has_managed_save:(dom_has_managed_save node)
     ~dom_set_autostart:(Drvnode.set_autostart node)
     ~dom_get_autostart:(Drvnode.get_autostart node)
+    ~dom_list_all:(fun () -> dom_list_all node)
     ~migrate_begin:(migrate_begin node) ~migrate_prepare:(migrate_prepare node)
     ~guest_agent_install:(guest_agent_install node)
     ~guest_agent_exec:(guest_agent_exec node)

@@ -320,31 +320,48 @@ let guest_agent_exec node name line =
   let* ep = agent_endpoint node name in
   Ok (Hvsim.Guest_agent.exec ep line)
 
+(* Runs with the node read lock already held (callers: dom_get_info,
+   dom_list_all) — must not re-enter a lock section. *)
+let info_locked (node : node) name (cfg : Vm_config.t) =
+  match Hashtbl.find_opt node.payload.actives name with
+  | Some (state, active) ->
+    Ok
+      Driver.
+        {
+          di_state = !state;
+          di_max_mem_kib = cfg.Vm_config.memory_kib;
+          di_memory_kib = cfg.Vm_config.memory_kib;
+          di_vcpus = cfg.Vm_config.vcpus;
+          di_cpu_time_ns = active.cpu_time_ns;
+        }
+  | None ->
+    Ok
+      Driver.
+        {
+          di_state = Vm_state.Shutoff;
+          di_max_mem_kib = cfg.Vm_config.memory_kib;
+          di_memory_kib = cfg.Vm_config.memory_kib;
+          di_vcpus = cfg.Vm_config.vcpus;
+          di_cpu_time_ns = 0L;
+        }
+
 let dom_get_info (node : node) name =
   Drvnode.with_read node (fun () ->
       hypervisor_wait node;
       let* cfg = require_config node name in
-      match Hashtbl.find_opt node.payload.actives name with
-      | Some (state, active) ->
-        Ok
-          Driver.
-            {
-              di_state = !state;
-              di_max_mem_kib = cfg.Vm_config.memory_kib;
-              di_memory_kib = cfg.Vm_config.memory_kib;
-              di_vcpus = cfg.Vm_config.vcpus;
-              di_cpu_time_ns = active.cpu_time_ns;
-            }
-      | None ->
-        Ok
-          Driver.
-            {
-              di_state = Vm_state.Shutoff;
-              di_max_mem_kib = cfg.Vm_config.memory_kib;
-              di_memory_kib = cfg.Vm_config.memory_kib;
-              di_vcpus = cfg.Vm_config.vcpus;
-              di_cpu_time_ns = 0L;
-            })
+      info_locked node name cfg)
+
+(* One lock section, one simulated hypervisor wait for the whole fleet:
+   the native bulk listing the remote protocol's Proc_dom_list_all rides
+   on (per-op inventory pays one wait per domain instead). *)
+let dom_list_all (node : node) =
+  Drvnode.list_all node
+    ~prepare:(fun () -> hypervisor_wait node)
+    ~dom_id:(fun name ->
+      if Hashtbl.mem node.payload.actives name then
+        Some (Hashtbl.hash name land 0xffff)
+      else None)
+    ~info:(info_locked node) ()
 
 let dom_get_xml (node : node) name =
   Drvnode.with_read node (fun () ->
@@ -460,6 +477,7 @@ let open_node (node : node) =
     ~dom_has_managed_save:(dom_has_managed_save node)
     ~dom_set_autostart:(Drvnode.set_autostart node)
     ~dom_get_autostart:(Drvnode.get_autostart node)
+    ~dom_list_all:(fun () -> dom_list_all node)
     ~migrate_begin:(migrate_begin node) ~migrate_prepare:(migrate_prepare node)
     ~guest_agent_install:(guest_agent_install node)
     ~guest_agent_exec:(guest_agent_exec node)

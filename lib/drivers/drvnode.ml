@@ -126,6 +126,34 @@ let list_defined node ~active =
       |> List.filter (fun name -> not (active name))
       |> Result.ok)
 
+(* Native bulk listing: the whole store walked under ONE read section,
+   so the returned records are a consistent snapshot — no domain can be
+   started/undefined between rows, unlike a list + per-domain lookup
+   sequence.  [info] runs with the lock already held and therefore must
+   not re-enter [with_read] (the rwlock is not re-entrant); [prepare]
+   models one hypervisor round per listing (vs one per domain). *)
+let list_all node ?(prepare = fun () -> ()) ~dom_id ~info () =
+  with_read node (fun () ->
+      prepare ();
+      Domstore.entries node.store
+      |> List.filter_map (fun (name, cfg, autostart, _running) ->
+             match info name cfg with
+             | Error _ -> None (* row vanished from the substrate: skip *)
+             | Ok rec_info ->
+               Some
+                 Driver.
+                   {
+                     rec_ref =
+                       {
+                         dom_name = name;
+                         dom_uuid = cfg.Vmm.Vm_config.uuid;
+                         dom_id = dom_id name;
+                       };
+                     rec_info;
+                     rec_autostart = Some autostart;
+                   })
+      |> Result.ok)
+
 let set_autostart node name flag =
   with_write node (fun () -> Domstore.set_autostart node.store name flag)
 

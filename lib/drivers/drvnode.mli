@@ -151,6 +151,20 @@ val list_defined :
   'p node -> active:(string -> bool) -> (string list, Verror.t) result
 (** Stored names for which [active] is false, under the read lock. *)
 
+val list_all :
+  'p node ->
+  ?prepare:(unit -> unit) ->
+  dom_id:(string -> int option) ->
+  info:(string -> Vmm.Vm_config.t -> (Driver.domain_info, Verror.t) result) ->
+  unit ->
+  (Driver.domain_record list, Verror.t) result
+(** Native bulk listing: walk every stored domain under ONE read section
+    and build {!Driver.domain_record}s — a consistent snapshot, the
+    driver-side half of the wire protocol's [Proc_dom_list_all].
+    [prepare] (e.g. a simulated hypervisor round trip) and [info] run
+    with the read lock held, so they must not re-enter a lock section;
+    rows whose [info] fails are skipped. *)
+
 val set_autostart : 'p node -> string -> bool -> (unit, Verror.t) result
 (** Persist the autostart flag (write lock + store). *)
 

@@ -1,6 +1,7 @@
 open Ovirt_core
 module Rp = Protocol.Remote_protocol
 module Transport = Ovnet.Transport
+module Cache = Remote_cache
 
 let ( let* ) = Result.bind
 
@@ -16,7 +17,7 @@ let kind_of_transport = function
 let local_params =
   [
     "daemon"; "keepalive"; "keepalive_count"; "reconnect"; "reconnect_delay";
-    "reconnect_max_delay"; "reconnect_seed";
+    "reconnect_max_delay"; "reconnect_seed"; "cache"; "cache_ttl"; "events";
   ]
 
 (* The URI handed to the daemon: transport stripped, local parameters
@@ -41,6 +42,7 @@ type resilience = {
 }
 
 type stats = {
+  st_calls : int;
   st_reconnect_attempts : int;
   st_reconnects : int;
   st_retried_calls : int;
@@ -56,6 +58,7 @@ type stats = {
    [conn_stats] can single one connection out. *)
 type counters = {
   cn_bus : Events.bus;
+  mutable cn_calls : int;
   mutable cn_attempts : int;
   mutable cn_reconnects : int;
   mutable cn_retried : int;
@@ -77,6 +80,7 @@ let fresh_counters bus =
       let c =
         {
           cn_bus = bus;
+          cn_calls = 0;
           cn_attempts = 0;
           cn_reconnects = 0;
           cn_retried = 0;
@@ -91,6 +95,7 @@ let reset_stats () =
   with_stats (fun () ->
       List.iter
         (fun c ->
+          c.cn_calls <- 0;
           c.cn_attempts <- 0;
           c.cn_reconnects <- 0;
           c.cn_retried <- 0;
@@ -100,6 +105,7 @@ let reset_stats () =
 
 let snapshot c =
   {
+    st_calls = c.cn_calls;
     st_reconnect_attempts = c.cn_attempts;
     st_reconnects = c.cn_reconnects;
     st_retried_calls = c.cn_retried;
@@ -112,6 +118,7 @@ let stats () =
       List.fold_left
         (fun acc c ->
           {
+            st_calls = acc.st_calls + c.cn_calls;
             st_reconnect_attempts = acc.st_reconnect_attempts + c.cn_attempts;
             st_reconnects = acc.st_reconnects + c.cn_reconnects;
             st_retried_calls = acc.st_retried_calls + c.cn_retried;
@@ -119,6 +126,7 @@ let stats () =
             st_recovery_latencies = c.cn_latencies @ acc.st_recovery_latencies;
           })
         {
+          st_calls = 0;
           st_reconnect_attempts = 0;
           st_reconnects = 0;
           st_retried_calls = 0;
@@ -136,15 +144,40 @@ let conn_stats (ops : Driver.ops) =
 (* Connection state                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* One generation-counted cache per metadata kind: the three are filled
+   and consulted independently (a listing knows all three, a point read
+   only one) while sharing the same invalidation events. *)
+type caches = {
+  c_ref : Driver.domain_ref Cache.t;
+  c_info : Driver.domain_info Cache.t;
+  c_autostart : bool Cache.t;
+  c_xml : string Cache.t;
+}
+
+let invalidate_caches cs name =
+  Cache.invalidate cs.c_ref name;
+  Cache.invalidate cs.c_info name;
+  Cache.invalidate cs.c_autostart name;
+  Cache.invalidate cs.c_xml name
+
+let clear_caches cs =
+  Cache.clear cs.c_ref;
+  Cache.clear cs.c_info;
+  Cache.clear cs.c_autostart;
+  Cache.clear cs.c_xml
+
 type remote_conn = {
   rc_mutex : Mutex.t;
   mutable rpc : Rpc_client.t;
   mutable defunct : bool;  (** closed, or reconnect budget exhausted *)
+  mutable rc_minor : int;  (** negotiated protocol minor, re-probed on reconnect *)
   events : Events.bus;
+  rc_cache : caches option;
   rc_address : string;
   rc_kind : Transport.kind;
   rc_forwarded : string;  (** URI replayed as Proc_open on reconnect *)
   rc_keepalive : Rpc_client.keepalive option;
+  rc_register_events : bool;
   rc_resilience : resilience option;
   rc_on_event : procedure:int -> string -> unit;
   rc_stats : counters;
@@ -155,6 +188,11 @@ let with_conn conn f =
   Mutex.lock conn.rc_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock conn.rc_mutex) f
 
+let negotiated_minor conn = with_conn conn (fun () -> conn.rc_minor)
+
+let tick ?(n = 1) conn =
+  with_stats (fun () -> conn.rc_stats.cn_calls <- conn.rc_stats.cn_calls + n)
+
 let raw_call rpc proc body =
   Rpc_client.call rpc ~procedure:(Rp.proc_to_int proc) ~body ()
 
@@ -164,20 +202,40 @@ let raw_call_unit rpc proc body =
   | () -> Ok ()
   | exception Xdr.Error msg -> Verror.error Verror.Rpc_failure "bad reply: %s" msg
 
+(* Version probe.  A daemon predating [Proc_proto_minor] rejects it as an
+   unknown procedure — indistinguishable from any other pre-negotiation
+   build — which pins the peer at minor 2, the newest protocol shipped
+   before the probe existed. *)
+let negotiate rpc =
+  match raw_call rpc Rp.Proc_proto_minor Rp.enc_unit_body with
+  | Ok reply -> (
+    match Rp.dec_int_body reply with
+    | m -> Ok (min m Rp.minor)
+    | exception Xdr.Error msg ->
+      Verror.error Verror.Rpc_failure "bad reply: %s" msg)
+  | Error _ when not (Rpc_client.is_closed rpc) -> Ok 2
+  | Error e -> Error e
+
 (* Transport + handshake: what both the initial open and every reconnect
    perform — establish, Proc_open the forwarded URI, re-register for
-   events (the daemon side starts from a clean slate each time). *)
-let establish ~address ~kind ~keepalive ~on_event ~forwarded =
+   events (the daemon side starts from a clean slate each time), then
+   probe the protocol minor the daemon speaks. *)
+let establish ~address ~kind ~keepalive ~on_event ~register_events ~forwarded =
   let* rpc =
     Rpc_client.connect ~address ~kind ~program:Rp.program ~version:Rp.version
       ?keepalive ~on_event ()
   in
   let handshake =
     let* () = raw_call_unit rpc Rp.Proc_open (Rp.enc_string_body forwarded) in
-    raw_call_unit rpc Rp.Proc_event_register Rp.enc_unit_body
+    let* () =
+      if register_events then
+        raw_call_unit rpc Rp.Proc_event_register Rp.enc_unit_body
+      else Ok ()
+    in
+    negotiate rpc
   in
   match handshake with
-  | Ok () -> Ok rpc
+  | Ok minor -> Ok (rpc, minor)
   | Error e ->
     Rpc_client.close rpc;
     Error e
@@ -223,10 +281,15 @@ let ensure_connected conn ~dead =
             match
               establish ~address:conn.rc_address ~kind:conn.rc_kind
                 ~keepalive:conn.rc_keepalive ~on_event:conn.rc_on_event
+                ~register_events:conn.rc_register_events
                 ~forwarded:conn.rc_forwarded
             with
-            | Ok rpc ->
+            | Ok (rpc, minor) ->
               conn.rpc <- rpc;
+              conn.rc_minor <- minor;
+              (* The event stream has a gap and the daemon may have been
+                 replaced by a different build: nothing cached survives. *)
+              Option.iter clear_caches conn.rc_cache;
               with_stats (fun () ->
                   let c = conn.rc_stats in
                   c.cn_reconnects <- c.cn_reconnects + 1;
@@ -242,10 +305,16 @@ let ensure_connected conn ~dead =
 (* Resilient call: a connection-death failure triggers reconnection (any
    call type pays for the rebuild), but only idempotent procedures are
    re-issued; a mutating call surfaces the failure, leaving the restored
-   connection for its caller's own retry decision. *)
-let call conn proc body =
+   connection for its caller's own retry decision.  [?idempotent]
+   overrides the per-procedure table — a batch is exactly as idempotent
+   as its least idempotent sub-call, which only the caller knows. *)
+let call ?idempotent conn proc body =
+  let idempotent =
+    match idempotent with Some v -> v | None -> Rp.is_idempotent proc
+  in
   let rec go attempt =
     let rpc = with_conn conn (fun () -> conn.rpc) in
+    tick conn;
     match raw_call rpc proc body with
     | Ok _ as ok -> ok
     | Error e
@@ -256,12 +325,12 @@ let call conn proc body =
         | Error _ as err -> err
         | Ok () ->
           let budget = (Option.get conn.rc_resilience).res_budget in
-          if Rp.is_idempotent proc && attempt <= budget then begin
+          if idempotent && attempt <= budget then begin
             with_stats (fun () ->
                 conn.rc_stats.cn_retried <- conn.rc_stats.cn_retried + 1);
             go (attempt + 1)
           end
-          else if Rp.is_idempotent proc then Error e
+          else if idempotent then Error e
           else
             Verror.error Verror.Rpc_failure
               "connection dropped during non-idempotent call %d (reconnected, \
@@ -286,6 +355,247 @@ let decode decoder reply =
 let call_dec conn proc body decoder =
   let* reply = call conn proc body in
   decode decoder reply
+
+(* N sub-calls, one logical exchange.  Against a v1.3 daemon the whole
+   list travels as a single [Proc_call_batch] frame (one round trip);
+   against an older daemon every request is written back-to-back with
+   [call_async] before any reply is awaited, so the exchange costs one
+   request convoy and one reply convoy instead of N ping-pongs.  Either
+   way each sub-call gets its own result. *)
+let multi_call conn subs =
+  if subs = [] then []
+  else if negotiated_minor conn >= 3 then begin
+    let idempotent = List.for_all (fun (p, _) -> Rp.is_idempotent p) subs in
+    let body =
+      Rp.enc_batch_call (List.map (fun (p, b) -> (Rp.proc_to_int p, b)) subs)
+    in
+    match call ~idempotent conn Rp.Proc_call_batch body with
+    | Error _ as err -> List.map (fun _ -> err) subs
+    | Ok reply -> (
+      match Rp.dec_batch_reply reply with
+      | replies when List.length replies = List.length subs ->
+        List.map
+          (fun (ok, body) -> if ok then Ok body else Error (Rp.dec_error body))
+          replies
+      | _ ->
+        List.map
+          (fun _ ->
+            Verror.error Verror.Rpc_failure
+              "batch reply count does not match request")
+          subs
+      | exception Xdr.Error msg ->
+        List.map
+          (fun _ -> Verror.error Verror.Rpc_failure "bad reply: %s" msg)
+          subs)
+  end
+  else begin
+    tick ~n:(List.length subs) conn;
+    let rpc = with_conn conn (fun () -> conn.rpc) in
+    subs
+    |> List.map (fun (p, b) ->
+           Rpc_client.call_async rpc ~procedure:(Rp.proc_to_int p) ~body:b ())
+    |> List.map (function
+         | Ok fut -> Rpc_client.await fut
+         | Error _ as err -> err)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cached point reads                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+(* An entry is only trustworthy while the event stream (or TTL clock)
+   that maintains it is live: once the connection is known dead, bypass
+   the cache so the read forces a reconnect — which clears it — instead
+   of serving values no event can invalidate any more. *)
+let live_cache conn =
+  match conn.rc_cache with
+  | Some cs when not (Rpc_client.is_closed (with_conn conn (fun () -> conn.rpc))) ->
+    Some cs
+  | Some _ | None -> None
+
+(* The fill protocol in one place: consult the cache, otherwise take a
+   token {e before} the wire call and install only if no event raced the
+   reply (see {!Remote_cache}). *)
+let cached_read conn pick name proc body decoder =
+  match live_cache conn with
+  | None -> call_dec conn proc body decoder
+  | Some cs -> (
+    let c = pick cs in
+    match Cache.find c name ~now:(now ()) with
+    | Some v -> Ok v
+    | None ->
+      let fill = Cache.begin_fill c in
+      let* v = call_dec conn proc body decoder in
+      ignore (Cache.install c fill name v ~now:(now ()));
+      Ok v)
+
+let dom_get_info conn name =
+  cached_read conn
+    (fun cs -> cs.c_info)
+    name Rp.Proc_dom_get_info (Rp.enc_string_body name) Rp.dec_domain_info
+
+let dom_get_autostart conn name =
+  cached_read conn
+    (fun cs -> cs.c_autostart)
+    name Rp.Proc_dom_get_autostart (Rp.enc_string_body name) Rp.dec_bool_body
+
+let dom_get_xml conn name =
+  cached_read conn
+    (fun cs -> cs.c_xml)
+    name Rp.Proc_dom_get_xml (Rp.enc_string_body name) Rp.dec_string_body
+
+let lookup_by_name conn name =
+  match live_cache conn with
+  | None ->
+    call_dec conn Rp.Proc_lookup_by_name (Rp.enc_string_body name)
+      Rp.dec_domain_ref
+  | Some cs -> (
+    match Cache.find cs.c_ref name ~now:(now ()) with
+    | Some r -> Ok r
+    | None ->
+      let fill = Cache.begin_fill cs.c_ref in
+      let* r =
+        call_dec conn Rp.Proc_lookup_by_name (Rp.enc_string_body name)
+          Rp.dec_domain_ref
+      in
+      ignore
+        (Cache.install cs.c_ref fill name
+           ~uuid:(Vmm.Uuid.to_string r.Driver.dom_uuid)
+           r ~now:(now ()));
+      Ok r)
+
+let lookup_by_uuid conn uuid =
+  let uuid_s = Vmm.Uuid.to_string uuid in
+  let wire () =
+    call_dec conn Rp.Proc_lookup_by_uuid (Rp.enc_string_body uuid_s)
+      Rp.dec_domain_ref
+  in
+  match live_cache conn with
+  | None -> wire ()
+  | Some cs -> (
+    match Cache.find_by_uuid cs.c_ref uuid_s ~now:(now ()) with
+    | Some r -> Ok r
+    | None ->
+      let fill = Cache.begin_fill cs.c_ref in
+      let* r = wire () in
+      ignore
+        (Cache.install cs.c_ref fill r.Driver.dom_name ~uuid:uuid_s r
+           ~now:(now ()));
+      Ok r)
+
+(* Writes the daemon acknowledges without a lifecycle event (autostart,
+   balloon) must invalidate locally, or our own mutation would be masked
+   by our own cache. *)
+let invalidate_domain conn name =
+  Option.iter (fun cs -> invalidate_caches cs name) conn.rc_cache
+
+(* ------------------------------------------------------------------ *)
+(* Bulk domain listing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type list_fills = {
+  lf_ref : Cache.fill;
+  lf_info : Cache.fill;
+  lf_auto : Cache.fill;
+}
+
+let begin_list_fills conn =
+  Option.map
+    (fun cs ->
+      {
+        lf_ref = Cache.begin_fill cs.c_ref;
+        lf_info = Cache.begin_fill cs.c_info;
+        lf_auto = Cache.begin_fill cs.c_autostart;
+      })
+    conn.rc_cache
+
+let install_records conn fills records =
+  match (conn.rc_cache, fills) with
+  | Some cs, Some f ->
+    let t = now () in
+    List.iter
+      (fun r ->
+        let name = r.Driver.rec_ref.Driver.dom_name in
+        let uuid = Vmm.Uuid.to_string r.Driver.rec_ref.Driver.dom_uuid in
+        ignore (Cache.install cs.c_ref f.lf_ref name ~uuid r.Driver.rec_ref ~now:t);
+        ignore (Cache.install cs.c_info f.lf_info name r.Driver.rec_info ~now:t);
+        Option.iter
+          (fun a ->
+            ignore (Cache.install cs.c_autostart f.lf_auto name a ~now:t))
+          r.Driver.rec_autostart)
+      records
+  | _ -> ()
+
+(* Pre-bulk daemons: reproduce [Proc_dom_list_all] client-side, but
+   pipelined — two listing calls, then every lookup/info/autostart
+   fetched through {!multi_call} so the wire sees request and reply
+   convoys rather than the N+1 ping-pong this path replaces.  Rows that
+   vanish between listing and inspection are dropped, matching
+   [Driver.list_all_fallback]. *)
+let list_all_emulated conn =
+  let* active =
+    call_dec conn Rp.Proc_list_domains Rp.enc_unit_body Rp.dec_domain_ref_list
+  in
+  let* defined =
+    call_dec conn Rp.Proc_list_defined Rp.enc_unit_body Rp.dec_string_list
+  in
+  let defined_refs =
+    multi_call conn
+      (List.map (fun n -> (Rp.Proc_lookup_by_name, Rp.enc_string_body n)) defined)
+    |> List.filter_map (function
+         | Ok body -> (
+           match Rp.dec_domain_ref body with
+           | r -> Some r
+           | exception Xdr.Error _ -> None)
+         | Error _ -> None)
+  in
+  let refs = active @ defined_refs in
+  let subs =
+    List.concat_map
+      (fun r ->
+        let body = Rp.enc_string_body r.Driver.dom_name in
+        [ (Rp.Proc_dom_get_info, body); (Rp.Proc_dom_get_autostart, body) ])
+      refs
+  in
+  let replies = multi_call conn subs in
+  let rec assemble refs replies acc =
+    match (refs, replies) with
+    | r :: refs, info_r :: auto_r :: replies ->
+      let acc =
+        match info_r with
+        | Error _ -> acc
+        | Ok body -> (
+          match Rp.dec_domain_info body with
+          | exception Xdr.Error _ -> acc
+          | info ->
+            let autostart =
+              match auto_r with
+              | Ok b -> (
+                match Rp.dec_bool_body b with
+                | v -> Some v
+                | exception Xdr.Error _ -> None)
+              | Error _ -> None
+            in
+            Driver.{ rec_ref = r; rec_info = info; rec_autostart = autostart }
+            :: acc)
+      in
+      assemble refs replies acc
+    | _ -> List.rev acc
+  in
+  Ok (assemble refs replies [])
+
+let dom_list_all conn () =
+  let fills = begin_list_fills conn in
+  let* records =
+    if negotiated_minor conn >= 3 then
+      call_dec conn Rp.Proc_dom_list_all Rp.enc_unit_body
+        Rp.dec_domain_record_list
+    else list_all_emulated conn
+  in
+  install_records conn fills records;
+  Ok records
 
 (* ------------------------------------------------------------------ *)
 (* Connection establishment                                            *)
@@ -323,6 +633,27 @@ let resilience_of_uri uri =
       }
   | Some _ | None -> None
 
+(* Default TTL when the cache runs without an event stream: short enough
+   that a remote writer's change is seen promptly, long enough to absorb
+   a monitoring loop's burst of reads. *)
+let default_eventless_ttl = 1.0
+
+let caches_of_uri uri ~register_events =
+  if Option.value (int_param uri "cache") ~default:1 = 0 then None
+  else
+    let ttl =
+      match float_param uri "cache_ttl" with
+      | Some t -> Some t
+      | None -> if register_events then None else Some default_eventless_ttl
+    in
+    Some
+      {
+        c_ref = Cache.create ?ttl ();
+        c_info = Cache.create ?ttl ();
+        c_autostart = Cache.create ?ttl ();
+        c_xml = Cache.create ?ttl ();
+      }
+
 let open_conn uri =
   let* transport =
     match uri.Vuri.transport with
@@ -331,28 +662,39 @@ let open_conn uri =
   in
   let* kind = kind_of_transport transport in
   let daemon = Option.value (Vuri.param uri "daemon") ~default:default_daemon in
+  let register_events = Option.value (int_param uri "events") ~default:1 <> 0 in
+  let caches = caches_of_uri uri ~register_events in
   let events = Events.create_bus () in
   let on_event ~procedure body =
     if procedure = Rp.proc_to_int Rp.Proc_event_lifecycle then
       match Rp.dec_lifecycle_event body with
-      | ev -> Events.emit events ~domain_name:ev.Events.domain_name ev.Events.lifecycle
+      | ev ->
+        (* Invalidate before the local re-emit: a subscriber reacting to
+           the event must never read the pre-event cache entry. *)
+        Option.iter (fun cs -> invalidate_caches cs ev.Events.domain_name) caches;
+        Events.emit events ~domain_name:ev.Events.domain_name ev.Events.lifecycle
       | exception Xdr.Error _ -> ()
   in
   let address = daemon ^ "-sock" in
   let keepalive = keepalive_of_uri uri in
   let resilience = resilience_of_uri uri in
   let forwarded = Vuri.to_string (daemon_side_uri uri) in
-  let* rpc = establish ~address ~kind ~keepalive ~on_event ~forwarded in
+  let* rpc, minor =
+    establish ~address ~kind ~keepalive ~on_event ~register_events ~forwarded
+  in
   Ok
     {
       rc_mutex = Mutex.create ();
       rpc;
       defunct = false;
+      rc_minor = minor;
       events;
+      rc_cache = caches;
       rc_address = address;
       rc_kind = kind;
       rc_forwarded = forwarded;
       rc_keepalive = keepalive;
+      rc_register_events = register_events;
       rc_resilience = resilience;
       rc_on_event = on_event;
       rc_stats = fresh_counters events;
@@ -413,6 +755,33 @@ let remote_net_ops conn =
           call_dec conn Rp.Proc_net_list Rp.enc_unit_body Rp.dec_net_info_list);
     }
 
+(* Pre-v1.3 daemons have no path-indexed lookup; emulate with listings,
+   pipelining the per-pool volume listings instead of ping-ponging. *)
+let vol_by_path_emulated conn path =
+  let* pools =
+    call_dec conn Rp.Proc_pool_list Rp.enc_unit_body Rp.dec_pool_info_list
+  in
+  let vol_lists =
+    multi_call conn
+      (List.map
+         (fun p ->
+           (Rp.Proc_vol_list, Rp.enc_string_body p.Storage_backend.pool_name))
+         pools)
+  in
+  let found =
+    List.find_map
+      (function
+        | Ok body -> (
+          match Rp.dec_vol_info_list body with
+          | vols -> List.find_opt (fun v -> v.Storage_backend.vol_key = path) vols
+          | exception Xdr.Error _ -> None)
+        | Error _ -> None)
+      vol_lists
+  in
+  match found with
+  | Some v -> Ok v
+  | None -> Verror.error Verror.No_storage_vol "no volume backs path %S" path
+
 let remote_storage_ops conn =
   Driver.
     {
@@ -447,32 +816,22 @@ let remote_storage_ops conn =
             Rp.dec_vol_info_list);
       vol_by_path =
         (fun path ->
-          (* Resolution is pool-local on the daemon; emulate with listing. *)
-          let* pools =
-            call_dec conn Rp.Proc_pool_list Rp.enc_unit_body Rp.dec_pool_info_list
-          in
-          let rec search = function
-            | [] ->
-              Verror.error Verror.No_storage_vol "no volume backs path %S" path
-            | pool :: rest ->
-              let* vols =
-                call_dec conn Rp.Proc_vol_list
-                  (Rp.enc_string_body pool.Storage_backend.pool_name)
-                  Rp.dec_vol_info_list
-              in
-              (match
-                 List.find_opt
-                   (fun v -> v.Storage_backend.vol_key = path)
-                   vols
-               with
-               | Some v -> Ok v
-               | None -> search rest)
-          in
-          search pools);
+          if negotiated_minor conn >= 3 then
+            call_dec conn Rp.Proc_vol_lookup (Rp.enc_string_body path)
+              Rp.dec_vol_info
+          else vol_by_path_emulated conn path);
     }
 
 let make_ops uri conn =
   let name_call proc name = call_unit conn proc (Rp.enc_string_body name) in
+  (* Lifecycle mutations are also invalidated by the pushed event, but
+     writes without one (autostart, balloon) — and event-less
+     connections — need the local invalidation. *)
+  let name_call_inval proc name =
+    let r = name_call proc name in
+    if Result.is_ok r then invalidate_domain conn name;
+    r
+  in
   Driver.make_ops ~drv_name:"remote"
     ~get_capabilities:(get_capabilities conn)
     ~get_hostname:(get_hostname conn)
@@ -481,36 +840,38 @@ let make_ops uri conn =
       call_dec conn Rp.Proc_list_domains Rp.enc_unit_body Rp.dec_domain_ref_list)
     ~list_defined:(fun () ->
       call_dec conn Rp.Proc_list_defined Rp.enc_unit_body Rp.dec_string_list)
-    ~lookup_by_name:(fun name ->
-      call_dec conn Rp.Proc_lookup_by_name (Rp.enc_string_body name) Rp.dec_domain_ref)
-    ~lookup_by_uuid:(fun uuid ->
-      call_dec conn Rp.Proc_lookup_by_uuid
-        (Rp.enc_string_body (Vmm.Uuid.to_string uuid))
-        Rp.dec_domain_ref)
+    ~lookup_by_name:(lookup_by_name conn)
+    ~lookup_by_uuid:(lookup_by_uuid conn)
     ~define_xml:(fun xml ->
-      call_dec conn Rp.Proc_define_xml (Rp.enc_string_body xml) Rp.dec_domain_ref)
-    ~undefine:(name_call Rp.Proc_undefine)
-    ~dom_create:(name_call Rp.Proc_dom_create)
-    ~dom_suspend:(name_call Rp.Proc_dom_suspend)
-    ~dom_resume:(name_call Rp.Proc_dom_resume)
-    ~dom_shutdown:(name_call Rp.Proc_dom_shutdown)
-    ~dom_destroy:(name_call Rp.Proc_dom_destroy)
-    ~dom_get_info:(fun name ->
-      call_dec conn Rp.Proc_dom_get_info (Rp.enc_string_body name) Rp.dec_domain_info)
-    ~dom_get_xml:(fun name ->
-      call_dec conn Rp.Proc_dom_get_xml (Rp.enc_string_body name) Rp.dec_string_body)
+      let* r =
+        call_dec conn Rp.Proc_define_xml (Rp.enc_string_body xml)
+          Rp.dec_domain_ref
+      in
+      invalidate_domain conn r.Driver.dom_name;
+      Ok r)
+    ~undefine:(name_call_inval Rp.Proc_undefine)
+    ~dom_create:(name_call_inval Rp.Proc_dom_create)
+    ~dom_suspend:(name_call_inval Rp.Proc_dom_suspend)
+    ~dom_resume:(name_call_inval Rp.Proc_dom_resume)
+    ~dom_shutdown:(name_call_inval Rp.Proc_dom_shutdown)
+    ~dom_destroy:(name_call_inval Rp.Proc_dom_destroy)
+    ~dom_get_info:(dom_get_info conn)
+    ~dom_get_xml:(dom_get_xml conn)
     ~dom_set_memory:(fun name kib ->
-      call_unit conn Rp.Proc_dom_set_memory (Rp.enc_name_and_kib name kib))
-    ~dom_save:(name_call Rp.Proc_dom_save)
-    ~dom_restore:(name_call Rp.Proc_dom_restore)
+      let r = call_unit conn Rp.Proc_dom_set_memory (Rp.enc_name_and_kib name kib) in
+      if Result.is_ok r then invalidate_domain conn name;
+      r)
+    ~dom_save:(name_call_inval Rp.Proc_dom_save)
+    ~dom_restore:(name_call_inval Rp.Proc_dom_restore)
     ~dom_has_managed_save:(fun name ->
       call_dec conn Rp.Proc_dom_has_managed_save (Rp.enc_string_body name)
         Rp.dec_bool_body)
     ~dom_set_autostart:(fun name v ->
-      call_unit conn Rp.Proc_dom_set_autostart (Rp.enc_name_and_bool name v))
-    ~dom_get_autostart:(fun name ->
-      call_dec conn Rp.Proc_dom_get_autostart (Rp.enc_string_body name)
-        Rp.dec_bool_body)
+      let r = call_unit conn Rp.Proc_dom_set_autostart (Rp.enc_name_and_bool name v) in
+      if Result.is_ok r then invalidate_domain conn name;
+      r)
+    ~dom_get_autostart:(dom_get_autostart conn)
+    ~dom_list_all:(dom_list_all conn)
     ~net:(remote_net_ops conn) ~storage:(remote_storage_ops conn)
     ~events:conn.events ()
   |> fun ops -> { ops with Driver.drv_name = "remote(" ^ uri.Vuri.scheme ^ ")" }

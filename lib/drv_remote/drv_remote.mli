@@ -15,6 +15,31 @@
     Lifecycle events stream back as RPC event packets and feed the
     connection's local event bus transparently.
 
+    {1 Protocol negotiation}
+
+    After the open handshake the driver probes the daemon's protocol
+    minor ({!Protocol.Remote_protocol.minor}); daemons predating the
+    probe answer "unknown procedure" and are pinned at minor 2.  Bulk
+    listing ([Proc_dom_list_all]), batched calls ([Proc_call_batch]) and
+    path-indexed volume lookup ([Proc_vol_lookup]) are only put on the
+    wire when the daemon speaks minor 3; against older daemons the
+    driver degrades transparently to per-operation calls — pipelined
+    back-to-back on the connection, so even the fallback avoids the
+    N+1 ping-pong — with identical results.
+
+    {1 Client-side caching}
+
+    Domain metadata (refs, info, autostart, XML) answered by the daemon is
+    cached per connection and invalidated by pushed lifecycle events,
+    with a fill protocol that drops any reply raced by an event (see
+    {!Remote_cache}).  Reconnects clear the cache wholesale.  URI
+    parameters (stripped before forwarding):
+    - [cache=0] disables the cache;
+    - [events=0] skips event registration, switching the cache to pure
+      TTL freshness;
+    - [cache_ttl=<seconds>] bounds entry lifetime (default: unbounded
+      with events, 1s without).
+
     {1 Resilience}
 
     URI parameters (all stripped before the URI is forwarded):
@@ -26,16 +51,20 @@
       the transport (exponential backoff with deterministic jitter,
       tunable via [reconnect_delay], [reconnect_max_delay] and
       [reconnect_seed]), replays the open handshake, re-registers the
-      event callback, and transparently retries the interrupted call iff
-      it is idempotent ({!Protocol.Remote_protocol.is_idempotent});
-      mutating calls surface [Rpc_failure] for the caller to decide.
-      After the budget is exhausted the connection is defunct and every
-      call fails fast. *)
+      event callback, re-probes the protocol minor, drops the cache, and
+      transparently retries the interrupted call iff it is idempotent
+      ({!Protocol.Remote_protocol.is_idempotent}); mutating calls
+      surface [Rpc_failure] for the caller to decide.  After the budget
+      is exhausted the connection is defunct and every call fails
+      fast. *)
+
+module Cache = Remote_cache
+(** The cache machinery, exposed for unit tests. *)
 
 val register : unit -> unit
 (** Register last: its probe accepts any transport-suffixed URI. *)
 
-(** {1 Resilience statistics}
+(** {1 Connection statistics}
 
     Counters are kept per connection so concurrent connections do not
     smear each other's numbers; {!stats} aggregates across every
@@ -44,6 +73,9 @@ val register : unit -> unit
     own counters. *)
 
 type stats = {
+  st_calls : int;
+      (** request round trips put on the wire (pipelined sub-requests
+          count one each; a batch frame counts one) *)
   st_reconnect_attempts : int;  (** establishment attempts during outages *)
   st_reconnects : int;  (** outages successfully recovered *)
   st_retried_calls : int;  (** idempotent calls transparently re-issued *)

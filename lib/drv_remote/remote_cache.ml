@@ -1,0 +1,124 @@
+(* Event-invalidated client-side cache.
+
+   The correctness problem this module solves is the window between
+   sending a read RPC and installing its reply: a lifecycle event that
+   arrives inside that window describes a state change the in-flight
+   reply may or may not reflect, so installing the reply afterwards
+   could resurrect stale data forever (no further event will come).
+
+   The fix is the classic fill protocol: a reader captures a token
+   ({!begin_fill}) before issuing the RPC and installs the reply only if
+   nothing relevant was invalidated since ({!install}).  Concretely the
+   cache keeps a monotonically increasing invalidation sequence; every
+   {!invalidate} stamps the name with the current sequence, and a fill
+   token older than a name's stamp is refused for that name.  A bulk
+   reply (one token, many installs) therefore degrades per name: only
+   the rows raced by an event are dropped.
+
+   Reconnects change epoch: the daemon may have restarted with different
+   state and the event stream has a gap, so every entry and every
+   outstanding fill from the previous connection is worthless.  {!clear}
+   bumps the epoch, which also voids older tokens.
+
+   Entries are optionally TTL-bounded for connections without an event
+   stream (events=0): freshness then decays by wall clock instead of
+   being maintained by pushes.  Time is always passed in by the caller,
+   which keeps the module deterministic under test. *)
+
+type 'a entry = { e_value : 'a; e_stamp : float; e_uuid : string option }
+
+type 'a t = {
+  mutex : Mutex.t;
+  ttl : float option;  (* None: event-maintained, entries never expire *)
+  entries : (string, 'a entry) Hashtbl.t;  (* keyed by domain name *)
+  by_uuid : (string, string) Hashtbl.t;  (* uuid -> name *)
+  inval : (string, int) Hashtbl.t;  (* name -> seq of last invalidation *)
+  mutable seq : int;
+  mutable epoch : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type fill = { f_epoch : int; f_seq : int }
+
+let create ?ttl () =
+  {
+    mutex = Mutex.create ();
+    ttl;
+    entries = Hashtbl.create 64;
+    by_uuid = Hashtbl.create 64;
+    inval = Hashtbl.create 64;
+    seq = 0;
+    epoch = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let begin_fill c = locked c (fun () -> { f_epoch = c.epoch; f_seq = c.seq })
+
+let install c fill name ?uuid value ~now =
+  locked c (fun () ->
+      let invalidated_since =
+        match Hashtbl.find_opt c.inval name with
+        | Some s -> s > fill.f_seq
+        | None -> false
+      in
+      if fill.f_epoch <> c.epoch || invalidated_since then false
+      else begin
+        (match Hashtbl.find_opt c.entries name with
+        | Some { e_uuid = Some u; _ } -> Hashtbl.remove c.by_uuid u
+        | _ -> ());
+        Hashtbl.replace c.entries name { e_value = value; e_stamp = now; e_uuid = uuid };
+        (match uuid with Some u -> Hashtbl.replace c.by_uuid u name | None -> ());
+        true
+      end)
+
+let fresh c entry ~now =
+  match c.ttl with None -> true | Some ttl -> now -. entry.e_stamp <= ttl
+
+(* Assumes [c.mutex] held. *)
+let find_locked c name ~now =
+  match Hashtbl.find_opt c.entries name with
+  | Some e when fresh c e ~now ->
+    c.hits <- c.hits + 1;
+    Some e.e_value
+  | Some _ | None ->
+    c.misses <- c.misses + 1;
+    None
+
+let find c name ~now = locked c (fun () -> find_locked c name ~now)
+
+let find_by_uuid c uuid ~now =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.by_uuid uuid with
+      | Some name -> find_locked c name ~now
+      | None ->
+        c.misses <- c.misses + 1;
+        None)
+
+let invalidate c name =
+  locked c (fun () ->
+      c.seq <- c.seq + 1;
+      Hashtbl.replace c.inval name c.seq;
+      match Hashtbl.find_opt c.entries name with
+      | Some { e_uuid = Some u; _ } ->
+        Hashtbl.remove c.by_uuid u;
+        Hashtbl.remove c.entries name
+      | Some _ -> Hashtbl.remove c.entries name
+      | None -> ())
+
+let clear c =
+  locked c (fun () ->
+      c.epoch <- c.epoch + 1;
+      Hashtbl.reset c.entries;
+      Hashtbl.reset c.by_uuid;
+      Hashtbl.reset c.inval)
+
+let epoch c = locked c (fun () -> c.epoch)
+let size c = locked c (fun () -> Hashtbl.length c.entries)
+let hits c = locked c (fun () -> c.hits)
+let misses c = locked c (fun () -> c.misses)

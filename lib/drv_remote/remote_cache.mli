@@ -1,0 +1,49 @@
+(** Event-invalidated, generation-counted client-side cache.
+
+    Values are keyed by domain name (what lifecycle events carry) with a
+    secondary UUID index.  Correctness under concurrency comes from the
+    fill protocol: capture a {!fill} token {e before} issuing the remote
+    read, {!install} the reply only if the name was not invalidated (and
+    the cache not cleared) in between — an event that races an in-flight
+    reply thus wins, and the stale reply is dropped instead of cached.
+
+    All timestamps are supplied by the caller ([~now]), so TTL behaviour
+    is deterministic under test.  Thread-safe. *)
+
+type 'a t
+
+val create : ?ttl:float -> unit -> 'a t
+(** [ttl] bounds entry freshness in seconds for connections without an
+    event stream; omitted, entries stay fresh until invalidated. *)
+
+type fill
+(** Token capturing cache time (epoch + invalidation sequence) at the
+    moment a remote read was issued. *)
+
+val begin_fill : 'a t -> fill
+
+val install :
+  'a t -> fill -> string -> ?uuid:string -> 'a -> now:float -> bool
+(** [install c fill name ?uuid v ~now] caches [v] for [name] unless
+    [name] was invalidated or the cache cleared after [fill] was taken;
+    returns whether the value was installed.  A bulk reply shares one
+    token across many installs and degrades per name. *)
+
+val find : 'a t -> string -> now:float -> 'a option
+val find_by_uuid : 'a t -> string -> now:float -> 'a option
+
+val invalidate : 'a t -> string -> unit
+(** Drop [name]'s entry and refuse any fill begun before this point. *)
+
+val clear : 'a t -> unit
+(** Epoch bump: drop everything and void all outstanding fills — the
+    reconnect path (event stream has a gap; nothing can be trusted). *)
+
+val epoch : 'a t -> int
+val size : 'a t -> int
+
+val hits : 'a t -> int
+(** Lookups served from cache (process lifetime). *)
+
+val misses : 'a t -> int
+(** Lookups that fell through to the wire. *)

@@ -3,6 +3,12 @@ open Ovirt_core
 let program = 0x20008086
 let version = 1
 
+(* Highest protocol minor this build speaks.  The wire [version] above
+   never changes (append-only numbering keeps every frame compatible);
+   the minor only gates which procedures a daemon is willing to serve
+   and is negotiated per connection via [Proc_proto_minor]. *)
+let minor = 3
+
 type procedure =
   | Proc_open
   | Proc_close
@@ -48,6 +54,10 @@ type procedure =
   | Proc_dom_has_managed_save
   | Proc_dom_set_autostart
   | Proc_dom_get_autostart
+  | Proc_proto_minor
+  | Proc_dom_list_all
+  | Proc_call_batch
+  | Proc_vol_lookup
 
 (* Append-only: the list position IS the wire number (1-based). *)
 let all_procedures =
@@ -66,25 +76,43 @@ let all_procedures =
     Proc_dom_save; Proc_dom_restore; Proc_dom_has_managed_save;
     (* v1.2 additions *)
     Proc_dom_set_autostart; Proc_dom_get_autostart;
+    (* v1.3 additions: negotiation + bulk/batch *)
+    Proc_proto_minor; Proc_dom_list_all; Proc_call_batch; Proc_vol_lookup;
   ]
 
-let proc_to_int proc =
-  let rec index i = function
-    | [] -> assert false
-    | p :: rest -> if p = proc then i else index (i + 1) rest
-  in
-  index 1 all_procedures
+(* Number↔procedure mapping is on the per-packet hot path: precomputed
+   tables instead of a list walk per call. *)
+let proc_table = Array.of_list all_procedures
+let proc_count = Array.length proc_table
+
+let proc_index =
+  let h = Hashtbl.create (2 * proc_count) in
+  Array.iteri (fun i p -> Hashtbl.replace h p (i + 1)) proc_table;
+  h
+
+let proc_to_int proc = Hashtbl.find proc_index proc
 
 let proc_of_int n =
-  if n >= 1 && n <= List.length all_procedures then Ok (List.nth all_procedures (n - 1))
+  if n >= 1 && n <= proc_count then Ok proc_table.(n - 1)
   else Error (Printf.sprintf "unknown remote procedure %d" n)
+
+(* Protocol minor each procedure first appeared in.  A daemon serving
+   minor [m] answers procedures with [proc_min_minor p <= m] and rejects
+   the rest exactly as a build that predates them would ("unknown remote
+   procedure N"), so clients cannot tell a gated daemon from an old one. *)
+let proc_min_minor = function
+  | Proc_dom_save | Proc_dom_restore | Proc_dom_has_managed_save -> 1
+  | Proc_dom_set_autostart | Proc_dom_get_autostart -> 2
+  | Proc_proto_minor | Proc_dom_list_all | Proc_call_batch | Proc_vol_lookup -> 3
+  | _ -> 0
 
 let is_high_priority = function
   | Proc_open | Proc_close | Proc_get_capabilities | Proc_get_hostname
   | Proc_list_domains | Proc_list_defined | Proc_lookup_by_name
   | Proc_lookup_by_uuid | Proc_dom_get_info | Proc_dom_get_xml | Proc_echo
   | Proc_ping | Proc_event_register | Proc_event_deregister
-  | Proc_dom_has_managed_save | Proc_dom_get_autostart ->
+  | Proc_dom_has_managed_save | Proc_dom_get_autostart | Proc_proto_minor
+  | Proc_dom_list_all ->
     true
   | Proc_define_xml | Proc_undefine | Proc_dom_create | Proc_dom_suspend
   | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy | Proc_dom_set_memory
@@ -93,7 +121,9 @@ let is_high_priority = function
   | Proc_pool_define | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine
   | Proc_pool_lookup | Proc_vol_create | Proc_vol_delete | Proc_vol_list
   | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
-  | Proc_dom_set_autostart ->
+  | Proc_dom_set_autostart
+  (* batch sub-calls may be arbitrary, vol_lookup walks pools *)
+  | Proc_call_batch | Proc_vol_lookup ->
     false
 
 (* Idempotent = safe to re-issue after a connection death when the client
@@ -106,7 +136,8 @@ let is_idempotent = function
   | Proc_list_defined | Proc_lookup_by_name | Proc_lookup_by_uuid
   | Proc_dom_get_info | Proc_dom_get_xml | Proc_dom_has_managed_save
   | Proc_dom_get_autostart | Proc_net_list | Proc_net_lookup | Proc_pool_list
-  | Proc_pool_lookup | Proc_vol_list | Proc_echo | Proc_ping ->
+  | Proc_pool_lookup | Proc_vol_list | Proc_echo | Proc_ping | Proc_proto_minor
+  | Proc_dom_list_all | Proc_vol_lookup ->
     true
   | Proc_open | Proc_close | Proc_define_xml | Proc_undefine | Proc_dom_create
   | Proc_dom_suspend | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy
@@ -115,7 +146,10 @@ let is_idempotent = function
   | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine | Proc_vol_create
   | Proc_vol_delete | Proc_event_register | Proc_event_deregister
   | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
-  | Proc_dom_set_autostart ->
+  | Proc_dom_set_autostart
+  (* a batch is as idempotent as its least idempotent sub-call; the
+     client computes that per batch and overrides retry eligibility *)
+  | Proc_call_batch ->
     false
 
 (* ------------------------------------------------------------------ *)
@@ -177,41 +211,96 @@ let enc_domain_ref_list l =
 let dec_domain_ref_list body =
   Xdr.decode (fun d -> Xdr.dec_array d dec_domain_ref_from) body
 
-let enc_domain_info (i : Driver.domain_info) =
-  Xdr.encode
-    (fun e () ->
-      Xdr.enc_int e
-        (match i.Driver.di_state with
-         | Vmm.Vm_state.Running -> 0
-         | Vmm.Vm_state.Blocked -> 1
-         | Vmm.Vm_state.Paused -> 2
-         | Vmm.Vm_state.Shutdown -> 3
-         | Vmm.Vm_state.Shutoff -> 4
-         | Vmm.Vm_state.Crashed -> 5);
-      Xdr.enc_uint e i.Driver.di_max_mem_kib;
-      Xdr.enc_uint e i.Driver.di_memory_kib;
-      Xdr.enc_uint e i.Driver.di_vcpus;
-      Xdr.enc_hyper e i.Driver.di_cpu_time_ns)
-    ()
+let enc_domain_info_into e (i : Driver.domain_info) =
+  Xdr.enc_int e
+    (match i.Driver.di_state with
+     | Vmm.Vm_state.Running -> 0
+     | Vmm.Vm_state.Blocked -> 1
+     | Vmm.Vm_state.Paused -> 2
+     | Vmm.Vm_state.Shutdown -> 3
+     | Vmm.Vm_state.Shutoff -> 4
+     | Vmm.Vm_state.Crashed -> 5);
+  Xdr.enc_uint e i.Driver.di_max_mem_kib;
+  Xdr.enc_uint e i.Driver.di_memory_kib;
+  Xdr.enc_uint e i.Driver.di_vcpus;
+  Xdr.enc_hyper e i.Driver.di_cpu_time_ns
 
-let dec_domain_info body =
+let dec_domain_info_from d =
+  let di_state =
+    match Xdr.dec_int d with
+    | 0 -> Vmm.Vm_state.Running
+    | 1 -> Vmm.Vm_state.Blocked
+    | 2 -> Vmm.Vm_state.Paused
+    | 3 -> Vmm.Vm_state.Shutdown
+    | 4 -> Vmm.Vm_state.Shutoff
+    | 5 -> Vmm.Vm_state.Crashed
+    | n -> raise (Xdr.Error (Printf.sprintf "unknown domain state %d" n))
+  in
+  let di_max_mem_kib = Xdr.dec_uint d in
+  let di_memory_kib = Xdr.dec_uint d in
+  let di_vcpus = Xdr.dec_uint d in
+  let di_cpu_time_ns = Xdr.dec_hyper d in
+  Driver.{ di_state; di_max_mem_kib; di_memory_kib; di_vcpus; di_cpu_time_ns }
+
+let enc_domain_info i = Xdr.encode enc_domain_info_into i
+let dec_domain_info body = Xdr.decode dec_domain_info_from body
+
+let enc_domain_record_into e (r : Driver.domain_record) =
+  enc_domain_ref_into e r.Driver.rec_ref;
+  enc_domain_info_into e r.Driver.rec_info;
+  Xdr.enc_option e Xdr.enc_bool r.Driver.rec_autostart
+
+let dec_domain_record_from d =
+  let rec_ref = dec_domain_ref_from d in
+  let rec_info = dec_domain_info_from d in
+  let rec_autostart = Xdr.dec_option d Xdr.dec_bool in
+  Driver.{ rec_ref; rec_info; rec_autostart }
+
+let enc_domain_record_list l =
+  Xdr.encode (fun e -> Xdr.enc_array e enc_domain_record_into) l
+
+let dec_domain_record_list body =
+  Xdr.decode (fun d -> Xdr.dec_array d dec_domain_record_from) body
+
+let enc_int_body n = Xdr.encode Xdr.enc_int n
+let dec_int_body body = Xdr.decode Xdr.dec_int body
+
+(* Batch container: N (procedure, body) sub-calls in one frame, N
+   (ok, body) sub-replies in the other — an error sub-reply's body is an
+   {!enc_error}.  Sub-call bodies travel as XDR strings (length-prefixed
+   opaques), so the container never inspects them. *)
+let enc_batch_call subs =
+  Xdr.encode
+    (fun e ->
+      Xdr.enc_array e (fun e (proc, body) ->
+          Xdr.enc_uint e proc;
+          Xdr.enc_string e body))
+    subs
+
+let dec_batch_call body =
   Xdr.decode
     (fun d ->
-      let di_state =
-        match Xdr.dec_int d with
-        | 0 -> Vmm.Vm_state.Running
-        | 1 -> Vmm.Vm_state.Blocked
-        | 2 -> Vmm.Vm_state.Paused
-        | 3 -> Vmm.Vm_state.Shutdown
-        | 4 -> Vmm.Vm_state.Shutoff
-        | 5 -> Vmm.Vm_state.Crashed
-        | n -> raise (Xdr.Error (Printf.sprintf "unknown domain state %d" n))
-      in
-      let di_max_mem_kib = Xdr.dec_uint d in
-      let di_memory_kib = Xdr.dec_uint d in
-      let di_vcpus = Xdr.dec_uint d in
-      let di_cpu_time_ns = Xdr.dec_hyper d in
-      Driver.{ di_state; di_max_mem_kib; di_memory_kib; di_vcpus; di_cpu_time_ns })
+      Xdr.dec_array d (fun d ->
+          let proc = Xdr.dec_uint d in
+          let body = Xdr.dec_string d in
+          (proc, body)))
+    body
+
+let enc_batch_reply subs =
+  Xdr.encode
+    (fun e ->
+      Xdr.enc_array e (fun e (ok, body) ->
+          Xdr.enc_bool e ok;
+          Xdr.enc_string e body))
+    subs
+
+let dec_batch_reply body =
+  Xdr.decode
+    (fun d ->
+      Xdr.dec_array d (fun d ->
+          let ok = Xdr.dec_bool d in
+          let body = Xdr.dec_string d in
+          (ok, body)))
     body
 
 let enc_name_and_kib name kib =

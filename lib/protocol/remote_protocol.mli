@@ -8,6 +8,13 @@
 val program : int
 val version : int
 
+val minor : int
+(** Highest protocol minor this build speaks.  The wire [version] never
+    changes; the minor gates which procedures a daemon serves and is
+    negotiated per connection with [Proc_proto_minor] (an old daemon
+    answers it with "unknown remote procedure", which a client reads as
+    minor 2). *)
+
 type procedure =
   | Proc_open  (** args: URI string; ret: none *)
   | Proc_close
@@ -53,12 +60,20 @@ type procedure =
   | Proc_dom_has_managed_save
   | Proc_dom_set_autostart  (** appended in protocol v1.2: autostart *)
   | Proc_dom_get_autostart
+  | Proc_proto_minor  (** appended in v1.3: ret: server's minor (int) *)
+  | Proc_dom_list_all  (** ret: domain_record array, one-lock snapshot *)
+  | Proc_call_batch  (** args: (proc, body) array; ret: (ok, body) array *)
+  | Proc_vol_lookup  (** args: volume path; ret: vol_info *)
 
 val enc_bool_body : bool -> string
 val dec_bool_body : string -> bool
 
 val proc_to_int : procedure -> int
 val proc_of_int : int -> (procedure, string) result
+
+val proc_min_minor : procedure -> int
+(** Protocol minor the procedure first appeared in; a daemon serving
+    minor [m] rejects procedures above [m] as unknown. *)
 
 val is_high_priority : procedure -> bool
 (** High-priority procedures are guaranteed to finish without talking to a
@@ -91,6 +106,20 @@ val dec_domain_ref_list : string -> Ovirt_core.Driver.domain_ref list
 
 val enc_domain_info : Ovirt_core.Driver.domain_info -> string
 val dec_domain_info : string -> Ovirt_core.Driver.domain_info
+
+val enc_domain_record_list : Ovirt_core.Driver.domain_record list -> string
+val dec_domain_record_list : string -> Ovirt_core.Driver.domain_record list
+
+val enc_int_body : int -> string
+val dec_int_body : string -> int
+
+val enc_batch_call : (int * string) list -> string
+val dec_batch_call : string -> (int * string) list
+(** Sub-calls as (wire procedure number, encoded args body). *)
+
+val enc_batch_reply : (bool * string) list -> string
+val dec_batch_reply : string -> (bool * string) list
+(** Sub-replies as (ok, body); a [false] body is an {!enc_error}. *)
 
 val enc_name_and_kib : string -> int -> string
 val dec_name_and_kib : string -> string * int

@@ -31,20 +31,31 @@ let status_of_int = function
   | 1 -> Status_error
   | n -> fail "unknown status %d" n
 
+(* Framing runs once per RPC in both directions, so encode writes the
+   length prefix and header straight into one exact-size buffer: no
+   intermediate encoders, no string concatenation.  All six header
+   fields are 4-byte XDR words. *)
+let header_bytes = 24
+
+let put_u32 buf off v =
+  Bytes.set_uint8 buf off ((v lsr 24) land 0xff);
+  Bytes.set_uint8 buf (off + 1) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 buf (off + 2) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 buf (off + 3) (v land 0xff)
+
 let encode header body =
-  let e = Xdr.encoder () in
-  Xdr.enc_uint e header.program;
-  Xdr.enc_uint e header.version;
-  Xdr.enc_int e header.procedure;
-  Xdr.enc_int e (msg_type_to_int header.msg_type);
-  Xdr.enc_uint e header.serial;
-  Xdr.enc_int e (status_to_int header.status);
-  let header_wire = Xdr.to_string e in
-  let total = String.length header_wire + String.length body in
+  let total = header_bytes + String.length body in
   if total > max_packet_size then fail "packet of %d bytes exceeds maximum" total;
-  let len = Xdr.encoder () in
-  Xdr.enc_uint len total;
-  Xdr.to_string len ^ header_wire ^ body
+  let buf = Bytes.create (4 + total) in
+  put_u32 buf 0 total;
+  put_u32 buf 4 header.program;
+  put_u32 buf 8 header.version;
+  put_u32 buf 12 header.procedure;
+  put_u32 buf 16 (msg_type_to_int header.msg_type);
+  put_u32 buf 20 header.serial;
+  put_u32 buf 24 (status_to_int header.status);
+  Bytes.blit_string body 0 buf 28 (String.length body);
+  Bytes.unsafe_to_string buf
 
 let decode wire =
   if String.length wire < 4 then fail "packet shorter than its length prefix";

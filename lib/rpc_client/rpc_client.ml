@@ -86,10 +86,15 @@ type t = {
   deadlines : Heap.t; (* guarded by [mutex] *)
   keepalive : keepalive option;
   mutable next_serial : int;
+  mutable free_slots : slot list; (* guarded by [mutex] *)
   mutable closed : bool;
   mutable last_rx : float; (* any packet counts as liveness *)
   mutable last_ping : float;
 }
+
+(* A future: one in-flight call.  [await] blocks on the slot, caches the
+   outcome (so awaiting twice is harmless) and recycles the slot. *)
+type future = { fut_client : t; fut_slot : slot; mutable fut_result : (string, Verror.t) result option }
 
 let with_lock m f =
   Mutex.lock m;
@@ -99,6 +104,27 @@ let deliver slot outcome =
   with_lock slot.slot_mutex (fun () ->
       slot.outcome <- Some outcome;
       Condition.broadcast slot.slot_cond)
+
+(* Slot pool: a slot is a Mutex+Condition pair, allocated per call before
+   this existed.  Pipelined fan-out makes that allocation hot, so consumed
+   slots are recycled instead.  A slot is only ever released by the single
+   consumer that removed it from circulation (await / failed send), never
+   while it can still be delivered to. *)
+let max_pooled_slots = 64
+
+let alloc_slot_locked client =
+  match client.free_slots with
+  | slot :: rest ->
+    client.free_slots <- rest;
+    slot
+  | [] ->
+    { slot_mutex = Mutex.create (); slot_cond = Condition.create (); outcome = None }
+
+let release_slot client slot =
+  slot.outcome <- None;
+  with_lock client.mutex (fun () ->
+      if List.length client.free_slots < max_pooled_slots then
+        client.free_slots <- slot :: client.free_slots)
 
 (* Idempotent: the first closer (local close, receiver failure, keepalive
    death) delivers the error to every pending call and marks the client
@@ -261,6 +287,7 @@ let connect ~address ~kind ~program ~version ?identity ?faults ?keepalive
         deadlines = Heap.create ();
         keepalive;
         next_serial = 1;
+        free_slots = [];
         closed = false;
         last_rx = now;
         last_ping = now;
@@ -270,7 +297,10 @@ let connect ~address ~kind ~program ~version ?identity ?faults ?keepalive
     ignore (Thread.create (fun () -> timer_loop client) ());
     Ok client
 
-let call client ~procedure ?(body = "") ?timeout_s () =
+(* Issue a call without waiting: the returned future lets one thread keep
+   as many calls in flight on the connection as it likes (pipelining) —
+   the receiver thread demultiplexes replies by serial as before. *)
+let call_async client ~procedure ?(body = "") ?timeout_s () =
   let slot_or_err =
     with_lock client.mutex (fun () ->
         if client.closed then
@@ -278,9 +308,7 @@ let call client ~procedure ?(body = "") ?timeout_s () =
         else begin
           let serial = client.next_serial in
           client.next_serial <- serial + 1;
-          let slot =
-            { slot_mutex = Mutex.create (); slot_cond = Condition.create (); outcome = None }
-          in
+          let slot = alloc_slot_locked client in
           Hashtbl.replace client.pending serial slot;
           (match timeout_s with
            | None -> ()
@@ -304,22 +332,48 @@ let call client ~procedure ?(body = "") ?timeout_s () =
     in
     (match Transport.send client.conn (Rpc_packet.encode header body) with
      | exception Transport.Closed ->
-       with_lock client.mutex (fun () -> Hashtbl.remove client.pending serial);
+       (* Nothing was sent: if the slot is still pending nobody else can
+          deliver to it, so reclaim it directly.  When a concurrent
+          [fail_all_pending] already took it, that closer delivers and an
+          eventual await would consume — but we never built a future, so
+          leave the slot to the GC in that (already-fatal) case. *)
+       let reclaimed =
+         with_lock client.mutex (fun () ->
+             let present = Hashtbl.mem client.pending serial in
+             Hashtbl.remove client.pending serial;
+             present)
+       in
+       if reclaimed then release_slot client slot;
        Verror.error Verror.Rpc_failure "connection is closed"
-     | () ->
-       (* The fast path is a plain wait: the receiver always delivers — a
-          reply, or a failure when the connection dies — and the shared
-          timer thread delivers the timeout error for calls registered in
-          the deadline heap. *)
-       with_lock slot.slot_mutex (fun () ->
-           let rec wait () =
-             match slot.outcome with
-             | Some outcome -> outcome
-             | None ->
-               Condition.wait slot.slot_cond slot.slot_mutex;
-               wait ()
-           in
-           wait ()))
+     | () -> Ok { fut_client = client; fut_slot = slot; fut_result = None })
+
+let await fut =
+  match fut.fut_result with
+  | Some outcome -> outcome
+  | None ->
+    let slot = fut.fut_slot in
+    (* The receiver always delivers — a reply, or a failure when the
+       connection dies — and the shared timer thread delivers the timeout
+       error for calls registered in the deadline heap. *)
+    let outcome =
+      with_lock slot.slot_mutex (fun () ->
+          let rec wait () =
+            match slot.outcome with
+            | Some outcome -> outcome
+            | None ->
+              Condition.wait slot.slot_cond slot.slot_mutex;
+              wait ()
+          in
+          wait ())
+    in
+    fut.fut_result <- Some outcome;
+    release_slot fut.fut_client slot;
+    outcome
+
+let call client ~procedure ?body ?timeout_s () =
+  match call_async client ~procedure ?body ?timeout_s () with
+  | Error e -> Error e
+  | Ok fut -> await fut
 
 let close client =
   Transport.close client.conn;

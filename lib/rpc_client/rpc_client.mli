@@ -45,6 +45,23 @@ val call :
     [Status_error] replies come back as their decoded error; a dead
     connection, keepalive death or timeout is [Rpc_failure]. *)
 
+type future
+(** One in-flight call issued with {!call_async}. *)
+
+val call_async :
+  t -> procedure:int -> ?body:string -> ?timeout_s:float -> unit ->
+  (future, Ovirt_core.Verror.t) result
+(** Send one call without waiting: a single thread can pipeline many
+    calls on the connection and collect the replies with {!await}.
+    Only the send itself can fail here; everything the blocking {!call}
+    reports arrives through {!await}.  Slots behind futures come from a
+    per-client pool, so pipelined fan-out allocates no Mutex+Condition
+    pairs in steady state. *)
+
+val await : future -> (string, Ovirt_core.Verror.t) result
+(** Block until the call completes.  Idempotent: the outcome is cached
+    on the future.  {!call} ≡ {!call_async} + {!await}. *)
+
 val close : t -> unit
 (** Idempotent; fails all in-flight calls (exactly once, whoever closes
     first — local close, receiver failure or keepalive — wins). *)

@@ -15,9 +15,15 @@ let fnv1a_string h s =
   String.iter (fun c -> acc := fnv1a_update !acc (Char.code c)) s;
   !acc
 
+(* Like TLS proper, each direction keeps its own record counter: the
+   sender numbers what it seals ([seq_tx]), the receiver checks what it
+   opens ([seq_rx]).  A single shared counter only works when traffic is
+   strict request-reply ping-pong; pipelined calls and server-pushed
+   events interleave the directions arbitrarily. *)
 type session = {
   mutable key : int64;
-  mutable seq : int64; (* next record sequence number *)
+  mutable seq_tx : int64; (* next record sequence number to seal *)
+  mutable seq_rx : int64; (* next record sequence number expected *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -65,11 +71,11 @@ let server_accept client_wire =
   let client_nonce = parse_hello "client hello" client_wire in
   let server_nonce = fresh_nonce () in
   let key = derive_key client_nonce server_nonce in
-  ({ key; seq = 0L }, magic ^ int64_to_wire server_nonce)
+  ({ key; seq_tx = 0L; seq_rx = 0L }, magic ^ int64_to_wire server_nonce)
 
 let client_finish hello server_wire =
   let server_nonce = parse_hello "server reply" server_wire in
-  { key = derive_key hello.client_nonce server_nonce; seq = 0L }
+  { key = derive_key hello.client_nonce server_nonce; seq_tx = 0L; seq_rx = 0L }
 
 let handshake_pair () =
   let hello, hello_wire = client_hello () in
@@ -111,8 +117,8 @@ let mac ~key ~seq data =
   int64_to_wire (fnv1a_string h data)
 
 let seal session payload =
-  let seq = session.seq in
-  session.seq <- Int64.add seq 1L;
+  let seq = session.seq_tx in
+  session.seq_tx <- Int64.add seq 1L;
   let cipher = transform ~key:session.key ~seq payload in
   let tag = mac ~key:session.key ~seq cipher in
   int64_to_wire seq ^ tag ^ cipher
@@ -120,12 +126,12 @@ let seal session payload =
 let open_ session record =
   if String.length record < 16 then fail "record too short (%d bytes)" (String.length record);
   let seq = int64_of_wire record 0 in
-  if seq <> session.seq then
-    fail "out-of-order record: expected seq %Ld, got %Ld" session.seq seq;
+  if seq <> session.seq_rx then
+    fail "out-of-order record: expected seq %Ld, got %Ld" session.seq_rx seq;
   let tag = String.sub record 8 8 in
   let cipher = String.sub record 16 (String.length record - 16) in
   if mac ~key:session.key ~seq cipher <> tag then fail "MAC mismatch on seq %Ld" seq;
-  session.seq <- Int64.add seq 1L;
+  session.seq_rx <- Int64.add seq 1L;
   transform ~key:session.key ~seq cipher
 
 let rekey a b =
@@ -134,5 +140,7 @@ let rekey a b =
     fail "rekey: sessions do not share key material";
   a.key <- next;
   b.key <- next;
-  a.seq <- 0L;
-  b.seq <- 0L
+  a.seq_tx <- 0L;
+  a.seq_rx <- 0L;
+  b.seq_tx <- 0L;
+  b.seq_rx <- 0L

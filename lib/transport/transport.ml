@@ -25,6 +25,11 @@ type t = {
   ep : Chan.endpoint;
   tls : Tlslike.session option;
   peer : peer;
+  tx_mutex : Mutex.t;
+      (* TLS sealing is stateful (strict per-record sequence numbers), so
+         seal order must equal wire order: wrap+send is one critical
+         section.  Concurrent senders — pipelined replies from dispatcher
+         workers, client keepalives — would otherwise interleave. *)
   mutable tx : int;
   mutable rx : int;
 }
@@ -80,8 +85,13 @@ let kind conn = conn.kind
 let peer conn = conn.peer
 
 let send conn msg =
-  conn.tx <- conn.tx + String.length msg;
-  try Chan.send conn.ep.Chan.outgoing (wrap conn msg) with Chan.Closed -> raise Closed
+  Mutex.lock conn.tx_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.tx_mutex)
+    (fun () ->
+      conn.tx <- conn.tx + String.length msg;
+      try Chan.send conn.ep.Chan.outgoing (wrap conn msg)
+      with Chan.Closed -> raise Closed)
 
 let recv conn =
   let wire = try Chan.recv conn.ep.Chan.incoming with Chan.Closed -> raise Closed in
@@ -151,7 +161,7 @@ let initiate kind ~peer_sends ep =
   (* The client's view of its peer is the server; servers have no
      interesting identity, so record a synthetic one. *)
   let conn =
-    { kind; ep; tls; peer = Remote { sock_addr = "server"; x509_dname = None }; tx = 0; rx = 0 }
+    { kind; ep; tls; peer = Remote { sock_addr = "server"; x509_dname = None }; tx_mutex = Mutex.create (); tx = 0; rx = 0 }
   in
   send conn (peer_to_wire peer_sends);
   conn
@@ -167,7 +177,7 @@ let accept kind ep =
       Some session
   in
   let conn =
-    { kind; ep; tls; peer = Remote { sock_addr = "pending"; x509_dname = None }; tx = 0; rx = 0 }
+    { kind; ep; tls; peer = Remote { sock_addr = "pending"; x509_dname = None }; tx_mutex = Mutex.create (); tx = 0; rx = 0 }
   in
   let identity = recv conn in
   { conn with peer = peer_of_wire ~kind identity }

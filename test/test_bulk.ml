@@ -1,0 +1,583 @@
+(* Bulk/batched RPC and event-invalidated client caching: v1.3 protocol
+   numbering, batch framing, the cache fill protocol (including the
+   event-races-reply window), remote/direct parity of the bulk listing,
+   degradation against daemons pinned at protocol minor 2, and the
+   path-indexed volume lookup. *)
+
+open Testutil
+module Verror = Ovirt.Verror
+module Connect = Ovirt.Connect
+module Domain = Ovirt.Domain
+module Driver = Ovirt.Driver
+module Daemon = Ovirt.Daemon
+module Daemon_config = Ovirt.Daemon_config
+module Vm_state = Vmm.Vm_state
+module Transport = Ovnet.Transport
+module Rp = Protocol.Remote_protocol
+module Cache = Drv_remote.Cache
+
+let () = Ovirt.initialize ()
+
+let quiet_config =
+  {
+    Daemon_config.default with
+    Daemon_config.log_outputs = [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Null } ];
+  }
+
+let with_daemon ?(config = quiet_config) f =
+  let name = fresh_name "bulkd" in
+  let daemon = Daemon.start ~name ~config () in
+  Fun.protect ~finally:(fun () -> Daemon.stop daemon) (fun () -> f name daemon)
+
+(* A daemon answering at protocol minor 2: behaves exactly like a build
+   that predates the bulk/batch procedures. *)
+let v12_config = { quiet_config with Daemon_config.proto_minor = 2 }
+
+let remote_uri ?(transport = "unix") ?(params = "") ~daemon node =
+  Printf.sprintf "test+%s://%s/?daemon=%s%s" transport node daemon params
+
+(* --- protocol surface ----------------------------------------------------- *)
+
+let test_v13_numbers_stable () =
+  Alcotest.(check int) "build minor" 3 Rp.minor;
+  Alcotest.(check int) "proto_minor is 45" 45 (Rp.proc_to_int Rp.Proc_proto_minor);
+  Alcotest.(check int) "dom_list_all is 46" 46 (Rp.proc_to_int Rp.Proc_dom_list_all);
+  Alcotest.(check int) "call_batch is 47" 47 (Rp.proc_to_int Rp.Proc_call_batch);
+  Alcotest.(check int) "vol_lookup is 48" 48 (Rp.proc_to_int Rp.Proc_vol_lookup);
+  List.iter
+    (fun p -> Alcotest.(check int) "new procs need minor 3" 3 (Rp.proc_min_minor p))
+    [ Rp.Proc_proto_minor; Rp.Proc_dom_list_all; Rp.Proc_call_batch; Rp.Proc_vol_lookup ];
+  Alcotest.(check int) "save needs minor 1" 1 (Rp.proc_min_minor Rp.Proc_dom_save);
+  Alcotest.(check int) "autostart needs minor 2" 2
+    (Rp.proc_min_minor Rp.Proc_dom_get_autostart);
+  Alcotest.(check int) "open is primordial" 0 (Rp.proc_min_minor Rp.Proc_open);
+  (* A batch frame must never be blindly re-issued; the listing is a pure
+     read. *)
+  Alcotest.(check bool) "batch not idempotent" false
+    (Rp.is_idempotent Rp.Proc_call_batch);
+  Alcotest.(check bool) "bulk listing idempotent" true
+    (Rp.is_idempotent Rp.Proc_dom_list_all)
+
+let test_domain_record_roundtrip () =
+  let mk name autostart state =
+    Driver.
+      {
+        rec_ref =
+          { dom_name = name; dom_uuid = Vmm.Uuid.generate (); dom_id = Some 3 };
+        rec_info =
+          {
+            di_state = state;
+            di_max_mem_kib = 512 * 1024;
+            di_memory_kib = 256 * 1024;
+            di_vcpus = 2;
+            di_cpu_time_ns = 1234567L;
+          };
+        rec_autostart = autostart;
+      }
+  in
+  let records =
+    [
+      mk "a" (Some true) Vm_state.Running;
+      mk "b" (Some false) Vm_state.Shutoff;
+      mk "c" None Vm_state.Paused;
+    ]
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (Rp.dec_domain_record_list (Rp.enc_domain_record_list records) = records);
+  Alcotest.(check bool) "empty" true
+    (Rp.dec_domain_record_list (Rp.enc_domain_record_list []) = [])
+
+let test_batch_codec_roundtrip () =
+  let calls = [ (38, "payload"); (12, ""); (46, String.make 300 'x') ] in
+  Alcotest.(check bool) "calls" true (Rp.dec_batch_call (Rp.enc_batch_call calls) = calls);
+  let replies =
+    [ (true, "ok-body"); (false, Rp.enc_error (Verror.make Verror.No_domain "gone")) ]
+  in
+  Alcotest.(check bool) "replies" true
+    (Rp.dec_batch_reply (Rp.enc_batch_reply replies) = replies);
+  Alcotest.(check int) "int body" 3 (Rp.dec_int_body (Rp.enc_int_body 3))
+
+(* --- cache fill protocol -------------------------------------------------- *)
+
+let test_cache_hit_miss_invalidate () =
+  let c = Cache.create () in
+  Alcotest.(check bool) "cold miss" true (Cache.find c "vm" ~now:0. = None);
+  let fill = Cache.begin_fill c in
+  Alcotest.(check bool) "install accepted" true (Cache.install c fill "vm" 42 ~now:0.);
+  Alcotest.(check bool) "hit" true (Cache.find c "vm" ~now:0. = Some 42);
+  Cache.invalidate c "vm";
+  Alcotest.(check bool) "invalidated" true (Cache.find c "vm" ~now:0. = None);
+  Alcotest.(check int) "one hit counted" 1 (Cache.hits c)
+
+let test_cache_event_before_reply_drops_fill () =
+  let c = Cache.create () in
+  (* The race this cache exists to win: the read was issued, the event
+     arrived, then the (stale) reply came back.  Installing it would keep
+     the stale value forever. *)
+  let fill = Cache.begin_fill c in
+  Cache.invalidate c "vm";
+  Alcotest.(check bool) "stale reply refused" false
+    (Cache.install c fill "vm" 1 ~now:0.);
+  Alcotest.(check bool) "nothing cached" true (Cache.find c "vm" ~now:0. = None);
+  (* The same token still installs rows the event did not touch: a bulk
+     reply degrades per name, not wholesale. *)
+  Alcotest.(check bool) "unraced row installs" true
+    (Cache.install c fill "other" 2 ~now:0.);
+  (* A fill begun after the invalidation is clean. *)
+  let fill2 = Cache.begin_fill c in
+  Alcotest.(check bool) "fresh fill installs" true (Cache.install c fill2 "vm" 3 ~now:0.);
+  Alcotest.(check bool) "fresh value served" true (Cache.find c "vm" ~now:0. = Some 3)
+
+let test_cache_clear_voids_epoch () =
+  let c = Cache.create () in
+  let fill = Cache.begin_fill c in
+  Alcotest.(check bool) "installs before clear" true (Cache.install c fill "a" 1 ~now:0.);
+  let e0 = Cache.epoch c in
+  Cache.clear c;
+  Alcotest.(check int) "epoch bumped" (e0 + 1) (Cache.epoch c);
+  Alcotest.(check int) "emptied" 0 (Cache.size c);
+  Alcotest.(check bool) "pre-clear fill void" false (Cache.install c fill "b" 2 ~now:0.)
+
+let test_cache_ttl () =
+  let c = Cache.create ~ttl:1.0 () in
+  let fill = Cache.begin_fill c in
+  ignore (Cache.install c fill "vm" 9 ~now:100.);
+  Alcotest.(check bool) "fresh within ttl" true (Cache.find c "vm" ~now:100.9 = Some 9);
+  Alcotest.(check bool) "expired after ttl" true (Cache.find c "vm" ~now:101.1 = None)
+
+let test_cache_uuid_index () =
+  let c = Cache.create () in
+  let fill = Cache.begin_fill c in
+  ignore (Cache.install c fill "vm" ~uuid:"u-1" 7 ~now:0.);
+  Alcotest.(check bool) "by uuid" true (Cache.find_by_uuid c "u-1" ~now:0. = Some 7);
+  Cache.invalidate c "vm";
+  Alcotest.(check bool) "uuid dropped with name" true
+    (Cache.find_by_uuid c "u-1" ~now:0. = None)
+
+(* --- bulk listing: local and remote -------------------------------------- *)
+
+let sort_records records =
+  List.sort
+    (fun a b -> compare a.Driver.rec_ref.Driver.dom_name b.Driver.rec_ref.Driver.dom_name)
+    records
+
+let record_names records =
+  List.map (fun r -> r.Driver.rec_ref.Driver.dom_name) (sort_records records)
+
+(* A node with two running and one merely defined domain. *)
+let populate conn =
+  let running1 = fresh_name "bulk-r1" and running2 = fresh_name "bulk-r2" in
+  let defined = fresh_name "bulk-d" in
+  let _ = define_and_start conn ~virt_type:"test" ~name:running1 () in
+  let _ = define_and_start conn ~virt_type:"test" ~name:running2 () in
+  let cfg = Vmm.Vm_config.make ~memory_kib:(8 * 1024) defined in
+  let dom = vok (Domain.define_xml conn (Vmm.Domxml.to_xml ~virt_type:"test" cfg)) in
+  vok (Domain.set_autostart dom true);
+  ([ running1; running2 ], [ defined ])
+
+let test_list_all_matches_per_op () =
+  let conn = fresh_test_conn () in
+  let running, defined = populate conn in
+  (* Every fresh test node seeds a running domain named "test". *)
+  let running = "test" :: running in
+  let records = vok (Connect.list_all_domains conn) in
+  Alcotest.(check (list string)) "names"
+    (List.sort compare (running @ defined))
+    (record_names records);
+  List.iter
+    (fun r ->
+      let name = r.Driver.rec_ref.Driver.dom_name in
+      let dom = vok (Domain.lookup_by_name conn name) in
+      Alcotest.(check bool) (name ^ " info agrees") true
+        (vok (Domain.get_info dom) = r.Driver.rec_info);
+      Alcotest.(check bool) (name ^ " autostart agrees") true
+        (Some (vok (Domain.get_autostart dom)) = r.Driver.rec_autostart);
+      Alcotest.(check bool) (name ^ " state sensible") true
+        (if List.mem name running then r.Driver.rec_info.Driver.di_state = Vm_state.Running
+         else r.Driver.rec_info.Driver.di_state = Vm_state.Shutoff))
+    records;
+  Connect.close conn
+
+let test_remote_bulk_matches_direct () =
+  with_daemon (fun daemon _ ->
+      let node = fresh_name "bulknode" in
+      let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+      let remote = vok (Connect.open_uri (remote_uri ~daemon node)) in
+      let _ = populate direct in
+      let drecs = sort_records (vok (Connect.list_all_domains direct)) in
+      let rrecs = sort_records (vok (Connect.list_all_domains remote)) in
+      Alcotest.(check bool) "records agree over the wire" true (drecs = rrecs);
+      Connect.close remote;
+      Connect.close direct)
+
+let test_v12_daemon_degrades_identically () =
+  (* The acceptance criterion: a v1.3 client against a v1.2 daemon falls
+     back to per-operation calls with identical results. *)
+  with_daemon (fun d13 _ ->
+      with_daemon ~config:v12_config (fun d12 _ ->
+          let node = fresh_name "negnode" in
+          let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+          let _ = populate direct in
+          let via daemon =
+            let conn = vok (Connect.open_uri (remote_uri ~daemon node)) in
+            let records = sort_records (vok (Connect.list_all_domains conn)) in
+            Connect.close conn;
+            records
+          in
+          let new_daemon = via d13 and old_daemon = via d12 in
+          Alcotest.(check bool) "old daemon serves identical records" true
+            (new_daemon = old_daemon);
+          Alcotest.(check bool) "and matches direct" true
+            (new_daemon = sort_records (vok (Connect.list_all_domains direct)));
+          Connect.close direct))
+
+let test_pipelined_fallback_over_tls () =
+  (* Regression: the emulated listing pipelines its sub-calls, which
+     interleaves requests and replies on the wire.  TLS records are
+     sequence-checked per direction, so this used to corrupt the stream
+     (a single shared counter assumed strict ping-pong) — the listing
+     came back empty or the connection died.  Repeat a few times: the
+     original failure was a scheduling race. *)
+  with_daemon ~config:v12_config (fun daemon _ ->
+      let node = fresh_name "tlsnode" in
+      let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+      (* Enough defined domains to make the pipelined lookup burst wide. *)
+      for i = 1 to 8 do
+        let cfg = Vmm.Vm_config.make (Printf.sprintf "tlsvm%d" i) in
+        ignore
+          (vok (Domain.define_xml direct (Vmm.Domxml.to_xml ~virt_type:"test" cfg)))
+      done;
+      let expected = sort_records (vok (Connect.list_all_domains direct)) in
+      for _ = 1 to 5 do
+        let conn =
+          vok (Connect.open_uri (remote_uri ~transport:"tls" ~daemon node))
+        in
+        let records = sort_records (vok (Connect.list_all_domains conn)) in
+        Alcotest.(check bool) "tls pipelined listing matches direct" true
+          (records = expected);
+        Connect.close conn
+      done;
+      Connect.close direct)
+
+(* --- batch execution on the daemon ---------------------------------------- *)
+
+let raw_client daemon =
+  match
+    Rpc_client.connect ~address:(daemon ^ "-sock") ~kind:Transport.Unix_sock
+      ~program:Rp.program ~version:Rp.version ()
+  with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" (Verror.to_string e)
+
+let raw_call client proc body =
+  Rpc_client.call client ~procedure:(Rp.proc_to_int proc) ~body ()
+
+let test_batch_error_isolation () =
+  with_daemon (fun daemon _ ->
+      let client = raw_client daemon in
+      let node = fresh_name "batchnode" in
+      vok
+        (Result.map Rp.dec_unit_body
+           (raw_call client Rp.Proc_open
+              (Rp.enc_string_body (Printf.sprintf "test://%s/" node))));
+      let batch =
+        Rp.enc_batch_call
+          [
+            (Rp.proc_to_int Rp.Proc_echo, "hello");
+            (Rp.proc_to_int Rp.Proc_dom_get_info, Rp.enc_string_body "no-such-vm");
+            (9999, "");
+            (Rp.proc_to_int Rp.Proc_list_domains, Rp.enc_unit_body);
+          ]
+      in
+      let replies = Rp.dec_batch_reply (vok (raw_call client Rp.Proc_call_batch batch)) in
+      (match replies with
+      | [ (ok1, b1); (ok2, b2); (ok3, b3); (ok4, b4) ] ->
+        Alcotest.(check bool) "echo succeeded" true ok1;
+        Alcotest.(check string) "echo body" "hello" b1;
+        Alcotest.(check bool) "missing domain isolated" false ok2;
+        Alcotest.(check bool) "as no_domain" true
+          ((Rp.dec_error b2).Verror.code = Verror.No_domain);
+        Alcotest.(check bool) "unknown proc isolated" false ok3;
+        Alcotest.(check bool) "as rpc_failure" true
+          ((Rp.dec_error b3).Verror.code = Verror.Rpc_failure);
+        Alcotest.(check bool) "sibling after failures succeeded" true ok4;
+        Alcotest.(check int) "and decoded" 1
+          (List.length (Rp.dec_domain_ref_list b4))
+      | _ -> Alcotest.failf "expected 4 sub-replies, got %d" (List.length replies));
+      (* A batch must not smuggle a batch: the recursion is refused. *)
+      let nested =
+        Rp.enc_batch_call [ (Rp.proc_to_int Rp.Proc_call_batch, Rp.enc_batch_call []) ]
+      in
+      (match Rp.dec_batch_reply (vok (raw_call client Rp.Proc_call_batch nested)) with
+      | [ (false, body) ] ->
+        Alcotest.(check bool) "nested refused" true
+          ((Rp.dec_error body).Verror.code = Verror.Rpc_failure)
+      | _ -> Alcotest.fail "nested batch not isolated");
+      Rpc_client.close client)
+
+let test_v12_daemon_rejects_new_procs () =
+  with_daemon ~config:v12_config (fun daemon _ ->
+      let client = raw_client daemon in
+      vok
+        (Result.map Rp.dec_unit_body
+           (raw_call client Rp.Proc_open
+              (Rp.enc_string_body (Printf.sprintf "test://%s/" (fresh_name "old")))));
+      List.iter
+        (fun proc ->
+          match raw_call client proc Rp.enc_unit_body with
+          | Ok _ -> Alcotest.failf "v1.2 daemon accepted proc %d" (Rp.proc_to_int proc)
+          | Error e ->
+            Alcotest.(check bool) "unknown procedure" true
+              (e.Verror.code = Verror.Rpc_failure))
+        [ Rp.Proc_proto_minor; Rp.Proc_dom_list_all; Rp.Proc_call_batch; Rp.Proc_vol_lookup ];
+      (* The gated procedures must be indistinguishable from garbage
+         numbers: same error text an out-of-range procedure gets. *)
+      (match raw_call client Rp.Proc_dom_list_all Rp.enc_unit_body with
+      | Error e ->
+        Alcotest.(check string) "same wording as unknown"
+          (Printf.sprintf "unknown remote procedure %d" (Rp.proc_to_int Rp.Proc_dom_list_all))
+          e.Verror.message
+      | Ok _ -> Alcotest.fail "accepted");
+      Rpc_client.close client)
+
+(* --- cache behaviour over a live connection ------------------------------- *)
+
+let calls_of conn =
+  match Drv_remote.conn_stats (vok (Connect.ops conn)) with
+  | Some s -> s.Drv_remote.st_calls
+  | None -> Alcotest.fail "not a remote connection"
+
+let test_cache_serves_repeat_reads () =
+  with_daemon (fun daemon _ ->
+      let node = fresh_name "cachenode" in
+      let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+      let name = fresh_name "vm" in
+      let _ = define_and_start direct ~virt_type:"test" ~name () in
+      let remote = vok (Connect.open_uri (remote_uri ~daemon node)) in
+      let dom = vok (Domain.lookup_by_name remote name) in
+      let c0 = calls_of remote in
+      let i1 = vok (Domain.get_info dom) in
+      let c1 = calls_of remote in
+      let i2 = vok (Domain.get_info dom) in
+      let i3 = vok (Domain.get_info dom) in
+      let c2 = calls_of remote in
+      Alcotest.(check bool) "reads agree" true (i1 = i2 && i2 = i3);
+      Alcotest.(check int) "first read hits the wire" 1 (c1 - c0);
+      Alcotest.(check int) "repeats served locally" 0 (c2 - c1);
+      (* The bulk listing primes all three caches: point reads after it
+         cost nothing. *)
+      let c3 = calls_of remote in
+      let records = vok (Connect.list_all_domains remote) in
+      let c4 = calls_of remote in
+      List.iter
+        (fun r ->
+          let n = r.Driver.rec_ref.Driver.dom_name in
+          let d = vok (Domain.lookup_by_name remote n) in
+          ignore (vok (Domain.get_info d));
+          ignore (vok (Domain.get_autostart d)))
+        records;
+      let c5 = calls_of remote in
+      Alcotest.(check int) "one call for the listing" 1 (c4 - c3);
+      Alcotest.(check int) "primed point reads are free" 0 (c5 - c4);
+      (* XML is cached too, and a config change invalidates it. *)
+      let x1 = vok (Domain.xml_desc dom) in
+      let c6 = calls_of remote in
+      let x2 = vok (Domain.xml_desc dom) in
+      let c7 = calls_of remote in
+      Alcotest.(check string) "xml repeat agrees" x1 x2;
+      Alcotest.(check int) "first xml read hits the wire" 1 (c6 - c5);
+      Alcotest.(check int) "xml repeat served locally" 0 (c7 - c6);
+      let uuid = Domain.uuid dom in
+      let cfg = Vmm.Vm_config.make ~uuid ~memory_kib:(32 * 1024) name in
+      ignore
+        (vok (Domain.define_xml remote (Vmm.Domxml.to_xml ~virt_type:"test" cfg)));
+      let x3 = vok (Domain.xml_desc dom) in
+      Alcotest.(check bool) "redefine invalidates cached xml" false (x1 = x3);
+      Connect.close remote;
+      Connect.close direct)
+
+let test_event_invalidates_cache () =
+  with_daemon (fun daemon _ ->
+      let node = fresh_name "evnode" in
+      let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+      let name = fresh_name "vm" in
+      let ddom = define_and_start direct ~virt_type:"test" ~name () in
+      let remote = vok (Connect.open_uri (remote_uri ~daemon node)) in
+      let rdom = vok (Domain.lookup_by_name remote name) in
+      Alcotest.(check bool) "cached as running" true
+        ((vok (Domain.get_info rdom)).Driver.di_state = Vm_state.Running);
+      (* Mutate through the other path: only the pushed lifecycle event
+         can tell the remote client its cache is stale. *)
+      vok (Domain.suspend ddom);
+      Alcotest.(check bool) "event refreshed the cached state" true
+        (eventually (fun () ->
+             (vok (Domain.get_info rdom)).Driver.di_state = Vm_state.Paused));
+      Connect.close remote;
+      Connect.close direct)
+
+let test_eventless_ttl_freshness () =
+  with_daemon (fun daemon _ ->
+      let node = fresh_name "ttlnode" in
+      let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+      let name = fresh_name "vm" in
+      let ddom = define_and_start direct ~virt_type:"test" ~name () in
+      (* No event stream, generous TTL: the cache must mask the remote
+         mutation — proof the hits really are served locally. *)
+      let stale =
+        vok (Connect.open_uri (remote_uri ~params:"&events=0&cache_ttl=600" ~daemon node))
+      in
+      let sdom = vok (Domain.lookup_by_name stale name) in
+      Alcotest.(check bool) "primed" true
+        ((vok (Domain.get_info sdom)).Driver.di_state = Vm_state.Running);
+      (* Short TTL on a second connection: freshness decays by clock. *)
+      let fresh =
+        vok (Connect.open_uri (remote_uri ~params:"&events=0&cache_ttl=0.05" ~daemon node))
+      in
+      let fdom = vok (Domain.lookup_by_name fresh name) in
+      Alcotest.(check bool) "also primed" true
+        ((vok (Domain.get_info fdom)).Driver.di_state = Vm_state.Running);
+      vok (Domain.suspend ddom);
+      Alcotest.(check bool) "short ttl sees the change" true
+        (eventually (fun () ->
+             (vok (Domain.get_info fdom)).Driver.di_state = Vm_state.Paused));
+      Alcotest.(check bool) "long ttl still serves the cached state" true
+        ((vok (Domain.get_info sdom)).Driver.di_state = Vm_state.Running);
+      Connect.close fresh;
+      Connect.close stale;
+      Connect.close direct)
+
+let test_cache_disabled_by_param () =
+  with_daemon (fun daemon _ ->
+      let node = fresh_name "nocache" in
+      let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+      let name = fresh_name "vm" in
+      let _ = define_and_start direct ~virt_type:"test" ~name () in
+      let remote = vok (Connect.open_uri (remote_uri ~params:"&cache=0" ~daemon node)) in
+      let dom = vok (Domain.lookup_by_name remote name) in
+      let c0 = calls_of remote in
+      ignore (vok (Domain.get_info dom));
+      ignore (vok (Domain.get_info dom));
+      Alcotest.(check int) "every read on the wire" 2 (calls_of remote - c0);
+      Connect.close remote;
+      Connect.close direct)
+
+let test_reconnect_drops_cache () =
+  let dname = fresh_name "bulkd" in
+  let d1 = Daemon.start ~name:dname ~config:quiet_config () in
+  let node = fresh_name "reconnode" in
+  let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+  let name = fresh_name "vm" in
+  let ddom = define_and_start direct ~virt_type:"test" ~name () in
+  (* Event-less with an effectively infinite TTL: only a reconnect's
+     epoch bump can evict what we cache now. *)
+  let remote =
+    vok
+      (Connect.open_uri
+         (remote_uri
+            ~params:"&events=0&cache_ttl=600&reconnect=50&reconnect_delay=0.01&reconnect_max_delay=0.05"
+            ~daemon:dname node))
+  in
+  let rdom = vok (Domain.lookup_by_name remote name) in
+  Alcotest.(check bool) "cached running" true
+    ((vok (Domain.get_info rdom)).Driver.di_state = Vm_state.Running);
+  vok (Domain.suspend ddom);
+  Alcotest.(check bool) "cache masks the change" true
+    ((vok (Domain.get_info rdom)).Driver.di_state = Vm_state.Running);
+  (* Bounce the daemon: the client's next call reconnects, and the
+     reconnect must clear the cache — the masked suspend becomes
+     visible. *)
+  Daemon.stop d1;
+  let d2 = Daemon.start ~name:dname ~config:quiet_config () in
+  Alcotest.(check bool) "reconnected read is fresh" true
+    (eventually ~timeout_s:5.0 (fun () ->
+         match Domain.get_info rdom with
+         | Ok info -> info.Driver.di_state = Vm_state.Paused
+         | Error _ -> false));
+  (match Drv_remote.conn_stats (vok (Connect.ops remote)) with
+  | Some s ->
+    Alcotest.(check bool) "a reconnect happened" true (s.Drv_remote.st_reconnects >= 1)
+  | None -> Alcotest.fail "not a remote connection");
+  Connect.close remote;
+  Connect.close direct;
+  Daemon.stop d2
+
+(* --- path-indexed volume lookup ------------------------------------------- *)
+
+let test_vol_by_path_native_and_emulated () =
+  with_daemon (fun d13 _ ->
+      with_daemon ~config:v12_config (fun d12 _ ->
+          let node = fresh_name "volnode" in
+          let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
+          let pool =
+            vok
+              (Ovirt.Storage.define_pool direct ~name:"bulkpool"
+                 ~target_path:"/bulkpool" ~capacity_b:(1 lsl 30))
+          in
+          vok (Ovirt.Storage.start_pool pool);
+          let vol =
+            vok
+              (Ovirt.Storage.create_volume pool ~name:"disk.img"
+                 ~capacity_b:(1 lsl 20) ~format:"qcow2")
+          in
+          let path = vol.Ovirt.Storage_backend.vol_key in
+          let via daemon =
+            let conn = vok (Connect.open_uri (remote_uri ~daemon node)) in
+            let c0 = calls_of conn in
+            let found = vok (Ovirt.Storage.volume_by_path conn path) in
+            let cost = calls_of conn - c0 in
+            (match Ovirt.Storage.volume_by_path conn (path ^ "-nope") with
+            | Error e ->
+              Alcotest.(check bool) "miss is no_storage_vol" true
+                (e.Verror.code = Verror.No_storage_vol)
+            | Ok _ -> Alcotest.fail "bogus path resolved");
+            Connect.close conn;
+            (found, cost)
+          in
+          let found13, cost13 = via d13 in
+          let found12, _ = via d12 in
+          Alcotest.(check bool) "both daemons resolve the volume" true
+            (found13 = vol && found12 = vol);
+          Alcotest.(check int) "native lookup is one round trip" 1 cost13;
+          Connect.close direct))
+
+let () =
+  Alcotest.run "bulk"
+    [
+      ( "protocol",
+        [
+          quick "v1.3 numbers stable" test_v13_numbers_stable;
+          quick "domain record roundtrip" test_domain_record_roundtrip;
+          quick "batch codec roundtrip" test_batch_codec_roundtrip;
+        ] );
+      ( "cache",
+        [
+          quick "hit, miss, invalidate" test_cache_hit_miss_invalidate;
+          quick "event before reply drops fill" test_cache_event_before_reply_drops_fill;
+          quick "clear voids epoch" test_cache_clear_voids_epoch;
+          quick "ttl expiry" test_cache_ttl;
+          quick "uuid index" test_cache_uuid_index;
+        ] );
+      ( "bulk listing",
+        [
+          quick "matches per-op locally" test_list_all_matches_per_op;
+          quick "remote matches direct" test_remote_bulk_matches_direct;
+          quick "v1.2 daemon degrades identically" test_v12_daemon_degrades_identically;
+          quick "pipelined fallback over tls" test_pipelined_fallback_over_tls;
+        ] );
+      ( "batch",
+        [
+          quick "error isolation" test_batch_error_isolation;
+          quick "v1.2 daemon rejects new procs" test_v12_daemon_rejects_new_procs;
+        ] );
+      ( "cache over rpc",
+        [
+          quick "repeat reads served locally" test_cache_serves_repeat_reads;
+          quick "event invalidates" test_event_invalidates_cache;
+          quick "eventless ttl freshness" test_eventless_ttl_freshness;
+          quick "cache=0 disables" test_cache_disabled_by_param;
+          quick "reconnect drops cache" test_reconnect_drops_cache;
+        ] );
+      ( "storage",
+        [ quick "vol_by_path native and emulated" test_vol_by_path_native_and_emulated ]
+      );
+    ]

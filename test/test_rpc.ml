@@ -146,7 +146,7 @@ let test_remote_proc_numbers_stable () =
          match Rp.proc_of_int n with
          | Ok p -> Rp.proc_to_int p = n
          | Error _ -> false)
-       (List.init 42 (fun i -> i + 1)));
+       (List.init 48 (fun i -> i + 1)));
   (match Rp.proc_of_int 0 with Error _ -> () | Ok _ -> Alcotest.fail "0 valid");
   match Rp.proc_of_int 1000 with Error _ -> () | Ok _ -> Alcotest.fail "1000 valid"
 
