@@ -1,8 +1,10 @@
 (* ovirsh: the virsh-like management shell.
-   Usage:  ovirsh [-c URI] [command [args...]]
+   Usage:  ovirsh [-c URI] [--timeout SECONDS] [command [args...]]
    With no command, enters an interactive shell.  A daemon named "ovirtd"
    is started in-process when a +transport URI asks for one (the whole
-   network is simulated in-process; see DESIGN.md). *)
+   network is simulated in-process; see DESIGN.md).  --timeout gives
+   every call on the connection an end-to-end deadline (the remote
+   driver's timeout= URI parameter). *)
 
 let ( let* ) = Result.bind
 let verr r = Result.map_error Ovirt.Verror.to_string r
@@ -255,14 +257,30 @@ let commands shell =
         Ok (Buffer.contents buf));
   ]
 
+(* Fold --timeout into the connection URI as the remote driver's
+   timeout= parameter (local drivers just ignore it). *)
+let with_timeout uri timeout =
+  match timeout with
+  | None -> uri
+  | Some t ->
+    uri ^ (if String.contains uri '?' then "&" else "?") ^ "timeout=" ^ t
+
 let () =
   let argv = Array.to_list Sys.argv in
-  let uri, rest =
-    match argv with
-    | _ :: "-c" :: uri :: rest -> (Some uri, rest)
-    | _ :: rest -> (None, rest)
-    | [] -> (None, [])
+  let rec parse_opts uri timeout = function
+    | "-c" :: u :: rest -> parse_opts (Some u) timeout rest
+    | "--timeout" :: t :: rest -> parse_opts uri (Some t) rest
+    | rest -> (uri, timeout, rest)
   in
+  let uri, timeout, rest =
+    match argv with _ :: rest -> parse_opts None None rest | [] -> (None, None, [])
+  in
+  (match timeout with
+   | Some t when float_of_string_opt t = None || float_of_string t <= 0. ->
+     Printf.eprintf "error: --timeout expects a positive number of seconds\n";
+     exit 1
+   | Some _ | None -> ());
+  let uri = Option.map (fun u -> with_timeout u timeout) uri in
   let shell = { conn = None } in
   (match uri with
    | None -> ()

@@ -74,7 +74,50 @@ let commands shell =
                Printf.sprintf "%-15s: %d" "prioWorkers" tp.Ovirt.Admin_client.tp_prio_workers;
                Printf.sprintf "%-15s: %d" "jobQueueDepth"
                  tp.Ovirt.Admin_client.tp_job_queue_depth;
+               Printf.sprintf "%-15s: %d" "jobQueueLimit"
+                 tp.Ovirt.Admin_client.tp_job_queue_limit;
+               Printf.sprintf "%-15s: %d" "wallLimitMs"
+                 tp.Ovirt.Admin_client.tp_wall_limit_ms;
              ]));
+    simple "pool-stats" "Monitoring commands" "<server>"
+      "overload counters: shed/expired jobs, stuck workers, live limits"
+      (fun args ->
+        let* name = one_positional args "<server>" in
+        let* srv = server shell name in
+        let* ps = verr (Ovirt.Admin_client.pool_stats srv) in
+        Ok
+          (String.concat "\n"
+             [
+               Printf.sprintf "%-15s: %d" "jobsDone" ps.Ovirt.Admin_client.ps_jobs_done;
+               Printf.sprintf "%-15s: %d" "jobsFailed" ps.Ovirt.Admin_client.ps_jobs_failed;
+               Printf.sprintf "%-15s: %d" "jobsShed" ps.Ovirt.Admin_client.ps_jobs_shed;
+               Printf.sprintf "%-15s: %d" "jobsExpired"
+                 ps.Ovirt.Admin_client.ps_jobs_expired;
+               Printf.sprintf "%-15s: %d" "workersStuck"
+                 ps.Ovirt.Admin_client.ps_workers_stuck;
+               Printf.sprintf "%-15s: %d" "workersStuckNow"
+                 ps.Ovirt.Admin_client.ps_workers_stuck_now;
+               Printf.sprintf "%-15s: %d" "jobQueueDepth"
+                 ps.Ovirt.Admin_client.ps_job_queue_depth;
+               Printf.sprintf "%-15s: %d" "jobQueueLimit"
+                 ps.Ovirt.Admin_client.ps_job_queue_limit;
+               Printf.sprintf "%-15s: %d" "wallLimitMs"
+                 ps.Ovirt.Admin_client.ps_wall_limit_ms;
+             ]));
+    simple "pool-set" "Management commands"
+      "<server> [--queue-limit N] [--wall-limit-ms N]"
+      "tune overload protection: admission bound and stuck-worker wall limit"
+      (fun args ->
+        let* name = one_positional args "<server>" in
+        let* srv = server shell name in
+        let* job_queue_limit = Ovcli.int_flag args "queue-limit" in
+        let* wall_limit_ms = Ovcli.int_flag args "wall-limit-ms" in
+        let* () =
+          verr
+            (Ovirt.Admin_client.set_threadpool srv ?job_queue_limit ?wall_limit_ms
+               ())
+        in
+        Ok "overload parameters updated");
     simple "srv-threadpool-set" "Management commands"
       "<server> [--min-workers N] [--max-workers N] [--prio-workers N]"
       "set server workerpool parameters" (fun args ->

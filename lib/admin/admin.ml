@@ -75,6 +75,20 @@ type threadpool_info = {
   tp_free_workers : int;
   tp_prio_workers : int;
   tp_job_queue_depth : int;
+  tp_job_queue_limit : int;
+  tp_wall_limit_ms : int;
+}
+
+type pool_stats = {
+  ps_jobs_done : int;
+  ps_jobs_failed : int;
+  ps_jobs_shed : int;
+  ps_jobs_expired : int;
+  ps_workers_stuck : int;
+  ps_workers_stuck_now : int;
+  ps_job_queue_depth : int;
+  ps_job_queue_limit : int;
+  ps_wall_limit_ms : int;
 }
 
 let required params field =
@@ -94,6 +108,8 @@ let threadpool_info srv =
   let* tp_free_workers = required params Ap.threadpool_workers_free in
   let* tp_prio_workers = required params Ap.threadpool_workers_priority in
   let* tp_job_queue_depth = required params Ap.threadpool_job_queue_depth in
+  let* tp_job_queue_limit = required params Ap.threadpool_job_queue_limit in
+  let* tp_wall_limit_ms = required params Ap.threadpool_wall_limit_ms in
   Ok
     {
       tp_min_workers;
@@ -102,19 +118,52 @@ let threadpool_info srv =
       tp_free_workers;
       tp_prio_workers;
       tp_job_queue_depth;
+      tp_job_queue_limit;
+      tp_wall_limit_ms;
+    }
+
+let pool_stats srv =
+  let* params =
+    call_dec srv.conn Ap.Proc_daemon_pool_stats
+      (Ap.enc_server_name srv.srv_name)
+      Ap.dec_params
+  in
+  let* ps_jobs_done = required params Ap.pool_jobs_done in
+  let* ps_jobs_failed = required params Ap.pool_jobs_failed in
+  let* ps_jobs_shed = required params Ap.pool_jobs_shed in
+  let* ps_jobs_expired = required params Ap.pool_jobs_expired in
+  let* ps_workers_stuck = required params Ap.pool_workers_stuck in
+  let* ps_workers_stuck_now = required params Ap.pool_workers_stuck_now in
+  let* ps_job_queue_depth = required params Ap.threadpool_job_queue_depth in
+  let* ps_job_queue_limit = required params Ap.threadpool_job_queue_limit in
+  let* ps_wall_limit_ms = required params Ap.threadpool_wall_limit_ms in
+  Ok
+    {
+      ps_jobs_done;
+      ps_jobs_failed;
+      ps_jobs_shed;
+      ps_jobs_expired;
+      ps_workers_stuck;
+      ps_workers_stuck_now;
+      ps_job_queue_depth;
+      ps_job_queue_limit;
+      ps_wall_limit_ms;
     }
 
 let set_threadpool_params srv params =
   call_unit srv.conn Ap.Proc_set_threadpool
     (Ap.enc_server_params ~server:srv.srv_name params)
 
-let set_threadpool srv ?min_workers ?max_workers ?prio_workers () =
+let set_threadpool srv ?min_workers ?max_workers ?prio_workers ?job_queue_limit
+    ?wall_limit_ms () =
   let params =
     List.filter_map Fun.id
       [
         Option.map (Tp.uint Ap.threadpool_workers_min) min_workers;
         Option.map (Tp.uint Ap.threadpool_workers_max) max_workers;
         Option.map (Tp.uint Ap.threadpool_workers_priority) prio_workers;
+        Option.map (Tp.uint Ap.threadpool_job_queue_limit) job_queue_limit;
+        Option.map (Tp.uint Ap.threadpool_wall_limit_ms) wall_limit_ms;
       ]
   in
   set_threadpool_params srv params

@@ -40,12 +40,34 @@ type threadpool_info = {
   tp_free_workers : int;
   tp_prio_workers : int;
   tp_job_queue_depth : int;
+  tp_job_queue_limit : int;  (** admission bound; 0 = unbounded *)
+  tp_wall_limit_ms : int;  (** stuck-worker watchdog; 0 = off *)
+}
+
+(** Overload counters since pool creation, plus the live limits. *)
+type pool_stats = {
+  ps_jobs_done : int;
+  ps_jobs_failed : int;  (** handler raised *)
+  ps_jobs_shed : int;  (** rejected by admission control *)
+  ps_jobs_expired : int;  (** deadline passed while queued *)
+  ps_workers_stuck : int;  (** ever written off by the watchdog *)
+  ps_workers_stuck_now : int;  (** still wedged *)
+  ps_job_queue_depth : int;
+  ps_job_queue_limit : int;
+  ps_wall_limit_ms : int;
 }
 
 val threadpool_info : server -> (threadpool_info, Ovirt_core.Verror.t) result
+val pool_stats : server -> (pool_stats, Ovirt_core.Verror.t) result
 
 val set_threadpool :
-  server -> ?min_workers:int -> ?max_workers:int -> ?prio_workers:int -> unit ->
+  server ->
+  ?min_workers:int ->
+  ?max_workers:int ->
+  ?prio_workers:int ->
+  ?job_queue_limit:int ->
+  ?wall_limit_ms:int ->
+  unit ->
   (unit, Ovirt_core.Verror.t) result
 
 val set_threadpool_params :

@@ -16,6 +16,7 @@ type code =
   | No_client
   | No_server
   | Resource_exhausted
+  | Overloaded
 
 type t = { code : code; message : string }
 
@@ -41,6 +42,7 @@ let all_codes =
     (No_client, 15);
     (No_server, 16);
     (Resource_exhausted, 17);
+    (Overloaded, 18);
   ]
 
 let code_to_int code = List.assoc code all_codes
@@ -68,6 +70,35 @@ let code_name = function
   | No_client -> "client not found"
   | No_server -> "server not found"
   | Resource_exhausted -> "resource limit exceeded"
+  | Overloaded -> "server overloaded"
+
+(* The wire error model is code + message; the retry-after hint for
+   [Overloaded] rides in the message as a parseable prefix. *)
+let overloaded_prefix = "retry_after_ms="
+
+let overloaded ~retry_after_ms fmt =
+  Format.kasprintf
+    (fun message ->
+      Stdlib.Error
+        {
+          code = Overloaded;
+          message =
+            Printf.sprintf "%s%d: %s" overloaded_prefix retry_after_ms message;
+        })
+    fmt
+
+let retry_after_ms e =
+  if e.code <> Overloaded then None
+  else
+    let plen = String.length overloaded_prefix in
+    if String.length e.message <= plen
+       || not (String.starts_with ~prefix:overloaded_prefix e.message)
+    then None
+    else
+      let rest = String.sub e.message plen (String.length e.message - plen) in
+      match String.index_opt rest ':' with
+      | None -> int_of_string_opt rest
+      | Some i -> int_of_string_opt (String.sub rest 0 i)
 
 let to_string e = Printf.sprintf "%s: %s" (code_name e.code) e.message
 let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -23,6 +23,7 @@ type code =
   | No_client  (** admin: client id not found *)
   | No_server  (** admin: server name not found *)
   | Resource_exhausted  (** host capacity, client limits *)
+  | Overloaded  (** admission control shed the request; retry later *)
 
 type t = { code : code; message : string }
 
@@ -46,3 +47,13 @@ val raise_err : code -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 val of_message : code -> string -> ('a, t) result
 (** [Error (make code msg)] — adapts [(_, string) result] substrates. *)
+
+val overloaded :
+  retry_after_ms:int -> ('a, Format.formatter, unit, ('b, t) result) format4 -> 'a
+(** Build an [Overloaded] error carrying a retry-after hint.  The wire
+    error model is code + message, so the hint is encoded as a parseable
+    ["retry_after_ms=N: "] message prefix. *)
+
+val retry_after_ms : t -> int option
+(** Recover the hint from an [Overloaded] error ([None] for other codes
+    or unparseable messages). *)

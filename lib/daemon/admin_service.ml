@@ -39,6 +39,22 @@ let threadpool_params srv =
     Tp.uint Ap.threadpool_workers_free stats.Threadpool.free_workers;
     Tp.uint Ap.threadpool_workers_priority stats.Threadpool.prio_workers;
     Tp.uint Ap.threadpool_job_queue_depth stats.Threadpool.job_queue_depth;
+    Tp.uint Ap.threadpool_job_queue_limit stats.Threadpool.job_queue_limit;
+    Tp.uint Ap.threadpool_wall_limit_ms stats.Threadpool.wall_limit_ms;
+  ]
+
+let pool_stats_params srv =
+  let stats = Threadpool.stats (Server_obj.pool srv) in
+  [
+    Tp.uint Ap.pool_jobs_done stats.Threadpool.jobs_completed;
+    Tp.uint Ap.pool_jobs_failed stats.Threadpool.jobs_failed;
+    Tp.uint Ap.pool_jobs_shed stats.Threadpool.jobs_shed;
+    Tp.uint Ap.pool_jobs_expired stats.Threadpool.jobs_expired;
+    Tp.uint Ap.pool_workers_stuck stats.Threadpool.workers_stuck;
+    Tp.uint Ap.pool_workers_stuck_now stats.Threadpool.workers_stuck_now;
+    Tp.uint Ap.threadpool_job_queue_depth stats.Threadpool.job_queue_depth;
+    Tp.uint Ap.threadpool_job_queue_limit stats.Threadpool.job_queue_limit;
+    Tp.uint Ap.threadpool_wall_limit_ms stats.Threadpool.wall_limit_ms;
   ]
 
 let set_threadpool srv params =
@@ -47,7 +63,8 @@ let set_threadpool srv params =
       ~writable:
         [
           Ap.threadpool_workers_min; Ap.threadpool_workers_max;
-          Ap.threadpool_workers_priority;
+          Ap.threadpool_workers_priority; Ap.threadpool_job_queue_limit;
+          Ap.threadpool_wall_limit_ms;
         ]
       ~readonly:
         [
@@ -59,12 +76,16 @@ let set_threadpool srv params =
   let min_workers = Tp.find_uint params Ap.threadpool_workers_min in
   let max_workers = Tp.find_uint params Ap.threadpool_workers_max in
   let prio_workers = Tp.find_uint params Ap.threadpool_workers_priority in
-  if min_workers = None && max_workers = None && prio_workers = None then
-    Verror.error Verror.Invalid_arg "no tunable fields supplied"
+  let job_queue_limit = Tp.find_uint params Ap.threadpool_job_queue_limit in
+  let wall_limit_ms = Tp.find_uint params Ap.threadpool_wall_limit_ms in
+  if
+    min_workers = None && max_workers = None && prio_workers = None
+    && job_queue_limit = None && wall_limit_ms = None
+  then Verror.error Verror.Invalid_arg "no tunable fields supplied"
   else
     match
       Threadpool.set_limits (Server_obj.pool srv) ?min_workers ?max_workers
-        ?prio_workers ()
+        ?prio_workers ?job_queue_limit ?wall_limit_ms ()
     with
     | () -> Ok ()
     | exception Threadpool.Invalid_limits msg ->
@@ -185,6 +206,9 @@ let handle view _srv _client header body =
       "daemon drain requested by administrator";
     view.view_drain ();
     Ok Protocol.Remote_protocol.enc_unit_body
+  | Ap.Proc_daemon_pool_stats ->
+    let* srv = find_server view (Ap.dec_server_name body) in
+    Ok (Ap.enc_params (pool_stats_params srv))
 
 let program view =
   Dispatch.
@@ -196,6 +220,7 @@ let program view =
           match Ap.proc_of_int proc with
           | Ok p -> Ap.is_high_priority p
           | Error _ -> false);
+      peek_deadline = (fun ~procedure:_ ~body:_ -> None);
       handle = (fun srv client header body -> handle view srv client header body);
       on_disconnect = (fun _client -> ());
     }

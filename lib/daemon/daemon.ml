@@ -87,8 +87,13 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
       ~filters:config.Daemon_config.log_filters
       ~outputs:config.Daemon_config.log_outputs ()
   in
+  (* Driver code learns about per-call deadlines through the request
+     context; install it before any dispatch can run. *)
+  Reqctx.install ();
   let mgmt_server =
     Server_obj.create ~name:"libvirtd" ~logger
+      ~job_queue_limit:config.Daemon_config.job_queue_limit
+      ~wall_limit_ms:config.Daemon_config.wall_limit_ms
       ~min_workers:config.Daemon_config.min_workers
       ~max_workers:config.Daemon_config.max_workers
       ~prio_workers:config.Daemon_config.prio_workers
@@ -97,6 +102,7 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
           Server_obj.max_clients = config.Daemon_config.max_clients;
           max_anonymous = config.Daemon_config.max_anonymous_clients;
         }
+      ()
   in
   let admin_server =
     Server_obj.create ~name:"admin" ~logger
@@ -107,6 +113,7 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
           Server_obj.max_clients = config.Daemon_config.admin_max_clients;
           max_anonymous = config.Daemon_config.admin_max_clients;
         }
+      ()
   in
   let servers = [ ("libvirtd", mgmt_server); ("admin", admin_server) ] in
   let started_at = Unix.gettimeofday () in

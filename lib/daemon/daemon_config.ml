@@ -11,6 +11,8 @@ type t = {
   log_filters : Vlog.filter list;
   log_outputs : Vlog.output list;
   proto_minor : int;
+  job_queue_limit : int;
+  wall_limit_ms : int;
 }
 
 let default =
@@ -27,6 +29,8 @@ let default =
     log_filters = [];
     log_outputs = [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Stderr } ];
     proto_minor = Protocol.Remote_protocol.minor;
+    job_queue_limit = 0;
+    wall_limit_ms = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -115,6 +119,12 @@ let apply cfg key value =
         (Printf.sprintf "proto_minor: this build speaks at most %d"
            Protocol.Remote_protocol.minor)
     else Ok { cfg with proto_minor = n }
+  | "job_queue_limit" ->
+    let* n = want_int key value in
+    Ok { cfg with job_queue_limit = n }
+  | "wall_limit_ms" ->
+    let* n = want_int key value in
+    Ok { cfg with wall_limit_ms = n }
   | key -> Error (Printf.sprintf "unknown configuration key %S" key)
 
 let parse contents =
@@ -146,5 +156,7 @@ let to_file cfg =
       Printf.sprintf "log_filters = \"%s\"" (Vlog.format_filters cfg.log_filters);
       Printf.sprintf "log_outputs = \"%s\"" (Vlog.format_outputs cfg.log_outputs);
       Printf.sprintf "proto_minor = %d" cfg.proto_minor;
+      Printf.sprintf "job_queue_limit = %d" cfg.job_queue_limit;
+      Printf.sprintf "wall_limit_ms = %d" cfg.wall_limit_ms;
       "";
     ]

@@ -22,6 +22,14 @@ type t = {
       (** protocol minor served on the remote program (default: this
           build's maximum); lowering it makes the daemon behave like an
           older release for version-negotiation testing *)
+  job_queue_limit : int;
+      (** admission bound on the mgmt pool's normal-class job queue;
+          0 (default) = unbounded.  Overflow is rejected with
+          [Overloaded], never blocked on. *)
+  wall_limit_ms : int;
+      (** stuck-worker watchdog: jobs running longer than this are
+          declared stuck, their worker retired and replaced; 0 (default)
+          disables the watchdog *)
 }
 
 val default : t

@@ -7,6 +7,12 @@ type program = {
   prog_number : int;
   prog_version : int;
   high_priority : int -> bool;
+  peek_deadline : procedure:int -> body:string -> (float * int) option;
+      (* For calls carrying a deadline envelope: peek into the body at
+         receive time and return (absolute deadline anchored now, inner
+         procedure number).  The dispatcher uses the deadline to drop
+         jobs that expire while queued, and the inner procedure to
+         classify priority by the wrapped call rather than the envelope. *)
   handle :
     Server_obj.t ->
     Client_obj.t ->
@@ -27,7 +33,7 @@ let send_reply client header result =
   in
   Client_obj.send_packet client packet
 
-let run_call srv prog client header body =
+let run_call srv prog client header body ~deadline =
   Client_obj.touch client;
   let logger = Server_obj.logger srv in
   Vlog.logf logger ~module_:"daemon.rpc" Vlog.Debug
@@ -35,7 +41,8 @@ let run_call srv prog client header body =
     (Client_obj.id client) header.Rpc_packet.program header.Rpc_packet.procedure
     header.Rpc_packet.serial (String.length body);
   let result =
-    try prog.handle srv client header body with
+    try Reqctx.with_deadline deadline (fun () -> prog.handle srv client header body)
+    with
     | Verror.Virt_error err -> Error err
     | Xdr.Error msg -> Verror.error Verror.Rpc_failure "malformed call body: %s" msg
     | Ovrpc.Typed_params.Invalid msg ->
@@ -66,6 +73,7 @@ let keepalive_program =
     prog_number = Ka.program;
     prog_version = Ka.version;
     high_priority = (fun _ -> true);
+    peek_deadline = (fun ~procedure:_ ~body:_ -> None);
     handle =
       (fun _srv _client header _body ->
         if header.Rpc_packet.procedure = Ka.proc_ping then Ok ""
@@ -113,9 +121,35 @@ let reader_loop srv prog_table client =
               loop ()
             end
             else begin
-              let priority = prog.high_priority header.Rpc_packet.procedure in
-              Threadpool.push (Server_obj.pool srv) ~priority (fun () ->
-                  run_call srv prog client header body);
+              let peeked =
+                prog.peek_deadline ~procedure:header.Rpc_packet.procedure ~body
+              in
+              let priority =
+                match peeked with
+                | Some (_, inner) -> prog.high_priority inner
+                | None -> prog.high_priority header.Rpc_packet.procedure
+              in
+              let deadline = Option.map fst peeked in
+              let on_expired () =
+                (* The job's deadline passed while it sat in the pool
+                   queue: answer without ever running the handler. *)
+                send_reply client header
+                  (Verror.error Verror.Operation_failed
+                     "deadline expired in queue (procedure %d)"
+                     header.Rpc_packet.procedure)
+              in
+              (match
+                 Threadpool.submit (Server_obj.pool srv) ~priority
+                   ~source:(Client_obj.id client) ?deadline ~on_expired
+                   (fun () -> run_call srv prog client header body ~deadline)
+               with
+               | Ok () -> ()
+               | Error { Threadpool.retry_after_ms } ->
+                 (* Admission control shed the call: reject synchronously
+                    on the reader thread with a machine-readable hint. *)
+                 send_reply client header
+                   (Verror.overloaded ~retry_after_ms
+                      "server %s: job queue is full" (Server_obj.name srv)));
               loop ()
             end))
   in

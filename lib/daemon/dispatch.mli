@@ -6,12 +6,27 @@
     workers.  The worker decodes the body, executes, and sends the reply
     (worker-side serialization through {!Client_obj.send_packet}).
     Malformed packets close the connection; handler exceptions become
-    [Internal_error] replies. *)
+    [Internal_error] replies.
+
+    {b Overload protection.}  The reader submits through
+    {!Threadpool.submit}: when the pool's admission control sheds the
+    call, the reader replies synchronously with [Verror.Overloaded]
+    (carrying a [retry_after_ms] hint) and the handler never runs.
+    Calls carrying a deadline envelope (see [peek_deadline]) are dropped
+    with an "expired in queue" error if the deadline passes before a
+    worker picks them up; while a worker runs the call, the deadline is
+    installed in {!Reqctx} so driver code can observe the remaining
+    budget. *)
 
 type program = {
   prog_number : int;
   prog_version : int;
   high_priority : int -> bool;  (** by wire procedure number *)
+  peek_deadline : procedure:int -> body:string -> (float * int) option;
+      (** Peek at a call at receive time: when it is a deadline envelope,
+          return the absolute deadline (anchored now from the relative
+          wire budget) and the inner wire procedure number, used for
+          priority classification.  Return [None] for ordinary calls. *)
   handle :
     Server_obj.t ->
     Client_obj.t ->

@@ -159,6 +159,31 @@ let rec handle_proc st ~minor ~in_batch client proc body =
           (Rp.dec_batch_call body)
       in
       Ok (Rp.enc_batch_reply replies)
+  | Rp.Proc_call_deadline ->
+    if in_batch then
+      Verror.error Verror.Rpc_failure
+        "deadline envelopes are not allowed inside a batch"
+    else
+      let budget_ms, proc_num, inner_body = Rp.dec_deadline_call body in
+      (match Rp.proc_of_int proc_num with
+       | Error msg -> Error (Verror.make Verror.Rpc_failure msg)
+       | Ok Rp.Proc_call_deadline ->
+         Verror.error Verror.Rpc_failure "nested deadline envelopes are not allowed"
+       | Ok inner_proc ->
+         (* The dispatcher normally anchored the deadline at receive time
+            and installed it in the request context before queueing; if
+            this call arrived by another path (tests, direct handle), do
+            the anchoring here so driver ops still see the budget. *)
+         let run () =
+           let* () = Reqctx.check ~what:"dispatch" () in
+           handle_proc st ~minor ~in_batch:false client inner_proc inner_body
+         in
+         (match Reqctx.deadline () with
+          | Some _ -> run ()
+          | None ->
+            Reqctx.with_deadline
+              (Some (Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.)))
+              run))
   | Rp.Proc_event_register -> do_event_register st client
   | Rp.Proc_event_deregister -> do_event_deregister st client
   | Rp.Proc_event_lifecycle ->
@@ -169,7 +194,7 @@ let rec handle_proc st ~minor ~in_batch client proc body =
     (match proc with
      | Rp.Proc_open | Rp.Proc_close | Rp.Proc_ping | Rp.Proc_echo
      | Rp.Proc_event_register | Rp.Proc_event_deregister | Rp.Proc_event_lifecycle
-     | Rp.Proc_proto_minor | Rp.Proc_call_batch ->
+     | Rp.Proc_proto_minor | Rp.Proc_call_batch | Rp.Proc_call_deadline ->
        assert false
      | Rp.Proc_get_capabilities ->
        Ok (Rp.enc_string_body (Capabilities.to_xml (ops.Driver.get_capabilities ())))
@@ -352,6 +377,22 @@ let program ?(minor = Rp.minor) ~logger () =
           match Rp.proc_of_int proc with
           | Ok p -> Rp.is_high_priority p
           | Error _ -> false);
+      peek_deadline =
+        (fun ~procedure ~body ->
+          (* Only peek when this daemon actually serves v1.4 envelopes;
+             a minor-pinned daemon must treat procedure 49 as unknown,
+             so it must not gain deadline behavior either. *)
+          if
+            minor >= Rp.proc_min_minor Rp.Proc_call_deadline
+            && procedure = Rp.proc_to_int Rp.Proc_call_deadline
+          then
+            match Rp.dec_deadline_call body with
+            | budget_ms, inner, _ ->
+              Some
+                ( Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.),
+                  inner )
+            | exception _ -> None
+          else None);
       handle = (fun srv client header body -> handle st ~minor srv client header body);
       on_disconnect = (fun client -> teardown_conn st (Client_obj.id client));
     }

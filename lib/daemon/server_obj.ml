@@ -13,13 +13,14 @@ type t = {
   mutable draining : bool;
 }
 
-let create ~name ~logger ~min_workers ~max_workers ~prio_workers ~limits =
+let create ~name ~logger ?(job_queue_limit = 0) ?(wall_limit_ms = 0) ~min_workers
+    ~max_workers ~prio_workers ~limits () =
   {
     name;
     logger;
     pool =
-      Threadpool.create ~name:(name ^ "-pool") ~min_workers ~max_workers
-        ~prio_workers ();
+      Threadpool.create ~name:(name ^ "-pool") ~logger ~job_queue_limit
+        ~wall_limit_ms ~min_workers ~max_workers ~prio_workers ();
     mutex = Mutex.create ();
     clients = Hashtbl.create 32;
     limits;

@@ -15,11 +15,17 @@ type client_limits = {
 val create :
   name:string ->
   logger:Vlog.t ->
+  ?job_queue_limit:int ->
+  ?wall_limit_ms:int ->
   min_workers:int ->
   max_workers:int ->
   prio_workers:int ->
   limits:client_limits ->
+  unit ->
   t
+(** [job_queue_limit] and [wall_limit_ms] (both default 0 = disabled)
+    seed the pool's admission bound and stuck-worker watchdog; see
+    {!Threadpool.create}. *)
 
 val name : t -> string
 val pool : t -> Threadpool.t

@@ -197,6 +197,10 @@ let stop_active (node : node) name =
 
 let transition_active (node : node) name event success_event =
   Drvnode.with_write node (fun () ->
+      (* Lifecycle transitions block on the "hypervisor" like the reads
+         do — and being normal-priority on the wire, they are the ops
+         that exercise the daemon's admission control under load. *)
+      hypervisor_wait node;
       let* state, active = require_active node name in
       let* next =
         Result.map_error (Verror.make Verror.Operation_invalid)

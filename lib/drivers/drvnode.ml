@@ -80,8 +80,37 @@ let get_node reg name =
 
 let reset_nodes reg = with_registry reg (fun () -> Hashtbl.reset reg.reg_nodes)
 
-let with_read node f = Rwlock.with_read node.lock f
-let with_write node f = Rwlock.with_write node.lock f
+(* Per-call deadline hook.  The daemon's request context (Reqctx)
+   installs a provider at startup; outside a daemon dispatch it stays
+   [None] and the lock paths below are exactly the unbounded ones.
+   Drivers cannot depend on the daemon library, hence the inversion. *)
+let deadline_hook : (unit -> float option) ref = ref (fun () -> None)
+let set_deadline_hook f = deadline_hook := f
+let current_deadline () = !deadline_hook ()
+
+let lock_expired node =
+  Verror.raise_err Verror.Operation_failed
+    "deadline expired waiting for lock on node %S" node.node_name
+
+(* Driver sections observe the caller's remaining budget: a waiter whose
+   deadline passes gives up instead of piling onto a stuck writer.  The
+   result type of [f] is opaque here, so expiry surfaces as the same
+   [Virt_error] the dispatcher already maps to an error reply. *)
+let with_read node f =
+  match current_deadline () with
+  | None -> Rwlock.with_read node.lock f
+  | Some deadline -> (
+    match Rwlock.with_read_until node.lock ~deadline f with
+    | Ok v -> v
+    | Error `Timeout -> lock_expired node)
+
+let with_write node f =
+  match current_deadline () with
+  | None -> Rwlock.with_write node.lock f
+  | Some deadline -> (
+    match Rwlock.with_write_until node.lock ~deadline f with
+    | Ok v -> v
+    | Error `Timeout -> lock_expired node)
 
 (* Lifecycle events double as durable run-state notes: every driver
    already emits at every lifecycle site, so routing emission through

@@ -100,6 +100,19 @@ val reconcile :
 
 val with_read : 'p node -> (unit -> 'a) -> 'a
 val with_write : 'p node -> (unit -> 'a) -> 'a
+(** Shared / exclusive sections on the node lock.  When the installed
+    deadline hook reports a per-call deadline, acquisition is bounded:
+    a waiter whose deadline passes raises [Verror.Virt_error]
+    ([Operation_failed], "deadline expired…") instead of queueing
+    behind a stuck writer. *)
+
+val set_deadline_hook : (unit -> float option) -> unit
+(** Install the per-call deadline provider (absolute [Unix.gettimeofday]
+    time).  The daemon's request context registers itself here at
+    startup; the default provider reports no deadline, keeping direct
+    (non-daemon) connections on the unbounded paths. *)
+
+val current_deadline : unit -> float option
 
 (** {1 Events} *)
 

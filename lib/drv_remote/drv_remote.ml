@@ -18,6 +18,7 @@ let local_params =
   [
     "daemon"; "keepalive"; "keepalive_count"; "reconnect"; "reconnect_delay";
     "reconnect_max_delay"; "reconnect_seed"; "cache"; "cache_ttl"; "events";
+    "timeout"; "breaker";
   ]
 
 (* The URI handed to the daemon: transport stripped, local parameters
@@ -48,6 +49,9 @@ type stats = {
   st_retried_calls : int;
   st_giveups : int;
   st_recovery_latencies : float list;  (** seconds, most recent first *)
+  st_overloaded : int;  (** calls the daemon shed with [Overloaded] *)
+  st_breaker_opens : int;  (** circuit-breaker open transitions *)
+  st_breaker_fastfails : int;  (** calls failed locally while open *)
 }
 
 (* Counters live per connection: concurrent connections (a chaos run
@@ -64,6 +68,9 @@ type counters = {
   mutable cn_retried : int;
   mutable cn_giveups : int;
   mutable cn_latencies : float list;
+  mutable cn_overloaded : int;
+  mutable cn_breaker_opens : int;
+  mutable cn_breaker_fastfails : int;
 }
 
 let stats_mutex = Mutex.create ()
@@ -86,6 +93,9 @@ let fresh_counters bus =
           cn_retried = 0;
           cn_giveups = 0;
           cn_latencies = [];
+          cn_overloaded = 0;
+          cn_breaker_opens = 0;
+          cn_breaker_fastfails = 0;
         }
       in
       all_counters := c :: !all_counters;
@@ -100,7 +110,10 @@ let reset_stats () =
           c.cn_reconnects <- 0;
           c.cn_retried <- 0;
           c.cn_giveups <- 0;
-          c.cn_latencies <- [])
+          c.cn_latencies <- [];
+          c.cn_overloaded <- 0;
+          c.cn_breaker_opens <- 0;
+          c.cn_breaker_fastfails <- 0)
         !all_counters)
 
 let snapshot c =
@@ -111,6 +124,9 @@ let snapshot c =
     st_retried_calls = c.cn_retried;
     st_giveups = c.cn_giveups;
     st_recovery_latencies = c.cn_latencies;
+    st_overloaded = c.cn_overloaded;
+    st_breaker_opens = c.cn_breaker_opens;
+    st_breaker_fastfails = c.cn_breaker_fastfails;
   }
 
 let stats () =
@@ -124,6 +140,10 @@ let stats () =
             st_retried_calls = acc.st_retried_calls + c.cn_retried;
             st_giveups = acc.st_giveups + c.cn_giveups;
             st_recovery_latencies = c.cn_latencies @ acc.st_recovery_latencies;
+            st_overloaded = acc.st_overloaded + c.cn_overloaded;
+            st_breaker_opens = acc.st_breaker_opens + c.cn_breaker_opens;
+            st_breaker_fastfails =
+              acc.st_breaker_fastfails + c.cn_breaker_fastfails;
           })
         {
           st_calls = 0;
@@ -132,6 +152,9 @@ let stats () =
           st_retried_calls = 0;
           st_giveups = 0;
           st_recovery_latencies = [];
+          st_overloaded = 0;
+          st_breaker_opens = 0;
+          st_breaker_fastfails = 0;
         }
         !all_counters)
 
@@ -182,6 +205,13 @@ type remote_conn = {
   rc_on_event : procedure:int -> string -> unit;
   rc_stats : counters;
   mutable rc_prng : int;
+  rc_timeout_s : float option;
+      (** default per-call budget; wrapped as a deadline envelope when
+          the daemon speaks v1.4, and always bounds the client-side wait *)
+  rc_breaker_k : int;  (** consecutive sheds that open the breaker; 0 = off *)
+  mutable rc_consec_rejects : int;
+  mutable rc_breaker_until : float;  (** 0. = breaker closed *)
+  mutable rc_probing : bool;  (** a half-open probe is in flight *)
 }
 
 let with_conn conn f =
@@ -302,42 +332,152 @@ let ensure_connected conn ~dead =
         attempt 1
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Overload handling: shed replies and the circuit breaker             *)
+(* ------------------------------------------------------------------ *)
+
+(* When the daemon's retry_after hint fails to parse. *)
+let default_retry_after_ms = 50
+
+(* Fail fast while the breaker is open; once the retry_after window has
+   passed, exactly one call goes through as the half-open probe while
+   everyone else keeps failing fast until it reports back. *)
+let breaker_admit conn =
+  if conn.rc_breaker_k = 0 then Ok ()
+  else
+    with_conn conn (fun () ->
+        if conn.rc_breaker_until = 0. then Ok ()
+        else
+          let now = Unix.gettimeofday () in
+          if now >= conn.rc_breaker_until && not conn.rc_probing then begin
+            conn.rc_probing <- true;
+            Ok ()
+          end
+          else begin
+            with_stats (fun () ->
+                conn.rc_stats.cn_breaker_fastfails <-
+                  conn.rc_stats.cn_breaker_fastfails + 1);
+            let remaining_ms =
+              int_of_float
+                (Float.max 1. ((conn.rc_breaker_until -. now) *. 1000.))
+            in
+            Verror.overloaded ~retry_after_ms:remaining_ms
+              "circuit breaker open (server overloaded)"
+          end)
+
+(* The server answered (successfully or with an application error):
+   it is responsive, so the breaker closes and the reject streak ends. *)
+let breaker_responsive conn =
+  if conn.rc_breaker_k > 0 then
+    with_conn conn (fun () ->
+        conn.rc_consec_rejects <- 0;
+        conn.rc_breaker_until <- 0.;
+        conn.rc_probing <- false)
+
+(* A transport failure proves nothing about overload either way: the
+   probe slot is released, the breaker state kept. *)
+let breaker_inconclusive conn =
+  if conn.rc_breaker_k > 0 then
+    with_conn conn (fun () -> conn.rc_probing <- false)
+
+let breaker_shed conn err =
+  with_stats (fun () ->
+      conn.rc_stats.cn_overloaded <- conn.rc_stats.cn_overloaded + 1);
+  if conn.rc_breaker_k > 0 then
+    with_conn conn (fun () ->
+        conn.rc_probing <- false;
+        conn.rc_consec_rejects <- conn.rc_consec_rejects + 1;
+        if conn.rc_consec_rejects >= conn.rc_breaker_k then begin
+          let retry_ms =
+            Option.value (Verror.retry_after_ms err)
+              ~default:default_retry_after_ms
+          in
+          let was_closed = conn.rc_breaker_until = 0. in
+          (* Jittered: clients whose breakers all opened on the same shed
+             wave must not close and re-stampede in lockstep. *)
+          let jitter = 1. +. (0.5 *. next_unit_float conn) in
+          conn.rc_breaker_until <-
+            Unix.gettimeofday () +. (float_of_int retry_ms /. 1000. *. jitter);
+          if was_closed then
+            with_stats (fun () ->
+                conn.rc_stats.cn_breaker_opens <-
+                  conn.rc_stats.cn_breaker_opens + 1)
+        end)
+
 (* Resilient call: a connection-death failure triggers reconnection (any
    call type pays for the rebuild), but only idempotent procedures are
    re-issued; a mutating call surfaces the failure, leaving the restored
    connection for its caller's own retry decision.  [?idempotent]
    overrides the per-procedure table — a batch is exactly as idempotent
-   as its least idempotent sub-call, which only the caller knows. *)
+   as its least idempotent sub-call, which only the caller knows.
+
+   With a [timeout=<s>] URI parameter each call carries its budget to the
+   daemon as a v1.4 deadline envelope (old daemons: client-side wait
+   bound only) so the server can drop it if it expires while queued.
+   [Overloaded] shed replies are handled distinctly: never auto-retried,
+   never treated as a transport failure, and K consecutive ones open the
+   per-connection circuit breaker. *)
 let call ?idempotent conn proc body =
   let idempotent =
     match idempotent with Some v -> v | None -> Rp.is_idempotent proc
   in
+  let timeout = conn.rc_timeout_s in
+  (* Client-side wait slightly outlasts the server budget so the
+     daemon's own "expired in queue" reply wins the race when it can. *)
+  let timeout_s = Option.map (fun t -> t +. 0.25) timeout in
+  let wire_call rpc =
+    let wproc, wbody =
+      match timeout with
+      | Some t
+        when with_conn conn (fun () -> conn.rc_minor)
+             >= Rp.proc_min_minor Rp.Proc_call_deadline ->
+        ( Rp.Proc_call_deadline,
+          Rp.enc_deadline_call
+            ~budget_ms:(max 1 (int_of_float (t *. 1000.)))
+            ~proc:(Rp.proc_to_int proc) body )
+      | _ -> (proc, body)
+    in
+    Rpc_client.call rpc ~procedure:(Rp.proc_to_int wproc) ~body:wbody
+      ?timeout_s ()
+  in
   let rec go attempt =
-    let rpc = with_conn conn (fun () -> conn.rpc) in
-    tick conn;
-    match raw_call rpc proc body with
-    | Ok _ as ok -> ok
-    | Error e
-      when e.Verror.code = Verror.Rpc_failure
-           && conn.rc_resilience <> None
-           && Rpc_client.is_closed rpc -> begin
-        match ensure_connected conn ~dead:rpc with
-        | Error _ as err -> err
-        | Ok () ->
-          let budget = (Option.get conn.rc_resilience).res_budget in
-          if idempotent && attempt <= budget then begin
-            with_stats (fun () ->
-                conn.rc_stats.cn_retried <- conn.rc_stats.cn_retried + 1);
-            go (attempt + 1)
-          end
-          else if idempotent then Error e
-          else
-            Verror.error Verror.Rpc_failure
-              "connection dropped during non-idempotent call %d (reconnected, \
-               not retried): %s"
-              (Rp.proc_to_int proc) e.Verror.message
-      end
+    match breaker_admit conn with
     | Error _ as err -> err
+    | Ok () -> (
+      let rpc = with_conn conn (fun () -> conn.rpc) in
+      tick conn;
+      match wire_call rpc with
+      | Ok _ as ok ->
+        breaker_responsive conn;
+        ok
+      | Error e when e.Verror.code = Verror.Overloaded ->
+        breaker_shed conn e;
+        Error e
+      | Error e
+        when e.Verror.code = Verror.Rpc_failure
+             && conn.rc_resilience <> None
+             && Rpc_client.is_closed rpc -> begin
+          breaker_inconclusive conn;
+          match ensure_connected conn ~dead:rpc with
+          | Error _ as err -> err
+          | Ok () ->
+            let budget = (Option.get conn.rc_resilience).res_budget in
+            if idempotent && attempt <= budget then begin
+              with_stats (fun () ->
+                  conn.rc_stats.cn_retried <- conn.rc_stats.cn_retried + 1);
+              go (attempt + 1)
+            end
+            else if idempotent then Error e
+            else
+              Verror.error Verror.Rpc_failure
+                "connection dropped during non-idempotent call %d (reconnected, \
+                 not retried): %s"
+                (Rp.proc_to_int proc) e.Verror.message
+        end
+      | Error e as err ->
+        if e.Verror.code = Verror.Rpc_failure then breaker_inconclusive conn
+        else breaker_responsive conn;
+        err)
   in
   go 1
 
@@ -700,6 +840,14 @@ let open_conn uri =
       rc_stats = fresh_counters events;
       rc_prng =
         (match resilience with Some r -> r.res_seed | None -> 1);
+      rc_timeout_s =
+        (match float_param uri "timeout" with
+         | Some t when t > 0. -> Some t
+         | Some _ | None -> None);
+      rc_breaker_k = Option.value (int_param uri "breaker") ~default:3;
+      rc_consec_rejects = 0;
+      rc_breaker_until = 0.;
+      rc_probing = false;
     }
 
 let close_conn conn =

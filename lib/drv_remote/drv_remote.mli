@@ -56,7 +56,27 @@
       ({!Protocol.Remote_protocol.is_idempotent}); mutating calls
       surface [Rpc_failure] for the caller to decide.  After the budget
       is exhausted the connection is defunct and every call fails
-      fast. *)
+      fast.
+
+    {1 Overload protection}
+
+    - [timeout=<seconds>] gives every call an end-to-end deadline.
+      Against a v1.4 daemon the budget travels with the call as a
+      deadline envelope, so the daemon refuses to start work whose
+      deadline expired while queued and driver operations stop waiting
+      for node locks once the budget runs out; against older daemons the
+      parameter only bounds the client-side wait.
+    - A daemon that sheds a call under admission control answers
+      [Verror.Overloaded] with a [retry_after_ms] hint.  Shed calls are
+      {e never} auto-retried (the daemon explicitly asked us to back
+      off) and never treated as a transport failure.
+    - [breaker=<k>] (default 3, [0] disables): after [k] {e consecutive}
+      shed replies the per-connection circuit breaker opens and calls
+      fail fast locally — also with [Overloaded] and the remaining wait
+      as the hint — for the daemon's advertised retry_after window
+      (deterministically jittered).  After the window one call probes
+      the daemon (half-open); a served probe closes the breaker, another
+      shed reopens it. *)
 
 module Cache = Remote_cache
 (** The cache machinery, exposed for unit tests. *)
@@ -83,6 +103,12 @@ type stats = {
   st_recovery_latencies : float list;
       (** seconds from outage detection to restored connection, most
           recent first *)
+  st_overloaded : int;
+      (** calls the daemon shed with [Overloaded] (admission control) *)
+  st_breaker_opens : int;  (** circuit-breaker open transitions *)
+  st_breaker_fastfails : int;
+      (** calls failed locally, without touching the wire, while the
+          breaker was open *)
 }
 
 val stats : unit -> stats

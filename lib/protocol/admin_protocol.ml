@@ -19,6 +19,7 @@ type procedure =
   | Proc_set_log_outputs
   | Proc_daemon_uptime
   | Proc_daemon_drain
+  | Proc_daemon_pool_stats
 
 let all_procedures =
   [
@@ -30,6 +31,8 @@ let all_procedures =
     Proc_daemon_uptime;
     (* v1.1 additions: numbers are append-only *)
     Proc_daemon_drain;
+    (* v1.2 additions *)
+    Proc_daemon_pool_stats;
   ]
 
 let proc_to_int proc =
@@ -52,6 +55,14 @@ let threadpool_workers_priority = "prioWorkers"
 let threadpool_workers_free = "freeWorkers"
 let threadpool_workers_current = "nWorkers"
 let threadpool_job_queue_depth = "jobQueueDepth"
+let threadpool_job_queue_limit = "jobQueueLimit"
+let threadpool_wall_limit_ms = "wallLimitMs"
+let pool_jobs_done = "jobsDone"
+let pool_jobs_failed = "jobsFailed"
+let pool_jobs_shed = "jobsShed"
+let pool_jobs_expired = "jobsExpired"
+let pool_workers_stuck = "workersStuck"
+let pool_workers_stuck_now = "workersStuckNow"
 let server_clients_max = "nclients_max"
 let server_clients_current = "nclients"
 let server_clients_unauth_max = "nclients_unauth_max"

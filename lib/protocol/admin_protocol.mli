@@ -28,6 +28,10 @@ type procedure =
   | Proc_daemon_drain
       (** graceful shutdown: stop accepting connections, finish in-flight
           dispatches, then close.  Replies before the drain completes. *)
+  | Proc_daemon_pool_stats
+      (** args: server; ret: typed params — overload counters
+          (jobs done/failed/shed/expired, stuck workers) plus the live
+          queue/wall limits *)
 
 val proc_to_int : procedure -> int
 val proc_of_int : int -> (procedure, string) result
@@ -44,6 +48,15 @@ val threadpool_workers_priority : string
 val threadpool_workers_free : string
 val threadpool_workers_current : string
 val threadpool_job_queue_depth : string
+val threadpool_job_queue_limit : string
+val threadpool_wall_limit_ms : string
+
+val pool_jobs_done : string
+val pool_jobs_failed : string
+val pool_jobs_shed : string
+val pool_jobs_expired : string
+val pool_workers_stuck : string
+val pool_workers_stuck_now : string
 
 val server_clients_max : string
 val server_clients_current : string

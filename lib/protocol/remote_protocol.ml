@@ -7,7 +7,7 @@ let version = 1
    never changes (append-only numbering keeps every frame compatible);
    the minor only gates which procedures a daemon is willing to serve
    and is negotiated per connection via [Proc_proto_minor]. *)
-let minor = 3
+let minor = 4
 
 type procedure =
   | Proc_open
@@ -58,6 +58,7 @@ type procedure =
   | Proc_dom_list_all
   | Proc_call_batch
   | Proc_vol_lookup
+  | Proc_call_deadline
 
 (* Append-only: the list position IS the wire number (1-based). *)
 let all_procedures =
@@ -78,6 +79,8 @@ let all_procedures =
     Proc_dom_set_autostart; Proc_dom_get_autostart;
     (* v1.3 additions: negotiation + bulk/batch *)
     Proc_proto_minor; Proc_dom_list_all; Proc_call_batch; Proc_vol_lookup;
+    (* v1.4 additions: per-call deadline envelope *)
+    Proc_call_deadline;
   ]
 
 (* Number↔procedure mapping is on the per-packet hot path: precomputed
@@ -104,6 +107,7 @@ let proc_min_minor = function
   | Proc_dom_save | Proc_dom_restore | Proc_dom_has_managed_save -> 1
   | Proc_dom_set_autostart | Proc_dom_get_autostart -> 2
   | Proc_proto_minor | Proc_dom_list_all | Proc_call_batch | Proc_vol_lookup -> 3
+  | Proc_call_deadline -> 4
   | _ -> 0
 
 let is_high_priority = function
@@ -122,8 +126,10 @@ let is_high_priority = function
   | Proc_pool_lookup | Proc_vol_create | Proc_vol_delete | Proc_vol_list
   | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
   | Proc_dom_set_autostart
-  (* batch sub-calls may be arbitrary, vol_lookup walks pools *)
-  | Proc_call_batch | Proc_vol_lookup ->
+  (* batch sub-calls may be arbitrary, vol_lookup walks pools; a
+     deadline envelope's priority follows its inner call, resolved by
+     the dispatcher after peeking into the body *)
+  | Proc_call_batch | Proc_vol_lookup | Proc_call_deadline ->
     false
 
 (* Idempotent = safe to re-issue after a connection death when the client
@@ -147,9 +153,10 @@ let is_idempotent = function
   | Proc_vol_delete | Proc_event_register | Proc_event_deregister
   | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
   | Proc_dom_set_autostart
-  (* a batch is as idempotent as its least idempotent sub-call; the
-     client computes that per batch and overrides retry eligibility *)
-  | Proc_call_batch ->
+  (* a batch is as idempotent as its least idempotent sub-call, a
+     deadline envelope exactly as idempotent as its inner call; the
+     client computes both per call and overrides retry eligibility *)
+  | Proc_call_batch | Proc_call_deadline ->
     false
 
 (* ------------------------------------------------------------------ *)
@@ -301,6 +308,28 @@ let dec_batch_reply body =
           let ok = Xdr.dec_bool d in
           let body = Xdr.dec_string d in
           (ok, body)))
+    body
+
+(* Deadline envelope: [budget_ms (u32)][inner procedure (u32)][inner
+   body (opaque)].  The budget is {e relative} — milliseconds left when
+   the client sent the frame — so client and daemon clocks never need to
+   agree; the daemon anchors the deadline at receive time.  The reply is
+   the inner call's reply, so the envelope adds no round trip. *)
+let enc_deadline_call ~budget_ms ~proc body =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_uint e budget_ms;
+      Xdr.enc_uint e proc;
+      Xdr.enc_string e body)
+    ()
+
+let dec_deadline_call body =
+  Xdr.decode
+    (fun d ->
+      let budget_ms = Xdr.dec_uint d in
+      let proc = Xdr.dec_uint d in
+      let body = Xdr.dec_string d in
+      (budget_ms, proc, body))
     body
 
 let enc_name_and_kib name kib =

@@ -64,6 +64,9 @@ type procedure =
   | Proc_dom_list_all  (** ret: domain_record array, one-lock snapshot *)
   | Proc_call_batch  (** args: (proc, body) array; ret: (ok, body) array *)
   | Proc_vol_lookup  (** args: volume path; ret: vol_info *)
+  | Proc_call_deadline
+      (** appended in v1.4: deadline envelope — args:
+          [(budget_ms, inner proc, inner body)]; ret: the inner reply *)
 
 val enc_bool_body : bool -> string
 val dec_bool_body : string -> bool
@@ -120,6 +123,13 @@ val dec_batch_call : string -> (int * string) list
 val enc_batch_reply : (bool * string) list -> string
 val dec_batch_reply : string -> (bool * string) list
 (** Sub-replies as (ok, body); a [false] body is an {!enc_error}. *)
+
+val enc_deadline_call : budget_ms:int -> proc:int -> string -> string
+val dec_deadline_call : string -> int * int * string
+(** Deadline envelope (v1.4): the {e relative} budget in milliseconds
+    plus the wrapped (procedure, body).  Relative so client and daemon
+    clocks need not agree; the daemon anchors the absolute deadline at
+    receive time.  @raise Xdr.Error on corruption. *)
 
 val enc_name_and_kib : string -> int -> string
 val dec_name_and_kib : string -> string * int

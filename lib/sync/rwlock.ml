@@ -65,6 +65,63 @@ let with_write t f =
   write_lock t;
   Fun.protect ~finally:(fun () -> write_unlock t) f
 
+(* Bounded-wait acquisition: try-lock + short poll until [deadline].
+   The Condition-based slow path cannot time out (no timed wait in the
+   stdlib), so bounded waiters poll instead — and deliberately never
+   register as waiting writers, so a waiter that will give up anyway
+   cannot bar readers while it polls. *)
+let poll_tick = 0.002
+
+(* Try paths, caller holds t.mutex.  [`Read]/[`Write] says which release
+   to use; exclusive mode (snapshotted per attempt) demotes reads. *)
+let try_read_locked t =
+  if t.exclusive_mode then
+    if (not t.active_writer) && t.active_readers = 0 && t.waiting_writers = 0
+    then begin
+      t.active_writer <- true;
+      Some `Write
+    end
+    else None
+  else if (not t.active_writer) && t.waiting_writers = 0 then begin
+    t.active_readers <- t.active_readers + 1;
+    Some `Read
+  end
+  else None
+
+let try_write_locked t =
+  if (not t.active_writer) && t.active_readers = 0 then begin
+    t.active_writer <- true;
+    Some `Write
+  end
+  else None
+
+let acquire_until t ~deadline try_locked =
+  let rec attempt () =
+    match with_mutex t (fun () -> try_locked t) with
+    | Some mode -> Some mode
+    | None ->
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        Thread.delay poll_tick;
+        attempt ()
+      end
+  in
+  attempt ()
+
+let release t = function
+  | `Read -> with_mutex t (fun () -> read_unlock_locked t)
+  | `Write -> with_mutex t (fun () -> write_unlock_locked t)
+
+let with_read_until t ~deadline f =
+  match acquire_until t ~deadline try_read_locked with
+  | None -> Error `Timeout
+  | Some mode -> Ok (Fun.protect ~finally:(fun () -> release t mode) f)
+
+let with_write_until t ~deadline f =
+  match acquire_until t ~deadline try_write_locked with
+  | None -> Error `Timeout
+  | Some mode -> Ok (Fun.protect ~finally:(fun () -> release t mode) f)
+
 let with_read t f =
   (* Snapshot the mode under the mutex and acquire in the same critical
      section, so a concurrent [set_exclusive] cannot split the decision

@@ -41,6 +41,19 @@ val with_read : t -> (unit -> 'a) -> 'a
 val with_write : t -> (unit -> 'a) -> 'a
 (** Run an exclusive section.  Releases on exception. *)
 
+val with_read_until :
+  t -> deadline:float -> (unit -> 'a) -> ('a, [ `Timeout ]) result
+(** Like {!with_read}, but give up (without running [f]) if the lock
+    cannot be acquired by the absolute [deadline] ([Unix.gettimeofday]
+    scale).  Bounded waiters poll rather than queue: while waiting they
+    never bar other acquirers the way a queued writer would, so a caller
+    that will give up anyway cannot worsen a pile-up behind a stuck
+    writer.  Exclusive mode is honored like {!with_read}. *)
+
+val with_write_until :
+  t -> deadline:float -> (unit -> 'a) -> ('a, [ `Timeout ]) result
+(** Exclusive-section counterpart of {!with_read_until}. *)
+
 (** {2 Unpaired operations}
 
     For code that cannot use the section helpers (tests, hand-rolled

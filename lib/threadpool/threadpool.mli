@@ -14,10 +14,33 @@
       make progress even when every ordinary worker is stuck on a hanging
       hypervisor call.
 
+    On top of that sits the overload-protection layer:
+
+    - {e admission control}: [job_queue_limit] bounds the normal-class
+      queue.  Over the bound, {!submit} {b rejects} the job immediately
+      with a retry-after hint — it never blocks the submitter and never
+      queues past the limit.  High-priority (control-plane) jobs bypass
+      the bound.  [0] (the default) keeps the queue unbounded;
+    - {e fair queuing}: normal-class jobs are kept in per-source queues
+      served deficit-round-robin, so one connection with a deep backlog
+      cannot starve the others;
+    - {e deadlines}: a job whose absolute [deadline] passes while it is
+      still queued is dropped at dequeue (its [on_expired] callback runs
+      instead) — the client already gave up, executing it only adds load;
+    - {e watchdog}: with a nonzero [wall_limit_ms], a watchdog thread
+      writes off any worker whose current job exceeds the wall limit and
+      spawns a replacement, so a wedged hypervisor call cannot silently
+      eat pool capacity.  The written-off thread retires itself when (if)
+      its job ever returns.
+
     All limits are runtime-adjustable ({!set_limits}), which is what the
     administration interface exposes. *)
 
 type t
+
+type reject = { retry_after_ms : int }
+(** Admission-control rejection: how long the submitter should wait
+    before retrying (backlog priced at the smoothed job duration). *)
 
 type stats = {
   min_workers : int;
@@ -27,6 +50,13 @@ type stats = {
   prio_workers : int;  (** current priority workers *)
   job_queue_depth : int;  (** jobs waiting (both classes) *)
   jobs_completed : int;  (** total jobs finished since creation *)
+  jobs_failed : int;  (** jobs whose function raised *)
+  jobs_shed : int;  (** jobs rejected by admission control *)
+  jobs_expired : int;  (** jobs dropped because their deadline passed in queue *)
+  workers_stuck : int;  (** workers ever written off by the watchdog *)
+  workers_stuck_now : int;  (** written-off workers still wedged *)
+  job_queue_limit : int;  (** normal-queue bound; 0 = unbounded *)
+  wall_limit_ms : int;  (** watchdog wall limit; 0 = off *)
 }
 
 exception Invalid_limits of string
@@ -34,20 +64,63 @@ exception Invalid_limits of string
     (e.g. [max_workers < min_workers], negative counts). *)
 
 val create :
-  ?name:string -> min_workers:int -> max_workers:int -> prio_workers:int -> unit -> t
+  ?name:string ->
+  ?logger:Vlog.t ->
+  ?job_queue_limit:int ->
+  ?wall_limit_ms:int ->
+  min_workers:int ->
+  max_workers:int ->
+  prio_workers:int ->
+  unit ->
+  t
 (** Start a pool with [min_workers] ordinary workers and [prio_workers]
-    priority workers already running. *)
+    priority workers already running.  [job_queue_limit] (default [0] =
+    unbounded) bounds the normal-class queue — see {!submit} for the
+    over-limit behaviour.  A nonzero [wall_limit_ms] starts the
+    stuck-worker watchdog.  [logger] receives job-failure and
+    stuck-worker reports (rate-limited). *)
 
-val push : t -> ?priority:bool -> (unit -> unit) -> unit
+val submit :
+  t ->
+  ?priority:bool ->
+  ?source:int64 ->
+  ?deadline:float ->
+  ?on_expired:(unit -> unit) ->
+  (unit -> unit) ->
+  (unit, reject) result
 (** Enqueue a job.  [~priority:true] jobs are eligible for priority
-    workers (and are preferred by ordinary workers).  Exceptions escaping
-    the job are swallowed and counted ({!failed_jobs}).
+    workers (and are preferred by ordinary workers).  [source] is the
+    fair-queuing key — pass the client-connection id so deficit round
+    robin can arbitrate between connections.  [deadline] is absolute
+    ([Unix.gettimeofday] scale); if it passes before a worker picks the
+    job up, the job is dropped and [on_expired] runs in its place.
+
+    Over-limit behaviour is {b reject, never block}: when the
+    normal-class queue holds [job_queue_limit] jobs the call returns
+    [Error { retry_after_ms }] immediately, without enqueueing and
+    without waiting.  Exceptions escaping the job are logged and counted
+    ({!failed_jobs}); they never kill the worker.
     @raise Invalid_limits if the pool has been shut down. *)
 
-val set_limits : t -> ?min_workers:int -> ?max_workers:int -> ?prio_workers:int -> unit -> unit
+val push : t -> ?priority:bool -> (unit -> unit) -> unit
+(** {!submit} for callers without a source or deadline; an
+    admission-control rejection is counted but otherwise silent.
+    @raise Invalid_limits if the pool has been shut down. *)
+
+val set_limits :
+  t ->
+  ?min_workers:int ->
+  ?max_workers:int ->
+  ?prio_workers:int ->
+  ?job_queue_limit:int ->
+  ?wall_limit_ms:int ->
+  unit ->
+  unit
 (** Adjust limits at runtime.  Raising [min_workers] spawns immediately;
     lowering [max_workers] retires surplus workers cooperatively; changing
-    [prio_workers] grows or shrinks the priority set. *)
+    [prio_workers] grows or shrinks the priority set.  [job_queue_limit]
+    and [wall_limit_ms] take effect for subsequent submissions/scans
+    ([0] disables either). *)
 
 val stats : t -> stats
 

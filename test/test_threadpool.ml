@@ -194,6 +194,193 @@ let test_concurrent_pushers () =
   Alcotest.(check int) "all 1600 ran" 1600 (Atomic.get counter);
   Threadpool.shutdown pool
 
+(* --- overload protection -------------------------------------------------- *)
+
+(* Wedge the pool's single ordinary worker on [release] and wait until it
+   has actually picked the job up. *)
+let wedge_worker pool release =
+  Mutex.lock release;
+  let picked_up = Atomic.make false in
+  Threadpool.push pool (fun () ->
+      Atomic.set picked_up true;
+      Mutex.lock release;
+      Mutex.unlock release);
+  (* free_workers is 0 both before the worker thread first parks and while
+     it runs, so only the job's own signal proves it left the queue. *)
+  let busy = eventually (fun () -> Atomic.get picked_up) in
+  Alcotest.(check bool) "worker wedged" true busy
+
+let test_queue_bound_rejects () =
+  let pool =
+    Threadpool.create ~name:(fresh_name "pool") ~job_queue_limit:4 ~min_workers:1
+      ~max_workers:1 ~prio_workers:1 ()
+  in
+  let release = Mutex.create () in
+  wedge_worker pool release;
+  for _ = 1 to 4 do
+    match Threadpool.submit pool (fun () -> ()) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "rejected below the bound"
+  done;
+  (* Overflow is rejected immediately — never blocked on — with a hint. *)
+  (match Threadpool.submit pool (fun () -> ()) with
+   | Ok () -> Alcotest.fail "admitted above the bound"
+   | Error { Threadpool.retry_after_ms } ->
+     Alcotest.(check bool) "retry hint positive" true (retry_after_ms > 0));
+  let s = Threadpool.stats pool in
+  Alcotest.(check int) "one shed" 1 s.Threadpool.jobs_shed;
+  Alcotest.(check bool) "bound holds" true (s.Threadpool.job_queue_depth <= 4);
+  (* Priority (control-plane) traffic bypasses the bound. *)
+  (match Threadpool.submit pool ~priority:true (fun () -> ()) with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "priority job shed");
+  Mutex.unlock release;
+  Threadpool.drain pool;
+  Threadpool.shutdown pool
+
+let test_raising_job_keeps_worker () =
+  let pool = make ~min_workers:2 ~max_workers:2 () in
+  for _ = 1 to 10 do
+    Threadpool.push pool (fun () -> failwith "boom")
+  done;
+  Threadpool.drain pool;
+  let s = Threadpool.stats pool in
+  Alcotest.(check int) "workers intact" 2 s.Threadpool.n_workers;
+  Alcotest.(check int) "failures counted" 10 s.Threadpool.jobs_failed;
+  let hit = Atomic.make false in
+  Threadpool.push pool (fun () -> Atomic.set hit true);
+  Threadpool.drain pool;
+  Alcotest.(check bool) "pool still serves" true (Atomic.get hit);
+  Threadpool.shutdown pool
+
+let test_set_limits_under_load () =
+  let pool =
+    Threadpool.create ~name:(fresh_name "pool") ~job_queue_limit:8 ~min_workers:1
+      ~max_workers:1 ~prio_workers:1 ()
+  in
+  let release = Mutex.create () in
+  wedge_worker pool release;
+  for _ = 1 to 6 do
+    Threadpool.push pool (fun () -> ())
+  done;
+  (* Shrinking the bound below the live depth sheds new work only. *)
+  Threadpool.set_limits pool ~job_queue_limit:2 ();
+  (match Threadpool.submit pool (fun () -> ()) with
+   | Ok () -> Alcotest.fail "admitted above the shrunken bound"
+   | Error _ -> ());
+  Alcotest.(check int) "queued jobs kept" 6
+    (Threadpool.stats pool).Threadpool.job_queue_depth;
+  (* Growing re-admits. *)
+  Threadpool.set_limits pool ~job_queue_limit:50 ();
+  (match Threadpool.submit pool (fun () -> ()) with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "rejected below the regrown bound");
+  (* Worker limits can move while the only worker is mid-job. *)
+  Threadpool.set_limits pool ~min_workers:1 ~max_workers:4 ();
+  Mutex.unlock release;
+  Threadpool.drain pool;
+  Alcotest.(check int) "all queued jobs ran" 8
+    (Threadpool.stats pool).Threadpool.jobs_completed;
+  Threadpool.shutdown pool
+
+let test_deadline_expires_in_queue () =
+  let pool =
+    Threadpool.create ~name:(fresh_name "pool") ~min_workers:1 ~max_workers:1
+      ~prio_workers:0 ()
+  in
+  let release = Mutex.create () in
+  wedge_worker pool release;
+  let ran = Atomic.make false in
+  let expired = Atomic.make false in
+  (match
+     Threadpool.submit pool
+       ~deadline:(Unix.gettimeofday () +. 0.05)
+       ~on_expired:(fun () -> Atomic.set expired true)
+       (fun () -> Atomic.set ran true)
+   with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "submit rejected");
+  Thread.delay 0.12;
+  (* Deadline lapsed while queued behind the wedge: the job must be
+     dropped at dequeue, never executed. *)
+  Mutex.unlock release;
+  Threadpool.drain pool;
+  Alcotest.(check bool) "expired job never ran" false (Atomic.get ran);
+  Alcotest.(check bool) "on_expired fired" true (Atomic.get expired);
+  Alcotest.(check int) "expiry counted" 1
+    (Threadpool.stats pool).Threadpool.jobs_expired;
+  Threadpool.shutdown pool
+
+let test_fair_queuing_light_client_not_starved () =
+  let pool =
+    Threadpool.create ~name:(fresh_name "pool") ~min_workers:1 ~max_workers:1
+      ~prio_workers:0 ()
+  in
+  let release = Mutex.create () in
+  wedge_worker pool release;
+  let order_mutex = Mutex.create () in
+  let order = ref [] in
+  let submit source tag =
+    match
+      Threadpool.submit pool ~source (fun () ->
+          Mutex.lock order_mutex;
+          order := tag :: !order;
+          Mutex.unlock order_mutex)
+    with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "unbounded pool shed a job"
+  in
+  (* Two greedy clients stack 40 jobs each before a light client's two
+     arrive; round-robin service must still serve the light client among
+     the first rounds instead of behind the 80-job backlog. *)
+  for _ = 1 to 40 do submit 1L "A" done;
+  for _ = 1 to 40 do submit 2L "B" done;
+  submit 3L "C";
+  submit 3L "C";
+  Mutex.unlock release;
+  Threadpool.drain pool;
+  let completions = List.rev !order in
+  Alcotest.(check int) "all ran" 82 (List.length completions);
+  let last_c =
+    List.fold_left
+      (fun (i, last) tag -> (i + 1, if tag = "C" then i else last))
+      (0, -1) completions
+    |> snd
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "light client served early (position %d)" last_c)
+    true
+    (last_c >= 0 && last_c < 10);
+  Threadpool.shutdown pool
+
+let test_watchdog_replaces_stuck_worker () =
+  let pool =
+    Threadpool.create ~name:(fresh_name "pool") ~wall_limit_ms:50 ~min_workers:1
+      ~max_workers:1 ~prio_workers:0 ()
+  in
+  let release = Mutex.create () in
+  wedge_worker pool release;
+  (* Watchdog writes the wedged worker off and spawns a replacement. *)
+  let replaced =
+    eventually (fun () ->
+        let s = Threadpool.stats pool in
+        s.Threadpool.workers_stuck = 1 && s.Threadpool.workers_stuck_now = 1)
+  in
+  Alcotest.(check bool) "stuck worker detected and written off" true replaced;
+  let hit = Atomic.make false in
+  Threadpool.push pool (fun () -> Atomic.set hit true);
+  let progressed = eventually (fun () -> Atomic.get hit) in
+  Alcotest.(check bool) "replacement serves while original wedged" true progressed;
+  (* The wedged job finishing retires its written-off worker quietly. *)
+  Mutex.unlock release;
+  let retired =
+    eventually (fun () -> (Threadpool.stats pool).Threadpool.workers_stuck_now = 0)
+  in
+  Alcotest.(check bool) "stuck worker retired on completion" true retired;
+  Alcotest.(check int) "capacity intact" 1 (Threadpool.stats pool).Threadpool.n_workers;
+  Threadpool.drain pool;
+  Threadpool.shutdown pool
+
 let prop_stats_invariants =
   qcheck_case ~count:30 "stats invariants across random configs"
     QCheck.(triple (int_range 0 4) (int_range 1 6) (int_range 0 3))
@@ -245,7 +432,18 @@ let () =
       ( "robustness",
         [
           quick "failed jobs counted" test_failed_jobs_counted;
+          quick "raising job keeps worker" test_raising_job_keeps_worker;
           quick "concurrent pushers" test_concurrent_pushers;
           prop_stats_invariants;
+        ] );
+      ( "overload protection",
+        [
+          quick "queue bound rejects" test_queue_bound_rejects;
+          quick "set_limits under load" test_set_limits_under_load;
+          quick "deadline expires in queue" test_deadline_expires_in_queue;
+          quick "fair queuing protects light client"
+            test_fair_queuing_light_client_not_starved;
+          quick "watchdog replaces stuck worker"
+            test_watchdog_replaces_stuck_worker;
         ] );
     ]
