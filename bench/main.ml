@@ -1313,6 +1313,239 @@ let overload () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E18: declarative reconciliation — convergence latency and crash     *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Two claims.  Latency: converging a fleet of N stopped guests whose
+   policy says running costs ~N/parallel_shutdown node round-trips, so
+   raising the parallelism bound cuts convergence time near-linearly.
+   Robustness: killing the daemon at swept points mid-apply (after the
+   k-th lifecycle side effect, before its checkpoint — the worst
+   window) and restarting it never duplicates a side effect and never
+   leaves a domain diverged: the journaled plan resumes, the
+   postcondition precheck skips what already happened, and the total
+   number of starts across every incarnation is exactly N. *)
+let reconcile () =
+  section "E18: desired-state reconciliation - convergence and crash sweep";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let running_policy =
+    {
+      Ovirt.Dompolicy.default with
+      Ovirt.Dompolicy.run_state = Ovirt.Dompolicy.Rs_running;
+    }
+  in
+  let wait_for ?(timeout_s = 30.0) cond =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec loop () =
+      if cond () then true
+      else if Unix.gettimeofday () > deadline then false
+      else begin
+        Thread.delay 0.01;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  (* The simulated hosts cap vCPU reservations at 8x their 8 cores, so
+     a 200-guest fleet spans several nodes — which is also the honest
+     shape: one reconciler converging specs across multiple URIs. *)
+  let n_nodes = 4 in
+  let fleet ~daemon_name ~prefix ~count ~policy_each =
+    let per_node = count / n_nodes in
+    List.concat
+      (List.init n_nodes (fun ni ->
+           let node = fresh "rcn" in
+           let uri =
+             Printf.sprintf "test+unix://%s/?daemon=%s&events=0&cache=0" node
+               daemon_name
+           in
+           let conn = ok (Connect.open_uri uri) in
+           let doms =
+             List.init per_node (fun i ->
+                 define_domain (List.hd kits) conn
+                   (Printf.sprintf "%s%d-%03d" prefix ni i))
+           in
+           if policy_each then
+             List.iter (fun d -> ok (Domain.set_policy d running_policy)) doms;
+           Connect.close conn;
+           [ node ]))
+  in
+  (* --- convergence latency vs parallel_shutdown ------------------- *)
+  let n_lat = if smoke then 24 else 200 in
+  subsection
+    (Printf.sprintf
+       "latency: %d stopped guests on %d nodes declared running, 2 ms per op"
+       n_lat n_nodes);
+  let lat_rows =
+    List.map
+      (fun parallel ->
+        let daemon_name = fresh "rcl" in
+        let config =
+          {
+            quiet_config with
+            Daemon_config.parallel_shutdown = parallel;
+            (* the loop is stopped and driven by hand below *)
+            reconcile_interval_ms = 3_600_000;
+          }
+        in
+        let daemon = Daemon.start ~name:daemon_name ~config () in
+        (* Drive passes by hand: stop the loop first so the timed pass
+           is the only one running (the daemon serializes them the same
+           way — the loop is the sole caller). *)
+        let r = Daemon.reconciler daemon in
+        Ovirt.Reconcile.stop r;
+        let nodes = fleet ~daemon_name ~prefix:"lat" ~count:n_lat ~policy_each:true in
+        List.iter
+          (fun node ->
+            Connect.close
+              (ok
+                 (Connect.open_uri
+                    (Printf.sprintf "test://%s/?latency_us=2000" node))))
+          nodes;
+        let s1, converge_s = time_once (fun () -> Ovirt.Reconcile.converge_now r) in
+        let s2, verify_s = time_once (fun () -> Ovirt.Reconcile.converge_now r) in
+        if s1.Ovirt.Reconcile.sum_ops_applied <> n_lat then
+          failwith
+            (Printf.sprintf "reconcile latency: %d ops applied, wanted %d"
+               s1.Ovirt.Reconcile.sum_ops_applied n_lat);
+        if s2.Ovirt.Reconcile.sum_converged <> n_lat then
+          failwith "reconcile latency: fleet did not verify converged";
+        Daemon.stop daemon;
+        ( [
+            string_of_int parallel;
+            string_of_int n_lat;
+            string_of_int s1.Ovirt.Reconcile.sum_ops_applied;
+            Printf.sprintf "%.1f" (converge_s *. 1000.);
+            Printf.sprintf "%.1f" (verify_s *. 1000.);
+          ],
+          converge_s ))
+      [ 1; 4; 16 ]
+  in
+  table
+    [ "parallel_shutdown"; "domains"; "ops"; "converge ms"; "verify ms" ]
+    (List.map fst lat_rows);
+  (match List.map snd lat_rows with
+   | [ t1; _; t16 ] ->
+     subsection
+       (Printf.sprintf "parallel 16 vs 1: %.1fx faster\n" (t1 /. Float.max 0.001 t16));
+     if (not smoke) && t16 >= t1 then
+       failwith "reconcile latency: parallelism bound did not help"
+   | _ -> ());
+  (* --- crash sweep ------------------------------------------------- *)
+  let n = if smoke then 24 else 200 in
+  let crash_points =
+    if smoke then [ 1; 5; 12; 23 ] else [ 1; 3; 10; 50; 120; 199 ]
+  in
+  subsection
+    (Printf.sprintf
+       "crash sweep: %d-domain spec on %d nodes, daemon killed after side effect #{%s},"
+       n n_nodes
+       (String.concat ", " (List.map string_of_int crash_points)));
+  subsection "each kill lands between an apply and its checkpoint\n";
+  let daemon_name = fresh "rcs" in
+  let sweep_config =
+    {
+      quiet_config with
+      (* sequential applies make "crash after the k-th side effect"
+         exact *)
+      Daemon_config.parallel_shutdown = 1;
+      reconcile_interval_ms = 30;
+    }
+  in
+  (* Cumulative side-effect counter across every daemon incarnation,
+     bumped by the post_apply chaos hook; [limit] is the next crash
+     point.  Past the limit the hook also aborts at pre_apply, so the
+     count cannot drift while the kill is being delivered. *)
+  let total = Atomic.make 0 in
+  let limit = ref 0 in
+  Ovirt.Reconcile.crash_hook :=
+    (fun site ->
+      match site with
+      | "pre_apply" when Atomic.get total >= !limit -> failwith "chaos: crash"
+      | "post_apply" ->
+        Atomic.incr total;
+        if Atomic.get total >= !limit then failwith "chaos: crash"
+      | _ -> ());
+  Fun.protect
+    ~finally:(fun () -> Ovirt.Reconcile.crash_hook := fun _ -> ())
+    (fun () ->
+      let daemon = Daemon.start ~name:daemon_name ~config:sweep_config () in
+      (* limit = 0: every pass aborts before its first apply, so the
+         whole spec is declared before any side effect runs. *)
+      let nodes = fleet ~daemon_name ~prefix:"swp" ~count:n ~policy_each:true in
+      let incarnations = ref 1 in
+      let current = ref daemon in
+      List.iter
+        (fun k ->
+          limit := k;
+          if not (wait_for (fun () -> Atomic.get total >= k)) then
+            failwith
+              (Printf.sprintf "reconcile sweep: never reached side effect %d" k);
+          Daemon.crash !current;
+          current := Daemon.start ~name:daemon_name ~config:sweep_config ();
+          incr incarnations)
+        crash_points;
+      limit := max_int;
+      let admin = ok (Admin.connect ~daemon:daemon_name ()) in
+      let converged =
+        wait_for (fun () ->
+            let s, _ = ok (Admin.reconcile_status admin) in
+            s.Ovirt.Reconcile.sum_converged = n
+            && s.Ovirt.Reconcile.sum_diverged = 0)
+      in
+      let summary, _ = ok (Admin.reconcile_status admin) in
+      Admin.close admin;
+      (* The fleet really is running, not just claimed converged. *)
+      let running =
+        List.fold_left
+          (fun acc node ->
+            let uri =
+              Printf.sprintf "test+unix://%s/?daemon=%s&events=0&cache=0" node
+                daemon_name
+            in
+            let conn = ok (Connect.open_uri uri) in
+            let refs = ok (Connect.list_domains conn) in
+            Connect.close conn;
+            acc
+            + List.length
+                (List.filter
+                   (fun r ->
+                     String.length r.Driver.dom_name >= 3
+                     && String.sub r.Driver.dom_name 0 3 = "swp")
+                   refs))
+          0 nodes
+      in
+      Daemon.stop !current;
+      table
+        [
+          "domains"; "kills"; "incarnations"; "side effects"; "converged";
+          "diverged"; "running";
+        ]
+        [
+          [
+            string_of_int n;
+            string_of_int (List.length crash_points);
+            string_of_int !incarnations;
+            string_of_int (Atomic.get total);
+            string_of_int summary.Ovirt.Reconcile.sum_converged;
+            string_of_int summary.Ovirt.Reconcile.sum_diverged;
+            string_of_int running;
+          ];
+        ];
+      if not converged then failwith "reconcile sweep: fleet never converged";
+      if Atomic.get total <> n then
+        failwith
+          (Printf.sprintf
+             "reconcile sweep: %d side effects for %d domains (duplicates!)"
+             (Atomic.get total) n);
+      if running < n then
+        failwith
+          (Printf.sprintf "reconcile sweep: only %d of %d guests running" running n);
+      print_endline
+        "sweep assertions passed: exactly-once side effects, zero divergence")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1333,6 +1566,7 @@ let experiments =
     ("recovery", recovery);
     ("bulk", bulk);
     ("overload", overload);
+    ("reconcile", reconcile);
   ]
 
 let () =

@@ -27,6 +27,37 @@ let one_positional args what =
   | [ v ] -> Ok v
   | _ -> Error (Printf.sprintf "expected exactly one argument: %s" what)
 
+(* Failed sub-replies inside the connection's batched/pipelined
+   multi-calls so far.  Bulk listings drop failed rows from their
+   output, so comparing this before and after a listing is how the
+   shell notices a partial failure and exits non-zero. *)
+let sub_errors shell =
+  match shell.conn with
+  | None -> 0
+  | Some conn -> (
+    match Ovirt.Connect.ops conn with
+    | Error _ -> 0
+    | Ok ops -> (
+      match Ovirt.Remote.conn_stats ops with
+      | Some st -> st.Ovirt.Remote.st_sub_errors
+      | None -> 0))
+
+(* Run a bulk listing and fail (after printing any partial output the
+   caller assembled) when sub-calls inside it failed. *)
+let checked_bulk shell f =
+  let before = sub_errors shell in
+  let* text = f () in
+  let failed = sub_errors shell - before in
+  if failed = 0 then Ok text
+  else begin
+    print_endline text;
+    Error
+      (Printf.sprintf
+         "listing incomplete: %d sub-call%s failed (partial output above)"
+         failed
+         (if failed = 1 then "" else "s"))
+  end
+
 let commands shell =
   let connect_cmd =
     Ovcli.
@@ -69,6 +100,7 @@ let commands shell =
         Ok (Ovirt.Capabilities.to_xml caps));
     simple "list" "Domain management" "[--all]" "list domains" (fun args ->
         let* conn = require_conn shell in
+        checked_bulk shell @@ fun () ->
         (* One bulk listing gives refs, state and info in a single
            exchange; remote connections turn this into Proc_dom_list_all
            (or a pipelined emulation against older daemons). *)
@@ -130,6 +162,44 @@ let commands shell =
         Ok
           (Printf.sprintf "domain %s: autostart %s" name
              (if flag then "enabled" else "disabled")));
+    simple "policy" "Domain management"
+      "<domain> [--on-boot start|ignore] [--on-shutdown \
+       suspend|shutdown|ignore] [--run-state running|stopped|any]"
+      "show or declare the domain's lifecycle policy" (fun args ->
+        let* name = one_positional args "<domain>" in
+        let* dom = lookup shell name in
+        match
+          ( Ovcli.flag args "on-boot",
+            Ovcli.flag args "on-shutdown",
+            Ovcli.flag args "run-state" )
+        with
+        | None, None, None ->
+          let* p = verr (Ovirt.Domain.get_policy dom) in
+          Ok (Printf.sprintf "domain %s: %s" name (Ovirt.Dompolicy.to_string p))
+        | boot, shut, run ->
+          (* Unmentioned knobs keep their declared value: read-modify-
+             write against the daemon's current spec. *)
+          let* p = verr (Ovirt.Domain.get_policy dom) in
+          let* on_boot =
+            match boot with
+            | None -> Ok p.Ovirt.Dompolicy.on_boot
+            | Some s -> verr (Ovirt.Dompolicy.on_boot_of_name s)
+          in
+          let* on_shutdown =
+            match shut with
+            | None -> Ok p.Ovirt.Dompolicy.on_shutdown
+            | Some s -> verr (Ovirt.Dompolicy.on_shutdown_of_name s)
+          in
+          let* run_state =
+            match run with
+            | None -> Ok p.Ovirt.Dompolicy.run_state
+            | Some s -> verr (Ovirt.Dompolicy.run_state_of_name s)
+          in
+          let p = { Ovirt.Dompolicy.on_boot; on_shutdown; run_state } in
+          let* () = verr (Ovirt.Domain.set_policy dom p) in
+          Ok
+            (Printf.sprintf "domain %s: policy declared (%s)" name
+               (Ovirt.Dompolicy.to_string p)));
     simple "dominfo" "Domain management" "<domain> | --all"
       "print domain information" (fun args ->
         let info_block name uuid info autostart =
@@ -158,6 +228,7 @@ let commands shell =
           (* Every domain's info in one bulk exchange instead of a
              lookup + info + autostart round trip per domain. *)
           let* conn = require_conn shell in
+          checked_bulk shell @@ fun () ->
           let* records = verr (Ovirt.Connect.list_all_domains conn) in
           Ok
             (String.concat "\n\n"

@@ -104,6 +104,46 @@ let commands shell =
                Printf.sprintf "%-15s: %d" "wallLimitMs"
                  ps.Ovirt.Admin_client.ps_wall_limit_ms;
              ]));
+    simple "reconcile-status" "Monitoring commands" ""
+      "reconciler convergence: declared specs vs actual fleet state"
+      (fun _ ->
+        let* conn = require_conn shell in
+        let* summary, rows = verr (Ovirt.Admin_client.reconcile_status conn) in
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "specs: %d  converged: %d  pending: %d  diverged: %d\n"
+             summary.Ovirt.Reconcile.sum_specs
+             summary.Ovirt.Reconcile.sum_converged
+             summary.Ovirt.Reconcile.sum_pending
+             summary.Ovirt.Reconcile.sum_diverged);
+        Buffer.add_string buf
+          (Printf.sprintf
+             "plans: %d  ops applied: %d  skipped: %d  failed: %d%s\n"
+             summary.Ovirt.Reconcile.sum_plans
+             summary.Ovirt.Reconcile.sum_ops_applied
+             summary.Ovirt.Reconcile.sum_ops_skipped
+             summary.Ovirt.Reconcile.sum_ops_failed
+             (if summary.Ovirt.Reconcile.sum_resumed then
+                "  (resumed an interrupted plan)"
+              else ""));
+        if rows <> [] then begin
+          Buffer.add_string buf
+            (Printf.sprintf " %-20s %-10s %-8s %s\n" "Name" "Status" "Attempts"
+               "Policy");
+          List.iter
+            (fun r ->
+              Buffer.add_string buf
+                (Printf.sprintf " %-20s %-10s %-8d %s%s\n"
+                   r.Ovirt.Reconcile.ds_name
+                   (Ovirt.Reconcile.status_name r.Ovirt.Reconcile.ds_status)
+                   r.Ovirt.Reconcile.ds_attempts
+                   (Ovirt.Dompolicy.to_string r.Ovirt.Reconcile.ds_policy)
+                   (if r.Ovirt.Reconcile.ds_last_error = "" then ""
+                    else " [" ^ r.Ovirt.Reconcile.ds_last_error ^ "]")))
+            rows
+        end;
+        Ok (Buffer.contents buf));
     simple "pool-set" "Management commands"
       "<server> [--queue-limit N] [--wall-limit-ms N]"
       "tune overload protection: admission bound and stuck-worker wall limit"

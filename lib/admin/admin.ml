@@ -51,6 +51,10 @@ let call_unit conn proc body =
 let daemon_uptime_s conn = call_dec conn Ap.Proc_daemon_uptime "" Ap.dec_hyper_body
 let drain conn = call_unit conn Ap.Proc_daemon_drain ""
 
+let reconcile_status conn =
+  call_dec conn Ap.Proc_daemon_reconcile_status ""
+    Protocol.Remote_protocol.dec_reconcile_status
+
 (* ------------------------------------------------------------------ *)
 (* Servers                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -25,6 +25,12 @@ val drain : conn -> (unit, Ovirt_core.Verror.t) result
     in-flight dispatches, then close.  Returns as soon as the daemon
     acknowledges; the drain itself runs in the background. *)
 
+val reconcile_status :
+  conn ->
+  (Reconcile.summary * Reconcile.dom_status list, Ovirt_core.Verror.t) result
+(** The reconciler's convergence summary and per-domain rows — the
+    administrator's view of whether the declared fleet state holds. *)
+
 (** {1 Servers} *)
 
 val list_servers : conn -> (string list, Ovirt_core.Verror.t) result

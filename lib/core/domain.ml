@@ -68,6 +68,15 @@ let set_autostart dom flag =
 let get_autostart dom =
   optional_op dom (fun ops -> ops.Driver.dom_get_autostart) "autostart"
 
+let set_policy dom policy =
+  on_ops dom (fun ops ->
+      match ops.Driver.dom_set_policy with
+      | Some f -> f dom.dom_name policy
+      | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"policy")
+
+let get_policy dom =
+  optional_op dom (fun ops -> ops.Driver.dom_get_policy) "policy"
+
 (* ------------------------------------------------------------------ *)
 (* Live migration: generic precopy over driver-provided images         *)
 (* ------------------------------------------------------------------ *)

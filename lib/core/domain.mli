@@ -61,6 +61,17 @@ val has_managed_save : t -> (bool, Verror.t) result
 val set_autostart : t -> bool -> (unit, Verror.t) result
 val get_autostart : t -> (bool, Verror.t) result
 
+(** {1 Lifecycle policy}
+
+    A declared {!Dompolicy.t} generalizes the autostart flag: the
+    daemon-side reconciler continuously converges the domain toward its
+    declared run-state and applies the boot/shutdown knobs at daemon
+    start and drain.  Only remote connections support this (the policy
+    engine lives in the daemon). *)
+
+val set_policy : t -> Dompolicy.t -> (unit, Verror.t) result
+val get_policy : t -> (Dompolicy.t, Verror.t) result
+
 (** {1 Live migration}
 
     Precopy algorithm over driver-provided memory images: a full first

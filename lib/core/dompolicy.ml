@@ -1,0 +1,99 @@
+(* Declarative per-domain lifecycle policy.
+
+   The reconciler holds one [t] per spec'd domain and converges the
+   actual run-state toward it.  The knobs mirror the declarative
+   surface of distribution libvirtd modules: [on_boot] generalizes the
+   autostart flag, [on_shutdown] declares what the daemon does to a
+   running guest when it drains, and [run_state] is the continuously
+   enforced desired state. *)
+
+type on_boot = Boot_start | Boot_ignore
+
+type on_shutdown = Shut_suspend | Shut_shutdown | Shut_ignore
+
+type run_state = Rs_running | Rs_stopped | Rs_any
+
+type t = {
+  on_boot : on_boot;
+  on_shutdown : on_shutdown;
+  run_state : run_state;
+}
+
+let default = { on_boot = Boot_ignore; on_shutdown = Shut_ignore; run_state = Rs_any }
+
+(* ---- string forms (CLI and journal) ---- *)
+
+let on_boot_name = function Boot_start -> "start" | Boot_ignore -> "ignore"
+
+let on_boot_of_name = function
+  | "start" -> Ok Boot_start
+  | "ignore" -> Ok Boot_ignore
+  | s -> Verror.error Verror.Invalid_arg "bad on_boot %S (start|ignore)" s
+
+let on_shutdown_name = function
+  | Shut_suspend -> "suspend"
+  | Shut_shutdown -> "shutdown"
+  | Shut_ignore -> "ignore"
+
+let on_shutdown_of_name = function
+  | "suspend" -> Ok Shut_suspend
+  | "shutdown" -> Ok Shut_shutdown
+  | "ignore" -> Ok Shut_ignore
+  | s ->
+    Verror.error Verror.Invalid_arg "bad on_shutdown %S (suspend|shutdown|ignore)" s
+
+let run_state_name = function
+  | Rs_running -> "running"
+  | Rs_stopped -> "stopped"
+  | Rs_any -> "any"
+
+let run_state_of_name = function
+  | "running" -> Ok Rs_running
+  | "stopped" -> Ok Rs_stopped
+  | "any" -> Ok Rs_any
+  | s -> Verror.error Verror.Invalid_arg "bad run_state %S (running|stopped|any)" s
+
+let to_string p =
+  Printf.sprintf "on_boot=%s on_shutdown=%s run_state=%s"
+    (on_boot_name p.on_boot) (on_shutdown_name p.on_shutdown)
+    (run_state_name p.run_state)
+
+(* ---- compact integer forms (wire protocol and journal records) ---- *)
+
+let on_boot_to_int = function Boot_ignore -> 0 | Boot_start -> 1
+
+let on_boot_of_int = function
+  | 0 -> Ok Boot_ignore
+  | 1 -> Ok Boot_start
+  | n -> Verror.error Verror.Rpc_failure "bad on_boot code %d" n
+
+let on_shutdown_to_int = function
+  | Shut_ignore -> 0
+  | Shut_suspend -> 1
+  | Shut_shutdown -> 2
+
+let on_shutdown_of_int = function
+  | 0 -> Ok Shut_ignore
+  | 1 -> Ok Shut_suspend
+  | 2 -> Ok Shut_shutdown
+  | n -> Verror.error Verror.Rpc_failure "bad on_shutdown code %d" n
+
+let run_state_to_int = function Rs_any -> 0 | Rs_running -> 1 | Rs_stopped -> 2
+
+let run_state_of_int = function
+  | 0 -> Ok Rs_any
+  | 1 -> Ok Rs_running
+  | 2 -> Ok Rs_stopped
+  | n -> Verror.error Verror.Rpc_failure "bad run_state code %d" n
+
+let ( let* ) = Result.bind
+
+let to_ints p =
+  (on_boot_to_int p.on_boot, on_shutdown_to_int p.on_shutdown,
+   run_state_to_int p.run_state)
+
+let of_ints (b, s, r) =
+  let* on_boot = on_boot_of_int b in
+  let* on_shutdown = on_shutdown_of_int s in
+  let* run_state = run_state_of_int r in
+  Ok { on_boot; on_shutdown; run_state }

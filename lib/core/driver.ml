@@ -116,6 +116,8 @@ type ops = {
   dom_has_managed_save : (string -> (bool, Verror.t) result) option;
   dom_set_autostart : (string -> bool -> (unit, Verror.t) result) option;
   dom_get_autostart : (string -> (bool, Verror.t) result) option;
+  dom_set_policy : (string -> Dompolicy.t -> (unit, Verror.t) result) option;
+  dom_get_policy : (string -> (Dompolicy.t, Verror.t) result) option;
   dom_list_all : (unit -> (domain_record list, Verror.t) result) option;
   migrate_begin : (string -> (migrate_source, Verror.t) result) option;
   migrate_prepare : (string -> (migrate_dest, Verror.t) result) option;
@@ -133,9 +135,9 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     ?list_domains ?list_defined ?lookup_by_name ?lookup_by_uuid ?define_xml
     ?undefine ?dom_create ?dom_suspend ?dom_resume ?dom_shutdown ?dom_destroy
     ?dom_get_info ?dom_get_xml ?dom_set_memory ?dom_save ?dom_restore
-    ?dom_has_managed_save ?dom_set_autostart ?dom_get_autostart ?dom_list_all
-    ?migrate_begin ?migrate_prepare ?guest_agent_install ?guest_agent_exec ?net
-    ?storage ?events () =
+    ?dom_has_managed_save ?dom_set_autostart ?dom_get_autostart ?dom_set_policy
+    ?dom_get_policy ?dom_list_all ?migrate_begin ?migrate_prepare
+    ?guest_agent_install ?guest_agent_exec ?net ?storage ?events () =
   let missing op _ = unsupported ~drv:drv_name ~op in
   let missing0 op () = unsupported ~drv:drv_name ~op in
   {
@@ -165,6 +167,8 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     dom_has_managed_save;
     dom_set_autostart;
     dom_get_autostart;
+    dom_set_policy;
+    dom_get_policy;
     dom_list_all;
     migrate_begin;
     migrate_prepare;

@@ -120,6 +120,11 @@ type ops = {
       (** mark a domain to be started when the driver recovers a node
           after a daemon restart (cf. [net_set_autostart]) *)
   dom_get_autostart : (string -> (bool, Verror.t) result) option;
+  dom_set_policy : (string -> Dompolicy.t -> (unit, Verror.t) result) option;
+      (** declare the domain's lifecycle policy to the daemon-side
+          reconciler; only the remote driver implements this (policy is
+          a daemon concept, local drivers have no reconciler) *)
+  dom_get_policy : (string -> (Dompolicy.t, Verror.t) result) option;
   dom_list_all : (unit -> (domain_record list, Verror.t) result) option;
       (** bulk listing of all domains (active and defined), snapshotted
           under one driver read lock when implemented natively; absent
@@ -162,6 +167,8 @@ val make_ops :
   ?dom_has_managed_save:(string -> (bool, Verror.t) result) ->
   ?dom_set_autostart:(string -> bool -> (unit, Verror.t) result) ->
   ?dom_get_autostart:(string -> (bool, Verror.t) result) ->
+  ?dom_set_policy:(string -> Dompolicy.t -> (unit, Verror.t) result) ->
+  ?dom_get_policy:(string -> (Dompolicy.t, Verror.t) result) ->
   ?dom_list_all:(unit -> (domain_record list, Verror.t) result) ->
   ?migrate_begin:(string -> (migrate_source, Verror.t) result) ->
   ?migrate_prepare:(string -> (migrate_dest, Verror.t) result) ->

@@ -8,6 +8,7 @@ type daemon_view = {
   view_logger : Vlog.t;
   view_started_at : float;
   view_drain : unit -> unit;
+  view_reconcile : unit -> Reconcile.t option;
 }
 
 let ( let* ) = Result.bind
@@ -209,6 +210,12 @@ let handle view _srv _client header body =
   | Ap.Proc_daemon_pool_stats ->
     let* srv = find_server view (Ap.dec_server_name body) in
     Ok (Ap.enc_params (pool_stats_params srv))
+  | Ap.Proc_daemon_reconcile_status ->
+    (match view.view_reconcile () with
+     | None ->
+       Verror.error Verror.Operation_unsupported "this daemon has no reconciler"
+     | Some r ->
+       Ok (Protocol.Remote_protocol.enc_reconcile_status (Reconcile.status r)))
 
 let program view =
   Dispatch.

@@ -14,6 +14,8 @@ type daemon_view = {
       (** Trigger a graceful daemon drain; must return promptly (the
           daemon runs the drain in the background) so the reply reaches
           the administrator before the connection closes. *)
+  view_reconcile : unit -> Reconcile.t option;
+      (** The daemon's policy reconciler, when it has one. *)
 }
 
 val program : daemon_view -> Dispatch.program

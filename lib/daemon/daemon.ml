@@ -4,6 +4,9 @@ type t = {
   servers : (string * Server_obj.t) list;
   listeners : Ovnet.Netsim.listener list;
   started_at : float;
+  reconciler : Reconcile.t;
+  recon_conns : (string, Ovirt_core.Driver.ops) Hashtbl.t;
+  recon_conns_mutex : Mutex.t;
   (* Lifecycle flags are only touched under [lifecycle]: stop and drain
      race from different threads (tests tear down while the admin drain
      thread runs) and must not double-close listeners or shut a pool down
@@ -25,6 +28,13 @@ let with_lifecycle daemon f =
 let stop_locked daemon =
   if not daemon.stopped then begin
     daemon.stopped <- true;
+    Reconcile.stop daemon.reconciler;
+    Mutex.lock daemon.recon_conns_mutex;
+    Hashtbl.iter
+      (fun _ ops -> try ops.Ovirt_core.Driver.close () with _ -> ())
+      daemon.recon_conns;
+    Hashtbl.reset daemon.recon_conns;
+    Mutex.unlock daemon.recon_conns_mutex;
     List.iter Ovnet.Netsim.close_listener daemon.listeners;
     List.iter
       (fun (_, srv) ->
@@ -72,6 +82,12 @@ let drain_impl daemon =
       daemon.name;
     List.iter Ovnet.Netsim.close_listener daemon.listeners;
     List.iter (fun (_, srv) -> Server_obj.set_draining srv true) daemon.servers;
+    (* Stop the convergence loop, then honor each spec's [on_shutdown]:
+       suspend/shutdown running guests bounded by parallel_shutdown.
+       These ops go through the direct dispatch path, not the (now
+       draining) mgmt pool. *)
+    Reconcile.stop daemon.reconciler;
+    Reconcile.shutdown_pass daemon.reconciler;
     List.iter
       (fun (_, srv) -> Threadpool.drain (Server_obj.pool srv))
       daemon.servers;
@@ -90,6 +106,101 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   (* Driver code learns about per-call deadlines through the request
      context; install it before any dispatch can run. *)
   Reqctx.install ();
+  Drivers.Domstore.set_compaction
+    ~factor:config.Daemon_config.journal_compact_factor
+    ~slack:config.Daemon_config.journal_compact_slack;
+  (* Autostart boots run outside any RPC dispatch, so no deadline rides
+     on the thread; give them the same wall-clock budget dispatched jobs
+     get from the stuck-worker watchdog. *)
+  let wall_budget f =
+    if config.Daemon_config.wall_limit_ms <= 0 then f ()
+    else
+      Reqctx.with_deadline
+        (Some
+           (Unix.gettimeofday ()
+           +. (float_of_int config.Daemon_config.wall_limit_ms /. 1000.)))
+        f
+  in
+  Drivers.Drvnode.set_start_budget_hook wall_budget;
+  let recon_conns = Hashtbl.create 8 in
+  let recon_conns_mutex = Mutex.create () in
+  (* The reconciler's private driver handles, one per distinct spec URI,
+     opened exactly as [Proc_open] would (the URIs it sees are already
+     transport-stripped). *)
+  let recon_ops uri_string =
+    Mutex.lock recon_conns_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock recon_conns_mutex)
+      (fun () ->
+        match Hashtbl.find_opt recon_conns uri_string with
+        | Some ops -> Ok ops
+        | None ->
+          Result.bind (Ovirt_core.Vuri.parse uri_string) (fun uri ->
+              Result.map
+                (fun ops ->
+                  Hashtbl.replace recon_conns uri_string ops;
+                  ops)
+                (Ovirt_core.Driver.open_uri
+                   { uri with Ovirt_core.Vuri.transport = None })))
+  in
+  let reconcile_io =
+    {
+      Reconcile.io_actual =
+        (fun uri ->
+          Result.bind (recon_ops uri) (fun ops ->
+              Result.map
+                (List.map (fun r ->
+                     ( r.Ovirt_core.Driver.rec_ref.Ovirt_core.Driver.dom_name,
+                       r.Ovirt_core.Driver.rec_info.Ovirt_core.Driver.di_state )))
+                (Ovirt_core.Driver.list_all ops)));
+      io_state =
+        (fun uri name ->
+          Result.bind (recon_ops uri) (fun ops ->
+              match ops.Ovirt_core.Driver.dom_get_info name with
+              | Ok info -> Ok (Some info.Ovirt_core.Driver.di_state)
+              | Error { Ovirt_core.Verror.code = Ovirt_core.Verror.No_domain; _ }
+                -> Ok None
+              | Error e -> Error e));
+      io_apply =
+        (fun uri op ->
+          let module Rp = Protocol.Remote_protocol in
+          Result.bind (recon_ops uri) (fun ops ->
+              let proc =
+                match op.Reconcile.op_kind with
+                | Reconcile.Op_start -> Rp.Proc_dom_create
+                | Reconcile.Op_resume -> Rp.Proc_dom_resume
+                | Reconcile.Op_shutdown -> Rp.Proc_dom_shutdown
+                | Reconcile.Op_save -> Rp.Proc_dom_save
+              in
+              let body = Rp.enc_string_body op.Reconcile.op_name in
+              (* Same dispatch tail a batch sub-call takes, under the
+                 same per-op wall-clock budget. *)
+              Result.map
+                (fun (_ : string) -> ())
+                (wall_budget (fun () ->
+                     Remote_service.dispatch_ops ops proc body))));
+      io_log =
+        (fun msg ->
+          Vlog.logf logger ~module_:"daemon.reconcile" Vlog.Info "%s" msg);
+    }
+  in
+  let reconciler =
+    Reconcile.create
+      ~journal_path:("/var/lib/ovirt/reconcile/" ^ name ^ ".journal")
+      ~io:reconcile_io
+      ~config:
+        {
+          Reconcile.rcfg_interval_s =
+            float_of_int config.Daemon_config.reconcile_interval_ms /. 1000.;
+          rcfg_parallel = config.Daemon_config.parallel_shutdown;
+          rcfg_diverged_after = config.Daemon_config.reconcile_diverged_after;
+          rcfg_backoff_base_s = Reconcile.default_config.Reconcile.rcfg_backoff_base_s;
+          rcfg_backoff_cap_s = Reconcile.default_config.Reconcile.rcfg_backoff_cap_s;
+          rcfg_compact_factor = config.Daemon_config.journal_compact_factor;
+          rcfg_compact_slack = config.Daemon_config.journal_compact_slack;
+        }
+      ()
+  in
   let mgmt_server =
     Server_obj.create ~name:"libvirtd" ~logger
       ~job_queue_limit:config.Daemon_config.job_queue_limit
@@ -118,7 +229,8 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   let servers = [ ("libvirtd", mgmt_server); ("admin", admin_server) ] in
   let started_at = Unix.gettimeofday () in
   let remote_program =
-    Remote_service.program ~minor:config.Daemon_config.proto_minor ~logger ()
+    Remote_service.program ~minor:config.Daemon_config.proto_minor
+      ~reconcile:reconciler ~logger ()
   in
   (* The admin program needs to trigger a drain of the daemon that hosts
      it; the daemon record does not exist yet, so route through a
@@ -138,6 +250,7 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
               (* In the background: Threadpool.drain would deadlock
                  waiting for the very admin job that requested it. *)
               ignore (Thread.create (fun () -> drain_impl daemon) ()));
+        view_reconcile = (fun () -> Some reconciler);
       }
   in
   let mgmt_listener =
@@ -168,6 +281,9 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
       servers;
       listeners = [ mgmt_listener; admin_listener ];
       started_at;
+      reconciler;
+      recon_conns;
+      recon_conns_mutex;
       lifecycle = Mutex.create ();
       lifecycle_cv = Condition.create ();
       stopped = false;
@@ -175,6 +291,7 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
     }
   in
   self := Some daemon;
+  Reconcile.start reconciler;
   daemon
 
 let drain = drain_impl
@@ -185,3 +302,4 @@ let logger daemon = daemon.logger
 let servers daemon = daemon.servers
 let find_server daemon name = List.assoc_opt name daemon.servers
 let uptime_s daemon = Unix.gettimeofday () -. daemon.started_at
+let reconciler daemon = daemon.reconciler

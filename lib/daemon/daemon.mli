@@ -45,3 +45,9 @@ val logger : t -> Vlog.t
 val servers : t -> (string * Server_obj.t) list
 val find_server : t -> string -> Server_obj.t option
 val uptime_s : t -> float
+
+val reconciler : t -> Reconcile.t
+(** The daemon's policy reconciler.  Its plan journal lives at
+    [/var/lib/ovirt/reconcile/<name>.journal], so a restarted daemon of
+    the same name resumes any plan its predecessor journaled but never
+    finished applying. *)

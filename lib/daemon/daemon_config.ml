@@ -13,6 +13,11 @@ type t = {
   proto_minor : int;
   job_queue_limit : int;
   wall_limit_ms : int;
+  journal_compact_factor : int;
+  journal_compact_slack : int;
+  reconcile_interval_ms : int;
+  parallel_shutdown : int;
+  reconcile_diverged_after : int;
 }
 
 let default =
@@ -31,6 +36,11 @@ let default =
     proto_minor = Protocol.Remote_protocol.minor;
     job_queue_limit = 0;
     wall_limit_ms = 0;
+    journal_compact_factor = 4;
+    journal_compact_slack = 16;
+    reconcile_interval_ms = 2000;
+    parallel_shutdown = 4;
+    reconcile_diverged_after = 3;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -125,6 +135,24 @@ let apply cfg key value =
   | "wall_limit_ms" ->
     let* n = want_int key value in
     Ok { cfg with wall_limit_ms = n }
+  | "journal_compact_factor" ->
+    let* n = want_int key value in
+    if n < 1 then Error "journal_compact_factor: must be at least 1"
+    else Ok { cfg with journal_compact_factor = n }
+  | "journal_compact_slack" ->
+    let* n = want_int key value in
+    Ok { cfg with journal_compact_slack = n }
+  | "reconcile_interval_ms" ->
+    let* n = want_int key value in
+    Ok { cfg with reconcile_interval_ms = n }
+  | "parallel_shutdown" ->
+    let* n = want_int key value in
+    if n < 1 then Error "parallel_shutdown: must be at least 1"
+    else Ok { cfg with parallel_shutdown = n }
+  | "reconcile_diverged_after" ->
+    let* n = want_int key value in
+    if n < 1 then Error "reconcile_diverged_after: must be at least 1"
+    else Ok { cfg with reconcile_diverged_after = n }
   | key -> Error (Printf.sprintf "unknown configuration key %S" key)
 
 let parse contents =
@@ -158,5 +186,10 @@ let to_file cfg =
       Printf.sprintf "proto_minor = %d" cfg.proto_minor;
       Printf.sprintf "job_queue_limit = %d" cfg.job_queue_limit;
       Printf.sprintf "wall_limit_ms = %d" cfg.wall_limit_ms;
+      Printf.sprintf "journal_compact_factor = %d" cfg.journal_compact_factor;
+      Printf.sprintf "journal_compact_slack = %d" cfg.journal_compact_slack;
+      Printf.sprintf "reconcile_interval_ms = %d" cfg.reconcile_interval_ms;
+      Printf.sprintf "parallel_shutdown = %d" cfg.parallel_shutdown;
+      Printf.sprintf "reconcile_diverged_after = %d" cfg.reconcile_diverged_after;
       "";
     ]

@@ -4,6 +4,7 @@ module Rpc_packet = Ovrpc.Rpc_packet
 
 type conn_state = {
   ops : Driver.ops;
+  uri : string;  (** the direct (transport-stripped) URI opened *)
   mutable event_sub : Events.subscription option;
 }
 
@@ -14,6 +15,7 @@ type state = {
   mutex : Mutex.t;
   conns : (int64, conn_state) Hashtbl.t;
   logger : Vlog.t;
+  reconcile : Reconcile.t option;  (** the daemon's policy engine *)
 }
 
 let with_lock st f =
@@ -40,7 +42,8 @@ let do_open st client body =
         Verror.error Verror.Operation_invalid "connection already open"
       else
         let* ops = Driver.open_uri direct_uri in
-        Hashtbl.replace st.conns (Client_obj.id client) { ops; event_sub = None };
+        Hashtbl.replace st.conns (Client_obj.id client)
+          { ops; uri = Vuri.to_string direct_uri; event_sub = None };
         Vlog.logf st.logger ~module_:"daemon.remote" Vlog.Info
           "client %Ld opened %s via driver %s" (Client_obj.id client) uri_string
           ops.Driver.drv_name;
@@ -108,6 +111,190 @@ let do_event_deregister st client =
          | None -> ());
         cs.event_sub <- None;
         Ok Rp.enc_unit_body)
+
+(* Dispatch a connection-scoped procedure against [cs]: the shared tail
+   of the dispatcher and of every batch sub-call.  The daemon's
+   reconciler feeds its plan ops through {!dispatch_ops} below, so a
+   policy-driven lifecycle change takes exactly the path a client's
+   v1.3 batch sub-call does. *)
+let dispatch_conn (cs : conn_state) proc body =
+  let ( let* ) = Result.bind in
+  let ops = cs.ops in
+  match proc with
+  | Rp.Proc_open | Rp.Proc_close | Rp.Proc_ping | Rp.Proc_echo
+  | Rp.Proc_event_register | Rp.Proc_event_deregister | Rp.Proc_event_lifecycle
+  | Rp.Proc_proto_minor | Rp.Proc_call_batch | Rp.Proc_call_deadline
+  | Rp.Proc_dom_set_policy | Rp.Proc_dom_get_policy
+  | Rp.Proc_daemon_reconcile_status ->
+    Verror.error Verror.Rpc_failure "procedure %d is not connection-scoped"
+      (Rp.proc_to_int proc)
+  | Rp.Proc_get_capabilities ->
+    Ok (Rp.enc_string_body (Capabilities.to_xml (ops.Driver.get_capabilities ())))
+  | Rp.Proc_get_hostname -> Ok (Rp.enc_string_body (ops.Driver.get_hostname ()))
+  | Rp.Proc_list_domains ->
+    let* refs = ops.Driver.list_domains () in
+    Ok (Rp.enc_domain_ref_list refs)
+  | Rp.Proc_list_defined ->
+    let* names = ops.Driver.list_defined () in
+    Ok (Rp.enc_string_list names)
+  | Rp.Proc_lookup_by_name ->
+    let* r = ops.Driver.lookup_by_name (Rp.dec_string_body body) in
+    Ok (Rp.enc_domain_ref r)
+  | Rp.Proc_lookup_by_uuid ->
+    let* uuid =
+      Result.map_error (Verror.make Verror.Invalid_arg)
+        (Vmm.Uuid.of_string (Rp.dec_string_body body))
+    in
+    let* r = ops.Driver.lookup_by_uuid uuid in
+    Ok (Rp.enc_domain_ref r)
+  | Rp.Proc_define_xml ->
+    let* r = ops.Driver.define_xml (Rp.dec_string_body body) in
+    Ok (Rp.enc_domain_ref r)
+  | Rp.Proc_undefine ->
+    let* () = ops.Driver.undefine (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_dom_create ->
+    let* () = ops.Driver.dom_create (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_dom_suspend ->
+    let* () = ops.Driver.dom_suspend (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_dom_resume ->
+    let* () = ops.Driver.dom_resume (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_dom_shutdown ->
+    let* () = ops.Driver.dom_shutdown (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_dom_destroy ->
+    let* () = ops.Driver.dom_destroy (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_dom_get_info ->
+    let* info = ops.Driver.dom_get_info (Rp.dec_string_body body) in
+    Ok (Rp.enc_domain_info info)
+  | Rp.Proc_dom_get_xml ->
+    let* xml = ops.Driver.dom_get_xml (Rp.dec_string_body body) in
+    Ok (Rp.enc_string_body xml)
+  | Rp.Proc_dom_set_memory ->
+    let name, kib = Rp.dec_name_and_kib body in
+    let* () = ops.Driver.dom_set_memory name kib in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_dom_save ->
+    let name = Rp.dec_string_body body in
+    (match ops.Driver.dom_save with
+     | Some f ->
+       let* () = f name in
+       Ok Rp.enc_unit_body
+     | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed save")
+  | Rp.Proc_dom_restore ->
+    let name = Rp.dec_string_body body in
+    (match ops.Driver.dom_restore with
+     | Some f ->
+       let* () = f name in
+       Ok Rp.enc_unit_body
+     | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed restore")
+  | Rp.Proc_dom_has_managed_save ->
+    let name = Rp.dec_string_body body in
+    (match ops.Driver.dom_has_managed_save with
+     | Some f ->
+       let* has = f name in
+       Ok (Rp.enc_bool_body has)
+     | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed save")
+  | Rp.Proc_dom_set_autostart ->
+    let name, autostart = Rp.dec_name_and_bool body in
+    (match ops.Driver.dom_set_autostart with
+     | Some f ->
+       let* () = f name autostart in
+       Ok Rp.enc_unit_body
+     | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"autostart")
+  | Rp.Proc_dom_get_autostart ->
+    let name = Rp.dec_string_body body in
+    (match ops.Driver.dom_get_autostart with
+     | Some f ->
+       let* flag = f name in
+       Ok (Rp.enc_bool_body flag)
+     | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"autostart")
+  | Rp.Proc_net_list ->
+    let* b = net_backend cs in
+    let* infos = b.Driver.net_list () in
+    Ok (Rp.enc_net_info_list infos)
+  | Rp.Proc_net_define ->
+    let name, bridge, ip_range = Rp.dec_net_define body in
+    let* b = net_backend cs in
+    let* info = b.Driver.net_define ~name ~bridge ~ip_range in
+    Ok (Rp.enc_net_info info)
+  | Rp.Proc_net_start ->
+    let* b = net_backend cs in
+    let* () = b.Driver.net_start (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_net_stop ->
+    let* b = net_backend cs in
+    let* () = b.Driver.net_stop (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_net_undefine ->
+    let* b = net_backend cs in
+    let* () = b.Driver.net_undefine (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_net_set_autostart ->
+    let name, autostart = Rp.dec_name_and_bool body in
+    let* b = net_backend cs in
+    let* () = b.Driver.net_set_autostart name autostart in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_net_lookup ->
+    let* b = net_backend cs in
+    let* info = b.Driver.net_lookup (Rp.dec_string_body body) in
+    Ok (Rp.enc_net_info info)
+  | Rp.Proc_pool_list ->
+    let* b = storage_backend cs in
+    let* infos = b.Driver.pool_list () in
+    Ok (Rp.enc_pool_info_list infos)
+  | Rp.Proc_pool_define ->
+    let name, target_path, capacity_b = Rp.dec_pool_define body in
+    let* b = storage_backend cs in
+    let* info = b.Driver.pool_define ~name ~target_path ~capacity_b in
+    Ok (Rp.enc_pool_info info)
+  | Rp.Proc_pool_start ->
+    let* b = storage_backend cs in
+    let* () = b.Driver.pool_start (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_pool_stop ->
+    let* b = storage_backend cs in
+    let* () = b.Driver.pool_stop (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_pool_undefine ->
+    let* b = storage_backend cs in
+    let* () = b.Driver.pool_undefine (Rp.dec_string_body body) in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_pool_lookup ->
+    let* b = storage_backend cs in
+    let* info = b.Driver.pool_lookup (Rp.dec_string_body body) in
+    Ok (Rp.enc_pool_info info)
+  | Rp.Proc_vol_create ->
+    let pool, name, capacity_b, format = Rp.dec_vol_create body in
+    let* b = storage_backend cs in
+    let* info = b.Driver.vol_create ~pool ~name ~capacity_b ~format in
+    Ok (Rp.enc_vol_info info)
+  | Rp.Proc_vol_delete ->
+    let pool, name = Rp.dec_vol_ref body in
+    let* b = storage_backend cs in
+    let* () = b.Driver.vol_delete ~pool ~name in
+    Ok Rp.enc_unit_body
+  | Rp.Proc_vol_list ->
+    let* b = storage_backend cs in
+    let* infos = b.Driver.vol_list ~pool:(Rp.dec_string_body body) in
+    Ok (Rp.enc_vol_info_list infos)
+  | Rp.Proc_dom_list_all ->
+    let* records = Driver.list_all ops in
+    Ok (Rp.enc_domain_record_list records)
+  | Rp.Proc_vol_lookup ->
+    let* b = storage_backend cs in
+    let* info = b.Driver.vol_by_path (Rp.dec_string_body body) in
+    Ok (Rp.enc_vol_info info)
+
+(* The reconciler's application path: a plan op arrives here already
+   encoded as a (procedure, body) sub-call and dispatches against bare
+   [ops] exactly as it would inside a [Proc_call_batch] frame. *)
+let dispatch_ops ops proc body =
+  dispatch_conn { ops; uri = ""; event_sub = None } proc body
 
 (* [minor] is the protocol minor this daemon serves: procedures newer
    than it are rejected with the very error an old build produces for an
@@ -188,175 +375,35 @@ let rec handle_proc st ~minor ~in_batch client proc body =
   | Rp.Proc_event_deregister -> do_event_deregister st client
   | Rp.Proc_event_lifecycle ->
     Verror.error Verror.Rpc_failure "lifecycle is a server-to-client event"
+  | Rp.Proc_dom_set_policy ->
+    let name, policy = Rp.dec_set_policy body in
+    let* cs = get_conn st client in
+    (match st.reconcile with
+     | None ->
+       Driver.unsupported ~drv:cs.ops.Driver.drv_name ~op:"lifecycle policy"
+     | Some r ->
+       (* the spec must name a defined domain on this node *)
+       let* _ref = cs.ops.Driver.lookup_by_name name in
+       Reconcile.set_policy r ~uri:cs.uri ~name policy;
+       Ok Rp.enc_unit_body)
+  | Rp.Proc_dom_get_policy ->
+    let name = Rp.dec_string_body body in
+    let* cs = get_conn st client in
+    (match st.reconcile with
+     | None ->
+       Driver.unsupported ~drv:cs.ops.Driver.drv_name ~op:"lifecycle policy"
+     | Some r ->
+       let* _ref = cs.ops.Driver.lookup_by_name name in
+       Ok (Rp.enc_policy (Reconcile.get_policy r ~uri:cs.uri ~name)))
+  | Rp.Proc_daemon_reconcile_status ->
+    let () = Rp.dec_unit_body body in
+    (match st.reconcile with
+     | None ->
+       Verror.error Verror.Operation_unsupported "this daemon has no reconciler"
+     | Some r -> Ok (Rp.enc_reconcile_status (Reconcile.status r)))
   | proc ->
     let* cs = get_conn st client in
-    let ops = cs.ops in
-    (match proc with
-     | Rp.Proc_open | Rp.Proc_close | Rp.Proc_ping | Rp.Proc_echo
-     | Rp.Proc_event_register | Rp.Proc_event_deregister | Rp.Proc_event_lifecycle
-     | Rp.Proc_proto_minor | Rp.Proc_call_batch | Rp.Proc_call_deadline ->
-       assert false
-     | Rp.Proc_get_capabilities ->
-       Ok (Rp.enc_string_body (Capabilities.to_xml (ops.Driver.get_capabilities ())))
-     | Rp.Proc_get_hostname -> Ok (Rp.enc_string_body (ops.Driver.get_hostname ()))
-     | Rp.Proc_list_domains ->
-       let* refs = ops.Driver.list_domains () in
-       Ok (Rp.enc_domain_ref_list refs)
-     | Rp.Proc_list_defined ->
-       let* names = ops.Driver.list_defined () in
-       Ok (Rp.enc_string_list names)
-     | Rp.Proc_lookup_by_name ->
-       let* r = ops.Driver.lookup_by_name (Rp.dec_string_body body) in
-       Ok (Rp.enc_domain_ref r)
-     | Rp.Proc_lookup_by_uuid ->
-       let* uuid =
-         Result.map_error (Verror.make Verror.Invalid_arg)
-           (Vmm.Uuid.of_string (Rp.dec_string_body body))
-       in
-       let* r = ops.Driver.lookup_by_uuid uuid in
-       Ok (Rp.enc_domain_ref r)
-     | Rp.Proc_define_xml ->
-       let* r = ops.Driver.define_xml (Rp.dec_string_body body) in
-       Ok (Rp.enc_domain_ref r)
-     | Rp.Proc_undefine ->
-       let* () = ops.Driver.undefine (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_dom_create ->
-       let* () = ops.Driver.dom_create (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_dom_suspend ->
-       let* () = ops.Driver.dom_suspend (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_dom_resume ->
-       let* () = ops.Driver.dom_resume (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_dom_shutdown ->
-       let* () = ops.Driver.dom_shutdown (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_dom_destroy ->
-       let* () = ops.Driver.dom_destroy (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_dom_get_info ->
-       let* info = ops.Driver.dom_get_info (Rp.dec_string_body body) in
-       Ok (Rp.enc_domain_info info)
-     | Rp.Proc_dom_get_xml ->
-       let* xml = ops.Driver.dom_get_xml (Rp.dec_string_body body) in
-       Ok (Rp.enc_string_body xml)
-     | Rp.Proc_dom_set_memory ->
-       let name, kib = Rp.dec_name_and_kib body in
-       let* () = ops.Driver.dom_set_memory name kib in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_dom_save ->
-       let name = Rp.dec_string_body body in
-       (match ops.Driver.dom_save with
-        | Some f ->
-          let* () = f name in
-          Ok Rp.enc_unit_body
-        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed save")
-     | Rp.Proc_dom_restore ->
-       let name = Rp.dec_string_body body in
-       (match ops.Driver.dom_restore with
-        | Some f ->
-          let* () = f name in
-          Ok Rp.enc_unit_body
-        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed restore")
-     | Rp.Proc_dom_has_managed_save ->
-       let name = Rp.dec_string_body body in
-       (match ops.Driver.dom_has_managed_save with
-        | Some f ->
-          let* has = f name in
-          Ok (Rp.enc_bool_body has)
-        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"managed save")
-     | Rp.Proc_dom_set_autostart ->
-       let name, autostart = Rp.dec_name_and_bool body in
-       (match ops.Driver.dom_set_autostart with
-        | Some f ->
-          let* () = f name autostart in
-          Ok Rp.enc_unit_body
-        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"autostart")
-     | Rp.Proc_dom_get_autostart ->
-       let name = Rp.dec_string_body body in
-       (match ops.Driver.dom_get_autostart with
-        | Some f ->
-          let* flag = f name in
-          Ok (Rp.enc_bool_body flag)
-        | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"autostart")
-     | Rp.Proc_net_list ->
-       let* b = net_backend cs in
-       let* infos = b.Driver.net_list () in
-       Ok (Rp.enc_net_info_list infos)
-     | Rp.Proc_net_define ->
-       let name, bridge, ip_range = Rp.dec_net_define body in
-       let* b = net_backend cs in
-       let* info = b.Driver.net_define ~name ~bridge ~ip_range in
-       Ok (Rp.enc_net_info info)
-     | Rp.Proc_net_start ->
-       let* b = net_backend cs in
-       let* () = b.Driver.net_start (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_net_stop ->
-       let* b = net_backend cs in
-       let* () = b.Driver.net_stop (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_net_undefine ->
-       let* b = net_backend cs in
-       let* () = b.Driver.net_undefine (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_net_set_autostart ->
-       let name, autostart = Rp.dec_name_and_bool body in
-       let* b = net_backend cs in
-       let* () = b.Driver.net_set_autostart name autostart in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_net_lookup ->
-       let* b = net_backend cs in
-       let* info = b.Driver.net_lookup (Rp.dec_string_body body) in
-       Ok (Rp.enc_net_info info)
-     | Rp.Proc_pool_list ->
-       let* b = storage_backend cs in
-       let* infos = b.Driver.pool_list () in
-       Ok (Rp.enc_pool_info_list infos)
-     | Rp.Proc_pool_define ->
-       let name, target_path, capacity_b = Rp.dec_pool_define body in
-       let* b = storage_backend cs in
-       let* info = b.Driver.pool_define ~name ~target_path ~capacity_b in
-       Ok (Rp.enc_pool_info info)
-     | Rp.Proc_pool_start ->
-       let* b = storage_backend cs in
-       let* () = b.Driver.pool_start (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_pool_stop ->
-       let* b = storage_backend cs in
-       let* () = b.Driver.pool_stop (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_pool_undefine ->
-       let* b = storage_backend cs in
-       let* () = b.Driver.pool_undefine (Rp.dec_string_body body) in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_pool_lookup ->
-       let* b = storage_backend cs in
-       let* info = b.Driver.pool_lookup (Rp.dec_string_body body) in
-       Ok (Rp.enc_pool_info info)
-     | Rp.Proc_vol_create ->
-       let pool, name, capacity_b, format = Rp.dec_vol_create body in
-       let* b = storage_backend cs in
-       let* info = b.Driver.vol_create ~pool ~name ~capacity_b ~format in
-       Ok (Rp.enc_vol_info info)
-     | Rp.Proc_vol_delete ->
-       let pool, name = Rp.dec_vol_ref body in
-       let* b = storage_backend cs in
-       let* () = b.Driver.vol_delete ~pool ~name in
-       Ok Rp.enc_unit_body
-     | Rp.Proc_vol_list ->
-       let* b = storage_backend cs in
-       let* infos = b.Driver.vol_list ~pool:(Rp.dec_string_body body) in
-       Ok (Rp.enc_vol_info_list infos)
-     | Rp.Proc_dom_list_all ->
-       let* records = Driver.list_all ops in
-       Ok (Rp.enc_domain_record_list records)
-     | Rp.Proc_vol_lookup ->
-       let* b = storage_backend cs in
-       let* info = b.Driver.vol_by_path (Rp.dec_string_body body) in
-       Ok (Rp.enc_vol_info info))
+    dispatch_conn cs proc body
 
 let handle st ~minor _srv client header body =
   let* proc =
@@ -366,8 +413,10 @@ let handle st ~minor _srv client header body =
   in
   handle_proc st ~minor ~in_batch:false client proc body
 
-let program ?(minor = Rp.minor) ~logger () =
-  let st = { mutex = Mutex.create (); conns = Hashtbl.create 32; logger } in
+let program ?(minor = Rp.minor) ?reconcile ~logger () =
+  let st =
+    { mutex = Mutex.create (); conns = Hashtbl.create 32; logger; reconcile }
+  in
   Dispatch.
     {
       prog_number = Rp.program;

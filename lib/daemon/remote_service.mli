@@ -7,8 +7,22 @@
     events of that connection can be streamed back as [Event] packets
     after [Proc_event_register]. *)
 
-val program : ?minor:int -> logger:Vlog.t -> unit -> Dispatch.program
+val program :
+  ?minor:int -> ?reconcile:Reconcile.t -> logger:Vlog.t -> unit -> Dispatch.program
 (** [minor] caps the protocol minor this daemon serves (default: the
     build's {!Protocol.Remote_protocol.minor}); procedures newer than it
     are rejected as unknown, making the daemon indistinguishable from an
-    older build — the lever version-negotiation tests pull. *)
+    older build — the lever version-negotiation tests pull.  [reconcile]
+    is the daemon's policy reconciler; without it the v1.5 policy
+    procedures answer [Operation_unsupported]. *)
+
+val dispatch_ops :
+  Ovirt_core.Driver.ops ->
+  Protocol.Remote_protocol.procedure ->
+  string ->
+  (string, Ovirt_core.Verror.t) result
+(** Run one connection-scoped procedure directly against an open [ops]
+    handle — the same dispatch tail batch sub-calls use.  The daemon's
+    reconciler applies its planned lifecycle operations through here, so
+    a reconciled start/shutdown is byte-for-byte the RPC the client
+    would have issued. *)

@@ -59,13 +59,27 @@ let snapshot_records store =
          @ if e.e_running then [ rec_running name true ] else [])
 
 (* Compact when the log carries several times more records than a fresh
-   snapshot would need; keeps replay O(live state), not O(history). *)
+   snapshot would need; keeps replay O(live state), not O(history).
+   The factor/slack knobs are process-wide (daemon_config:
+   journal_compact_factor / journal_compact_slack): reconcile plans add
+   journal traffic, so deployments can trade replay time for write
+   amplification. *)
+let compact_factor = ref 4
+let compact_slack = ref 16
+
+let set_compaction ~factor ~slack =
+  compact_factor := max 1 factor;
+  compact_slack := max 0 slack
+
+let compaction () = (!compact_factor, !compact_slack)
+
 let maybe_compact_locked store =
   match store.journal with
   | None -> false
   | Some j ->
     let snap = snapshot_records store in
-    if Journal.record_count j > (4 * List.length snap) + 16 then begin
+    if Journal.record_count j > (!compact_factor * List.length snap) + !compact_slack
+    then begin
       Journal.rewrite j snap;
       true
     end

@@ -88,6 +88,18 @@ let deadline_hook : (unit -> float option) ref = ref (fun () -> None)
 let set_deadline_hook f = deadline_hook := f
 let current_deadline () = !deadline_hook ()
 
+(* Boot-path budget hook.  Autostart (and reconciler-triggered) starts
+   run outside any RPC dispatch, so no deadline is on the thread; the
+   daemon installs a wrapper here that runs the start under a fresh
+   reqctx budget derived from wall_limit_ms, putting boot-time starts
+   under the same watchdog as every dispatched job.  Default: run
+   as-is. *)
+let start_budget_hook :
+    ((unit -> (unit, Verror.t) result) -> (unit, Verror.t) result) ref =
+  ref (fun f -> f ())
+
+let set_start_budget_hook f = start_budget_hook := f
+
 let lock_expired node =
   Verror.raise_err Verror.Operation_failed
     "deadline expired waiting for lock on node %S" node.node_name
@@ -232,7 +244,10 @@ let reconcile node ~attach_info ~running ~adopt ~start =
     unknown;
   let autostarted =
     List.filter
-      (fun name -> match start name with Ok () -> true | Error _ -> false)
+      (fun name ->
+        match !start_budget_hook (fun () -> start name) with
+        | Ok () -> true
+        | Error _ -> false)
       (List.rev !to_autostart)
   in
   let report =

@@ -52,6 +52,7 @@ type stats = {
   st_overloaded : int;  (** calls the daemon shed with [Overloaded] *)
   st_breaker_opens : int;  (** circuit-breaker open transitions *)
   st_breaker_fastfails : int;  (** calls failed locally while open *)
+  st_sub_errors : int;  (** failed sub-replies inside multi-calls *)
 }
 
 (* Counters live per connection: concurrent connections (a chaos run
@@ -71,6 +72,7 @@ type counters = {
   mutable cn_overloaded : int;
   mutable cn_breaker_opens : int;
   mutable cn_breaker_fastfails : int;
+  mutable cn_sub_errors : int;
 }
 
 let stats_mutex = Mutex.create ()
@@ -96,6 +98,7 @@ let fresh_counters bus =
           cn_overloaded = 0;
           cn_breaker_opens = 0;
           cn_breaker_fastfails = 0;
+          cn_sub_errors = 0;
         }
       in
       all_counters := c :: !all_counters;
@@ -113,7 +116,8 @@ let reset_stats () =
           c.cn_latencies <- [];
           c.cn_overloaded <- 0;
           c.cn_breaker_opens <- 0;
-          c.cn_breaker_fastfails <- 0)
+          c.cn_breaker_fastfails <- 0;
+          c.cn_sub_errors <- 0)
         !all_counters)
 
 let snapshot c =
@@ -127,6 +131,7 @@ let snapshot c =
     st_overloaded = c.cn_overloaded;
     st_breaker_opens = c.cn_breaker_opens;
     st_breaker_fastfails = c.cn_breaker_fastfails;
+    st_sub_errors = c.cn_sub_errors;
   }
 
 let stats () =
@@ -144,6 +149,7 @@ let stats () =
             st_breaker_opens = acc.st_breaker_opens + c.cn_breaker_opens;
             st_breaker_fastfails =
               acc.st_breaker_fastfails + c.cn_breaker_fastfails;
+            st_sub_errors = acc.st_sub_errors + c.cn_sub_errors;
           })
         {
           st_calls = 0;
@@ -155,6 +161,7 @@ let stats () =
           st_overloaded = 0;
           st_breaker_opens = 0;
           st_breaker_fastfails = 0;
+          st_sub_errors = 0;
         }
         !all_counters)
 
@@ -502,7 +509,7 @@ let call_dec conn proc body decoder =
    [call_async] before any reply is awaited, so the exchange costs one
    request convoy and one reply convoy instead of N ping-pongs.  Either
    way each sub-call gets its own result. *)
-let multi_call conn subs =
+let multi_call_raw conn subs =
   if subs = [] then []
   else if negotiated_minor conn >= 3 then begin
     let idempotent = List.for_all (fun (p, _) -> Rp.is_idempotent p) subs in
@@ -538,6 +545,20 @@ let multi_call conn subs =
          | Ok fut -> Rpc_client.await fut
          | Error _ as err -> err)
   end
+
+let multi_call conn subs =
+  let results = multi_call_raw conn subs in
+  (* Bulk emulations drop failed sub-replies from their output (matching
+     [Driver.list_all_fallback]), which would otherwise make a partial
+     failure invisible; the counter lets callers (ovirsh) detect one and
+     exit non-zero. *)
+  let errs =
+    List.fold_left (fun n -> function Error _ -> n + 1 | Ok _ -> n) 0 results
+  in
+  if errs > 0 then
+    with_stats (fun () ->
+        conn.rc_stats.cn_sub_errors <- conn.rc_stats.cn_sub_errors + errs);
+  results
 
 (* ------------------------------------------------------------------ *)
 (* Cached point reads                                                  *)
@@ -1019,6 +1040,11 @@ let make_ops uri conn =
       if Result.is_ok r then invalidate_domain conn name;
       r)
     ~dom_get_autostart:(dom_get_autostart conn)
+    ~dom_set_policy:(fun name p ->
+      call_unit conn Rp.Proc_dom_set_policy (Rp.enc_set_policy name p))
+    ~dom_get_policy:(fun name ->
+      call_dec conn Rp.Proc_dom_get_policy (Rp.enc_string_body name)
+        Rp.dec_policy)
     ~dom_list_all:(dom_list_all conn)
     ~net:(remote_net_ops conn) ~storage:(remote_storage_ops conn)
     ~events:conn.events ()

@@ -109,6 +109,10 @@ type stats = {
   st_breaker_fastfails : int;
       (** calls failed locally, without touching the wire, while the
           breaker was open *)
+  st_sub_errors : int;
+      (** failed sub-replies inside multi-calls (batched or pipelined);
+          bulk emulations drop such rows from their output, so this is
+          how a caller detects a partially-failed listing *)
 }
 
 val stats : unit -> stats

@@ -74,3 +74,6 @@ module Daemon_config = Ovdaemon.Daemon_config
 module Server_obj = Ovdaemon.Server_obj
 module Admin_client = Admin
 module Logging = Vlog
+module Dompolicy = Ovirt_core.Dompolicy
+module Reconcile = Reconcile
+module Remote = Drv_remote

@@ -20,6 +20,7 @@ type procedure =
   | Proc_daemon_uptime
   | Proc_daemon_drain
   | Proc_daemon_pool_stats
+  | Proc_daemon_reconcile_status
 
 let all_procedures =
   [
@@ -33,6 +34,8 @@ let all_procedures =
     Proc_daemon_drain;
     (* v1.2 additions *)
     Proc_daemon_pool_stats;
+    (* v1.3 additions *)
+    Proc_daemon_reconcile_status;
   ]
 
 let proc_to_int proc =

@@ -32,6 +32,9 @@ type procedure =
       (** args: server; ret: typed params — overload counters
           (jobs done/failed/shed/expired, stuck workers) plus the live
           queue/wall limits *)
+  | Proc_daemon_reconcile_status
+      (** ret: the reconciler summary + per-domain rows, encoded exactly
+          as the remote program's [Proc_daemon_reconcile_status] reply *)
 
 val proc_to_int : procedure -> int
 val proc_of_int : int -> (procedure, string) result

@@ -7,7 +7,7 @@ let version = 1
    never changes (append-only numbering keeps every frame compatible);
    the minor only gates which procedures a daemon is willing to serve
    and is negotiated per connection via [Proc_proto_minor]. *)
-let minor = 4
+let minor = 5
 
 type procedure =
   | Proc_open
@@ -59,6 +59,9 @@ type procedure =
   | Proc_call_batch
   | Proc_vol_lookup
   | Proc_call_deadline
+  | Proc_dom_set_policy
+  | Proc_dom_get_policy
+  | Proc_daemon_reconcile_status
 
 (* Append-only: the list position IS the wire number (1-based). *)
 let all_procedures =
@@ -81,6 +84,8 @@ let all_procedures =
     Proc_proto_minor; Proc_dom_list_all; Proc_call_batch; Proc_vol_lookup;
     (* v1.4 additions: per-call deadline envelope *)
     Proc_call_deadline;
+    (* v1.5 additions: declarative lifecycle policy / reconciler *)
+    Proc_dom_set_policy; Proc_dom_get_policy; Proc_daemon_reconcile_status;
   ]
 
 (* Number↔procedure mapping is on the per-packet hot path: precomputed
@@ -108,6 +113,7 @@ let proc_min_minor = function
   | Proc_dom_set_autostart | Proc_dom_get_autostart -> 2
   | Proc_proto_minor | Proc_dom_list_all | Proc_call_batch | Proc_vol_lookup -> 3
   | Proc_call_deadline -> 4
+  | Proc_dom_set_policy | Proc_dom_get_policy | Proc_daemon_reconcile_status -> 5
   | _ -> 0
 
 let is_high_priority = function
@@ -116,7 +122,7 @@ let is_high_priority = function
   | Proc_lookup_by_uuid | Proc_dom_get_info | Proc_dom_get_xml | Proc_echo
   | Proc_ping | Proc_event_register | Proc_event_deregister
   | Proc_dom_has_managed_save | Proc_dom_get_autostart | Proc_proto_minor
-  | Proc_dom_list_all ->
+  | Proc_dom_list_all | Proc_dom_get_policy | Proc_daemon_reconcile_status ->
     true
   | Proc_define_xml | Proc_undefine | Proc_dom_create | Proc_dom_suspend
   | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy | Proc_dom_set_memory
@@ -125,7 +131,7 @@ let is_high_priority = function
   | Proc_pool_define | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine
   | Proc_pool_lookup | Proc_vol_create | Proc_vol_delete | Proc_vol_list
   | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
-  | Proc_dom_set_autostart
+  | Proc_dom_set_autostart | Proc_dom_set_policy
   (* batch sub-calls may be arbitrary, vol_lookup walks pools; a
      deadline envelope's priority follows its inner call, resolved by
      the dispatcher after peeking into the body *)
@@ -143,7 +149,8 @@ let is_idempotent = function
   | Proc_dom_get_info | Proc_dom_get_xml | Proc_dom_has_managed_save
   | Proc_dom_get_autostart | Proc_net_list | Proc_net_lookup | Proc_pool_list
   | Proc_pool_lookup | Proc_vol_list | Proc_echo | Proc_ping | Proc_proto_minor
-  | Proc_dom_list_all | Proc_vol_lookup ->
+  | Proc_dom_list_all | Proc_vol_lookup | Proc_dom_get_policy
+  | Proc_daemon_reconcile_status ->
     true
   | Proc_open | Proc_close | Proc_define_xml | Proc_undefine | Proc_dom_create
   | Proc_dom_suspend | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy
@@ -152,7 +159,10 @@ let is_idempotent = function
   | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine | Proc_vol_create
   | Proc_vol_delete | Proc_event_register | Proc_event_deregister
   | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
-  | Proc_dom_set_autostart
+  (* set_policy is a journaled last-writer-wins upsert — replaying it
+     is harmless — but it stays out so retry behaviour matches
+     set_autostart, its v1.2 sibling *)
+  | Proc_dom_set_autostart | Proc_dom_set_policy
   (* a batch is as idempotent as its least idempotent sub-call, a
      deadline envelope exactly as idempotent as its inner call; the
      client computes both per call and overrides retry eligibility *)
@@ -526,4 +536,123 @@ let dec_lifecycle_event body =
       match Events.lifecycle_of_int (Xdr.dec_int d) with
       | Ok lifecycle -> Events.{ domain_name; lifecycle }
       | Error msg -> raise (Xdr.Error msg))
+    body
+
+(* ---- v1.5: lifecycle policy and reconciler status ---- *)
+
+let enc_policy_into e (p : Dompolicy.t) =
+  let b, s, r = Dompolicy.to_ints p in
+  Xdr.enc_uint e b;
+  Xdr.enc_uint e s;
+  Xdr.enc_uint e r
+
+let dec_policy_from d =
+  let b = Xdr.dec_uint d in
+  let s = Xdr.dec_uint d in
+  let r = Xdr.dec_uint d in
+  match Dompolicy.of_ints (b, s, r) with
+  | Ok p -> p
+  | Error e -> raise (Xdr.Error e.Verror.message)
+
+let enc_policy p = Xdr.encode enc_policy_into p
+let dec_policy body = Xdr.decode dec_policy_from body
+
+let enc_set_policy name p =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e name;
+      enc_policy_into e p)
+    ()
+
+let dec_set_policy body =
+  Xdr.decode
+    (fun d ->
+      let name = Xdr.dec_string d in
+      let p = dec_policy_from d in
+      (name, p))
+    body
+
+let reconcile_status_to_int = function
+  | Reconcile.St_converged -> 0
+  | Reconcile.St_pending -> 1
+  | Reconcile.St_diverged -> 2
+
+let reconcile_status_of_int = function
+  | 0 -> Reconcile.St_converged
+  | 1 -> Reconcile.St_pending
+  | 2 -> Reconcile.St_diverged
+  | n -> raise (Xdr.Error (Printf.sprintf "unknown reconcile status %d" n))
+
+(* Retry countdowns travel as milliseconds (uints); fractional seconds
+   are a host-local detail. *)
+let enc_reconcile_status ((s : Reconcile.summary), rows) =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_uint e s.Reconcile.sum_specs;
+      Xdr.enc_uint e s.Reconcile.sum_converged;
+      Xdr.enc_uint e s.Reconcile.sum_pending;
+      Xdr.enc_uint e s.Reconcile.sum_diverged;
+      Xdr.enc_uint e s.Reconcile.sum_plans;
+      Xdr.enc_uint e s.Reconcile.sum_ops_applied;
+      Xdr.enc_uint e s.Reconcile.sum_ops_skipped;
+      Xdr.enc_uint e s.Reconcile.sum_ops_failed;
+      Xdr.enc_bool e s.Reconcile.sum_resumed;
+      Xdr.enc_array e
+        (fun e (r : Reconcile.dom_status) ->
+          Xdr.enc_string e r.Reconcile.ds_uri;
+          Xdr.enc_string e r.Reconcile.ds_name;
+          enc_policy_into e r.Reconcile.ds_policy;
+          Xdr.enc_uint e (reconcile_status_to_int r.Reconcile.ds_status);
+          Xdr.enc_uint e r.Reconcile.ds_attempts;
+          Xdr.enc_uint e
+            (int_of_float (Float.round (r.Reconcile.ds_retry_in_s *. 1000.)));
+          Xdr.enc_string e r.Reconcile.ds_last_error)
+        rows)
+    ()
+
+let dec_reconcile_status body =
+  Xdr.decode
+    (fun d ->
+      let sum_specs = Xdr.dec_uint d in
+      let sum_converged = Xdr.dec_uint d in
+      let sum_pending = Xdr.dec_uint d in
+      let sum_diverged = Xdr.dec_uint d in
+      let sum_plans = Xdr.dec_uint d in
+      let sum_ops_applied = Xdr.dec_uint d in
+      let sum_ops_skipped = Xdr.dec_uint d in
+      let sum_ops_failed = Xdr.dec_uint d in
+      let sum_resumed = Xdr.dec_bool d in
+      let rows =
+        Xdr.dec_array d (fun d ->
+            let ds_uri = Xdr.dec_string d in
+            let ds_name = Xdr.dec_string d in
+            let ds_policy = dec_policy_from d in
+            let ds_status = reconcile_status_of_int (Xdr.dec_uint d) in
+            let ds_attempts = Xdr.dec_uint d in
+            let ds_retry_in_s = float_of_int (Xdr.dec_uint d) /. 1000. in
+            let ds_last_error = Xdr.dec_string d in
+            Reconcile.
+              {
+                ds_uri;
+                ds_name;
+                ds_policy;
+                ds_status;
+                ds_attempts;
+                ds_retry_in_s;
+                ds_last_error;
+              })
+      in
+      ( Reconcile.
+          {
+            sum_specs;
+            sum_converged;
+            sum_pending;
+            sum_diverged;
+            sum_plans;
+            sum_ops_applied;
+            sum_ops_skipped;
+            sum_ops_failed;
+            sum_resumed;
+          },
+        rows ))
     body

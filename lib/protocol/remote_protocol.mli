@@ -67,6 +67,12 @@ type procedure =
   | Proc_call_deadline
       (** appended in v1.4: deadline envelope — args:
           [(budget_ms, inner proc, inner body)]; ret: the inner reply *)
+  | Proc_dom_set_policy
+      (** appended in v1.5: args: (name, policy); ret: none — declares
+          the domain's lifecycle policy to the daemon-side reconciler *)
+  | Proc_dom_get_policy  (** args: name; ret: policy *)
+  | Proc_daemon_reconcile_status
+      (** ret: reconciler summary + per-domain rows *)
 
 val enc_bool_body : bool -> string
 val dec_bool_body : string -> bool
@@ -167,3 +173,15 @@ val dec_vol_info_list : string -> Ovirt_core.Storage_backend.vol_info list
 
 val enc_lifecycle_event : Ovirt_core.Events.event -> string
 val dec_lifecycle_event : string -> Ovirt_core.Events.event
+
+(** {1 v1.5: lifecycle policy / reconciler status} *)
+
+val enc_policy : Ovirt_core.Dompolicy.t -> string
+val dec_policy : string -> Ovirt_core.Dompolicy.t
+
+val enc_set_policy : string -> Ovirt_core.Dompolicy.t -> string
+val dec_set_policy : string -> string * Ovirt_core.Dompolicy.t
+
+val enc_reconcile_status : Reconcile.summary * Reconcile.dom_status list -> string
+val dec_reconcile_status : string -> Reconcile.summary * Reconcile.dom_status list
+(** Per-row retry countdowns are rounded to milliseconds on the wire. *)

@@ -216,6 +216,138 @@ let test_compaction () =
   Alcotest.(check bool) "journal compacted" true (rc.Domstore.rc_replayed < 10);
   Alcotest.(check (list string)) "state preserved" [ "keeper" ] (Domstore.names st2)
 
+(* --- crash-point sweep over the reconcile plan journal ------------------- *)
+
+(* The reconciler journals a plan before applying it and checkpoints
+   per-op.  Kill it mid-apply (two of four ops done), then cut the
+   surviving journal at every record boundary and at points inside each
+   record: whatever prefix a crash leaves, the next incarnation must
+   converge the fleet with every domain's side effect happening exactly
+   once — resumed ops whose postcondition already holds are skipped,
+   never repeated. *)
+let test_reconcile_plan_sweep () =
+  let uri = "test://plansweep/" in
+  let doms = [ "ps-a"; "ps-b"; "ps-c"; "ps-d" ] in
+  let world = Hashtbl.create 8 in
+  let applies = Hashtbl.create 8 in
+  let io =
+    {
+      Reconcile.io_actual =
+        (fun _ ->
+          Ok (Hashtbl.fold (fun n st acc -> (n, st) :: acc) world []));
+      io_state = (fun _ name -> Ok (Hashtbl.find_opt world name));
+      io_apply =
+        (fun _ op ->
+          let n = op.Reconcile.op_name in
+          Hashtbl.replace applies n
+            (1 + Option.value ~default:0 (Hashtbl.find_opt applies n));
+          Hashtbl.replace world n Vmm.Vm_state.Running;
+          Ok ());
+      io_log = (fun _ -> ());
+    }
+  in
+  let config =
+    {
+      Reconcile.default_config with
+      Reconcile.rcfg_parallel = 1;
+      rcfg_backoff_base_s = 0.;
+      rcfg_backoff_cap_s = 0.;
+      rcfg_compact_factor = 1000;
+      rcfg_compact_slack = 1000;
+    }
+  in
+  let reset_world () =
+    Hashtbl.reset world;
+    Hashtbl.reset applies;
+    List.iter (fun n -> Hashtbl.replace world n Vmm.Vm_state.Shutoff) doms
+  in
+  reset_world ();
+  let path = fresh_name "plansweep" in
+  let t = Reconcile.create ~journal_path:path ~io ~config () in
+  let running_policy =
+    { Ovirt.Dompolicy.default with Ovirt.Dompolicy.run_state = Ovirt.Dompolicy.Rs_running }
+  in
+  List.iter (fun n -> Reconcile.set_policy t ~uri ~name:n running_policy) doms;
+  (* Kill the pass after the second side effect lands, before its
+     checkpoint can be written: the nastiest window. *)
+  let hits = ref 0 in
+  Reconcile.crash_hook :=
+    (fun site ->
+      if site = "post_apply" then begin
+        incr hits;
+        if !hits = 2 then failwith "injected crash"
+      end);
+  (match Reconcile.converge_now t with
+   | _ -> Alcotest.fail "injected crash did not abort the pass"
+   | exception Failure _ -> Reconcile.crash_hook := fun _ -> ());
+  Alcotest.(check int) "two side effects landed before the kill" 2
+    (Hashtbl.length applies);
+  let crash_world = Hashtbl.copy world in
+  let crash_applies = Hashtbl.copy applies in
+  let img = Option.get (Media.read path) in
+  let _, replay = Journal.open_ path in
+  let boundary = Array.make (List.length replay.Journal.rp_records + 1) 0 in
+  List.iteri
+    (fun i r ->
+      boundary.(i + 1) <- boundary.(i) + String.length (Journal.encode_record r))
+    replay.Journal.rp_records;
+  let nrec = List.length replay.Journal.rp_records in
+  Alcotest.(check int) "boundaries span the image" (String.length img) boundary.(nrec);
+  let check_cut label cut =
+    (* Restart from the crash-time world against this journal prefix;
+       each cut is its own independent timeline. *)
+    Hashtbl.reset world;
+    Hashtbl.iter (Hashtbl.replace world) crash_world;
+    Hashtbl.reset applies;
+    Hashtbl.iter (Hashtbl.replace applies) crash_applies;
+    let cut_path = fresh_name "plansweep-cut" in
+    Media.write cut_path (String.sub img 0 cut);
+    let t2 = Reconcile.create ~journal_path:cut_path ~io ~config () in
+    let s = Reconcile.converge_now t2 in
+    Alcotest.(check int) (label ^ ": no op failed") 0 s.Reconcile.sum_ops_failed;
+    (* Exactly-once: no domain's lifecycle op ever ran twice, whether it
+       ran before the crash or after the resume. *)
+    Hashtbl.iter
+      (fun n count ->
+        if count > 1 then
+          Alcotest.failf "%s: duplicate side effect on %s (%d)" label n count)
+      applies;
+    (* Every spec the journal prefix preserved converges. *)
+    let s = Reconcile.converge_now t2 in
+    Alcotest.(check int)
+      (label ^ ": every surviving spec converged")
+      s.Reconcile.sum_specs s.Reconcile.sum_converged
+  in
+  for k = 0 to nrec do
+    check_cut (Printf.sprintf "boundary cut after record %d" k) boundary.(k)
+  done;
+  for k = 0 to nrec - 1 do
+    let len = boundary.(k + 1) - boundary.(k) in
+    List.iter
+      (fun delta ->
+        if delta >= 1 && delta < len then
+          check_cut
+            (Printf.sprintf "mid-record cut in record %d (+%d)" (k + 1) delta)
+            (boundary.(k) + delta))
+      [ 1; 3; len / 2; len - 1 ]
+  done;
+  (* The untouched journal resumes the interrupted plan directly. *)
+  Hashtbl.reset world;
+  Hashtbl.iter (Hashtbl.replace world) crash_world;
+  Hashtbl.reset applies;
+  Hashtbl.iter (Hashtbl.replace applies) crash_applies;
+  let t3 = Reconcile.create ~journal_path:path ~io ~config () in
+  let s = Reconcile.converge_now t3 in
+  Alcotest.(check bool) "full journal: plan resumed" true s.Reconcile.sum_resumed;
+  Hashtbl.iter
+    (fun n count ->
+      Alcotest.(check int) (Printf.sprintf "exactly one side effect on %s" n) 1 count)
+    applies;
+  Alcotest.(check int) "whole fleet running" (List.length doms)
+    (Hashtbl.fold
+       (fun _ st acc -> if st = Vmm.Vm_state.Running then acc + 1 else acc)
+       world 0)
+
 (* --- end-to-end: test driver --------------------------------------------- *)
 
 let test_crash_recovery_test_driver () =
@@ -431,6 +563,7 @@ let () =
         [
           quick "crash-point-sweep" test_crash_point_sweep;
           quick "compaction" test_compaction;
+          quick "reconcile-plan-sweep" test_reconcile_plan_sweep;
         ] );
       ( "restart",
         [
