@@ -1546,6 +1546,188 @@ let reconcile () =
         "sweep assertions passed: exactly-once side effects, zero divergence")
 
 (* ------------------------------------------------------------------ *)
+(* E19: c10k — connection scalability, reactor vs thread-per-connection *)
+(* ------------------------------------------------------------------ *)
+
+(* An integer field from /proc/self/status, e.g. "Threads" or "VmRSS"
+   (the latter in kB). *)
+let proc_status_int key =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let prefix = key ^ ":" in
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line >= String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+        then
+          let rest =
+            String.sub line (String.length prefix)
+              (String.length line - String.length prefix)
+          in
+          Scanf.sscanf rest " %d" (fun n -> Some n)
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) scan
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+(* The paper-era daemon burned one OS thread per connection just to sit
+   in recv; the reactor front end multiplexes every socket onto a fixed
+   handful of loops.  Measured per io_model and fan-in: extra daemon
+   threads, resident memory, and hot-call latency for a small busy
+   subset riding amid the idle mass. *)
+let c10k () =
+  section "E19: c10k — idle connection mass + hot subset, reactor vs threaded";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let fan_ins =
+    match Sys.getenv_opt "C10K_FANINS" with
+    | Some spec ->
+      List.filter_map int_of_string_opt (String.split_on_char ',' spec)
+    | None -> if smoke then [ 50; 200 ] else [ 1_000; 10_000 ]
+  in
+  let n_hot = if smoke then 4 else 16 in
+  let calls_per_hot = if smoke then 40 else 300 in
+  let echo_packet ~serial body =
+    let header =
+      Rpc_packet.call_header ~program:Rp.program ~version:Rp.version
+        ~procedure:(Rp.proc_to_int Rp.Proc_echo) ~serial
+    in
+    Rpc_packet.encode header body
+  in
+  let run io_model n_idle =
+    let config =
+      {
+        quiet_config with
+        Daemon_config.io_model;
+        max_clients = n_idle + n_hot + 64;
+        max_anonymous_clients = n_idle + n_hot + 64;
+      }
+    in
+    let daemon = Daemon.start ~name:(fresh "c10k") ~config () in
+    let addr = Daemon.mgmt_address daemon in
+    let threads_before = Option.value ~default:0 (proc_status_int "Threads") in
+    (* Idle mass: raw kept-alive connections that never say a word after
+       the handshake.  Thread-per-connection may refuse to scale here —
+       count what actually connected rather than crashing the harness. *)
+    let idle = ref [] in
+    let idle_opened = ref 0 in
+    (try
+       for _ = 1 to n_idle do
+         idle := Ovnet.Netsim.connect addr Transport.Unix_sock :: !idle;
+         incr idle_opened
+       done
+     with e ->
+       Printf.printf "  (stopped at %d idle connections: %s)\n" !idle_opened
+         (Printexc.to_string e));
+    let threads_after = Option.value ~default:0 (proc_status_int "Threads") in
+    (* Accept settle: thread-per-connection serializes every accept on
+       the server's client-table lock (with O(clients) maintenance per
+       accept), so a connect storm leaves a backlog long after connect()
+       returned.  Measure steady state, and report the settle time — it
+       is itself part of the comparison. *)
+    let srv =
+      match Daemon.find_server daemon "libvirtd" with
+      | Some s -> s
+      | None -> failwith "c10k: no libvirtd server"
+    in
+    let settle_t0 = Unix.gettimeofday () in
+    let settle_deadline = settle_t0 +. 300.0 in
+    let rec wait_settled () =
+      let n = List.length (Ovirt.Server_obj.list_clients srv) in
+      if n >= !idle_opened || Unix.gettimeofday () > settle_deadline then n
+      else begin
+        Thread.delay 0.05;
+        wait_settled ()
+      end
+    in
+    let settled = wait_settled () in
+    let settle_s = Unix.gettimeofday () -. settle_t0 in
+    if settled < !idle_opened then
+      Printf.printf "  (accept backlog never settled: %d of %d accepted)\n"
+        settled !idle_opened;
+    (* Hot subset: echo round-trips, one driving thread per hot
+       connection, every latency sampled. *)
+    let hot =
+      Array.init n_hot (fun _ -> Ovnet.Netsim.connect addr Transport.Unix_sock)
+    in
+    let samples = Array.make (n_hot * calls_per_hot) nan in
+    let drivers =
+      Array.mapi
+        (fun h conn ->
+          Thread.create
+            (fun () ->
+              try
+                for c = 0 to calls_per_hot - 1 do
+                  let t0 = Unix.gettimeofday () in
+                  Transport.send conn (echo_packet ~serial:c "ping");
+                  match Transport.recv_opt conn ~timeout_s:60.0 with
+                  | Some _ ->
+                    samples.((h * calls_per_hot) + c) <-
+                      (Unix.gettimeofday () -. t0) *. 1e6
+                  | None ->
+                    (* A tail spike past even the generous timeout:
+                       score it at the cap and park this connection. *)
+                    samples.((h * calls_per_hot) + c) <- 60.0 *. 1e6;
+                    raise Exit
+                done
+              with Exit -> ())
+            ())
+        hot
+    in
+    Array.iter Thread.join drivers;
+    Gc.compact ();
+    let rss_kb = Option.value ~default:0 (proc_status_int "VmRSS") in
+    let recorded =
+      Array.of_seq
+        (Seq.filter (fun x -> not (Float.is_nan x)) (Array.to_seq samples))
+    in
+    if Array.length recorded < Array.length samples then
+      Printf.printf "  (%d of %d hot calls completed)\n"
+        (Array.length recorded) (Array.length samples);
+    Array.sort compare recorded;
+    let p50 = percentile recorded 50.0 and p99 = percentile recorded 99.0 in
+    Array.iter Transport.close hot;
+    List.iter Transport.close !idle;
+    Daemon.stop daemon;
+    ( !idle_opened,
+      max 0 (threads_after - threads_before),
+      settle_s,
+      rss_kb,
+      p50,
+      p99 )
+  in
+  let rows = ref [] in
+  List.iter
+    (fun n_idle ->
+      List.iter
+        (fun io_model ->
+          let opened, threads, settle_s, rss_kb, p50, p99 = run io_model n_idle in
+          rows :=
+            [
+              Daemon_config.io_model_name io_model;
+              Printf.sprintf "%d/%d" opened n_idle;
+              string_of_int threads;
+              Printf.sprintf "%.2f s" settle_s;
+              Printf.sprintf "%.1f MB" (float_of_int rss_kb /. 1024.0);
+              Printf.sprintf "%.0f us" p50;
+              Printf.sprintf "%.0f us" p99;
+            ]
+            :: !rows)
+        [ Daemon_config.Io_threaded; Daemon_config.Io_reactor ])
+    fan_ins;
+  table
+    [ "io_model"; "idle conns"; "+threads"; "settle"; "RSS"; "hot p50"; "hot p99" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1567,6 +1749,7 @@ let experiments =
     ("bulk", bulk);
     ("overload", overload);
     ("reconcile", reconcile);
+    ("c10k", c10k);
   ]
 
 let () =

@@ -1,8 +1,22 @@
+(* The connection front end: [Threaded] spawns one reader thread per
+   accepted connection (the classic accept loop); [Reactor_fe] spreads
+   every connection over a small fixed set of readiness-driven loops
+   which share one receive-buffer pool.  Decoded calls dispatch on the
+   workerpools identically in both. *)
+type frontend =
+  | Threaded
+  | Reactor_fe of {
+      reactors : Ovreactor.Reactor.t array;
+      bufpool : Ovreactor.Bufpool.t;
+      next : int Atomic.t; (* round-robin connection placement *)
+    }
+
 type t = {
   name : string;
   logger : Vlog.t;
   servers : (string * Server_obj.t) list;
   listeners : Ovnet.Netsim.listener list;
+  frontend : frontend;
   started_at : float;
   reconciler : Reconcile.t;
   recon_conns : (string, Ovirt_core.Driver.ops) Hashtbl.t;
@@ -15,6 +29,9 @@ type t = {
   lifecycle_cv : Condition.t;
   mutable stopped : bool;
   mutable draining : bool;
+  mutable drain_thread : Thread.t option;
+      (* background drain in flight (admin-triggered); [stop] joins it so
+         the drain thread never outlives the daemon's teardown *)
 }
 
 let mgmt_address_of name = name ^ "-sock"
@@ -41,19 +58,32 @@ let stop_locked daemon =
         Server_obj.close_all_clients srv;
         Threadpool.shutdown (Server_obj.pool srv))
       daemon.servers;
+    (match daemon.frontend with
+     | Threaded -> ()
+     | Reactor_fe { reactors; _ } ->
+       Array.iter Ovreactor.Reactor.stop reactors);
     Vlog.logf daemon.logger ~module_:"daemon" Vlog.Info "daemon %s stopped"
       daemon.name
   end
 
 (* A stop issued while a drain is running waits for the drain to finish
    (which itself ends in a stop), so stop keeps its synchronous meaning:
-   when it returns, the daemon is down. *)
+   when it returns, the daemon is down — including the background drain
+   thread, which is joined (not abandoned) once draining clears. *)
 let stop daemon =
-  with_lifecycle daemon (fun () ->
-      while daemon.draining do
-        Condition.wait daemon.lifecycle_cv daemon.lifecycle
-      done;
-      stop_locked daemon)
+  let drain_thread =
+    with_lifecycle daemon (fun () ->
+        while daemon.draining do
+          Condition.wait daemon.lifecycle_cv daemon.lifecycle
+        done;
+        stop_locked daemon;
+        let t = daemon.drain_thread in
+        daemon.drain_thread <- None;
+        t)
+  in
+  match drain_thread with
+  | Some th when Thread.id th <> Thread.id (Thread.self ()) -> Thread.join th
+  | Some _ | None -> ()
 
 (* Simulated crash: tear down immediately, never waiting for a drain —
    in-flight work is abandoned exactly as a SIGKILL would leave it.  The
@@ -96,6 +126,18 @@ let drain_impl daemon =
         daemon.draining <- false;
         Condition.broadcast daemon.lifecycle_cv)
   end
+
+(* The admin program's drain: runs in the background (a synchronous
+   Threadpool.drain would deadlock waiting for the very admin job that
+   requested it), but the thread handle is kept so [stop] can join it. *)
+let drain_background daemon =
+  with_lifecycle daemon (fun () ->
+      if not (daemon.stopped || daemon.draining) then
+        match daemon.drain_thread with
+        | Some _ -> ()
+        | None ->
+          daemon.drain_thread <-
+            Some (Thread.create (fun () -> drain_impl daemon) ()))
 
 let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   let logger =
@@ -246,40 +288,74 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
           (fun () ->
             match !self with
             | None -> ()
-            | Some daemon ->
-              (* In the background: Threadpool.drain would deadlock
-                 waiting for the very admin job that requested it. *)
-              ignore (Thread.create (fun () -> drain_impl daemon) ()));
+            | Some daemon -> drain_background daemon);
         view_reconcile = (fun () -> Some reconciler);
       }
   in
-  let mgmt_listener =
-    Ovnet.Netsim.listen (mgmt_address_of name) (fun conn ->
-        Dispatch.attach_client mgmt_server
-          [ remote_program; Dispatch.keepalive_program ]
-          conn)
+  let mgmt_programs = [ remote_program; Dispatch.keepalive_program ] in
+  let admin_programs = [ admin_program; Dispatch.keepalive_program ] in
+  (* Admin is root-only: refuse non-root unix peers and any remote
+     transport, mirroring the admin socket's 0700 permissions. *)
+  let admin_authorized conn =
+    match Ovnet.Transport.peer conn with
+    | Ovnet.Transport.Local id when id.Ovnet.Transport.uid = 0 -> true
+    | Ovnet.Transport.Local _ | Ovnet.Transport.Remote _ ->
+      Vlog.logf logger ~module_:"daemon.admin" Vlog.Warn
+        "refusing non-root connection to admin socket";
+      false
   in
-  let admin_listener =
-    Ovnet.Netsim.listen (admin_address_of name) (fun conn ->
-        (* Admin is root-only: refuse non-root unix peers and any remote
-           transport, mirroring the admin socket's 0700 permissions. *)
-        match Ovnet.Transport.peer conn with
-        | Ovnet.Transport.Local id when id.Ovnet.Transport.uid = 0 ->
-          Dispatch.attach_client admin_server
-            [ admin_program; Dispatch.keepalive_program ]
-            conn
-        | Ovnet.Transport.Local _ | Ovnet.Transport.Remote _ ->
-          Vlog.logf logger ~module_:"daemon.admin" Vlog.Warn
-            "refusing non-root connection to admin socket";
-          Ovnet.Transport.close conn)
+  let frontend =
+    match config.Daemon_config.io_model with
+    | Daemon_config.Io_threaded -> Threaded
+    | Daemon_config.Io_reactor ->
+      let n = max 1 config.Daemon_config.reactor_threads in
+      Reactor_fe
+        {
+          reactors =
+            Array.init n (fun i ->
+                Ovreactor.Reactor.create
+                  ~name:(Printf.sprintf "%s-reactor-%d" name i) ());
+          bufpool =
+            Ovreactor.Bufpool.create
+              ~buf_size:(1024 * max 1 config.Daemon_config.reactor_buf_kb)
+              ~max_pooled:config.Daemon_config.reactor_pool_bufs;
+          next = Atomic.make 0;
+        }
   in
-  Vlog.logf logger ~module_:"daemon" Vlog.Info "daemon %s started" name;
+  let mgmt_listener, admin_listener =
+    match frontend with
+    | Threaded ->
+      ( Ovnet.Netsim.listen (mgmt_address_of name) (fun conn ->
+            Dispatch.attach_client mgmt_server mgmt_programs conn),
+        Ovnet.Netsim.listen (admin_address_of name) (fun conn ->
+            if admin_authorized conn then
+              Dispatch.attach_client admin_server admin_programs conn
+            else Ovnet.Transport.close conn) )
+    | Reactor_fe { reactors; bufpool; next } ->
+      (* Connections are spread round-robin over the reactor loops; the
+         sink only registers the endpoint and returns, so accepting is
+         O(1) with no thread spawned. *)
+      let pick () =
+        reactors.(Atomic.fetch_and_add next 1 mod Array.length reactors)
+      in
+      ( Ovnet.Netsim.listen_direct (mgmt_address_of name) (fun ~kind ep ->
+            Dispatch.attach_endpoint mgmt_server mgmt_programs
+              ~reactor:(pick ()) ~pool:bufpool ~kind ep),
+        Ovnet.Netsim.listen_direct (admin_address_of name) (fun ~kind ep ->
+            Dispatch.attach_endpoint admin_server admin_programs
+              ~reactor:(pick ()) ~pool:bufpool ~authorize:admin_authorized
+              ~kind ep) )
+  in
+  Vlog.logf logger ~module_:"daemon" Vlog.Info "daemon %s started (io_model=%s)"
+    name
+    (Daemon_config.io_model_name config.Daemon_config.io_model);
   let daemon =
     {
       name;
       logger;
       servers;
       listeners = [ mgmt_listener; admin_listener ];
+      frontend;
       started_at;
       reconciler;
       recon_conns;
@@ -288,6 +364,7 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
       lifecycle_cv = Condition.create ();
       stopped = false;
       draining = false;
+      drain_thread = None;
     }
   in
   self := Some daemon;
@@ -295,6 +372,22 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   daemon
 
 let drain = drain_impl
+
+let io_model daemon =
+  match daemon.frontend with
+  | Threaded -> Daemon_config.Io_threaded
+  | Reactor_fe _ -> Daemon_config.Io_reactor
+
+let reactors daemon =
+  match daemon.frontend with
+  | Threaded -> [||]
+  | Reactor_fe { reactors; _ } -> reactors
+
+let buffer_pool daemon =
+  match daemon.frontend with
+  | Threaded -> None
+  | Reactor_fe { bufpool; _ } -> Some bufpool
+
 let name daemon = daemon.name
 let mgmt_address daemon = mgmt_address_of daemon.name
 let admin_address daemon = admin_address_of daemon.name

@@ -1,4 +1,27 @@
+type io_model = Io_threaded | Io_reactor
+
+let io_model_name = function Io_threaded -> "threaded" | Io_reactor -> "reactor"
+
+let io_model_of_name = function
+  | "threaded" -> Ok Io_threaded
+  | "reactor" -> Ok Io_reactor
+  | s -> Error (Printf.sprintf "io_model: unknown model %S (threaded|reactor)" s)
+
+(* The suite runs once per io_model in CI; the env override flips the
+   whole default without touching every test's config literal. *)
+let default_io_model =
+  match Sys.getenv_opt "OVIRT_IO_MODEL" with
+  | Some s ->
+    (match io_model_of_name (String.trim s) with
+     | Ok m -> m
+     | Error _ -> Io_reactor)
+  | None -> Io_reactor
+
 type t = {
+  io_model : io_model;
+  reactor_threads : int;
+  reactor_buf_kb : int;
+  reactor_pool_bufs : int;
   min_workers : int;
   max_workers : int;
   prio_workers : int;
@@ -22,6 +45,10 @@ type t = {
 
 let default =
   {
+    io_model = default_io_model;
+    reactor_threads = 2;
+    reactor_buf_kb = 16;
+    reactor_pool_bufs = 64;
     min_workers = 5;
     max_workers = 20;
     prio_workers = 5;
@@ -86,6 +113,21 @@ let want_string key = function
 
 let apply cfg key value =
   match key with
+  | "io_model" ->
+    let* s = want_string key value in
+    let* m = io_model_of_name s in
+    Ok { cfg with io_model = m }
+  | "reactor_threads" ->
+    let* n = want_int key value in
+    if n < 1 then Error "reactor_threads: must be at least 1"
+    else Ok { cfg with reactor_threads = n }
+  | "reactor_buf_kb" ->
+    let* n = want_int key value in
+    if n < 1 then Error "reactor_buf_kb: must be at least 1"
+    else Ok { cfg with reactor_buf_kb = n }
+  | "reactor_pool_bufs" ->
+    let* n = want_int key value in
+    Ok { cfg with reactor_pool_bufs = n }
   | "min_workers" ->
     let* n = want_int key value in
     Ok { cfg with min_workers = n }
@@ -172,6 +214,10 @@ let parse contents =
 let to_file cfg =
   String.concat "\n"
     [
+      Printf.sprintf "io_model = \"%s\"" (io_model_name cfg.io_model);
+      Printf.sprintf "reactor_threads = %d" cfg.reactor_threads;
+      Printf.sprintf "reactor_buf_kb = %d" cfg.reactor_buf_kb;
+      Printf.sprintf "reactor_pool_bufs = %d" cfg.reactor_pool_bufs;
       Printf.sprintf "min_workers = %d" cfg.min_workers;
       Printf.sprintf "max_workers = %d" cfg.max_workers;
       Printf.sprintf "prio_workers = %d" cfg.prio_workers;

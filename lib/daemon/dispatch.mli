@@ -44,4 +44,25 @@ val keepalive_program : program
 val attach_client : Server_obj.t -> program list -> Ovnet.Transport.t -> unit
 (** Accept-loop body (use as the {!Ovnet.Netsim.listen} handler): register
     the connection with the server (limits enforced) and run the reader
-    loop until the peer goes away.  Returns when the connection dies. *)
+    loop until the peer goes away.  Returns when the connection dies.
+    This is the [io_model=threaded] front end. *)
+
+val attach_endpoint :
+  Server_obj.t ->
+  program list ->
+  reactor:Ovreactor.Reactor.t ->
+  pool:Ovreactor.Bufpool.t ->
+  ?authorize:(Ovnet.Transport.t -> bool) ->
+  kind:Ovnet.Transport.kind ->
+  Ovnet.Chan.endpoint ->
+  unit
+(** [io_model=reactor] front end (use from a {!Ovnet.Netsim.listen_direct}
+    sink): register the raw accepted endpoint with [reactor] and return
+    immediately.  The reactor drives a per-connection state machine —
+    transport handshake, then header-read/payload-read packet framing
+    with receive buffers borrowed from [pool] only while a partial packet
+    is stashed — and decoded calls take the same workerpool submission
+    path as the threaded reader (admission control, deadlines and drain
+    semantics identical).  [authorize] runs once the handshake completes
+    and the peer is known; returning [false] closes the connection before
+    it is registered (the admin socket's root-only check). *)

@@ -429,9 +429,12 @@ let call ?idempotent conn proc body =
     match idempotent with Some v -> v | None -> Rp.is_idempotent proc
   in
   let timeout = conn.rc_timeout_s in
-  (* Client-side wait slightly outlasts the server budget so the
-     daemon's own "expired in queue" reply wins the race when it can. *)
-  let timeout_s = Option.map (fun t -> t +. 0.25) timeout in
+  (* Client-side wait generously outlasts the server budget: the
+     daemon's authoritative "expired in queue" reply (sent when a worker
+     finally pops the stale job) should win over the local timeout
+     whenever the connection is alive; the local bound only covers a
+     server that never answers at all. *)
+  let timeout_s = Option.map (fun t -> t +. 1.0) timeout in
   let wire_call rpc =
     let wproc, wbody =
       match timeout with

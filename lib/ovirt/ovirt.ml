@@ -72,6 +72,8 @@ end
 
 module Daemon_config = Ovdaemon.Daemon_config
 module Server_obj = Ovdaemon.Server_obj
+module Reactor = Ovreactor.Reactor
+module Bufpool = Ovreactor.Bufpool
 module Admin_client = Admin
 module Logging = Vlog
 module Dompolicy = Ovirt_core.Dompolicy

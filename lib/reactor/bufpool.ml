@@ -1,0 +1,81 @@
+(* Receive buffers for reactor connections.  A connection only holds a
+   buffer while a partial packet is stashed in it — the common case
+   (whole packets arriving aligned) never takes one — so a small pool
+   serves many thousands of connections. *)
+
+type t = {
+  mutex : Mutex.t;
+  free : Bytes.t Queue.t;
+  buf_size : int;
+  max_pooled : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable returns : int;
+  mutable drops : int;
+}
+
+type stats = {
+  s_buf_size : int;
+  s_available : int;
+  s_hits : int;
+  s_misses : int;
+  s_returns : int;
+  s_drops : int;
+}
+
+let create ~buf_size ~max_pooled =
+  if buf_size < 1 then invalid_arg "Bufpool.create: buf_size must be >= 1";
+  if max_pooled < 0 then invalid_arg "Bufpool.create: max_pooled must be >= 0";
+  {
+    mutex = Mutex.create ();
+    free = Queue.create ();
+    buf_size;
+    max_pooled;
+    hits = 0;
+    misses = 0;
+    returns = 0;
+    drops = 0;
+  }
+
+let with_lock p f =
+  Mutex.lock p.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.mutex) f
+
+let buf_size p = p.buf_size
+
+let take p =
+  match
+    with_lock p (fun () ->
+        match Queue.take_opt p.free with
+        | Some b ->
+          p.hits <- p.hits + 1;
+          Some b
+        | None ->
+          p.misses <- p.misses + 1;
+          None)
+  with
+  | Some b -> b
+  | None -> Bytes.create p.buf_size
+
+(* Only exact-size buffers re-pool: a connection that outgrew its buffer
+   (a packet bigger than buf_size) returns the grown copy here too, and
+   pooling those would bloat every later borrower. *)
+let give p b =
+  with_lock p (fun () ->
+      if Bytes.length b = p.buf_size && Queue.length p.free < p.max_pooled
+      then begin
+        p.returns <- p.returns + 1;
+        Queue.push b p.free
+      end
+      else p.drops <- p.drops + 1)
+
+let stats p =
+  with_lock p (fun () ->
+      {
+        s_buf_size = p.buf_size;
+        s_available = Queue.length p.free;
+        s_hits = p.hits;
+        s_misses = p.misses;
+        s_returns = p.returns;
+        s_drops = p.drops;
+      })

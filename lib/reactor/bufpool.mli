@@ -1,0 +1,33 @@
+(** Pooled receive buffers for reactor connections.
+
+    Connections borrow a buffer only while a partial packet must be
+    stashed across readiness callbacks; idle connections hold none, so a
+    pool of tens of buffers serves tens of thousands of connections.
+    Thread-safe. *)
+
+type t
+
+type stats = {
+  s_buf_size : int;
+  s_available : int;  (** buffers currently pooled *)
+  s_hits : int;  (** takes served from the pool *)
+  s_misses : int;  (** takes that had to allocate *)
+  s_returns : int;  (** gives that re-pooled the buffer *)
+  s_drops : int;  (** gives discarded (pool full, or wrong size) *)
+}
+
+val create : buf_size:int -> max_pooled:int -> t
+(** Buffers are [buf_size] bytes; at most [max_pooled] are retained. *)
+
+val buf_size : t -> int
+
+val take : t -> Bytes.t
+(** A [buf_size]-byte buffer — pooled if available, fresh otherwise.
+    Contents are unspecified. *)
+
+val give : t -> Bytes.t -> unit
+(** Return a buffer.  Only exact [buf_size] buffers re-pool (a connection
+    may have grown its buffer for an oversized packet; grown buffers are
+    dropped), and only while under [max_pooled]. *)
+
+val stats : t -> stats

@@ -57,26 +57,52 @@ let encode header body =
   Bytes.blit_string body 0 buf 28 (String.length body);
   Bytes.unsafe_to_string buf
 
-let decode wire =
-  if String.length wire < 4 then fail "packet shorter than its length prefix";
-  let d = Xdr.decoder wire in
-  let total =
-    try Xdr.dec_uint d with Xdr.Error msg -> fail "bad length prefix: %s" msg
-  in
+let u32_at s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* Byte-stream framing for the reactor path: a connection's inbound bytes
+   accumulate in a buffer and packets are peeled off wherever frame
+   boundaries happen to fall (coalesced, split — anything a real TCP
+   stream does).  [frame_length] is the header-read step, [decode_sub]
+   the payload-read step; [decode] is the aligned special case the
+   threaded reader still uses. *)
+
+let frame_length wire ~pos ~avail =
+  if avail < 4 then None
+  else begin
+    let total = u32_at wire pos in
+    if total > max_packet_size then
+      fail "packet of %d bytes exceeds maximum" total;
+    if total < header_bytes then
+      fail "bad header: packet of %d bytes is shorter than a header" total;
+    Some (4 + total)
+  end
+
+let decode_sub wire ~pos ~len =
+  if len < 4 then fail "packet shorter than its length prefix";
+  let total = u32_at wire pos in
   if total > max_packet_size then fail "packet of %d bytes exceeds maximum" total;
-  if String.length wire - 4 <> total then
-    fail "length prefix says %d bytes, packet carries %d" total
-      (String.length wire - 4);
-  try
-    let program = Xdr.dec_uint d in
-    let version = Xdr.dec_uint d in
-    let procedure = Xdr.dec_int d in
-    let msg_type = msg_type_of_int (Xdr.dec_int d) in
-    let serial = Xdr.dec_uint d in
-    let status = status_of_int (Xdr.dec_int d) in
-    let body = String.sub wire (Xdr.pos d) (String.length wire - Xdr.pos d) in
-    ({ program; version; procedure; msg_type; serial; status }, body)
-  with Xdr.Error msg -> fail "bad header: %s" msg
+  if len - 4 <> total then
+    fail "length prefix says %d bytes, packet carries %d" total (len - 4);
+  if total < header_bytes then
+    fail "bad header: packet of %d bytes is shorter than a header" total;
+  let program = u32_at wire (pos + 4) in
+  let version = u32_at wire (pos + 8) in
+  let procedure =
+    (* signed i32, as the XDR header declares it *)
+    let v = u32_at wire (pos + 12) in
+    if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+  in
+  let msg_type = msg_type_of_int (u32_at wire (pos + 16)) in
+  let serial = u32_at wire (pos + 20) in
+  let status = status_of_int (u32_at wire (pos + 24)) in
+  let body = String.sub wire (pos + 4 + header_bytes) (total - header_bytes) in
+  ({ program; version; procedure; msg_type; serial; status }, body)
+
+let decode wire = decode_sub wire ~pos:0 ~len:(String.length wire)
 
 let call_header ~program ~version ~procedure ~serial =
   { program; version; procedure; msg_type = Call; serial; status = Status_ok }

@@ -32,6 +32,22 @@ val decode : string -> header * string
 (** Inverse of {!encode}.  @raise Bad_packet on any malformation:
     truncation, length mismatch, unknown type/status, oversize. *)
 
+(** {2 Byte-stream framing} — the reactor's per-connection state machine
+    peels packets out of an accumulation buffer wherever frame boundaries
+    fall (split or coalesced arbitrarily, like a real TCP stream). *)
+
+val frame_length : string -> pos:int -> avail:int -> int option
+(** Header-read step: with [avail] bytes available at [pos], [None] means
+    the 4-byte length prefix is still incomplete; [Some n] is the full
+    frame length (prefix included) to wait for.  @raise Bad_packet when
+    the prefix declares an oversized or impossibly short packet. *)
+
+val decode_sub : string -> pos:int -> len:int -> header * string
+(** Payload-read step: decode the complete frame spanning
+    [\[pos, pos+len)].  [decode wire] is
+    [decode_sub wire ~pos:0 ~len:(String.length wire)].
+    @raise Bad_packet as {!decode}. *)
+
 val call_header : program:int -> version:int -> procedure:int -> serial:int -> header
 
 val reply_ok : header -> header

@@ -85,6 +85,9 @@ type t = {
   pending : (int, slot) Hashtbl.t;
   deadlines : Heap.t; (* guarded by [mutex] *)
   keepalive : keepalive option;
+  timer_cv : Condition.t;
+      (* wakes the timer thread when its earliest event moves: a new
+         front-of-heap deadline armed, or the client closed *)
   mutable next_serial : int;
   mutable free_slots : slot list; (* guarded by [mutex] *)
   mutable closed : bool;
@@ -136,6 +139,7 @@ let fail_all_pending client err =
         if client.closed then []
         else begin
           client.closed <- true;
+          Condition.broadcast client.timer_cv;
           let slots =
             Hashtbl.fold (fun _ slot acc -> slot :: acc) client.pending []
           in
@@ -213,32 +217,76 @@ let send_ping client =
   | Transport.Closed -> ()
 
 (* One timer thread per client replaces the per-call watchdog threads: it
-   owns the deadline heap (call timeouts) and the keepalive ticker.  The
-   stdlib has no timed condition wait, so it polls at the same granularity
-   Chan uses. *)
-let timer_tick = 0.005
-
+   owns the deadline heap (call timeouts) and the keepalive ticker.  It
+   sleeps ({!Ovsync.Timedwait.wait}) until the earliest armed event —
+   front-of-heap deadline, keepalive death, next ping — and with no
+   keepalive and no armed deadlines it blocks indefinitely until
+   [call_async] or the close path signals [timer_cv]: zero wakeups on an
+   idle connection. *)
 let timer_loop client =
   let rec loop () =
-    if with_lock client.mutex (fun () -> client.closed) then ()
-    else begin
-      Thread.delay timer_tick;
-      let now = Unix.gettimeofday () in
-      let expired =
-        with_lock client.mutex (fun () ->
-            let rec collect acc =
-              match Heap.peek client.deadlines with
-              | Some e when e.Heap.at <= now ->
-                let e = Heap.pop client.deadlines in
-                (match Hashtbl.find_opt client.pending e.Heap.serial with
-                 | Some slot ->
-                   Hashtbl.remove client.pending e.Heap.serial;
-                   collect ((e, slot) :: acc)
-                 | None -> collect acc (* reply won the race: stale entry *))
-              | _ -> acc
-            in
-            collect [])
-      in
+    let todo =
+      with_lock client.mutex (fun () ->
+          let rec decide () =
+            if client.closed then `Exit
+            else begin
+              let now = Unix.gettimeofday () in
+              let heap_at =
+                match Heap.peek client.deadlines with
+                | Some e -> e.Heap.at
+                | None -> infinity
+              in
+              let ka_death, ka_ping =
+                match client.keepalive with
+                | None -> (infinity, infinity)
+                | Some ka ->
+                  ( client.last_rx +. (ka.ka_interval *. float_of_int ka.ka_count),
+                    Float.max client.last_rx client.last_ping +. ka.ka_interval )
+              in
+              let next = Float.min heap_at (Float.min ka_death ka_ping) in
+              if next > now then begin
+                Ovsync.Timedwait.wait client.mutex client.timer_cv ~until:next;
+                decide ()
+              end
+              else begin
+                let rec collect acc =
+                  match Heap.peek client.deadlines with
+                  | Some e when e.Heap.at <= now ->
+                    let e = Heap.pop client.deadlines in
+                    (match Hashtbl.find_opt client.pending e.Heap.serial with
+                     | Some slot ->
+                       Hashtbl.remove client.pending e.Heap.serial;
+                       collect ((e, slot) :: acc)
+                     | None -> collect acc (* reply won the race: stale entry *))
+                  | _ -> acc
+                in
+                let expired = collect [] in
+                let ka_action =
+                  match client.keepalive with
+                  | None -> `None
+                  | Some ka ->
+                    let silent = now -. client.last_rx in
+                    if silent > ka.ka_interval *. float_of_int ka.ka_count then
+                      `Die (silent, ka)
+                    else if
+                      silent >= ka.ka_interval
+                      && now -. client.last_ping >= ka.ka_interval
+                    then begin
+                      client.last_ping <- now;
+                      `Ping
+                    end
+                    else `None
+                in
+                `Work (expired, ka_action)
+              end
+            end
+          in
+          decide ())
+    in
+    (* Deliveries, pings and closes happen outside [client.mutex]. *)
+    match todo with
+    | `Exit -> ()
+    | `Work (expired, ka_action) ->
       List.iter
         (fun ((e : Heap.entry), slot) ->
           deliver slot
@@ -247,25 +295,20 @@ let timer_loop client =
                   (Printf.sprintf "call %d timed out after %.1fs" e.Heap.procedure
                      e.Heap.timeout))))
         expired;
-      (match client.keepalive with
-       | None -> ()
-       | Some ka ->
-         let silent = now -. client.last_rx in
-         if silent > ka.ka_interval *. float_of_int ka.ka_count then begin
-           Transport.close client.conn;
-           fail_all_pending client
-             (Verror.make Verror.Rpc_failure
-                (Printf.sprintf "keepalive: peer silent for %.2fs (interval %.2fs x %d)"
-                   silent ka.ka_interval ka.ka_count))
-         end
-         else if
-           silent >= ka.ka_interval && now -. client.last_ping >= ka.ka_interval
-         then begin
-           client.last_ping <- now;
-           send_ping client
-         end);
+      (match ka_action with
+       | `None -> ()
+       | `Ping -> send_ping client
+       | `Die (silent, ka) ->
+         (* Blame keepalive before closing the transport: closing first
+            wakes the receiver, whose generic connection-closed error
+            would race this one to the pending callers. *)
+         fail_all_pending client
+           (Verror.make Verror.Rpc_failure
+              (Printf.sprintf
+                 "keepalive: peer silent for %.2fs (interval %.2fs x %d)" silent
+                 ka.ka_interval ka.ka_count));
+         Transport.close client.conn);
       loop ()
-    end
   in
   loop ()
 
@@ -286,6 +329,7 @@ let connect ~address ~kind ~program ~version ?identity ?faults ?keepalive
         pending = Hashtbl.create 8;
         deadlines = Heap.create ();
         keepalive;
+        timer_cv = Condition.create ();
         next_serial = 1;
         free_slots = [];
         closed = false;
@@ -313,13 +357,17 @@ let call_async client ~procedure ?(body = "") ?timeout_s () =
           (match timeout_s with
            | None -> ()
            | Some t ->
+             let at = Unix.gettimeofday () +. t in
+             let was_earliest =
+               match Heap.peek client.deadlines with
+               | None -> true
+               | Some e -> at < e.Heap.at
+             in
              Heap.push client.deadlines
-               {
-                 Heap.at = Unix.gettimeofday () +. t;
-                 serial;
-                 procedure;
-                 timeout = t;
-               });
+               { Heap.at; serial; procedure; timeout = t };
+             (* a new front-of-heap deadline shortens the timer thread's
+                sleep: wake it to re-derive its next event *)
+             if was_earliest then Condition.signal client.timer_cv);
           Ok (serial, slot)
         end)
   in
@@ -376,8 +424,10 @@ let call client ~procedure ?body ?timeout_s () =
   | Ok fut -> await fut
 
 let close client =
-  Transport.close client.conn;
-  fail_all_pending client (Verror.make Verror.Rpc_failure "connection closed locally")
+  (* Same ordering as the keepalive death: deliver the precise error,
+     then close (the receiver's generic one must not win the race). *)
+  fail_all_pending client (Verror.make Verror.Rpc_failure "connection closed locally");
+  Transport.close client.conn
 
 let is_closed client = with_lock client.mutex (fun () -> client.closed)
 let pending_calls client = with_lock client.mutex (fun () -> Hashtbl.length client.pending)

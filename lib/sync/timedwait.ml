@@ -1,0 +1,144 @@
+(* Timed condition wait.
+
+   The stdlib's [Condition] has no timed wait, which is why older code
+   polled ([Thread.delay] loops in Chan.recv_opt and the rpc_client timer
+   thread).  This module supplies the missing primitive with one shared
+   timekeeper thread: callers register (deadline, mutex, condition) and
+   block in a plain [Condition.wait]; the timekeeper broadcasts the
+   condition when the deadline passes.  The timekeeper itself sleeps in
+   [Unix.select] on a self-pipe, so registering an earlier deadline wakes
+   it immediately — no polling anywhere.
+
+   Lock order: callers hold their own mutex and briefly take the
+   timekeeper's; the timekeeper never takes a caller mutex while holding
+   its own (due entries are popped first, fired after unlock), so the
+   orders cannot deadlock. *)
+
+type entry = { e_at : float; e_mutex : Mutex.t; e_cond : Condition.t }
+
+(* Array-backed binary min-heap on [e_at]. *)
+module Heap = struct
+  type t = { mutable a : entry array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let swap h i j =
+    let t = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- t
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let a = Array.make (max 8 (2 * h.n)) e in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    h.a.(h.n) <- e;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && h.a.((!i - 1) / 2).e_at > h.a.(!i).e_at do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 and continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.n && h.a.(l).e_at < h.a.(!s).e_at then s := l;
+      if r < h.n && h.a.(r).e_at < h.a.(!s).e_at then s := r;
+      if !s <> !i then begin
+        swap h !s !i;
+        i := !s
+      end
+      else continue := false
+    done;
+    top
+end
+
+type tk = {
+  tk_mutex : Mutex.t;
+  tk_heap : Heap.t;
+  tk_wake_rd : Unix.file_descr;
+  tk_wake_wr : Unix.file_descr;
+}
+
+let poke tk =
+  (* Nonblocking: a full pipe already guarantees a pending wakeup. *)
+  try ignore (Unix.write tk.tk_wake_wr (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let drain_pipe tk =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read tk.tk_wake_rd buf 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let fire e =
+  Mutex.lock e.e_mutex;
+  Condition.broadcast e.e_cond;
+  Mutex.unlock e.e_mutex
+
+let rec tk_loop tk =
+  Mutex.lock tk.tk_mutex;
+  let now = Unix.gettimeofday () in
+  let rec pop_due acc =
+    match Heap.peek tk.tk_heap with
+    | Some e when e.e_at <= now -> pop_due (Heap.pop tk.tk_heap :: acc)
+    | _ -> acc
+  in
+  let due = pop_due [] in
+  let timeout =
+    match Heap.peek tk.tk_heap with
+    | Some e -> max 0.0005 (e.e_at -. now)
+    | None -> 3600.
+  in
+  Mutex.unlock tk.tk_mutex;
+  List.iter fire due;
+  if due = [] then begin
+    (match Unix.select [ tk.tk_wake_rd ] [] [] timeout with
+     | [ _ ], _, _ -> drain_pipe tk
+     | _ -> ()
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  end;
+  tk_loop tk
+
+let timekeeper =
+  lazy
+    (let rd, wr = Unix.pipe () in
+     Unix.set_nonblock rd;
+     Unix.set_nonblock wr;
+     let tk =
+       { tk_mutex = Mutex.create (); tk_heap = Heap.create (); tk_wake_rd = rd; tk_wake_wr = wr }
+     in
+     ignore (Thread.create (fun () -> tk_loop tk) ());
+     tk)
+
+let wait mutex cond ~until =
+  if until = infinity then Condition.wait cond mutex
+  else begin
+    let now = Unix.gettimeofday () in
+    if until > now then begin
+      let tk = Lazy.force timekeeper in
+      Mutex.lock tk.tk_mutex;
+      let was_earliest =
+        match Heap.peek tk.tk_heap with
+        | None -> true
+        | Some e -> until < e.e_at
+      in
+      Heap.push tk.tk_heap { e_at = until; e_mutex = mutex; e_cond = cond };
+      Mutex.unlock tk.tk_mutex;
+      if was_earliest then poke tk;
+      Condition.wait cond mutex
+    end
+  end

@@ -1,5 +1,7 @@
 exception Closed
 
+type hook = { h_id : int; h_fn : unit -> unit }
+
 type t = {
   mutex : Mutex.t;
   readable : Condition.t;
@@ -7,7 +9,10 @@ type t = {
   queue : string Queue.t;
   capacity : int; (* max_int = unbounded *)
   mutable closed : bool;
+  mutable hooks : hook list;
 }
+
+let hook_ids = Atomic.make 1
 
 let create ?(capacity = max_int) () =
   if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
@@ -18,20 +23,31 @@ let create ?(capacity = max_int) () =
     queue = Queue.create ();
     capacity;
     closed = false;
+    hooks = [];
   }
 
 let with_lock c f =
   Mutex.lock c.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
 
+(* Hooks run after the channel mutex is released: a hook typically takes
+   its own lock (the reactor's), and holding ours across that call would
+   order the two locks both ways.  Hooks only mark readiness, so running
+   them slightly after the state change is harmless. *)
+let run_hooks hooks = List.iter (fun h -> h.h_fn ()) hooks
+
 let send c msg =
-  with_lock c (fun () ->
-      while (not c.closed) && Queue.length c.queue >= c.capacity do
-        Condition.wait c.writable c.mutex
-      done;
-      if c.closed then raise Closed;
-      Queue.push msg c.queue;
-      Condition.signal c.readable)
+  let hooks =
+    with_lock c (fun () ->
+        while (not c.closed) && Queue.length c.queue >= c.capacity do
+          Condition.wait c.writable c.mutex
+        done;
+        if c.closed then raise Closed;
+        Queue.push msg c.queue;
+        Condition.signal c.readable;
+        c.hooks)
+  in
+  run_hooks hooks
 
 let recv c =
   with_lock c (fun () ->
@@ -42,6 +58,16 @@ let recv c =
       let msg = Queue.pop c.queue in
       Condition.signal c.writable;
       msg)
+
+let try_recv c =
+  with_lock c (fun () ->
+      if not (Queue.is_empty c.queue) then begin
+        let msg = Queue.pop c.queue in
+        Condition.signal c.writable;
+        Some msg
+      end
+      else if c.closed then raise Closed
+      else None)
 
 let recv_opt c ~timeout_s =
   let deadline = Unix.gettimeofday () +. timeout_s in
@@ -55,26 +81,36 @@ let recv_opt c ~timeout_s =
         else if c.closed then raise Closed
         else if Unix.gettimeofday () >= deadline then None
         else begin
-          (* Condition variables have no timed wait in the stdlib; poll at a
-             granularity fine enough for the protocol timeouts in use. *)
-          Mutex.unlock c.mutex;
-          Thread.delay 0.001;
-          Mutex.lock c.mutex;
+          Ovsync.Timedwait.wait c.mutex c.readable ~until:deadline;
           wait_for_data ()
         end
       in
       wait_for_data ())
 
 let close c =
-  with_lock c (fun () ->
-      if not c.closed then begin
-        c.closed <- true;
-        Condition.broadcast c.readable;
-        Condition.broadcast c.writable
-      end)
+  let hooks =
+    with_lock c (fun () ->
+        if not c.closed then begin
+          c.closed <- true;
+          Condition.broadcast c.readable;
+          Condition.broadcast c.writable;
+          c.hooks
+        end
+        else [])
+  in
+  run_hooks hooks
 
 let is_closed c = with_lock c (fun () -> c.closed)
 let pending c = with_lock c (fun () -> Queue.length c.queue)
+
+let add_ready_hook c fn =
+  let h = { h_id = Atomic.fetch_and_add hook_ids 1; h_fn = fn } in
+  with_lock c (fun () -> c.hooks <- h :: c.hooks);
+  h
+
+let remove_ready_hook c h =
+  with_lock c (fun () ->
+      c.hooks <- List.filter (fun h' -> h'.h_id <> h.h_id) c.hooks)
 
 type endpoint = { incoming : t; outgoing : t }
 

@@ -19,8 +19,16 @@ val send : t -> string -> unit
 val recv : t -> string
 (** Blocks until a message arrives or the channel is closed and empty. *)
 
+val try_recv : t -> string option
+(** Non-blocking {!recv}: [None] when nothing is queued.
+    @raise Closed once the channel is closed and drained, as {!recv}
+    does.  This is the primitive a reactor drains from its readiness
+    callback. *)
+
 val recv_opt : t -> timeout_s:float -> string option
-(** [None] on timeout.  @raise Closed as {!recv} does. *)
+(** [None] on timeout.  Waits on a timed condition
+    ({!Ovsync.Timedwait.wait}), not a poll loop.  @raise Closed as
+    {!recv} does. *)
 
 val close : t -> unit
 (** Idempotent.  Wakes all blocked senders and receivers. *)
@@ -29,6 +37,20 @@ val is_closed : t -> bool
 
 val pending : t -> int
 (** Messages queued but not yet received. *)
+
+(** {1 Readiness hooks}
+
+    The notification primitive under the reactor's simulated epoll: a
+    hook fires after every enqueued message and on close — the moments
+    a level-triggered poller would report the channel readable.  Hooks
+    run outside the channel lock, may fire spuriously, and must not
+    block; they should only mark readiness (e.g. enqueue a watch on a
+    reactor's ready list). *)
+
+type hook
+
+val add_ready_hook : t -> (unit -> unit) -> hook
+val remove_ready_hook : t -> hook -> unit
 
 (** {1 Duplex endpoints} *)
 

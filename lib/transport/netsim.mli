@@ -23,6 +23,18 @@ val listen : ?faults:Faults.plan -> string -> (Transport.t -> unit) -> listener
     [faults] applies to every accepted connection's server side.
     @raise Address_in_use if already bound. *)
 
+val listen_direct :
+  ?faults:Faults.plan ->
+  string ->
+  (kind:Transport.kind -> Chan.endpoint -> unit) ->
+  listener
+(** Bind [addr] without per-connection threads: each accepted raw server
+    endpoint is handed to the sink synchronously on the connecting
+    thread.  The sink must not block — it registers the endpoint with a
+    reactor (which then drives the handshake and all reads) and returns.
+    This is the daemon's [io_model=reactor] accept path.
+    @raise Address_in_use if already bound. *)
+
 val close_listener : listener -> unit
 (** Unbind; established connections are unaffected. *)
 

@@ -109,6 +109,18 @@ let recv_opt conn ~timeout_s =
     conn.rx <- conn.rx + String.length msg;
     Some msg
 
+let try_recv conn =
+  match
+    try Chan.try_recv conn.ep.Chan.incoming with Chan.Closed -> raise Closed
+  with
+  | None -> None
+  | Some wire ->
+    let msg = unwrap conn wire in
+    conn.rx <- conn.rx + String.length msg;
+    Some msg
+
+let incoming_chan conn = conn.ep.Chan.incoming
+
 let close conn = Chan.close_endpoint conn.ep
 let is_closed conn = Chan.is_closed conn.ep.Chan.outgoing
 let bytes_tx conn = conn.tx
@@ -166,18 +178,55 @@ let initiate kind ~peer_sends ep =
   send conn (peer_to_wire peer_sends);
   conn
 
+(* Server-side establishment as an explicit state machine, so a reactor
+   can drive it one inbound frame at a time without a blocked accept
+   thread.  The blocking [accept] below is the same machine fed from
+   [Chan.recv]. *)
+
+type accept_phase =
+  | A_hello (* TLS only: awaiting the client hello *)
+  | A_identity of Tlslike.session option (* awaiting the peer identity frame *)
+
+type accept_state = {
+  as_kind : kind;
+  as_ep : Chan.endpoint;
+  mutable as_phase : accept_phase;
+}
+
+let accept_start kind ep =
+  {
+    as_kind = kind;
+    as_ep = ep;
+    as_phase = (match kind with Tls -> A_hello | Unix_sock | Tcp -> A_identity None);
+  }
+
+let accept_feed st frame =
+  match st.as_phase with
+  | A_hello ->
+    let session, reply = Tlslike.server_accept frame in
+    Chan.send st.as_ep.Chan.outgoing reply;
+    st.as_phase <- A_identity (Some session);
+    `Again
+  | A_identity tls ->
+    let conn =
+      {
+        kind = st.as_kind;
+        ep = st.as_ep;
+        tls;
+        peer = Remote { sock_addr = "pending"; x509_dname = None };
+        tx_mutex = Mutex.create ();
+        tx = 0;
+        rx = 0;
+      }
+    in
+    let identity = unwrap conn frame in
+    conn.rx <- conn.rx + String.length identity;
+    `Conn { conn with peer = peer_of_wire ~kind:st.as_kind identity }
+
 let accept kind ep =
-  let tls =
-    match kind with
-    | Unix_sock | Tcp -> None
-    | Tls ->
-      let hello = try Chan.recv ep.Chan.incoming with Chan.Closed -> raise Closed in
-      let session, reply = Tlslike.server_accept hello in
-      Chan.send ep.Chan.outgoing reply;
-      Some session
+  let st = accept_start kind ep in
+  let rec go () =
+    let frame = try Chan.recv ep.Chan.incoming with Chan.Closed -> raise Closed in
+    match accept_feed st frame with `Again -> go () | `Conn conn -> conn
   in
-  let conn =
-    { kind; ep; tls; peer = Remote { sock_addr = "pending"; x509_dname = None }; tx_mutex = Mutex.create (); tx = 0; rx = 0 }
-  in
-  let identity = recv conn in
-  { conn with peer = peer_of_wire ~kind identity }
+  go ()

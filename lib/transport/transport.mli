@@ -48,6 +48,15 @@ val peer : t -> peer
 val send : t -> string -> unit
 val recv : t -> string
 val recv_opt : t -> timeout_s:float -> string option
+
+val try_recv : t -> string option
+(** Non-blocking {!recv}: [None] when no frame is queued.  Raises as
+    {!recv} does ([Closed], [Corrupt]).  The reactor's drain primitive. *)
+
+val incoming_chan : t -> Chan.t
+(** The receive-direction channel, for registering readiness hooks (the
+    reactor watches this, then drains through {!try_recv}). *)
+
 val close : t -> unit
 val is_closed : t -> bool
 
@@ -68,3 +77,18 @@ val initiate : kind -> peer_sends:peer -> Chan.endpoint -> t
 
 val accept : kind -> Chan.endpoint -> t
 (** Server side: blocks for the client's handshake/identity. *)
+
+(** {2 Non-blocking accept} — the same establishment as {!accept}, run as
+    a state machine fed one inbound frame at a time, so a reactor can
+    multiplex many handshakes on one thread.  [accept] is this machine
+    driven from a blocking [Chan.recv]. *)
+
+type accept_state
+
+val accept_start : kind -> Chan.endpoint -> accept_state
+
+val accept_feed : accept_state -> string -> [ `Again | `Conn of t ]
+(** Feed the next raw inbound frame.  [`Again] wants more frames (TLS
+    hello consumed, reply already sent); [`Conn] is the established
+    connection.  Raises {!Corrupt} (or a {!Tlslike} handshake failure) on
+    a bad frame, as the blocking accept would. *)

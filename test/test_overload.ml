@@ -172,7 +172,10 @@ let test_deadline_expires_in_queue_e2e () =
       let direct = vok (Connect.open_uri (Printf.sprintf "test://%s/" node)) in
       let victim = fresh_name "victim" in
       let dvictim = define_and_start direct ~virt_type:"test" ~name:victim () in
-      set_latency node 250_000;
+      (* The wedge must outlast the 100 ms budget by a margin that holds
+         even when a loaded machine delays delivery of the budgeted call
+         by a scheduling quantum or three. *)
+      set_latency node 600_000;
       let plain = vok (Connect.open_uri (remote_uri ~daemon node)) in
       let budgeted =
         vok (Connect.open_uri (remote_uri ~params:"&timeout=0.1" ~daemon node))
