@@ -24,6 +24,8 @@ module Transport = Ovnet.Transport
 module Rp = Protocol.Remote_protocol
 module Rpc_packet = Ovrpc.Rpc_packet
 module Tp = Ovrpc.Typed_params
+module Events = Ovirt.Events
+module Server_obj = Ovirt.Server_obj
 
 let () = Ovirt.initialize ()
 
@@ -1728,6 +1730,148 @@ let c10k () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* E20: resumable event streams under connection chaos                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A producer drives lifecycle traffic on the driver node directly (no
+   transport, so the fault plan never touches it) while the subscriber's
+   daemon connection dies every 8 frames, plus one long daemon-side
+   outage with traffic emitted inside it.  The only variable is the
+   replay ring capacity: ample, every cut is resumed and replayed
+   exactly once (no duplicates, no losses, no gap); tiny, the long
+   outage wraps the ring past the client's position and the stream
+   degrades *explicitly* — a gap verdict, a wholesale cache flush and an
+   Ev_resync marker — never silently.  The stale-read probe is a domain
+   whose state changes while the client is away: its post-outage read
+   must reflect the daemon, not the cache. *)
+let events () =
+  section "E20: resumable event streams - exactly-once vs explicit gap-and-resync";
+  subsection "connection cut every 8 frames (seeded plan) plus one severed outage";
+  subsection "with lifecycle traffic inside it; only the ring capacity varies\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let cycles = if smoke then 15 else 100 in
+  let run_variant ~label ~ring_capacity =
+    let daemon_name = fresh "evd" in
+    let config = { quiet_config with Daemon_config.event_ring = ring_capacity } in
+    let daemon = Daemon.start ~name:daemon_name ~config () in
+    ignore
+      (Ovnet.Netsim.set_listener_faults (daemon_name ^ "-sock")
+         (Some (Ovnet.Faults.plan ~seed:17 [ Ovnet.Faults.Drop_after 8 ])));
+    Drv_remote.reset_stats ();
+    let host = fresh "evn" in
+    let sub =
+      ok
+        (Connect.open_uri
+           (Printf.sprintf
+              "test+unix://%s/?daemon=%s&reconnect=8&reconnect_delay=0.005&reconnect_max_delay=0.05&reconnect_seed=7"
+              host daemon_name))
+    in
+    let mu = Mutex.create () in
+    let seen = ref [] in
+    let resyncs = ref [] in
+    ignore
+      (ok
+         (Connect.subscribe_events sub (fun ev ->
+              Mutex.lock mu;
+              if ev.Events.lifecycle = Events.Ev_resync then
+                resyncs := ev.Events.seq :: !resyncs
+              else if ev.Events.seq > 0 then seen := ev.Events.seq :: !seen;
+              Mutex.unlock mu)));
+    let producer = ok (Connect.open_uri ("test://" ^ host ^ "/")) in
+    let cycle i =
+      let name = Printf.sprintf "e20-%d" i in
+      let dom = ok (Domain.create (define_domain (List.hd kits) producer name)) in
+      ignore dom;
+      ok (Domain.destroy (ok (Domain.lookup_by_name producer name)))
+    in
+    (* the stale-read probe: running now, stopped during the outage *)
+    let probe_name = fresh "probe" in
+    let pprobe = define_domain (List.hd kits) producer probe_name in
+    ok (Domain.create pprobe);
+    let sprobe = ok (Domain.lookup_by_name sub probe_name) in
+    assert (ok (Domain.is_active sprobe));
+    (* phase 1: chaos churn — cuts land mid-stream, resumes replay *)
+    for i = 1 to cycles do
+      cycle i;
+      ignore (Connect.list_domains sub)
+    done;
+    (* phase 2: one severed outage with traffic inside it *)
+    let admin = ok (Admin.connect ~daemon:daemon_name ()) in
+    let srv = ok (Admin.lookup_server admin "libvirtd") in
+    List.iter
+      (fun c -> ok (Admin.client_disconnect srv c.Admin.cl_id))
+      (ok (Admin.list_clients srv));
+    let dsrv = Option.get (Daemon.find_server daemon "libvirtd") in
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while
+      fst (Server_obj.client_counts dsrv) > 0 && Unix.gettimeofday () < deadline
+    do
+      Thread.delay 0.005
+    done;
+    ok (Domain.destroy pprobe);
+    cycle (cycles + 1);
+    cycle (cycles + 2);
+    (* phase 3: resume (replay or gap verdict) and settle.  The uncached
+       listing forces the reconnect first: the cached probe read alone
+       would race the receiver thread noticing the severed wire. *)
+    ignore (Connect.list_domains sub);
+    let probe_stale = ok (Domain.is_active sprobe) (* truth: stopped *) in
+    let est = ok (Admin.event_stats admin) in
+    let head = est.Admin.es_head_seq in
+    let snapshot () =
+      Mutex.lock mu;
+      let s = List.sort_uniq compare !seen in
+      let n_raw = List.length !seen in
+      let flushed = List.fold_left max 0 !resyncs in
+      let n_resyncs = List.length !resyncs in
+      Mutex.unlock mu;
+      (s, n_raw, flushed, n_resyncs)
+    in
+    (* silent loss: a position neither delivered nor covered by a resync
+       flush (everything at or below a resync's seq was flushed over) *)
+    let silent_losses () =
+      let s, _, flushed, _ = snapshot () in
+      List.length
+        (List.filter
+           (fun p -> p > flushed && not (List.mem p s))
+           (List.init head (fun i -> i + 1)))
+    in
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while silent_losses () > 0 && Unix.gettimeofday () < deadline do
+      ignore (Connect.list_domains sub);
+      Thread.delay 0.01
+    done;
+    let s, n_raw, _, n_resyncs = snapshot () in
+    let stats = Drv_remote.stats () in
+    Admin.close admin;
+    Connect.close sub;
+    Connect.close producer;
+    Daemon.stop daemon;
+    [
+      label;
+      string_of_int ring_capacity;
+      string_of_int head;
+      string_of_int (List.length s);
+      string_of_int (n_raw - List.length s);
+      string_of_int (silent_losses ());
+      string_of_int stats.Drv_remote.st_events_replayed;
+      string_of_int stats.Drv_remote.st_event_gaps;
+      string_of_int n_resyncs;
+      string_of_int stats.Drv_remote.st_reconnects;
+      (if probe_stale then "1 STALE" else "0");
+    ]
+  in
+  table
+    [
+      "ring"; "capacity"; "emitted"; "delivered"; "dups"; "silent lost";
+      "replayed"; "gaps"; "resyncs"; "reconnects"; "stale reads";
+    ]
+    [
+      run_variant ~label:"ample" ~ring_capacity:1024;
+      run_variant ~label:"tiny" ~ring_capacity:4;
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1750,6 +1894,7 @@ let experiments =
     ("overload", overload);
     ("reconcile", reconcile);
     ("c10k", c10k);
+    ("events", events);
   ]
 
 let () =

@@ -58,6 +58,88 @@ let checked_bulk shell f =
          (if failed = 1 then "" else "s"))
   end
 
+let event_line buf ev =
+  Buffer.add_string buf
+    (Printf.sprintf "%6d %-20s %s\n" ev.Ovirt.Events.seq
+       (if ev.Ovirt.Events.domain_name = "" then "-"
+        else ev.Ovirt.Events.domain_name)
+       (Ovirt.Events.lifecycle_name ev.Ovirt.Events.lifecycle))
+
+(* Tail [count] events from [conn], reading any resume replay from the
+   bus history (it was emitted during the open, before a subscriber
+   could attach) and the rest live.  An [Ev_resync] pseudo-event means
+   the daemon could not replay from the requested position: the tail
+   stops and the command fails so scripts notice the gap. *)
+let tail_events conn ~since ~count ~timeout =
+  let mu = Mutex.create () in
+  let events = ref [] in
+  (* newest first *)
+  let total = ref 0 in
+  let gap = ref false in
+  let note ev =
+    Mutex.lock mu;
+    if ev.Ovirt.Events.lifecycle = Ovirt.Events.Ev_resync then gap := true;
+    events := ev :: !events;
+    incr total;
+    Mutex.unlock mu
+  in
+  let* () =
+    match since with
+    | None -> Ok ()
+    | Some s ->
+      let* past = verr (Ovirt.Connect.event_history conn) in
+      List.iter
+        (fun ev ->
+          if
+            ev.Ovirt.Events.seq > s
+            || ev.Ovirt.Events.lifecycle = Ovirt.Events.Ev_resync
+          then note ev)
+        past;
+      Ok ()
+  in
+  let* sub = verr (Ovirt.Connect.subscribe_events conn note) in
+  let deadline =
+    Option.map (fun t -> Unix.gettimeofday () +. float_of_int t) timeout
+  in
+  let snapshot () =
+    Mutex.lock mu;
+    let r = (!total, !gap) in
+    Mutex.unlock mu;
+    r
+  in
+  let expired () =
+    match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+  in
+  let rec wait () =
+    let n, g = snapshot () in
+    if g || n >= count || expired () then ()
+    else begin
+      Thread.delay 0.02;
+      wait ()
+    end
+  in
+  wait ();
+  Ovirt.Connect.unsubscribe_events conn sub;
+  Mutex.lock mu;
+  let collected = List.rev !events in
+  let gapped = !gap in
+  Mutex.unlock mu;
+  let buf = Buffer.create 128 in
+  List.iter (event_line buf) collected;
+  if gapped then begin
+    (* Partial output still goes out; the non-zero exit flags the gap. *)
+    print_string (Buffer.contents buf);
+    Error
+      (match since with
+       | Some s ->
+         Printf.sprintf
+           "event stream gap: daemon no longer retains events after seq %d \
+            (full resynchronization required)"
+           s
+       | None -> "event stream gap: full resynchronization required")
+  end
+  else Ok (Buffer.contents buf)
+
 let commands shell =
   let connect_cmd =
     Ovcli.
@@ -277,6 +359,42 @@ let commands shell =
                stats.Ovirt.Domain.bytes_transferred
                stats.Ovirt.Domain.downtime_pages)
         | _ -> Error "expected: migrate <domain> <dest-uri>");
+    simple "event" "Monitoring" "[--since SEQ] [--count N] [--timeout S]"
+      "tail lifecycle events; --since resumes the sequence-numbered stream"
+      (fun args ->
+        let* count = Ovcli.int_flag args "count" in
+        let count = Option.value count ~default:1 in
+        let* timeout = Ovcli.int_flag args "timeout" in
+        let* since = Ovcli.int_flag args "since" in
+        match since with
+        | None ->
+          let* conn = require_conn shell in
+          tail_events conn ~since:None ~count ~timeout
+        | Some s ->
+          (* A dedicated connection whose first subscription resumes at
+             the given position: the daemon replays what it retains
+             beyond it (remote connections only — the resume_from knob
+             belongs to the remote driver). *)
+          let* base = require_conn shell in
+          let uri = Ovirt.Connect.uri base in
+          let keep (k, _) =
+            k <> "events" && k <> "resume" && k <> "resume_from"
+          in
+          let uri =
+            {
+              uri with
+              Ovirt.Uri.params =
+                List.filter keep uri.Ovirt.Uri.params
+                @ [
+                    ("events", "1"); ("resume", "1");
+                    ("resume_from", string_of_int s);
+                  ];
+            }
+          in
+          let* conn = verr (Ovirt.Connect.open_uri (Ovirt.Uri.to_string uri)) in
+          Fun.protect
+            ~finally:(fun () -> Ovirt.Connect.close conn)
+            (fun () -> tail_events conn ~since:(Some s) ~count ~timeout));
     simple "net-list" "Network management" "" "list virtual networks" (fun _ ->
         let* conn = require_conn shell in
         let* nets = verr (Ovirt.Network.list conn) in

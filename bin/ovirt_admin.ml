@@ -104,6 +104,32 @@ let commands shell =
                Printf.sprintf "%-15s: %d" "wallLimitMs"
                  ps.Ovirt.Admin_client.ps_wall_limit_ms;
              ]));
+    simple "event-stats" "Monitoring commands" ""
+      "event replay-ring counters: emitted/replayed/gapped, resumes, occupancy"
+      (fun _ ->
+        let* conn = require_conn shell in
+        let* es = verr (Ovirt.Admin_client.event_stats conn) in
+        Ok
+          (String.concat "\n"
+             [
+               Printf.sprintf "%-15s: %d" "nRings" es.Ovirt.Admin_client.es_rings;
+               Printf.sprintf "%-15s: %d" "eventsEmitted"
+                 es.Ovirt.Admin_client.es_emitted;
+               Printf.sprintf "%-15s: %d" "eventsReplayed"
+                 es.Ovirt.Admin_client.es_replayed;
+               Printf.sprintf "%-15s: %d" "eventsGapped"
+                 es.Ovirt.Admin_client.es_gapped;
+               Printf.sprintf "%-15s: %d" "eventResumes"
+                 es.Ovirt.Admin_client.es_resumes;
+               Printf.sprintf "%-15s: %d" "ringOccupancy"
+                 es.Ovirt.Admin_client.es_ring_occupancy;
+               Printf.sprintf "%-15s: %d" "ringCapacity"
+                 es.Ovirt.Admin_client.es_ring_capacity;
+               Printf.sprintf "%-15s: %d" "nSubscribers"
+                 es.Ovirt.Admin_client.es_subscribers;
+               Printf.sprintf "%-15s: %d" "headSeq"
+                 es.Ovirt.Admin_client.es_head_seq;
+             ]));
     simple "reconcile-status" "Monitoring commands" ""
       "reconciler convergence: declared specs vs actual fleet state"
       (fun _ ->

@@ -154,6 +154,42 @@ let pool_stats srv =
       ps_wall_limit_ms;
     }
 
+type event_stats = {
+  es_rings : int;
+  es_emitted : int;
+  es_replayed : int;
+  es_gapped : int;
+  es_resumes : int;
+  es_ring_occupancy : int;
+  es_ring_capacity : int;
+  es_subscribers : int;
+  es_head_seq : int;
+}
+
+let event_stats conn =
+  let* params = call_dec conn Ap.Proc_daemon_event_stats "" Ap.dec_params in
+  let* es_rings = required params Ap.event_rings in
+  let* es_emitted = required params Ap.event_emitted in
+  let* es_replayed = required params Ap.event_replayed in
+  let* es_gapped = required params Ap.event_gapped in
+  let* es_resumes = required params Ap.event_resumes in
+  let* es_ring_occupancy = required params Ap.event_ring_occupancy in
+  let* es_ring_capacity = required params Ap.event_ring_capacity in
+  let* es_subscribers = required params Ap.event_subscribers in
+  let* es_head_seq = required params Ap.event_head_seq in
+  Ok
+    {
+      es_rings;
+      es_emitted;
+      es_replayed;
+      es_gapped;
+      es_resumes;
+      es_ring_occupancy;
+      es_ring_capacity;
+      es_subscribers;
+      es_head_seq;
+    }
+
 let set_threadpool_params srv params =
   call_unit srv.conn Ap.Proc_set_threadpool
     (Ap.enc_server_params ~server:srv.srv_name params)

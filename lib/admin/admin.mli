@@ -31,6 +31,25 @@ val reconcile_status :
 (** The reconciler's convergence summary and per-domain rows — the
     administrator's view of whether the declared fleet state holds. *)
 
+(** Aggregate replay-ring counters across the daemon's per-node event
+    rings (v1.6 resumable subscriptions). *)
+type event_stats = {
+  es_rings : int;  (** rings created (one per distinct node opened) *)
+  es_emitted : int;  (** events appended to rings since startup *)
+  es_replayed : int;  (** events re-sent through resume replays *)
+  es_gapped : int;  (** resumes answered with a gap verdict *)
+  es_resumes : int;  (** resume calls served *)
+  es_ring_occupancy : int;  (** retained events, summed over rings *)
+  es_ring_capacity : int;  (** ring capacity, summed over rings *)
+  es_subscribers : int;  (** live seq-tagged subscriptions *)
+  es_head_seq : int;  (** highest stream position across rings *)
+}
+
+val event_stats : conn -> (event_stats, Ovirt_core.Verror.t) result
+(** The administrator's view of event-stream health: a growing
+    [es_gapped] means rings are undersized for the observed outages
+    (raise [event_ring] in the daemon configuration). *)
+
 (** {1 Servers} *)
 
 val list_servers : conn -> (string list, Ovirt_core.Verror.t) result

@@ -53,6 +53,10 @@ let subscribe_events conn f =
   let* ops = ops conn in
   Ok (Events.subscribe ops.Driver.events f)
 
+let event_history conn =
+  let* ops = ops conn in
+  Ok (Events.history ops.Driver.events)
+
 let unsubscribe_events conn sub =
   match ops conn with
   | Ok ops -> Events.unsubscribe ops.Driver.events sub

@@ -34,6 +34,12 @@ val list_all_domains : t -> (Driver.domain_record list, Verror.t) result
 val subscribe_events : t -> (Events.event -> unit) -> (Events.subscription, Verror.t) result
 val unsubscribe_events : t -> Events.subscription -> unit
 
+val event_history : t -> (Events.event list, Verror.t) result
+(** The connection bus's bounded recent-event log, oldest first.  Events
+    replayed by a resumable subscription during [open_uri] land here
+    before any subscriber can attach, so a tailing client reads the
+    replay from the history and the rest from a subscription. *)
+
 (**/**)
 
 val ops : t -> (Driver.ops, Verror.t) result

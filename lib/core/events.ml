@@ -10,6 +10,7 @@ type lifecycle =
   | Ev_migrated
   | Ev_adopted
   | Ev_diverged
+  | Ev_resync
 
 let lifecycle_name = function
   | Ev_defined -> "defined"
@@ -23,12 +24,15 @@ let lifecycle_name = function
   | Ev_migrated -> "migrated"
   | Ev_adopted -> "adopted"
   | Ev_diverged -> "diverged"
+  | Ev_resync -> "resync"
 
 (* Wire codes are list positions: append-only. *)
 let all =
   [
     Ev_defined; Ev_undefined; Ev_started; Ev_suspended; Ev_resumed; Ev_shutdown;
     Ev_stopped; Ev_crashed; Ev_migrated; Ev_adopted; Ev_diverged;
+    (* v1.6 addition *)
+    Ev_resync;
   ]
 
 let lifecycle_to_int ev =
@@ -43,7 +47,10 @@ let lifecycle_of_int n =
   | Some ev -> Ok ev
   | None -> Error (Printf.sprintf "unknown lifecycle event %d" n)
 
-type event = { domain_name : string; lifecycle : lifecycle }
+(* [seq] is the daemon-assigned stream position for events that arrived
+   over a sequence-numbered remote subscription; 0 for local (driver-bus)
+   events, which have no wire position. *)
+type event = { domain_name : string; lifecycle : lifecycle; seq : int }
 type subscription = int
 
 type bus = {
@@ -62,8 +69,8 @@ let with_lock bus f =
   Mutex.lock bus.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock bus.mutex) f
 
-let emit bus ~domain_name lifecycle =
-  let event = { domain_name; lifecycle } in
+let emit ?(seq = 0) bus ~domain_name lifecycle =
+  let event = { domain_name; lifecycle; seq } in
   let callbacks =
     with_lock bus (fun () ->
         Queue.push event bus.recent;

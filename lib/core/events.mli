@@ -20,18 +20,28 @@ type lifecycle =
   | Ev_diverged
       (** hypervisor state found to disagree with the journal on recovery
           (guest died or appeared while the manager was down) *)
+  | Ev_resync
+      (** the remote event stream had a gap (the daemon's replay ring
+          wrapped past this client's position, or the daemon was
+          replaced): cached state was flushed and subscribers must
+          re-read anything they track.  [domain_name] is [""]. *)
 
 val lifecycle_name : lifecycle -> string
 val lifecycle_of_int : int -> (lifecycle, string) result
 val lifecycle_to_int : lifecycle -> int
 
-type event = { domain_name : string; lifecycle : lifecycle }
+type event = { domain_name : string; lifecycle : lifecycle; seq : int }
+(** [seq] is the daemon-assigned position in a sequence-numbered remote
+    event stream, or 0 for local (driver-bus) events. *)
 
 type bus
 type subscription
 
 val create_bus : unit -> bus
-val emit : bus -> domain_name:string -> lifecycle -> unit
+
+val emit : ?seq:int -> bus -> domain_name:string -> lifecycle -> unit
+(** [?seq] defaults to 0 (unsequenced). *)
+
 val subscribe : bus -> (event -> unit) -> subscription
 val unsubscribe : bus -> subscription -> unit
 val subscriber_count : bus -> int

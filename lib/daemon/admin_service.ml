@@ -9,6 +9,7 @@ type daemon_view = {
   view_started_at : float;
   view_drain : unit -> unit;
   view_reconcile : unit -> Reconcile.t option;
+  view_event_totals : unit -> Remote_service.event_totals;
 }
 
 let ( let* ) = Result.bind
@@ -216,6 +217,21 @@ let handle view _srv _client header body =
        Verror.error Verror.Operation_unsupported "this daemon has no reconciler"
      | Some r ->
        Ok (Protocol.Remote_protocol.enc_reconcile_status (Reconcile.status r)))
+  | Ap.Proc_daemon_event_stats ->
+    let t = view.view_event_totals () in
+    Ok
+      (Ap.enc_params
+         [
+           Tp.uint Ap.event_rings t.Remote_service.evt_rings;
+           Tp.uint Ap.event_emitted t.Remote_service.evt_emitted;
+           Tp.uint Ap.event_replayed t.Remote_service.evt_replayed;
+           Tp.uint Ap.event_gapped t.Remote_service.evt_gaps;
+           Tp.uint Ap.event_resumes t.Remote_service.evt_resumes;
+           Tp.uint Ap.event_ring_occupancy t.Remote_service.evt_occupancy;
+           Tp.uint Ap.event_ring_capacity t.Remote_service.evt_capacity;
+           Tp.uint Ap.event_subscribers t.Remote_service.evt_subscribers;
+           Tp.uint Ap.event_head_seq t.Remote_service.evt_head;
+         ])
 
 let program view =
   Dispatch.

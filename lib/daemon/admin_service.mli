@@ -16,6 +16,8 @@ type daemon_view = {
           the administrator before the connection closes. *)
   view_reconcile : unit -> Reconcile.t option;
       (** The daemon's policy reconciler, when it has one. *)
+  view_event_totals : unit -> Remote_service.event_totals;
+      (** Aggregate replay-ring counters of the remote program. *)
 }
 
 val program : daemon_view -> Dispatch.program

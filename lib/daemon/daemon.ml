@@ -270,10 +270,12 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   in
   let servers = [ ("libvirtd", mgmt_server); ("admin", admin_server) ] in
   let started_at = Unix.gettimeofday () in
-  let remote_program =
-    Remote_service.program ~minor:config.Daemon_config.proto_minor
-      ~reconcile:reconciler ~logger ()
+  let remote_service =
+    Remote_service.make ~minor:config.Daemon_config.proto_minor
+      ~event_ring_capacity:config.Daemon_config.event_ring ~reconcile:reconciler
+      ~logger ()
   in
+  let remote_program = Remote_service.program_of remote_service in
   (* The admin program needs to trigger a drain of the daemon that hosts
      it; the daemon record does not exist yet, so route through a
      forward reference filled in below. *)
@@ -290,6 +292,7 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
             | None -> ()
             | Some daemon -> drain_background daemon);
         view_reconcile = (fun () -> Some reconciler);
+        view_event_totals = (fun () -> Remote_service.event_totals remote_service);
       }
   in
   let mgmt_programs = [ remote_program; Dispatch.keepalive_program ] in

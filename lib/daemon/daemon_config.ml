@@ -34,6 +34,7 @@ type t = {
   log_filters : Vlog.filter list;
   log_outputs : Vlog.output list;
   proto_minor : int;
+  event_ring : int;
   job_queue_limit : int;
   wall_limit_ms : int;
   journal_compact_factor : int;
@@ -61,6 +62,7 @@ let default =
     log_filters = [];
     log_outputs = [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Stderr } ];
     proto_minor = Protocol.Remote_protocol.minor;
+    event_ring = 1024;
     job_queue_limit = 0;
     wall_limit_ms = 0;
     journal_compact_factor = 4;
@@ -171,6 +173,10 @@ let apply cfg key value =
         (Printf.sprintf "proto_minor: this build speaks at most %d"
            Protocol.Remote_protocol.minor)
     else Ok { cfg with proto_minor = n }
+  | "event_ring" ->
+    let* n = want_int key value in
+    if n < 1 then Error "event_ring: must be at least 1"
+    else Ok { cfg with event_ring = n }
   | "job_queue_limit" ->
     let* n = want_int key value in
     Ok { cfg with job_queue_limit = n }
@@ -230,6 +236,7 @@ let to_file cfg =
       Printf.sprintf "log_filters = \"%s\"" (Vlog.format_filters cfg.log_filters);
       Printf.sprintf "log_outputs = \"%s\"" (Vlog.format_outputs cfg.log_outputs);
       Printf.sprintf "proto_minor = %d" cfg.proto_minor;
+      Printf.sprintf "event_ring = %d" cfg.event_ring;
       Printf.sprintf "job_queue_limit = %d" cfg.job_queue_limit;
       Printf.sprintf "wall_limit_ms = %d" cfg.wall_limit_ms;
       Printf.sprintf "journal_compact_factor = %d" cfg.journal_compact_factor;

@@ -43,6 +43,11 @@ type t = {
       (** protocol minor served on the remote program (default: this
           build's maximum); lowering it makes the daemon behave like an
           older release for version-negotiation testing *)
+  event_ring : int;
+      (** capacity of each per-node event replay ring backing v1.6
+          resumable subscriptions (default 1024, minimum 1): a
+          reconnecting client further behind than this receives a gap
+          verdict and must resync *)
   job_queue_limit : int;
       (** admission bound on the mgmt pool's normal-class job queue;
           0 (default) = unbounded.  Overflow is rejected with

@@ -62,7 +62,7 @@ let run_call srv prog client header body ~deadline =
      for the SASL/polkit handshake real services run) — except keepalive
      pings, which prove liveness, not identity. *)
   if Result.is_ok result && prog.prog_number <> Ka.program then
-    Client_obj.mark_authenticated client
+    Server_obj.note_authenticated srv client
 
 (* The keepalive program: any server answers pings so clients can tell a
    live-but-busy daemon from a dead one.  The PONG is the plain Status_ok

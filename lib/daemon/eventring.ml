@@ -1,0 +1,136 @@
+(* Bounded, sequence-numbered replay ring for lifecycle events.
+
+   One ring exists per driver node URI served by the daemon.  It taps the
+   node's event bus once, for the daemon's lifetime, so events emitted
+   while no client is connected are still captured and can be replayed
+   when a client resumes.  Every captured event is stamped with a
+   monotonically increasing stream position ([seq], from 1) and pushed to
+   the ring's own subscribers tagged with that position.
+
+   The correctness invariant the resume protocol rests on: stamping an
+   event + snapshotting the subscriber list (in [append]) and computing a
+   replay + arming a new subscriber (in [resume]) are both critical
+   sections of the same mutex.  Any event is therefore either at most
+   [head] at the resume snapshot — included in the replay, not pushed to
+   the new subscriber — or newer — pushed, not replayed.  Exactly once at
+   the boundary, with callbacks still run outside the lock. *)
+
+open Ovirt_core
+
+type stats = {
+  er_capacity : int;
+  er_occupancy : int;
+  er_head : int;  (** newest seq assigned; 0 = nothing captured yet *)
+  er_oldest : int;  (** lowest seq retained; head + 1 when empty *)
+  er_emitted : int;
+  er_replayed : int;
+  er_gaps : int;
+  er_resumes : int;
+  er_subscribers : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  ring : Events.event Queue.t;  (* events carry their seq; oldest first *)
+  mutable next_seq : int;
+  mutable subscribers : (int * (Events.event -> unit)) list;
+  mutable next_sub : int;
+  mutable n_emitted : int;
+  mutable n_replayed : int;
+  mutable n_gaps : int;
+  mutable n_resumes : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let append t (ev : Events.event) =
+  let stamped, callbacks =
+    with_lock t (fun () ->
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        t.n_emitted <- t.n_emitted + 1;
+        let stamped = { ev with Events.seq } in
+        Queue.push stamped t.ring;
+        if Queue.length t.ring > t.capacity then ignore (Queue.pop t.ring);
+        (stamped, List.map snd t.subscribers))
+  in
+  List.iter (fun f -> f stamped) callbacks
+
+let create ~capacity ~bus =
+  let t =
+    {
+      mutex = Mutex.create ();
+      capacity = max 1 capacity;
+      ring = Queue.create ();
+      next_seq = 1;
+      subscribers = [];
+      next_sub = 0;
+      n_emitted = 0;
+      n_replayed = 0;
+      n_gaps = 0;
+      n_resumes = 0;
+    }
+  in
+  (* Never unsubscribed: the ring must keep capturing while clients are
+     away — that is the whole point. *)
+  ignore (Events.subscribe bus (fun ev -> append t ev) : Events.subscription);
+  t
+
+(* Resume-or-subscribe: arms [push] as a subscriber and, in the same
+   critical section, computes what the client missed.  [last_seq = -1]
+   means fresh subscription (no replay).  On a gap the subscriber is
+   still armed — the caller flushes its caches up to [rr_head] and the
+   live stream covers everything after. *)
+let resume t ~last_seq push =
+  with_lock t (fun () ->
+      let id = t.next_sub in
+      t.next_sub <- id + 1;
+      t.subscribers <- t.subscribers @ [ (id, push) ];
+      t.n_resumes <- t.n_resumes + 1;
+      let head = t.next_seq - 1 in
+      let oldest = t.next_seq - Queue.length t.ring in
+      let reply =
+        if last_seq < 0 then
+          Protocol.Remote_protocol.
+            { rr_gap = false; rr_head = head; rr_oldest = oldest; rr_events = [] }
+        else if last_seq > head || last_seq < oldest - 1 then begin
+          (* Position from a previous daemon incarnation, or the ring
+             wrapped past it: the client must resync. *)
+          t.n_gaps <- t.n_gaps + 1;
+          Protocol.Remote_protocol.
+            { rr_gap = true; rr_head = head; rr_oldest = oldest; rr_events = [] }
+        end
+        else begin
+          let missed =
+            Queue.fold
+              (fun acc ev -> if ev.Events.seq > last_seq then ev :: acc else acc)
+              [] t.ring
+            |> List.rev
+          in
+          t.n_replayed <- t.n_replayed + List.length missed;
+          Protocol.Remote_protocol.
+            { rr_gap = false; rr_head = head; rr_oldest = oldest; rr_events = missed }
+        end
+      in
+      (id, reply))
+
+let unsubscribe t id =
+  with_lock t (fun () ->
+      t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        er_capacity = t.capacity;
+        er_occupancy = Queue.length t.ring;
+        er_head = t.next_seq - 1;
+        er_oldest = t.next_seq - Queue.length t.ring;
+        er_emitted = t.n_emitted;
+        er_replayed = t.n_replayed;
+        er_gaps = t.n_gaps;
+        er_resumes = t.n_resumes;
+        er_subscribers = List.length t.subscribers;
+      })

@@ -1,0 +1,42 @@
+(** Bounded, sequence-numbered replay ring for lifecycle events.
+
+    One ring per driver-node URI, created on first subscription and kept
+    for the daemon's lifetime: it taps the node's event bus once so that
+    events emitted while no client is connected are captured, stamps each
+    with a monotonically increasing stream position ([seq], from 1), and
+    retains the newest [capacity] of them for replay.  Subscriber arming
+    and replay computation share the stamping critical section, so a
+    resuming client observes every event exactly once at the replay/live
+    boundary. *)
+
+type t
+
+type stats = {
+  er_capacity : int;
+  er_occupancy : int;
+  er_head : int;  (** newest seq assigned; 0 = nothing captured yet *)
+  er_oldest : int;  (** lowest seq retained; [er_head + 1] when empty *)
+  er_emitted : int;
+  er_replayed : int;
+  er_gaps : int;
+  er_resumes : int;
+  er_subscribers : int;
+}
+
+val create : capacity:int -> bus:Ovirt_core.Events.bus -> t
+(** Taps [bus] permanently (capacity is clamped to at least 1). *)
+
+val resume :
+  t ->
+  last_seq:int ->
+  (Ovirt_core.Events.event -> unit) ->
+  int * Protocol.Remote_protocol.resume_reply
+(** Atomically arm the callback as a subscriber (events it receives carry
+    their seq) and compute the replay for a client that last processed
+    [last_seq] ([-1] = fresh, no replay).  Returns the subscriber id and
+    the wire reply; [rr_gap = true] when the ring wrapped past the
+    client's position (the subscriber is still armed — the caller is
+    expected to resync to [rr_head]). *)
+
+val unsubscribe : t -> int -> unit
+val stats : t -> stats

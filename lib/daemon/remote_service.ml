@@ -2,10 +2,16 @@ open Ovirt_core
 module Rp = Protocol.Remote_protocol
 module Rpc_packet = Ovrpc.Rpc_packet
 
+(* A v1.6 client subscribes through the node's replay ring (events carry
+   stream positions); older clients tap the bus directly, as before. *)
+type event_sub =
+  | Sub_bus of Events.subscription
+  | Sub_ring of Eventring.t * int
+
 type conn_state = {
   ops : Driver.ops;
   uri : string;  (** the direct (transport-stripped) URI opened *)
-  mutable event_sub : Events.subscription option;
+  mutable event_sub : event_sub option;
 }
 
 (* Per-client open connections, keyed by client id.  One table per daemon
@@ -16,6 +22,9 @@ type state = {
   conns : (int64, conn_state) Hashtbl.t;
   logger : Vlog.t;
   reconcile : Reconcile.t option;  (** the daemon's policy engine *)
+  rings : (string, Eventring.t) Hashtbl.t;
+      (** replay ring per driver-node URI, daemon-lifetime *)
+  ring_capacity : int;
 }
 
 let with_lock st f =
@@ -49,14 +58,21 @@ let do_open st client body =
           ops.Driver.drv_name;
         Ok Rp.enc_unit_body)
 
+(* Callers hold [st.mutex].  Lock order is st.mutex > ring mutex
+   everywhere; ring code never takes st.mutex back. *)
+let drop_event_sub (cs : conn_state) =
+  (match cs.event_sub with
+   | Some (Sub_bus sub) -> Events.unsubscribe cs.ops.Driver.events sub
+   | Some (Sub_ring (ring, id)) -> Eventring.unsubscribe ring id
+   | None -> ());
+  cs.event_sub <- None
+
 let teardown_conn st id =
   with_lock st (fun () ->
       match Hashtbl.find_opt st.conns id with
       | None -> ()
       | Some cs ->
-        (match cs.event_sub with
-         | Some sub -> Events.unsubscribe cs.ops.Driver.events sub
-         | None -> ());
+        drop_event_sub cs;
         cs.ops.Driver.close ();
         Hashtbl.remove st.conns id)
 
@@ -97,8 +113,48 @@ let do_event_register st client =
                 Client_obj.send_packet client
                   (Rpc_packet.encode header (Rp.enc_lifecycle_event event)))
           in
-          cs.event_sub <- Some sub;
+          cs.event_sub <- Some (Sub_bus sub);
           Ok Rp.enc_unit_body))
+
+(* Caller holds [st.mutex]. *)
+let ring_for st (cs : conn_state) =
+  match Hashtbl.find_opt st.rings cs.uri with
+  | Some ring -> ring
+  | None ->
+    let ring =
+      Eventring.create ~capacity:st.ring_capacity ~bus:cs.ops.Driver.events
+    in
+    Hashtbl.replace st.rings cs.uri ring;
+    ring
+
+(* The same critical-section rule as [do_event_register] applies, and
+   more: arming the subscription and computing the replay are one
+   critical section of the ring mutex (inside [Eventring.resume]), so
+   the client observes every event exactly once at the boundary. *)
+let do_event_resume st client body =
+  let last_seq = Rp.dec_event_resume body in
+  with_lock st (fun () ->
+      match Hashtbl.find_opt st.conns (Client_obj.id client) with
+      | None ->
+        Verror.error Verror.No_connect "client has no open hypervisor connection"
+      | Some cs ->
+        drop_event_sub cs;
+        let ring = ring_for st cs in
+        let push event =
+          let header =
+            Rpc_packet.event_header ~program:Rp.program ~version:Rp.version
+              ~procedure:(Rp.proc_to_int Rp.Proc_event_lifecycle_seq)
+          in
+          Client_obj.send_packet client
+            (Rpc_packet.encode header (Rp.enc_seq_event event))
+        in
+        let sub_id, reply = Eventring.resume ring ~last_seq push in
+        cs.event_sub <- Some (Sub_ring (ring, sub_id));
+        if reply.Rp.rr_gap then
+          Vlog.logf st.logger ~module_:"daemon.remote" Vlog.Info
+            "client %Ld resume at seq %d gapped (retained %d..%d)"
+            (Client_obj.id client) last_seq reply.Rp.rr_oldest reply.Rp.rr_head;
+        Ok (Rp.enc_resume_reply reply))
 
 let do_event_deregister st client =
   with_lock st (fun () ->
@@ -106,10 +162,7 @@ let do_event_deregister st client =
       | None ->
         Verror.error Verror.No_connect "client has no open hypervisor connection"
       | Some cs ->
-        (match cs.event_sub with
-         | Some sub -> Events.unsubscribe cs.ops.Driver.events sub
-         | None -> ());
-        cs.event_sub <- None;
+        drop_event_sub cs;
         Ok Rp.enc_unit_body)
 
 (* Dispatch a connection-scoped procedure against [cs]: the shared tail
@@ -123,6 +176,7 @@ let dispatch_conn (cs : conn_state) proc body =
   match proc with
   | Rp.Proc_open | Rp.Proc_close | Rp.Proc_ping | Rp.Proc_echo
   | Rp.Proc_event_register | Rp.Proc_event_deregister | Rp.Proc_event_lifecycle
+  | Rp.Proc_event_resume | Rp.Proc_event_lifecycle_seq
   | Rp.Proc_proto_minor | Rp.Proc_call_batch | Rp.Proc_call_deadline
   | Rp.Proc_dom_set_policy | Rp.Proc_dom_get_policy
   | Rp.Proc_daemon_reconcile_status ->
@@ -373,7 +427,8 @@ let rec handle_proc st ~minor ~in_batch client proc body =
               run))
   | Rp.Proc_event_register -> do_event_register st client
   | Rp.Proc_event_deregister -> do_event_deregister st client
-  | Rp.Proc_event_lifecycle ->
+  | Rp.Proc_event_resume -> do_event_resume st client body
+  | Rp.Proc_event_lifecycle | Rp.Proc_event_lifecycle_seq ->
     Verror.error Verror.Rpc_failure "lifecycle is a server-to-client event"
   | Rp.Proc_dom_set_policy ->
     let name, policy = Rp.dec_set_policy body in
@@ -413,10 +468,66 @@ let handle st ~minor _srv client header body =
   in
   handle_proc st ~minor ~in_batch:false client proc body
 
-let program ?(minor = Rp.minor) ?reconcile ~logger () =
+type t = { st : state; svc_minor : int }
+
+type event_totals = {
+  evt_rings : int;
+  evt_emitted : int;
+  evt_replayed : int;
+  evt_gaps : int;
+  evt_resumes : int;
+  evt_occupancy : int;
+  evt_capacity : int;
+  evt_subscribers : int;
+  evt_head : int;  (** highest stream position across rings *)
+}
+
+let make ?(minor = Rp.minor) ?(event_ring_capacity = 1024) ?reconcile ~logger () =
   let st =
-    { mutex = Mutex.create (); conns = Hashtbl.create 32; logger; reconcile }
+    {
+      mutex = Mutex.create ();
+      conns = Hashtbl.create 32;
+      logger;
+      reconcile;
+      rings = Hashtbl.create 8;
+      ring_capacity = event_ring_capacity;
+    }
   in
+  { st; svc_minor = minor }
+
+let event_totals t =
+  let rings =
+    with_lock t.st (fun () ->
+        Hashtbl.fold (fun _ ring acc -> ring :: acc) t.st.rings [])
+  in
+  List.fold_left
+    (fun acc ring ->
+      let s = Eventring.stats ring in
+      {
+        evt_rings = acc.evt_rings + 1;
+        evt_emitted = acc.evt_emitted + s.Eventring.er_emitted;
+        evt_replayed = acc.evt_replayed + s.Eventring.er_replayed;
+        evt_gaps = acc.evt_gaps + s.Eventring.er_gaps;
+        evt_resumes = acc.evt_resumes + s.Eventring.er_resumes;
+        evt_occupancy = acc.evt_occupancy + s.Eventring.er_occupancy;
+        evt_capacity = acc.evt_capacity + s.Eventring.er_capacity;
+        evt_subscribers = acc.evt_subscribers + s.Eventring.er_subscribers;
+        evt_head = max acc.evt_head s.Eventring.er_head;
+      })
+    {
+      evt_rings = 0;
+      evt_emitted = 0;
+      evt_replayed = 0;
+      evt_gaps = 0;
+      evt_resumes = 0;
+      evt_occupancy = 0;
+      evt_capacity = 0;
+      evt_subscribers = 0;
+      evt_head = 0;
+    }
+    rings
+
+let program_of { st; svc_minor = minor } =
   Dispatch.
     {
       prog_number = Rp.program;
@@ -445,3 +556,6 @@ let program ?(minor = Rp.minor) ?reconcile ~logger () =
       handle = (fun srv client header body -> handle st ~minor srv client header body);
       on_disconnect = (fun client -> teardown_conn st (Client_obj.id client));
     }
+
+let program ?minor ?event_ring_capacity ?reconcile ~logger () =
+  program_of (make ?minor ?event_ring_capacity ?reconcile ~logger ())

@@ -7,14 +7,50 @@
     events of that connection can be streamed back as [Event] packets
     after [Proc_event_register]. *)
 
-val program :
-  ?minor:int -> ?reconcile:Reconcile.t -> logger:Vlog.t -> unit -> Dispatch.program
+type t
+(** Service state: per-client connections plus the per-node event replay
+    rings (v1.6 resumable streams). *)
+
+type event_totals = {
+  evt_rings : int;
+  evt_emitted : int;
+  evt_replayed : int;
+  evt_gaps : int;
+  evt_resumes : int;
+  evt_occupancy : int;
+  evt_capacity : int;
+  evt_subscribers : int;
+  evt_head : int;  (** highest stream position across rings *)
+}
+
+val make :
+  ?minor:int ->
+  ?event_ring_capacity:int ->
+  ?reconcile:Reconcile.t ->
+  logger:Vlog.t ->
+  unit ->
+  t
 (** [minor] caps the protocol minor this daemon serves (default: the
     build's {!Protocol.Remote_protocol.minor}); procedures newer than it
     are rejected as unknown, making the daemon indistinguishable from an
-    older build — the lever version-negotiation tests pull.  [reconcile]
-    is the daemon's policy reconciler; without it the v1.5 policy
-    procedures answer [Operation_unsupported]. *)
+    older build — the lever version-negotiation tests pull.
+    [event_ring_capacity] bounds each per-node replay ring (default
+    1024).  [reconcile] is the daemon's policy reconciler; without it the
+    v1.5 policy procedures answer [Operation_unsupported]. *)
+
+val program_of : t -> Dispatch.program
+
+val event_totals : t -> event_totals
+(** Aggregated replay-ring counters, for the admin event-stats proc. *)
+
+val program :
+  ?minor:int ->
+  ?event_ring_capacity:int ->
+  ?reconcile:Reconcile.t ->
+  logger:Vlog.t ->
+  unit ->
+  Dispatch.program
+(** [make] + [program_of] for callers that don't need the stats handle. *)
 
 val dispatch_ops :
   Ovirt_core.Driver.ops ->

@@ -8,6 +8,9 @@ type t = {
   pool : Threadpool.t;
   mutex : Mutex.t;
   clients : (int64, Client_obj.t) Hashtbl.t;
+  mutable unauth_count : int;
+      (* table entries not yet authenticated; moves with the flag via
+         [note_authenticated] so the accept path never recounts *)
   mutable limits : client_limits;
   mutable next_client_id : int64;
   mutable draining : bool;
@@ -23,6 +26,7 @@ let create ~name ~logger ?(job_queue_limit = 0) ?(wall_limit_ms = 0) ~min_worker
         ~wall_limit_ms ~min_workers ~max_workers ~prio_workers ();
     mutex = Mutex.create ();
     clients = Hashtbl.create 32;
+    unauth_count = 0;
     limits;
     next_client_id = 1L;
     draining = false;
@@ -36,29 +40,39 @@ let name srv = srv.name
 let pool srv = srv.pool
 let logger srv = srv.logger
 
-let counts_unlocked srv =
-  Hashtbl.fold
-    (fun _ client (total, unauth) ->
-      if Client_obj.is_closed client then (total, unauth)
-      else (total + 1, if Client_obj.is_authenticated client then unauth else unauth + 1))
-    srv.clients (0, 0)
-
-(* Drop table entries whose transport died without a clean remove. *)
+(* Drop table entries whose transport died without a clean remove,
+   keeping the unauthenticated count in step with the removals. *)
 let reap_unlocked srv =
   let dead =
     Hashtbl.fold
-      (fun id client acc -> if Client_obj.is_closed client then id :: acc else acc)
+      (fun id client acc ->
+        if Client_obj.is_closed client then (id, client) :: acc else acc)
       srv.clients []
   in
-  List.iter (Hashtbl.remove srv.clients) dead
+  List.iter
+    (fun (id, client) ->
+      if not (Client_obj.is_authenticated client) then
+        srv.unauth_count <- srv.unauth_count - 1;
+      Hashtbl.remove srv.clients id)
+    dead
 
 let set_draining srv v = with_lock srv (fun () -> srv.draining <- v)
 let is_draining srv = with_lock srv (fun () -> srv.draining)
 
 let accept_client srv conn =
   with_lock srv (fun () ->
-      reap_unlocked srv;
-      let total, unauth = counts_unlocked srv in
+      (* O(1) on the hot path: the table length and the unauthenticated
+         counter stand in for the former full-table recount, which made a
+         connect storm quadratic.  Only when a limit looks exhausted is
+         the table reaped — entries whose transport died without a clean
+         remove must not hold the count at the limit and refuse a live
+         client. *)
+      if
+        Hashtbl.length srv.clients >= srv.limits.max_clients
+        || srv.unauth_count >= srv.limits.max_anonymous
+      then reap_unlocked srv;
+      let total = Hashtbl.length srv.clients in
+      let unauth = srv.unauth_count in
       if srv.draining then begin
         Ovnet.Transport.close conn;
         Vlog.logf srv.logger ~module_:"daemon.server" Vlog.Info
@@ -84,6 +98,7 @@ let accept_client srv conn =
         srv.next_client_id <- Int64.add id 1L;
         let client = Client_obj.create ~id ~conn in
         Hashtbl.replace srv.clients id client;
+        srv.unauth_count <- srv.unauth_count + 1;
         Vlog.logf srv.logger ~module_:"daemon.server" Vlog.Info
           "server %s: accepted client %Ld (%s)" srv.name id
           (Ovnet.Transport.kind_name (Ovnet.Transport.kind conn));
@@ -92,10 +107,25 @@ let accept_client srv conn =
 
 let remove_client srv id =
   with_lock srv (fun () ->
-      (match Hashtbl.find_opt srv.clients id with
-       | Some client -> Client_obj.close client
-       | None -> ());
-      Hashtbl.remove srv.clients id)
+      match Hashtbl.find_opt srv.clients id with
+      | Some client ->
+        Client_obj.close client;
+        if not (Client_obj.is_authenticated client) then
+          srv.unauth_count <- srv.unauth_count - 1;
+        Hashtbl.remove srv.clients id
+      | None -> ())
+
+(* Successfully processing a call authenticates the client.  Routed
+   through the server so the counter moves atomically with the flag; a
+   client already removed (or reaped) was subtracted at removal and must
+   not be subtracted again. *)
+let note_authenticated srv client =
+  with_lock srv (fun () ->
+      if not (Client_obj.is_authenticated client) then begin
+        Client_obj.mark_authenticated client;
+        if Hashtbl.mem srv.clients (Client_obj.id client) then
+          srv.unauth_count <- srv.unauth_count - 1
+      end)
 
 let find_client srv id =
   with_lock srv (fun () ->
@@ -113,7 +143,7 @@ let list_clients srv =
 let client_counts srv =
   with_lock srv (fun () ->
       reap_unlocked srv;
-      counts_unlocked srv)
+      (Hashtbl.length srv.clients, srv.unauth_count))
 
 let limits srv = with_lock srv (fun () -> srv.limits)
 
@@ -139,4 +169,5 @@ let set_limits srv ?max_clients ?max_anonymous () =
 let close_all_clients srv =
   with_lock srv (fun () ->
       Hashtbl.iter (fun _ client -> Client_obj.close client) srv.clients;
-      Hashtbl.reset srv.clients)
+      Hashtbl.reset srv.clients;
+      srv.unauth_count <- 0)

@@ -34,7 +34,14 @@ val logger : t -> Vlog.t
 val accept_client : t -> Ovnet.Transport.t -> (Client_obj.t, Ovirt_core.Verror.t) result
 (** Registers a fresh client, enforcing both limits ([Resource_exhausted]
     on refusal, after which the connection is closed).  A draining server
-    refuses every new client ([Operation_invalid]). *)
+    refuses every new client ([Operation_invalid]).  O(1) in the number
+    of connected clients: the limit checks read maintained counters
+    instead of recounting the table, so a connect storm costs linear
+    rather than quadratic work. *)
+
+val note_authenticated : t -> Client_obj.t -> unit
+(** Mark a client authenticated (any successfully processed non-keepalive
+    call), keeping the server's unauthenticated-client count in step. *)
 
 val set_draining : t -> bool -> unit
 (** Draining servers accept no new clients; connected clients get error

@@ -18,7 +18,7 @@ let local_params =
   [
     "daemon"; "keepalive"; "keepalive_count"; "reconnect"; "reconnect_delay";
     "reconnect_max_delay"; "reconnect_seed"; "cache"; "cache_ttl"; "events";
-    "timeout"; "breaker";
+    "timeout"; "breaker"; "resume"; "resume_from";
   ]
 
 (* The URI handed to the daemon: transport stripped, local parameters
@@ -53,6 +53,9 @@ type stats = {
   st_breaker_opens : int;  (** circuit-breaker open transitions *)
   st_breaker_fastfails : int;  (** calls failed locally while open *)
   st_sub_errors : int;  (** failed sub-replies inside multi-calls *)
+  st_events_replayed : int;
+      (** events recovered through resume replays after reconnects *)
+  st_event_gaps : int;  (** gap verdicts (each forced a cache flush + resync) *)
 }
 
 (* Counters live per connection: concurrent connections (a chaos run
@@ -73,6 +76,8 @@ type counters = {
   mutable cn_breaker_opens : int;
   mutable cn_breaker_fastfails : int;
   mutable cn_sub_errors : int;
+  mutable cn_ev_replayed : int;
+  mutable cn_ev_gaps : int;
 }
 
 let stats_mutex = Mutex.create ()
@@ -99,6 +104,8 @@ let fresh_counters bus =
           cn_breaker_opens = 0;
           cn_breaker_fastfails = 0;
           cn_sub_errors = 0;
+          cn_ev_replayed = 0;
+          cn_ev_gaps = 0;
         }
       in
       all_counters := c :: !all_counters;
@@ -117,7 +124,9 @@ let reset_stats () =
           c.cn_overloaded <- 0;
           c.cn_breaker_opens <- 0;
           c.cn_breaker_fastfails <- 0;
-          c.cn_sub_errors <- 0)
+          c.cn_sub_errors <- 0;
+          c.cn_ev_replayed <- 0;
+          c.cn_ev_gaps <- 0)
         !all_counters)
 
 let snapshot c =
@@ -132,6 +141,8 @@ let snapshot c =
     st_breaker_opens = c.cn_breaker_opens;
     st_breaker_fastfails = c.cn_breaker_fastfails;
     st_sub_errors = c.cn_sub_errors;
+    st_events_replayed = c.cn_ev_replayed;
+    st_event_gaps = c.cn_ev_gaps;
   }
 
 let stats () =
@@ -150,6 +161,8 @@ let stats () =
             st_breaker_fastfails =
               acc.st_breaker_fastfails + c.cn_breaker_fastfails;
             st_sub_errors = acc.st_sub_errors + c.cn_sub_errors;
+            st_events_replayed = acc.st_events_replayed + c.cn_ev_replayed;
+            st_event_gaps = acc.st_event_gaps + c.cn_ev_gaps;
           })
         {
           st_calls = 0;
@@ -162,6 +175,8 @@ let stats () =
           st_breaker_opens = 0;
           st_breaker_fastfails = 0;
           st_sub_errors = 0;
+          st_events_replayed = 0;
+          st_event_gaps = 0;
         }
         !all_counters)
 
@@ -196,6 +211,126 @@ let clear_caches cs =
   Cache.clear cs.c_autostart;
   Cache.clear cs.c_xml
 
+(* Client-side position in the daemon's sequence-numbered event stream
+   (protocol v1.6).  Guarded by its own mutex, never [rc_mutex]: the
+   receiver thread delivering pushed events must be able to advance the
+   position while a reconnecting caller holds [rc_mutex] awaiting a
+   reply that same receiver thread delivers. *)
+type seq_state = {
+  sq_mutex : Mutex.t;
+  mutable sq_last : int;  (** last seq processed; -1 = no position yet *)
+  mutable sq_buffering : bool;
+      (** a resume is in flight: park live pushes until the replay is
+          applied, preserving seq order across the boundary *)
+  sq_pending : Events.event Queue.t;
+}
+
+let with_sq sq f =
+  Mutex.lock sq.sq_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sq.sq_mutex) f
+
+(* What the event half of a completed handshake yielded.  [`Plain] is the
+   pre-v1.6 registration (or [resume=0]): the stream restarts with no
+   replay.  [`Seq reply] is a v1.6 resume. *)
+type event_mode =
+  [ `No_events | `Plain | `Seq of Rp.resume_reply ]
+
+(* Cache side of a freshly (re)established event stream.  Runs with
+   [rc_mutex] held (or before the connection is shared, on the initial
+   open) so no caller can read the caches between the connection swap and
+   this reconciliation — but performs only cache-lock work, no user
+   callbacks.  Returns the events to re-emit once [rc_mutex] is
+   released: subscriber callbacks may re-enter the driver. *)
+let absorb_event_mode ~caches ~counters sq (mode : event_mode) =
+  match mode with
+  | `No_events | `Plain ->
+    (* No replay on this path: the stream has a silent gap and nothing
+       cached survives — exactly the pre-v1.6 behavior. *)
+    with_sq sq (fun () ->
+        sq.sq_last <- -1;
+        sq.sq_buffering <- false;
+        Queue.clear sq.sq_pending);
+    Option.iter clear_caches caches;
+    []
+  | `Seq reply ->
+    let to_emit =
+      if reply.Rp.rr_gap then begin
+        (* The ring wrapped past our position (or the daemon is a new
+           incarnation): flush everything and tell subscribers to
+           resync.  The position jumps to the head — the flush covers
+           all state up to it, the live stream everything after. *)
+        Option.iter clear_caches caches;
+        with_stats (fun () -> counters.cn_ev_gaps <- counters.cn_ev_gaps + 1);
+        [ Events.{ domain_name = ""; lifecycle = Ev_resync; seq = reply.Rp.rr_head } ]
+      end
+      else begin
+        (* Replayed events run through the normal pipeline: invalidate
+           here (cache locks only), emit after the release. *)
+        List.iter
+          (fun ev ->
+            Option.iter
+              (fun cs -> invalidate_caches cs ev.Events.domain_name)
+              caches)
+          reply.Rp.rr_events;
+        (match List.length reply.Rp.rr_events with
+         | 0 -> ()
+         | n ->
+           with_stats (fun () -> counters.cn_ev_replayed <- counters.cn_ev_replayed + n));
+        reply.Rp.rr_events
+      end
+    in
+    with_sq sq (fun () -> sq.sq_last <- max sq.sq_last reply.Rp.rr_head);
+    to_emit
+
+(* Runs outside [rc_mutex]: re-emit the replay, then hand the stream back
+   to the receiver thread — drain pushes parked while the resume was in
+   flight until a pass finds none, and only then stop parking new ones.
+   Subscribers thus observe strict seq order with no duplicates. *)
+let replay_and_release ~caches ~events sq to_emit =
+  List.iter
+    (fun ev ->
+      Events.emit events ~seq:ev.Events.seq ~domain_name:ev.Events.domain_name
+        ev.Events.lifecycle)
+    to_emit;
+  let rec drain () =
+    let batch =
+      with_sq sq (fun () ->
+          if Queue.is_empty sq.sq_pending then begin
+            sq.sq_buffering <- false;
+            None
+          end
+          else begin
+            let all =
+              Queue.fold (fun acc e -> e :: acc) [] sq.sq_pending |> List.rev
+            in
+            Queue.clear sq.sq_pending;
+            (* Advance the position under the lock; deliver outside.
+               Entries at or below the position are duplicates the
+               replay already covered. *)
+            Some
+              (List.filter
+                 (fun ev ->
+                   if ev.Events.seq > sq.sq_last then begin
+                     sq.sq_last <- ev.Events.seq;
+                     true
+                   end
+                   else false)
+                 all)
+          end)
+    in
+    match batch with
+    | None -> ()
+    | Some fresh ->
+      List.iter
+        (fun ev ->
+          Option.iter (fun cs -> invalidate_caches cs ev.Events.domain_name) caches;
+          Events.emit events ~seq:ev.Events.seq ~domain_name:ev.Events.domain_name
+            ev.Events.lifecycle)
+        fresh;
+      drain ()
+  in
+  drain ()
+
 type remote_conn = {
   rc_mutex : Mutex.t;
   mutable rpc : Rpc_client.t;
@@ -208,6 +343,8 @@ type remote_conn = {
   rc_forwarded : string;  (** URI replayed as Proc_open on reconnect *)
   rc_keepalive : Rpc_client.keepalive option;
   rc_register_events : bool;
+  rc_use_resume : bool;  (** v1.6 resumable subscription wanted ([resume=1]) *)
+  rc_seq : seq_state;
   rc_resilience : resilience option;
   rc_on_event : procedure:int -> string -> unit;
   rc_stats : counters;
@@ -254,25 +391,46 @@ let negotiate rpc =
   | Error e -> Error e
 
 (* Transport + handshake: what both the initial open and every reconnect
-   perform — establish, Proc_open the forwarded URI, re-register for
-   events (the daemon side starts from a clean slate each time), then
-   probe the protocol minor the daemon speaks. *)
-let establish ~address ~kind ~keepalive ~on_event ~register_events ~forwarded =
+   perform — establish, Proc_open the forwarded URI, probe the protocol
+   minor the daemon speaks, then re-arm the event stream (the daemon
+   side starts from a clean slate each time): against a v1.6 daemon a
+   single Proc_event_resume atomically re-subscribes and replays what we
+   missed; otherwise the old registration, which replays nothing.  The
+   negotiation moved ahead of the registration (same frame count) so the
+   right variant can be chosen. *)
+let establish ~address ~kind ~keepalive ~on_event ~register_events ~use_resume
+    ~sq ~forwarded =
   let* rpc =
     Rpc_client.connect ~address ~kind ~program:Rp.program ~version:Rp.version
       ?keepalive ~on_event ()
   in
   let handshake =
     let* () = raw_call_unit rpc Rp.Proc_open (Rp.enc_string_body forwarded) in
-    let* () =
-      if register_events then
-        raw_call_unit rpc Rp.Proc_event_register Rp.enc_unit_body
-      else Ok ()
+    let* minor = negotiate rpc in
+    let* mode =
+      if not register_events then Ok `No_events
+      else if use_resume && minor >= Rp.proc_min_minor Rp.Proc_event_resume then begin
+        (* Park live pushes before the daemon can arm the subscription: a
+           push may hit the wire ahead of the resume reply. *)
+        let last =
+          with_sq sq (fun () ->
+              sq.sq_buffering <- true;
+              sq.sq_last)
+        in
+        let* reply = raw_call rpc Rp.Proc_event_resume (Rp.enc_event_resume last) in
+        match Rp.dec_resume_reply reply with
+        | r -> Ok (`Seq r)
+        | exception Xdr.Error msg ->
+          Verror.error Verror.Rpc_failure "bad reply: %s" msg
+      end
+      else
+        let* () = raw_call_unit rpc Rp.Proc_event_register Rp.enc_unit_body in
+        Ok `Plain
     in
-    negotiate rpc
+    Ok (minor, (mode : event_mode))
   in
   match handshake with
-  | Ok minor -> Ok (rpc, minor)
+  | Ok (minor, mode) -> Ok (rpc, minor, mode)
   | Error e ->
     Rpc_client.close rpc;
     Error e
@@ -294,50 +452,69 @@ let backoff_delay conn r attempt =
 (* Single-flight reconnect: callers that lost the race to a dead [rpc]
    block on the mutex while the first one rebuilds the connection, then
    observe the fresh client (or the defunct mark).  Exponential backoff
-   with jitter between attempts; the budget bounds the outage. *)
+   with jitter between attempts; the budget bounds the outage.
+
+   The cache reconciliation ([absorb_event_mode]) runs inside the same
+   critical section that swaps [conn.rpc]: no caller can read the caches
+   between the swap and the flush/replay-invalidation.  Re-emitting the
+   replay happens after the lock is released — subscriber callbacks may
+   re-enter the driver.  Only the winning reconnector carries a batch to
+   emit ([Ok (Some _)]); losers observe [Ok None] and must not touch the
+   stream, or they would release the buffering latch prematurely. *)
 let ensure_connected conn ~dead =
-  with_conn conn (fun () ->
-      if conn.defunct then
-        Verror.error Verror.Rpc_failure "remote connection is closed"
-      else if conn.rpc != dead then Ok () (* somebody already reconnected *)
-      else begin
-        let r = Option.get conn.rc_resilience in
-        let outage_start = Unix.gettimeofday () in
-        let rec attempt i =
-          if i > r.res_budget then begin
-            conn.defunct <- true;
-            with_stats (fun () ->
-                conn.rc_stats.cn_giveups <- conn.rc_stats.cn_giveups + 1);
-            Verror.error Verror.Rpc_failure
-              "reconnect budget of %d attempts exhausted" r.res_budget
-          end
-          else begin
-            with_stats (fun () ->
-                conn.rc_stats.cn_attempts <- conn.rc_stats.cn_attempts + 1);
-            Thread.delay (backoff_delay conn r i);
-            match
-              establish ~address:conn.rc_address ~kind:conn.rc_kind
-                ~keepalive:conn.rc_keepalive ~on_event:conn.rc_on_event
-                ~register_events:conn.rc_register_events
-                ~forwarded:conn.rc_forwarded
-            with
-            | Ok (rpc, minor) ->
-              conn.rpc <- rpc;
-              conn.rc_minor <- minor;
-              (* The event stream has a gap and the daemon may have been
-                 replaced by a different build: nothing cached survives. *)
-              Option.iter clear_caches conn.rc_cache;
+  let outcome =
+    with_conn conn (fun () ->
+        if conn.defunct then
+          Verror.error Verror.Rpc_failure "remote connection is closed"
+        else if conn.rpc != dead then Ok None (* somebody already reconnected *)
+        else begin
+          let r = Option.get conn.rc_resilience in
+          let outage_start = Unix.gettimeofday () in
+          let rec attempt i =
+            if i > r.res_budget then begin
+              conn.defunct <- true;
               with_stats (fun () ->
-                  let c = conn.rc_stats in
-                  c.cn_reconnects <- c.cn_reconnects + 1;
-                  c.cn_latencies <-
-                    (Unix.gettimeofday () -. outage_start) :: c.cn_latencies);
-              Ok ()
-            | Error _ -> attempt (i + 1)
-          end
-        in
-        attempt 1
-      end)
+                  conn.rc_stats.cn_giveups <- conn.rc_stats.cn_giveups + 1);
+              Verror.error Verror.Rpc_failure
+                "reconnect budget of %d attempts exhausted" r.res_budget
+            end
+            else begin
+              with_stats (fun () ->
+                  conn.rc_stats.cn_attempts <- conn.rc_stats.cn_attempts + 1);
+              Thread.delay (backoff_delay conn r i);
+              match
+                establish ~address:conn.rc_address ~kind:conn.rc_kind
+                  ~keepalive:conn.rc_keepalive ~on_event:conn.rc_on_event
+                  ~register_events:conn.rc_register_events
+                  ~use_resume:conn.rc_use_resume ~sq:conn.rc_seq
+                  ~forwarded:conn.rc_forwarded
+              with
+              | Ok (rpc, minor, mode) ->
+                conn.rpc <- rpc;
+                conn.rc_minor <- minor;
+                let to_emit =
+                  absorb_event_mode ~caches:conn.rc_cache
+                    ~counters:conn.rc_stats conn.rc_seq mode
+                in
+                with_stats (fun () ->
+                    let c = conn.rc_stats in
+                    c.cn_reconnects <- c.cn_reconnects + 1;
+                    c.cn_latencies <-
+                      (Unix.gettimeofday () -. outage_start) :: c.cn_latencies);
+                Ok (Some to_emit)
+              | Error _ -> attempt (i + 1)
+            end
+          in
+          attempt 1
+        end)
+  in
+  match outcome with
+  | Ok (Some to_emit) ->
+    replay_and_release ~caches:conn.rc_cache ~events:conn.events conn.rc_seq
+      to_emit;
+    Ok ()
+  | Ok None -> Ok ()
+  | Error _ as err -> err
 
 (* ------------------------------------------------------------------ *)
 (* Overload handling: shed replies and the circuit breaker             *)
@@ -572,10 +749,14 @@ let now () = Unix.gettimeofday ()
 (* An entry is only trustworthy while the event stream (or TTL clock)
    that maintains it is live: once the connection is known dead, bypass
    the cache so the read forces a reconnect — which clears it — instead
-   of serving values no event can invalidate any more. *)
+   of serving values no event can invalidate any more.  Likewise while a
+   resume replay is still being applied ([sq_buffering]): invalidations
+   for parked events have not fired yet. *)
 let live_cache conn =
   match conn.rc_cache with
-  | Some cs when not (Rpc_client.is_closed (with_conn conn (fun () -> conn.rpc))) ->
+  | Some cs
+    when (not (Rpc_client.is_closed (with_conn conn (fun () -> conn.rpc))))
+         && not (with_sq conn.rc_seq (fun () -> conn.rc_seq.sq_buffering)) ->
     Some cs
   | Some _ | None -> None
 
@@ -827,10 +1008,22 @@ let open_conn uri =
   let* kind = kind_of_transport transport in
   let daemon = Option.value (Vuri.param uri "daemon") ~default:default_daemon in
   let register_events = Option.value (int_param uri "events") ~default:1 <> 0 in
+  let use_resume = Option.value (int_param uri "resume") ~default:1 <> 0 in
   let caches = caches_of_uri uri ~register_events in
   let events = Events.create_bus () in
+  let sq =
+    {
+      sq_mutex = Mutex.create ();
+      (* [resume_from] lets a fresh process resume a predecessor's
+         position (ovirsh event --since); the default -1 asks for a
+         subscription starting at the head, no replay. *)
+      sq_last = Option.value (int_param uri "resume_from") ~default:(-1);
+      sq_buffering = false;
+      sq_pending = Queue.create ();
+    }
+  in
   let on_event ~procedure body =
-    if procedure = Rp.proc_to_int Rp.Proc_event_lifecycle then
+    if procedure = Rp.proc_to_int Rp.Proc_event_lifecycle then begin
       match Rp.dec_lifecycle_event body with
       | ev ->
         (* Invalidate before the local re-emit: a subscriber reacting to
@@ -838,15 +1031,41 @@ let open_conn uri =
         Option.iter (fun cs -> invalidate_caches cs ev.Events.domain_name) caches;
         Events.emit events ~domain_name:ev.Events.domain_name ev.Events.lifecycle
       | exception Xdr.Error _ -> ()
+    end
+    else if procedure = Rp.proc_to_int Rp.Proc_event_lifecycle_seq then begin
+      match Rp.dec_seq_event body with
+      | ev ->
+        let deliver =
+          with_sq sq (fun () ->
+              if sq.sq_buffering then begin
+                (* A resume is applying its replay: park the push so it is
+                   delivered after the replay, in seq order. *)
+                Queue.push ev sq.sq_pending;
+                false
+              end
+              else if ev.Events.seq > sq.sq_last then begin
+                sq.sq_last <- ev.Events.seq;
+                true
+              end
+              else false (* duplicate of a replayed event *))
+        in
+        if deliver then begin
+          Option.iter (fun cs -> invalidate_caches cs ev.Events.domain_name) caches;
+          Events.emit events ~seq:ev.Events.seq
+            ~domain_name:ev.Events.domain_name ev.Events.lifecycle
+        end
+      | exception Xdr.Error _ -> ()
+    end
   in
   let address = daemon ^ "-sock" in
   let keepalive = keepalive_of_uri uri in
   let resilience = resilience_of_uri uri in
   let forwarded = Vuri.to_string (daemon_side_uri uri) in
-  let* rpc, minor =
-    establish ~address ~kind ~keepalive ~on_event ~register_events ~forwarded
+  let* rpc, minor, mode =
+    establish ~address ~kind ~keepalive ~on_event ~register_events ~use_resume
+      ~sq ~forwarded
   in
-  Ok
+  let conn =
     {
       rc_mutex = Mutex.create ();
       rpc;
@@ -859,6 +1078,8 @@ let open_conn uri =
       rc_forwarded = forwarded;
       rc_keepalive = keepalive;
       rc_register_events = register_events;
+      rc_use_resume = use_resume;
+      rc_seq = sq;
       rc_resilience = resilience;
       rc_on_event = on_event;
       rc_stats = fresh_counters events;
@@ -873,6 +1094,13 @@ let open_conn uri =
       rc_breaker_until = 0.;
       rc_probing = false;
     }
+  in
+  (* The connection is not shared yet, so no lock is needed for the
+     cache side; an initial resume_from may still carry a replay (or a
+     gap verdict) that must reach subscribers-to-be via the bus history. *)
+  let to_emit = absorb_event_mode ~caches ~counters:conn.rc_stats sq mode in
+  replay_and_release ~caches ~events sq to_emit;
+  Ok conn
 
 let close_conn conn =
   let rpc =

@@ -32,13 +32,41 @@
     Domain metadata (refs, info, autostart, XML) answered by the daemon is
     cached per connection and invalidated by pushed lifecycle events,
     with a fill protocol that drops any reply raced by an event (see
-    {!Remote_cache}).  Reconnects clear the cache wholesale.  URI
-    parameters (stripped before forwarding):
+    {!Remote_cache}).  URI parameters (stripped before forwarding):
     - [cache=0] disables the cache;
     - [events=0] skips event registration, switching the cache to pure
       TTL freshness;
     - [cache_ttl=<seconds>] bounds entry lifetime (default: unbounded
       with events, 1s without).
+
+    {1 Resumable event streams (protocol v1.6)}
+
+    Against a v1.6 daemon the event subscription is sequence-numbered:
+    the daemon stamps every pushed event with its position in a bounded
+    per-node replay ring, and the client remembers the last position it
+    processed.  A reconnect then {e resumes} rather than re-registers —
+    one [Proc_event_resume] call atomically re-arms the subscription and
+    replays every retained event the client missed, each running through
+    the normal delivery pipeline (cache invalidation first, then the
+    local re-emit), so the cache survives the outage {e consistently}
+    instead of being cleared wholesale.  Live pushes racing the resume
+    are parked and delivered after the replay, preserving seq order with
+    no duplicates and no losses.
+
+    When the daemon cannot bridge the outage — the ring wrapped past the
+    client's position, or the daemon restarted — the resume reply says
+    so explicitly: the driver flushes the caches wholesale and emits a
+    single {!Ovirt_core.Events.Ev_resync} pseudo-event telling
+    subscribers to re-list.  There is no silent loss in either case.
+
+    Against older daemons (or with [resume=0]) reconnects keep the
+    pre-v1.6 behavior: plain re-registration and a wholesale cache
+    clear.  URI parameters (stripped before forwarding):
+    - [resume=0] disables resume (plain re-registration on reconnect);
+    - [resume_from=<seq>] starts the very first subscription at the
+      given position, replaying what the daemon retains beyond it —
+      lets a fresh process (e.g. [ovirsh event --since]) continue a
+      predecessor's stream.
 
     {1 Resilience}
 
@@ -50,8 +78,9 @@
       attempts per outage.  On connection death the driver re-establishes
       the transport (exponential backoff with deterministic jitter,
       tunable via [reconnect_delay], [reconnect_max_delay] and
-      [reconnect_seed]), replays the open handshake, re-registers the
-      event callback, re-probes the protocol minor, drops the cache, and
+      [reconnect_seed]), replays the open handshake, re-probes the
+      protocol minor, resumes the event stream (see above; older
+      daemons: re-registers and drops the cache), and
       transparently retries the interrupted call iff it is idempotent
       ({!Protocol.Remote_protocol.is_idempotent}); mutating calls
       surface [Rpc_failure] for the caller to decide.  After the budget
@@ -113,6 +142,11 @@ type stats = {
       (** failed sub-replies inside multi-calls (batched or pipelined);
           bulk emulations drop such rows from their output, so this is
           how a caller detects a partially-failed listing *)
+  st_events_replayed : int;
+      (** events recovered through v1.6 resume replays after reconnects *)
+  st_event_gaps : int;
+      (** resume gap verdicts — each forced a wholesale cache flush and
+          an [Ev_resync] emission *)
 }
 
 val stats : unit -> stats

@@ -21,6 +21,7 @@ type procedure =
   | Proc_daemon_drain
   | Proc_daemon_pool_stats
   | Proc_daemon_reconcile_status
+  | Proc_daemon_event_stats
 
 let all_procedures =
   [
@@ -36,6 +37,8 @@ let all_procedures =
     Proc_daemon_pool_stats;
     (* v1.3 additions *)
     Proc_daemon_reconcile_status;
+    (* v1.4 additions *)
+    Proc_daemon_event_stats;
   ]
 
 let proc_to_int proc =
@@ -78,6 +81,15 @@ let client_info_unix_user_name = "unix_user_name"
 let client_info_unix_group_id = "unix_group_id"
 let client_info_unix_group_name = "unix_group_name"
 let client_info_unix_process_id = "unix_process_id"
+let event_rings = "nRings"
+let event_emitted = "eventsEmitted"
+let event_replayed = "eventsReplayed"
+let event_gapped = "eventsGapped"
+let event_resumes = "eventResumes"
+let event_ring_occupancy = "ringOccupancy"
+let event_ring_capacity = "ringCapacity"
+let event_subscribers = "nSubscribers"
+let event_head_seq = "headSeq"
 
 type client_entry = {
   client_id : int64;

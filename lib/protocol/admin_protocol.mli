@@ -35,6 +35,11 @@ type procedure =
   | Proc_daemon_reconcile_status
       (** ret: the reconciler summary + per-domain rows, encoded exactly
           as the remote program's [Proc_daemon_reconcile_status] reply *)
+  | Proc_daemon_event_stats
+      (** appended in v1.4 — ret: typed params: aggregate replay-ring
+          counters for the v1.6 resumable event streams (events
+          emitted/replayed/gapped, resumes, ring occupancy/capacity,
+          live subscribers, highest stream position) *)
 
 val proc_to_int : procedure -> int
 val proc_of_int : int -> (procedure, string) result
@@ -74,6 +79,16 @@ val client_info_unix_user_name : string
 val client_info_unix_group_id : string
 val client_info_unix_group_name : string
 val client_info_unix_process_id : string
+
+val event_rings : string
+val event_emitted : string
+val event_replayed : string
+val event_gapped : string
+val event_resumes : string
+val event_ring_occupancy : string
+val event_ring_capacity : string
+val event_subscribers : string
+val event_head_seq : string
 
 (** {1 Client list entries} *)
 

@@ -7,7 +7,7 @@ let version = 1
    never changes (append-only numbering keeps every frame compatible);
    the minor only gates which procedures a daemon is willing to serve
    and is negotiated per connection via [Proc_proto_minor]. *)
-let minor = 5
+let minor = 6
 
 type procedure =
   | Proc_open
@@ -62,6 +62,8 @@ type procedure =
   | Proc_dom_set_policy
   | Proc_dom_get_policy
   | Proc_daemon_reconcile_status
+  | Proc_event_resume
+  | Proc_event_lifecycle_seq
 
 (* Append-only: the list position IS the wire number (1-based). *)
 let all_procedures =
@@ -86,6 +88,8 @@ let all_procedures =
     Proc_call_deadline;
     (* v1.5 additions: declarative lifecycle policy / reconciler *)
     Proc_dom_set_policy; Proc_dom_get_policy; Proc_daemon_reconcile_status;
+    (* v1.6 additions: resumable sequence-numbered event streams *)
+    Proc_event_resume; Proc_event_lifecycle_seq;
   ]
 
 (* Number↔procedure mapping is on the per-packet hot path: precomputed
@@ -114,6 +118,7 @@ let proc_min_minor = function
   | Proc_proto_minor | Proc_dom_list_all | Proc_call_batch | Proc_vol_lookup -> 3
   | Proc_call_deadline -> 4
   | Proc_dom_set_policy | Proc_dom_get_policy | Proc_daemon_reconcile_status -> 5
+  | Proc_event_resume | Proc_event_lifecycle_seq -> 6
   | _ -> 0
 
 let is_high_priority = function
@@ -122,7 +127,9 @@ let is_high_priority = function
   | Proc_lookup_by_uuid | Proc_dom_get_info | Proc_dom_get_xml | Proc_echo
   | Proc_ping | Proc_event_register | Proc_event_deregister
   | Proc_dom_has_managed_save | Proc_dom_get_autostart | Proc_proto_minor
-  | Proc_dom_list_all | Proc_dom_get_policy | Proc_daemon_reconcile_status ->
+  | Proc_dom_list_all | Proc_dom_get_policy | Proc_daemon_reconcile_status
+  (* part of the reconnect handshake, like event_register *)
+  | Proc_event_resume ->
     true
   | Proc_define_xml | Proc_undefine | Proc_dom_create | Proc_dom_suspend
   | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy | Proc_dom_set_memory
@@ -130,8 +137,8 @@ let is_high_priority = function
   | Proc_net_undefine | Proc_net_set_autostart | Proc_net_lookup | Proc_pool_list
   | Proc_pool_define | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine
   | Proc_pool_lookup | Proc_vol_create | Proc_vol_delete | Proc_vol_list
-  | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
-  | Proc_dom_set_autostart | Proc_dom_set_policy
+  | Proc_event_lifecycle | Proc_event_lifecycle_seq | Proc_dom_save
+  | Proc_dom_restore | Proc_dom_set_autostart | Proc_dom_set_policy
   (* batch sub-calls may be arbitrary, vol_lookup walks pools; a
      deadline envelope's priority follows its inner call, resolved by
      the dispatcher after peeking into the body *)
@@ -158,7 +165,8 @@ let is_idempotent = function
   | Proc_net_undefine | Proc_net_set_autostart | Proc_pool_define
   | Proc_pool_start | Proc_pool_stop | Proc_pool_undefine | Proc_vol_create
   | Proc_vol_delete | Proc_event_register | Proc_event_deregister
-  | Proc_event_lifecycle | Proc_dom_save | Proc_dom_restore
+  | Proc_event_lifecycle | Proc_event_resume | Proc_event_lifecycle_seq
+  | Proc_dom_save | Proc_dom_restore
   (* set_policy is a journaled last-writer-wins upsert — replaying it
      is harmless — but it stays out so retry behaviour matches
      set_autostart, its v1.2 sibling *)
@@ -534,7 +542,7 @@ let dec_lifecycle_event body =
     (fun d ->
       let domain_name = Xdr.dec_string d in
       match Events.lifecycle_of_int (Xdr.dec_int d) with
-      | Ok lifecycle -> Events.{ domain_name; lifecycle }
+      | Ok lifecycle -> Events.{ domain_name; lifecycle; seq = 0 }
       | Error msg -> raise (Xdr.Error msg))
     body
 
@@ -655,4 +663,56 @@ let dec_reconcile_status body =
             sum_resumed;
           },
         rows ))
+    body
+
+(* ---- v1.6: resumable sequence-numbered event streams ---- *)
+
+(* A resume call carries the last stream position the client processed;
+   [-1] means "fresh subscription" (arm at the current head, replay
+   nothing).  Positions are hypers on the wire: a busy daemon outlives
+   2^31 events. *)
+let enc_event_resume last_seq =
+  Xdr.encode (fun e () -> Xdr.enc_hyper e (Int64.of_int last_seq)) ()
+
+let dec_event_resume body = Xdr.decode (fun d -> Int64.to_int (Xdr.dec_hyper d)) body
+
+type resume_reply = {
+  rr_gap : bool;
+  rr_head : int;
+  rr_oldest : int;
+  rr_events : Events.event list;
+}
+
+let enc_seq_event_into e (ev : Events.event) =
+  Xdr.enc_hyper e (Int64.of_int ev.Events.seq);
+  Xdr.enc_string e ev.Events.domain_name;
+  Xdr.enc_int e (Events.lifecycle_to_int ev.Events.lifecycle)
+
+let dec_seq_event_from d =
+  let seq = Int64.to_int (Xdr.dec_hyper d) in
+  let domain_name = Xdr.dec_string d in
+  match Events.lifecycle_of_int (Xdr.dec_int d) with
+  | Ok lifecycle -> Events.{ domain_name; lifecycle; seq }
+  | Error msg -> raise (Xdr.Error msg)
+
+let enc_seq_event (ev : Events.event) = Xdr.encode (fun e -> enc_seq_event_into e) ev
+let dec_seq_event body = Xdr.decode dec_seq_event_from body
+
+let enc_resume_reply r =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_bool e r.rr_gap;
+      Xdr.enc_hyper e (Int64.of_int r.rr_head);
+      Xdr.enc_hyper e (Int64.of_int r.rr_oldest);
+      Xdr.enc_array e enc_seq_event_into r.rr_events)
+    ()
+
+let dec_resume_reply body =
+  Xdr.decode
+    (fun d ->
+      let rr_gap = Xdr.dec_bool d in
+      let rr_head = Int64.to_int (Xdr.dec_hyper d) in
+      let rr_oldest = Int64.to_int (Xdr.dec_hyper d) in
+      let rr_events = Xdr.dec_array d dec_seq_event_from in
+      { rr_gap; rr_head; rr_oldest; rr_events })
     body

@@ -73,6 +73,14 @@ type procedure =
   | Proc_dom_get_policy  (** args: name; ret: policy *)
   | Proc_daemon_reconcile_status
       (** ret: reconciler summary + per-domain rows *)
+  | Proc_event_resume
+      (** appended in v1.6: args: last processed stream position (hyper,
+          [-1] = fresh subscription); ret: {!resume_reply}.  Atomically
+          arms a sequence-numbered event subscription and replays every
+          retained event newer than the given position — or reports a
+          gap when the daemon's ring has wrapped past it. *)
+  | Proc_event_lifecycle_seq
+      (** server → client event tagged with its stream position *)
 
 val enc_bool_body : bool -> string
 val dec_bool_body : string -> bool
@@ -185,3 +193,29 @@ val dec_set_policy : string -> string * Ovirt_core.Dompolicy.t
 val enc_reconcile_status : Reconcile.summary * Reconcile.dom_status list -> string
 val dec_reconcile_status : string -> Reconcile.summary * Reconcile.dom_status list
 (** Per-row retry countdowns are rounded to milliseconds on the wire. *)
+
+(** {1 v1.6: resumable sequence-numbered event streams} *)
+
+val enc_event_resume : int -> string
+val dec_event_resume : string -> int
+(** Last stream position the client processed; [-1] = fresh subscription
+    (arm at the current head, replay nothing). *)
+
+type resume_reply = {
+  rr_gap : bool;
+      (** the ring wrapped past the client's position (or the position is
+          from a different daemon incarnation): the replay is incomplete
+          and the client must flush cached state and resync *)
+  rr_head : int;  (** newest seq assigned at the subscription snapshot *)
+  rr_oldest : int;  (** lowest seq still retained in the ring *)
+  rr_events : Ovirt_core.Events.event list;
+      (** retained events newer than the client's position, oldest first;
+          empty on gap or fresh subscription *)
+}
+
+val enc_resume_reply : resume_reply -> string
+val dec_resume_reply : string -> resume_reply
+
+val enc_seq_event : Ovirt_core.Events.event -> string
+val dec_seq_event : string -> Ovirt_core.Events.event
+(** Body of a [Proc_event_lifecycle_seq] push: (seq, domain, lifecycle). *)

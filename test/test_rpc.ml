@@ -210,7 +210,8 @@ let test_domain_info_roundtrip () =
 
 let test_lifecycle_event_roundtrip () =
   let ev =
-    Ovirt_core.Events.{ domain_name = "vm"; lifecycle = Ovirt_core.Events.Ev_migrated }
+    Ovirt_core.Events.
+      { domain_name = "vm"; lifecycle = Ovirt_core.Events.Ev_migrated; seq = 0 }
   in
   Alcotest.(check bool) "roundtrip" true
     (Rp.dec_lifecycle_event (Rp.enc_lifecycle_event ev) = ev)
