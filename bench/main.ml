@@ -1872,6 +1872,205 @@ let events () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E21: server reply cache — zero-work read path                       *)
+(* ------------------------------------------------------------------ *)
+
+let replycache () =
+  section "E21: server reply cache - zero-work read path";
+  subsection "hot bulk reads, clients x domains, cache on vs off; then a";
+  subsection "write-churn mix proving invalidation never serves stale bytes\n";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let combos = if smoke then [ (4, 50) ] else [ (8, 100); (32, 1000) ] in
+  let duration_s = if smoke then 0.3 else 2.0 in
+  let json_rows = ref [] in
+  let run_variant ~clients ~domains ~cache =
+    let daemon_name = fresh "rcd" in
+    let daemon = Daemon.start ~name:daemon_name ~config:quiet_config () in
+    let host = fresh "rcn" in
+    let producer = ok (Connect.open_uri ("test://" ^ host ^ "/")) in
+    for i = 1 to domains do
+      ignore
+        (define_domain (List.hd kits) producer (Printf.sprintf "rc-%d" i))
+    done;
+    (* Raw RPC clients: the cache removes *server* work (dispatch,
+       handler, encode), so measure the daemon's read-serving capacity
+       without paying a client-side decode of every record on each call
+       (all worker threads share one runtime lock, which would swamp the
+       server-side difference under test). *)
+    let open_uri =
+      Printf.sprintf "test://%s/%s" host
+        (if cache then "" else "?replycache=0")
+    in
+    let conns =
+      Array.init clients (fun _ ->
+          let c =
+            ok
+              (Rpc_client.connect
+                 ~address:(Daemon.mgmt_address daemon)
+                 ~kind:Transport.Unix_sock ~program:Rp.program
+                 ~version:Rp.version ())
+          in
+          ignore
+            (ok
+               (Rpc_client.call c
+                  ~procedure:(Rp.proc_to_int Rp.Proc_open)
+                  ~body:(Rp.enc_string_body open_uri) ()));
+          c)
+    in
+    let list_all = Rp.proc_to_int Rp.Proc_dom_list_all in
+    let reads_per_s =
+      measure_throughput ~n_threads:clients ~duration_s (fun i ->
+          ignore (ok (Rpc_client.call conns.(i) ~procedure:list_all ~body:"" ())))
+    in
+    let admin = ok (Admin.connect ~daemon:daemon_name ()) in
+    let rc = ok (Admin.reply_cache_stats admin) in
+    Admin.close admin;
+    Array.iter Rpc_client.close conns;
+    Connect.close producer;
+    Daemon.stop daemon;
+    json_rows :=
+      Mini_json.Obj
+        [
+          ("clients", Mini_json.Int clients);
+          ("domains", Mini_json.Int domains);
+          ("cache", Mini_json.Bool cache);
+          ("reads_per_s", Mini_json.Float reads_per_s);
+          ("hits", Mini_json.Int rc.Admin.rc_hits);
+          ("misses", Mini_json.Int rc.Admin.rc_misses);
+          ("invalidations", Mini_json.Int rc.Admin.rc_invalidations);
+          ("patched_sends", Mini_json.Int rc.Admin.rc_patched_sends);
+        ]
+      :: !json_rows;
+    ( reads_per_s,
+      [
+        string_of_int clients;
+        string_of_int domains;
+        (if cache then "on" else "off");
+        pp_ops reads_per_s;
+        string_of_int rc.Admin.rc_hits;
+        string_of_int rc.Admin.rc_misses;
+        string_of_int rc.Admin.rc_patched_sends;
+      ] )
+  in
+  let rows, speedups =
+    List.fold_left
+      (fun (rows, speedups) (clients, domains) ->
+        let on_tput, on_row = run_variant ~clients ~domains ~cache:true in
+        let off_tput, off_row = run_variant ~clients ~domains ~cache:false in
+        let speedup = on_tput /. off_tput in
+        ( rows @ [ on_row @ [ Printf.sprintf "%.1fx" speedup ]; off_row @ [ "-" ] ],
+          speedups @ [ (clients, domains, speedup) ] ))
+      ([], []) combos
+  in
+  table
+    [ "clients"; "domains"; "cache"; "reads/s"; "hits"; "misses"; "patched"; "speedup" ]
+    rows;
+  (* Write churn: every iteration flips an event-less flag through the
+     direct path, then reads it back through cached and uncached daemon
+     connections with raw frames recorded.  Freshness means the flag is
+     always the one just written; byte fidelity means cached and uncached
+     frames agree except for the serial word. *)
+  let churn_iters = if smoke then 30 else 300 in
+  let daemon_name = fresh "rcd" in
+  let daemon = Daemon.start ~name:daemon_name ~config:quiet_config () in
+  let host = fresh "rcn" in
+  let producer = ok (Connect.open_uri ("test://" ^ host ^ "/")) in
+  let dom = define_domain (List.hd kits) producer (fresh "churn") in
+  let raw_conn uri =
+    let mu = Mutex.create () in
+    let last = ref "" in
+    let client =
+      ok
+        (Rpc_client.connect
+           ~address:(Daemon.mgmt_address daemon)
+           ~kind:Transport.Unix_sock ~program:Rp.program ~version:Rp.version ())
+    in
+    Rpc_client.set_raw_reply_hook client
+      (Some
+         (fun wire ->
+           Mutex.lock mu;
+           last := wire;
+           Mutex.unlock mu));
+    ignore
+      (ok
+         (Rpc_client.call client
+            ~procedure:(Rp.proc_to_int Rp.Proc_open)
+            ~body:(Rp.enc_string_body uri) ()));
+    let read () =
+      let body =
+        ok
+          (Rpc_client.call client
+             ~procedure:(Rp.proc_to_int Rp.Proc_dom_list_all)
+             ~body:"" ())
+      in
+      Mutex.lock mu;
+      let frame = !last in
+      Mutex.unlock mu;
+      (body, Rpc_packet.with_serial frame 0)
+    in
+    (client, read)
+  in
+  let on_client, on_read = raw_conn (Printf.sprintf "test://%s/" host) in
+  let off_client, off_read =
+    raw_conn (Printf.sprintf "test://%s/?replycache=0" host)
+  in
+  let stale = ref 0 and byte_diffs = ref 0 in
+  let flag_of body =
+    List.exists
+      (fun r ->
+        r.Driver.rec_ref.Driver.dom_name = Domain.name dom
+        && r.Driver.rec_autostart = Some true)
+      (Rp.dec_domain_record_list body)
+  in
+  for i = 1 to churn_iters do
+    let flag = i mod 2 = 0 in
+    ok (Domain.set_autostart dom flag);
+    let body1, frame1 = on_read () in
+    let _body2, frame2 = on_read () in
+    let _body3, frame3 = off_read () in
+    if flag_of body1 <> flag then incr stale;
+    if frame1 <> frame2 || frame1 <> frame3 then incr byte_diffs
+  done;
+  Rpc_client.close on_client;
+  Rpc_client.close off_client;
+  Connect.close producer;
+  Daemon.stop daemon;
+  table
+    [ "churn writes"; "stale reads"; "byte diffs vs cache-off" ]
+    [ [ string_of_int churn_iters; string_of_int !stale; string_of_int !byte_diffs ] ];
+  let json =
+    Mini_json.Obj
+      [
+        ("experiment", Mini_json.String "E21 reply cache");
+        ("smoke", Mini_json.Bool smoke);
+        ("sweep", Mini_json.List (List.rev !json_rows));
+        ( "speedups",
+          Mini_json.List
+            (List.map
+               (fun (c, d, s) ->
+                 Mini_json.Obj
+                   [
+                     ("clients", Mini_json.Int c);
+                     ("domains", Mini_json.Int d);
+                     ("speedup", Mini_json.Float s);
+                   ])
+               speedups) );
+        ( "churn",
+          Mini_json.Obj
+            [
+              ("writes", Mini_json.Int churn_iters);
+              ("stale_reads", Mini_json.Int !stale);
+              ("byte_diffs", Mini_json.Int !byte_diffs);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_replycache.json" in
+  output_string oc (Mini_json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "json summary written to BENCH_replycache.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1895,6 +2094,7 @@ let experiments =
     ("reconcile", reconcile);
     ("c10k", c10k);
     ("events", events);
+    ("replycache", replycache);
   ]
 
 let () =

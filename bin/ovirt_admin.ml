@@ -130,6 +130,33 @@ let commands shell =
                Printf.sprintf "%-15s: %d" "headSeq"
                  es.Ovirt.Admin_client.es_head_seq;
              ]));
+    simple "reply-cache-stats" "Monitoring commands" ""
+      "reply-cache counters: hits/misses, invalidations, evictions, bytes"
+      (fun _ ->
+        let* conn = require_conn shell in
+        let* rc = verr (Ovirt.Admin_client.reply_cache_stats conn) in
+        Ok
+          (String.concat "\n"
+             [
+               Printf.sprintf "%-15s: %d" "nCaches"
+                 rc.Ovirt.Admin_client.rc_caches;
+               Printf.sprintf "%-15s: %d" "hits" rc.Ovirt.Admin_client.rc_hits;
+               Printf.sprintf "%-15s: %d" "misses"
+                 rc.Ovirt.Admin_client.rc_misses;
+               Printf.sprintf "%-15s: %d" "insertions"
+                 rc.Ovirt.Admin_client.rc_insertions;
+               Printf.sprintf "%-15s: %d" "invalidations"
+                 rc.Ovirt.Admin_client.rc_invalidations;
+               Printf.sprintf "%-15s: %d" "evictions"
+                 rc.Ovirt.Admin_client.rc_evictions;
+               Printf.sprintf "%-15s: %d" "patchedSends"
+                 rc.Ovirt.Admin_client.rc_patched_sends;
+               Printf.sprintf "%-15s: %d" "entries"
+                 rc.Ovirt.Admin_client.rc_entries;
+               Printf.sprintf "%-15s: %d" "bytes" rc.Ovirt.Admin_client.rc_bytes;
+               Printf.sprintf "%-15s: %s" "enabled"
+                 (if rc.Ovirt.Admin_client.rc_enabled then "yes" else "no");
+             ]));
     simple "reconcile-status" "Monitoring commands" ""
       "reconciler convergence: declared specs vs actual fleet state"
       (fun _ ->

@@ -190,6 +190,45 @@ let event_stats conn =
       es_head_seq;
     }
 
+type reply_cache_stats = {
+  rc_caches : int;
+  rc_hits : int;
+  rc_misses : int;
+  rc_insertions : int;
+  rc_invalidations : int;
+  rc_evictions : int;
+  rc_patched_sends : int;
+  rc_entries : int;
+  rc_bytes : int;
+  rc_enabled : bool;
+}
+
+let reply_cache_stats conn =
+  let* params = call_dec conn Ap.Proc_daemon_reply_cache_stats "" Ap.dec_params in
+  let* rc_caches = required params Ap.reply_cache_caches in
+  let* rc_hits = required params Ap.reply_cache_hits in
+  let* rc_misses = required params Ap.reply_cache_misses in
+  let* rc_insertions = required params Ap.reply_cache_insertions in
+  let* rc_invalidations = required params Ap.reply_cache_invalidations in
+  let* rc_evictions = required params Ap.reply_cache_evictions in
+  let* rc_patched_sends = required params Ap.reply_cache_patched_sends in
+  let* rc_entries = required params Ap.reply_cache_entries in
+  let* rc_bytes = required params Ap.reply_cache_bytes in
+  let* enabled = required params Ap.reply_cache_enabled in
+  Ok
+    {
+      rc_caches;
+      rc_hits;
+      rc_misses;
+      rc_insertions;
+      rc_invalidations;
+      rc_evictions;
+      rc_patched_sends;
+      rc_entries;
+      rc_bytes;
+      rc_enabled = enabled <> 0;
+    }
+
 let set_threadpool_params srv params =
   call_unit srv.conn Ap.Proc_set_threadpool
     (Ap.enc_server_params ~server:srv.srv_name params)

@@ -50,6 +50,26 @@ val event_stats : conn -> (event_stats, Ovirt_core.Verror.t) result
     [es_gapped] means rings are undersized for the observed outages
     (raise [event_ring] in the daemon configuration). *)
 
+(** Aggregate reply-cache counters across the daemon's per-node caches
+    (the zero-work read fast path). *)
+type reply_cache_stats = {
+  rc_caches : int;  (** caches created (one per distinct node opened) *)
+  rc_hits : int;  (** lookups answered from cached frames *)
+  rc_misses : int;  (** lookups that fell through to the handler *)
+  rc_insertions : int;  (** frames stored *)
+  rc_invalidations : int;  (** entries dropped by events or stale stamps *)
+  rc_evictions : int;  (** entries dropped by the LRU capacity bound *)
+  rc_patched_sends : int;  (** cached frames sent with a patched serial *)
+  rc_entries : int;  (** currently cached frames, summed over caches *)
+  rc_bytes : int;  (** currently cached frame bytes, summed over caches *)
+  rc_enabled : bool;  (** the daemon-level [reply_cache] knob *)
+}
+
+val reply_cache_stats : conn -> (reply_cache_stats, Ovirt_core.Verror.t) result
+(** The administrator's view of read fast-path health: a hit ratio near
+    zero under a read-heavy load means writes are churning the caches or
+    [reply_cache_entries] is too small. *)
+
 (** {1 Servers} *)
 
 val list_servers : conn -> (string list, Ovirt_core.Verror.t) result

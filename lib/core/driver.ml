@@ -126,6 +126,7 @@ type ops = {
   net : net_ops option;
   storage : storage_ops option;
   events : Events.bus;
+  generation : (unit -> int) option;
 }
 
 let unsupported ~drv ~op =
@@ -137,7 +138,8 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     ?dom_get_info ?dom_get_xml ?dom_set_memory ?dom_save ?dom_restore
     ?dom_has_managed_save ?dom_set_autostart ?dom_get_autostart ?dom_set_policy
     ?dom_get_policy ?dom_list_all ?migrate_begin ?migrate_prepare
-    ?guest_agent_install ?guest_agent_exec ?net ?storage ?events () =
+    ?guest_agent_install ?guest_agent_exec ?net ?storage ?events ?generation ()
+    =
   let missing op _ = unsupported ~drv:drv_name ~op in
   let missing0 op () = unsupported ~drv:drv_name ~op in
   {
@@ -177,6 +179,7 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     net;
     storage;
     events = (match events with Some bus -> bus | None -> Events.create_bus ());
+    generation;
   }
 
 (* ------------------------------------------------------------------ *)

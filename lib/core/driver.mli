@@ -138,6 +138,11 @@ type ops = {
   net : net_ops option;
   storage : storage_ops option;
   events : Events.bus;
+  generation : (unit -> int) option;
+      (** monotonic write stamp over the connection's whole visible
+          state (node plus network/storage backends); present only for
+          local stateful drivers.  The daemon's reply cache declines to
+          cache when absent; see {!Drvnode.generation} *)
 }
 
 val unsupported : drv:string -> op:string -> ('a, Verror.t) result
@@ -177,6 +182,7 @@ val make_ops :
   ?net:net_ops ->
   ?storage:storage_ops ->
   ?events:Events.bus ->
+  ?generation:(unit -> int) ->
   unit ->
   ops
 (** Omitted operations answer {!unsupported}. *)

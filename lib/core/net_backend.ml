@@ -17,11 +17,24 @@ type net = {
   mutable ifaces : int;
 }
 
-type t = { mutex : Mutex.t; nets : (string, net) Hashtbl.t }
+(* [gen] counts completed mutations.  It is bumped inside the locked
+   section of every state-changing operation, so a reader that snapshots
+   the generation before reading and sees the same value afterwards knows
+   the data it read is current — the validity check behind the daemon's
+   reply cache. *)
+type t = { mutex : Mutex.t; nets : (string, net) Hashtbl.t; gen : int Atomic.t }
 
 let with_lock b f =
   Mutex.lock b.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock b.mutex) f
+
+let generation b = Atomic.get b.gen
+
+(* Bump on success only: a rejected operation changed nothing, so cached
+   views of the old state remain valid. *)
+let bumping b result =
+  (match result with Ok _ -> Atomic.incr b.gen | Error _ -> ());
+  result
 
 let valid_cidr s =
   match String.split_on_char '/' s with
@@ -70,7 +83,7 @@ let define_unlocked b ~name ~bridge ~ip_range =
   end
 
 let create () =
-  let b = { mutex = Mutex.create (); nets = Hashtbl.create 4 } in
+  let b = { mutex = Mutex.create (); nets = Hashtbl.create 4; gen = Atomic.make 0 } in
   (match
      define_unlocked b ~name:"default" ~bridge:"virbr0" ~ip_range:"192.168.122.0/24"
    with
@@ -81,7 +94,7 @@ let create () =
   b
 
 let define b ~name ~bridge ~ip_range =
-  with_lock b (fun () -> define_unlocked b ~name ~bridge ~ip_range)
+  with_lock b (fun () -> bumping b (define_unlocked b ~name ~bridge ~ip_range))
 
 let find b name =
   match Hashtbl.find_opt b.nets name with
@@ -92,6 +105,7 @@ let ( let* ) = Result.bind
 
 let undefine b name =
   with_lock b (fun () ->
+    bumping b @@
       let* net = find b name in
       if net.active then
         Verror.error Verror.Operation_invalid "network %S is active" name
@@ -102,6 +116,7 @@ let undefine b name =
 
 let start b name =
   with_lock b (fun () ->
+    bumping b @@
       let* net = find b name in
       if net.active then
         Verror.error Verror.Operation_invalid "network %S is already active" name
@@ -112,6 +127,7 @@ let start b name =
 
 let stop b name =
   with_lock b (fun () ->
+    bumping b @@
       let* net = find b name in
       if not net.active then
         Verror.error Verror.Operation_invalid "network %S is not active" name
@@ -125,6 +141,7 @@ let stop b name =
 
 let set_autostart b name autostart =
   with_lock b (fun () ->
+    bumping b @@
       let* net = find b name in
       net.autostart <- autostart;
       Ok ())
@@ -149,6 +166,7 @@ let list b =
 
 let connect_iface b name =
   with_lock b (fun () ->
+    bumping b @@
       let* net = find b name in
       if not net.active then
         Verror.error Verror.Operation_invalid
@@ -161,5 +179,7 @@ let connect_iface b name =
 let disconnect_iface b name =
   with_lock b (fun () ->
       match Hashtbl.find_opt b.nets name with
-      | Some net when net.ifaces > 0 -> net.ifaces <- net.ifaces - 1
+      | Some net when net.ifaces > 0 ->
+        net.ifaces <- net.ifaces - 1;
+        Atomic.incr b.gen
       | Some _ | None -> ())

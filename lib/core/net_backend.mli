@@ -36,3 +36,9 @@ val connect_iface : t -> string -> (unit, Verror.t) result
 val disconnect_iface : t -> string -> unit
 (** A domain NIC detaches (domain stop); unknown networks are ignored so
     teardown never fails. *)
+
+val generation : t -> int
+(** Monotonic count of completed mutations, bumped inside the locked
+    section of every successful state change.  Readers that snapshot it
+    before a read and observe the same value afterwards know the read saw
+    current state — the validity stamp the daemon's reply cache uses. *)

@@ -26,11 +26,19 @@ type pool = {
   volumes : (string, volume) Hashtbl.t;
 }
 
-type t = { mutex : Mutex.t; pools : (string, pool) Hashtbl.t }
+(* [gen] mirrors {!Net_backend.gen}: completed mutations, bumped inside
+   the locked section, read lock-free as the reply cache validity stamp. *)
+type t = { mutex : Mutex.t; pools : (string, pool) Hashtbl.t; gen : int Atomic.t }
 
 let with_lock b f =
   Mutex.lock b.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock b.mutex) f
+
+let generation b = Atomic.get b.gen
+
+let bumping b result =
+  (match result with Ok _ -> Atomic.incr b.gen | Error _ -> ());
+  result
 
 let ( let* ) = Result.bind
 
@@ -67,7 +75,7 @@ let define_pool_unlocked b ~name ~target_path ~capacity_b =
   end
 
 let create () =
-  let b = { mutex = Mutex.create (); pools = Hashtbl.create 4 } in
+  let b = { mutex = Mutex.create (); pools = Hashtbl.create 4; gen = Atomic.make 0 } in
   (match
      define_pool_unlocked b ~name:"default" ~target_path:"/var/lib/ovirt/images"
        ~capacity_b:(100 * 1024 * 1024 * 1024)
@@ -78,7 +86,8 @@ let create () =
   b
 
 let define_pool b ~name ~target_path ~capacity_b =
-  with_lock b (fun () -> define_pool_unlocked b ~name ~target_path ~capacity_b)
+  with_lock b (fun () ->
+      bumping b (define_pool_unlocked b ~name ~target_path ~capacity_b))
 
 let find b name =
   match Hashtbl.find_opt b.pools name with
@@ -87,6 +96,7 @@ let find b name =
 
 let undefine_pool b name =
   with_lock b (fun () ->
+    bumping b @@
       let* pool = find b name in
       if pool.active then Verror.error Verror.Operation_invalid "pool %S is active" name
       else if Hashtbl.length pool.volumes > 0 then
@@ -99,6 +109,7 @@ let undefine_pool b name =
 
 let start_pool b name =
   with_lock b (fun () ->
+    bumping b @@
       let* pool = find b name in
       if pool.active then
         Verror.error Verror.Operation_invalid "pool %S is already active" name
@@ -109,6 +120,7 @@ let start_pool b name =
 
 let stop_pool b name =
   with_lock b (fun () ->
+    bumping b @@
       let* pool = find b name in
       if not pool.active then
         Verror.error Verror.Operation_invalid "pool %S is not active" name
@@ -146,6 +158,7 @@ let vol_info_of pool name (v : volume) =
 
 let create_volume b ~pool:pool_name ~name ~capacity_b ~format =
   with_lock b (fun () ->
+    bumping b @@
       let* pool = find b pool_name in
       if not pool.active then
         Verror.error Verror.Operation_invalid "pool %S is not active" pool_name
@@ -168,6 +181,7 @@ let create_volume b ~pool:pool_name ~name ~capacity_b ~format =
 
 let delete_volume b ~pool:pool_name ~name =
   with_lock b (fun () ->
+    bumping b @@
       let* pool = find b pool_name in
       match Hashtbl.find_opt pool.volumes name with
       | None ->

@@ -48,3 +48,8 @@ val list_volumes : t -> pool:string -> (vol_info list, Verror.t) result
 
 val volume_by_path : t -> string -> (vol_info, Verror.t) result
 (** Resolve a disk's [source_path] to its volume across all pools. *)
+
+val generation : t -> int
+(** Monotonic count of completed mutations (pool and volume), bumped
+    inside the locked section of every successful state change; see
+    {!Net_backend.generation}. *)

@@ -10,6 +10,7 @@ type daemon_view = {
   view_drain : unit -> unit;
   view_reconcile : unit -> Reconcile.t option;
   view_event_totals : unit -> Remote_service.event_totals;
+  view_reply_cache_totals : unit -> Remote_service.cache_totals;
 }
 
 let ( let* ) = Result.bind
@@ -232,6 +233,22 @@ let handle view _srv _client header body =
            Tp.uint Ap.event_subscribers t.Remote_service.evt_subscribers;
            Tp.uint Ap.event_head_seq t.Remote_service.evt_head;
          ])
+  | Ap.Proc_daemon_reply_cache_stats ->
+    let t = view.view_reply_cache_totals () in
+    Ok
+      (Ap.enc_params
+         [
+           Tp.uint Ap.reply_cache_caches t.Remote_service.rct_caches;
+           Tp.uint Ap.reply_cache_hits t.Remote_service.rct_hits;
+           Tp.uint Ap.reply_cache_misses t.Remote_service.rct_misses;
+           Tp.uint Ap.reply_cache_insertions t.Remote_service.rct_insertions;
+           Tp.uint Ap.reply_cache_invalidations t.Remote_service.rct_invalidations;
+           Tp.uint Ap.reply_cache_evictions t.Remote_service.rct_evictions;
+           Tp.uint Ap.reply_cache_patched_sends t.Remote_service.rct_patched_sends;
+           Tp.uint Ap.reply_cache_entries t.Remote_service.rct_entries;
+           Tp.uint Ap.reply_cache_bytes t.Remote_service.rct_bytes;
+           Tp.uint Ap.reply_cache_enabled (if t.Remote_service.rct_enabled then 1 else 0);
+         ])
 
 let program view =
   Dispatch.
@@ -244,6 +261,7 @@ let program view =
           | Ok p -> Ap.is_high_priority p
           | Error _ -> false);
       peek_deadline = (fun ~procedure:_ ~body:_ -> None);
+      try_fast_reply = None;
       handle = (fun srv client header body -> handle view srv client header body);
       on_disconnect = (fun _client -> ());
     }

@@ -18,6 +18,8 @@ type daemon_view = {
       (** The daemon's policy reconciler, when it has one. *)
   view_event_totals : unit -> Remote_service.event_totals;
       (** Aggregate replay-ring counters of the remote program. *)
+  view_reply_cache_totals : unit -> Remote_service.cache_totals;
+      (** Aggregate reply-cache counters of the remote program. *)
 }
 
 val program : daemon_view -> Dispatch.program

@@ -272,8 +272,10 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
   let started_at = Unix.gettimeofday () in
   let remote_service =
     Remote_service.make ~minor:config.Daemon_config.proto_minor
-      ~event_ring_capacity:config.Daemon_config.event_ring ~reconcile:reconciler
-      ~logger ()
+      ~event_ring_capacity:config.Daemon_config.event_ring
+      ~reply_cache:(config.Daemon_config.reply_cache <> 0)
+      ~reply_cache_entries:config.Daemon_config.reply_cache_entries
+      ~reconcile:reconciler ~logger ()
   in
   let remote_program = Remote_service.program_of remote_service in
   (* The admin program needs to trigger a drain of the daemon that hosts
@@ -293,6 +295,8 @@ let start ?(name = "ovirtd") ?(config = Daemon_config.default) () =
             | Some daemon -> drain_background daemon);
         view_reconcile = (fun () -> Some reconciler);
         view_event_totals = (fun () -> Remote_service.event_totals remote_service);
+        view_reply_cache_totals =
+          (fun () -> Remote_service.reply_cache_totals remote_service);
       }
   in
   let mgmt_programs = [ remote_program; Dispatch.keepalive_program ] in

@@ -17,6 +17,13 @@ let default_io_model =
      | Error _ -> Io_reactor)
   | None -> Io_reactor
 
+(* Same idea for the server reply cache: CI re-runs smokes with the
+   cache force-disabled to prove it never changes observable behaviour. *)
+let default_reply_cache =
+  match Sys.getenv_opt "OVIRT_REPLY_CACHE" with
+  | Some s -> (match int_of_string_opt (String.trim s) with Some n -> n | None -> 1)
+  | None -> 1
+
 type t = {
   io_model : io_model;
   reactor_threads : int;
@@ -35,6 +42,8 @@ type t = {
   log_outputs : Vlog.output list;
   proto_minor : int;
   event_ring : int;
+  reply_cache : int;
+  reply_cache_entries : int;
   job_queue_limit : int;
   wall_limit_ms : int;
   journal_compact_factor : int;
@@ -63,6 +72,8 @@ let default =
     log_outputs = [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Stderr } ];
     proto_minor = Protocol.Remote_protocol.minor;
     event_ring = 1024;
+    reply_cache = default_reply_cache;
+    reply_cache_entries = 512;
     job_queue_limit = 0;
     wall_limit_ms = 0;
     journal_compact_factor = 4;
@@ -177,6 +188,13 @@ let apply cfg key value =
     let* n = want_int key value in
     if n < 1 then Error "event_ring: must be at least 1"
     else Ok { cfg with event_ring = n }
+  | "reply_cache" ->
+    let* n = want_int key value in
+    Ok { cfg with reply_cache = n }
+  | "reply_cache_entries" ->
+    let* n = want_int key value in
+    if n < 1 then Error "reply_cache_entries: must be at least 1"
+    else Ok { cfg with reply_cache_entries = n }
   | "job_queue_limit" ->
     let* n = want_int key value in
     Ok { cfg with job_queue_limit = n }
@@ -237,6 +255,8 @@ let to_file cfg =
       Printf.sprintf "log_outputs = \"%s\"" (Vlog.format_outputs cfg.log_outputs);
       Printf.sprintf "proto_minor = %d" cfg.proto_minor;
       Printf.sprintf "event_ring = %d" cfg.event_ring;
+      Printf.sprintf "reply_cache = %d" cfg.reply_cache;
+      Printf.sprintf "reply_cache_entries = %d" cfg.reply_cache_entries;
       Printf.sprintf "job_queue_limit = %d" cfg.job_queue_limit;
       Printf.sprintf "wall_limit_ms = %d" cfg.wall_limit_ms;
       Printf.sprintf "journal_compact_factor = %d" cfg.journal_compact_factor;

@@ -48,6 +48,13 @@ type t = {
           resumable subscriptions (default 1024, minimum 1): a
           reconnecting client further behind than this receives a gap
           verdict and must resync *)
+  reply_cache : int;
+      (** server reply cache for hot read procedures: nonzero (default 1)
+          enables it; 0 disables it daemon-wide (clients can also opt a
+          single connection out with a [replycache=0] URI parameter) *)
+  reply_cache_entries : int;
+      (** LRU capacity of each per-node-URI reply cache (default 512,
+          minimum 1) *)
   job_queue_limit : int;
       (** admission bound on the mgmt pool's normal-class job queue;
           0 (default) = unbounded.  Overflow is rejected with

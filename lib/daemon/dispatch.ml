@@ -13,6 +13,15 @@ type program = {
          procedure number).  The dispatcher uses the deadline to drop
          jobs that expire while queued, and the inner procedure to
          classify priority by the wrapped call rather than the envelope. *)
+  try_fast_reply :
+    (Server_obj.t -> Client_obj.t -> Rpc_packet.header -> string -> bool)
+    option;
+      (* Synchronous fast path consulted on the receiving thread before
+         the call is submitted to the pool.  Returning [true] means the
+         reply has already been sent (e.g. replayed from a reply cache
+         with the serial patched) and the call must not be dispatched;
+         [false] falls through to the normal path.  Must be cheap and
+         non-blocking, and must never raise. *)
   handle :
     Server_obj.t ->
     Client_obj.t ->
@@ -22,24 +31,44 @@ type program = {
   on_disconnect : Client_obj.t -> unit;
 }
 
+(* Reply framing borrows scratch buffers from a shared pool: the body is
+   spliced behind the reserved frame prefix in one pass
+   ({!Rpc_packet.encode_into}), so the only allocation left on the reply
+   send path is the final immutable frame.  Worker threads frame replies
+   concurrently, hence a pool rather than one static buffer; encoders
+   that outgrow the pooled size fall back to a private buffer and the
+   original (still correctly sized) buffer re-pools. *)
+let reply_scratch =
+  Ovreactor.Bufpool.create ~buf_size:(16 * 1024) ~max_pooled:32
+
+let frame_reply header result =
+  let buf = Ovreactor.Bufpool.take reply_scratch in
+  Fun.protect
+    ~finally:(fun () -> Ovreactor.Bufpool.give reply_scratch buf)
+    (fun () ->
+      let enc = Xdr.encoder_of_bytes buf in
+      match result with
+      | Ok body ->
+        Rpc_packet.encode_into enc (Rpc_packet.reply_ok header) (fun e ->
+            Xdr.enc_raw e body)
+      | Error err ->
+        Rpc_packet.encode_into enc
+          (Rpc_packet.reply_error header)
+          (fun e -> Protocol.Remote_protocol.enc_error_into e err))
+
 let send_reply client header result =
-  let packet =
-    match result with
-    | Ok body -> Rpc_packet.encode (Rpc_packet.reply_ok header) body
-    | Error err ->
-      Rpc_packet.encode
-        (Rpc_packet.reply_error header)
-        (Protocol.Remote_protocol.enc_error err)
-  in
-  Client_obj.send_packet client packet
+  Client_obj.send_packet client (frame_reply header result)
 
 let run_call srv prog client header body ~deadline =
   Client_obj.touch client;
   let logger = Server_obj.logger srv in
-  Vlog.logf logger ~module_:"daemon.rpc" Vlog.Debug
-    "client %Ld: dispatching program=0x%x procedure=%d serial=%d (%d body bytes)"
-    (Client_obj.id client) header.Rpc_packet.program header.Rpc_packet.procedure
-    header.Rpc_packet.serial (String.length body);
+  (* Guarded: this fires once per call, and with debug disabled the
+     kasprintf formatting of five arguments would otherwise still run. *)
+  if Vlog.would_log logger ~module_:"daemon.rpc" Vlog.Debug then
+    Vlog.logf logger ~module_:"daemon.rpc" Vlog.Debug
+      "client %Ld: dispatching program=0x%x procedure=%d serial=%d (%d body bytes)"
+      (Client_obj.id client) header.Rpc_packet.program header.Rpc_packet.procedure
+      header.Rpc_packet.serial (String.length body);
   let result =
     try Reqctx.with_deadline deadline (fun () -> prog.handle srv client header body)
     with
@@ -74,6 +103,7 @@ let keepalive_program =
     prog_version = Ka.version;
     high_priority = (fun _ -> true);
     peek_deadline = (fun ~procedure:_ ~body:_ -> None);
+    try_fast_reply = None;
     handle =
       (fun _srv _client header _body ->
         if header.Rpc_packet.procedure = Ka.proc_ping then Ok ""
@@ -104,6 +134,15 @@ let process_call srv prog_table client header body =
       send_reply client header
         (Verror.error Verror.Operation_invalid "server %s is draining"
            (Server_obj.name srv))
+    else if
+      (* Zero-work read path: a program-supplied hook may answer the call
+         synchronously (replaying a cached pre-framed reply) without a
+         pool round-trip.  Consulted after version and drain checks so
+         cache hits observe the same admission rules as dispatched calls. *)
+      match prog.try_fast_reply with
+      | Some hook -> hook srv client header body
+      | None -> false
+    then ()
     else begin
       let peeked =
         prog.peek_deadline ~procedure:header.Rpc_packet.procedure ~body

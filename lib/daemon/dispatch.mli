@@ -27,6 +27,20 @@ type program = {
           return the absolute deadline (anchored now from the relative
           wire budget) and the inner wire procedure number, used for
           priority classification.  Return [None] for ordinary calls. *)
+  try_fast_reply :
+    (Server_obj.t ->
+    Client_obj.t ->
+    Ovrpc.Rpc_packet.header ->
+    string ->
+    bool)
+    option;
+      (** Synchronous fast path, consulted on the receiving thread after
+          the version and drain checks but before pool submission.
+          Returning [true] means the hook already sent the reply (e.g. a
+          cached pre-framed reply with the serial word patched) and the
+          call is finished; [false] falls through to normal dispatch.
+          Hooks must be cheap, non-blocking, and never raise.  [None]
+          disables the fast path for the program. *)
   handle :
     Server_obj.t ->
     Client_obj.t ->

@@ -11,6 +11,9 @@ type event_sub =
 type conn_state = {
   ops : Driver.ops;
   uri : string;  (** the direct (transport-stripped) URI opened *)
+  cache_ok : bool;
+      (** false when the client's URI carried [replycache=0/off]; the
+          per-connection lever to opt out of the server reply cache *)
   mutable event_sub : event_sub option;
 }
 
@@ -25,6 +28,10 @@ type state = {
   rings : (string, Eventring.t) Hashtbl.t;
       (** replay ring per driver-node URI, daemon-lifetime *)
   ring_capacity : int;
+  caches : (string, Reply_cache.t) Hashtbl.t;
+      (** reply cache per driver-node URI, daemon-lifetime (like rings) *)
+  cache_enabled : bool;  (** the [reply_cache] config knob *)
+  cache_entries : int;  (** per-cache LRU bound *)
 }
 
 let with_lock st f =
@@ -46,13 +53,21 @@ let do_open st client body =
   let uri_string = Rp.dec_string_body body in
   let* uri = Vuri.parse uri_string in
   let direct_uri = { uri with Vuri.transport = None } in
+  (* Per-connection opt-out: clients append [?replycache=0] (forwarded by
+     the remote driver, unlike its client-local [cache] params) to force
+     every read through the live handler. *)
+  let cache_ok =
+    match Vuri.param uri "replycache" with
+    | Some ("0" | "off" | "no") -> false
+    | Some _ | None -> true
+  in
   with_lock st (fun () ->
       if Hashtbl.mem st.conns (Client_obj.id client) then
         Verror.error Verror.Operation_invalid "connection already open"
       else
         let* ops = Driver.open_uri direct_uri in
         Hashtbl.replace st.conns (Client_obj.id client)
-          { ops; uri = Vuri.to_string direct_uri; event_sub = None };
+          { ops; uri = Vuri.to_string direct_uri; cache_ok; event_sub = None };
         Vlog.logf st.logger ~module_:"daemon.remote" Vlog.Info
           "client %Ld opened %s via driver %s" (Client_obj.id client) uri_string
           ops.Driver.drv_name;
@@ -164,6 +179,60 @@ let do_event_deregister st client =
       | Some cs ->
         drop_event_sub cs;
         Ok Rp.enc_unit_body)
+
+(* ------------------------------------------------------------------ *)
+(* Reply cache plumbing                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The hot read set: procedures whose replies are pure functions of
+   driver state (checked driver by driver — e.g. cpu_time only advances
+   inside write sections) and whose argument bytes are canonical, so
+   (proc, body) is a sound cache key. *)
+let cacheable_proc = function
+  | Rp.Proc_get_capabilities | Rp.Proc_dom_list_all | Rp.Proc_dom_get_info
+  | Rp.Proc_dom_get_xml | Rp.Proc_lookup_by_name | Rp.Proc_lookup_by_uuid
+  | Rp.Proc_vol_lookup ->
+    true
+  | _ -> false
+
+(* Caller holds [st.mutex].  Caches are per driver-node URI and live for
+   the daemon (like [rings]); creating one also arms the proactive
+   invalidation path — any lifecycle event on the node's bus flushes the
+   cache.  Writes that emit no event (set_memory, define, autostart …)
+   are caught by the generation stamp instead. *)
+let cache_for st (cs : conn_state) =
+  match Hashtbl.find_opt st.caches cs.uri with
+  | Some cache -> cache
+  | None ->
+    let cache = Reply_cache.create ~max_entries:st.cache_entries in
+    let (_ : Events.subscription) =
+      Events.subscribe cs.ops.Driver.events (fun _ ->
+          Reply_cache.invalidate_all cache)
+    in
+    Hashtbl.replace st.caches cs.uri cache;
+    cache
+
+(* The cache serving this connection, or [None] when any layer opts out:
+   the daemon knob, the connection's URI param, or a driver without a
+   generation stamp. *)
+let conn_cache st (cs : conn_state) =
+  if st.cache_enabled && cs.cache_ok && Option.is_some cs.ops.Driver.generation
+  then Some (with_lock st (fun () -> cache_for st cs))
+  else None
+
+(* Cached frames carry serial 0; reply bodies never encode the serial, so
+   the body bytes are serial-independent and a hit is re-targeted to any
+   call by patching the one serial word. *)
+let cached_reply_header proc =
+  Rpc_packet.
+    {
+      program = Rp.program;
+      version = Rp.version;
+      procedure = Rp.proc_to_int proc;
+      msg_type = Reply;
+      serial = 0;
+      status = Status_ok;
+    }
 
 (* Dispatch a connection-scoped procedure against [cs]: the shared tail
    of the dispatcher and of every batch sub-call.  The daemon's
@@ -348,7 +417,38 @@ let dispatch_conn (cs : conn_state) proc body =
    encoded as a (procedure, body) sub-call and dispatches against bare
    [ops] exactly as it would inside a [Proc_call_batch] frame. *)
 let dispatch_ops ops proc body =
-  dispatch_conn { ops; uri = ""; event_sub = None } proc body
+  dispatch_conn { ops; uri = ""; cache_ok = false; event_sub = None } proc body
+
+(* Conn-scoped serving tail with the reply cache in front of the
+   handler.  The generation is snapshotted {e before} the handler runs:
+   if a write overlaps the fill, the write's bump (made while it still
+   holds the write lock) leaves this snapshot stale, so the entry is
+   discarded at its next lookup — the fill can never pin post-write data
+   under a pre-write stamp, and serving a still-valid pre-write frame
+   while a write is in flight is just a read ordered before the write.
+   On a hit the pre-framed packet is unwrapped back to its body: batch
+   sub-calls and the top-level dispatcher both consume bodies, and the
+   top level re-frames with the caller's serial. *)
+let serve_conn st (cs : conn_state) proc body =
+  match (if cacheable_proc proc then conn_cache st cs else None) with
+  | None -> dispatch_conn cs proc body
+  | Some cache ->
+    let pnum = Rp.proc_to_int proc in
+    let gen_of = Option.get cs.ops.Driver.generation in
+    let gen = gen_of () in
+    (match Reply_cache.find cache ~proc:pnum ~args:body ~gen with
+     | Some frame ->
+       Ok
+         (String.sub frame Rpc_packet.prefix_bytes
+            (String.length frame - Rpc_packet.prefix_bytes))
+     | None ->
+       let result = dispatch_conn cs proc body in
+       (match result with
+        | Ok reply ->
+          Reply_cache.insert cache ~proc:pnum ~args:body ~gen
+            (Rpc_packet.encode (cached_reply_header proc) reply)
+        | Error _ -> ());
+       result)
 
 (* [minor] is the protocol minor this daemon serves: procedures newer
    than it are rejected with the very error an old build produces for an
@@ -458,7 +558,7 @@ let rec handle_proc st ~minor ~in_batch client proc body =
      | Some r -> Ok (Rp.enc_reconcile_status (Reconcile.status r)))
   | proc ->
     let* cs = get_conn st client in
-    dispatch_conn cs proc body
+    serve_conn st cs proc body
 
 let handle st ~minor _srv client header body =
   let* proc =
@@ -482,7 +582,21 @@ type event_totals = {
   evt_head : int;  (** highest stream position across rings *)
 }
 
-let make ?(minor = Rp.minor) ?(event_ring_capacity = 1024) ?reconcile ~logger () =
+type cache_totals = {
+  rct_caches : int;
+  rct_hits : int;
+  rct_misses : int;
+  rct_insertions : int;
+  rct_invalidations : int;
+  rct_evictions : int;
+  rct_patched_sends : int;
+  rct_entries : int;
+  rct_bytes : int;
+  rct_enabled : bool;
+}
+
+let make ?(minor = Rp.minor) ?(event_ring_capacity = 1024)
+    ?(reply_cache = true) ?(reply_cache_entries = 512) ?reconcile ~logger () =
   let st =
     {
       mutex = Mutex.create ();
@@ -491,9 +605,46 @@ let make ?(minor = Rp.minor) ?(event_ring_capacity = 1024) ?reconcile ~logger ()
       reconcile;
       rings = Hashtbl.create 8;
       ring_capacity = event_ring_capacity;
+      caches = Hashtbl.create 8;
+      cache_enabled = reply_cache;
+      cache_entries = max 1 reply_cache_entries;
     }
   in
   { st; svc_minor = minor }
+
+let reply_cache_totals t =
+  let caches =
+    with_lock t.st (fun () ->
+        Hashtbl.fold (fun _ cache acc -> cache :: acc) t.st.caches [])
+  in
+  List.fold_left
+    (fun acc cache ->
+      let s = Reply_cache.stats cache in
+      {
+        acc with
+        rct_caches = acc.rct_caches + 1;
+        rct_hits = acc.rct_hits + s.Reply_cache.hits;
+        rct_misses = acc.rct_misses + s.Reply_cache.misses;
+        rct_insertions = acc.rct_insertions + s.Reply_cache.insertions;
+        rct_invalidations = acc.rct_invalidations + s.Reply_cache.invalidations;
+        rct_evictions = acc.rct_evictions + s.Reply_cache.evictions;
+        rct_patched_sends = acc.rct_patched_sends + s.Reply_cache.patched_sends;
+        rct_entries = acc.rct_entries + s.Reply_cache.entries;
+        rct_bytes = acc.rct_bytes + s.Reply_cache.bytes;
+      })
+    {
+      rct_caches = 0;
+      rct_hits = 0;
+      rct_misses = 0;
+      rct_insertions = 0;
+      rct_invalidations = 0;
+      rct_evictions = 0;
+      rct_patched_sends = 0;
+      rct_entries = 0;
+      rct_bytes = 0;
+      rct_enabled = t.st.cache_enabled;
+    }
+    caches
 
 let event_totals t =
   let rings =
@@ -553,9 +704,57 @@ let program_of { st; svc_minor = minor } =
                   inner )
             | exception _ -> None
           else None);
+      try_fast_reply =
+        (if not st.cache_enabled then None
+         else
+           Some
+             (fun srv client header body ->
+               (* Replay a cached pre-framed reply, patching the serial
+                  word into a fresh copy (senders retain references to
+                  transmitted strings, so the cached frame itself is
+                  never mutated).  Runs on the receiving thread: a hit
+                  skips pool submission, body decode, the driver read
+                  lock, the handler and the re-encode. *)
+               match Rp.proc_of_int header.Rpc_packet.procedure with
+               | Error _ -> false
+               | Ok proc -> (
+                 (not (Rp.proc_min_minor proc > minor))
+                 && cacheable_proc proc
+                 &&
+                 match
+                   with_lock st (fun () ->
+                       Hashtbl.find_opt st.conns (Client_obj.id client))
+                 with
+                 | None -> false
+                 | Some cs -> (
+                   match conn_cache st cs with
+                   | None -> false
+                   | Some cache -> (
+                     let gen_of = Option.get cs.ops.Driver.generation in
+                     match
+                       Reply_cache.find cache
+                         ~proc:header.Rpc_packet.procedure ~args:body
+                         ~gen:(gen_of ())
+                     with
+                     | None -> false
+                     | Some frame ->
+                       Client_obj.touch client;
+                       (try
+                          Client_obj.send_packet client
+                            (Rpc_packet.with_serial frame
+                               header.Rpc_packet.serial)
+                        with _ -> ());
+                       Reply_cache.note_patched_send cache;
+                       (* A served call authenticates the client exactly
+                          as a dispatched one does. *)
+                       Server_obj.note_authenticated srv client;
+                       true)))));
       handle = (fun srv client header body -> handle st ~minor srv client header body);
       on_disconnect = (fun client -> teardown_conn st (Client_obj.id client));
     }
 
-let program ?minor ?event_ring_capacity ?reconcile ~logger () =
-  program_of (make ?minor ?event_ring_capacity ?reconcile ~logger ())
+let program ?minor ?event_ring_capacity ?reply_cache ?reply_cache_entries
+    ?reconcile ~logger () =
+  program_of
+    (make ?minor ?event_ring_capacity ?reply_cache ?reply_cache_entries
+       ?reconcile ~logger ())

@@ -23,9 +23,24 @@ type event_totals = {
   evt_head : int;  (** highest stream position across rings *)
 }
 
+type cache_totals = {
+  rct_caches : int;
+  rct_hits : int;
+  rct_misses : int;
+  rct_insertions : int;
+  rct_invalidations : int;
+  rct_evictions : int;
+  rct_patched_sends : int;
+  rct_entries : int;
+  rct_bytes : int;
+  rct_enabled : bool;  (** the daemon-level [reply_cache] knob *)
+}
+
 val make :
   ?minor:int ->
   ?event_ring_capacity:int ->
+  ?reply_cache:bool ->
+  ?reply_cache_entries:int ->
   ?reconcile:Reconcile.t ->
   logger:Vlog.t ->
   unit ->
@@ -35,17 +50,30 @@ val make :
     are rejected as unknown, making the daemon indistinguishable from an
     older build — the lever version-negotiation tests pull.
     [event_ring_capacity] bounds each per-node replay ring (default
-    1024).  [reconcile] is the daemon's policy reconciler; without it the
-    v1.5 policy procedures answer [Operation_unsupported]. *)
+    1024).  [reply_cache] (default [true]) enables the server reply
+    cache for hot read procedures — pre-framed replies keyed by
+    (procedure, argument bytes), validated against the driver write
+    generation, served from the receiving thread with only the serial
+    word patched; [reply_cache_entries] (default 512) bounds each
+    per-node-URI cache (LRU).  Clients can opt a single connection out
+    with a [replycache=0] URI parameter.  [reconcile] is the daemon's
+    policy reconciler; without it the v1.5 policy procedures answer
+    [Operation_unsupported]. *)
 
 val program_of : t -> Dispatch.program
 
 val event_totals : t -> event_totals
 (** Aggregated replay-ring counters, for the admin event-stats proc. *)
 
+val reply_cache_totals : t -> cache_totals
+(** Aggregated reply-cache counters across every per-URI cache, for the
+    admin reply-cache-stats proc. *)
+
 val program :
   ?minor:int ->
   ?event_ring_capacity:int ->
+  ?reply_cache:bool ->
+  ?reply_cache_entries:int ->
   ?reconcile:Reconcile.t ->
   logger:Vlog.t ->
   unit ->

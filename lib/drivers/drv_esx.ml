@@ -265,6 +265,7 @@ let open_conn uri =
        ~dom_shutdown:(dom_shutdown session) ~dom_destroy:(dom_destroy session)
        ~dom_get_info:(dom_get_info session) ~dom_get_xml:(dom_get_xml session)
        ~dom_list_all:(fun () -> dom_list_all session)
+       ~generation:(fun () -> Drvnode.generation session.node)
        ())
 
 let register () =

@@ -217,7 +217,9 @@ let open_node (node : node) =
     ~dom_get_autostart:(Drvnode.get_autostart node)
     ~net:(Driver.net_ops_of_backend node.net)
     ~storage:(Driver.storage_ops_of_backend node.storage)
-    ~events:node.events ()
+    ~events:node.events
+    ~generation:(fun () -> Drvnode.generation node)
+    ()
 
 let register () =
   Drvnode.register ~name:"lxc"

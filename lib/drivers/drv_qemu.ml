@@ -469,7 +469,9 @@ let open_node (node : node) =
     ~guest_agent_exec:(guest_agent_exec node)
     ~net:(Driver.net_ops_of_backend node.net)
     ~storage:(Driver.storage_ops_of_backend node.storage)
-    ~events:node.events ()
+    ~events:node.events
+    ~generation:(fun () -> Drvnode.generation node)
+    ()
 
 let register () =
   Drvnode.register ~name:"qemu" ~schemes:[ "qemu"; "kvm" ]

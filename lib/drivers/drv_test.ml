@@ -487,7 +487,9 @@ let open_node (node : node) =
     ~guest_agent_exec:(guest_agent_exec node)
     ~net:(Driver.net_ops_of_backend node.net)
     ~storage:(Driver.storage_ops_of_backend node.storage)
-    ~events:node.events ()
+    ~events:node.events
+    ~generation:(fun () -> Drvnode.generation node)
+    ()
 
 let node_of_uri uri =
   match uri.Vuri.host with

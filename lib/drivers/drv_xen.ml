@@ -313,7 +313,9 @@ let open_node (node : node) =
     ~migrate_begin:(migrate_begin node) ~migrate_prepare:(migrate_prepare node)
     ~net:(Driver.net_ops_of_backend node.net)
     ~storage:(Driver.storage_ops_of_backend node.storage)
-    ~events:node.events ()
+    ~events:node.events
+    ~generation:(fun () -> Drvnode.generation node)
+    ()
 
 let register () =
   Drvnode.register ~name:"xen"

@@ -19,6 +19,7 @@ type 'p node = {
   storage : Storage_backend.t;
   events : Events.bus;
   payload : 'p;
+  gen : int Atomic.t;
   mutable recovered : recovery option;
 }
 
@@ -68,6 +69,7 @@ let get_node reg name =
             storage = Storage_backend.create ();
             events = Events.create_bus ();
             payload = reg.reg_make ~node_name:name;
+            gen = Atomic.make 0;
             recovered = None;
           }
         in
@@ -116,13 +118,31 @@ let with_read node f =
     | Ok v -> v
     | Error `Timeout -> lock_expired node)
 
+(* Every write-classified section stamps the node: the generation is
+   bumped in the [finally] of the section body, i.e. after the mutation
+   but {e before} the write lock is released.  A cache fill that
+   snapshots the generation and then takes the read lock therefore
+   cannot capture post-write data under a pre-write stamp: any write
+   that overlaps the fill leaves the fill's snapshot stale, and the
+   stale stamp invalidates the entry on its next lookup.  Failed writes
+   bump too — a spurious invalidation, never a missed one. *)
 let with_write node f =
+  let f () = Fun.protect ~finally:(fun () -> Atomic.incr node.gen) f in
   match current_deadline () with
   | None -> Rwlock.with_write node.lock f
   | Some deadline -> (
     match Rwlock.with_write_until node.lock ~deadline f with
     | Ok v -> v
     | Error `Timeout -> lock_expired node)
+
+(* One write stamp for the whole node: driver writes ([with_write]) plus
+   the network and storage backends, which carry their own locks and
+   mutate outside the node lock.  Each addend is monotonic, so the sum
+   is, and any single mutation changes it. *)
+let generation node =
+  Atomic.get node.gen
+  + Net_backend.generation node.net
+  + Storage_backend.generation node.storage
 
 (* Lifecycle events double as durable run-state notes: every driver
    already emits at every lifecycle site, so routing emission through
@@ -262,6 +282,7 @@ let reconcile node ~attach_info ~running ~adopt ~start =
     }
   in
   node.recovered <- Some report;
+  Atomic.incr node.gen;
   report
 
 let node_of_uri ?(default = "localhost") uri =

@@ -44,6 +44,9 @@ type 'p node = {
   storage : Storage_backend.t;
   events : Events.bus;
   payload : 'p;  (** driver-specific substrate state *)
+  gen : int Atomic.t;
+      (** node write generation; use {!generation} rather than reading
+          this field (the public stamp also folds in the backends) *)
   mutable recovered : recovery option;
       (** set by {!reconcile} when the node was rebuilt from a journal *)
 }
@@ -105,6 +108,15 @@ val with_write : 'p node -> (unit -> 'a) -> 'a
     a waiter whose deadline passes raises [Verror.Virt_error]
     ([Operation_failed], "deadline expired…") instead of queueing
     behind a stuck writer. *)
+
+val generation : 'p node -> int
+(** Monotonic write stamp covering the whole node: bumped while the
+    write lock is still held at the end of every {!with_write} section
+    (success or failure), plus the {!Net_backend} and {!Storage_backend}
+    generations (those backends mutate under their own locks).  A reader
+    that snapshots the stamp before reading and sees the same value
+    afterwards read current state; the daemon's reply cache keys entry
+    validity on it. *)
 
 val set_deadline_hook : (unit -> float option) -> unit
 (** Install the per-call deadline provider (absolute [Unix.gettimeofday]

@@ -22,6 +22,7 @@ type procedure =
   | Proc_daemon_pool_stats
   | Proc_daemon_reconcile_status
   | Proc_daemon_event_stats
+  | Proc_daemon_reply_cache_stats
 
 let all_procedures =
   [
@@ -39,6 +40,8 @@ let all_procedures =
     Proc_daemon_reconcile_status;
     (* v1.4 additions *)
     Proc_daemon_event_stats;
+    (* v1.5 additions *)
+    Proc_daemon_reply_cache_stats;
   ]
 
 let proc_to_int proc =
@@ -90,6 +93,16 @@ let event_ring_occupancy = "ringOccupancy"
 let event_ring_capacity = "ringCapacity"
 let event_subscribers = "nSubscribers"
 let event_head_seq = "headSeq"
+let reply_cache_caches = "nCaches"
+let reply_cache_hits = "replyCacheHits"
+let reply_cache_misses = "replyCacheMisses"
+let reply_cache_insertions = "replyCacheInsertions"
+let reply_cache_invalidations = "replyCacheInvalidations"
+let reply_cache_evictions = "replyCacheEvictions"
+let reply_cache_patched_sends = "replyCachePatchedSends"
+let reply_cache_entries = "replyCacheEntries"
+let reply_cache_bytes = "replyCacheBytes"
+let reply_cache_enabled = "replyCacheEnabled"
 
 type client_entry = {
   client_id : int64;

@@ -40,6 +40,11 @@ type procedure =
           counters for the v1.6 resumable event streams (events
           emitted/replayed/gapped, resumes, ring occupancy/capacity,
           live subscribers, highest stream position) *)
+  | Proc_daemon_reply_cache_stats
+      (** appended in v1.5 — ret: typed params: aggregate server
+          reply-cache counters across every per-node-URI cache (hits,
+          misses, insertions, invalidations, evictions, patched-serial
+          sends, live entries/bytes, enabled flag) *)
 
 val proc_to_int : procedure -> int
 val proc_of_int : int -> (procedure, string) result
@@ -89,6 +94,17 @@ val event_ring_occupancy : string
 val event_ring_capacity : string
 val event_subscribers : string
 val event_head_seq : string
+
+val reply_cache_caches : string
+val reply_cache_hits : string
+val reply_cache_misses : string
+val reply_cache_insertions : string
+val reply_cache_invalidations : string
+val reply_cache_evictions : string
+val reply_cache_patched_sends : string
+val reply_cache_entries : string
+val reply_cache_bytes : string
+val reply_cache_enabled : string
 
 (** {1 Client list entries} *)
 

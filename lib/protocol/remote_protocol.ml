@@ -181,12 +181,12 @@ let is_idempotent = function
 (* Body codecs                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let enc_error_into e (err : Verror.t) =
+  Xdr.enc_int e (Verror.code_to_int err.Verror.code);
+  Xdr.enc_string e err.Verror.message
+
 let enc_error (err : Verror.t) =
-  Xdr.encode
-    (fun e () ->
-      Xdr.enc_int e (Verror.code_to_int err.Verror.code);
-      Xdr.enc_string e err.Verror.message)
-    ()
+  Xdr.encode (fun e () -> enc_error_into e err) ()
 
 let dec_error body =
   Xdr.decode

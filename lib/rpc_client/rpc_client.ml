@@ -93,6 +93,8 @@ type t = {
   mutable closed : bool;
   mutable last_rx : float; (* any packet counts as liveness *)
   mutable last_ping : float;
+  mutable on_raw_reply : (string -> unit) option;
+      (* test observer: every framed reply packet, exactly as received *)
 }
 
 (* A future: one in-flight call.  [await] blocks on the slot, caches the
@@ -174,6 +176,9 @@ let receiver_loop client =
              with _ -> ());
             loop ()
           | Rpc_packet.Reply ->
+            (match client.on_raw_reply with
+             | None -> ()
+             | Some observe -> (try observe wire with _ -> ()));
             let slot =
               with_lock client.mutex (fun () ->
                   let slot = Hashtbl.find_opt client.pending header.Rpc_packet.serial in
@@ -335,11 +340,14 @@ let connect ~address ~kind ~program ~version ?identity ?faults ?keepalive
         closed = false;
         last_rx = now;
         last_ping = now;
+        on_raw_reply = None;
       }
     in
     ignore (Thread.create (fun () -> receiver_loop client) ());
     ignore (Thread.create (fun () -> timer_loop client) ());
     Ok client
+
+let set_raw_reply_hook client hook = client.on_raw_reply <- hook
 
 (* Issue a call without waiting: the returned future lets one thread keep
    as many calls in flight on the connection as it likes (pipelining) —

@@ -45,6 +45,14 @@ val call :
     [Status_error] replies come back as their decoded error; a dead
     connection, keepalive death or timeout is [Rpc_failure]. *)
 
+val set_raw_reply_hook : t -> (string -> unit) option -> unit
+(** Observe every framed reply packet exactly as it came off the wire
+    (length prefix, header, body), before demultiplexing.  A testing
+    seam: the reply-cache byte-equality harness records raw frames from
+    cache-on and cache-off connections and asserts they differ only in
+    the serial word.  Runs on the receiver thread; exceptions are
+    swallowed.  [None] removes the hook. *)
+
 type future
 (** One in-flight call issued with {!call_async}. *)
 

@@ -129,6 +129,15 @@ let deliver t output line =
   | Syslog ident -> t.syslog <- (ident ^ ": " ^ line) :: t.syslog
   | Journald -> t.journal <- line :: t.journal
 
+(* Cheap admission probe for hot paths: one settings dereference and the
+   same filter walk [log] performs, but no formatting, no output scan and
+   no counter update.  Callers use it to skip [logf]'s kasprintf cost
+   entirely when the message would be dropped anyway. *)
+let would_log t ~module_ priority =
+  let settings = t.settings in
+  priority_to_int priority >= priority_to_int (effective_level settings ~module_)
+  && settings.outputs <> []
+
 let log t ~module_ priority msg =
   let settings = t.settings in
   let threshold = effective_level settings ~module_ in

@@ -57,6 +57,15 @@ val log : t -> module_:string -> priority -> string -> unit
 val logf :
   t -> module_:string -> priority -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
+val would_log : t -> module_:string -> priority -> bool
+(** [would_log t ~module_ priority] is [true] iff a message at this
+    priority would pass the level/filter decision and at least one output
+    exists.  Costs one settings dereference plus the filter walk — no
+    formatting — so hot paths can guard [logf] calls whose argument
+    formatting would otherwise run even for dropped messages.  (It does
+    not check per-output [min_priority] admission, and unlike a dropped
+    [log] call it leaves the dropped counter untouched.) *)
+
 (** {1 Runtime (re)configuration} *)
 
 val get_level : t -> priority

@@ -9,17 +9,57 @@ let padding n = (4 - (n land 3)) land 3
 (* Encoding                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type encoder = Buffer.t
+(* The writer targets a plain [Bytes.t] with an explicit position instead
+   of a [Buffer.t].  This buys the hot reply path three things a Buffer
+   cannot offer: the backing storage can be supplied by the caller (so the
+   reactor can lend pooled buffers), the encoder can be [reset] and reused
+   across packets without reallocating, and fixed-size words written early
+   (array counts, frame headers) can be patched in place once the final
+   value is known. *)
+type encoder = { mutable buf : Bytes.t; mutable pos : int }
 
-let encoder () = Buffer.create 256
-let to_string e = Buffer.contents e
-let length e = Buffer.length e
+let encoder ?(size = 256) () = { buf = Bytes.create (max 8 size); pos = 0 }
+let encoder_of_bytes buf = { buf; pos = 0 }
+let to_string e = Bytes.sub_string e.buf 0 e.pos
+let length e = e.pos
+let reset e = e.pos <- 0
+
+let ensure e n =
+  let need = e.pos + n in
+  let cap = Bytes.length e.buf in
+  if need > cap then begin
+    let cap' = ref (max 32 (cap * 2)) in
+    while !cap' < need do
+      cap' := !cap' * 2
+    done;
+    let buf = Bytes.create !cap' in
+    Bytes.blit e.buf 0 buf 0 e.pos;
+    e.buf <- buf
+  end
+
+let set_u32 buf off v =
+  Bytes.unsafe_set buf off (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set buf (off + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set buf (off + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set buf (off + 3) (Char.unsafe_chr (v land 0xff))
 
 let enc_raw_u32 e v =
-  Buffer.add_char e (Char.chr ((v lsr 24) land 0xff));
-  Buffer.add_char e (Char.chr ((v lsr 16) land 0xff));
-  Buffer.add_char e (Char.chr ((v lsr 8) land 0xff));
-  Buffer.add_char e (Char.chr (v land 0xff))
+  ensure e 4;
+  set_u32 e.buf e.pos v;
+  e.pos <- e.pos + 4
+
+let reserve e n =
+  ensure e n;
+  let off = e.pos in
+  Bytes.fill e.buf off n '\000';
+  e.pos <- e.pos + n;
+  off
+
+let patch_u32 e off v =
+  if off < 0 || off + 4 > e.pos then
+    fail "patch_u32: offset %d outside encoded range [0,%d)" off e.pos;
+  if v < 0 || v > 0xffff_ffff then fail "patch_u32: %d out of uint32 range" v;
+  set_u32 e.buf off v
 
 let enc_int e v =
   if v < -0x8000_0000 || v > 0x7fff_ffff then
@@ -40,14 +80,25 @@ let enc_bool e b = enc_raw_u32 e (if b then 1 else 0)
 let enc_double e f = enc_hyper e (Int64.bits_of_float f)
 
 let enc_pad e n =
-  for _ = 1 to padding n do
-    Buffer.add_char e '\000'
-  done
+  let p = padding n in
+  if p > 0 then begin
+    ensure e p;
+    Bytes.fill e.buf e.pos p '\000';
+    e.pos <- e.pos + p
+  end
+
+let add_string e s =
+  let n = String.length s in
+  ensure e n;
+  Bytes.blit_string s 0 e.buf e.pos n;
+  e.pos <- e.pos + n
+
+let enc_raw = add_string
 
 let enc_opaque e s =
   let n = String.length s in
   enc_uint e n;
-  Buffer.add_string e s;
+  add_string e s;
   enc_pad e n
 
 let enc_string = enc_opaque
@@ -55,12 +106,16 @@ let enc_string = enc_opaque
 let enc_fixed_opaque e n s =
   if String.length s <> n then
     fail "enc_fixed_opaque: expected %d bytes, got %d" n (String.length s);
-  Buffer.add_string e s;
+  add_string e s;
   enc_pad e n
 
+(* Single traversal: reserve the count word, encode while counting, then
+   patch the count in place.  The old shape ([List.length] then
+   [List.iter]) walked every list twice on the hot encode path. *)
 let enc_array e enc_elt elts =
-  enc_uint e (List.length elts);
-  List.iter (enc_elt e) elts
+  let off = reserve e 4 in
+  let n = List.fold_left (fun n elt -> enc_elt e elt; n + 1) 0 elts in
+  patch_u32 e off n
 
 let enc_option e enc_elt = function
   | None -> enc_bool e false
@@ -145,7 +200,18 @@ let dec_array d dec_elt =
      count exceeding the remaining bytes is certainly malformed and would
      otherwise allocate an attacker-chosen amount of memory. *)
   if n > remaining d then fail "dec_array: count %d exceeds payload" n;
-  List.init n (fun _ -> dec_elt d)
+  if n = 0 then []
+  else begin
+    (* Pre-size through an array and decode in wire order with plain
+       loops; [List.init n (fun _ -> dec_elt d)] allocated a closure and
+       leaned on an unspecified evaluation order. *)
+    let first = dec_elt d in
+    let arr = Array.make n first in
+    for i = 1 to n - 1 do
+      Array.unsafe_set arr i (dec_elt d)
+    done;
+    Array.to_list arr
+  end
 
 let dec_option d dec_elt = if dec_bool d then Some (dec_elt d) else None
 

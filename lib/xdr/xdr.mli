@@ -4,9 +4,13 @@
     libvirt's use of XDR for every RPC body.  All quantities are big-endian
     and padded to 4-byte boundaries, as the standard requires.
 
-    Encoding writes into a growable buffer; decoding reads from an immutable
-    string with an explicit cursor.  Decoding failures raise {!Error} rather
-    than returning options: a malformed packet aborts the whole message. *)
+    Encoding writes into a growable [Bytes.t] with an explicit position,
+    so the backing storage can be reused ({!reset}) or supplied by the
+    caller ({!encoder_of_bytes}), and fixed-width words written early can
+    be patched in place ({!reserve} / {!patch_u32}).  Decoding reads from
+    an immutable string with an explicit cursor.  Decoding failures raise
+    {!Error} rather than returning options: a malformed packet aborts the
+    whole message. *)
 
 exception Error of string
 (** Raised on malformed input: truncated data, out-of-range values,
@@ -16,14 +20,33 @@ exception Error of string
 
 type encoder
 
-val encoder : unit -> encoder
-(** Fresh encoder with an empty buffer. *)
+val encoder : ?size:int -> unit -> encoder
+(** Fresh encoder with an empty buffer of [size] (default 256) bytes
+    initial capacity. *)
+
+val encoder_of_bytes : Bytes.t -> encoder
+(** Encoder writing into [buf] starting at position 0.  The encoder still
+    grows (replacing its backing storage) if the encoded value outruns
+    [buf]; callers lending pooled buffers should size them for the common
+    case and treat growth as a graceful fallback. *)
 
 val to_string : encoder -> string
-(** Contents encoded so far. *)
+(** Contents encoded so far (one copy). *)
 
 val length : encoder -> int
 (** Number of bytes encoded so far. *)
+
+val reset : encoder -> unit
+(** Rewind to position 0, keeping the backing buffer for reuse. *)
+
+val reserve : encoder -> int -> int
+(** [reserve e n] zero-fills and skips [n] bytes, returning their starting
+    offset for a later {!patch_u32} (or out-of-band fill). *)
+
+val patch_u32 : encoder -> int -> int -> unit
+(** [patch_u32 e off v] overwrites the 4 bytes at [off] with [v] as a
+    big-endian u32.  @raise Error if [off+4] exceeds the encoded length or
+    [v] is out of u32 range. *)
 
 val enc_int : encoder -> int -> unit
 (** Signed 32-bit integer.  @raise Error if out of int32 range. *)
@@ -42,6 +65,10 @@ val enc_bool : encoder -> bool -> unit
 
 val enc_double : encoder -> float -> unit
 (** IEEE-754 double, 8 bytes. *)
+
+val enc_raw : encoder -> string -> unit
+(** Append bytes verbatim — no length word, no padding.  For splicing an
+    already-XDR-encoded body behind a reserved frame prefix. *)
 
 val enc_string : encoder -> string -> unit
 (** Variable-length string: u32 length, bytes, zero padding to 4. *)

@@ -57,6 +57,33 @@ let test_filter_suppresses () =
   Vlog.log t ~module_:"other" Vlog.Info "kept";
   Alcotest.(check int) "one line" 1 (count_lines (Vlog.file_contents t "/log"))
 
+let test_would_log () =
+  (* The cheap pre-flight gate must agree with what [log] actually
+     delivers, across levels, filters and the no-outputs case. *)
+  let t = Vlog.create ~level:Vlog.Warn ~outputs:[ file_out "/log" ] () in
+  Alcotest.(check bool) "below threshold" false
+    (Vlog.would_log t ~module_:"m" Vlog.Debug);
+  Alcotest.(check bool) "at threshold" true
+    (Vlog.would_log t ~module_:"m" Vlog.Warn);
+  Alcotest.(check bool) "above threshold" true
+    (Vlog.would_log t ~module_:"m" Vlog.Error);
+  let filtered =
+    Vlog.create ~level:Vlog.Error
+      ~filters:[ { Vlog.match_string = "rpc"; max_verbosity = Vlog.Debug } ]
+      ~outputs:[ file_out "/log" ] ()
+  in
+  Alcotest.(check bool) "filter raises verbosity" true
+    (Vlog.would_log filtered ~module_:"rpc.server" Vlog.Debug);
+  Alcotest.(check bool) "other modules stay gated" false
+    (Vlog.would_log filtered ~module_:"core" Vlog.Debug);
+  let silent = Vlog.create ~level:Vlog.Debug ~outputs:[] () in
+  Alcotest.(check bool) "no outputs, no work" false
+    (Vlog.would_log silent ~module_:"m" Vlog.Error);
+  (* Redefinition is visible to the gate immediately. *)
+  Vlog.set_level t Vlog.Debug;
+  Alcotest.(check bool) "redefinition applies" true
+    (Vlog.would_log t ~module_:"m" Vlog.Debug)
+
 let test_longest_filter_wins () =
   let t =
     Vlog.create ~level:Vlog.Error
@@ -256,6 +283,7 @@ let () =
       ( "filters",
         [
           quick "filter raises verbosity for one module" test_filter_overrides_level;
+          quick "would_log agrees with log" test_would_log;
           quick "filter suppresses a chatty module" test_filter_suppresses;
           quick "longest match wins" test_longest_filter_wins;
           quick "substring semantics" test_filter_is_substring_match;

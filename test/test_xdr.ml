@@ -88,6 +88,78 @@ let test_hyper_extremes () =
         (Xdr.decode Xdr.dec_hyper (Xdr.encode Xdr.enc_hyper v)))
     [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0xdeadbeefL ]
 
+(* --- explicit-position encoder machinery --------------------------------- *)
+
+let test_reserve_and_patch () =
+  let e = Xdr.encoder () in
+  let off = Xdr.reserve e 8 in
+  Alcotest.(check int) "reserve returns start offset" 0 off;
+  Xdr.enc_uint e 7;
+  Xdr.patch_u32 e off 0xdead;
+  Xdr.patch_u32 e (off + 4) 0xbeef;
+  Alcotest.(check string) "patched words land in place" "0000dead0000beef00000007"
+    (hex (Xdr.to_string e));
+  (match Xdr.patch_u32 e 12 1 with
+   | exception Xdr.Error _ -> ()
+   | _ -> Alcotest.fail "patch past the end accepted");
+  match Xdr.patch_u32 e 0 0x1_0000_0000 with
+  | exception Xdr.Error _ -> ()
+  | _ -> Alcotest.fail "out-of-range patch accepted"
+
+let test_encoder_reuse () =
+  let e = Xdr.encoder ~size:8 () in
+  Xdr.enc_string e "first payload, long enough to grow the buffer";
+  let first = Xdr.to_string e in
+  Xdr.reset e;
+  Xdr.enc_uint e 42;
+  Alcotest.(check int) "reset rewinds" 4 (Xdr.length e);
+  Alcotest.(check string) "reused buffer encodes cleanly" "0000002a"
+    (hex (Xdr.to_string e));
+  Alcotest.(check string) "earlier extraction unaffected" "first payload, long enough to grow the buffer"
+    (Xdr.decode Xdr.dec_string first)
+
+let test_encoder_of_bytes_growth () =
+  (* A lent buffer smaller than the payload: the encoder must grow
+     gracefully rather than overrun. *)
+  let lent = Bytes.create 8 in
+  let e = Xdr.encoder_of_bytes lent in
+  let payload = String.make 100 'x' in
+  Xdr.enc_string e payload;
+  Alcotest.(check string) "grown encoder still roundtrips" payload
+    (Xdr.decode Xdr.dec_string (Xdr.to_string e))
+
+let test_enc_raw_verbatim () =
+  let e = Xdr.encoder () in
+  Xdr.enc_raw e "\x01\x02";
+  Xdr.enc_raw e "";
+  Xdr.enc_raw e "\x03";
+  Alcotest.(check string) "no length words, no padding" "010203"
+    (hex (Xdr.to_string e))
+
+let test_array_single_pass_count () =
+  (* The count word is patched after one traversal; verify it is exact
+     for sizes around the growth boundaries, including empty. *)
+  List.iter
+    (fun n ->
+      let l = List.init n string_of_int in
+      Alcotest.(check int)
+        (Printf.sprintf "count word for %d elements" n)
+        n
+        (Xdr.decode
+           (fun d -> List.length (Xdr.dec_array d Xdr.dec_string))
+           (Xdr.encode (fun e -> Xdr.enc_array e Xdr.enc_string) l)))
+    [ 0; 1; 2; 63; 64; 65; 1000 ]
+
+let test_nested_array_roundtrip () =
+  let v = [ []; [ 1; 2; 3 ]; [ 4 ]; List.init 50 Fun.id ] in
+  Alcotest.(check bool) "array of arrays" true
+    (Xdr.decode
+       (fun d -> Xdr.dec_array d (fun d -> Xdr.dec_array d Xdr.dec_int))
+       (Xdr.encode
+          (fun e -> Xdr.enc_array e (fun e -> Xdr.enc_array e Xdr.enc_int))
+          v)
+     = v)
+
 let prop_int_roundtrip =
   qcheck_case "int32 roundtrip" QCheck.(int_range (-0x8000_0000) 0x7fff_ffff)
     (fun v -> Xdr.decode Xdr.dec_int (Xdr.encode Xdr.enc_int v) = v)
@@ -153,6 +225,15 @@ let () =
           quick "every truncation rejected" test_truncation_rejected;
           quick "trailing garbage rejected" test_trailing_garbage_rejected;
           quick "hostile array count rejected" test_array_count_bound;
+        ] );
+      ( "encoder machinery",
+        [
+          quick "reserve and patch" test_reserve_and_patch;
+          quick "reset reuse" test_encoder_reuse;
+          quick "lent buffer growth" test_encoder_of_bytes_growth;
+          quick "raw append" test_enc_raw_verbatim;
+          quick "single-pass array count" test_array_single_pass_count;
+          quick "nested arrays" test_nested_array_roundtrip;
         ] );
       ( "properties",
         [
