@@ -2071,6 +2071,199 @@ let replycache () =
   Printf.printf "json summary written to BENCH_replycache.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E22: federated control plane — scatter-gather inventory, degraded   *)
+(* operation with a killed shard                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two claims.  Scaling: fleet-wide inventory cost grows sub-linearly
+   in shard count because shards are queried concurrently, each over
+   the v1.3 bulk wire — 16 shards of 1000 domains must answer in far
+   less than 16x one shard's latency.  Degradation: with one of eight
+   members killed mid-run, inventories keep succeeding with an explicit
+   shard_error marker, latency bounded by the per-shard deadline slice
+   (first post-kill query) and then by the probe circuit (Down members
+   are skipped without waiting). *)
+let fleet () =
+  section "E22: federated control plane - scatter-gather inventory vs shards";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let per_shard = if smoke then 50 else 1000 in
+  let shard_counts = if smoke then [ 1; 2; 4 ] else [ 1; 2; 4; 8; 16 ] in
+  let slice_s = 0.5 in
+  (* 20 ms of simulated hypervisor latency per member call: each shard's
+     bulk listing blocks on its node's monitor exchange, as a remote
+     member daemon would — the service time scatter-gather overlaps. *)
+  let member_latency_us = 20_000 in
+  subsection
+    (Printf.sprintf
+       "%d domains per shard, %d us member service time, shard slice %.0f ms\n"
+       per_shard member_latency_us (slice_s *. 1000.));
+  (* One member: its own daemon in front of its own seeded test node.
+     Seed first, then apply the latency — it is per-call. *)
+  let start_shard tag =
+    let dname = fresh "e22d" in
+    let node = fresh "e22n" in
+    let daemon = Daemon.start ~name:dname ~config:quiet_config () in
+    let direct = ok (Connect.open_uri ("test://" ^ node ^ "/")) in
+    for i = 1 to per_shard do
+      ignore (define_domain (List.hd kits) direct (Printf.sprintf "%s-%04d" tag i))
+    done;
+    Connect.close direct;
+    Connect.close
+      (ok
+         (Connect.open_uri
+            (Printf.sprintf "test://%s/?latency_us=%d" node member_latency_us)));
+    (daemon, (tag, Printf.sprintf "test+unix://%s/?daemon=%s" node dname))
+  in
+  let with_fleet n f =
+    let shards = List.init n (fun i -> start_shard (Printf.sprintf "s%d" i)) in
+    let fname = fresh "e22f" in
+    let t =
+      Ovirt.Fleet.create ~name:fname ~members:(List.map snd shards)
+        ~shard_slice_s:slice_s ~probe_interval_s:0.1 ~probe_timeout_s:0.2 ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Ovirt.Fleet.dissolve fname;
+        List.iter (fun (d, _) -> Daemon.stop d) shards)
+      (fun () -> f t (List.map fst shards))
+  in
+  let listing_of t =
+    let ops = Ovirt.Fleet.ops_of t in
+    ok ((Option.get ops.Driver.fleet).Driver.fleet_list_all ())
+  in
+  (* --- inventory latency vs shard count --------------------------- *)
+  let sweep =
+    List.map
+      (fun n ->
+        with_fleet n (fun t _ ->
+            (* Expected rows: the seeded domains plus each test node's
+               default "test" domain. *)
+            let expect = n * (per_shard + 1) in
+            let samples =
+              List.init 5 (fun _ ->
+                  let l, s = time_once (fun () -> listing_of t) in
+                  if List.length l.Driver.fl_records <> expect then
+                    failwith
+                      (Printf.sprintf "E22: %d rows from %d shards, wanted %d"
+                         (List.length l.Driver.fl_records) n expect);
+                  if l.Driver.fl_shard_errors <> [] then
+                    failwith "E22: healthy fleet reported shard errors";
+                  s)
+            in
+            let median =
+              let a = Array.of_list samples in
+              Array.sort compare a;
+              a.(Array.length a / 2)
+            in
+            (n, expect, median *. 1000.)))
+      shard_counts
+  in
+  table
+    [ "shards"; "domains"; "inventory (median of 5)" ]
+    (List.map
+       (fun (n, d, ms) ->
+         [ string_of_int n; string_of_int d; Printf.sprintf "%.2f ms" ms ])
+       sweep);
+  let _, _, t_one = List.hd sweep in
+  let n_max, _, t_max = List.nth sweep (List.length sweep - 1) in
+  let ratio = t_max /. Float.max 0.001 t_one in
+  subsection
+    (Printf.sprintf "%dx the shards (and domains): %.1fx the latency\n" n_max ratio);
+  if ratio >= float_of_int n_max then
+    failwith "E22: inventory latency scaled linearly or worse in shard count";
+  (* --- degraded run: one of eight shards killed mid-run ------------ *)
+  let n_members = if smoke then 4 else 8 in
+  let iters = if smoke then 12 else 40 in
+  let kill_at = iters / 3 in
+  let degraded =
+    with_fleet n_members (fun t daemons ->
+        let full = n_members * (per_shard + 1) in
+        let reduced = full - (per_shard + 1) in
+        let latencies = ref [] in
+        let flagged = ref 0 in
+        for i = 1 to iters do
+          if i = kill_at then Daemon.stop (List.nth daemons (n_members / 2));
+          let l, s = time_once (fun () -> listing_of t) in
+          latencies := (s *. 1000.) :: !latencies;
+          let rows = List.length l.Driver.fl_records in
+          if rows <> full && rows <> reduced then
+            failwith
+              (Printf.sprintf "E22 degraded: %d rows (full %d, reduced %d)" rows
+                 full reduced);
+          let uuids =
+            List.map
+              (fun r -> Vmm.Uuid.to_string r.Driver.rec_ref.Driver.dom_uuid)
+              l.Driver.fl_records
+          in
+          if List.length (List.sort_uniq compare uuids) <> rows then
+            failwith "E22 degraded: double-counted domain";
+          if l.Driver.fl_shard_errors <> [] then incr flagged;
+          if rows = reduced && l.Driver.fl_shard_errors = [] then
+            failwith "E22 degraded: shard missing without a marker"
+        done;
+        let post_kill =
+          let a = Array.of_list (List.filteri (fun i _ -> i < iters - kill_at) !latencies) in
+          Array.sort compare a;
+          a
+        in
+        let p99 = percentile post_kill 99.0 in
+        let bound = slice_s *. 1000. *. 2.0 in
+        if p99 >= bound then
+          failwith
+            (Printf.sprintf "E22 degraded: post-kill p99 %.1f ms >= bound %.1f ms"
+               p99 bound);
+        if !flagged = 0 then failwith "E22 degraded: kill never surfaced";
+        (p99, bound, !flagged))
+  in
+  let p99, bound, flagged = degraded in
+  table
+    [ "members"; "killed"; "inventories"; "degraded-flagged"; "post-kill p99"; "bound" ]
+    [
+      [
+        string_of_int n_members; "1"; string_of_int iters; string_of_int flagged;
+        Printf.sprintf "%.1f ms" p99; Printf.sprintf "%.1f ms" bound;
+      ];
+    ];
+  print_endline
+    "degraded assertions passed: explicit markers, bounded p99, no double counts";
+  let json =
+    Mini_json.Obj
+      [
+        ("experiment", Mini_json.String "E22 federated control plane");
+        ("smoke", Mini_json.Bool smoke);
+        ("domains_per_shard", Mini_json.Int per_shard);
+        ("shard_slice_ms", Mini_json.Float (slice_s *. 1000.));
+        ( "inventory_sweep",
+          Mini_json.List
+            (List.map
+               (fun (n, d, ms) ->
+                 Mini_json.Obj
+                   [
+                     ("shards", Mini_json.Int n);
+                     ("domains", Mini_json.Int d);
+                     ("inventory_ms", Mini_json.Float ms);
+                   ])
+               sweep) );
+        ("latency_ratio_max_vs_one", Mini_json.Float ratio);
+        ( "degraded",
+          Mini_json.Obj
+            [
+              ("members", Mini_json.Int n_members);
+              ("killed", Mini_json.Int 1);
+              ("inventories", Mini_json.Int iters);
+              ("flagged", Mini_json.Int flagged);
+              ("post_kill_p99_ms", Mini_json.Float p99);
+              ("bound_ms", Mini_json.Float bound);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  output_string oc (Mini_json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "json summary written to BENCH_fleet.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2095,6 +2288,7 @@ let experiments =
     ("c10k", c10k);
     ("events", events);
     ("replycache", replycache);
+    ("fleet", fleet);
   ]
 
 let () =

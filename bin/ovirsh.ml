@@ -31,16 +31,21 @@ let one_positional args what =
    multi-calls so far.  Bulk listings drop failed rows from their
    output, so comparing this before and after a listing is how the
    shell notices a partial failure and exits non-zero. *)
+let ops_sub_errors ops =
+  match Ovirt.Remote.conn_stats ops with
+  | Some st -> st.Ovirt.Remote.st_sub_errors
+  | None -> (
+    match Ovirt.Fleet.conn_stats ops with
+    | Some st -> st.Ovirt.Fleet.st_sub_errors
+    | None -> 0)
+
+let conn_sub_errors conn =
+  match Ovirt.Connect.ops conn with
+  | Error _ -> 0
+  | Ok ops -> ops_sub_errors ops
+
 let sub_errors shell =
-  match shell.conn with
-  | None -> 0
-  | Some conn -> (
-    match Ovirt.Connect.ops conn with
-    | Error _ -> 0
-    | Ok ops -> (
-      match Ovirt.Remote.conn_stats ops with
-      | Some st -> st.Ovirt.Remote.st_sub_errors
-      | None -> 0))
+  match shell.conn with None -> 0 | Some conn -> conn_sub_errors conn
 
 (* Run a bulk listing and fail (after printing any partial output the
    caller assembled) when sub-calls inside it failed. *)
@@ -71,6 +76,7 @@ let event_line buf ev =
    the daemon could not replay from the requested position: the tail
    stops and the command fails so scripts notice the gap. *)
 let tail_events conn ~since ~count ~timeout =
+  let errs_before = conn_sub_errors conn in
   let mu = Mutex.create () in
   let events = ref [] in
   (* newest first *)
@@ -138,7 +144,23 @@ let tail_events conn ~since ~count ~timeout =
            s
        | None -> "event stream gap: full resynchronization required")
   end
-  else Ok (Buffer.contents buf)
+  else begin
+    (* Same partial-failure contract as the bulk listings: sub-calls
+       that failed underneath the tail (a degraded shard, a failed
+       multi-call) turn the exit non-zero even though the events that
+       did arrive were printed. *)
+    let failed = conn_sub_errors conn - errs_before in
+    if failed > 0 then begin
+      print_string (Buffer.contents buf);
+      Error
+        (Printf.sprintf
+           "event stream degraded: %d sub-call%s failed while tailing \
+            (partial output above)"
+           failed
+           (if failed = 1 then "" else "s"))
+    end
+    else Ok (Buffer.contents buf)
+  end
 
 let commands shell =
   let connect_cmd =
@@ -185,8 +207,22 @@ let commands shell =
         checked_bulk shell @@ fun () ->
         (* One bulk listing gives refs, state and info in a single
            exchange; remote connections turn this into Proc_dom_list_all
-           (or a pipelined emulation against older daemons). *)
-        let* records = verr (Ovirt.Connect.list_all_domains conn) in
+           (or a pipelined emulation against older daemons).  A fleet
+           connection additionally reports which shards degraded. *)
+        let fleet_view =
+          match Ovirt.Connect.ops conn with
+          | Ok ops -> ops.Ovirt.Driver.fleet
+          | Error _ -> None
+        in
+        let* records, shard_errors =
+          match fleet_view with
+          | Some fv ->
+            let* l = verr (fv.Ovirt.Driver.fleet_list_all ()) in
+            Ok (l.Ovirt.Driver.fl_records, l.Ovirt.Driver.fl_shard_errors)
+          | None ->
+            let* records = verr (Ovirt.Connect.list_all_domains conn) in
+            Ok (records, [])
+        in
         let records =
           if Ovcli.has_switch args "all" then records
           else
@@ -211,6 +247,18 @@ let commands shell =
                  r.Ovirt.Driver.rec_ref.Ovirt.Driver.dom_name
                  (state_name r.Ovirt.Driver.rec_info.Ovirt.Driver.di_state)))
           records;
+        if shard_errors <> [] then begin
+          Buffer.add_string buf
+            (Printf.sprintf "\n%d shard%s degraded:\n"
+               (List.length shard_errors)
+               (if List.length shard_errors = 1 then "" else "s"));
+          List.iter
+            (fun se ->
+              Buffer.add_string buf
+                (Printf.sprintf " %-20s %s\n" se.Ovirt.Driver.se_member
+                   se.Ovirt.Driver.se_error.Ovirt.Verror.message))
+            shard_errors
+        end;
         Ok (Buffer.contents buf));
     simple "define" "Domain management" "<xml-file>" "define a domain from XML"
       (fun args ->
@@ -359,6 +407,48 @@ let commands shell =
                stats.Ovirt.Domain.bytes_transferred
                stats.Ovirt.Domain.downtime_pages)
         | _ -> Error "expected: migrate <domain> <dest-uri>");
+    simple "fleet-migrate" "Domain management" "<domain> <member>"
+      "migrate a domain to another fleet member (journaled two-phase handshake)"
+      (fun args ->
+        match args.Ovcli.positional with
+        | [ name; dest ] -> (
+          let* conn = require_conn shell in
+          match Ovirt.Connect.ops conn with
+          | Ok { Ovirt.Driver.fleet = Some fv; _ } ->
+            let* () = verr (fv.Ovirt.Driver.fleet_migrate ~domain:name ~dest) in
+            Ok (Printf.sprintf "domain %s migrated to member %s" name dest)
+          | Ok _ | Error _ ->
+            Error "fleet-migrate needs a fleet connection (-c fleet://...)")
+        | _ -> Error "expected: fleet-migrate <domain> <member>");
+    simple "fleet-status" "Monitoring" ""
+      "fleet member health as the controller's prober sees it" (fun _ ->
+        let* conn = require_conn shell in
+        match Ovirt.Connect.ops conn with
+        | Ok { Ovirt.Driver.fleet = Some fv; _ } ->
+          let* fs = verr (fv.Ovirt.Driver.fleet_status ()) in
+          let buf = Buffer.create 128 in
+          Buffer.add_string buf
+            (Printf.sprintf "fleet %s: migrations active %d, recovered %d, \
+                             rolled back %d\n"
+               fs.Ovirt.Driver.fs_fleet fs.Ovirt.Driver.fs_migrations_active
+               fs.Ovirt.Driver.fs_migrations_recovered
+               fs.Ovirt.Driver.fs_migrations_rolled_back);
+          Buffer.add_string buf
+            (Printf.sprintf " %-20s %-10s %-8s %-9s %s\n" "Member" "Health"
+               "Probes" "Failures" "Domains");
+          List.iter
+            (fun m ->
+              Buffer.add_string buf
+                (Printf.sprintf " %-20s %-10s %-8d %-9d %s\n"
+                   m.Ovirt.Driver.ms_name
+                   (Ovirt.Driver.member_health_name m.Ovirt.Driver.ms_health)
+                   m.Ovirt.Driver.ms_probes m.Ovirt.Driver.ms_failures
+                   (if m.Ovirt.Driver.ms_domains < 0 then "-"
+                    else string_of_int m.Ovirt.Driver.ms_domains)))
+            fs.Ovirt.Driver.fs_members;
+          Ok (Buffer.contents buf)
+        | Ok _ | Error _ ->
+          Error "fleet-status needs a fleet connection (-c fleet://...)");
     simple "event" "Monitoring" "[--since SEQ] [--count N] [--timeout S]"
       "tail lifecycle events; --since resumes the sequence-numbered stream"
       (fun args ->

@@ -157,6 +157,43 @@ let commands shell =
                Printf.sprintf "%-15s: %s" "enabled"
                  (if rc.Ovirt.Admin_client.rc_enabled then "yes" else "no");
              ]));
+    simple "fleet-status" "Monitoring commands" ""
+      "federated control plane: member health, probes, migration totals"
+      (fun _ ->
+        let* conn = require_conn shell in
+        let* fleets = verr (Ovirt.Admin_client.fleet_status conn) in
+        if fleets = [] then Ok "no fleets hosted by this daemon"
+        else begin
+          let buf = Buffer.create 256 in
+          List.iter
+            (fun fs ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "fleet %s: %d member%s  migrations active: %d  recovered: \
+                    %d  rolled back: %d\n"
+                   fs.Ovirt.Driver.fs_fleet
+                   (List.length fs.Ovirt.Driver.fs_members)
+                   (if List.length fs.Ovirt.Driver.fs_members = 1 then ""
+                    else "s")
+                   fs.Ovirt.Driver.fs_migrations_active
+                   fs.Ovirt.Driver.fs_migrations_recovered
+                   fs.Ovirt.Driver.fs_migrations_rolled_back);
+              Buffer.add_string buf
+                (Printf.sprintf " %-20s %-10s %-8s %-9s %s\n" "Member" "Health"
+                   "Probes" "Failures" "Domains");
+              List.iter
+                (fun m ->
+                  Buffer.add_string buf
+                    (Printf.sprintf " %-20s %-10s %-8d %-9d %s\n"
+                       m.Ovirt.Driver.ms_name
+                       (Ovirt.Driver.member_health_name m.Ovirt.Driver.ms_health)
+                       m.Ovirt.Driver.ms_probes m.Ovirt.Driver.ms_failures
+                       (if m.Ovirt.Driver.ms_domains < 0 then "-"
+                        else string_of_int m.Ovirt.Driver.ms_domains)))
+                fs.Ovirt.Driver.fs_members)
+            fleets;
+          Ok (Buffer.contents buf)
+        end);
     simple "reconcile-status" "Monitoring commands" ""
       "reconciler convergence: declared specs vs actual fleet state"
       (fun _ ->

@@ -55,6 +55,9 @@ let reconcile_status conn =
   call_dec conn Ap.Proc_daemon_reconcile_status ""
     Protocol.Remote_protocol.dec_reconcile_status
 
+let fleet_status conn =
+  call_dec conn Ap.Proc_daemon_fleet_status "" Ap.dec_fleet_statuses
+
 (* ------------------------------------------------------------------ *)
 (* Servers                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -70,6 +70,13 @@ val reply_cache_stats : conn -> (reply_cache_stats, Ovirt_core.Verror.t) result
     zero under a read-heavy load means writes are churning the caches or
     [reply_cache_entries] is too small. *)
 
+val fleet_status :
+  conn -> (Ovirt_core.Driver.fleet_status list, Ovirt_core.Verror.t) result
+(** One status per fleet hosted in the daemon's process (empty if it
+    hosts none): member health as the controller's prober sees it,
+    probe/failure counters, last known domain counts and migration
+    totals. *)
+
 (** {1 Servers} *)
 
 val list_servers : conn -> (string list, Ovirt_core.Verror.t) result

@@ -92,6 +92,53 @@ let storage_ops_of_backend b =
     vol_by_path = Storage_backend.volume_by_path b;
   }
 
+(* Federation (protocol v1.7): a fleet controller aggregates many member
+   daemons behind one connection.  Listings are scatter-gathered with
+   per-shard error isolation, so a reply is annotated with which members
+   could not contribute rather than failing outright. *)
+
+type shard_error = {
+  se_member : string;
+  se_error : Verror.t;
+}
+
+type fleet_listing = {
+  fl_records : domain_record list;
+  fl_shard_errors : shard_error list;
+  fl_members : int;
+}
+
+type member_health = Mh_up | Mh_degraded | Mh_down
+
+let member_health_name = function
+  | Mh_up -> "up"
+  | Mh_degraded -> "degraded"
+  | Mh_down -> "down"
+
+type member_status = {
+  ms_name : string;
+  ms_health : member_health;
+  ms_consec_failures : int;
+  ms_probes : int;
+  ms_failures : int;
+  ms_domains : int;
+}
+
+type fleet_status = {
+  fs_fleet : string;
+  fs_members : member_status list;
+  fs_migrations_active : int;
+  fs_migrations_recovered : int;
+  fs_migrations_rolled_back : int;
+}
+
+type fleet_view = {
+  fleet_list_all : unit -> (fleet_listing, Verror.t) result;
+  fleet_status : unit -> (fleet_status, Verror.t) result;
+  fleet_migrate : domain:string -> dest:string -> (unit, Verror.t) result;
+  fleet_owner : string -> (string, Verror.t) result;
+}
+
 type ops = {
   drv_name : string;
   close : unit -> unit;
@@ -125,6 +172,7 @@ type ops = {
   guest_agent_exec : (string -> string -> (string, Verror.t) result) option;
   net : net_ops option;
   storage : storage_ops option;
+  fleet : fleet_view option;
   events : Events.bus;
   generation : (unit -> int) option;
 }
@@ -138,8 +186,8 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     ?dom_get_info ?dom_get_xml ?dom_set_memory ?dom_save ?dom_restore
     ?dom_has_managed_save ?dom_set_autostart ?dom_get_autostart ?dom_set_policy
     ?dom_get_policy ?dom_list_all ?migrate_begin ?migrate_prepare
-    ?guest_agent_install ?guest_agent_exec ?net ?storage ?events ?generation ()
-    =
+    ?guest_agent_install ?guest_agent_exec ?net ?storage ?fleet ?events
+    ?generation () =
   let missing op _ = unsupported ~drv:drv_name ~op in
   let missing0 op () = unsupported ~drv:drv_name ~op in
   {
@@ -178,9 +226,21 @@ let make_ops ~drv_name ~get_capabilities ~get_hostname ?(close = fun () -> ())
     guest_agent_exec;
     net;
     storage;
+    fleet;
     events = (match events with Some bus -> bus | None -> Events.create_bus ());
     generation;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Fleet status hook                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by the fleet subsystem (which depends on this library, not the
+   other way round) so the admin service can report every in-process
+   fleet without a dependency cycle. *)
+let fleet_status_hook : (unit -> fleet_status list) ref = ref (fun () -> [])
+let set_fleet_status_hook f = fleet_status_hook := f
+let fleet_statuses () = !fleet_status_hook ()
 
 (* ------------------------------------------------------------------ *)
 (* Bulk listing                                                        *)

@@ -91,6 +91,64 @@ type storage_ops = {
 val net_ops_of_backend : Net_backend.t -> net_ops
 val storage_ops_of_backend : Storage_backend.t -> storage_ops
 
+(** {1 Federation (protocol v1.7)}
+
+    A fleet controller aggregates many member daemons behind a single
+    connection.  Listings are scatter-gathered with per-shard error
+    isolation: a dead member degrades the reply instead of failing it,
+    and the reply says exactly which members could not contribute. *)
+
+type shard_error = {
+  se_member : string;  (** member (shard) name *)
+  se_error : Verror.t;  (** why it could not contribute *)
+}
+
+type fleet_listing = {
+  fl_records : domain_record list;  (** rows from reachable members *)
+  fl_shard_errors : shard_error list;
+      (** one marker per member that failed or timed out; empty means the
+          listing is complete and fresh *)
+  fl_members : int;  (** members queried ([1] for a plain daemon) *)
+}
+
+(** Member health as seen by the controller's prober: [Mh_degraded] means
+    recent failures (or a recovering member) — still queried, but
+    suspect; [Mh_down] members are skipped by the data path and probed
+    with backoff. *)
+type member_health = Mh_up | Mh_degraded | Mh_down
+
+val member_health_name : member_health -> string
+
+type member_status = {
+  ms_name : string;
+  ms_health : member_health;
+  ms_consec_failures : int;
+  ms_probes : int;  (** probes attempted since the member joined *)
+  ms_failures : int;  (** probe + data-path failures, lifetime *)
+  ms_domains : int;  (** last known domain count; [-1] = never listed *)
+}
+
+type fleet_status = {
+  fs_fleet : string;  (** fleet (controller) name *)
+  fs_members : member_status list;
+  fs_migrations_active : int;
+  fs_migrations_recovered : int;  (** journal replays rolled forward *)
+  fs_migrations_rolled_back : int;  (** aborted back to a running source *)
+}
+
+(** The controller surface a fleet connection exposes on top of the
+    ordinary {!ops} operations (which it serves by scatter-gather or
+    placement-routed forwarding). *)
+type fleet_view = {
+  fleet_list_all : unit -> (fleet_listing, Verror.t) result;
+  fleet_status : unit -> (fleet_status, Verror.t) result;
+  fleet_migrate : domain:string -> dest:string -> (unit, Verror.t) result;
+      (** journaled two-phase cross-daemon migration; [dest] is a member
+          name *)
+  fleet_owner : string -> (string, Verror.t) result;
+      (** member name owning a domain (placement + learned locations) *)
+}
+
 type ops = {
   drv_name : string;
   close : unit -> unit;
@@ -137,6 +195,10 @@ type ops = {
       (** [exec domain json_line] over the guest-agent channel *)
   net : net_ops option;
   storage : storage_ops option;
+  fleet : fleet_view option;
+      (** present only on fleet-controller connections: the federation
+          surface (scatter-gather listing with shard errors, member
+          health, cross-daemon migration) *)
   events : Events.bus;
   generation : (unit -> int) option;
       (** monotonic write stamp over the connection's whole visible
@@ -181,6 +243,7 @@ val make_ops :
   ?guest_agent_exec:(string -> string -> (string, Verror.t) result) ->
   ?net:net_ops ->
   ?storage:storage_ops ->
+  ?fleet:fleet_view ->
   ?events:Events.bus ->
   ?generation:(unit -> int) ->
   unit ->
@@ -212,3 +275,14 @@ val clear_registry : unit -> unit
 
 val open_uri : Vuri.t -> (ops, Verror.t) result
 (** First accepting probe wins; [No_connect] if none accepts. *)
+
+(** {1 Fleet status hook} *)
+
+val set_fleet_status_hook : (unit -> fleet_status list) -> unit
+(** Installed by the fleet subsystem (which depends on this library) so
+    the admin service can enumerate in-process fleets without a
+    dependency cycle. *)
+
+val fleet_statuses : unit -> fleet_status list
+(** Status of every live in-process fleet; empty when the fleet
+    subsystem is absent or no fleet exists. *)

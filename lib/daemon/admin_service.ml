@@ -249,6 +249,10 @@ let handle view _srv _client header body =
            Tp.uint Ap.reply_cache_bytes t.Remote_service.rct_bytes;
            Tp.uint Ap.reply_cache_enabled (if t.Remote_service.rct_enabled then 1 else 0);
          ])
+  | Ap.Proc_daemon_fleet_status ->
+    (* Every fleet hosted in this process, via the hook the fleet layer
+       installs — the daemon library never links against it. *)
+    Ok (Ap.enc_fleet_statuses (Ovirt_core.Driver.fleet_statuses ()))
 
 let program view =
   Dispatch.

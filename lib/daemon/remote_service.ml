@@ -412,12 +412,114 @@ let dispatch_conn (cs : conn_state) proc body =
     let* b = storage_backend cs in
     let* info = b.Driver.vol_by_path (Rp.dec_string_body body) in
     Ok (Rp.enc_vol_info info)
+  | Rp.Proc_fleet_list_all ->
+    let () = Rp.dec_unit_body body in
+    (match ops.Driver.fleet with
+     | Some fv ->
+       let* listing = fv.Driver.fleet_list_all () in
+       Ok (Rp.enc_fleet_listing listing)
+     | None ->
+       (* A plain daemon is a fleet of one: its own rows, complete.  This
+          lets a v1.7 client use the annotated listing unconditionally. *)
+       let* records = Driver.list_all ops in
+       Ok
+         (Rp.enc_fleet_listing
+            Driver.{ fl_records = records; fl_shard_errors = []; fl_members = 1 }))
+  | Rp.Proc_fleet_status ->
+    let () = Rp.dec_unit_body body in
+    (match ops.Driver.fleet with
+     | Some fv ->
+       let* status = fv.Driver.fleet_status () in
+       Ok (Rp.enc_fleet_status status)
+     | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"fleet status")
+  | Rp.Proc_fleet_migrate ->
+    let domain, dest = Rp.dec_fleet_migrate body in
+    (match ops.Driver.fleet with
+     | Some fv ->
+       let* () = fv.Driver.fleet_migrate ~domain ~dest in
+       Ok Rp.enc_unit_body
+     | None -> Driver.unsupported ~drv:ops.Driver.drv_name ~op:"fleet migration")
 
 (* The reconciler's application path: a plan op arrives here already
    encoded as a (procedure, body) sub-call and dispatches against bare
    [ops] exactly as it would inside a [Proc_call_batch] frame. *)
 let dispatch_ops ops proc body =
   dispatch_conn { ops; uri = ""; cache_ok = false; event_sub = None } proc body
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard batch isolation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Which domain a mutating sub-call targets, for placement.  [`Read]
+   sub-calls carry no isolation constraint; [`Opaque] ones mutate but
+   cannot be placed by name (a [define_xml] creates the domain, so its
+   owner is only decided by placement inside the fleet layer). *)
+let batch_target proc body =
+  match proc with
+  | Rp.Proc_undefine | Rp.Proc_dom_create | Rp.Proc_dom_suspend
+  | Rp.Proc_dom_resume | Rp.Proc_dom_shutdown | Rp.Proc_dom_destroy
+  | Rp.Proc_dom_save | Rp.Proc_dom_restore -> (
+    match Rp.dec_string_body body with
+    | name -> `Domain name
+    | exception _ -> `Opaque)
+  | Rp.Proc_dom_set_memory -> (
+    match Rp.dec_name_and_kib body with
+    | name, _ -> `Domain name
+    | exception _ -> `Opaque)
+  | Rp.Proc_dom_set_autostart -> (
+    match Rp.dec_name_and_bool body with
+    | name, _ -> `Domain name
+    | exception _ -> `Opaque)
+  | Rp.Proc_dom_set_policy -> (
+    match Rp.dec_set_policy body with
+    | name, _ -> `Domain name
+    | exception _ -> `Opaque)
+  | Rp.Proc_define_xml | Rp.Proc_fleet_migrate -> `Opaque
+  | _ -> `Read
+
+(* A fleet connection refuses batches whose mutating sub-calls span more
+   than one member: sub-calls execute with per-sub error isolation, so a
+   multi-shard batch could half-apply across shards with no rollback.
+   Whole-batch refusal keeps the invariant "one batch, one shard, one
+   failure domain". *)
+let batch_isolation st client subs =
+  match
+    with_lock st (fun () -> Hashtbl.find_opt st.conns (Client_obj.id client))
+  with
+  | None -> Ok ()
+  | Some cs -> (
+    match cs.ops.Driver.fleet with
+    | None -> Ok ()
+    | Some fv ->
+      let rec owners acc i = function
+        | [] -> Ok acc
+        | (proc_num, sub_body) :: rest -> (
+          match Rp.proc_of_int proc_num with
+          | Error _ -> owners acc (i + 1) rest
+          | Ok sub_proc -> (
+            match batch_target sub_proc sub_body with
+            | `Read -> owners acc (i + 1) rest
+            | `Opaque ->
+              Verror.error Verror.Operation_invalid
+                "cross-shard batch refused: sub-call %d (procedure %d) cannot \
+                 be placed on a single member"
+                i proc_num
+            | `Domain name -> (
+              match fv.Driver.fleet_owner name with
+              | Error err ->
+                Verror.error Verror.Operation_invalid
+                  "cross-shard batch refused: cannot place domain %S: %s" name
+                  err.Verror.message
+              | Ok owner ->
+                if List.mem owner acc then owners acc (i + 1) rest
+                else owners (owner :: acc) (i + 1) rest)))
+      in
+      let* distinct = owners [] 0 subs in
+      if List.length distinct > 1 then
+        Verror.error Verror.Operation_invalid
+          "cross-shard batch refused: mutating sub-calls span members %s"
+          (String.concat ", " (List.rev distinct))
+      else Ok ())
 
 (* Conn-scoped serving tail with the reply cache in front of the
    handler.  The generation is snapshotted {e before} the handler runs:
@@ -478,6 +580,8 @@ let rec handle_proc st ~minor ~in_batch client proc body =
          pool) with per-sub-call error isolation mirroring the
          dispatcher's: one failing sub-call yields one error sub-reply
          and its siblings proceed. *)
+      let subs = Rp.dec_batch_call body in
+      let* () = batch_isolation st client subs in
       let replies =
         List.map
           (fun (proc_num, sub_body) ->
@@ -497,7 +601,7 @@ let rec handle_proc st ~minor ~in_batch client proc body =
             match result with
             | Ok reply -> (true, reply)
             | Error err -> (false, Rp.enc_error err))
-          (Rp.dec_batch_call body)
+          subs
       in
       Ok (Rp.enc_batch_reply replies)
   | Rp.Proc_call_deadline ->

@@ -931,16 +931,37 @@ let list_all_emulated conn =
   in
   Ok (assemble refs replies [])
 
-let dom_list_all conn () =
+(* v1.7 bulk listing: the annotated variant.  A plain daemon answers
+   with its own rows and no shard errors; a fleet controller may return
+   a degraded listing whose shard errors are folded into the
+   connection's sub-error counter, so the CLI's partial-failure exit
+   code covers fleet-wide listings for free. *)
+let fleet_list_all conn () =
   let fills = begin_list_fills conn in
-  let* records =
-    if negotiated_minor conn >= 3 then
-      call_dec conn Rp.Proc_dom_list_all Rp.enc_unit_body
-        Rp.dec_domain_record_list
-    else list_all_emulated conn
+  let* listing =
+    call_dec conn Rp.Proc_fleet_list_all Rp.enc_unit_body Rp.dec_fleet_listing
   in
-  install_records conn fills records;
-  Ok records
+  let errs = List.length listing.Driver.fl_shard_errors in
+  if errs > 0 then
+    with_stats (fun () ->
+        conn.rc_stats.cn_sub_errors <- conn.rc_stats.cn_sub_errors + errs);
+  install_records conn fills listing.Driver.fl_records;
+  Ok listing
+
+let dom_list_all conn () =
+  if negotiated_minor conn >= 7 then
+    let* listing = fleet_list_all conn () in
+    Ok listing.Driver.fl_records
+  else
+    let fills = begin_list_fills conn in
+    let* records =
+      if negotiated_minor conn >= 3 then
+        call_dec conn Rp.Proc_dom_list_all Rp.enc_unit_body
+          Rp.dec_domain_record_list
+      else list_all_emulated conn
+    in
+    install_records conn fills records;
+    Ok records
 
 (* ------------------------------------------------------------------ *)
 (* Connection establishment                                            *)
@@ -1222,6 +1243,25 @@ let remote_storage_ops conn =
           else vol_by_path_emulated conn path);
     }
 
+(* The federation view over the wire (daemon serves these at minor ≥ 7).
+   Owner lookup stays controller-side: placement is the controller's
+   secret, and nothing client-side needs it. *)
+let remote_fleet_view conn =
+  Driver.
+    {
+      fleet_list_all = (fun () -> fleet_list_all conn ());
+      fleet_status =
+        (fun () ->
+          call_dec conn Rp.Proc_fleet_status Rp.enc_unit_body
+            Rp.dec_fleet_status);
+      fleet_migrate =
+        (fun ~domain ~dest ->
+          call_unit conn Rp.Proc_fleet_migrate
+            (Rp.enc_fleet_migrate ~domain ~dest));
+      fleet_owner =
+        (fun _ -> Driver.unsupported ~drv:"remote" ~op:"fleet owner lookup");
+    }
+
 let make_ops uri conn =
   let name_call proc name = call_unit conn proc (Rp.enc_string_body name) in
   (* Lifecycle mutations are also invalidated by the pushed event, but
@@ -1278,6 +1318,9 @@ let make_ops uri conn =
         Rp.dec_policy)
     ~dom_list_all:(dom_list_all conn)
     ~net:(remote_net_ops conn) ~storage:(remote_storage_ops conn)
+    ?fleet:
+      (if negotiated_minor conn >= 7 then Some (remote_fleet_view conn)
+       else None)
     ~events:conn.events ()
   |> fun ops -> { ops with Driver.drv_name = "remote(" ^ uri.Vuri.scheme ^ ")" }
 

@@ -19,6 +19,9 @@ let initialize () =
         Drivers.Drv_qemu.register ();
         Drivers.Drv_xen.register ();
         Drivers.Drv_lxc.register ();
+        (* Before the remote tunnel: fleet:// without a transport is
+           in-process; fleet+unix:// still falls through to remote. *)
+        Ovirt_fleet.Fleet.register ();
         Drv_remote.register ();
         initialized := true
       end)
@@ -79,3 +82,4 @@ module Logging = Vlog
 module Dompolicy = Ovirt_core.Dompolicy
 module Reconcile = Reconcile
 module Remote = Drv_remote
+module Fleet = Ovirt_fleet.Fleet

@@ -23,6 +23,7 @@ type procedure =
   | Proc_daemon_reconcile_status
   | Proc_daemon_event_stats
   | Proc_daemon_reply_cache_stats
+  | Proc_daemon_fleet_status
 
 let all_procedures =
   [
@@ -42,6 +43,8 @@ let all_procedures =
     Proc_daemon_event_stats;
     (* v1.5 additions *)
     Proc_daemon_reply_cache_stats;
+    (* v1.6 additions *)
+    Proc_daemon_fleet_status;
   ]
 
 let proc_to_int proc =
@@ -168,3 +171,18 @@ let enc_uint_body n = Xdr.encode Xdr.enc_uint n
 let dec_uint_body body = Xdr.decode Xdr.dec_uint body
 let enc_hyper_body n = Xdr.encode Xdr.enc_hyper n
 let dec_hyper_body body = Xdr.decode Xdr.dec_hyper body
+
+(* v1.6: every fleet hosted by the daemon's process, each status encoded
+   with the remote program's codec (one wire format for fleet health). *)
+let enc_fleet_statuses l =
+  Xdr.encode
+    (fun e ->
+      Xdr.enc_array e (fun e s ->
+          Xdr.enc_string e (Remote_protocol.enc_fleet_status s)))
+    l
+
+let dec_fleet_statuses body =
+  Xdr.decode
+    (fun d ->
+      Xdr.dec_array d (fun d -> Remote_protocol.dec_fleet_status (Xdr.dec_string d)))
+    body

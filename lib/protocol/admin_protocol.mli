@@ -45,6 +45,11 @@ type procedure =
           reply-cache counters across every per-node-URI cache (hits,
           misses, insertions, invalidations, evictions, patched-serial
           sends, live entries/bytes, enabled flag) *)
+  | Proc_daemon_fleet_status
+      (** appended in v1.6 — ret: one
+          {!Ovirt_core.Driver.fleet_status} per fleet hosted in the
+          daemon's process (empty array if it hosts none): member
+          health, probe/failure counters, migration totals *)
 
 val proc_to_int : procedure -> int
 val proc_of_int : int -> (procedure, string) result
@@ -136,3 +141,9 @@ val dec_uint_body : string -> int
 
 val enc_hyper_body : int64 -> string
 val dec_hyper_body : string -> int64
+
+val enc_fleet_statuses : Ovirt_core.Driver.fleet_status list -> string
+val dec_fleet_statuses : string -> Ovirt_core.Driver.fleet_status list
+(** v1.6: array of per-fleet statuses, each body encoded with
+    {!Remote_protocol.enc_fleet_status} (one wire format for fleet
+    health across both programs). *)

@@ -7,7 +7,7 @@ let version = 1
    never changes (append-only numbering keeps every frame compatible);
    the minor only gates which procedures a daemon is willing to serve
    and is negotiated per connection via [Proc_proto_minor]. *)
-let minor = 6
+let minor = 7
 
 type procedure =
   | Proc_open
@@ -64,6 +64,9 @@ type procedure =
   | Proc_daemon_reconcile_status
   | Proc_event_resume
   | Proc_event_lifecycle_seq
+  | Proc_fleet_list_all
+  | Proc_fleet_status
+  | Proc_fleet_migrate
 
 (* Append-only: the list position IS the wire number (1-based). *)
 let all_procedures =
@@ -90,6 +93,8 @@ let all_procedures =
     Proc_dom_set_policy; Proc_dom_get_policy; Proc_daemon_reconcile_status;
     (* v1.6 additions: resumable sequence-numbered event streams *)
     Proc_event_resume; Proc_event_lifecycle_seq;
+    (* v1.7 additions: federation *)
+    Proc_fleet_list_all; Proc_fleet_status; Proc_fleet_migrate;
   ]
 
 (* Number↔procedure mapping is on the per-packet hot path: precomputed
@@ -119,6 +124,7 @@ let proc_min_minor = function
   | Proc_call_deadline -> 4
   | Proc_dom_set_policy | Proc_dom_get_policy | Proc_daemon_reconcile_status -> 5
   | Proc_event_resume | Proc_event_lifecycle_seq -> 6
+  | Proc_fleet_list_all | Proc_fleet_status | Proc_fleet_migrate -> 7
   | _ -> 0
 
 let is_high_priority = function
@@ -129,7 +135,9 @@ let is_high_priority = function
   | Proc_dom_has_managed_save | Proc_dom_get_autostart | Proc_proto_minor
   | Proc_dom_list_all | Proc_dom_get_policy | Proc_daemon_reconcile_status
   (* part of the reconnect handshake, like event_register *)
-  | Proc_event_resume ->
+  | Proc_event_resume
+  (* answered from controller-local health state, never touches a member *)
+  | Proc_fleet_status ->
     true
   | Proc_define_xml | Proc_undefine | Proc_dom_create | Proc_dom_suspend
   | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy | Proc_dom_set_memory
@@ -142,7 +150,10 @@ let is_high_priority = function
   (* batch sub-calls may be arbitrary, vol_lookup walks pools; a
      deadline envelope's priority follows its inner call, resolved by
      the dispatcher after peeking into the body *)
-  | Proc_call_batch | Proc_vol_lookup | Proc_call_deadline ->
+  | Proc_call_batch | Proc_vol_lookup | Proc_call_deadline
+  (* a fleet listing scatters to member daemons, a fleet migration
+     drives two of them through a multi-step handshake *)
+  | Proc_fleet_list_all | Proc_fleet_migrate ->
     false
 
 (* Idempotent = safe to re-issue after a connection death when the client
@@ -157,7 +168,7 @@ let is_idempotent = function
   | Proc_dom_get_autostart | Proc_net_list | Proc_net_lookup | Proc_pool_list
   | Proc_pool_lookup | Proc_vol_list | Proc_echo | Proc_ping | Proc_proto_minor
   | Proc_dom_list_all | Proc_vol_lookup | Proc_dom_get_policy
-  | Proc_daemon_reconcile_status ->
+  | Proc_daemon_reconcile_status | Proc_fleet_list_all | Proc_fleet_status ->
     true
   | Proc_open | Proc_close | Proc_define_xml | Proc_undefine | Proc_dom_create
   | Proc_dom_suspend | Proc_dom_resume | Proc_dom_shutdown | Proc_dom_destroy
@@ -174,7 +185,9 @@ let is_idempotent = function
   (* a batch is as idempotent as its least idempotent sub-call, a
      deadline envelope exactly as idempotent as its inner call; the
      client computes both per call and overrides retry eligibility *)
-  | Proc_call_batch | Proc_call_deadline ->
+  | Proc_call_batch | Proc_call_deadline
+  (* a lost fleet_migrate may have passed its commit point *)
+  | Proc_fleet_migrate ->
     false
 
 (* ------------------------------------------------------------------ *)
@@ -715,4 +728,117 @@ let dec_resume_reply body =
       let rr_oldest = Int64.to_int (Xdr.dec_hyper d) in
       let rr_events = Xdr.dec_array d dec_seq_event_from in
       { rr_gap; rr_head; rr_oldest; rr_events })
+    body
+
+(* ---- v1.7: federation ---- *)
+
+(* A fleet listing is a bulk listing plus the degradation markers: rows
+   from the members that answered, one (member, error) pair per member
+   that could not contribute, and the member count so a client can state
+   completeness ("47 rows from 7/8 shards"). *)
+let enc_fleet_listing (l : Driver.fleet_listing) =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_array e enc_domain_record_into l.Driver.fl_records;
+      Xdr.enc_array e
+        (fun e (se : Driver.shard_error) ->
+          Xdr.enc_string e se.Driver.se_member;
+          enc_error_into e se.Driver.se_error)
+        l.Driver.fl_shard_errors;
+      Xdr.enc_uint e l.Driver.fl_members)
+    ()
+
+let dec_fleet_listing body =
+  Xdr.decode
+    (fun d ->
+      let fl_records = Xdr.dec_array d dec_domain_record_from in
+      let fl_shard_errors =
+        Xdr.dec_array d (fun d ->
+            let se_member = Xdr.dec_string d in
+            let code = Verror.code_of_int (Xdr.dec_int d) in
+            let message = Xdr.dec_string d in
+            Driver.{ se_member; se_error = Verror.make code message })
+      in
+      let fl_members = Xdr.dec_uint d in
+      Driver.{ fl_records; fl_shard_errors; fl_members })
+    body
+
+let member_health_to_int = function
+  | Driver.Mh_up -> 0
+  | Driver.Mh_degraded -> 1
+  | Driver.Mh_down -> 2
+
+let member_health_of_int = function
+  | 0 -> Driver.Mh_up
+  | 1 -> Driver.Mh_degraded
+  | 2 -> Driver.Mh_down
+  | n -> raise (Xdr.Error (Printf.sprintf "unknown member health %d" n))
+
+(* Domain counts travel as ints, not uints: [-1] = never listed. *)
+let enc_fleet_status (s : Driver.fleet_status) =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e s.Driver.fs_fleet;
+      Xdr.enc_array e
+        (fun e (m : Driver.member_status) ->
+          Xdr.enc_string e m.Driver.ms_name;
+          Xdr.enc_uint e (member_health_to_int m.Driver.ms_health);
+          Xdr.enc_uint e m.Driver.ms_consec_failures;
+          Xdr.enc_uint e m.Driver.ms_probes;
+          Xdr.enc_uint e m.Driver.ms_failures;
+          Xdr.enc_int e m.Driver.ms_domains)
+        s.Driver.fs_members;
+      Xdr.enc_uint e s.Driver.fs_migrations_active;
+      Xdr.enc_uint e s.Driver.fs_migrations_recovered;
+      Xdr.enc_uint e s.Driver.fs_migrations_rolled_back)
+    ()
+
+let dec_fleet_status body =
+  Xdr.decode
+    (fun d ->
+      let fs_fleet = Xdr.dec_string d in
+      let fs_members =
+        Xdr.dec_array d (fun d ->
+            let ms_name = Xdr.dec_string d in
+            let ms_health = member_health_of_int (Xdr.dec_uint d) in
+            let ms_consec_failures = Xdr.dec_uint d in
+            let ms_probes = Xdr.dec_uint d in
+            let ms_failures = Xdr.dec_uint d in
+            let ms_domains = Xdr.dec_int d in
+            Driver.
+              {
+                ms_name;
+                ms_health;
+                ms_consec_failures;
+                ms_probes;
+                ms_failures;
+                ms_domains;
+              })
+      in
+      let fs_migrations_active = Xdr.dec_uint d in
+      let fs_migrations_recovered = Xdr.dec_uint d in
+      let fs_migrations_rolled_back = Xdr.dec_uint d in
+      Driver.
+        {
+          fs_fleet;
+          fs_members;
+          fs_migrations_active;
+          fs_migrations_recovered;
+          fs_migrations_rolled_back;
+        })
+    body
+
+let enc_fleet_migrate ~domain ~dest =
+  Xdr.encode
+    (fun e () ->
+      Xdr.enc_string e domain;
+      Xdr.enc_string e dest)
+    ()
+
+let dec_fleet_migrate body =
+  Xdr.decode
+    (fun d ->
+      let domain = Xdr.dec_string d in
+      let dest = Xdr.dec_string d in
+      (domain, dest))
     body

@@ -81,6 +81,18 @@ type procedure =
           gap when the daemon's ring has wrapped past it. *)
   | Proc_event_lifecycle_seq
       (** server → client event tagged with its stream position *)
+  | Proc_fleet_list_all
+      (** appended in v1.7: ret: {!Ovirt_core.Driver.fleet_listing} — a
+          bulk listing annotated with per-shard errors.  A plain daemon
+          answers with its own rows and [fl_members = 1]; a fleet
+          controller scatter-gathers its members. *)
+  | Proc_fleet_status
+      (** ret: {!Ovirt_core.Driver.fleet_status} — member health as seen
+          by the controller's prober.  [Operation_unsupported] on a
+          non-fleet connection. *)
+  | Proc_fleet_migrate
+      (** args: (domain, destination member); ret: none — journaled
+          two-phase cross-daemon migration through the controller *)
 
 val enc_bool_body : bool -> string
 val dec_bool_body : string -> bool
@@ -224,3 +236,17 @@ val dec_resume_reply : string -> resume_reply
 val enc_seq_event : Ovirt_core.Events.event -> string
 val dec_seq_event : string -> Ovirt_core.Events.event
 (** Body of a [Proc_event_lifecycle_seq] push: (seq, domain, lifecycle). *)
+
+(** {1 v1.7: federation} *)
+
+val enc_fleet_listing : Ovirt_core.Driver.fleet_listing -> string
+val dec_fleet_listing : string -> Ovirt_core.Driver.fleet_listing
+(** Bulk listing + per-shard degradation markers + member count. *)
+
+val enc_fleet_status : Ovirt_core.Driver.fleet_status -> string
+val dec_fleet_status : string -> Ovirt_core.Driver.fleet_status
+(** Member health rows; domain counts travel as signed ints ([-1] =
+    never listed). *)
+
+val enc_fleet_migrate : domain:string -> dest:string -> string
+val dec_fleet_migrate : string -> string * string

@@ -39,7 +39,7 @@ let remote_uri ?(transport = "unix") ?(params = "") ~daemon node =
 (* --- protocol surface ----------------------------------------------------- *)
 
 let test_v13_numbers_stable () =
-  Alcotest.(check int) "build minor" 6 Rp.minor;
+  Alcotest.(check int) "build minor" 7 Rp.minor;
   Alcotest.(check int) "proto_minor is 45" 45 (Rp.proc_to_int Rp.Proc_proto_minor);
   Alcotest.(check int) "dom_list_all is 46" 46 (Rp.proc_to_int Rp.Proc_dom_list_all);
   Alcotest.(check int) "call_batch is 47" 47 (Rp.proc_to_int Rp.Proc_call_batch);

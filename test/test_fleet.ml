@@ -1,0 +1,796 @@
+(* Federated control plane: v1.7 wire numbering and codecs, consistent-
+   hash placement, the member health state machine and the single shared
+   prober, degraded scatter-gather under member death (chaos), cross-
+   shard batch refusal, journaled cross-daemon migration end-to-end and
+   a crash-point sweep across every journaled boundary, the admin
+   fleet-status procedure, and (gated by OVIRT_FLEET_SUITE=1) a
+   full-surface pass over a 3-member in-process fleet. *)
+
+open Testutil
+module Verror = Ovirt.Verror
+module Connect = Ovirt.Connect
+module Domain = Ovirt.Domain
+module Driver = Ovirt.Driver
+module Events = Ovirt.Events
+module Daemon = Ovirt.Daemon
+module Daemon_config = Ovirt.Daemon_config
+module Fleet = Ovirt.Fleet
+module Admin = Ovirt.Admin_client
+module Transport = Ovnet.Transport
+module Rp = Protocol.Remote_protocol
+module Ap = Protocol.Admin_protocol
+module Vm_config = Vmm.Vm_config
+
+let () = Ovirt.initialize ()
+
+let quiet_config =
+  {
+    Daemon_config.default with
+    Daemon_config.log_outputs =
+      [ { Vlog.min_priority = Vlog.Debug; sink = Vlog.Null } ];
+  }
+
+let dom_xml ?uuid name =
+  Vmm.Domxml.to_xml ~virt_type:"test"
+    (Vm_config.make ?uuid ~memory_kib:(8 * 1024) name)
+
+(* A fleet member: its own daemon in front of its own test-driver node. *)
+type memberd = {
+  md_member : string;  (** name inside the fleet *)
+  md_daemon : string;  (** daemon (socket) name *)
+  md_uri : string;
+  mutable md_handle : Ovdaemon.Daemon.t option;
+}
+
+let start_member tag =
+  let dname = fresh_name ("fld-" ^ tag) in
+  let node = fresh_name ("fln-" ^ tag) in
+  let handle = Daemon.start ~name:dname ~config:quiet_config () in
+  {
+    md_member = tag;
+    md_daemon = dname;
+    md_uri = Printf.sprintf "test+unix://%s/?daemon=%s" node dname;
+    md_handle = Some handle;
+  }
+
+let kill_member m =
+  match m.md_handle with
+  | Some h ->
+    Daemon.stop h;
+    m.md_handle <- None
+  | None -> ()
+
+let with_members tags f =
+  let members = List.map start_member tags in
+  Fun.protect
+    ~finally:(fun () -> List.iter kill_member members)
+    (fun () -> f members)
+
+let fleet_of ?(slice = 1.0) members =
+  Fleet.create
+    ~name:(fresh_name "fleet")
+    ~members:(List.map (fun m -> (m.md_member, m.md_uri)) members)
+    ~shard_slice_s:slice ~probe_interval_s:0.05 ~probe_timeout_s:0.2
+    ~down_threshold:3 ()
+
+(* Open a member's node directly (through its daemon): seeding and
+   inspecting shard-local state without the fleet in the way. *)
+let member_conn m = vok (Connect.open_uri m.md_uri)
+
+let seed_domain conn ?uuid ?(running = true) name =
+  let dom = vok (Domain.define_xml conn (dom_xml ?uuid name)) in
+  if running then vok (Domain.create dom);
+  dom
+
+let member_health t mname =
+  let fs = Fleet.status t in
+  match
+    List.find_opt (fun m -> m.Driver.ms_name = mname) fs.Driver.fs_members
+  with
+  | Some m -> m.Driver.ms_health
+  | None -> Alcotest.failf "member %s not in status" mname
+
+(* --- wire numbering --------------------------------------------------- *)
+
+let test_wire_numbering () =
+  Alcotest.(check int) "fleet_list_all is 55" 55
+    (Rp.proc_to_int Rp.Proc_fleet_list_all);
+  Alcotest.(check int) "fleet_status is 56" 56
+    (Rp.proc_to_int Rp.Proc_fleet_status);
+  Alcotest.(check int) "fleet_migrate is 57" 57
+    (Rp.proc_to_int Rp.Proc_fleet_migrate);
+  (* The v1.6 numbers must not have moved. *)
+  Alcotest.(check int) "event_resume still 53" 53
+    (Rp.proc_to_int Rp.Proc_event_resume);
+  List.iter
+    (fun p -> Alcotest.(check int) "needs minor 7" 7 (Rp.proc_min_minor p))
+    [ Rp.Proc_fleet_list_all; Rp.Proc_fleet_status; Rp.Proc_fleet_migrate ];
+  Alcotest.(check bool) "listing is idempotent" true
+    (Rp.is_idempotent Rp.Proc_fleet_list_all);
+  Alcotest.(check bool) "status is idempotent" true
+    (Rp.is_idempotent Rp.Proc_fleet_status);
+  Alcotest.(check bool) "migrate is NOT idempotent" false
+    (Rp.is_idempotent Rp.Proc_fleet_migrate);
+  Alcotest.(check bool) "status is high-priority" true
+    (Rp.is_high_priority Rp.Proc_fleet_status);
+  Alcotest.(check bool) "listing is not high-priority" false
+    (Rp.is_high_priority Rp.Proc_fleet_list_all);
+  Alcotest.(check int) "admin fleet_status wire number" 22
+    (Ap.proc_to_int Ap.Proc_daemon_fleet_status)
+
+(* --- codecs ----------------------------------------------------------- *)
+
+let test_codec_roundtrips () =
+  (* Real records from a live node keep the codec honest. *)
+  let conn = fresh_test_conn () in
+  let _ = seed_domain conn "codec-a" in
+  let _ = seed_domain conn ~running:false "codec-b" in
+  let records = vok (Connect.list_all_domains conn) in
+  let listing =
+    Driver.
+      {
+        fl_records = records;
+        fl_shard_errors =
+          [
+            {
+              se_member = "m2";
+              se_error = Verror.make Verror.No_connect "member down";
+            };
+            {
+              se_member = "m7";
+              se_error =
+                Verror.make Verror.Operation_failed "deadline exceeded";
+            };
+          ];
+        fl_members = 8;
+      }
+  in
+  Alcotest.(check bool) "fleet_listing roundtrips" true
+    (Rp.dec_fleet_listing (Rp.enc_fleet_listing listing) = listing);
+  let fs =
+    Driver.
+      {
+        fs_fleet = "prod";
+        fs_members =
+          [
+            {
+              ms_name = "a";
+              ms_health = Mh_up;
+              ms_consec_failures = 0;
+              ms_probes = 41;
+              ms_failures = 2;
+              ms_domains = 1000;
+            };
+            {
+              ms_name = "b";
+              ms_health = Mh_degraded;
+              ms_consec_failures = 1;
+              ms_probes = 40;
+              ms_failures = 9;
+              ms_domains = -1;
+            };
+            {
+              ms_name = "c";
+              ms_health = Mh_down;
+              ms_consec_failures = 12;
+              ms_probes = 52;
+              ms_failures = 12;
+              ms_domains = 0;
+            };
+          ];
+        fs_migrations_active = 1;
+        fs_migrations_recovered = 2;
+        fs_migrations_rolled_back = 3;
+      }
+  in
+  Alcotest.(check bool) "fleet_status roundtrips" true
+    (Rp.dec_fleet_status (Rp.enc_fleet_status fs) = fs);
+  Alcotest.(check bool) "fleet_migrate roundtrips" true
+    (Rp.dec_fleet_migrate (Rp.enc_fleet_migrate ~domain:"web-3" ~dest:"b")
+    = ("web-3", "b"))
+
+(* --- placement -------------------------------------------------------- *)
+
+let test_placement () =
+  let members = [ "a"; "b"; "c"; "d" ] in
+  let uuids = List.init 256 (fun _ -> Vmm.Uuid.generate ()) in
+  let place u = Fleet.consistent_hash_place u members in
+  (* Deterministic. *)
+  List.iter
+    (fun u ->
+      Alcotest.(check string) "stable" (place u) (place u);
+      Alcotest.(check bool) "lands on a member" true
+        (List.mem (place u) members))
+    uuids;
+  (* Every member owns something at this scale. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "member %s owns keys" m)
+        true
+        (List.exists (fun u -> place u = m) uuids))
+    members;
+  (* Removing one member only moves the keys it owned: the consistent-
+     hashing property that makes shard loss a local affair. *)
+  let without = [ "a"; "b"; "d" ] in
+  List.iter
+    (fun u ->
+      let before = place u in
+      if before <> "c" then
+        Alcotest.(check string) "unrelated keys stay put" before
+          (Fleet.consistent_hash_place u without))
+    uuids;
+  (* Single member short-circuits; empty fleet is a caller bug. *)
+  Alcotest.(check string) "singleton" "only"
+    (Fleet.consistent_hash_place (List.hd uuids) [ "only" ]);
+  match Fleet.consistent_hash_place (List.hd uuids) [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty member list accepted"
+
+(* --- wire compatibility ----------------------------------------------- *)
+
+let raw_client daemon =
+  match
+    Rpc_client.connect ~address:(daemon ^ "-sock") ~kind:Transport.Unix_sock
+      ~program:Rp.program ~version:Rp.version ()
+  with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" (Verror.to_string e)
+
+let raw_call client proc body =
+  Rpc_client.call client ~procedure:(Rp.proc_to_int proc) ~body ()
+
+let raw_open client uri =
+  vok (Result.map Rp.dec_unit_body (raw_call client Rp.Proc_open (Rp.enc_string_body uri)))
+
+let test_old_daemon_rejects_fleet_procs () =
+  (* A minor-6 daemon must answer the fleet procedures exactly like a
+     build that predates them. *)
+  let config = { quiet_config with Daemon_config.proto_minor = 6 } in
+  let dname = fresh_name "v16d" in
+  let daemon = Daemon.start ~name:dname ~config () in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop daemon)
+    (fun () ->
+      let client = raw_client dname in
+      raw_open client (Printf.sprintf "test://%s/" (fresh_name "v16n"));
+      List.iter
+        (fun proc ->
+          match raw_call client proc Rp.enc_unit_body with
+          | Ok _ -> Alcotest.fail "v1.6 daemon accepted a fleet procedure"
+          | Error e ->
+            Alcotest.(check string) "wording identical to unknown proc"
+              (Printf.sprintf "unknown remote procedure %d" (Rp.proc_to_int proc))
+              e.Verror.message)
+        [ Rp.Proc_fleet_list_all; Rp.Proc_fleet_status ];
+      Rpc_client.close client)
+
+let test_plain_daemon_is_fleet_of_one () =
+  let dname = fresh_name "f1d" in
+  let node = fresh_name "f1n" in
+  let daemon = Daemon.start ~name:dname ~config:quiet_config () in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop daemon)
+    (fun () ->
+      let conn =
+        vok
+          (Connect.open_uri
+             (Printf.sprintf "test+unix://%s/?daemon=%s" node dname))
+      in
+      let _ = seed_domain conn "solo" in
+      (* Raw wire view: annotated listing with one member, no errors. *)
+      let client = raw_client dname in
+      raw_open client (Printf.sprintf "test://%s/" node);
+      let listing =
+        Rp.dec_fleet_listing
+          (vok (raw_call client Rp.Proc_fleet_list_all Rp.enc_unit_body))
+      in
+      Alcotest.(check int) "one member" 1 listing.Driver.fl_members;
+      Alcotest.(check int) "no shard errors" 0
+        (List.length listing.Driver.fl_shard_errors);
+      Alcotest.(check bool) "carries the domain" true
+        (List.exists
+           (fun r -> r.Driver.rec_ref.Driver.dom_name = "solo")
+           listing.Driver.fl_records);
+      (* Status on a non-fleet connection is unsupported, not unknown. *)
+      (match raw_call client Rp.Proc_fleet_status Rp.enc_unit_body with
+       | Ok _ -> Alcotest.fail "plain daemon reported fleet status"
+       | Error e ->
+         Alcotest.(check bool) "unsupported" true
+           (e.Verror.code = Verror.Operation_unsupported));
+      Rpc_client.close client;
+      (* The remote driver's v1.7 listing path rides the same proc. *)
+      let records = vok (Connect.list_all_domains conn) in
+      Alcotest.(check bool) "client bulk listing works" true
+        (List.exists (fun r -> r.Driver.rec_ref.Driver.dom_name = "solo") records);
+      Connect.close conn)
+
+(* --- health state machine and the shared prober ------------------------ *)
+
+let test_health_machine_and_single_prober () =
+  (* The member's daemon is not running: every probe fails. *)
+  let dname = fresh_name "hd" in
+  let uri = Printf.sprintf "test+unix://%s/?daemon=%s" (fresh_name "hn") dname in
+  let t =
+    Fleet.create ~name:(fresh_name "hfleet") ~members:[ ("m1", uri) ]
+      ~probe_interval_s:0.05 ~probe_timeout_s:0.2 ~down_threshold:3 ()
+  in
+  let resyncs = ref 0 in
+  let (_ : Events.subscription) =
+    Events.subscribe (Fleet.ops_of t).Driver.events (fun ev ->
+        if ev.Events.lifecycle = Events.Ev_resync then incr resyncs)
+  in
+  Fleet.probe_now t;
+  Alcotest.(check string) "one failure degrades" "degraded"
+    (Driver.member_health_name (member_health t "m1"));
+  Fleet.probe_now t;
+  Fleet.probe_now t;
+  Alcotest.(check string) "threshold opens the breaker" "down"
+    (Driver.member_health_name (member_health t "m1"));
+  Alcotest.(check bool) "down transition emitted a resync marker" true
+    (eventually (fun () -> !resyncs = 1));
+  Fleet.probe_now t;
+  Alcotest.(check int) "staying down re-emits nothing" 1 !resyncs;
+  (* Recovery passes through Degraded (hysteresis): one good probe must
+     not flip a flapping member straight back to Up. *)
+  let daemon = Daemon.start ~name:dname ~config:quiet_config () in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop daemon)
+    (fun () ->
+      Fleet.probe_now t;
+      Alcotest.(check string) "first success only degrades" "degraded"
+        (Driver.member_health_name (member_health t "m1"));
+      Fleet.probe_now t;
+      Alcotest.(check string) "second success restores" "up"
+        (Driver.member_health_name (member_health t "m1"));
+      let fs = Fleet.status t in
+      let m = List.hd fs.Driver.fs_members in
+      Alcotest.(check bool) "probes counted" true (m.Driver.ms_probes >= 6);
+      Alcotest.(check bool) "failures counted" true (m.Driver.ms_failures >= 3);
+      (* However many fleets exist, exactly one prober thread does. *)
+      let t2 =
+        Fleet.create ~name:(fresh_name "hfleet2") ~members:[]
+          ~probe_interval_s:0.05 ()
+      in
+      ignore (Fleet.ops_of t2);
+      Alcotest.(check int) "single shared prober thread" 1
+        (Fleet.prober_thread_count ()))
+
+(* --- chaos: member death mid-query ------------------------------------ *)
+
+let test_scatter_degraded_on_member_death () =
+  with_members [ "m1"; "m2"; "m3" ] (fun members ->
+      let conns = List.map member_conn members in
+      List.iteri
+        (fun i conn ->
+          ignore (seed_domain conn (Printf.sprintf "ch-%d-a" i));
+          ignore (seed_domain conn (Printf.sprintf "ch-%d-b" i)))
+        conns;
+      let t = fleet_of ~slice:0.5 members in
+      let ops = Fleet.ops_of t in
+      let fv = Option.get ops.Driver.fleet in
+      (* Each test node also carries its default seeded domain; count
+         only the rows this test created. *)
+      let ours listing =
+        List.filter
+          (fun r ->
+            let n = r.Driver.rec_ref.Driver.dom_name in
+            String.length n > 3 && String.sub n 0 3 = "ch-")
+          listing.Driver.fl_records
+      in
+      let l = vok (fv.Driver.fleet_list_all ()) in
+      Alcotest.(check int) "all six domains" 6 (List.length (ours l));
+      Alcotest.(check int) "three members" 3 l.Driver.fl_members;
+      Alcotest.(check int) "no errors while healthy" 0
+        (List.length l.Driver.fl_shard_errors);
+      (* Kill one member, then query again: the listing must complete
+         within the deadline, report the dead shard, and keep every
+         surviving row exactly once. *)
+      kill_member (List.nth members 1);
+      let t0 = Unix.gettimeofday () in
+      let l2 = vok (fv.Driver.fleet_list_all ()) in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bounded by the shard slice (%.3fs)" elapsed)
+        true (elapsed < 2.0);
+      Alcotest.(check int) "dead shard reported" 1
+        (List.length l2.Driver.fl_shard_errors);
+      Alcotest.(check string) "the right shard" "m2"
+        (List.hd l2.Driver.fl_shard_errors).Driver.se_member;
+      let names =
+        List.map (fun r -> r.Driver.rec_ref.Driver.dom_name) (ours l2)
+      in
+      Alcotest.(check int) "survivors only" 4 (List.length names);
+      Alcotest.(check int) "zero double-counted domains"
+        (List.length names)
+        (List.length (List.sort_uniq compare names));
+      Alcotest.(check bool) "m2 rows gone" true
+        (not (List.exists (fun n -> String.length n > 3 && n.[3] = '1') names));
+      (* The degradation feeds the CLI's partial-failure accounting. *)
+      (match Fleet.conn_stats ops with
+       | Some st -> Alcotest.(check bool) "sub_errors counted" true
+           (st.Fleet.st_sub_errors >= 1)
+       | None -> Alcotest.fail "fleet connection has no stats");
+      (* Repeated failures open the breaker; a Down shard is then skipped
+         instantly with a structured marker. *)
+      let l3 = vok (fv.Driver.fleet_list_all ()) in
+      let l4 = vok (fv.Driver.fleet_list_all ()) in
+      ignore l3;
+      let t1 = Unix.gettimeofday () in
+      let l5 = vok (fv.Driver.fleet_list_all ()) in
+      ignore l4;
+      Alcotest.(check bool) "down shard skipped fast" true
+        (Unix.gettimeofday () -. t1 < 0.5);
+      Alcotest.(check int) "still reported as an error" 1
+        (List.length l5.Driver.fl_shard_errors);
+      Alcotest.(check string) "down marker names the member" "m2"
+        (List.hd l5.Driver.fl_shard_errors).Driver.se_member;
+      List.iter Connect.close conns)
+
+let test_no_double_count_mid_migration () =
+  (* A domain momentarily defined on two members (reserved on the
+     destination, still live on the source) must appear once, as the
+     running row. *)
+  with_members [ "m1"; "m2" ] (fun members ->
+      let cA = member_conn (List.nth members 0) in
+      let cB = member_conn (List.nth members 1) in
+      let uuid = Vmm.Uuid.generate () in
+      ignore (seed_domain cA ~uuid "twin";);
+      ignore (seed_domain cB ~uuid ~running:false "twin");
+      let t = fleet_of members in
+      let ops = Fleet.ops_of t in
+      let fv = Option.get ops.Driver.fleet in
+      let l = vok (fv.Driver.fleet_list_all ()) in
+      let rows =
+        List.filter
+          (fun r -> r.Driver.rec_ref.Driver.dom_name = "twin")
+          l.Driver.fl_records
+      in
+      Alcotest.(check int) "exactly one row" 1 (List.length rows);
+      Alcotest.(check bool) "the running row wins" true
+        ((List.hd rows).Driver.rec_info.Driver.di_state <> Vmm.Vm_state.Shutoff);
+      Connect.close cA;
+      Connect.close cB)
+
+(* --- cross-shard batch refusal ----------------------------------------- *)
+
+let test_cross_shard_batch_refused () =
+  with_members [ "m1"; "m2" ] (fun members ->
+      let cA = member_conn (List.nth members 0) in
+      let cB = member_conn (List.nth members 1) in
+      ignore (seed_domain cA ~running:false "batch-a1");
+      ignore (seed_domain cA ~running:false "batch-a2");
+      ignore (seed_domain cB ~running:false "batch-b1");
+      let t = fleet_of members in
+      (* The controller is a daemon whose driver federates: open the
+         fleet through it and speak raw batches. *)
+      let ctl = fresh_name "ctld" in
+      let daemon = Daemon.start ~name:ctl ~config:quiet_config () in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop daemon)
+        (fun () ->
+          let client = raw_client ctl in
+          raw_open client ("fleet:///" ^ Fleet.name t);
+          let create_sub name =
+            (Rp.proc_to_int Rp.Proc_dom_create, Rp.enc_string_body name)
+          in
+          (* Mutations spanning members: refused whole, before any side
+             effect. *)
+          (match
+             raw_call client Rp.Proc_call_batch
+               (Rp.enc_batch_call [ create_sub "batch-a1"; create_sub "batch-b1" ])
+           with
+           | Ok _ -> Alcotest.fail "cross-shard batch accepted"
+           | Error e ->
+             Alcotest.(check bool) "operation_invalid" true
+               (e.Verror.code = Verror.Operation_invalid);
+             Alcotest.(check bool) "refusal names the rule" true
+               (String.length e.Verror.message >= 25
+               && String.sub e.Verror.message 0 25 = "cross-shard batch refused"));
+          Alcotest.(check bool) "no sub-call executed" true
+            (vok (Domain.get_state (vok (Domain.lookup_by_name cA "batch-a1")))
+             = Vmm.Vm_state.Shutoff);
+          (* Same-member mutations batch fine. *)
+          let replies =
+            Rp.dec_batch_reply
+              (vok
+                 (raw_call client Rp.Proc_call_batch
+                    (Rp.enc_batch_call
+                       [ create_sub "batch-a1"; create_sub "batch-a2" ])))
+          in
+          Alcotest.(check (list bool)) "both applied" [ true; true ]
+            (List.map fst replies);
+          (* Read-only batches may span shards freely. *)
+          let info_sub name =
+            (Rp.proc_to_int Rp.Proc_dom_get_info, Rp.enc_string_body name)
+          in
+          let replies =
+            Rp.dec_batch_reply
+              (vok
+                 (raw_call client Rp.Proc_call_batch
+                    (Rp.enc_batch_call [ info_sub "batch-a1"; info_sub "batch-b1" ])))
+          in
+          Alcotest.(check (list bool)) "reads span shards" [ true; true ]
+            (List.map fst replies);
+          Rpc_client.close client);
+      Connect.close cA;
+      Connect.close cB)
+
+(* --- migration --------------------------------------------------------- *)
+
+let test_migration_end_to_end () =
+  with_members [ "m1"; "m2" ] (fun members ->
+      let cA = member_conn (List.nth members 0) in
+      let cB = member_conn (List.nth members 1) in
+      ignore (seed_domain cA "mig-run");
+      ignore (seed_domain cA ~running:false "mig-cold");
+      let t = fleet_of members in
+      let ops = Fleet.ops_of t in
+      let fv = Option.get ops.Driver.fleet in
+      let migrated = ref [] in
+      let (_ : Events.subscription) =
+        Events.subscribe ops.Driver.events (fun ev ->
+            if ev.Events.lifecycle = Events.Ev_migrated then
+              migrated := ev.Events.domain_name :: !migrated)
+      in
+      vok (Fleet.fleet_migrate t ~domain:"mig-run" ~dest:"m2");
+      (* Source released, destination authoritative and running. *)
+      expect_verr Verror.No_domain (Domain.lookup_by_name cA "mig-run");
+      Alcotest.(check bool) "runs on the destination" true
+        (vok (Domain.get_state (vok (Domain.lookup_by_name cB "mig-run")))
+        <> Vmm.Vm_state.Shutoff);
+      Alcotest.(check string) "ownership moved" "m2"
+        (vok (fv.Driver.fleet_owner "mig-run"));
+      Alcotest.(check bool) "migration event emitted" true
+        (eventually (fun () -> !migrated = [ "mig-run" ]));
+      (* A stopped domain migrates as a cold copy. *)
+      vok (Fleet.fleet_migrate t ~domain:"mig-cold" ~dest:"m2");
+      Alcotest.(check bool) "cold copy stays stopped" true
+        (vok (Domain.get_state (vok (Domain.lookup_by_name cB "mig-cold")))
+        = Vmm.Vm_state.Shutoff);
+      (* Migrating onto the owner is refused. *)
+      expect_verr Verror.Operation_invalid
+        (Fleet.fleet_migrate t ~domain:"mig-run" ~dest:"m2");
+      let fs = Fleet.status t in
+      Alcotest.(check int) "no migrations left active" 0
+        fs.Driver.fs_migrations_active;
+      Connect.close cA;
+      Connect.close cB)
+
+let crash_phases = [ "begin"; "reserved"; "switchover"; "finished"; "released"; "end" ]
+
+let test_migration_crash_sweep () =
+  (* Kill the controller at every journaled boundary; recovery (a new
+     controller incarnation replaying the same journal) must converge on
+     exactly one copy of the domain — running, never split-brained. *)
+  List.iter
+    (fun phase ->
+      with_members [ "m1"; "m2" ] (fun members ->
+          let cA = member_conn (List.nth members 0) in
+          let cB = member_conn (List.nth members 1) in
+          ignore (seed_domain cA "sweep");
+          let fname = fresh_name "sweepfleet" in
+          let mk () =
+            Fleet.create ~name:fname
+              ~members:(List.map (fun m -> (m.md_member, m.md_uri)) members)
+              ~shard_slice_s:1.0 ~probe_interval_s:0.05 ~probe_timeout_s:0.2 ()
+          in
+          let t = mk () in
+          Fleet.crash_hook :=
+            (fun p -> if p = phase then failwith ("controller killed @" ^ p));
+          (match Fleet.fleet_migrate t ~domain:"sweep" ~dest:"m2" with
+           | exception Failure _ -> ()
+           | Ok () -> Alcotest.failf "%s: hook did not fire" phase
+           | Error e -> Alcotest.failf "%s: %s" phase (Verror.to_string e));
+          Fleet.crash_hook := (fun _ -> ());
+          (* Controller restart: same name, same journal, recovery runs. *)
+          Fleet.dissolve fname;
+          let t2 = mk () in
+          let on_a = Result.is_ok (Domain.lookup_by_name cA "sweep") in
+          let on_b = Result.is_ok (Domain.lookup_by_name cB "sweep") in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: exactly one copy" phase)
+            true
+            ((on_a || on_b) && not (on_a && on_b));
+          let expect_dest =
+            List.mem phase [ "switchover"; "finished"; "released"; "end" ]
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: authoritative side" phase)
+            expect_dest on_b;
+          let home = if expect_dest then cB else cA in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: still running" phase)
+            true
+            (vok (Domain.get_state (vok (Domain.lookup_by_name home "sweep")))
+            <> Vmm.Vm_state.Shutoff);
+          let fs = Fleet.status t2 in
+          (match phase with
+           | "begin" | "reserved" ->
+             Alcotest.(check int)
+               (Printf.sprintf "%s: rolled back" phase)
+               1 fs.Driver.fs_migrations_rolled_back
+           | "switchover" | "finished" | "released" ->
+             Alcotest.(check int)
+               (Printf.sprintf "%s: rolled forward" phase)
+               1 fs.Driver.fs_migrations_recovered
+           | _ ->
+             (* The journal closed cleanly: nothing to recover. *)
+             Alcotest.(check int) "end: nothing recovered" 0
+               (fs.Driver.fs_migrations_recovered
+               + fs.Driver.fs_migrations_rolled_back));
+          (* Recovering a recovery is a no-op (idempotence). *)
+          Fleet.dissolve fname;
+          let t3 = mk () in
+          let fs3 = Fleet.status t3 in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: second recovery finds nothing" phase)
+            0
+            (fs3.Driver.fs_migrations_recovered
+            + fs3.Driver.fs_migrations_rolled_back);
+          Fleet.dissolve fname;
+          Connect.close cA;
+          Connect.close cB))
+    crash_phases
+
+(* --- admin surface ------------------------------------------------------ *)
+
+let test_admin_fleet_status () =
+  with_members [ "m1" ] (fun members ->
+      let t = fleet_of members in
+      let ctl = fresh_name "admfd" in
+      let daemon = Daemon.start ~name:ctl ~config:quiet_config () in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop daemon)
+        (fun () ->
+          let admin = vok (Admin.connect ~daemon:ctl ()) in
+          Fun.protect
+            ~finally:(fun () -> Admin.close admin)
+            (fun () ->
+              let statuses = vok (Admin.fleet_status admin) in
+              match
+                List.find_opt
+                  (fun fs -> fs.Driver.fs_fleet = Fleet.name t)
+                  statuses
+              with
+              | None -> Alcotest.fail "fleet missing from admin status"
+              | Some fs ->
+                Alcotest.(check int) "one member" 1
+                  (List.length fs.Driver.fs_members);
+                Alcotest.(check string) "member name" "m1"
+                  (List.hd fs.Driver.fs_members).Driver.ms_name)))
+
+(* --- the full-suite fleet pass (CI-gated) ------------------------------- *)
+
+(* OVIRT_FLEET_SUITE=1 runs the whole ordinary driver surface against a
+   3-member fleet: every operation the shell uses, dispatched through
+   placement routing and scatter-gather instead of a single node. *)
+let test_fleet_suite () =
+  with_members [ "m1"; "m2"; "m3" ] (fun members ->
+      let t = fleet_of members in
+      let conn = vok (Connect.open_uri ("fleet:///" ^ Fleet.name t)) in
+      Alcotest.(check string) "driver name" "fleet" (Connect.driver_name conn);
+      Alcotest.(check string) "hostname is the fleet" (Fleet.name t)
+        (vok (Connect.hostname conn));
+      let caps = vok (Connect.capabilities conn) in
+      Alcotest.(check string) "federated capabilities" "federated"
+        caps.Ovirt.Capabilities.virt_kind;
+      (* Define a spread of domains through placement. *)
+      let names = List.init 12 (fun i -> Printf.sprintf "suite-%d" i) in
+      let doms =
+        List.map (fun n -> vok (Domain.define_xml conn (dom_xml n))) names
+      in
+      List.iter (fun d -> vok (Domain.create d)) doms;
+      let records = vok (Connect.list_all_domains conn) in
+      Alcotest.(check int) "all rows visible fleet-wide" 12
+        (List.length
+           (List.filter
+              (fun r ->
+                List.mem r.Driver.rec_ref.Driver.dom_name names)
+              records));
+      (* Placement actually spread the load. *)
+      let fs = Fleet.status t in
+      let loaded =
+        List.filter (fun m -> m.Driver.ms_domains > 0) fs.Driver.fs_members
+      in
+      Alcotest.(check bool) "more than one member loaded" true
+        (List.length loaded > 1);
+      (* Point reads and writes route transparently. *)
+      let d0 = vok (Domain.lookup_by_name conn "suite-0") in
+      Alcotest.(check bool) "running" true (vok (Domain.is_active d0));
+      vok (Domain.suspend d0);
+      Alcotest.(check bool) "suspended" true
+        (vok (Domain.get_state d0) = Vmm.Vm_state.Paused);
+      vok (Domain.resume d0);
+      vok (Domain.set_memory d0 (4 * 1024));
+      expect_verr Verror.Invalid_arg (Domain.set_memory d0 (64 * 1024));
+      Alcotest.(check int) "info routed to the owner" (8 * 1024)
+        (vok (Domain.get_info d0)).Driver.di_max_mem_kib;
+      let d1 = vok (Domain.lookup_by_name conn "suite-1") in
+      vok (Domain.set_autostart d1 true);
+      Alcotest.(check bool) "autostart round-trips" true
+        (vok (Domain.get_autostart d1));
+      let by_uuid = vok (Domain.lookup_by_uuid conn (Domain.uuid d0)) in
+      Alcotest.(check string) "uuid lookup" "suite-0" (Domain.name by_uuid);
+      (* XML fetch routes to the owner. *)
+      Alcotest.(check bool) "xml routed" true
+        (String.length (vok (Domain.xml_desc d0)) > 0);
+      (* Migrate one domain away from wherever placement put it. *)
+      let fv = Option.get (vok (Connect.ops conn)).Driver.fleet in
+      let owner = vok (fv.Driver.fleet_owner "suite-2") in
+      let dest =
+        List.find (fun m -> m.md_member <> owner) members
+      in
+      vok (fv.Driver.fleet_migrate ~domain:"suite-2" ~dest:dest.md_member);
+      Alcotest.(check string) "moved" dest.md_member
+        (vok (fv.Driver.fleet_owner "suite-2"));
+      (* Events from any member surface on the fleet bus. *)
+      let seen = ref [] in
+      let sub =
+        vok
+          (Connect.subscribe_events conn (fun ev ->
+               seen := ev.Events.domain_name :: !seen))
+      in
+      let d3 = vok (Domain.lookup_by_name conn "suite-3") in
+      vok (Domain.destroy d3);
+      Alcotest.(check bool) "member event reached the fleet bus" true
+        (eventually (fun () -> List.mem "suite-3" !seen));
+      Connect.unsubscribe_events conn sub;
+      (* Teardown through the fleet. *)
+      List.iter
+        (fun d ->
+          (match Domain.get_state d with
+           | Ok s when s <> Vmm.Vm_state.Shutoff -> vok (Domain.destroy d)
+           | _ -> ());
+          vok (Domain.undefine d))
+        doms;
+      let left =
+        List.filter
+          (fun r -> List.mem r.Driver.rec_ref.Driver.dom_name names)
+          (vok (Connect.list_all_domains conn))
+      in
+      Alcotest.(check int) "all undefined" 0 (List.length left);
+      Connect.close conn)
+
+let suite_gated =
+  if Sys.getenv_opt "OVIRT_FLEET_SUITE" = Some "1" then
+    [ quick "full driver surface over a 3-member fleet" test_fleet_suite ]
+  else []
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "wire",
+        [
+          quick "v1.7 numbering, gating and retry classes" test_wire_numbering;
+          quick "codec roundtrips" test_codec_roundtrips;
+          quick "minor-6 daemons reject fleet procs verbatim"
+            test_old_daemon_rejects_fleet_procs;
+          quick "plain daemon answers as a fleet of one"
+            test_plain_daemon_is_fleet_of_one;
+        ] );
+      ("placement", [ quick "consistent-hash ring" test_placement ]);
+      ( "health",
+        [
+          quick "state machine, hysteresis, one prober thread"
+            test_health_machine_and_single_prober;
+        ] );
+      ( "chaos",
+        [
+          quick "member death degrades, never hangs"
+            test_scatter_degraded_on_member_death;
+          quick "mid-migration twin rows dedupe" test_no_double_count_mid_migration;
+        ] );
+      ( "batch",
+        [ quick "cross-shard mutation batches refused" test_cross_shard_batch_refused ]
+      );
+      ( "migration",
+        [
+          quick "journaled two-phase handshake end-to-end"
+            test_migration_end_to_end;
+          quick "crash-point sweep: no lost domain, no split-brain"
+            test_migration_crash_sweep;
+        ] );
+      ("admin", [ quick "fleet-status procedure" test_admin_fleet_status ]);
+      ("suite", suite_gated);
+    ]
